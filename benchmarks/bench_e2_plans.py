@@ -1,0 +1,65 @@
+"""E2 — the performance view's stacked plan comparison (Figure 3).
+
+Reproduces the dashboard's stacked bar chart: one bar per plan (Vega
+alone, the optimizer's recommendation, and the user's custom partitioning
+with bin moved to the client), each decomposed into server / client /
+network / render time.
+
+Paper shape: the optimizer's plan wins; the user's bin-on-client plan is
+the worst because "data will be requested from the DBMS so that they can
+be allocated into buckets on the client, which will make the execution
+much slower because of more data transferring and inefficient SQL
+queries" (§3.1).
+"""
+
+from conftest import print_header, print_rows, scaled
+
+from repro.core import VegaPlus
+from repro.datagen import generate_flights
+from repro.perf import compare_plans
+from repro.spec import flights_histogram_spec
+
+
+def make_session(num_rows):
+    return VegaPlus(
+        flights_histogram_spec(),
+        data={"flights": generate_flights(num_rows)},
+        latency_ms=20,
+    )
+
+
+def test_e2_plan_comparison(benchmark):
+    session = make_session(scaled(120_000))
+    session.startup()
+
+    plans = [
+        session.baseline_plan(),
+        session.plan,
+        session.custom_plan({"binned": 1}, label="user:bin-on-client"),
+    ]
+    comparison = compare_plans(session, plans)
+
+    print_header("E2: Figure 3 — stacked time per plan (measured)")
+    rows = [
+        [
+            row["plan"],
+            "{:.4f}".format(row["server_s"]),
+            "{:.4f}".format(row["client_s"]),
+            "{:.4f}".format(row["network_s"]),
+            "{:.4f}".format(row["total_s"]),
+        ]
+        for row in comparison.as_dicts()
+    ]
+    print_rows(["plan", "server(s)", "client(s)", "network(s)", "total(s)"],
+               rows)
+    totals = {row["plan"]: row["total_s"] for row in comparison.as_dicts()}
+    print("\npaper shape: optimized < vega-client <= user:bin-on-client")
+
+    assert totals["optimized"] < totals["vega-client"]
+    assert totals["optimized"] < totals["user:bin-on-client"]
+
+    def run_recommended():
+        session.cache.clear()
+        return session.run_with_plan(session.plan)
+
+    benchmark.pedantic(run_recommended, rounds=3, iterations=1)

@@ -1,0 +1,74 @@
+"""E3 — interaction latency with and without prefetching (§2.2 step 4).
+
+"Interactions impose an even stricter latency requirement" — VegaPlus
+prefetches predicted interactions during idle time and re-partitions
+around interaction handlers.  We replay scripted interaction traces over
+the flights histogram and measure per-interaction latency:
+
+* drop-down cycling (binField) — each change needs new server SQL, so
+  prediction + prefetch converts round trips into cache hits;
+* slider drags (maxbins) — monotone drags are highly predictable;
+* client-partial interactions — with the cut before the filter, signal
+  changes never touch the server at all.
+"""
+
+from conftest import print_header, print_rows, scaled
+
+from repro.core import VegaPlus
+from repro.datagen import generate_flights
+from repro.interact import option_cycle, replay, slider_drag
+from repro.spec import flights_histogram_spec
+
+FIELDS = ["distance", "air_time", "arr_delay", "dep_delay"]
+
+
+def fresh_session(table):
+    session = VegaPlus(
+        flights_histogram_spec(), data={"flights": table}, latency_ms=50,
+    )
+    session.startup()
+    return session
+
+
+def test_e3_interaction_prefetch(benchmark):
+    table = generate_flights(scaled(80_000))
+    rows = []
+
+    traces = {
+        "dropdown x2": option_cycle("binField", FIELDS, repeats=2),
+        "slider drag": slider_drag("maxbins", 20, 90, step=10),
+    }
+    reports = {}
+    for name, trace in traces.items():
+        cold = replay(fresh_session(table), trace, prefetch=False)
+        warm = replay(fresh_session(table), trace, prefetch=True)
+        reports[name] = (cold, warm)
+        rows.append([
+            name, "off", cold.interactions,
+            "{:.4f}".format(cold.mean_latency),
+            "{:.0%}".format(cold.cache_hit_rate), "-",
+        ])
+        rows.append([
+            name, "on", warm.interactions,
+            "{:.4f}".format(warm.mean_latency),
+            "{:.0%}".format(warm.cache_hit_rate), warm.prefetches,
+        ])
+
+    print_header("E3: interaction latency, prefetch off vs on")
+    print_rows(
+        ["trace", "prefetch", "steps", "mean(s)", "hit-rate", "prefetches"],
+        rows,
+    )
+    print("\npaper shape: prefetch+cache turns repeated server round trips "
+          "into cache hits, cutting interaction latency")
+
+    cold, warm = reports["dropdown x2"]
+    assert warm.mean_latency < cold.mean_latency
+    assert warm.cache_hit_rate > cold.cache_hit_rate
+
+    def one_interaction():
+        session = fresh_session(table)
+        session.idle()
+        return session.interact("binField", "distance")
+
+    benchmark.pedantic(one_interaction, rounds=3, iterations=1)

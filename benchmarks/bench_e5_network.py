@@ -1,0 +1,73 @@
+"""E5 — network-latency sensitivity (§3.1's latency-simulation knob).
+
+"The user can compare the performance of ... plans ... by simulating
+different network latencies."  We sweep one-way latency and bandwidth,
+recording the optimizer's chosen cut and the measured startup latency of
+(a) the chosen plan and (b) the client-only baseline.
+
+Paper shape: as the link degrades, the relative advantage of server-side
+execution shrinks — and for small datasets the optimizer flips the cut
+back to the client.
+"""
+
+from conftest import print_header, print_rows, scaled
+
+from repro.core import VegaPlus
+from repro.datagen import generate_flights
+from repro.net import NetworkChannel
+from repro.spec import flights_histogram_spec
+
+LATENCIES_MS = [1, 20, 100, 500, 2000]
+
+
+def test_e5_latency_sweep(benchmark):
+    big = generate_flights(scaled(100_000))
+    small = generate_flights(scaled(300))
+
+    print_header("E5: latency sweep, 100k-row dataset (measured)")
+    rows = []
+    for latency in LATENCIES_MS:
+        session = VegaPlus(
+            flights_histogram_spec(), data={"flights": big},
+            channel=NetworkChannel(latency, 100),
+        )
+        hybrid = session.startup()
+        session.cache.clear()
+        baseline = session.run_client_only()
+        rows.append([
+            latency, session.plan.datasets["binned"].cut,
+            "{:.4f}".format(hybrid.total_seconds),
+            "{:.4f}".format(baseline.total_seconds),
+            "{:.2f}x".format(
+                baseline.total_seconds / max(hybrid.total_seconds, 1e-9)
+            ),
+        ])
+    print_rows(
+        ["latency(ms)", "cut", "vegaplus(s)", "vega(s)", "speedup"], rows
+    )
+
+    print_header("E5b: latency sweep, tiny dataset — the cut flips")
+    rows = []
+    flipped = False
+    for latency in LATENCIES_MS:
+        session = VegaPlus(
+            flights_histogram_spec(), data={"flights": small},
+            channel=NetworkChannel(latency, 100),
+        )
+        plan = session.optimize()
+        cut = plan.datasets["binned"].cut
+        flipped = flipped or cut == 0
+        rows.append([latency, cut,
+                     "{:.4f}".format(plan.estimate.total)])
+    print_rows(["latency(ms)", "chosen cut", "est. total(s)"], rows)
+    print("\npaper shape: high latency pushes small workloads client-side")
+    assert flipped, "optimizer never flipped to the client on a slow link"
+
+    def startup_mid_latency():
+        session = VegaPlus(
+            flights_histogram_spec(), data={"flights": big},
+            channel=NetworkChannel(100, 100),
+        )
+        return session.startup()
+
+    benchmark.pedantic(startup_mid_latency, rounds=3, iterations=1)

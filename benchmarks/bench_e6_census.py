@@ -1,0 +1,62 @@
+"""E6 — the census stacked-area scenario (§3, second demo workload).
+
+Startup plus the two demo interactions — the sex radio button and the
+regex job-search box — measured under the optimizer's plan and under the
+all-client baseline.  The stack pipeline exercises the window-function
+SQL translation (stack -> SUM() OVER (PARTITION BY ...)).
+"""
+
+from conftest import print_header, print_rows, scaled
+
+from repro.core import VegaPlus
+from repro.datagen import generate_census
+from repro.spec import census_stacked_area_spec
+
+
+def make_session(replicate, **kwargs):
+    return VegaPlus(
+        census_stacked_area_spec(),
+        data={"census": generate_census(replicate=replicate)},
+        latency_ms=20,
+        **kwargs,
+    )
+
+
+def test_e6_census_scenario(benchmark):
+    replicate = max(scaled(100) // 100, 1)  # 100 -> ~48k rows
+
+    session = make_session(replicate)
+    startup = session.startup()
+    session_baseline = make_session(replicate)
+    baseline = session_baseline.run_client_only()
+
+    radio = session.interact("sexFilter", "female")
+    search = session.interact("searchPattern", "^Farm")
+    reset = session.interact("searchPattern", "")
+
+    print_header("E6: census stacked area — startup and interactions")
+    rows = [
+        ["startup (vegaplus)", "{:.4f}".format(startup.total_seconds),
+         len(startup.queries)],
+        ["startup (vega client)", "{:.4f}".format(baseline.total_seconds),
+         len(baseline.queries)],
+        ["radio sexFilter=female", "{:.4f}".format(radio.total_seconds),
+         len(radio.queries)],
+        ["search ^Farm (REGEXP)", "{:.4f}".format(search.total_seconds),
+         len(search.queries)],
+        ["search reset", "{:.4f}".format(reset.total_seconds),
+         len(reset.queries)],
+    ]
+    print_rows(["step", "latency(s)", "queries"], rows)
+    print("\npaper shape: the stack pipeline offloads (filters, aggregate, "
+          "window) and interactions re-parameterize server SQL")
+
+    assert startup.total_seconds < baseline.total_seconds
+    jobs = {row["job"] for row in session.results("stacked")}
+    assert len(jobs) > 10  # reset restored the full job set
+
+    def startup_run():
+        fresh = make_session(replicate)
+        return fresh.startup()
+
+    benchmark.pedantic(startup_run, rounds=3, iterations=1)

@@ -1,0 +1,75 @@
+"""E8 (ablation) — cost model accuracy: estimated vs measured.
+
+The partitioning decision (§2.2 step 2) is only as good as the cost
+model behind it.  This ablation, called out in DESIGN.md, measures every
+cut of the flights pipeline and compares the optimizer's estimates
+against measured latency — both with the shipped default constants and
+with on-machine calibration (:mod:`repro.planner.calibrate`).
+
+Pass criteria: the *ranking* of cuts by estimate matches the measured
+ranking (the optimizer picks the measured-best cut), and estimates are
+within an order of magnitude.
+"""
+
+from conftest import print_header, print_rows, scaled
+
+from repro.core import VegaPlus
+from repro.datagen import generate_flights
+from repro.planner import calibrate
+from repro.spec import flights_histogram_spec
+
+
+def test_e8_cost_model_accuracy(benchmark):
+    table = generate_flights(scaled(100_000))
+
+    for label, cost_params in (
+        ("default constants", None),
+        ("calibrated", calibrate(client_rows=5_000, server_rows=50_000)),
+    ):
+        session = VegaPlus(
+            flights_histogram_spec(), data={"flights": table},
+            latency_ms=20, cost_params=cost_params,
+        )
+        rows = []
+        estimated = {}
+        measured = {}
+        for cut in range(4):
+            plan = session.custom_plan({"binned": cut},
+                                       label="cut{}".format(cut))
+            estimate = plan.estimate.total
+            session.cache.clear()
+            result = session.run_with_plan(plan)
+            estimated[cut] = estimate
+            measured[cut] = result.total_seconds
+            ratio = estimate / max(result.total_seconds, 1e-9)
+            rows.append([
+                cut, "{:.4f}".format(estimate),
+                "{:.4f}".format(result.total_seconds),
+                "{:.2f}".format(ratio),
+            ])
+        print_header("E8: cost model accuracy ({})".format(label))
+        print_rows(["cut", "estimated(s)", "measured(s)", "est/meas"], rows)
+
+        best_estimated = min(estimated, key=estimated.get)
+        best_measured = min(measured, key=measured.get)
+        print("best cut: estimated={}, measured={}".format(
+            best_estimated, best_measured))
+        assert best_estimated == best_measured, (
+            "cost model ranked cut {} best but cut {} measured best".format(
+                best_estimated, best_measured)
+        )
+        for cut in range(4):
+            ratio = estimated[cut] / max(measured[cut], 1e-9)
+            assert 0.1 < ratio < 10.0, (
+                "estimate off by >10x at cut {}".format(cut)
+            )
+
+    def optimize_with_calibration():
+        params = calibrate(client_rows=5_000, server_rows=50_000)
+        session = VegaPlus(
+            flights_histogram_spec(), data={"flights": table},
+            cost_params=params,
+        )
+        return session.optimize()
+
+    benchmark.pedantic(optimize_with_calibration, rounds=3, iterations=1)

@@ -1,0 +1,45 @@
+"""Shared benchmark configuration.
+
+``REPRO_BENCH_SCALE`` scales every workload's row counts (default 1.0) so
+the suite can run quickly in CI (0.2) or at larger scale (5.0) without
+editing the benchmarks.
+"""
+
+import os
+
+import pytest
+
+
+def scale():
+    return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(n):
+    return max(int(n * scale()), 100)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return scale()
+
+
+def print_header(title):
+    line = "=" * max(len(title), 8)
+    print("\n{}\n{}\n{}".format(line, title, line))
+
+
+def print_rows(headers, rows, fmt=None):
+    widths = [
+        max(len(str(header)),
+            max((len(str(row[index])) for row in rows), default=0))
+        for index, header in enumerate(headers)
+    ]
+    def render(cells):
+        return "  ".join(
+            "{:>{}}".format(str(cell), widths[index])
+            for index, cell in enumerate(cells)
+        )
+    print(render(headers))
+    print("-" * (sum(widths) + 2 * (len(widths) - 1)))
+    for row in rows:
+        print(render(row))

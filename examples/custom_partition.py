@@ -1,0 +1,61 @@
+"""Custom partitioning playground: the performance view's toggles (§3.1).
+
+"Users will be able to toggle the operators to customize the
+partitioning.  For instance, the user could assign the bin operator to be
+executed on the client ... which will make the execution much slower
+because of more data transferring."  This example measures every possible
+cut of the flights pipeline and prints the stacked comparison.
+
+Run with::
+
+    python examples/custom_partition.py
+"""
+
+from repro import VegaPlus
+from repro.datagen import generate_flights
+from repro.perf import compare_plans, plan_graph
+from repro.spec import flights_histogram_spec
+
+CUT_LABELS = {
+    0: "all-client (Vega)",
+    1: "extent on server",
+    2: "extent+bin on server",
+    3: "all-server (recommended)",
+}
+
+
+def main():
+    session = VegaPlus(
+        flights_histogram_spec(),
+        data={"flights": generate_flights(100_000)},
+        latency_ms=20,
+    )
+    session.startup()
+    print("optimizer recommends: cut={}".format(
+        session.plan.datasets["binned"].cut
+    ))
+
+    plans = [
+        session.custom_plan({"binned": cut}, label=CUT_LABELS[cut])
+        for cut in range(4)
+    ]
+    comparison = compare_plans(session, plans)
+    print()
+    print(comparison.format_table())
+
+    print("\nper-cut estimated transfer:")
+    for cut in range(4):
+        plan = session.custom_plan({"binned": cut})
+        dataset_plan = plan.datasets["binned"]
+        print("  cut={} -> ~{:>9} rows, ~{:>12} bytes over the wire".format(
+            cut, int(dataset_plan.transfer_rows),
+            int(dataset_plan.transfer_bytes),
+        ))
+
+    print("\nplan graph for the user's bin-on-client variant:")
+    custom = session.custom_plan({"binned": 1}, label="bin-on-client")
+    print(plan_graph(session, custom).to_dot())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""The US Airline Flights demo scenario (paper §3, Figure 2).
+
+A record-count histogram over a user-selected field with a bin-count
+slider.  Shows the optimizer's plan, the partitioned dataflow graph with
+SQL tooltips (the performance view), and an interactive exploration
+session with idle-time prefetching.
+
+Run with::
+
+    python examples/flights_histogram.py [num_rows]
+"""
+
+import sys
+
+from repro import VegaPlus
+from repro.datagen import generate_flights
+from repro.interact import option_cycle, replay, slider_drag
+from repro.perf import compare_plans, plan_graph
+from repro.spec import flights_histogram_spec
+
+
+def main(num_rows=200_000):
+    print("generating {} synthetic flights...".format(num_rows))
+    flights = generate_flights(num_rows)
+
+    session = VegaPlus(
+        flights_histogram_spec(field="dep_delay", maxbins=20),
+        data={"flights": flights},
+        latency_ms=20,
+        bandwidth_mbps=100,
+    )
+
+    print("\n== startup ==")
+    result = session.startup()
+    print(result.summary())
+    print("\nhistogram (first bins):")
+    for row in session.results("binned")[:6]:
+        print("  [{:>8} .. {:>8}) {:>8.0f}".format(
+            row["bin0"], row["bin1"], row["count"]
+        ))
+
+    print("\n== partitioned dataflow graph (performance view) ==")
+    graph = plan_graph(session)
+    for node in graph.nodes:
+        print("  {:<22} {:<10} {}".format(
+            node.name, node.placement,
+            (node.tooltip[:70] + "…") if len(node.tooltip) > 70
+            else node.tooltip,
+        ))
+
+    print("\n== plan comparison (the Figure-3 stacked bars) ==")
+    plans = [
+        session.baseline_plan(),
+        session.plan,
+        session.custom_plan({"binned": 1}, label="user:bin-on-client"),
+    ]
+    comparison = compare_plans(session, plans)
+    print(comparison.format_table())
+
+    print("\n== interactive session: bin slider then field drop-down ==")
+    session.startup()
+    slider_report = replay(
+        session, slider_drag("maxbins", 20, 80, step=10), prefetch=True
+    )
+    print("slider: {} interactions, mean latency {:.4f}s, "
+          "cache hit rate {:.0%}".format(
+              slider_report.interactions, slider_report.mean_latency,
+              slider_report.cache_hit_rate))
+    dropdown_report = replay(
+        session,
+        option_cycle("binField", ["distance", "air_time", "arr_delay"]),
+        prefetch=True,
+    )
+    print("drop-down: {} interactions, mean latency {:.4f}s, "
+          "cache hit rate {:.0%}, prefetches {}".format(
+              dropdown_report.interactions, dropdown_report.mean_latency,
+              dropdown_report.cache_hit_rate, dropdown_report.prefetches))
+
+    print("\nnetwork totals: {} round trips, {:.1f} KB received".format(
+        session.network_stats().round_trips,
+        session.network_stats().bytes_received / 1024,
+    ))
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200_000)

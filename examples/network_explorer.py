@@ -1,0 +1,55 @@
+"""Network-condition explorer: the demo's latency-simulation knob (§3.1).
+
+Sweeps link latency and bandwidth, showing how the optimizer's cut and
+the measured plan costs shift: fast links favour the server; slow,
+chatty links push work back to the client.
+
+Run with::
+
+    python examples/network_explorer.py
+"""
+
+from repro import VegaPlus
+from repro.datagen import generate_flights
+from repro.net import NetworkChannel
+from repro.spec import flights_histogram_spec
+
+
+def main():
+    flights = generate_flights(50_000)
+
+    print("{:>12} {:>12} {:>10} {:>14} {:>14}".format(
+        "latency(ms)", "bw(Mbps)", "cut", "est.hybrid(s)", "est.client(s)"
+    ))
+    for latency_ms in (1, 10, 50, 200, 1000, 5000):
+        for bandwidth in (10, 100, 1000):
+            session = VegaPlus(
+                flights_histogram_spec(),
+                data={"flights": flights},
+                channel=NetworkChannel(latency_ms, bandwidth),
+            )
+            plan = session.optimize()
+            baseline = session.baseline_plan()
+            dataset_plan = plan.datasets["binned"]
+            print("{:>12} {:>12} {:>7}/{} {:>13.4f}s {:>13.4f}s".format(
+                latency_ms, bandwidth,
+                dataset_plan.cut, dataset_plan.max_cut,
+                plan.estimate.total, baseline.estimate.total,
+            ))
+
+    print("\nmeasured check at two extremes (50k rows):")
+    for latency_ms in (10, 3000):
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": flights},
+            channel=NetworkChannel(latency_ms, 100),
+        )
+        result = session.startup()
+        print("  latency {:>5}ms -> plan cut {}, measured total {:.4f}s".format(
+            latency_ms, session.plan.datasets["binned"].cut,
+            result.total_seconds,
+        ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+"""Quickstart: optimize a small Vega spec against the embedded DBMS.
+
+Run with::
+
+    python examples/quickstart.py
+
+Builds a synthetic event stream, compiles a filter->aggregate spec, lets
+the VegaPlus optimizer choose a client/server partitioning, and compares
+it with the client-only Vega baseline.
+"""
+
+from repro import VegaPlus
+from repro.datagen import generate_events
+from repro.spec import simple_filter_spec
+
+
+def main():
+    events = generate_events(100_000)
+    session = VegaPlus(
+        simple_filter_spec(threshold=25),
+        data={"events": events},
+        backend="embedded",
+        latency_ms=20,          # simulated client<->server link
+        bandwidth_mbps=100,
+    )
+
+    print("== optimizer plan ==")
+    plan = session.optimize()
+    print(plan.describe())
+
+    print("\n== startup (hybrid execution) ==")
+    result = session.startup()
+    print(result.summary())
+    print("rows:", result.datasets["big"][:4])
+
+    print("\n== Vega baseline (all client) ==")
+    baseline = session.run_client_only()
+    print(baseline.summary())
+    speedup = baseline.total_seconds / max(result.total_seconds, 1e-9)
+    print("\nVegaPlus speedup over client-only Vega: {:.1f}x".format(speedup))
+
+    print("\n== interaction: raise the threshold ==")
+    interaction = session.interact("threshold", 60)
+    print(interaction.summary())
+    print("rows:", session.results("big")[:4])
+
+
+if __name__ == "__main__":
+    main()

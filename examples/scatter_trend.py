@@ -1,0 +1,53 @@
+"""Scatterplot with regression overlay — forced client-side cuts.
+
+The `sample` transform has no SQL equivalent, so the points pipeline must
+come back to the client before sampling; the trend pipeline's filter
+still offloads.  The example prints both pipelines' cuts, the fitted
+trend line, and the Figure-3 stacked bars rendered in ASCII.
+
+Run with::
+
+    python examples/scatter_trend.py
+"""
+
+from repro import VegaPlus
+from repro.datagen import generate_flights
+from repro.perf import compare_plans, render_stacked_bars
+from repro.spec import flights_scatter_spec
+
+
+def main():
+    session = VegaPlus(
+        flights_scatter_spec(sample_size=2000),
+        data={"flights": generate_flights(80_000)},
+        latency_ms=20,
+    )
+    result = session.startup()
+    print(session.plan.describe())
+    print()
+    print(result.summary())
+
+    trend = session.results("trend")
+    print("\nfitted trend line (air_time vs distance):")
+    for point in trend:
+        print("  distance={:8.1f} -> air_time={:7.1f}".format(
+            point["distance"], point["air_time"]))
+    slope = (trend[1]["air_time"] - trend[0]["air_time"]) / (
+        trend[1]["distance"] - trend[0]["distance"])
+    print("  slope ~ {:.4f} minutes/mile (cruise ~{:.0f} mph)".format(
+        slope, 60.0 / slope))
+
+    print("\nfilter to carrier AA:")
+    interaction = session.interact("carrierFilter", "AA")
+    print(interaction.summary())
+    print("  {} sampled points".format(len(session.results("points"))))
+
+    print("\nplan comparison (ASCII Figure 3):")
+    comparison = compare_plans(session, [
+        session.baseline_plan(), session.plan,
+    ])
+    print(render_stacked_bars(comparison))
+
+
+if __name__ == "__main__":
+    main()

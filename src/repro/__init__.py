@@ -1,0 +1,29 @@
+"""VegaPlus reproduction.
+
+Reproduces "Demonstration of VegaPlus: Optimizing Declarative Visualization
+Languages" (SIGMOD '22 demo): a middleware that compiles Vega
+specifications to a reactive dataflow, translates transforms to SQL, and
+partitions execution between a simulated browser client and a backing DBMS.
+
+Public entry points::
+
+    from repro import VegaPlus
+    session = VegaPlus(spec, backend="embedded")
+    result = session.run()
+
+See ``examples/quickstart.py`` for a complete walkthrough.
+"""
+
+__version__ = "0.1.0"
+
+__all__ = ["VegaPlus", "__version__"]
+
+
+def __getattr__(name):
+    # Lazy import keeps subpackages usable independently and avoids import
+    # cycles between the session facade and its substrates.
+    if name == "VegaPlus":
+        from repro.core.session import VegaPlus
+
+        return VegaPlus
+    raise AttributeError("module 'repro' has no attribute {!r}".format(name))

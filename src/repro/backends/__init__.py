@@ -1,0 +1,21 @@
+"""DBMS backend adapters."""
+
+from repro.backends.base import Backend, BackendError, QueryResult
+from repro.backends.embedded import EmbeddedBackend
+from repro.backends.registry import (
+    available_backends,
+    create_backend,
+    register_backend,
+)
+from repro.backends.sqlite import SQLiteBackend
+
+__all__ = [
+    "Backend",
+    "BackendError",
+    "EmbeddedBackend",
+    "QueryResult",
+    "SQLiteBackend",
+    "available_backends",
+    "create_backend",
+    "register_backend",
+]

@@ -1,0 +1,59 @@
+"""Backend interface: the middleware's view of a DBMS.
+
+The paper's middleware supports multiple DBMS back-ends (PostgreSQL,
+OmniSciDB, DuckDB).  This reproduction keeps the same pluggable boundary:
+everything above talks SQL text to a :class:`Backend` and receives engine
+:class:`~repro.engine.table.Table` results plus wall-clock timings.
+"""
+
+import abc
+import time
+from dataclasses import dataclass
+
+from repro.engine.table import Table
+
+
+@dataclass
+class QueryResult:
+    """A backend response: the rows plus the measured server time."""
+
+    table: Table
+    seconds: float
+    sql: str
+
+
+class BackendError(Exception):
+    """A backend failed to load data or execute a query."""
+
+
+class Backend(abc.ABC):
+    """Abstract DBMS adapter."""
+
+    #: human-readable backend name ("embedded", "sqlite")
+    name = "abstract"
+
+    @abc.abstractmethod
+    def load_table(self, name, table):
+        """Register ``table`` (engine Table) under ``name``."""
+
+    @abc.abstractmethod
+    def execute(self, sql):
+        """Run a SELECT; returns :class:`QueryResult`."""
+
+    @abc.abstractmethod
+    def table_names(self):
+        """Names of loaded tables."""
+
+    @abc.abstractmethod
+    def row_count(self, name):
+        """Row count of a loaded table."""
+
+    def explain(self, sql):
+        """Optional: backend plan text (default: unsupported note)."""
+        return "(no EXPLAIN support in backend {!r})".format(self.name)
+
+    def _timed(self, fn, sql):
+        start = time.perf_counter()
+        table = fn()
+        elapsed = time.perf_counter() - start
+        return QueryResult(table=table, seconds=elapsed, sql=sql)

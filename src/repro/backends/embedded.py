@@ -1,0 +1,55 @@
+"""Backend adapter over the embedded columnar engine."""
+
+from repro.backends.base import Backend, BackendError
+from repro.engine.database import Database
+from repro.engine.errors import EngineError
+
+
+class EmbeddedBackend(Backend):
+    """The in-process analytical engine (DuckDB stand-in)."""
+
+    name = "embedded"
+
+    def __init__(self, enable_pushdown=True, enable_pruning=True):
+        self.db = Database(
+            enable_pushdown=enable_pushdown, enable_pruning=enable_pruning
+        )
+
+    def load_table(self, name, table):
+        self.db.load_table(name, table, replace=True)
+
+    def execute(self, sql):
+        def run():
+            try:
+                result = self.db.execute(sql)
+            except EngineError as exc:
+                raise BackendError(str(exc)) from exc
+            if result is None or isinstance(result, (int, str)):
+                raise BackendError("execute() expects a SELECT statement")
+            return result
+
+        return self._timed(run, sql)
+
+    def explain(self, sql):
+        try:
+            return self.db.explain(sql)
+        except EngineError as exc:
+            raise BackendError(str(exc)) from exc
+
+    def explain_analyze(self, sql):
+        """Plan annotated with measured per-node rows/times (the server
+        half of the demo's execution-plan performance chart)."""
+        try:
+            return self.db.explain_analyze(sql)
+        except EngineError as exc:
+            raise BackendError(str(exc)) from exc
+
+    def table_names(self):
+        return self.db.table_names()
+
+    def row_count(self, name):
+        return self.db.table(name).num_rows
+
+    def stats(self, name):
+        """Expose engine statistics for the partition planner."""
+        return self.db.stats(name)

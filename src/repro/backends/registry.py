@@ -1,0 +1,37 @@
+"""Backend registry: create backends by name.
+
+Mirrors the demo's back-end drop-down ("We currently support PostgreSQL,
+OmniSciDB, and DuckDB"); here the choices are the embedded engine and
+sqlite.
+"""
+
+from repro.backends.base import BackendError
+from repro.backends.embedded import EmbeddedBackend
+from repro.backends.sqlite import SQLiteBackend
+
+_FACTORIES = {
+    "embedded": EmbeddedBackend,
+    "sqlite": SQLiteBackend,
+}
+
+
+def available_backends():
+    """Names of registered backends."""
+    return sorted(_FACTORIES)
+
+
+def create_backend(name, **kwargs):
+    """Instantiate a backend by name."""
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        raise BackendError(
+            "unknown backend {!r}; available: {}".format(
+                name, ", ".join(available_backends())
+            )
+        )
+    return factory(**kwargs)
+
+
+def register_backend(name, factory):
+    """Register a custom backend factory (extension point)."""
+    _FACTORIES[name] = factory

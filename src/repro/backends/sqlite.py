@@ -1,0 +1,239 @@
+"""Backend adapter over Python's stdlib sqlite3.
+
+The generated SQL targets the engine dialect (REGEXP, STRPOS, LEAST,
+YEAR(ms)...).  SQLite lacks many of those, so this adapter registers
+Python implementations via ``create_function``/``create_aggregate``,
+keeping the translator backend-agnostic — the same portability argument
+the paper makes by supporting PostgreSQL, OmniSciDB, and DuckDB.
+"""
+
+import math
+import re
+import sqlite3
+from datetime import datetime, timezone
+
+import numpy as np
+
+from repro.backends.base import Backend, BackendError
+from repro.engine.table import Column, Table
+from repro.engine.types import SQLType
+
+
+def _regexp(pattern, value):
+    if value is None or pattern is None:
+        return None
+    return 1 if re.search(pattern, str(value)) else 0
+
+
+def _strpos(haystack, needle):
+    if haystack is None or needle is None:
+        return None
+    return haystack.find(needle) + 1
+
+
+def _safe_unary(fn):
+    def impl(value):
+        if value is None:
+            return None
+        try:
+            result = fn(float(value))
+        except (ValueError, OverflowError):
+            return None
+        if isinstance(result, float) and not math.isfinite(result):
+            return None
+        return result
+
+    return impl
+
+
+def _date_part(getter):
+    def impl(ms):
+        if ms is None:
+            return None
+        dt = datetime.fromtimestamp(ms / 1000.0, tz=timezone.utc)
+        return float(getter(dt))
+
+    return impl
+
+
+class _Median:
+    def __init__(self):
+        self.values = []
+
+    def step(self, value):
+        if value is not None:
+            self.values.append(float(value))
+
+    def finalize(self):
+        if not self.values:
+            return None
+        return float(np.median(self.values))
+
+
+class _Stddev:
+    ddof = 1
+
+    def __init__(self):
+        self.values = []
+
+    def step(self, value):
+        if value is not None:
+            self.values.append(float(value))
+
+    def finalize(self):
+        if len(self.values) <= self.ddof:
+            return None
+        return float(np.std(self.values, ddof=self.ddof))
+
+
+class _Variance(_Stddev):
+    def finalize(self):
+        if len(self.values) <= self.ddof:
+            return None
+        return float(np.var(self.values, ddof=self.ddof))
+
+
+class _Quantile:
+    def __init__(self):
+        self.values = []
+        self.fraction = 0.5
+
+    def step(self, value, fraction):
+        self.fraction = float(fraction)
+        if value is not None:
+            self.values.append(float(value))
+
+    def finalize(self):
+        if not self.values:
+            return None
+        return float(np.quantile(self.values, self.fraction))
+
+
+class SQLiteBackend(Backend):
+    """SQLite (stdlib) behind the common Backend interface."""
+
+    name = "sqlite"
+
+    def __init__(self, path=":memory:"):
+        self.conn = sqlite3.connect(path)
+        self.conn.row_factory = sqlite3.Row
+        self._register_functions()
+        self._schemas = {}
+
+    def _register_functions(self):
+        conn = self.conn
+        conn.create_function("REGEXP", 2, _regexp)
+        conn.create_function("STRPOS", 2, _strpos)
+        conn.create_function("CEIL", 1, _safe_unary(math.ceil))
+        conn.create_function("CEILING", 1, _safe_unary(math.ceil))
+        conn.create_function("FLOOR", 1, _safe_unary(math.floor))
+        conn.create_function("SQRT", 1, _safe_unary(
+            lambda x: math.sqrt(x) if x >= 0 else None))
+        conn.create_function("EXP", 1, _safe_unary(math.exp))
+        conn.create_function("LN", 1, _safe_unary(
+            lambda x: math.log(x) if x > 0 else None))
+        conn.create_function("LOG2", 1, _safe_unary(
+            lambda x: math.log2(x) if x > 0 else None))
+        conn.create_function("LOG10", 1, _safe_unary(
+            lambda x: math.log10(x) if x > 0 else None))
+        conn.create_function(
+            "POWER", 2,
+            lambda a, b: None if a is None or b is None else float(a) ** float(b),
+        )
+        conn.create_function(
+            "LEAST", 2,
+            lambda a, b: None if a is None or b is None else min(a, b),
+        )
+        conn.create_function(
+            "GREATEST", 2,
+            lambda a, b: None if a is None or b is None else max(a, b),
+        )
+        conn.create_function("YEAR", 1, _date_part(lambda dt: dt.year))
+        conn.create_function("MONTH", 1, _date_part(lambda dt: dt.month))
+        conn.create_function(
+            "QUARTER", 1, _date_part(lambda dt: (dt.month - 1) // 3 + 1)
+        )
+        conn.create_function("DAYOFMONTH", 1, _date_part(lambda dt: dt.day))
+        conn.create_function(
+            "DAYOFWEEK", 1, _date_part(lambda dt: (dt.weekday() + 1) % 7)
+        )
+        conn.create_function("HOUR", 1, _date_part(lambda dt: dt.hour))
+        conn.create_function("MINUTE", 1, _date_part(lambda dt: dt.minute))
+        conn.create_function("SECOND", 1, _date_part(lambda dt: dt.second))
+        conn.create_aggregate("MEDIAN", 1, _Median)
+        conn.create_aggregate("STDDEV", 1, _Stddev)
+        conn.create_aggregate("VARIANCE", 1, _Variance)
+        conn.create_aggregate("QUANTILE", 2, _Quantile)
+
+    # -- Backend interface ---------------------------------------------------
+
+    def load_table(self, name, table):
+        quoted = '"' + name.replace('"', '""') + '"'
+        self.conn.execute("DROP TABLE IF EXISTS {}".format(quoted))
+        decls = []
+        for column_name, sql_type in table.schema():
+            sqlite_type = {
+                SQLType.DOUBLE: "REAL",
+                SQLType.VARCHAR: "TEXT",
+                SQLType.BOOLEAN: "INTEGER",
+            }[sql_type]
+            decls.append(
+                '"{}" {}'.format(column_name.replace('"', '""'), sqlite_type)
+            )
+        self.conn.execute(
+            "CREATE TABLE {} ({})".format(quoted, ", ".join(decls))
+        )
+        placeholders = ", ".join("?" for _ in table.columns)
+        insert_sql = "INSERT INTO {} VALUES ({})".format(quoted, placeholders)
+        column_lists = [column.to_list() for column in table.columns.values()]
+        self.conn.executemany(insert_sql, list(zip(*column_lists)))
+        self.conn.commit()
+        self._schemas[name] = table.schema()
+
+    def execute(self, sql):
+        def run():
+            try:
+                cursor = self.conn.execute(sql)
+            except sqlite3.Error as exc:
+                raise BackendError("sqlite error: {}".format(exc)) from exc
+            rows = cursor.fetchall()
+            names = (
+                [description[0] for description in cursor.description]
+                if cursor.description
+                else []
+            )
+            return _rows_to_table(names, rows)
+
+        return self._timed(run, sql)
+
+    def explain(self, sql):
+        try:
+            cursor = self.conn.execute("EXPLAIN QUERY PLAN " + sql)
+        except sqlite3.Error as exc:
+            raise BackendError("sqlite error: {}".format(exc)) from exc
+        return "\n".join(str(tuple(row)) for row in cursor.fetchall())
+
+    def table_names(self):
+        cursor = self.conn.execute(
+            "SELECT name FROM sqlite_master WHERE type = 'table' ORDER BY name"
+        )
+        return [row[0] for row in cursor.fetchall()]
+
+    def row_count(self, name):
+        quoted = '"' + name.replace('"', '""') + '"'
+        cursor = self.conn.execute("SELECT COUNT(*) FROM {}".format(quoted))
+        return int(cursor.fetchone()[0])
+
+    def close(self):
+        self.conn.close()
+
+
+def _rows_to_table(names, rows):
+    """Convert sqlite rows into an engine Table with inferred types."""
+    table = Table()
+    for index, name in enumerate(names):
+        values = [row[index] for row in rows]
+        table.add_column(name, Column.from_values(values))
+    if not names:
+        table._num_rows = len(rows)
+    return table

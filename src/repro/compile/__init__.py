@@ -1,0 +1,5 @@
+"""Spec-to-dataflow compiler."""
+
+from repro.compile.compiler import CompiledSpec, compile_spec
+
+__all__ = ["CompiledSpec", "compile_spec"]

@@ -1,0 +1,170 @@
+"""Compile a parsed Vega spec into a reactive dataflow graph.
+
+This is the client-side half of the paper's §2: "a dataflow is
+automatically constructed based on the user's declarative specification".
+The compiled artifact keeps enough structure for the partition planner to
+reason about — per-dataset operator pipelines, signal bindings, and mark
+field usage.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.dataflow import (
+    Dataflow,
+    DataRef,
+    DataSource,
+    OperatorRef,
+    SignalRef,
+    create_transform,
+)
+from repro.spec.model import Spec, SpecError
+from repro.spec.parse import parse_spec
+from repro.spec.validate import validate_spec
+
+
+@dataclass
+class CompiledSpec:
+    """A compiled specification: the dataflow plus structural indexes."""
+
+    spec: Spec
+    flow: Dataflow
+    #: dataset name -> terminal operator (its pulse holds the dataset rows)
+    dataset_ops: Dict[str, object] = field(default_factory=dict)
+    #: dataset name -> ordered pipeline operators (source first)
+    pipelines: Dict[str, List[object]] = field(default_factory=dict)
+    #: signal name -> operator, for operator-published signals (extent)
+    signal_ops: Dict[str, object] = field(default_factory=dict)
+
+    def run(self):
+        return self.flow.run()
+
+    def results(self, dataset):
+        pulse = self.dataset_ops[dataset].last_pulse
+        return [] if pulse is None else pulse.rows
+
+    def set_signal(self, name, value):
+        self.flow.set_signal(name, value)
+
+    def source_operator(self, dataset):
+        return self.pipelines[dataset][0]
+
+
+def compile_spec(source, data_tables=None, validate=True):
+    """Compile a spec (dict/JSON/Spec) into a :class:`CompiledSpec`.
+
+    ``data_tables`` maps root dataset names to row lists, standing in for
+    the URLs a real deployment would load (datasets with inline ``values``
+    need no entry).
+    """
+    spec = source if isinstance(source, Spec) else parse_spec(source)
+    if validate:
+        validate_spec(spec)
+    data_tables = data_tables or {}
+
+    flow = Dataflow()
+    compiled = CompiledSpec(spec=spec, flow=flow)
+
+    if any(signal.update for signal in spec.signals):
+        from repro.dataflow.signals import SignalGraph
+
+        graph = SignalGraph()
+        for signal in spec.signals:
+            graph.declare(signal.name, signal.value, signal.update)
+        graph.initialize()
+        flow.attach_signal_graph(graph)
+    else:
+        for signal in spec.signals:
+            flow.add_signal(signal.name, signal.value)
+
+    for dataset in _ordered_datasets(spec):
+        _compile_dataset(dataset, spec, flow, compiled, data_tables)
+
+    flow.rank()
+    return compiled
+
+
+def _ordered_datasets(spec):
+    """Datasets in dependency order (sources before derivations)."""
+    remaining = list(spec.data)
+    done = set()
+    ordered = []
+    while remaining:
+        progressed = False
+        for dataset in list(remaining):
+            if dataset.source is None or dataset.source in done:
+                ordered.append(dataset)
+                done.add(dataset.name)
+                remaining.remove(dataset)
+                progressed = True
+        if not progressed:
+            raise SpecError(
+                "circular dataset dependencies: {}".format(
+                    ", ".join(d.name for d in remaining)
+                )
+            )
+    return ordered
+
+
+def _compile_dataset(dataset, spec, flow, compiled, data_tables):
+    if dataset.source is not None:
+        upstream = compiled.dataset_ops[dataset.source]
+        pipeline = []
+        current = upstream
+    else:
+        rows = dataset.values
+        if rows is None:
+            rows = data_tables.get(dataset.name)
+        if rows is None:
+            raise SpecError(
+                "no data provided for root dataset {!r}".format(dataset.name)
+            )
+        current = flow.add(DataSource(dataset.name + ":source", rows))
+        pipeline = [current]
+
+    for index, step in enumerate(dataset.transform):
+        params = _convert_params(step.params, compiled, spec)
+        name = "{}:{}:{}".format(dataset.name, index, step.type)
+        operator = flow.add(
+            create_transform(step.type, name, params, source=current)
+        )
+        if step.output_signal:
+            compiled.signal_ops[step.output_signal] = operator
+        pipeline.append(operator)
+        current = operator
+
+    compiled.dataset_ops[dataset.name] = current
+    compiled.pipelines[dataset.name] = pipeline
+
+
+def _convert_params(params, compiled, spec):
+    """Convert raw JSON parameter values into runtime parameter objects."""
+    converted = {}
+    for key, value in params.items():
+        if key == "from":
+            ref = value.get("data") if isinstance(value, dict) else value
+            if ref not in compiled.dataset_ops:
+                raise SpecError(
+                    "lookup references dataset {!r} which is not yet "
+                    "compiled".format(ref)
+                )
+            converted["from_rows"] = DataRef(compiled.dataset_ops[ref])
+            continue
+        converted[key] = _convert_value(value, compiled, spec)
+    return converted
+
+
+def _convert_value(value, compiled, spec):
+    if isinstance(value, dict):
+        if set(value.keys()) == {"signal"}:
+            expr = value["signal"]
+            if isinstance(expr, str) and expr in compiled.signal_ops:
+                return OperatorRef(compiled.signal_ops[expr])
+            return SignalRef(expr)
+        return {
+            key: _convert_value(item, compiled, spec)
+            for key, item in value.items()
+        }
+    if isinstance(value, list):
+        return [_convert_value(item, compiled, spec) for item in value]
+    return value

@@ -1,0 +1,26 @@
+"""Middleware core: session, executors, cache, prefetching."""
+
+from repro.core.cache import CacheEntry, ResultCache
+from repro.core.executors import (
+    ClientSuffixRunner,
+    ExecutorError,
+    ServerSegmentRunner,
+)
+from repro.core.prefetch import MarkovPredictor, PredictedAction, Prefetcher
+from repro.core.results import QueryLogEntry, RunResult
+from repro.core.session import SessionError, VegaPlus
+
+__all__ = [
+    "CacheEntry",
+    "ClientSuffixRunner",
+    "ExecutorError",
+    "MarkovPredictor",
+    "PredictedAction",
+    "Prefetcher",
+    "QueryLogEntry",
+    "ResultCache",
+    "RunResult",
+    "ServerSegmentRunner",
+    "SessionError",
+    "VegaPlus",
+]

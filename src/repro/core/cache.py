@@ -1,0 +1,80 @@
+"""Client-side result cache for server query responses.
+
+Keys are the rendered SQL text — a canonical description of the request
+including all inlined signal values, so re-parameterized interaction
+variants get distinct entries.  Eviction is LRU by entry count with an
+optional byte budget (browser memory is the real constraint the paper's
+middleware coordinates, §2: "prefetches data ... and coordinates the
+cache").
+"""
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+
+@dataclass
+class CacheEntry:
+    rows: list
+    wire_bytes: int
+    value: object = None  # for value queries (extent results)
+
+
+class ResultCache:
+    """LRU cache of query results."""
+
+    def __init__(self, max_entries=64, max_bytes=64 * 1024 * 1024):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
+        self._entries = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self):
+        return len(self._entries)
+
+    @property
+    def total_bytes(self):
+        return self._bytes
+
+    def get(self, key):
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def contains(self, key):
+        """Peek without affecting counters or recency."""
+        return key in self._entries
+
+    def put(self, key, entry):
+        if key in self._entries:
+            self._bytes -= self._entries[key].wire_bytes
+            del self._entries[key]
+        self._entries[key] = entry
+        self._bytes += entry.wire_bytes
+        self._evict()
+
+    def _evict(self):
+        while len(self._entries) > self.max_entries or (
+            self._bytes > self.max_bytes and len(self._entries) > 1
+        ):
+            _, evicted = self._entries.popitem(last=False)
+            self._bytes -= evicted.wire_bytes
+
+    def clear(self):
+        self._entries.clear()
+        self._bytes = 0
+
+    def stats(self):
+        return {
+            "entries": len(self._entries),
+            "bytes": self._bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

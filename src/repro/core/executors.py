@@ -1,0 +1,333 @@
+"""Hybrid plan execution: server segments via SQL, client suffixes via the
+reactive dataflow.
+
+The middleware "evaluates the dataflow and handles communication across
+the client and server components" (§2).  For each sink dataset the
+executor walks the planned cut: translatable prefix steps compose into
+server SQL (value transforms like extent run as scalar queries mid-
+composition), the result crosses the simulated network once, and the
+remaining steps execute in a per-segment client dataflow.
+"""
+
+import time
+
+from repro.dataflow import Dataflow, DataRef, DataSource, OperatorRef, SignalRef
+from repro.dataflow.transforms import create_transform
+from repro.dataflow.transforms.base import ValueTransform
+from repro.expr.evaluator import Evaluator
+from repro.expr.parser import parse
+from repro.net.payload import request_bytes, wire_bytes
+from repro.core.cache import CacheEntry
+from repro.core.results import QueryLogEntry
+from repro.sqlgen.compose import SqlPipelineBuilder
+from repro.sqlgen.dialect import render
+from repro.sqlgen.merge import merge_query
+from repro.sqlgen.rewrite import rewrite_query
+
+
+class ExecutorError(Exception):
+    """Hybrid execution failed."""
+
+
+class ServerSegmentRunner:
+    """Runs the server-assigned prefix of one chain."""
+
+    def __init__(self, backend, channel, signals, cache=None,
+                 merge=True, rewrite=True):
+        self.backend = backend
+        self.channel = channel
+        self.signals = signals
+        self.cache = cache
+        self.merge = merge
+        self.rewrite = rewrite
+        self.queries = []
+        self.server_seconds = 0.0
+        self.network_seconds = 0.0
+        #: time spent deserializing responses (charged to the client side)
+        self.parse_seconds = 0.0
+
+    def finalize_sql(self, select):
+        if self.merge:
+            select = merge_query(select)
+        if self.rewrite:
+            select = rewrite_query(select)
+        return render(select, self.backend.name)
+
+    def run_segment(self, root_table, base_columns, steps, cut,
+                    final_fields=None, prefetch=False):
+        """Execute steps[0:cut] on the server.
+
+        Returns (rows, value_results, out_columns).  ``value_results``
+        maps value-operator names to their computed values (extent
+        results), needed both by later server steps and by the client
+        suffix.
+        """
+        builder = SqlPipelineBuilder(root_table, base_columns)
+        value_results = {}
+        for step in steps[:cut]:
+            params = self._resolve_params(step.operator, value_results)
+            if isinstance(step.operator, ValueTransform):
+                translation = builder.value_query(
+                    step.spec_type, params, self.signals
+                )
+                sql = self.finalize_sql(translation.select)
+                table, rows = self._execute(sql, kind="value",
+                                            prefetch=prefetch)
+                value = self._extract_value(step.spec_type, rows)
+                value_results[step.operator.name] = value
+            else:
+                builder.add_step(step.spec_type, params, self.signals)
+
+        project = final_fields if cut >= len(steps) else None
+        final = builder.query(project_fields=project)
+        sql = self.finalize_sql(final)
+        table, rows = self._execute(sql, kind="rows", prefetch=prefetch)
+        columns = list(table.columns) if table is not None else list(
+            builder.columns
+        )
+        return rows, value_results, columns
+
+    def segment_cached(self, root_table, base_columns, steps, cut,
+                       final_fields=None):
+        """True when every query of this segment (value queries plus the
+        final rows query) is already in the cache — the "cache state"
+        input to interaction-time plan choice (§2.2 step 4).
+
+        Purely a peek: nothing executes, nothing is recorded.
+        """
+        if self.cache is None:
+            return False
+        builder = SqlPipelineBuilder(root_table, base_columns)
+        value_results = {}
+        for step in steps[:cut]:
+            params = self._resolve_params(step.operator, value_results)
+            if isinstance(step.operator, ValueTransform):
+                translation = builder.value_query(
+                    step.spec_type, params, self.signals
+                )
+                sql = self.finalize_sql(translation.select)
+                if not self.cache.contains(sql):
+                    return False
+                entry = self.cache.get(sql)
+                # Undo the hit-counter bump: this is a peek, not a use.
+                self.cache.hits -= 1
+                value_results[step.operator.name] = self._extract_value(
+                    step.spec_type, entry.rows
+                )
+            else:
+                builder.add_step(step.spec_type, params, self.signals)
+        project = final_fields if cut >= len(steps) else None
+        sql = self.finalize_sql(builder.query(project_fields=project))
+        return self.cache.contains(sql)
+
+    def run_segment_per_op(self, root_table, base_columns, steps, cut,
+                           final_fields=None):
+        """The unmerged baseline: one round trip per server operator.
+
+        Each step's result returns to the client and is re-uploaded as a
+        temp table for the next step — the "unnecessary network round
+        trips for data transfers" that node merging (§2.2 step 3) avoids.
+        """
+        from repro.engine import Table
+
+        current_table = root_table
+        current_columns = list(base_columns)
+        value_results = {}
+        rows = None
+        temp_index = 0
+        for step in steps[:cut]:
+            params = self._resolve_params(step.operator, value_results)
+            builder = SqlPipelineBuilder(current_table, current_columns)
+            if isinstance(step.operator, ValueTransform):
+                translation = builder.value_query(
+                    step.spec_type, params, self.signals
+                )
+                sql = self.finalize_sql(translation.select)
+                _, value_rows = self._execute(sql, kind="value")
+                value_results[step.operator.name] = self._extract_value(
+                    step.spec_type, value_rows
+                )
+                continue
+            builder.add_step(step.spec_type, params, self.signals)
+            sql = self.finalize_sql(builder.query())
+            table, rows = self._execute(sql, kind="rows")
+            current_columns = builder.columns
+            # Ship the intermediate back up as a temp table (upload cost).
+            temp_index += 1
+            current_table = "__seg_{}".format(temp_index)
+            upload = table if table is not None else Table.from_rows(
+                rows, column_order=current_columns
+            )
+            self.backend.load_table(current_table, upload)
+            upload_bytes = wire_bytes(upload)
+            self.network_seconds += self.channel.request(
+                upload_bytes, 64, label="upload"
+            )
+
+        # Final fetch (either the last intermediate or the raw table).
+        if rows is None:
+            builder = SqlPipelineBuilder(current_table, current_columns)
+            project = final_fields if cut >= len(steps) else None
+            sql = self.finalize_sql(builder.query(project_fields=project))
+            _, rows = self._execute(sql, kind="rows")
+        return rows, value_results, current_columns
+
+    def _execute(self, sql, kind, prefetch=False):
+        """Run one query with caching and network accounting."""
+        if self.cache is not None:
+            entry = self.cache.get(sql)
+            if entry is not None:
+                self.queries.append(
+                    QueryLogEntry(sql=sql, rows=len(entry.rows),
+                                  server_seconds=0.0, network_seconds=0.0,
+                                  cached=True, kind=kind)
+                )
+                return None, entry.rows
+        result = self.backend.execute(sql)
+        parse_start = time.perf_counter()
+        rows = result.table.to_rows()
+        if not prefetch:
+            self.parse_seconds += time.perf_counter() - parse_start
+        response_bytes = wire_bytes(result.table)
+        network = self.channel.request(
+            request_bytes(sql), response_bytes, label=kind
+        )
+        if not prefetch:
+            self.server_seconds += result.seconds
+            self.network_seconds += network
+        self.queries.append(
+            QueryLogEntry(
+                sql=sql, rows=len(rows), server_seconds=result.seconds,
+                network_seconds=network, cached=False,
+                kind="prefetch" if prefetch else kind,
+            )
+        )
+        if self.cache is not None:
+            self.cache.put(
+                sql, CacheEntry(rows=rows, wire_bytes=response_bytes)
+            )
+        return result.table, rows
+
+    def _extract_value(self, spec_type, rows):
+        if spec_type == "extent":
+            if not rows:
+                return [None, None]
+            row = rows[0]
+            return [row.get("min"), row.get("max")]
+        raise ExecutorError(
+            "unknown value transform {!r}".format(spec_type)
+        )
+
+    def _resolve_params(self, operator, value_results):
+        evaluator = Evaluator(signals=self.signals)
+
+        def resolve(value):
+            if isinstance(value, SignalRef):
+                return evaluator.evaluate(parse(value.expression))
+            if isinstance(value, OperatorRef):
+                name = value.operator.name
+                if name not in value_results:
+                    raise ExecutorError(
+                        "server step references {!r} which was not computed "
+                        "on the server".format(name)
+                    )
+                return value_results[name]
+            if isinstance(value, DataRef):
+                marker = _lookup_table_for(value.operator, self.backend)
+                if marker is None:
+                    raise ExecutorError(
+                        "cross-dataset reference {!r} is not a server-"
+                        "resident base table".format(value.operator.name)
+                    )
+                return marker
+            if isinstance(value, dict):
+                return {key: resolve(item) for key, item in value.items()}
+            if isinstance(value, list):
+                return [resolve(item) for item in value]
+            return value
+
+        return {key: resolve(value) for key, value in operator.params.items()}
+
+
+def _lookup_table_for(operator, backend):
+    """LookupTable marker when ``operator`` sources a transform-free root
+    dataset that is loaded in the backend."""
+    from repro.dataflow.transforms.base import DataSource
+    from repro.sqlgen.translate import LookupTable
+
+    if not isinstance(operator, DataSource):
+        return None
+    name = operator.name
+    if not name.endswith(":source"):
+        return None
+    table = name[: -len(":source")]
+    if table not in backend.table_names():
+        return None
+    return LookupTable(table)
+
+
+class ClientSuffixRunner:
+    """Runs the client-assigned suffix of one chain in a fresh dataflow."""
+
+    def __init__(self, signals, data_resolver=None):
+        self.signals = signals
+        self.data_resolver = data_resolver
+        self.client_seconds = 0.0
+        #: per-operator wall time of the last suffix run (dashboard data:
+        #: "tooltips showing the details behind the nodes", §1)
+        self.op_seconds = {}
+
+    def run_suffix(self, steps, cut, input_rows, value_results):
+        """Execute steps[cut:] over ``input_rows``; returns output rows."""
+        suffix = steps[cut:]
+        if not suffix:
+            return list(input_rows)
+
+        flow = Dataflow()
+        for name, value in self.signals.items():
+            flow.add_signal(name, value)
+        source = flow.add(DataSource("__input", input_rows))
+        current = source
+        clones = {}
+        for step in suffix:
+            params = self._clone_params(step.operator, value_results, clones)
+            clone = flow.add(
+                create_transform(
+                    step.spec_type, "c:" + step.operator.name, params,
+                    source=current,
+                )
+            )
+            clones[step.operator.name] = clone
+            current = clone
+
+        start = time.perf_counter()
+        flow.run()
+        self.client_seconds += time.perf_counter() - start
+        for original_name, clone in clones.items():
+            self.op_seconds[original_name] = clone.eval_seconds
+        pulse = current.last_pulse
+        return pulse.rows if pulse is not None else []
+
+    def _clone_params(self, operator, value_results, clones):
+        def clone(value):
+            if isinstance(value, OperatorRef):
+                name = value.operator.name
+                if name in clones:
+                    return OperatorRef(clones[name])
+                if name in value_results:
+                    return value_results[name]
+                raise ExecutorError(
+                    "client step references {!r} which is neither in the "
+                    "suffix nor computed on the server".format(name)
+                )
+            if isinstance(value, DataRef):
+                if self.data_resolver is None:
+                    raise ExecutorError("no resolver for cross-dataset data")
+                return self.data_resolver(value.operator)
+            if isinstance(value, dict):
+                return {key: clone(item) for key, item in value.items()}
+            if isinstance(value, list):
+                return [clone(item) for item in value]
+            return value
+
+        return {key: clone(value) for key, value in operator.params.items()}

@@ -1,0 +1,144 @@
+"""Interaction prediction and prefetching (paper §2.2 step 4).
+
+Follows the approach the paper cites (Battle et al., "Dynamic Prefetching
+of Data Tiles", SIGMOD'16): learn a Markov model over the user's
+interaction stream, predict the next likely actions, and execute their
+queries during idle time so the cache already holds the answer when the
+interaction fires.
+
+States are (signal, direction) pairs — which control the user touched
+and, for ordinal controls, which way they moved — which captures the two
+dominant demo behaviours: repeatedly dragging a slider in one direction,
+and alternating between controls.
+"""
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PredictedAction:
+    """A predicted next interaction with its estimated probability."""
+
+    signal: str
+    value: object
+    probability: float
+
+
+def _direction(old, new):
+    if isinstance(old, (int, float)) and isinstance(new, (int, float)):
+        if new > old:
+            return "+"
+        if new < old:
+            return "-"
+        return "="
+    return "*"
+
+
+class MarkovPredictor:
+    """First-order Markov chain over (signal, direction) states."""
+
+    def __init__(self):
+        self._transitions = defaultdict(lambda: defaultdict(int))
+        self._last_state: Optional[Tuple[str, str]] = None
+        self._last_values = {}
+        self.observations = 0
+
+    def observe(self, signal, value):
+        """Record one user interaction."""
+        old = self._last_values.get(signal)
+        state = (signal, _direction(old, value))
+        if self._last_state is not None:
+            self._transitions[self._last_state][state] += 1
+        self._last_state = state
+        self._last_values[signal] = value
+        self.observations += 1
+
+    def predict_states(self, top_k=3):
+        """Most likely next (signal, direction) states with probabilities."""
+        if self._last_state is None:
+            return []
+        outgoing = self._transitions.get(self._last_state)
+        if not outgoing:
+            # Cold start after one observation: assume the user continues
+            # with the same control in the same direction.
+            return [(self._last_state, 1.0)]
+        total = sum(outgoing.values())
+        ranked = sorted(outgoing.items(), key=lambda kv: -kv[1])
+        return [(state, count / total) for state, count in ranked[:top_k]]
+
+    def predict_actions(self, signal_specs, top_k=3):
+        """Concrete (signal, value) predictions using the spec's binds.
+
+        ``signal_specs`` maps signal name -> SignalSpec; predicted values
+        come from the bind: the neighbouring value for range binds in the
+        predicted direction, each untried option for select/radio binds.
+        """
+        actions: List[PredictedAction] = []
+        for state, probability in self.predict_states(top_k=top_k):
+            signal, direction = state
+            spec = signal_specs.get(signal)
+            if spec is None or spec.bind is None:
+                continue
+            current = self._last_values.get(signal, spec.value)
+            bind = spec.bind
+            input_kind = bind.get("input")
+            if input_kind == "range":
+                step = bind.get("step", 1)
+                lo = bind.get("min", 0)
+                hi = bind.get("max", 100)
+                candidates = []
+                if direction in ("+", "*", "="):
+                    candidates.append(min(current + step, hi))
+                if direction in ("-", "*"):
+                    candidates.append(max(current - step, lo))
+                for candidate in candidates:
+                    if candidate != current:
+                        actions.append(
+                            PredictedAction(signal, candidate,
+                                            probability / len(candidates))
+                        )
+            elif input_kind in ("select", "radio"):
+                options = [
+                    option for option in bind.get("options", [])
+                    if option != current
+                ]
+                for option in options:
+                    actions.append(
+                        PredictedAction(signal, option,
+                                        probability / max(len(options), 1))
+                    )
+        actions.sort(key=lambda action: -action.probability)
+        return actions[:top_k]
+
+
+class Prefetcher:
+    """Executes predicted interactions' server queries during idle time."""
+
+    def __init__(self, predictor=None, budget=3):
+        self.predictor = predictor or MarkovPredictor()
+        self.budget = budget
+        self.prefetched = 0
+
+    def observe(self, signal, value):
+        self.predictor.observe(signal, value)
+
+    def prefetch(self, session, top_k=None):
+        """Run up to ``budget`` predicted queries through the session's
+        server path, marking them as prefetch (idle-time) traffic.
+
+        Returns the list of actions actually prefetched.
+        """
+        top_k = top_k if top_k is not None else self.budget
+        signal_specs = {
+            spec.name: spec for spec in session.compiled.spec.signals
+        }
+        actions = self.predictor.predict_actions(signal_specs, top_k=top_k)
+        done = []
+        for action in actions[: self.budget]:
+            fetched = session.prefetch_interaction(action.signal, action.value)
+            if fetched:
+                done.append(action)
+                self.prefetched += 1
+        return done

@@ -1,0 +1,59 @@
+"""Result objects returned by session executions."""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.planner.plans import CostBreakdown, PartitionPlan
+
+
+@dataclass
+class QueryLogEntry:
+    """One server query issued during an execution."""
+
+    sql: str
+    rows: int
+    server_seconds: float
+    network_seconds: float
+    cached: bool = False
+    kind: str = "rows"  # "rows" | "value" | "prefetch"
+
+
+@dataclass
+class RunResult:
+    """Outcome of a startup or interaction execution.
+
+    ``breakdown`` is *measured* (server wall time, virtual network time,
+    client wall time, simulated render), matching the stacked bars of the
+    demo's performance view.
+    """
+
+    label: str
+    plan: Optional[PartitionPlan]
+    datasets: Dict[str, list] = field(default_factory=dict)
+    breakdown: CostBreakdown = field(default_factory=CostBreakdown)
+    queries: List[QueryLogEntry] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: per-client-operator wall time (operator name -> seconds)
+    client_op_seconds: Dict[str, float] = field(default_factory=dict)
+
+    def rows(self, dataset):
+        return self.datasets[dataset]
+
+    @property
+    def total_seconds(self):
+        return self.breakdown.total
+
+    def summary(self):
+        parts = [
+            "{}: total {:.4f}s".format(self.label, self.breakdown.total),
+            "  server  {:.4f}s".format(self.breakdown.server),
+            "  network {:.4f}s".format(self.breakdown.network),
+            "  client  {:.4f}s".format(self.breakdown.client),
+            "  render  {:.4f}s".format(self.breakdown.render),
+            "  queries {} (cache {}/{})".format(
+                len(self.queries), self.cache_hits,
+                self.cache_hits + self.cache_misses,
+            ),
+        ]
+        return "\n".join(parts)

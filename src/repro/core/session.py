@@ -1,0 +1,566 @@
+"""The VegaPlus session: the public API of this reproduction.
+
+A session owns the compiled spec, the backend with loaded data, the
+simulated network channel, the partition optimizer, the result cache, and
+the prefetcher — the full middleware stack of Figure 1.  Typical use::
+
+    from repro import VegaPlus
+    from repro.datagen import generate_flights
+    from repro.spec import flights_histogram_spec
+
+    session = VegaPlus(
+        flights_histogram_spec(),
+        data={"flights": generate_flights(100_000)},
+        backend="embedded",
+        latency_ms=20,
+    )
+    startup = session.startup()          # optimizer-chosen hybrid plan
+    baseline = session.run_client_only() # the Vega baseline
+    result = session.interact("maxbins", 30)
+"""
+
+from repro.backends import Backend, create_backend
+from repro.compile import compile_spec
+from repro.core.cache import ResultCache
+from repro.core.executors import ClientSuffixRunner, ServerSegmentRunner
+from repro.core.prefetch import Prefetcher
+from repro.core.results import RunResult
+from repro.engine import Table, compute_stats
+from repro.net import NetworkChannel
+from repro.net.payload import request_bytes
+from repro.planner import (
+    CostParameters,
+    PartitionOptimizer,
+    PartitionPlan,
+    interaction_plans,
+    resolve_chain,
+    signal_frontier,
+)
+from repro.planner.plans import CostBreakdown, DatasetPlan
+
+
+class SessionError(Exception):
+    """Misuse of the session API."""
+
+
+class _SinkState:
+    """Cached execution state for one sink dataset."""
+
+    def __init__(self, root, steps):
+        self.root = root
+        self.steps = steps
+        self.transfer_rows = None
+        self.value_results = {}
+        self.rows = None
+        #: the cut the cached transfer corresponds to; a client-partial
+        #: re-execution is only valid when the plan's cut matches it
+        self.cut_executed = None
+
+
+class VegaPlus:
+    """A VegaPlus middleware session over one specification."""
+
+    def __init__(self, spec, data=None, backend="embedded", channel=None,
+                 latency_ms=20.0, bandwidth_mbps=100.0, cost_params=None,
+                 merge_queries=True, rewrite_sql=True, cache_entries=64,
+                 prefetch_budget=3, validate=True,
+                 per_operator_roundtrips=False, dynamic_replan=False):
+        self.tables = {}
+        rows_by_name = {}
+        for name, value in (data or {}).items():
+            if isinstance(value, Table):
+                self.tables[name] = value
+                rows_by_name[name] = None  # lazily materialized
+            else:
+                rows = list(value)
+                self.tables[name] = Table.from_rows(rows)
+                rows_by_name[name] = rows
+        self._rows_cache = rows_by_name
+
+        self.compiled = compile_spec(
+            spec,
+            data_tables={
+                name: self._rows(name) for name in self.tables
+            },
+            validate=validate,
+        )
+        self.signals = dict(self.compiled.flow.signals)
+
+        if isinstance(backend, Backend):
+            self.backend = backend
+        else:
+            self.backend = create_backend(backend)
+        for name, table in self.tables.items():
+            self.backend.load_table(name, table)
+
+        self.channel = channel or NetworkChannel(
+            latency_ms=latency_ms, bandwidth_mbps=bandwidth_mbps
+        )
+        self.cost_params = cost_params or CostParameters()
+        self.merge_queries = merge_queries
+        self.rewrite_sql = rewrite_sql
+        #: when True, every server operator runs as its own round trip
+        #: (the unmerged baseline the paper's node merging improves on)
+        self.per_operator_roundtrips = per_operator_roundtrips
+        # The cost model's "merged" notion is about round trips (one query
+        # vs one per operator), not about AST collapsing: an uncollapsed
+        # nested query is still a single round trip.
+        self.optimizer = PartitionOptimizer(
+            self.channel, self.cost_params,
+            merged=not per_operator_roundtrips,
+        )
+        self.stats = {
+            name: compute_stats(table) for name, table in self.tables.items()
+        }
+        self.cache = ResultCache(max_entries=cache_entries)
+        self.prefetcher = Prefetcher(budget=prefetch_budget)
+        self.plan = None
+        self._sink_states = {}
+        self.history = []
+        #: §2.2 step 4: per-interaction plan choice between the startup
+        #: plan and a re-partitioned candidate, based on the cache state
+        self.dynamic_replan = dynamic_replan
+        self._interaction_plans = None
+
+    # -- data access ----------------------------------------------------------
+
+    def _rows(self, name):
+        if self._rows_cache.get(name) is None:
+            self._rows_cache[name] = self.tables[name].to_rows()
+        return self._rows_cache[name]
+
+    def results(self, dataset):
+        """Current rows of a sink dataset (after startup/interactions)."""
+        state = self._sink_states.get(dataset)
+        if state is not None and state.rows is not None:
+            return state.rows
+        return self.compiled.results(dataset)
+
+    # -- planning ---------------------------------------------------------------
+
+    def optimize(self):
+        """Compute (and adopt) the optimizer's startup plan."""
+        self.plan = self.optimizer.plan(self.compiled, self.stats, self.signals)
+        self._interaction_plans = None  # candidates depend on the stats
+        return self.plan
+
+    def baseline_plan(self):
+        """The all-client Vega plan, with cost estimates."""
+        forced = {
+            sink: 0 for sink in self.optimizer.sink_datasets(self.compiled)
+        }
+        return self.optimizer.plan(
+            self.compiled, self.stats, self.signals,
+            label="vega-client", forced_cuts=forced,
+        )
+
+    def custom_plan(self, cuts, label="custom"):
+        """A user-chosen partitioning (the dashboard's toggles): ``cuts``
+        maps sink dataset -> number of server steps."""
+        return self.optimizer.plan(
+            self.compiled, self.stats, self.signals,
+            label=label, forced_cuts=cuts,
+        )
+
+    def interaction_candidates(self):
+        """Per-signal re-partitioned plans (§2.2 step 4)."""
+        return interaction_plans(
+            self.compiled, self.stats, self.channel, self.signals,
+            self.cost_params,
+        )
+
+    # -- execution ----------------------------------------------------------------
+
+    def startup(self, plan=None):
+        """Run visualization creation under ``plan`` (default: optimize)."""
+        if plan is None:
+            plan = self.plan or self.optimize()
+        self.plan = plan
+        return self._execute_plan(plan, label="startup:" + plan.label)
+
+    def run_client_only(self):
+        """The Vega baseline: everything on the client."""
+        return self._execute_plan(self.baseline_plan(), label="vega-client")
+
+    def run_with_plan(self, plan):
+        """Execute an explicit plan without adopting it as the session plan."""
+        return self._execute_plan(plan, label=plan.label, adopt=False)
+
+    def _execute_plan(self, plan, label, adopt=True):
+        result = RunResult(label=label, plan=plan)
+        hits_before = self.cache.hits
+        misses_before = self.cache.misses
+        for sink, dataset_plan in plan.datasets.items():
+            state = self._sink_state(sink)
+            rows = self._run_sink(sink, state, dataset_plan, result)
+            result.datasets[sink] = rows
+            if adopt:
+                state.rows = rows
+        result.cache_hits = self.cache.hits - hits_before
+        result.cache_misses = self.cache.misses - misses_before
+        self.history.append(result)
+        return result
+
+    def _sink_state(self, sink):
+        if sink not in self._sink_states:
+            root, steps = resolve_chain(self.compiled, sink)
+            self._sink_states[sink] = _SinkState(root, steps)
+        return self._sink_states[sink]
+
+    def _run_sink(self, sink, state, dataset_plan, result):
+        cut = dataset_plan.cut
+        final_fields = self.compiled.spec.mark_fields(sink) or None
+
+        server = ServerSegmentRunner(
+            self.backend, self.channel, self.signals,
+            # Temp-table SQL text is not a canonical key (the same text
+            # reads different __seg_i contents), so per-op mode is uncached.
+            cache=None if self.per_operator_roundtrips else self.cache,
+            merge=self.merge_queries, rewrite=self.rewrite_sql,
+        )
+        base_columns = self.tables[state.root].column_names
+        if self.per_operator_roundtrips:
+            transfer_rows, value_results, _ = server.run_segment_per_op(
+                state.root, base_columns, state.steps, cut,
+                final_fields=final_fields,
+            )
+        else:
+            transfer_rows, value_results, _ = server.run_segment(
+                state.root, base_columns, state.steps, cut,
+                final_fields=final_fields,
+            )
+        state.transfer_rows = transfer_rows
+        state.value_results = value_results
+        state.cut_executed = cut
+
+        client = ClientSuffixRunner(
+            self.signals, data_resolver=self._resolve_cross_dataset
+        )
+        rows = client.run_suffix(state.steps, cut, transfer_rows, value_results)
+
+        result.queries.extend(server.queries)
+        result.client_op_seconds.update(client.op_seconds)
+        result.breakdown = result.breakdown + CostBreakdown(
+            server=server.server_seconds,
+            network=server.network_seconds,
+            # Response deserialization happens in the browser: client time.
+            client=client.client_seconds + server.parse_seconds,
+            render=len(rows) * self.cost_params.render_row_cost,
+        )
+        return rows
+
+    def _resolve_cross_dataset(self, operator):
+        """Rows of another dataset's terminal operator (for lookup)."""
+        for name, terminal in self.compiled.dataset_ops.items():
+            if terminal is operator:
+                state = self._sink_states.get(name)
+                if state is not None and state.rows is not None:
+                    return state.rows
+                # Fall back to the raw/client rows.
+                if name in self.tables:
+                    return self._rows(name)
+                pulse = terminal.last_pulse
+                if pulse is not None and pulse.rows:
+                    return pulse.rows
+                # A derived dataset that is not itself a sink (e.g. a
+                # filtered lookup table): materialize it client-side on
+                # demand from its own chain.
+                return self._materialize_dataset(name)
+        raise SessionError(
+            "cannot resolve data for operator {!r}".format(operator.name)
+        )
+
+    def _materialize_dataset(self, name):
+        """Run a non-sink dataset's full chain on the client."""
+        state = self._sink_state(name)
+        client = ClientSuffixRunner(
+            self.signals, data_resolver=self._resolve_cross_dataset
+        )
+        rows = client.run_suffix(state.steps, 0, self._rows(state.root), {})
+        state.rows = rows
+        return rows
+
+    # -- live spec editing -------------------------------------------------------------
+
+    def update_spec(self, spec, validate=True):
+        """Replace the specification (the demo's live editor, §3.1:
+        "modifying a specification in the editor ... rendered live").
+
+        Data tables, the backend, the network channel, and cost settings
+        survive; compiled state, plans, caches, and histories reset.
+        Returns the startup RunResult under the new spec's optimal plan.
+        """
+        self.compiled = compile_spec(
+            spec,
+            data_tables={name: self._rows(name) for name in self.tables},
+            validate=validate,
+        )
+        self.signals = dict(self.compiled.flow.signals)
+        self.plan = None
+        self._sink_states = {}
+        self._interaction_plans = None
+        self.cache.clear()
+        self.prefetcher = Prefetcher(budget=self.prefetcher.budget)
+        return self.startup()
+
+    # -- streaming data ---------------------------------------------------------------
+
+    def append_data(self, name, rows):
+        """Append rows to a root dataset (Vega's streaming data model:
+        "streaming data objects pass through the edges", §2.1).
+
+        Updates the backend table and the client-side copy, invalidates
+        cached query results and statistics, recomputes the plan, and
+        re-runs the affected pipelines.  Returns the RunResult.
+        """
+        if name not in self.tables:
+            raise SessionError("unknown root dataset {!r}".format(name))
+        rows = list(rows)
+        if not rows:
+            raise SessionError("append_data needs at least one row")
+        from repro.engine import Table, concat_tables
+
+        incoming = Table.from_rows(
+            rows, column_order=self.tables[name].column_names
+        )
+        merged = concat_tables([self.tables[name], incoming])
+        self.tables[name] = merged
+        self._rows_cache[name] = None
+        self.backend.load_table(name, merged)
+        self.stats[name] = compute_stats(merged)
+        # Every cached result derived from this table is stale.
+        self.cache.clear()
+        for state in self._sink_states.values():
+            if state.root == name:
+                state.transfer_rows = None
+                state.value_results = {}
+        # Update the client dataflow's raw source too.
+        source_name = name + ":source"
+        try:
+            source = self.compiled.flow.operator(source_name)
+        except Exception:
+            source = None
+        if source is not None:
+            source.set_rows(self._rows(name))
+            self.compiled.flow.touch(source)
+        if self.plan is None:
+            return None
+        plan = self.optimize()
+        return self._execute_plan(plan, label="append:{}".format(name))
+
+    # -- interactions ----------------------------------------------------------------
+
+    def interact(self, signal, value, plan=None):
+        """Dispatch one user interaction and return its RunResult.
+
+        If the changed signal only affects client-side steps, the cached
+        transfer is reused and only the suffix re-runs; otherwise the
+        server segment re-executes (hitting the cache when the variant
+        was prefetched).
+        """
+        if signal not in self.signals:
+            raise SessionError("unknown signal {!r}".format(signal))
+        if self.plan is None:
+            raise SessionError("call startup() before interact()")
+        self.prefetcher.observe(signal, value)
+        # Route through the dataflow so derived (update-expression) signals
+        # recompute; keep the session snapshot in sync.
+        from repro.dataflow.graph import DataflowError
+
+        try:
+            changed = self.compiled.flow.set_signal(signal, value)
+        except DataflowError as exc:
+            raise SessionError(str(exc)) from exc
+        changed = changed or {signal}
+        self.signals = dict(self.compiled.flow.signals)
+
+        if plan is None and self.dynamic_replan:
+            plan = self._pick_interaction_plan(signal)
+        plan = plan or self.plan
+        result = RunResult(label="interact:{}={}".format(signal, value),
+                           plan=plan)
+        hits_before = self.cache.hits
+        misses_before = self.cache.misses
+        for sink, dataset_plan in plan.datasets.items():
+            state = self._sink_state(sink)
+            frontier = min(
+                signal_frontier(self.compiled, sink, name)
+                for name in changed
+            )
+            if frontier >= dataset_plan.cut \
+                    and state.transfer_rows is not None \
+                    and state.cut_executed == dataset_plan.cut:
+                rows = self._client_partial(state, dataset_plan, result)
+            else:
+                rows = self._run_sink(sink, state, dataset_plan, result)
+            state.rows = rows
+            result.datasets[sink] = rows
+        result.cache_hits = self.cache.hits - hits_before
+        result.cache_misses = self.cache.misses - misses_before
+        self.history.append(result)
+        return result
+
+    def _pick_interaction_plan(self, signal):
+        """Choose between the startup plan and the re-partitioned
+        candidate for this signal (§2.2 step 4: "we pick the plan based
+        on the interaction and cache state").
+
+        The startup plan's server path costs ~nothing when the cache
+        already holds the re-parameterized queries; the candidate plan's
+        server path costs ~nothing when its transfer already happened
+        (a previous interaction brought the partially processed data to
+        the client) — then only its client suffix runs.
+        """
+        if self._interaction_plans is None:
+            self._interaction_plans = self.interaction_candidates()
+        candidate = self._interaction_plans.get(signal)
+        if candidate is None:
+            return self.plan
+
+        cache_has_variant = all(
+            self._segment_cached(sink, dataset_plan.cut)
+            for sink, dataset_plan in self.plan.datasets.items()
+            if signal_frontier(self.compiled, sink, signal)
+            < dataset_plan.cut
+        )
+        if cache_has_variant:
+            return self.plan
+
+        candidate_cost = 0.0
+        for sink, dataset_plan in candidate.datasets.items():
+            state = self._sink_state(sink)
+            transferred = (
+                state.transfer_rows is not None
+                and state.cut_executed == dataset_plan.cut
+            )
+            if transferred:
+                estimate = dataset_plan.estimate
+                candidate_cost += estimate.client + estimate.render
+            else:
+                candidate_cost += dataset_plan.estimate.total
+        if candidate_cost < self.plan.estimate.total:
+            return candidate
+        return self.plan
+
+    def _segment_cached(self, sink, cut):
+        """Whether the server segment for ``sink`` at ``cut`` under the
+        *current* signal values is fully answerable from the cache."""
+        state = self._sink_state(sink)
+        runner = ServerSegmentRunner(
+            self.backend, self.channel, self.signals, cache=self.cache,
+            merge=self.merge_queries, rewrite=self.rewrite_sql,
+        )
+        final_fields = self.compiled.spec.mark_fields(sink) or None
+        try:
+            return runner.segment_cached(
+                state.root, self.tables[state.root].column_names,
+                state.steps, cut, final_fields=final_fields,
+            )
+        except Exception:
+            return False
+
+    def _client_partial(self, state, dataset_plan, result):
+        """Partial execution: only the client suffix re-runs (§2.2 step 4's
+        'faster partial execution')."""
+        client = ClientSuffixRunner(
+            self.signals, data_resolver=self._resolve_cross_dataset
+        )
+        rows = client.run_suffix(
+            state.steps, dataset_plan.cut, state.transfer_rows,
+            state.value_results,
+        )
+        result.client_op_seconds.update(client.op_seconds)
+        result.breakdown = result.breakdown + CostBreakdown(
+            client=client.client_seconds,
+            render=len(rows) * self.cost_params.render_row_cost,
+        )
+        return rows
+
+    def prefetch_interaction(self, signal, value):
+        """Execute the server queries a future ``signal=value`` interaction
+        would need, during idle time, populating the cache.
+
+        Returns True when at least one new query was fetched.
+        """
+        if self.plan is None:
+            return False
+        saved_signals = self.signals
+        graph = self.compiled.flow.signal_graph
+        if graph is not None and not graph.is_derived(signal):
+            # Derived signals must reflect the hypothetical change too.
+            self.signals = graph.preview(signal, value)
+        else:
+            self.signals = dict(saved_signals)
+            self.signals[signal] = value
+        fetched = False
+        try:
+            for sink, dataset_plan in self.plan.datasets.items():
+                state = self._sink_state(sink)
+                frontier = signal_frontier(self.compiled, sink, signal)
+                if frontier >= dataset_plan.cut:
+                    continue  # interaction will not touch the server
+                runner = ServerSegmentRunner(
+                    self.backend, self.channel, self.signals,
+                    cache=self.cache, merge=self.merge_queries,
+                    rewrite=self.rewrite_sql,
+                )
+                base_columns = self.tables[state.root].column_names
+                final_fields = self.compiled.spec.mark_fields(sink) or None
+                runner.run_segment(
+                    state.root, base_columns, state.steps, dataset_plan.cut,
+                    final_fields=final_fields, prefetch=True,
+                )
+                if any(not entry.cached for entry in runner.queries):
+                    fetched = True
+        finally:
+            self.signals = saved_signals
+        return fetched
+
+    def idle(self):
+        """Signal an idle period: the prefetcher runs its predictions."""
+        return self.prefetcher.prefetch(self)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def last_result(self):
+        return self.history[-1] if self.history else None
+
+    def network_stats(self):
+        return self.channel.stats
+
+    def explain(self):
+        """Human-readable explanation of the current plan: the cut per
+        dataset plus every server query of the most recent execution."""
+        if self.plan is None:
+            raise SessionError("call startup() before explain()")
+        lines = [self.plan.describe()]
+        last = self.last_result()
+        if last is not None:
+            for entry in last.queries:
+                lines.append("")
+                lines.append("-- {} query ({} rows{})".format(
+                    entry.kind, entry.rows,
+                    ", cached" if entry.cached else "",
+                ))
+                lines.append(entry.sql)
+        return "\n".join(lines)
+
+    def dashboard(self):
+        """The performance view as plain data (Figure 3): the partitioned
+        plan graph plus the measured breakdown of the latest run."""
+        from repro.perf import plan_graph
+
+        if self.plan is None:
+            raise SessionError("call startup() before dashboard()")
+        last = self.last_result()
+        return {
+            "graph": plan_graph(self).to_dict(),
+            "plan": self.plan.describe(),
+            "breakdown": last.breakdown.as_dict() if last else None,
+            "cache": self.cache.stats(),
+            "network": {
+                "round_trips": self.channel.stats.round_trips,
+                "bytes_received": self.channel.stats.bytes_received,
+                "seconds": self.channel.stats.seconds,
+            },
+        }

@@ -1,0 +1,29 @@
+"""Reactive dataflow runtime (the Vega client substrate)."""
+
+from repro.dataflow.graph import Dataflow, DataflowError
+from repro.dataflow.operator import DataRef, Operator, OperatorRef, SignalRef
+from repro.dataflow.pulse import Pulse
+from repro.dataflow.transforms import (
+    DataSource,
+    Transform,
+    TransformError,
+    ValueTransform,
+    create_transform,
+    transform_types,
+)
+
+__all__ = [
+    "DataRef",
+    "DataSource",
+    "Dataflow",
+    "DataflowError",
+    "Operator",
+    "OperatorRef",
+    "Pulse",
+    "SignalRef",
+    "Transform",
+    "TransformError",
+    "ValueTransform",
+    "create_transform",
+    "transform_types",
+]

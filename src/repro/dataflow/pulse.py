@@ -1,0 +1,37 @@
+"""Pulses: the change-propagation unit of the reactive dataflow.
+
+Reactive Vega streams add/remove/modify changesets through the operator
+graph.  This runtime re-evaluates at *operator* granularity — an operator
+recomputes its full output only when an upstream operator or a referenced
+signal changed — which preserves the property the paper relies on
+("interaction events ... are only re-evaluated by the necessary
+operators", §2.1) while keeping the data plane simple: every pulse
+carries the operator's complete current output rows.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class Pulse:
+    """Output of one operator evaluation.
+
+    ``rows`` is a list of dicts (the Vega "data tuples"); ``changed``
+    records whether this evaluation produced different output than the
+    previous one (conservatively True on any re-evaluation unless the
+    operator proves otherwise); ``value`` carries the result of value
+    operators (e.g. extent's [min, max]) whose consumers are parameters
+    rather than data edges.
+    """
+
+    rows: List[dict] = field(default_factory=list)
+    changed: bool = True
+    value: object = None
+
+    @classmethod
+    def unchanged(cls, previous):
+        return cls(rows=previous.rows, changed=False, value=previous.value)
+
+    def fork(self, rows):
+        return Pulse(rows=rows, changed=True, value=self.value)

@@ -1,0 +1,150 @@
+"""Derived signals: Vega's ``update`` expressions over other signals.
+
+A Vega signal may declare ``update: "expr"`` — its value is recomputed
+whenever a referenced signal changes ("interaction events update operator
+parameters", §2.1).  :class:`SignalGraph` owns the scope: base signals
+are set directly; derived signals re-evaluate in topological order and
+report which names changed so the dataflow can dirty exactly the right
+operators.
+"""
+
+from collections import deque
+
+from repro.expr.evaluator import Evaluator
+from repro.expr.fields import signal_refs
+from repro.expr.parser import parse
+
+
+class SignalError(Exception):
+    """Bad signal graph: unknown reference, cycle, or update failure."""
+
+
+class SignalGraph:
+    """Base and derived signal values with reactive recomputation."""
+
+    def __init__(self):
+        self._values = {}
+        self._updates = {}  # name -> parsed update AST
+        self._deps = {}     # derived name -> referenced signal names
+        self._order = []    # derived names in evaluation order
+        self._ordered = False
+
+    # -- construction ---------------------------------------------------------
+
+    def declare(self, name, value=None, update=None):
+        """Declare a signal; ``update`` is a Vega expression string."""
+        if name in self._values:
+            raise SignalError("duplicate signal {!r}".format(name))
+        self._values[name] = value
+        if update is not None:
+            node = parse(update)
+            self._updates[name] = node
+            self._deps[name] = signal_refs(node)
+            self._ordered = False
+        return name
+
+    def names(self):
+        return list(self._values)
+
+    def is_derived(self, name):
+        return name in self._updates
+
+    # -- ordering ----------------------------------------------------------------
+
+    def _ensure_order(self):
+        if self._ordered:
+            return
+        for name, deps in self._deps.items():
+            unknown = deps - set(self._values)
+            if unknown:
+                raise SignalError(
+                    "signal {!r} references unknown signal(s): {}".format(
+                        name, ", ".join(sorted(unknown))
+                    )
+                )
+        # Kahn's algorithm over derived signals only.
+        derived = set(self._updates)
+        indegree = {
+            name: len(self._deps[name] & derived) for name in derived
+        }
+        queue = deque(sorted(n for n in derived if indegree[n] == 0))
+        order = []
+        while queue:
+            name = queue.popleft()
+            order.append(name)
+            for other in sorted(derived):
+                if name in self._deps[other]:
+                    indegree[other] -= 1
+                    if indegree[other] == 0:
+                        queue.append(other)
+        if len(order) != len(derived):
+            raise SignalError("signal update cycle detected")
+        self._order = order
+        self._ordered = True
+
+    # -- evaluation -----------------------------------------------------------------
+
+    def initialize(self):
+        """Evaluate all update expressions once (spec load time)."""
+        self._ensure_order()
+        changed = set()
+        for name in self._order:
+            value = self._evaluate(name)
+            if value != self._values[name]:
+                self._values[name] = value
+                changed.add(name)
+        return changed
+
+    def set(self, name, value):
+        """Set a base signal; returns the set of changed signal names
+        (including derived ones that re-evaluated to new values)."""
+        if name not in self._values:
+            raise SignalError("unknown signal {!r}".format(name))
+        if self.is_derived(name):
+            raise SignalError(
+                "signal {!r} is derived; set its dependencies instead".format(
+                    name
+                )
+            )
+        self._ensure_order()
+        if self._values[name] == value:
+            return set()
+        self._values[name] = value
+        changed = {name}
+        for derived in self._order:
+            if self._deps[derived] & changed:
+                new_value = self._evaluate(derived)
+                if new_value != self._values[derived]:
+                    self._values[derived] = new_value
+                    changed.add(derived)
+        return changed
+
+    def _evaluate(self, name):
+        evaluator = Evaluator(signals=self._values)
+        try:
+            return evaluator.evaluate(self._updates[name])
+        except Exception as exc:
+            raise SignalError(
+                "failed to update signal {!r}: {}".format(name, exc)
+            ) from exc
+
+    def preview(self, name, value):
+        """The values dict that ``set(name, value)`` would produce, without
+        mutating the graph (used by hypothetical prefetch queries)."""
+        snapshot = dict(self._values)
+        try:
+            self.set(name, value)
+            return self.values()
+        finally:
+            self._values = snapshot
+
+    # -- access -------------------------------------------------------------------
+
+    def get(self, name):
+        if name not in self._values:
+            raise SignalError("unknown signal {!r}".format(name))
+        return self._values[name]
+
+    def values(self):
+        """A snapshot dict of all current values."""
+        return dict(self._values)

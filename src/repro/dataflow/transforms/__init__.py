@@ -1,0 +1,34 @@
+"""Vega transform operators.
+
+Importing this package registers all transform types; use
+:func:`create_transform` to instantiate by spec name.
+"""
+
+from repro.dataflow.transforms.base import (
+    DataSource,
+    Transform,
+    TransformError,
+    ValueTransform,
+    create_transform,
+    register_transform,
+    transform_types,
+)
+
+# Import for registration side effects.
+from repro.dataflow.transforms import basic as _basic  # noqa: F401
+from repro.dataflow.transforms import aggregate as _aggregate  # noqa: F401
+from repro.dataflow.transforms import bin as _bin  # noqa: F401
+from repro.dataflow.transforms import stack as _stack  # noqa: F401
+from repro.dataflow.transforms import window as _window  # noqa: F401
+from repro.dataflow.transforms import lookup as _lookup  # noqa: F401
+from repro.dataflow.transforms import stats as _stats  # noqa: F401
+
+__all__ = [
+    "DataSource",
+    "Transform",
+    "TransformError",
+    "ValueTransform",
+    "create_transform",
+    "register_transform",
+    "transform_types",
+]

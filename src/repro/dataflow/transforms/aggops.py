@@ -1,0 +1,184 @@
+"""Vega aggregate operations, shared by aggregate/joinaggregate/window/pivot.
+
+Implements the measure functions from vega-statistics with Vega's naming
+(count, valid, missing, distinct, sum, mean, average, variance, variancep,
+stdev, stdevp, median, q1, q3, min, max, argmin, argmax).
+"""
+
+import math
+
+from repro.dataflow.transforms.base import TransformError
+
+
+def _numbers(values):
+    """Valid numeric values (drop None/NaN, coerce numerics)."""
+    out = []
+    for value in values:
+        if value is None:
+            continue
+        if isinstance(value, bool):
+            out.append(1.0 if value else 0.0)
+            continue
+        if isinstance(value, (int, float)):
+            if isinstance(value, float) and math.isnan(value):
+                continue
+            out.append(float(value))
+    return out
+
+
+def _valid(values):
+    return [
+        value
+        for value in values
+        if value is not None
+        and not (isinstance(value, float) and math.isnan(value))
+    ]
+
+
+def _quantile(values, fraction):
+    """Linear-interpolation quantile (matches d3/vega and numpy default)."""
+    numbers = sorted(_numbers(values))
+    if not numbers:
+        return None
+    if len(numbers) == 1:
+        return numbers[0]
+    position = (len(numbers) - 1) * fraction
+    lower = int(math.floor(position))
+    upper = min(lower + 1, len(numbers) - 1)
+    weight = position - lower
+    return numbers[lower] * (1 - weight) + numbers[upper] * weight
+
+
+def _variance(values, ddof):
+    numbers = _numbers(values)
+    if len(numbers) <= ddof:
+        return None
+    mean = sum(numbers) / len(numbers)
+    total = sum((value - mean) ** 2 for value in numbers)
+    return total / (len(numbers) - ddof)
+
+
+def op_count(values):
+    return float(len(values))
+
+
+def op_valid(values):
+    return float(len(_valid(values)))
+
+
+def op_missing(values):
+    return float(len(values) - len(_valid(values)))
+
+
+def op_distinct(values):
+    return float(len(set(_valid(values))))
+
+
+def op_sum(values):
+    numbers = _numbers(values)
+    return float(sum(numbers)) if numbers else 0.0
+
+
+def op_mean(values):
+    numbers = _numbers(values)
+    if not numbers:
+        return None
+    return sum(numbers) / len(numbers)
+
+
+def op_variance(values):
+    return _variance(values, ddof=1)
+
+
+def op_variancep(values):
+    return _variance(values, ddof=0)
+
+
+def op_stdev(values):
+    variance = _variance(values, ddof=1)
+    return math.sqrt(variance) if variance is not None else None
+
+
+def op_stdevp(values):
+    variance = _variance(values, ddof=0)
+    return math.sqrt(variance) if variance is not None else None
+
+
+def op_median(values):
+    return _quantile(values, 0.5)
+
+
+def op_q1(values):
+    return _quantile(values, 0.25)
+
+
+def op_q3(values):
+    return _quantile(values, 0.75)
+
+
+def op_min(values):
+    valid = _valid(values)
+    if not valid:
+        return None
+    return min(valid)
+
+
+def op_max(values):
+    valid = _valid(values)
+    if not valid:
+        return None
+    return max(valid)
+
+
+AGG_OPS = {
+    "count": op_count,
+    "valid": op_valid,
+    "missing": op_missing,
+    "distinct": op_distinct,
+    "sum": op_sum,
+    "mean": op_mean,
+    "average": op_mean,
+    "variance": op_variance,
+    "variancep": op_variancep,
+    "stdev": op_stdev,
+    "stdevp": op_stdevp,
+    "median": op_median,
+    "q1": op_q1,
+    "q3": op_q3,
+    "min": op_min,
+    "max": op_max,
+}
+
+# Ops that need no field argument.
+FIELDLESS_OPS = {"count"}
+
+
+def aggregate_op(name):
+    fn = AGG_OPS.get(name)
+    if fn is None:
+        raise TransformError("unknown aggregate op {!r}".format(name))
+    return fn
+
+
+def default_output_name(op, field):
+    """Vega's default output name: ``op_field`` (or just op for count)."""
+    if field is None or op in FIELDLESS_OPS:
+        return op
+    return "{}_{}".format(op, field)
+
+
+def group_key(row, groupby):
+    return tuple(row.get(field) for field in groupby)
+
+
+def group_rows(rows, groupby):
+    """Group rows preserving first-seen key order; returns (keys, groups)."""
+    order = []
+    groups = {}
+    for row in rows:
+        key = group_key(row, groupby)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    return order, groups

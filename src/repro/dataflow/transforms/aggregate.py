@@ -1,0 +1,86 @@
+"""Group-by aggregation transforms (Vega `aggregate` and `joinaggregate`)."""
+
+from repro.dataflow.transforms.aggops import (
+    aggregate_op,
+    default_output_name,
+    group_rows,
+)
+from repro.dataflow.transforms.base import (
+    Transform,
+    TransformError,
+    register_transform,
+)
+
+
+def _measures(params):
+    """Normalize ops/fields/as into (op, field, output_name) triples."""
+    ops = params.get("ops") or ["count"]
+    fields = params.get("fields") or [None] * len(ops)
+    names = params.get("as") or [None] * len(ops)
+    if len(fields) != len(ops):
+        raise TransformError("aggregate 'fields' must match 'ops' length")
+    if len(names) < len(ops):
+        names = list(names) + [None] * (len(ops) - len(names))
+    triples = []
+    for op, field, name in zip(ops, fields, names):
+        if name is None:
+            name = default_output_name(op, field)
+        triples.append((op, field, name))
+    return triples
+
+
+def _apply_measures(rows, triples):
+    out = {}
+    for op, field, name in triples:
+        fn = aggregate_op(op)
+        if field is None:
+            values = rows
+        else:
+            values = [row.get(field) for row in rows]
+        out[name] = fn(values)
+    return out
+
+
+@register_transform("aggregate")
+class AggregateTransform(Transform):
+    """Group rows and compute summary measures (Vega `aggregate`).
+
+    ``cross=True`` is not supported (the demo scenarios do not use it);
+    ``drop=False`` (keeping empty groups) requires `cross` and is likewise
+    out of scope.
+    """
+
+    def transform(self, rows, params, signals):
+        groupby = params.get("groupby") or []
+        triples = _measures(params)
+        order, groups = group_rows(rows, groupby)
+        out = []
+        for key in order:
+            members = groups[key]
+            result = dict(zip(groupby, key))
+            result.update(_apply_measures(members, triples))
+            out.append(result)
+        if not groupby and not out:
+            # Global aggregate over empty input still yields one row.
+            out.append(_apply_measures([], triples))
+        return out
+
+
+@register_transform("joinaggregate")
+class JoinAggregateTransform(Transform):
+    """Compute group measures and join them back onto each row."""
+
+    def transform(self, rows, params, signals):
+        groupby = params.get("groupby") or []
+        triples = _measures(params)
+        order, groups = group_rows(rows, groupby)
+        measures = {
+            key: _apply_measures(groups[key], triples) for key in order
+        }
+        out = []
+        for row in rows:
+            key = tuple(row.get(field) for field in groupby)
+            derived = dict(row)
+            derived.update(measures[key])
+            out.append(derived)
+        return out

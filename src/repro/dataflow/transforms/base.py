@@ -1,0 +1,90 @@
+"""Transform operator base class and registry.
+
+Each Vega transform type registers itself here by its spec name
+("filter", "bin", "aggregate", ...).  The spec compiler instantiates
+transforms via :func:`create_transform`; the SQL generator looks up
+translation capability per type in :mod:`repro.sqlgen.translate`.
+"""
+
+from repro.dataflow.operator import Operator
+from repro.dataflow.pulse import Pulse
+
+
+class TransformError(Exception):
+    """Bad transform parameters or unsupported usage."""
+
+
+_REGISTRY = {}
+
+
+def register_transform(spec_type):
+    """Class decorator: register a Transform under its Vega spec name."""
+
+    def wrap(cls):
+        cls.spec_type = spec_type
+        _REGISTRY[spec_type] = cls
+        return cls
+
+    return wrap
+
+
+def transform_types():
+    return sorted(_REGISTRY)
+
+
+def create_transform(spec_type, name, params, source):
+    cls = _REGISTRY.get(spec_type)
+    if cls is None:
+        raise TransformError("unknown transform type {!r}".format(spec_type))
+    return cls(name, params=params, source=source)
+
+
+class Transform(Operator):
+    """A data operator computing output rows from input rows.
+
+    Subclasses implement ``transform(rows, params, signals) -> rows``.
+    Rows must be treated as immutable: transforms that modify fields copy
+    the affected dicts (matching Vega's derive-on-write tuples).
+    """
+
+    kind = "transform"
+    spec_type = "?"
+
+    def run(self, pulse, params, signals):
+        rows = self.transform(pulse.rows, params, signals)
+        return Pulse(rows=rows, changed=True)
+
+    def transform(self, rows, params, signals):
+        raise NotImplementedError
+
+
+class ValueTransform(Transform):
+    """A transform whose primary output is a value (e.g. extent).
+
+    The rows pass through unchanged; ``compute_value`` fills
+    ``pulse.value`` for parameter consumers.
+    """
+
+    def run(self, pulse, params, signals):
+        value = self.compute_value(pulse.rows, params, signals)
+        return Pulse(rows=pulse.rows, changed=True, value=value)
+
+    def compute_value(self, rows, params, signals):
+        raise NotImplementedError
+
+
+class DataSource(Operator):
+    """A root operator holding raw rows (the Vega ``data`` source)."""
+
+    kind = "source"
+    spec_type = "source"
+
+    def __init__(self, name, rows=None):
+        super().__init__(name, params={}, source=None)
+        self.rows = list(rows or [])
+
+    def set_rows(self, rows):
+        self.rows = list(rows)
+
+    def run(self, pulse, params, signals):
+        return Pulse(rows=self.rows, changed=True)

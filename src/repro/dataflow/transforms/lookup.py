@@ -1,0 +1,223 @@
+"""Lookup, pivot, impute, and timeunit transforms."""
+
+import math
+
+from repro.dataflow.operator import OperatorRef
+from repro.dataflow.transforms.aggops import aggregate_op, group_rows
+from repro.dataflow.transforms.base import (
+    Transform,
+    TransformError,
+    register_transform,
+)
+
+
+@register_transform("lookup")
+class LookupTransform(Transform):
+    """Join values from a secondary data source (Vega `lookup`).
+
+    ``from_rows`` is the secondary rows parameter — the spec compiler
+    passes an :class:`OperatorRef` to the secondary dataset's output
+    operator (whose pulse ``value`` is set to its rows).
+    """
+
+    def transform(self, rows, params, signals):
+        secondary = params.get("from_rows")
+        if secondary is None:
+            raise TransformError("lookup requires 'from_rows'")
+        key = params.get("key")
+        if not key:
+            raise TransformError("lookup requires 'key'")
+        lookup_fields = params.get("fields")
+        if not lookup_fields:
+            raise TransformError("lookup requires 'fields'")
+        values = params.get("values")
+        names = params.get("as")
+        default = params.get("default")
+
+        index = {}
+        for row in secondary:
+            index.setdefault(row.get(key), row)
+
+        out = []
+        for row in rows:
+            derived = dict(row)
+            for position, field in enumerate(lookup_fields):
+                match = index.get(row.get(field))
+                if values:
+                    outputs = names or values
+                    for value_field, out_name in zip(values, outputs):
+                        derived[out_name] = (
+                            match.get(value_field) if match else default
+                        )
+                else:
+                    out_name = (
+                        names[position]
+                        if names and position < len(names)
+                        else field + "_lookup"
+                    )
+                    derived[out_name] = match if match else default
+            out.append(derived)
+        return out
+
+
+@register_transform("pivot")
+class PivotTransform(Transform):
+    """Pivot field values into columns (Vega `pivot`)."""
+
+    def transform(self, rows, params, signals):
+        field = params.get("field")
+        value_field = params.get("value")
+        if not field or not value_field:
+            raise TransformError("pivot requires 'field' and 'value'")
+        groupby = params.get("groupby") or []
+        op = params.get("op", "sum")
+        fn = aggregate_op(op)
+        limit = params.get("limit", 0)
+
+        distinct = []
+        seen = set()
+        for row in rows:
+            key = row.get(field)
+            if key not in seen:
+                seen.add(key)
+                distinct.append(key)
+        distinct.sort(key=lambda v: (v is None, str(v)))
+        if limit:
+            distinct = distinct[: int(limit)]
+
+        order, groups = group_rows(rows, groupby)
+        out = []
+        for group_key_values in order:
+            members = groups[group_key_values]
+            result = dict(zip(groupby, group_key_values))
+            for pivot_value in distinct:
+                values = [
+                    member.get(value_field)
+                    for member in members
+                    if member.get(field) == pivot_value
+                ]
+                result[str(pivot_value)] = fn(values) if values else None
+            out.append(result)
+        return out
+
+
+@register_transform("impute")
+class ImputeTransform(Transform):
+    """Impute missing combinations of key x groupby (Vega `impute`)."""
+
+    _METHODS = {"value", "mean", "median", "max", "min"}
+
+    def transform(self, rows, params, signals):
+        field = params.get("field")
+        key = params.get("key")
+        if not field or not key:
+            raise TransformError("impute requires 'field' and 'key'")
+        method = params.get("method", "value")
+        if method not in self._METHODS:
+            raise TransformError("unknown impute method {!r}".format(method))
+        groupby = params.get("groupby") or []
+        key_values = params.get("keyvals") or []
+
+        all_keys = list(key_values)
+        seen = set(all_keys)
+        for row in rows:
+            value = row.get(key)
+            if value not in seen:
+                seen.add(value)
+                all_keys.append(value)
+
+        order, groups = group_rows(rows, groupby)
+        out = list(rows)
+        for group_key_values in order:
+            members = groups[group_key_values]
+            present = {member.get(key) for member in members}
+            fill = self._fill_value(method, params, members, field)
+            for key_value in all_keys:
+                if key_value in present:
+                    continue
+                imputed = dict(zip(groupby, group_key_values))
+                imputed[key] = key_value
+                imputed[field] = fill
+                out.append(imputed)
+        return out
+
+    def _fill_value(self, method, params, members, field):
+        if method == "value":
+            return params.get("value", 0)
+        values = [member.get(field) for member in members]
+        return aggregate_op(
+            {"mean": "mean", "median": "median", "max": "max", "min": "min"}[method]
+        )(values)
+
+
+_TIME_UNITS = ("year", "quarter", "month", "date", "day", "hours",
+               "minutes", "seconds")
+
+
+@register_transform("timeunit")
+class TimeUnitTransform(Transform):
+    """Truncate epoch-ms timestamps to calendar units (Vega `timeunit`).
+
+    Supports the single units year/month/date/hours/minutes/seconds and
+    the compound "yearmonth".  Outputs unit0/unit1 epoch-ms boundaries.
+    """
+
+    def transform(self, rows, params, signals):
+        from datetime import datetime, timezone
+
+        field = params.get("field")
+        if not field:
+            raise TransformError("timeunit requires 'field'")
+        units = params.get("units", ["year"])
+        if isinstance(units, str):
+            units = [units]
+        as_fields = params.get("as", ["unit0", "unit1"])
+        unit0_name, unit1_name = as_fields
+
+        def truncate(ms):
+            dt = datetime.fromtimestamp(ms / 1000.0, tz=timezone.utc)
+            year = dt.year if "year" in units else 1900
+            month = dt.month if "month" in units else 1
+            day = dt.day if "date" in units else 1
+            hour = dt.hour if "hours" in units else 0
+            minute = dt.minute if "minutes" in units else 0
+            second = dt.second if "seconds" in units else 0
+            lo = datetime(year, month, day, hour, minute, second,
+                          tzinfo=timezone.utc)
+            if "seconds" in units:
+                hi = lo.replace(second=0) if False else _add_seconds(lo, 1)
+            elif "minutes" in units:
+                hi = _add_seconds(lo, 60)
+            elif "hours" in units:
+                hi = _add_seconds(lo, 3600)
+            elif "date" in units:
+                hi = _add_seconds(lo, 86400)
+            elif "month" in units:
+                next_month = month % 12 + 1
+                next_year = year + (1 if month == 12 else 0)
+                hi = lo.replace(year=next_year, month=next_month)
+            else:
+                hi = lo.replace(year=year + 1)
+            return lo.timestamp() * 1000.0, hi.timestamp() * 1000.0
+
+        out = []
+        for row in rows:
+            value = row.get(field)
+            derived = dict(row)
+            if value is None or (
+                isinstance(value, float) and math.isnan(value)
+            ):
+                derived[unit0_name] = None
+                derived[unit1_name] = None
+            else:
+                lo, hi = truncate(float(value))
+                derived[unit0_name] = lo
+                derived[unit1_name] = hi
+            out.append(derived)
+        return out
+
+
+def _add_seconds(dt, seconds):
+    from datetime import timedelta
+
+    return dt + timedelta(seconds=seconds)

@@ -1,0 +1,68 @@
+"""Stack transform (Vega `stack`) — the census stacked-area workhorse."""
+
+from repro.dataflow.transforms.aggops import group_rows
+from repro.dataflow.transforms.base import (
+    Transform,
+    TransformError,
+    register_transform,
+)
+from repro.dataflow.transforms.basic import sort_rows
+
+
+@register_transform("stack")
+class StackTransform(Transform):
+    """Compute stacked y0/y1 offsets per group (Vega `stack`).
+
+    Supported offsets: ``zero`` (default), ``normalize``, ``center``.
+    """
+
+    def transform(self, rows, params, signals):
+        field = params.get("field")
+        if not field:
+            raise TransformError("stack requires 'field'")
+        groupby = params.get("groupby") or []
+        offset = params.get("offset", "zero")
+        as_fields = params.get("as", ["y0", "y1"])
+        y0_name, y1_name = as_fields
+
+        sort = params.get("sort") or {}
+        sort_fields = sort.get("field") or []
+        if isinstance(sort_fields, str):
+            sort_fields = [sort_fields]
+        sort_orders = sort.get("order")
+        if isinstance(sort_orders, str):
+            sort_orders = [sort_orders]
+        if sort_orders is None:
+            sort_orders = ["ascending"] * len(sort_fields)
+
+        order, groups = group_rows(rows, groupby)
+        out = []
+        for key in order:
+            members = groups[key]
+            if sort_fields:
+                members = sort_rows(members, sort_fields, sort_orders)
+            total = 0.0
+            for row in members:
+                value = row.get(field)
+                total += abs(float(value)) if value is not None else 0.0
+            cumulative = 0.0
+            stacked = []
+            for row in members:
+                value = row.get(field)
+                magnitude = abs(float(value)) if value is not None else 0.0
+                derived = dict(row)
+                derived[y0_name] = cumulative
+                derived[y1_name] = cumulative + magnitude
+                cumulative += magnitude
+                stacked.append(derived)
+            if offset == "normalize" and total > 0:
+                for row in stacked:
+                    row[y0_name] /= total
+                    row[y1_name] /= total
+            elif offset == "center":
+                shift = total / 2.0
+                for row in stacked:
+                    row[y0_name] -= shift
+                    row[y1_name] -= shift
+            out.extend(stacked)
+        return out

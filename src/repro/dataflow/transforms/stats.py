@@ -1,0 +1,225 @@
+"""Statistical transforms: density (KDE), quantile, regression.
+
+These are the client-only "analysis" transforms from Vega's statistics
+suite; VegaPlus keeps them client-side (no SQL equivalent), which makes
+them the natural forcing point for plan cuts — pipelines with a density
+step partition right before it.
+"""
+
+import math
+
+from repro.dataflow.transforms.aggops import group_rows
+from repro.dataflow.transforms.base import (
+    Transform,
+    TransformError,
+    register_transform,
+)
+
+
+def _numeric_values(rows, field):
+    values = []
+    for row in rows:
+        value = row.get(field)
+        if value is None or isinstance(value, str):
+            continue
+        if isinstance(value, float) and math.isnan(value):
+            continue
+        values.append(float(value))
+    return values
+
+
+def gaussian_kde(values, points, bandwidth=None):
+    """Gaussian kernel density estimate at ``points``.
+
+    ``bandwidth`` defaults to Scott's rule, matching vega-statistics'
+    ``estimateBandwidth``.
+    """
+    n = len(values)
+    if n == 0:
+        return [0.0 for _ in points]
+    if bandwidth is None:
+        mean = sum(values) / n
+        variance = sum((v - mean) ** 2 for v in values) / max(n - 1, 1)
+        std = math.sqrt(variance)
+        if std == 0:
+            std = abs(mean) or 1.0
+        bandwidth = 1.06 * std * n ** (-0.2)
+    if bandwidth <= 0:
+        raise TransformError("density bandwidth must be positive")
+    norm = 1.0 / (n * bandwidth * math.sqrt(2 * math.pi))
+    out = []
+    for x in points:
+        total = 0.0
+        for value in values:
+            z = (x - value) / bandwidth
+            total += math.exp(-0.5 * z * z)
+        out.append(total * norm)
+    return out
+
+
+@register_transform("density")
+class DensityTransform(Transform):
+    """Kernel density estimation (Vega `density` with a kde distribution).
+
+    Parameters: ``field``, optional ``groupby``, ``bandwidth`` (0 = auto),
+    ``extent`` ([min, max], default data extent), ``steps`` (default 100),
+    ``as`` (default ["value", "density"]).
+    """
+
+    def transform(self, rows, params, signals):
+        field = params.get("field")
+        if not field:
+            raise TransformError("density requires 'field'")
+        groupby = params.get("groupby") or []
+        steps = int(params.get("steps", 100))
+        if steps < 2:
+            raise TransformError("density needs at least 2 steps")
+        bandwidth = params.get("bandwidth") or None
+        value_name, density_name = params.get("as", ["value", "density"])
+
+        order, groups = group_rows(rows, groupby)
+        out = []
+        for key in order:
+            members = groups[key]
+            values = _numeric_values(members, field)
+            if not values:
+                continue
+            extent = params.get("extent") or [min(values), max(values)]
+            lo, hi = float(extent[0]), float(extent[1])
+            if hi <= lo:
+                hi = lo + 1.0
+            step = (hi - lo) / (steps - 1)
+            points = [lo + i * step for i in range(steps)]
+            densities = gaussian_kde(values, points, bandwidth)
+            for x, d in zip(points, densities):
+                row = dict(zip(groupby, key))
+                row[value_name] = x
+                row[density_name] = d
+                out.append(row)
+        return out
+
+
+@register_transform("quantile")
+class QuantileTransform(Transform):
+    """Empirical quantiles (Vega `quantile`).
+
+    Parameters: ``field``, optional ``groupby``, ``probs`` (explicit
+    probabilities) or ``step`` (default 0.05 -> probs 0.025..0.975),
+    ``as`` (default ["prob", "value"]).
+    """
+
+    def transform(self, rows, params, signals):
+        field = params.get("field")
+        if not field:
+            raise TransformError("quantile requires 'field'")
+        groupby = params.get("groupby") or []
+        probs = params.get("probs")
+        if probs is None:
+            step = float(params.get("step", 0.05))
+            if not 0 < step < 1:
+                raise TransformError("quantile step must be in (0, 1)")
+            probs = []
+            p = step / 2
+            while p < 1:
+                probs.append(p)
+                p += step
+        prob_name, value_name = params.get("as", ["prob", "value"])
+
+        order, groups = group_rows(rows, groupby)
+        out = []
+        for key in order:
+            values = sorted(_numeric_values(groups[key], field))
+            if not values:
+                continue
+            for p in probs:
+                row = dict(zip(groupby, key))
+                row[prob_name] = p
+                row[value_name] = _interp_quantile(values, p)
+                out.append(row)
+        return out
+
+
+def _interp_quantile(sorted_values, p):
+    n = len(sorted_values)
+    if n == 1:
+        return sorted_values[0]
+    position = (n - 1) * p
+    lower = int(math.floor(position))
+    upper = min(lower + 1, n - 1)
+    weight = position - lower
+    return sorted_values[lower] * (1 - weight) + sorted_values[upper] * weight
+
+
+@register_transform("regression")
+class RegressionTransform(Transform):
+    """Least-squares regression lines (Vega `regression`, linear method).
+
+    Parameters: ``x``, ``y``, optional ``groupby``, ``extent``, ``order``
+    (only 1 = linear supported), ``as`` (default [x, y]).  Emits two
+    points per group (the fitted line's endpoints) plus rSquared when
+    ``params.get("params")`` is truthy.
+    """
+
+    def transform(self, rows, params, signals):
+        x_field = params.get("x")
+        y_field = params.get("y")
+        if not x_field or not y_field:
+            raise TransformError("regression requires 'x' and 'y'")
+        method = params.get("method", "linear")
+        if method != "linear":
+            raise TransformError(
+                "regression method {!r} not supported".format(method)
+            )
+        groupby = params.get("groupby") or []
+        as_fields = params.get("as", [x_field, y_field])
+        out_x, out_y = as_fields
+        emit_params = bool(params.get("params"))
+
+        order, groups = group_rows(rows, groupby)
+        out = []
+        for key in order:
+            pairs = [
+                (float(row[x_field]), float(row[y_field]))
+                for row in groups[key]
+                if isinstance(row.get(x_field), (int, float))
+                and isinstance(row.get(y_field), (int, float))
+                and not isinstance(row.get(x_field), bool)
+                and not isinstance(row.get(y_field), bool)
+            ]
+            if len(pairs) < 2:
+                continue
+            slope, intercept, r_squared = _linear_fit(pairs)
+            extent = params.get("extent") or [
+                min(x for x, _ in pairs), max(x for x, _ in pairs)
+            ]
+            if emit_params:
+                row = dict(zip(groupby, key))
+                row["coef"] = [intercept, slope]
+                row["rSquared"] = r_squared
+                out.append(row)
+            else:
+                for x in (float(extent[0]), float(extent[1])):
+                    row = dict(zip(groupby, key))
+                    row[out_x] = x
+                    row[out_y] = intercept + slope * x
+                    out.append(row)
+        return out
+
+
+def _linear_fit(pairs):
+    n = len(pairs)
+    mean_x = sum(x for x, _ in pairs) / n
+    mean_y = sum(y for _, y in pairs) / n
+    ss_xx = sum((x - mean_x) ** 2 for x, _ in pairs)
+    ss_xy = sum((x - mean_x) * (y - mean_y) for x, y in pairs)
+    ss_yy = sum((y - mean_y) ** 2 for _, y in pairs)
+    slope = ss_xy / ss_xx if ss_xx else 0.0
+    intercept = mean_y - slope * mean_x
+    if ss_yy == 0:
+        r_squared = 1.0
+    else:
+        ss_res = sum(
+            (y - (intercept + slope * x)) ** 2 for x, y in pairs
+        )
+        r_squared = max(0.0, 1.0 - ss_res / ss_yy)
+    return slope, intercept, r_squared

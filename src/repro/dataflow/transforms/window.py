@@ -1,0 +1,111 @@
+"""Window transform (Vega `window`)."""
+
+from repro.dataflow.transforms.aggops import AGG_OPS, group_rows
+from repro.dataflow.transforms.base import (
+    Transform,
+    TransformError,
+    register_transform,
+)
+from repro.dataflow.transforms.basic import sort_rows
+
+_RANK_OPS = {"row_number", "rank", "dense_rank"}
+_OFFSET_OPS = {"lag", "lead"}
+
+
+@register_transform("window")
+class WindowTransform(Transform):
+    """Per-group running/rank/offset calculations (Vega `window`).
+
+    Supports rank ops (row_number, rank, dense_rank), lag/lead, and all
+    aggregate ops as running aggregates over the default frame
+    ``[null, 0]`` (start of partition to current row) or the full
+    partition with frame ``[null, null]``.
+    """
+
+    def transform(self, rows, params, signals):
+        groupby = params.get("groupby") or []
+        ops = params.get("ops") or []
+        fields = params.get("fields") or [None] * len(ops)
+        names = params.get("as") or [None] * len(ops)
+        window_params = params.get("params") or [None] * len(ops)
+        frame = params.get("frame", [None, 0])
+
+        sort = params.get("sort") or {}
+        sort_fields = sort.get("field") or []
+        if isinstance(sort_fields, str):
+            sort_fields = [sort_fields]
+        sort_orders = sort.get("order")
+        if isinstance(sort_orders, str):
+            sort_orders = [sort_orders]
+        if sort_orders is None:
+            sort_orders = ["ascending"] * len(sort_fields)
+
+        measures = []
+        for index, op in enumerate(ops):
+            field = fields[index] if index < len(fields) else None
+            name = names[index] if index < len(names) else None
+            extra = window_params[index] if index < len(window_params) else None
+            if name is None:
+                name = op if field is None else "{}_{}".format(op, field)
+            measures.append((op, field, name, extra))
+
+        order, groups = group_rows(rows, groupby)
+        result_map = {}
+        for key in order:
+            members = groups[key]
+            if sort_fields:
+                members = sort_rows(members, sort_fields, sort_orders)
+            for op, field, name, extra in measures:
+                values = self._compute(op, field, extra, members, sort_fields, frame)
+                for row, value in zip(members, values):
+                    result_map.setdefault(id(row), {})[name] = value
+
+        out = []
+        for row in rows:
+            derived = dict(row)
+            derived.update(result_map.get(id(row), {}))
+            out.append(derived)
+        return out
+
+    def _compute(self, op, field, extra, members, sort_fields, frame):
+        count = len(members)
+        if op == "row_number":
+            return [float(index + 1) for index in range(count)]
+        if op in ("rank", "dense_rank"):
+            return self._ranks(op, members, sort_fields)
+        if op in _OFFSET_OPS:
+            offset = int(extra) if extra is not None else 1
+            shift = offset if op == "lag" else -offset
+            out = []
+            for index in range(count):
+                source = index - shift
+                if 0 <= source < count:
+                    out.append(members[source].get(field))
+                else:
+                    out.append(None)
+            return out
+        fn = AGG_OPS.get(op)
+        if fn is None:
+            raise TransformError("unknown window op {!r}".format(op))
+        running = not (frame[0] is None and frame[1] is None)
+        values = [
+            row.get(field) if field is not None else row for row in members
+        ]
+        if not running:
+            total = fn(values)
+            return [total] * count
+        return [fn(values[: index + 1]) for index in range(count)]
+
+    def _ranks(self, op, members, sort_fields):
+        out = []
+        rank = 0
+        dense = 0
+        previous = object()
+        for index, row in enumerate(members):
+            key = tuple(row.get(field) for field in sort_fields)
+            if key != previous:
+                dense += 1
+                rank = index + 1
+                previous = key
+            out.append(float(rank if op == "rank" else dense))
+        return out

@@ -1,0 +1,15 @@
+"""Synthetic dataset generators (paper-data stand-ins)."""
+
+from repro.datagen.census import generate_census, generate_events
+from repro.datagen.common import columns_to_table, table_to_rows
+from repro.datagen.flights import CARRIERS, ORIGINS, generate_flights
+
+__all__ = [
+    "CARRIERS",
+    "ORIGINS",
+    "columns_to_table",
+    "generate_census",
+    "generate_events",
+    "generate_flights",
+    "table_to_rows",
+]

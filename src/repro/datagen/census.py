@@ -1,0 +1,97 @@
+"""Synthetic Census occupation history dataset.
+
+Stands in for the U.S. Census occupation counts the paper's second demo
+scenario visualizes (occupations reported 1850-2000, stacked by
+frequency).  The generator produces one row per (year, occupation, sex)
+with a count column, where occupation popularity follows rise-and-fall
+logistic curves over the decades (farmers decline, clerical work rises),
+so the stacked-area picture has realistic structure.
+"""
+
+import numpy as np
+
+from repro.datagen.common import columns_to_table
+
+OCCUPATIONS = [
+    # (name, peak year, spread, scale)
+    ("Farmer", 1870, 60.0, 9.0),
+    ("Farm Laborer", 1880, 50.0, 6.0),
+    ("Laborer", 1900, 70.0, 5.0),
+    ("Servant", 1890, 45.0, 3.5),
+    ("Clerical Worker", 1960, 45.0, 6.0),
+    ("Operative", 1940, 40.0, 5.5),
+    ("Craftsman", 1950, 55.0, 5.0),
+    ("Manager", 1980, 50.0, 4.5),
+    ("Professional", 1990, 55.0, 6.5),
+    ("Sales Worker", 1970, 55.0, 4.0),
+    ("Service Worker", 1990, 50.0, 5.0),
+    ("Teacher", 1975, 60.0, 2.5),
+    ("Nurse", 1985, 50.0, 2.0),
+    ("Engineer", 1985, 45.0, 2.2),
+    ("Miner", 1910, 35.0, 1.8),
+]
+
+SEXES = ["male", "female"]
+
+_FEMALE_SHARE = {
+    "Servant": 0.85,
+    "Clerical Worker": 0.7,
+    "Teacher": 0.75,
+    "Nurse": 0.95,
+    "Service Worker": 0.6,
+    "Sales Worker": 0.45,
+    "Professional": 0.4,
+}
+
+
+def generate_census(start_year=1850, end_year=2000, step=10, seed=11,
+                    replicate=1, as_rows=False):
+    """Generate the occupation panel.
+
+    One row per (year, occupation, sex); ``replicate`` repeats the panel
+    with jittered counts to scale row counts up for benchmarks (synthetic
+    micro-records, as if individual census responses were kept).
+    """
+    rng = np.random.default_rng(seed)
+    years = list(range(start_year, end_year + 1, step))
+
+    rows_year = []
+    rows_job = []
+    rows_sex = []
+    rows_count = []
+    for _ in range(int(replicate)):
+        for year in years:
+            for job, peak, spread, scale in OCCUPATIONS:
+                base = scale * np.exp(-0.5 * ((year - peak) / spread) ** 2)
+                total = max(base * rng.uniform(0.85, 1.15) * 1000.0, 0.0)
+                female_share = _FEMALE_SHARE.get(job, 0.25)
+                for sex in SEXES:
+                    share = female_share if sex == "female" else 1 - female_share
+                    count = float(np.round(total * share))
+                    rows_year.append(float(year))
+                    rows_job.append(job)
+                    rows_sex.append(sex)
+                    rows_count.append(count)
+
+    table = columns_to_table(
+        year=np.array(rows_year),
+        job=rows_job,
+        sex=rows_sex,
+        count=np.array(rows_count),
+    )
+    if as_rows:
+        return table.to_rows()
+    return table
+
+
+def generate_events(num_rows, num_categories=8, seed=3, as_rows=False):
+    """A generic categorized event stream (used by the quickstart spec)."""
+    rng = np.random.default_rng(seed)
+    n = int(num_rows)
+    categories = ["c{}".format(index) for index in range(num_categories)]
+    category = rng.choice(categories, size=n)
+    value = rng.gamma(2.0, 15.0, size=n)
+    table = columns_to_table(category=category, value=value)
+    if as_rows:
+        return table.to_rows()
+    return table

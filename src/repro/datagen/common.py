@@ -1,0 +1,28 @@
+"""Shared helpers for the synthetic dataset generators."""
+
+import numpy as np
+
+from repro.engine.table import Column, Table
+from repro.engine.types import SQLType
+
+
+def columns_to_table(**named_arrays):
+    """Build an engine Table from numpy arrays / lists of values."""
+    table = Table()
+    for name, values in named_arrays.items():
+        if isinstance(values, np.ndarray) and values.dtype.kind == "f":
+            valid = ~np.isnan(values)
+            data = np.where(valid, values, 0.0)
+            table.add_column(name, Column(SQLType.DOUBLE, data, valid))
+        elif isinstance(values, np.ndarray) and values.dtype.kind in "iu":
+            table.add_column(
+                name, Column(SQLType.DOUBLE, values.astype(np.float64))
+            )
+        else:
+            table.add_column(name, Column.from_values(list(values)))
+    return table
+
+
+def table_to_rows(table):
+    """Row dicts for the client dataflow (Vega tuples)."""
+    return table.to_rows()

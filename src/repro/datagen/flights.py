@@ -1,0 +1,105 @@
+"""Synthetic US Airline Flights dataset.
+
+Stands in for the BTS on-time performance data the paper demos on
+(1987-2008, ~120M records).  Marginal distributions follow the real
+data's shape: departure delays are a right-skewed mixture (most flights
+on time, a long late tail), arrival delays track departure delays with
+extra noise, distances follow route-length clusters, and air time is
+roughly distance / cruise speed.  The experiments depend only on these
+shapes (bin/aggregate selectivities and row counts), not on real records.
+"""
+
+import numpy as np
+
+from repro.datagen.common import columns_to_table
+
+CARRIERS = ["AA", "DL", "UA", "WN", "US", "NW", "CO", "AS", "B6", "EV"]
+
+ORIGINS = ["ATL", "ORD", "DFW", "LAX", "DEN", "PHX", "IAH", "LAS", "DTW",
+           "SFO", "MSP", "SEA", "BOS", "JFK", "EWR", "CLT"]
+
+_EPOCH_1987_MS = 536457600000.0  # 1987-01-01T00:00:00Z
+_MS_PER_YEAR = 365.25 * 86400 * 1000
+
+
+def generate_flights(num_rows, seed=7, as_rows=False):
+    """Generate ``num_rows`` synthetic flight records.
+
+    Columns: carrier, origin, dest, year, month, day_of_week, dep_delay,
+    arr_delay, distance, air_time, date_ms (epoch milliseconds).
+    Roughly 2% of delay values are NULL (cancelled/diverted flights),
+    exercising the valid/missing aggregate paths.
+
+    Returns an engine Table, or row dicts when ``as_rows`` is True.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(num_rows)
+
+    carrier = rng.choice(CARRIERS, size=n, p=_zipf_weights(len(CARRIERS)))
+    origin = rng.choice(ORIGINS, size=n, p=_zipf_weights(len(ORIGINS)))
+    dest = rng.choice(ORIGINS, size=n, p=_zipf_weights(len(ORIGINS)))
+
+    # Departure delay: 70% on-time-ish (normal around -2), 30% delayed
+    # (exponential tail) — the classic BTS shape.
+    on_time = rng.normal(loc=-2.0, scale=6.0, size=n)
+    late = rng.exponential(scale=35.0, size=n) + 5.0
+    is_late = rng.random(n) < 0.30
+    dep_delay = np.where(is_late, late, on_time)
+    dep_delay = np.clip(dep_delay, -30.0, 600.0)
+
+    arr_delay = dep_delay + rng.normal(loc=-1.0, scale=12.0, size=n)
+    arr_delay = np.clip(arr_delay, -60.0, 650.0)
+
+    # Route distances cluster into short/medium/long-haul.
+    cluster = rng.choice([0, 1, 2], size=n, p=[0.5, 0.35, 0.15])
+    distance = np.where(
+        cluster == 0,
+        rng.gamma(4.0, 80.0, size=n) + 100.0,
+        np.where(
+            cluster == 1,
+            rng.normal(1100.0, 250.0, size=n),
+            rng.normal(2300.0, 300.0, size=n),
+        ),
+    )
+    distance = np.clip(distance, 60.0, 3000.0)
+
+    air_time = distance / 7.5 + rng.normal(18.0, 8.0, size=n)
+    air_time = np.clip(air_time, 20.0, 500.0)
+
+    year = rng.integers(1987, 2009, size=n).astype(np.float64)
+    month = rng.integers(1, 13, size=n).astype(np.float64)
+    day_of_week = rng.integers(0, 7, size=n).astype(np.float64)
+    date_ms = (
+        _EPOCH_1987_MS
+        + (year - 1987.0) * _MS_PER_YEAR
+        + (month - 1.0) * (_MS_PER_YEAR / 12.0)
+        + rng.uniform(0, _MS_PER_YEAR / 12.0, size=n)
+    )
+
+    # ~2% cancelled flights have no delay figures.
+    cancelled = rng.random(n) < 0.02
+    dep_delay = np.where(cancelled, np.nan, dep_delay)
+    arr_delay = np.where(cancelled, np.nan, arr_delay)
+
+    table = columns_to_table(
+        carrier=carrier,
+        origin=origin,
+        dest=dest,
+        year=year,
+        month=month,
+        day_of_week=day_of_week,
+        dep_delay=dep_delay,
+        arr_delay=arr_delay,
+        distance=distance,
+        air_time=air_time,
+        date_ms=date_ms,
+    )
+    if as_rows:
+        return table.to_rows()
+    return table
+
+
+def _zipf_weights(count, exponent=0.8):
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** -exponent
+    return weights / weights.sum()

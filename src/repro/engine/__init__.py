@@ -1,0 +1,32 @@
+"""Embedded columnar SQL engine (the reproduction's DBMS substrate)."""
+
+from repro.engine.catalog import Catalog, ColumnStats, TableStats, compute_stats
+from repro.engine.database import Database
+from repro.engine.errors import (
+    CatalogError,
+    EngineError,
+    ExecutionError,
+    PlanError,
+    SQLSyntaxError,
+    TypeMismatchError,
+)
+from repro.engine.table import Column, Table, concat_tables
+from repro.engine.types import SQLType
+
+__all__ = [
+    "Catalog",
+    "CatalogError",
+    "Column",
+    "ColumnStats",
+    "Database",
+    "EngineError",
+    "ExecutionError",
+    "PlanError",
+    "SQLSyntaxError",
+    "SQLType",
+    "Table",
+    "TableStats",
+    "TypeMismatchError",
+    "compute_stats",
+    "concat_tables",
+]

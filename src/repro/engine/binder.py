@@ -1,0 +1,360 @@
+"""Binder: turn a parsed ``Select`` AST into a logical plan tree.
+
+Responsibilities:
+
+* build the FROM tree (scans, derived tables, joins);
+* route aggregates through an Aggregate node, rewriting the select list,
+  HAVING, and ORDER BY to reference the aggregate's output columns;
+* compute window functions after aggregation;
+* expand ``*``;
+* attach hidden sort columns so ORDER BY can use arbitrary expressions.
+"""
+
+import itertools
+
+from repro.engine import sqlast
+from repro.engine.errors import PlanError
+from repro.engine.logical import (
+    Aggregate,
+    Derived,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    Window,
+)
+
+
+def bind(select, catalog):
+    """Bind ``select`` against ``catalog`` and return a logical plan."""
+    return _Binder(catalog).bind_select(select)
+
+
+class _Binder:
+    def __init__(self, catalog):
+        self.catalog = catalog
+        self._counter = itertools.count()
+
+    # -- FROM -----------------------------------------------------------------
+
+    def bind_from(self, select):
+        if select.from_ is None:
+            raise PlanError("queries without FROM are not supported")
+        plan, columns = self.bind_table_ref(select.from_)
+        for join in select.joins:
+            right_plan, right_columns = self.bind_table_ref(join.right)
+            plan = Join(join.kind, plan, right_plan, join.condition)
+            columns = columns + right_columns
+        return plan, columns
+
+    def bind_table_ref(self, ref):
+        if isinstance(ref, sqlast.TableRef):
+            table = self.catalog.get(ref.name)
+            qualifier = ref.alias or ref.name
+            columns = [(qualifier, name) for name in table.column_names]
+            return Scan(ref.name, alias=ref.alias), columns
+        if isinstance(ref, sqlast.SubqueryRef):
+            child = self.bind_select(ref.query)
+            names = self.output_names(child)
+            columns = [(ref.alias, name) for name in names]
+            return Derived(child, ref.alias), columns
+        raise PlanError("unsupported FROM clause {!r}".format(ref))
+
+    def output_names(self, plan):
+        """Static output column names of a bound plan."""
+        if isinstance(plan, Scan):
+            table = self.catalog.get(plan.table)
+            if plan.columns is not None:
+                return list(plan.columns)
+            return table.column_names
+        if isinstance(plan, Derived):
+            return self.output_names(plan.child)
+        if isinstance(plan, Project):
+            return [name for _, name in plan.items]
+        if isinstance(plan, Aggregate):
+            return [name for _, name in plan.groups] + [
+                name for _, name in plan.aggregates
+            ]
+        if isinstance(plan, Window):
+            return self.output_names(plan.child) + [name for _, name in plan.items]
+        if isinstance(plan, (Filter, Distinct, Limit)):
+            return self.output_names(plan.child)
+        if isinstance(plan, Sort):
+            names = self.output_names(plan.child)
+            return [name for name in names if name not in plan.drop]
+        if isinstance(plan, Join):
+            return self.output_names(plan.left) + self.output_names(plan.right)
+        raise PlanError("cannot determine output of {!r}".format(plan))
+
+    # -- SELECT ------------------------------------------------------------------
+
+    def bind_select(self, select):
+        plan, from_columns = self.bind_from(select)
+
+        if select.where is not None:
+            if sqlast.contains_aggregate(select.where):
+                raise PlanError("aggregates are not allowed in WHERE")
+            plan = Filter(plan, select.where)
+
+        # Expand stars early so downstream rewriting sees concrete columns.
+        items = self.expand_stars(select.items, from_columns)
+
+        has_aggregate = bool(select.group_by) or any(
+            sqlast.contains_aggregate(item.expr) for item in items
+        )
+        if select.having is not None and not has_aggregate:
+            raise PlanError("HAVING requires GROUP BY or aggregates")
+
+        having = select.having
+        order_by = list(select.order_by)
+
+        if has_aggregate:
+            plan, rewriter = self.bind_aggregate(plan, select, items)
+            items = [
+                sqlast.SelectItem(rewriter(item.expr), item.alias)
+                for item in items
+            ]
+            if having is not None:
+                having = rewriter(having)
+                plan = Filter(plan, having)
+            order_by = [
+                sqlast.OrderItem(rewriter(o.expr), o.descending, o.nulls_first)
+                for o in order_by
+            ]
+
+        # Window functions compute on the (possibly aggregated) rows.
+        window_items = []
+        for item in items:
+            for node in sqlast.walk_expr(item.expr):
+                if isinstance(node, sqlast.WindowFunc):
+                    window_items.append(node)
+        if window_items:
+            plan, rewriter = self.bind_windows(plan, window_items)
+            items = [
+                sqlast.SelectItem(rewriter(item.expr), item.alias)
+                for item in items
+            ]
+            order_by = [
+                sqlast.OrderItem(rewriter(o.expr), o.descending, o.nulls_first)
+                for o in order_by
+            ]
+
+        named_items = self.name_items(items)
+        output_names = [name for _, name in named_items]
+
+        # ORDER BY: resolve against output names; otherwise add hidden keys.
+        sort_keys = []
+        hidden = []
+        for order in order_by:
+            name = self.order_target(order.expr, named_items, output_names)
+            if name is None:
+                name = "__sort_{}".format(next(self._counter))
+                named_items.append((order.expr, name))
+                hidden.append(name)
+            sort_keys.append((name, order.descending, order.nulls_first))
+
+        plan = Project(plan, named_items)
+
+        if select.distinct:
+            if hidden:
+                raise PlanError(
+                    "ORDER BY expression not in select list with DISTINCT"
+                )
+            plan = Distinct(plan)
+
+        if sort_keys:
+            plan = Sort(plan, sort_keys, drop=hidden)
+        elif hidden:
+            raise PlanError("internal: hidden sort columns without sort")
+
+        if select.limit is not None or select.offset is not None:
+            plan = Limit(plan, select.limit, select.offset or 0)
+        return plan
+
+    def expand_stars(self, items, from_columns):
+        expanded = []
+        for item in items:
+            if isinstance(item.expr, sqlast.Star):
+                for qualifier, name in from_columns:
+                    if item.expr.table and item.expr.table != qualifier:
+                        continue
+                    expanded.append(
+                        sqlast.SelectItem(
+                            sqlast.ColumnRef(name, table=qualifier), alias=name
+                        )
+                    )
+            else:
+                expanded.append(item)
+        if not expanded:
+            raise PlanError("empty select list")
+        return expanded
+
+    def name_items(self, items):
+        named = []
+        used = set()
+        for item in items:
+            if item.alias:
+                name = item.alias
+            elif isinstance(item.expr, sqlast.ColumnRef):
+                name = item.expr.name
+            else:
+                name = item.expr.to_sql()
+            if name in used:
+                raise PlanError("duplicate output column {!r}".format(name))
+            used.add(name)
+            named.append((item.expr, name))
+        return named
+
+    def order_target(self, expr, named_items, output_names):
+        """Resolve an ORDER BY expression to an output column name."""
+        if isinstance(expr, sqlast.ColumnRef) and expr.table is None:
+            if expr.name in output_names:
+                return expr.name
+        rendered = expr.to_sql()
+        for item_expr, name in named_items:
+            if item_expr.to_sql() == rendered:
+                return name
+        return None
+
+    # -- aggregation -------------------------------------------------------------
+
+    def bind_aggregate(self, plan, select, items):
+        groups = []
+        group_keys = {}
+        for index, expr in enumerate(select.group_by):
+            expr = self.resolve_group_alias(expr, items)
+            if isinstance(expr, sqlast.ColumnRef):
+                name = expr.name
+            else:
+                name = "__g{}".format(index)
+            groups.append((expr, name))
+            group_keys[expr.to_sql()] = name
+
+        agg_calls = []
+        agg_keys = {}
+
+        def collect(node):
+            if isinstance(node, sqlast.WindowFunc):
+                # The window's own call is evaluated by the Window stage;
+                # only aggregates nested inside it belong to GROUP BY.
+                for arg in node.func.args:
+                    collect(arg)
+                for expr in node.partition_by:
+                    collect(expr)
+                for order in node.order_by:
+                    collect(order.expr)
+                return
+            if sqlast.is_aggregate_call(node):
+                rendered = node.to_sql()
+                if rendered not in agg_keys:
+                    name = "__a{}".format(len(agg_calls))
+                    agg_keys[rendered] = name
+                    agg_calls.append((node, name))
+                return
+            for child in sqlast.children_of(node):
+                collect(child)
+
+        for item in items:
+            collect(item.expr)
+        if select.having is not None:
+            collect(select.having)
+        for order in select.order_by:
+            collect(order.expr)
+
+        for call, _ in agg_calls:
+            for arg in call.args:
+                if sqlast.contains_aggregate(arg):
+                    raise PlanError("nested aggregates are not allowed")
+
+        aggregate = Aggregate(plan, groups, agg_calls)
+
+        def rewriter(node):
+            return _rewrite(node, group_keys, agg_keys)
+
+        return aggregate, rewriter
+
+    def resolve_group_alias(self, expr, items):
+        """GROUP BY may name a select alias; substitute the aliased expr."""
+        if isinstance(expr, sqlast.ColumnRef) and expr.table is None:
+            for item in items:
+                if item.alias == expr.name and not isinstance(
+                    item.expr, sqlast.ColumnRef
+                ):
+                    return item.expr
+        return expr
+
+    # -- windows -----------------------------------------------------------------
+
+    def bind_windows(self, plan, window_items):
+        items = []
+        keys = {}
+        for window in window_items:
+            rendered = window.to_sql()
+            if rendered not in keys:
+                name = "__w{}".format(len(items))
+                keys[rendered] = name
+                items.append((window, name))
+
+        window_plan = Window(plan, items)
+
+        def rewriter(node):
+            return _rewrite(node, {}, keys, window_keys=keys)
+
+        return window_plan, rewriter
+
+
+def _rewrite(node, group_keys, agg_keys, window_keys=None):
+    """Replace matched group/aggregate/window expressions with ColumnRefs."""
+    rendered = node.to_sql()
+    if rendered in group_keys:
+        return sqlast.ColumnRef(group_keys[rendered])
+    if rendered in agg_keys:
+        return sqlast.ColumnRef(agg_keys[rendered])
+    if window_keys and rendered in window_keys:
+        return sqlast.ColumnRef(window_keys[rendered])
+
+    def recurse(child):
+        return _rewrite(child, group_keys, agg_keys, window_keys)
+
+    if isinstance(node, sqlast.UnaryOp):
+        return sqlast.UnaryOp(node.op, recurse(node.operand))
+    if isinstance(node, sqlast.BinaryOp):
+        return sqlast.BinaryOp(node.op, recurse(node.left), recurse(node.right))
+    if isinstance(node, sqlast.IsNull):
+        return sqlast.IsNull(recurse(node.operand), node.negated)
+    if isinstance(node, sqlast.InList):
+        return sqlast.InList(
+            recurse(node.operand),
+            tuple(recurse(item) for item in node.items),
+            node.negated,
+        )
+    if isinstance(node, sqlast.Between):
+        return sqlast.Between(
+            recurse(node.operand), recurse(node.low), recurse(node.high),
+            node.negated,
+        )
+    if isinstance(node, sqlast.FuncCall):
+        return sqlast.FuncCall(
+            node.name, tuple(recurse(arg) for arg in node.args), node.distinct
+        )
+    if isinstance(node, sqlast.WindowFunc):
+        return sqlast.WindowFunc(
+            recurse(node.func),
+            tuple(recurse(expr) for expr in node.partition_by),
+            tuple(
+                sqlast.OrderItem(recurse(item.expr), item.descending,
+                                 item.nulls_first)
+                for item in node.order_by
+            ),
+        )
+    if isinstance(node, sqlast.Case):
+        return sqlast.Case(
+            tuple((recurse(c), recurse(r)) for c, r in node.whens),
+            recurse(node.default) if node.default is not None else None,
+        )
+    if isinstance(node, sqlast.Cast):
+        return sqlast.Cast(recurse(node.operand), node.type_name)
+    return node

@@ -1,0 +1,119 @@
+"""Catalog: named tables plus per-table statistics.
+
+Statistics feed two consumers: the engine's own EXPLAIN output, and the
+VegaPlus partition planner's cardinality/transfer-size estimates
+(:mod:`repro.planner.cardinality`).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.engine.errors import CatalogError
+from repro.engine.table import Table
+from repro.engine.types import SQLType
+
+_DISTINCT_SAMPLE = 100_000
+
+
+@dataclass
+class ColumnStats:
+    """Summary statistics for one column."""
+
+    type: SQLType
+    null_count: int
+    distinct_estimate: int
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    avg_width: float = 8.0
+
+
+@dataclass
+class TableStats:
+    """Summary statistics for one table."""
+
+    row_count: int
+    columns: Dict[str, ColumnStats] = field(default_factory=dict)
+
+    def row_width(self):
+        """Estimated bytes per row across all columns."""
+        return sum(stats.avg_width for stats in self.columns.values())
+
+
+def compute_stats(table):
+    """Compute TableStats by scanning (sampling distincts on huge tables)."""
+    stats = TableStats(row_count=table.num_rows)
+    for name, column in table.columns.items():
+        valid_data = column.data[column.valid]
+        if len(valid_data) > _DISTINCT_SAMPLE:
+            sample = valid_data[:_DISTINCT_SAMPLE]
+            scale = len(valid_data) / _DISTINCT_SAMPLE
+            distinct = int(min(len(valid_data), len(np.unique(sample)) * scale**0.5))
+        else:
+            distinct = int(len(np.unique(valid_data))) if len(valid_data) else 0
+        min_value = max_value = None
+        avg_width = 8.0
+        if column.type is SQLType.DOUBLE and len(valid_data):
+            min_value = float(valid_data.min())
+            max_value = float(valid_data.max())
+        elif column.type is SQLType.VARCHAR:
+            if len(valid_data):
+                sample = valid_data[:_DISTINCT_SAMPLE]
+                avg_width = float(
+                    sum(len(value) for value in sample) / len(sample)
+                )
+            else:
+                avg_width = 0.0
+        elif column.type is SQLType.BOOLEAN:
+            avg_width = 1.0
+        stats.columns[name] = ColumnStats(
+            type=column.type,
+            null_count=column.null_count(),
+            distinct_estimate=distinct,
+            min_value=min_value,
+            max_value=max_value,
+            avg_width=avg_width,
+        )
+    return stats
+
+
+class Catalog:
+    """Named tables with lazily computed statistics."""
+
+    def __init__(self):
+        self._tables = {}
+        self._stats = {}
+
+    def create(self, name, table, replace=False):
+        if name in self._tables and not replace:
+            raise CatalogError("table {!r} already exists".format(name))
+        if not isinstance(table, Table):
+            raise CatalogError("expected a Table, got {!r}".format(type(table)))
+        self._tables[name] = table
+        self._stats.pop(name, None)
+
+    def drop(self, name):
+        if name not in self._tables:
+            raise CatalogError("unknown table {!r}".format(name))
+        del self._tables[name]
+        self._stats.pop(name, None)
+
+    def get(self, name):
+        if name not in self._tables:
+            raise CatalogError("unknown table {!r}".format(name))
+        return self._tables[name]
+
+    def has(self, name):
+        return name in self._tables
+
+    def names(self):
+        return sorted(self._tables)
+
+    def stats(self, name):
+        if name not in self._stats:
+            self._stats[name] = compute_stats(self.get(name))
+        return self._stats[name]
+
+    def invalidate_stats(self, name):
+        self._stats.pop(name, None)

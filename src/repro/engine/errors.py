@@ -1,0 +1,34 @@
+"""Errors raised by the embedded SQL engine."""
+
+
+class EngineError(Exception):
+    """Base class for all engine errors."""
+
+
+class SQLSyntaxError(EngineError):
+    """The SQL text could not be tokenized or parsed."""
+
+    def __init__(self, message, position=None):
+        self.position = position
+        if position is not None:
+            message = "{} (at position {})".format(message, position)
+        super().__init__(message)
+
+
+class CatalogError(EngineError):
+    """Unknown table, duplicate table, or unknown column."""
+
+
+class PlanError(EngineError):
+    """The query is well-formed SQL but cannot be planned.
+
+    Examples: non-aggregated column outside GROUP BY, aggregate in WHERE.
+    """
+
+
+class ExecutionError(EngineError):
+    """A runtime failure while executing a physical plan."""
+
+
+class TypeMismatchError(ExecutionError):
+    """An operator received a column of an unexpected type."""

@@ -1,0 +1,602 @@
+"""Physical execution of logical plans against a catalog.
+
+``execute(plan, catalog)`` interprets a logical plan tree and returns a
+:class:`~repro.engine.table.Table`.  Execution is vectorized over numpy
+columns; grouping, windows, sorts, and joins factorize key columns into
+integer codes first.
+"""
+
+import numpy as np
+
+from repro.engine import sqlast
+from repro.engine.errors import ExecutionError, PlanError
+from repro.engine.eval import Frame, evaluate, predicate_mask
+from repro.engine.functions import aggregate_function
+from repro.engine.logical import (
+    Aggregate,
+    Derived,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    Window,
+)
+from repro.engine.table import Column, Table
+from repro.engine.types import SQLType
+
+
+def execute(plan, catalog):
+    """Execute ``plan`` and return the result Table."""
+    frame = _execute(plan, catalog)
+    return frame.to_table()
+
+
+#: when set (by execute_with_stats), _execute records per-node stats here
+_active_stats = None
+
+
+def execute_with_stats(plan, catalog):
+    """Execute ``plan`` collecting per-node statistics.
+
+    Returns ``(table, stats)`` where stats maps ``id(node)`` to
+    ``(output_rows, seconds)`` — seconds are inclusive of children, like
+    EXPLAIN ANALYZE.  Not reentrant (the engine is single-threaded).
+    """
+    global _active_stats
+    if _active_stats is not None:
+        raise ExecutionError("execute_with_stats is not reentrant")
+    _active_stats = {}
+    try:
+        frame = _execute(plan, catalog)
+        return frame.to_table(), _active_stats
+    finally:
+        _active_stats = None
+
+
+def _execute(plan, catalog):
+    if _active_stats is None:
+        return _execute_node(plan, catalog)
+    import time
+
+    start = time.perf_counter()
+    frame = _execute_node(plan, catalog)
+    _active_stats[id(plan)] = (
+        frame.num_rows, time.perf_counter() - start
+    )
+    return frame
+
+
+def _execute_node(plan, catalog):
+    if isinstance(plan, Scan):
+        table = catalog.get(plan.table)
+        if plan.columns is not None:
+            table = table.select(plan.columns)
+        return Frame.from_table(table, qualifier=plan.alias or plan.table)
+    if isinstance(plan, Derived):
+        child = _execute(plan.child, catalog)
+        table = child.to_table()
+        return Frame.from_table(table, qualifier=plan.alias)
+    if isinstance(plan, Filter):
+        child = _execute(plan.child, catalog)
+        keep = predicate_mask(plan.predicate, child)
+        return child.mask(keep)
+    if isinstance(plan, Project):
+        child = _execute(plan.child, catalog)
+        entries = [
+            (None, name, evaluate(expr, child)) for expr, name in plan.items
+        ]
+        return Frame(entries, num_rows=child.num_rows)
+    if isinstance(plan, Aggregate):
+        return _execute_aggregate(plan, catalog)
+    if isinstance(plan, Window):
+        return _execute_window(plan, catalog)
+    if isinstance(plan, Distinct):
+        child = _execute(plan.child, catalog)
+        columns = [column for _, _, column in child.entries]
+        group_ids, group_count = factorize_rows(columns, child.num_rows)
+        first = first_occurrences(group_ids, group_count)
+        return child.take(first)
+    if isinstance(plan, Sort):
+        return _execute_sort(plan, catalog)
+    if isinstance(plan, Limit):
+        child = _execute(plan.child, catalog)
+        start = plan.offset
+        stop = child.num_rows if plan.limit is None else start + plan.limit
+        indices = np.arange(start, min(stop, child.num_rows))
+        return child.take(indices)
+    if isinstance(plan, Join):
+        return _execute_join(plan, catalog)
+    raise ExecutionError("unsupported plan node {!r}".format(plan))
+
+
+# --------------------------------------------------------------------------
+# Factorization helpers
+# --------------------------------------------------------------------------
+
+
+def factorize_column(column):
+    """Map a column to dense integer codes; NULL gets its own code."""
+    if len(column) == 0:
+        return np.zeros(0, dtype=np.int64), 0
+    valid_values = column.data[column.valid]
+    if len(valid_values) == 0:
+        return np.zeros(len(column), dtype=np.int64), 1
+    uniques = np.unique(valid_values)
+    codes = np.searchsorted(uniques, column.data)
+    # searchsorted on placeholder values of invalid rows can exceed range;
+    # clamp, then overwrite invalid rows with the dedicated NULL code.
+    codes = np.clip(codes, 0, len(uniques) - 1).astype(np.int64)
+    # Placeholder values may accidentally equal a real value; that is fine
+    # because the NULL code below overrides them.
+    codes = np.where(column.valid, codes, np.int64(len(uniques)))
+    count = len(uniques) + (0 if column.valid.all() else 1)
+    return codes, count
+
+
+def factorize_rows(columns, num_rows):
+    """Dense row-group ids over multiple key columns (empty -> one group)."""
+    if not columns:
+        return np.zeros(num_rows, dtype=np.int64), 1 if num_rows else 0
+    combined = None
+    for column in columns:
+        codes, count = factorize_column(column)
+        if combined is None:
+            combined = codes
+        else:
+            combined = combined * np.int64(max(count, 1)) + codes
+    uniques, inverse = np.unique(combined, return_inverse=True)
+    return inverse.astype(np.int64), len(uniques)
+
+
+def first_occurrences(group_ids, group_count):
+    """Index of the first row of each group, in group-id order."""
+    first = np.full(group_count, -1, dtype=np.int64)
+    # Reverse iteration via minimum.at keeps the earliest index.
+    seen = np.zeros(group_count, dtype=np.bool_)
+    for index, gid in enumerate(group_ids):
+        if not seen[gid]:
+            seen[gid] = True
+            first[gid] = index
+    return first
+
+
+def group_row_indices(group_ids, group_count):
+    """List of index arrays, one per group id."""
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    boundaries = np.flatnonzero(np.diff(sorted_ids)) + 1
+    return [np.asarray(chunk) for chunk in np.split(order, boundaries)], order
+
+
+# --------------------------------------------------------------------------
+# Aggregate
+# --------------------------------------------------------------------------
+
+
+def _execute_aggregate(plan, catalog):
+    child = _execute(plan.child, catalog)
+    key_columns = [evaluate(expr, child) for expr, _ in plan.groups]
+    group_ids, group_count = factorize_rows(key_columns, child.num_rows)
+
+    if group_count == 0 and plan.groups:
+        # No input rows and explicit grouping: empty result.
+        entries = [
+            (None, name, Column.from_values([], column.type))
+            for (explicit, name), column in zip(plan.groups, key_columns)
+        ]
+        for call, name in plan.aggregates:
+            entries.append((None, name, Column.from_values([], SQLType.DOUBLE)))
+        return Frame(entries, num_rows=0)
+
+    if group_count == 0:
+        group_count = 1  # global aggregate over empty input: one group
+        group_ids = np.zeros(0, dtype=np.int64)
+
+    first = first_occurrences(group_ids, group_count)
+    groups, _ = group_row_indices(group_ids, group_count) if child.num_rows else ([], None)
+    if child.num_rows == 0:
+        groups = [np.zeros(0, dtype=np.int64)] * group_count
+    elif len(groups) != group_count:
+        raise ExecutionError("internal grouping inconsistency")
+
+    entries = []
+    for column, (_, name) in zip(key_columns, plan.groups):
+        entries.append((None, name, column.take(first)))
+
+    for call, name in plan.aggregates:
+        entries.append((None, name, _compute_aggregate(call, child, groups)))
+
+    return Frame(entries, num_rows=group_count)
+
+
+def _compute_aggregate(call, frame, groups):
+    star = len(call.args) == 1 and isinstance(call.args[0], sqlast.Star)
+    extra_literal = None
+    if call.name.upper() == "QUANTILE":
+        if len(call.args) != 2 or not isinstance(call.args[1], sqlast.Literal):
+            raise PlanError("QUANTILE(expr, fraction) requires a literal fraction")
+        extra_literal = call.args[1].value
+    fn = aggregate_function(
+        call.name, distinct=call.distinct, star=star, extra_literal=extra_literal
+    )
+    if star:
+        arg_column = Column(
+            SQLType.DOUBLE,
+            np.zeros(frame.num_rows),
+            np.ones(frame.num_rows, dtype=np.bool_),
+        )
+    else:
+        if not call.args:
+            raise PlanError("{}() requires an argument".format(call.name))
+        arg_column = evaluate(call.args[0], frame)
+
+    values = []
+    for indices in groups:
+        values.append(fn(arg_column.take(indices)))
+    result_type = (
+        SQLType.VARCHAR
+        if arg_column.type is SQLType.VARCHAR
+        and call.name.upper() in ("MIN", "MAX")
+        else SQLType.DOUBLE
+    )
+    return Column.from_values(values, result_type)
+
+
+# --------------------------------------------------------------------------
+# Window
+# --------------------------------------------------------------------------
+
+_WINDOW_RANKERS = {"ROW_NUMBER", "RANK", "DENSE_RANK"}
+_WINDOW_AGGREGATES = {"SUM", "COUNT", "AVG", "MIN", "MAX"}
+_WINDOW_OFFSETS = {"LAG", "LEAD"}
+
+
+def _execute_window(plan, catalog):
+    child = _execute(plan.child, catalog)
+    entries = list(child.entries)
+    for window, name in plan.items:
+        entries.append((None, name, _compute_window(window, child)))
+    return Frame(entries, num_rows=child.num_rows)
+
+
+def _compute_window(window, frame):
+    num_rows = frame.num_rows
+    partition_columns = [evaluate(expr, frame) for expr in window.partition_by]
+    group_ids, group_count = factorize_rows(partition_columns, num_rows)
+    if num_rows == 0:
+        return Column.from_values([], SQLType.DOUBLE)
+    groups, _ = group_row_indices(group_ids, max(group_count, 1))
+
+    order_keys = [
+        (evaluate(item.expr, frame), item.descending, item.nulls_first)
+        for item in window.order_by
+    ]
+
+    func_name = window.func.name.upper()
+    out = np.zeros(num_rows, dtype=np.float64)
+    out_valid = np.ones(num_rows, dtype=np.bool_)
+
+    arg_column = None
+    if window.func.args and not isinstance(window.func.args[0], sqlast.Star):
+        arg_column = evaluate(window.func.args[0], frame)
+
+    for indices in groups:
+        local_order = _sorted_indices(
+            [(column.take(indices), desc, nf) for column, desc, nf in order_keys],
+            len(indices),
+        )
+        ordered = indices[local_order]
+        if func_name in _WINDOW_RANKERS:
+            _window_rank(func_name, ordered, order_keys, out)
+        elif func_name in _WINDOW_AGGREGATES:
+            _window_aggregate(
+                func_name, ordered, arg_column, bool(window.order_by), out, out_valid
+            )
+        elif func_name in _WINDOW_OFFSETS:
+            _window_offset(func_name, window.func, ordered, arg_column, out, out_valid)
+        else:
+            raise ExecutionError(
+                "unsupported window function {}()".format(window.func.name)
+            )
+
+    return Column(SQLType.DOUBLE, out, out_valid)
+
+
+def _window_rank(func_name, ordered, order_keys, out):
+    if func_name == "ROW_NUMBER" or not order_keys:
+        out[ordered] = np.arange(1, len(ordered) + 1, dtype=np.float64)
+        return
+    rank = 0
+    dense = 0
+    previous = None
+    for position, row in enumerate(ordered):
+        key = tuple(column.value_at(row) for column, _, _ in order_keys)
+        if key != previous:
+            dense += 1
+            rank = position + 1
+            previous = key
+        out[row] = float(rank if func_name == "RANK" else dense)
+
+
+def _window_aggregate(func_name, ordered, arg_column, running, out, out_valid):
+    if arg_column is None:  # COUNT(*)
+        values = np.ones(len(ordered), dtype=np.float64)
+        valid = np.ones(len(ordered), dtype=np.bool_)
+    else:
+        taken = arg_column.take(ordered)
+        values = taken.data.astype(np.float64)
+        valid = taken.valid
+
+    masked = np.where(valid, values, 0.0)
+    if func_name == "COUNT":
+        series = np.cumsum(valid.astype(np.float64))
+    elif func_name == "SUM":
+        series = np.cumsum(masked)
+    elif func_name == "AVG":
+        counts = np.cumsum(valid.astype(np.float64))
+        with np.errstate(invalid="ignore", divide="ignore"):
+            series = np.where(counts > 0, np.cumsum(masked) / counts, 0.0)
+    elif func_name == "MIN":
+        series = np.minimum.accumulate(np.where(valid, values, np.inf))
+    else:  # MAX
+        series = np.maximum.accumulate(np.where(valid, values, -np.inf))
+
+    if not running:
+        series = np.full(len(ordered), series[-1] if len(ordered) else 0.0)
+
+    any_valid = np.cumsum(valid.astype(np.int64)) > 0
+    if not running:
+        any_valid = np.full(len(ordered), bool(valid.any()))
+    if func_name in ("SUM", "AVG", "MIN", "MAX"):
+        out_valid[ordered] = any_valid
+    out[ordered] = np.where(np.isfinite(series), series, 0.0)
+
+
+def _window_offset(func_name, call, ordered, arg_column, out, out_valid):
+    offset = 1
+    if len(call.args) > 1:
+        literal = call.args[1]
+        if not isinstance(literal, sqlast.Literal):
+            raise PlanError("LAG/LEAD offset must be a literal")
+        offset = int(literal.value)
+    if arg_column is None:
+        raise PlanError("LAG/LEAD require an argument")
+    taken = arg_column.take(ordered)
+    shift = offset if func_name == "LAG" else -offset
+    for position, row in enumerate(ordered):
+        source = position - shift
+        if 0 <= source < len(ordered):
+            value = taken.value_at(source)
+            if value is None:
+                out_valid[row] = False
+            else:
+                out[row] = float(value)
+        else:
+            out_valid[row] = False
+
+
+# --------------------------------------------------------------------------
+# Sort
+# --------------------------------------------------------------------------
+
+
+def _execute_sort(plan, catalog):
+    child = _execute(plan.child, catalog)
+    table = child.to_table()
+    keys = []
+    for name, descending, nulls_first in plan.keys:
+        keys.append((table.column(name), descending, nulls_first))
+    limit = plan.limit_hint
+    if (
+        limit is not None
+        and len(keys) == 1
+        and 0 < limit < table.num_rows // 4
+    ):
+        order = _topn_indices(keys[0], table.num_rows, limit)
+    else:
+        order = _sorted_indices(keys, table.num_rows)
+    sorted_frame = Frame.from_table(table.take(order))
+    if plan.drop:
+        entries = [
+            (q, n, column)
+            for q, n, column in sorted_frame.entries
+            if n not in plan.drop
+        ]
+        return Frame(entries, num_rows=sorted_frame.num_rows)
+    return sorted_frame
+
+
+def _topn_indices(key, num_rows, limit):
+    """Top-N partial selection for a single sort key: argpartition picks
+    the N smallest composite keys, then only those are fully sorted.
+
+    Only the first ``limit`` positions of the returned order are
+    meaningful — exactly what the Limit above will consume.
+    """
+    column, descending, nulls_first = key
+    if column.type is SQLType.VARCHAR:
+        codes, _ = factorize_column(column)
+        values = codes.astype(np.float64)
+        values = np.where(column.valid, values, 0.0)
+    else:
+        values = column.data.astype(np.float64)
+    if descending:
+        values = -values
+    if nulls_first is None:
+        null_first = descending  # Postgres: NULLs largest
+    else:
+        null_first = nulls_first
+    composite = np.where(
+        column.valid, values,
+        -np.inf if null_first else np.inf,
+    )
+    top = np.argpartition(composite, limit)[:limit]
+    ordered = top[np.argsort(composite[top], kind="stable")]
+    rest = np.setdiff1d(np.arange(num_rows), ordered, assume_unique=False)
+    return np.concatenate([ordered, rest])
+
+
+def _sorted_indices(keys, num_rows):
+    """Stable multi-key ordering; Postgres NULL placement by default
+    (NULLs sort as larger than every value)."""
+    if not keys:
+        return np.arange(num_rows)
+    lexsort_keys = []
+    for column, descending, nulls_first in keys:
+        if column.type is SQLType.VARCHAR:
+            codes, _ = factorize_column(column)
+            values = codes.astype(np.float64)
+            # factorize assigns NULL the highest code already; recompute a
+            # clean numeric array where NULL handling is explicit below.
+            values = np.where(column.valid, values, 0.0)
+        elif column.type is SQLType.BOOLEAN:
+            values = column.data.astype(np.float64)
+        else:
+            values = column.data.astype(np.float64)
+        if descending:
+            values = -values
+        if nulls_first is None:
+            null_rank = 0.0 if descending else 1.0
+        else:
+            null_rank = 0.0 if nulls_first else 1.0
+        null_key = np.where(column.valid, 0.0, 1.0) * (1.0 if null_rank else -1.0)
+        # Two keys per sort column, in priority order: null placement wins,
+        # then the value itself.
+        lexsort_keys.append(null_key)
+        lexsort_keys.append(np.where(column.valid, values, 0.0))
+    # np.lexsort sorts by the LAST key first; reverse for priority order.
+    return np.lexsort(tuple(reversed(lexsort_keys)))
+
+
+# --------------------------------------------------------------------------
+# Join
+# --------------------------------------------------------------------------
+
+
+def _execute_join(plan, catalog):
+    left = _execute(plan.left, catalog)
+    right = _execute(plan.right, catalog)
+    left_exprs, right_exprs = _equi_keys(plan.condition, left, right)
+
+    left_keys = [evaluate(expr, left) for expr in left_exprs]
+    right_keys = [evaluate(expr, right) for expr in right_exprs]
+
+    index = {}
+    for row in range(right.num_rows):
+        key = tuple(column.value_at(row) for column in right_keys)
+        if any(part is None for part in key):
+            continue
+        index.setdefault(key, []).append(row)
+
+    left_indices = []
+    right_indices = []
+    unmatched = []
+    for row in range(left.num_rows):
+        key = tuple(column.value_at(row) for column in left_keys)
+        matches = None if any(part is None for part in key) else index.get(key)
+        if matches:
+            for match in matches:
+                left_indices.append(row)
+                right_indices.append(match)
+        elif plan.kind == "LEFT":
+            unmatched.append(row)
+
+    left_idx = np.array(left_indices, dtype=np.int64)
+    right_idx = np.array(right_indices, dtype=np.int64)
+
+    matched_left = left.take(left_idx)
+    matched_right = right.take(right_idx)
+
+    entries = list(matched_left.entries) + list(matched_right.entries)
+    result = Frame(entries, num_rows=len(left_idx))
+
+    if plan.kind == "LEFT" and unmatched:
+        pad_left = left.take(np.array(unmatched, dtype=np.int64))
+        pad_entries = list(pad_left.entries)
+        for qualifier, name, column in right.entries:
+            pad_entries.append(
+                (qualifier, name, Column.nulls(column.type, len(unmatched)))
+            )
+        pad_frame = Frame(pad_entries, num_rows=len(unmatched))
+        result = _concat_frames(result, pad_frame)
+    return result
+
+
+def _concat_frames(first, second):
+    entries = []
+    for (q1, n1, c1), (q2, n2, c2) in zip(first.entries, second.entries):
+        data = np.concatenate([c1.data, c2.data])
+        valid = np.concatenate([c1.valid, c2.valid])
+        entries.append((q1, n1, Column(c1.type, data, valid)))
+    return Frame(entries, num_rows=first.num_rows + second.num_rows)
+
+
+def _equi_keys(condition, left, right):
+    """Decompose an AND-tree of equality conditions into left/right keys."""
+    pairs = []
+
+    def visit(node):
+        if isinstance(node, sqlast.BinaryOp) and node.op.upper() == "AND":
+            visit(node.left)
+            visit(node.right)
+            return
+        if isinstance(node, sqlast.BinaryOp) and node.op == "=":
+            sides = []
+            for operand in (node.left, node.right):
+                sides.append(_binds_to(operand, left, right))
+            if sides[0] == "left" and sides[1] == "right":
+                pairs.append((node.left, node.right))
+                return
+            if sides[0] == "right" and sides[1] == "left":
+                pairs.append((node.right, node.left))
+                return
+        raise PlanError(
+            "only equi-join conditions are supported: {}".format(
+                condition.to_sql()
+            )
+        )
+
+    visit(condition)
+    if not pairs:
+        raise PlanError("join condition has no equality predicates")
+    left_exprs = [pair[0] for pair in pairs]
+    right_exprs = [pair[1] for pair in pairs]
+    return left_exprs, right_exprs
+
+
+def _binds_to(expr, left, right):
+    """Which side an expression's column references resolve against."""
+    refs = [
+        node for node in sqlast.walk_expr(expr)
+        if isinstance(node, sqlast.ColumnRef)
+    ]
+    if not refs:
+        raise PlanError("join key must reference a column")
+    sides = set()
+    for ref in refs:
+        on_left = _resolvable(left, ref)
+        on_right = _resolvable(right, ref)
+        if on_left and on_right:
+            raise PlanError(
+                "ambiguous join key {!r}; qualify it".format(ref.name)
+            )
+        if on_left:
+            sides.add("left")
+        elif on_right:
+            sides.add("right")
+        else:
+            raise PlanError("unknown join key column {!r}".format(ref.name))
+    if len(sides) != 1:
+        raise PlanError("join key mixes both sides")
+    return sides.pop()
+
+
+def _resolvable(frame, ref):
+    try:
+        frame.resolve(ref.name, ref.table)
+    except PlanError:
+        return False
+    return True

@@ -1,0 +1,115 @@
+"""SQL tokenizer for the embedded engine."""
+
+from dataclasses import dataclass
+
+from repro.engine.errors import SQLSyntaxError
+
+KEYWORD = "KEYWORD"
+IDENT = "IDENT"
+NUMBER = "NUMBER"
+STRING = "STRING"
+OP = "OP"
+EOF = "EOF"
+
+KEYWORDS = {
+    "SELECT", "DISTINCT", "FROM", "WHERE", "GROUP", "BY", "HAVING", "ORDER",
+    "LIMIT", "OFFSET", "AS", "AND", "OR", "NOT", "NULL", "TRUE", "FALSE",
+    "IS", "IN", "LIKE", "REGEXP", "BETWEEN", "CASE", "WHEN", "THEN", "ELSE",
+    "END", "CAST", "JOIN", "INNER", "LEFT", "RIGHT", "OUTER", "CROSS", "ON",
+    "ASC", "DESC", "NULLS", "FIRST", "LAST", "UNION", "ALL", "OVER",
+    "PARTITION", "ROWS", "EXPLAIN", "CREATE", "TABLE", "INSERT", "INTO",
+    "VALUES", "DROP", "WITH",
+}
+
+_OPERATORS = ["<>", "!=", "<=", ">=", "||", "=", "<", ">", "+", "-", "*", "/",
+              "%", "(", ")", ",", ".", ";"]
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_")
+_IDENT_CONT = _IDENT_START | set("0123456789$")
+_DIGITS = set("0123456789")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str
+    value: object
+    pos: int
+
+
+def tokenize(sql):
+    """Tokenize SQL text; keywords are case-insensitive and uppercased."""
+    tokens = []
+    i = 0
+    n = len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch in " \t\n\r":
+            i += 1
+            continue
+        if sql.startswith("--", i):
+            end = sql.find("\n", i)
+            i = n if end == -1 else end + 1
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and sql[i + 1] in _DIGITS):
+            start = i
+            while i < n and sql[i] in _DIGITS:
+                i += 1
+            if i < n and sql[i] == ".":
+                i += 1
+                while i < n and sql[i] in _DIGITS:
+                    i += 1
+            if i < n and sql[i] in "eE":
+                j = i + 1
+                if j < n and sql[j] in "+-":
+                    j += 1
+                if j < n and sql[j] in _DIGITS:
+                    i = j
+                    while i < n and sql[i] in _DIGITS:
+                        i += 1
+            tokens.append(Token(NUMBER, float(sql[start:i]), start))
+            continue
+        if ch == "'":
+            value, i = _scan_quoted(sql, i, "'")
+            tokens.append(Token(STRING, value, i))
+            continue
+        if ch == '"':
+            value, i = _scan_quoted(sql, i, '"')
+            tokens.append(Token(IDENT, value, i))
+            continue
+        if ch in _IDENT_START:
+            start = i
+            while i < n and sql[i] in _IDENT_CONT:
+                i += 1
+            word = sql[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KEYWORD, upper, start))
+            else:
+                tokens.append(Token(IDENT, word, start))
+            continue
+        matched = next((op for op in _OPERATORS if sql.startswith(op, i)), None)
+        if matched is not None:
+            tokens.append(Token(OP, matched, i))
+            i += len(matched)
+            continue
+        raise SQLSyntaxError("unexpected character {!r}".format(ch), i)
+    tokens.append(Token(EOF, None, n))
+    return tokens
+
+
+def _scan_quoted(sql, i, quote):
+    """Scan a quoted region with doubled-quote escaping; returns (text, end)."""
+    n = len(sql)
+    out = []
+    j = i + 1
+    while j < n:
+        ch = sql[j]
+        if ch == quote:
+            if j + 1 < n and sql[j + 1] == quote:
+                out.append(quote)
+                j += 2
+                continue
+            return "".join(out), j + 1
+        out.append(ch)
+        j += 1
+    raise SQLSyntaxError("unterminated quoted token", i)

@@ -1,0 +1,202 @@
+"""Logical plan nodes for the embedded engine.
+
+The binder (:mod:`repro.engine.planner`) turns a parsed ``Select`` into a
+tree of these nodes; the rule optimizer rewrites the tree; the executor
+interprets it.  Nodes are plain mutable dataclasses — the optimizer
+replaces children in place of parents by returning new trees.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.engine import sqlast
+
+
+class LogicalPlan:
+    """Base class for logical operators."""
+
+    def children(self):
+        return []
+
+    def label(self):
+        return type(self).__name__.replace("Logical", "")
+
+
+@dataclass
+class Scan(LogicalPlan):
+    """Read a base table, optionally restricted to ``columns`` (pruning)."""
+
+    table: str
+    alias: Optional[str] = None
+    columns: Optional[List[str]] = None
+
+    def label(self):
+        parts = ["Scan " + self.table]
+        if self.columns is not None:
+            parts.append("cols=[{}]".format(", ".join(self.columns)))
+        return " ".join(parts)
+
+
+@dataclass
+class Derived(LogicalPlan):
+    """A derived table (subquery in FROM) with an alias."""
+
+    child: LogicalPlan
+    alias: str
+
+    def children(self):
+        return [self.child]
+
+    def label(self):
+        return "Derived AS {}".format(self.alias)
+
+
+@dataclass
+class Join(LogicalPlan):
+    kind: str  # 'INNER' | 'LEFT'
+    left: LogicalPlan
+    right: LogicalPlan
+    condition: sqlast.SqlNode
+
+    def children(self):
+        return [self.left, self.right]
+
+    def label(self):
+        return "{}Join ON {}".format(self.kind.title(), self.condition.to_sql())
+
+
+@dataclass
+class Filter(LogicalPlan):
+    child: LogicalPlan
+    predicate: sqlast.SqlNode
+
+    def children(self):
+        return [self.child]
+
+    def label(self):
+        return "Filter " + self.predicate.to_sql()
+
+
+@dataclass
+class Project(LogicalPlan):
+    """Compute named output columns.  ``items`` are (expr, name) pairs."""
+
+    child: LogicalPlan
+    items: List[Tuple[sqlast.SqlNode, str]]
+
+    def children(self):
+        return [self.child]
+
+    def label(self):
+        rendered = ", ".join(
+            "{} AS {}".format(expr.to_sql(), name) for expr, name in self.items
+        )
+        return "Project " + rendered
+
+
+@dataclass
+class Aggregate(LogicalPlan):
+    """Group by ``groups`` (expr, name) and compute ``aggregates``
+    (FuncCall, name)."""
+
+    child: LogicalPlan
+    groups: List[Tuple[sqlast.SqlNode, str]]
+    aggregates: List[Tuple[sqlast.FuncCall, str]]
+
+    def children(self):
+        return [self.child]
+
+    def label(self):
+        groups = ", ".join(name for _, name in self.groups) or "<none>"
+        aggs = ", ".join(
+            "{} AS {}".format(call.to_sql(), name)
+            for call, name in self.aggregates
+        )
+        return "Aggregate groups=[{}] aggs=[{}]".format(groups, aggs)
+
+
+@dataclass
+class Window(LogicalPlan):
+    """Append window-function columns.  ``items`` are (WindowFunc, name)."""
+
+    child: LogicalPlan
+    items: List[Tuple[sqlast.WindowFunc, str]]
+
+    def children(self):
+        return [self.child]
+
+    def label(self):
+        rendered = ", ".join(
+            "{} AS {}".format(func.to_sql(), name) for func, name in self.items
+        )
+        return "Window " + rendered
+
+
+@dataclass
+class Distinct(LogicalPlan):
+    child: LogicalPlan
+
+    def children(self):
+        return [self.child]
+
+
+@dataclass
+class Sort(LogicalPlan):
+    """Sort by output-column keys; ``drop`` names hidden sort columns that
+    the executor removes after ordering.  ``limit_hint`` (set by the
+    optimizer when a Limit sits directly above) lets the executor use
+    top-N partial selection instead of a full sort."""
+
+    child: LogicalPlan
+    keys: List[Tuple[str, bool, Optional[bool]]]  # (column, desc, nulls_first)
+    drop: List[str] = field(default_factory=list)
+    limit_hint: Optional[int] = None
+
+    def children(self):
+        return [self.child]
+
+    def label(self):
+        rendered = ", ".join(
+            "{} {}".format(name, "DESC" if desc else "ASC")
+            for name, desc, _ in self.keys
+        )
+        return "Sort " + rendered
+
+
+@dataclass
+class Limit(LogicalPlan):
+    child: LogicalPlan
+    limit: Optional[int]
+    offset: int = 0
+
+    def children(self):
+        return [self.child]
+
+    def label(self):
+        text = "Limit {}".format(self.limit)
+        if self.offset:
+            text += " Offset {}".format(self.offset)
+        return text
+
+
+def walk_plan(plan):
+    """Yield plan nodes pre-order."""
+    yield plan
+    for child in plan.children():
+        yield from walk_plan(child)
+
+
+def format_plan(plan, indent=0, stats=None):
+    """Render a plan tree as indented text (used by EXPLAIN).
+
+    ``stats`` (from the executor's EXPLAIN ANALYZE mode) maps node ids to
+    (rows, seconds) and is appended per line when given.
+    """
+    label = plan.label()
+    if stats is not None and id(plan) in stats:
+        rows, seconds = stats[id(plan)]
+        label += "  [rows={} time={:.4f}s]".format(rows, seconds)
+    lines = ["  " * indent + label]
+    for child in plan.children():
+        lines.append(format_plan(child, indent + 1, stats))
+    return "\n".join(lines)

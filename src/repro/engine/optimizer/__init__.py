@@ -1,0 +1,5 @@
+"""Rule-based logical optimizer for the embedded engine."""
+
+from repro.engine.optimizer.rules import optimize
+
+__all__ = ["optimize"]

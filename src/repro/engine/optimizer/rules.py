@@ -1,0 +1,279 @@
+"""Logical optimization rules.
+
+Three classic rewrites, applied to fixpoint:
+
+* **filter pushdown** — move Filters below Projects (rewriting column
+  references through the projection) and below Derived boundaries, so
+  predicates reach the scan as early as possible;
+* **projection pruning** — restrict every Scan to the columns actually
+  referenced above it;
+* **filter fusion** — merge adjacent Filters into one AND predicate.
+
+These are the engine-side counterpart of the paper's §2.2(3) "standard
+rule-based optimizations"; the corresponding *source-level* rewrites that
+VegaPlus applies to generated SQL live in :mod:`repro.sqlgen.rewrite`.
+"""
+
+from repro.engine import sqlast
+from repro.engine.logical import (
+    Aggregate,
+    Derived,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    Window,
+)
+
+
+def optimize(plan, catalog, enable_pushdown=True, enable_pruning=True):
+    """Optimize a bound logical plan.  Flags support the E4 ablation."""
+    if enable_pushdown:
+        plan = _fixpoint(plan, _push_filters)
+        plan = _fixpoint(plan, _fuse_filters)
+    if enable_pruning:
+        plan = _prune_projections(plan, catalog, required=None)
+    plan = _annotate_topn(plan)
+    return plan
+
+
+def _annotate_topn(plan):
+    """Mark Sorts directly under a Limit so the executor can select the
+    top N rows with a partial sort."""
+    for attr in ("child", "left", "right"):
+        if hasattr(plan, attr):
+            setattr(plan, attr, _annotate_topn(getattr(plan, attr)))
+    if isinstance(plan, Limit) and isinstance(plan.child, Sort) \
+            and plan.limit is not None:
+        plan.child.limit_hint = plan.limit + (plan.offset or 0)
+    return plan
+
+
+def _fixpoint(plan, rule):
+    while True:
+        plan, changed = rule(plan)
+        if not changed:
+            return plan
+
+
+# --------------------------------------------------------------------------
+# Filter pushdown
+# --------------------------------------------------------------------------
+
+
+def _push_filters(plan):
+    changed = False
+
+    def rewrite(node):
+        nonlocal changed
+        for attr in ("child", "left", "right"):
+            if hasattr(node, attr):
+                setattr(node, attr, rewrite(getattr(node, attr)))
+        if isinstance(node, Filter):
+            pushed = _push_one(node)
+            if pushed is not None:
+                changed = True
+                return pushed
+        return node
+
+    return rewrite(plan), changed
+
+
+def _push_one(filter_node):
+    child = filter_node.child
+    predicate = filter_node.predicate
+
+    if isinstance(child, Project):
+        substituted = _substitute_through_project(predicate, child.items)
+        if substituted is not None:
+            child.child = Filter(child.child, substituted)
+            return child
+    if isinstance(child, Derived):
+        inner = child.child
+        # Only safe when the derived head is itself a plain pipeline whose
+        # output names are 1:1 columns; delegate to the Project case by
+        # pushing inside the Derived and retrying there.
+        if isinstance(inner, (Project, Filter, Sort)):
+            child.child = Filter(inner, _strip_qualifier(predicate, child.alias))
+            return child
+    if isinstance(child, Sort):
+        # Filter commutes with sort; filtering first is always cheaper.
+        filter_node.child = child.child
+        child.child = filter_node
+        return child
+    if isinstance(child, Filter):
+        return None  # fusion rule handles adjacent filters
+    return None
+
+
+def _strip_qualifier(expr, qualifier):
+    """Remove a table qualifier that no longer exists below a boundary."""
+
+    def recurse(node):
+        if isinstance(node, sqlast.ColumnRef) and node.table == qualifier:
+            return sqlast.ColumnRef(node.name)
+        return _map_children(node, recurse)
+
+    return recurse(expr)
+
+
+def _substitute_through_project(predicate, items):
+    """Rewrite a predicate over projection outputs into one over inputs.
+
+    Returns None when any referenced output column is computed by a
+    non-deterministic or aggregate expression (not the case in this
+    engine, but volatile expressions would be blocked here), or when the
+    predicate references a column the projection does not produce.
+    """
+    mapping = {name: expr for expr, name in items}
+
+    ok = True
+
+    def recurse(node):
+        nonlocal ok
+        if isinstance(node, sqlast.ColumnRef) and node.table is None:
+            if node.name in mapping:
+                return mapping[node.name]
+            ok = False
+            return node
+        return _map_children(node, recurse)
+
+    substituted = recurse(predicate)
+    return substituted if ok else None
+
+
+def _map_children(node, fn):
+    """Rebuild a scalar expression with ``fn`` applied to each child."""
+    if isinstance(node, sqlast.UnaryOp):
+        return sqlast.UnaryOp(node.op, fn(node.operand))
+    if isinstance(node, sqlast.BinaryOp):
+        return sqlast.BinaryOp(node.op, fn(node.left), fn(node.right))
+    if isinstance(node, sqlast.IsNull):
+        return sqlast.IsNull(fn(node.operand), node.negated)
+    if isinstance(node, sqlast.InList):
+        return sqlast.InList(
+            fn(node.operand), tuple(fn(item) for item in node.items), node.negated
+        )
+    if isinstance(node, sqlast.Between):
+        return sqlast.Between(
+            fn(node.operand), fn(node.low), fn(node.high), node.negated
+        )
+    if isinstance(node, sqlast.FuncCall):
+        return sqlast.FuncCall(
+            node.name, tuple(fn(arg) for arg in node.args), node.distinct
+        )
+    if isinstance(node, sqlast.WindowFunc):
+        return sqlast.WindowFunc(
+            fn(node.func),
+            tuple(fn(expr) for expr in node.partition_by),
+            tuple(
+                sqlast.OrderItem(fn(item.expr), item.descending, item.nulls_first)
+                for item in node.order_by
+            ),
+        )
+    if isinstance(node, sqlast.Case):
+        return sqlast.Case(
+            tuple((fn(c), fn(r)) for c, r in node.whens),
+            fn(node.default) if node.default is not None else None,
+        )
+    if isinstance(node, sqlast.Cast):
+        return sqlast.Cast(fn(node.operand), node.type_name)
+    return node
+
+
+# --------------------------------------------------------------------------
+# Filter fusion
+# --------------------------------------------------------------------------
+
+
+def _fuse_filters(plan):
+    changed = False
+
+    def rewrite(node):
+        nonlocal changed
+        for attr in ("child", "left", "right"):
+            if hasattr(node, attr):
+                setattr(node, attr, rewrite(getattr(node, attr)))
+        if isinstance(node, Filter) and isinstance(node.child, Filter):
+            changed = True
+            inner = node.child
+            return Filter(
+                inner.child,
+                sqlast.BinaryOp("AND", inner.predicate, node.predicate),
+            )
+        return node
+
+    return rewrite(plan), changed
+
+
+# --------------------------------------------------------------------------
+# Projection pruning
+# --------------------------------------------------------------------------
+
+
+def _prune_projections(plan, catalog, required):
+    """Top-down pass computing required columns; prunes Scans."""
+    if isinstance(plan, Scan):
+        table = catalog.get(plan.table)
+        if required is None:
+            return plan
+        keep = [name for name in table.column_names if name in required]
+        if not keep:
+            keep = table.column_names[:1]  # COUNT(*) still needs a column
+        plan.columns = keep
+        return plan
+    if isinstance(plan, Project):
+        needed = set()
+        for expr, _ in plan.items:
+            needed |= sqlast.referenced_columns(expr)
+        plan.child = _prune_projections(plan.child, catalog, needed)
+        return plan
+    if isinstance(plan, Filter):
+        needed = sqlast.referenced_columns(plan.predicate)
+        if required is not None:
+            needed = needed | required
+        else:
+            needed = None
+        plan.child = _prune_projections(plan.child, catalog, needed)
+        return plan
+    if isinstance(plan, Aggregate):
+        needed = set()
+        for expr, _ in plan.groups:
+            needed |= sqlast.referenced_columns(expr)
+        for call, _ in plan.aggregates:
+            needed |= sqlast.referenced_columns(call)
+        plan.child = _prune_projections(plan.child, catalog, needed)
+        return plan
+    if isinstance(plan, Window):
+        needed = set() if required is None else set(required)
+        for func, _ in plan.items:
+            needed |= sqlast.referenced_columns(func)
+        if required is None:
+            needed = None
+        plan.child = _prune_projections(plan.child, catalog, needed)
+        return plan
+    if isinstance(plan, (Distinct, Limit)):
+        plan.child = _prune_projections(plan.child, catalog, required)
+        return plan
+    if isinstance(plan, Sort):
+        needed = None
+        if required is not None:
+            needed = set(required) | {name for name, _, _ in plan.keys}
+        plan.child = _prune_projections(plan.child, catalog, needed)
+        return plan
+    if isinstance(plan, Derived):
+        # The derived subtree's own Project determines its needs.
+        plan.child = _prune_projections(plan.child, catalog, None)
+        return plan
+    if isinstance(plan, Join):
+        join_needed = sqlast.referenced_columns(plan.condition)
+        child_required = None
+        if required is not None:
+            child_required = set(required) | join_needed
+        plan.left = _prune_projections(plan.left, catalog, child_required)
+        plan.right = _prune_projections(plan.right, catalog, child_required)
+        return plan
+    return plan

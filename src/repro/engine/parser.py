@@ -1,0 +1,555 @@
+"""Recursive-descent SQL parser producing :mod:`repro.engine.sqlast` nodes.
+
+Supported statements: ``SELECT`` (with joins, grouping, window functions,
+derived tables, set operations are limited to UNION ALL), ``CREATE TABLE``,
+``INSERT INTO ... VALUES``, ``DROP TABLE``, and ``EXPLAIN <select>``.
+"""
+
+from repro.engine import sqlast
+from repro.engine.errors import SQLSyntaxError
+from repro.engine.lexer import EOF, IDENT, KEYWORD, NUMBER, OP, STRING, tokenize
+
+# Precedence for binary operators in WHERE/SELECT expressions.
+_PRECEDENCE = {
+    "OR": 1,
+    "AND": 2,
+    # NOT handled as prefix at level 3
+    "=": 4, "<>": 4, "!=": 4, "<": 4, ">": 4, "<=": 4, ">=": 4,
+    "LIKE": 4, "REGEXP": 4, "IN": 4, "BETWEEN": 4, "IS": 4,
+    "||": 5,
+    "+": 6, "-": 6,
+    "*": 7, "/": 7, "%": 7,
+}
+
+
+class _Parser:
+    def __init__(self, sql):
+        self.sql = sql
+        self.tokens = tokenize(sql)
+        self.index = 0
+
+    # -- token helpers ------------------------------------------------------
+
+    @property
+    def current(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def at_keyword(self, *words):
+        token = self.current
+        return token.kind == KEYWORD and token.value in words
+
+    def at_op(self, *ops):
+        token = self.current
+        return token.kind == OP and token.value in ops
+
+    def accept_keyword(self, *words):
+        if self.at_keyword(*words):
+            return self.advance().value
+        return None
+
+    def accept_op(self, *ops):
+        if self.at_op(*ops):
+            return self.advance().value
+        return None
+
+    def expect_keyword(self, word):
+        if not self.at_keyword(word):
+            raise SQLSyntaxError(
+                "expected {}, found {!r}".format(word, self.current.value),
+                self.current.pos,
+            )
+        return self.advance()
+
+    def expect_op(self, op):
+        if not self.at_op(op):
+            raise SQLSyntaxError(
+                "expected {!r}, found {!r}".format(op, self.current.value),
+                self.current.pos,
+            )
+        return self.advance()
+
+    def expect_ident(self):
+        token = self.current
+        if token.kind == IDENT:
+            self.advance()
+            return token.value
+        # Allow non-reserved-looking keywords as identifiers after quoting
+        raise SQLSyntaxError(
+            "expected identifier, found {!r}".format(token.value), token.pos
+        )
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self):
+        if self.at_keyword("EXPLAIN"):
+            self.advance()
+            return ("explain", self.parse_select())
+        if self.at_keyword("SELECT") or self.at_op("("):
+            return ("select", self.parse_select())
+        if self.at_keyword("CREATE"):
+            return self.parse_create()
+        if self.at_keyword("INSERT"):
+            return self.parse_insert()
+        if self.at_keyword("DROP"):
+            return self.parse_drop()
+        raise SQLSyntaxError(
+            "unsupported statement start {!r}".format(self.current.value),
+            self.current.pos,
+        )
+
+    def finish(self, result):
+        self.accept_op(";")
+        if self.current.kind != EOF:
+            raise SQLSyntaxError(
+                "unexpected trailing input {!r}".format(self.current.value),
+                self.current.pos,
+            )
+        return result
+
+    def parse_create(self):
+        self.expect_keyword("CREATE")
+        self.expect_keyword("TABLE")
+        name = self.expect_ident()
+        self.expect_op("(")
+        columns = []
+        while True:
+            col_name = self.expect_ident()
+            type_token = self.current
+            if type_token.kind not in (IDENT, KEYWORD):
+                raise SQLSyntaxError("expected type name", type_token.pos)
+            self.advance()
+            columns.append((col_name, str(type_token.value)))
+            if self.accept_op(","):
+                continue
+            break
+        self.expect_op(")")
+        return ("create", name, columns)
+
+    def parse_insert(self):
+        self.expect_keyword("INSERT")
+        self.expect_keyword("INTO")
+        name = self.expect_ident()
+        column_names = None
+        if self.accept_op("("):
+            column_names = []
+            while True:
+                column_names.append(self.expect_ident())
+                if self.accept_op(","):
+                    continue
+                break
+            self.expect_op(")")
+        self.expect_keyword("VALUES")
+        rows = []
+        while True:
+            self.expect_op("(")
+            row = []
+            while True:
+                expr = self.parse_expr()
+                if not isinstance(expr, sqlast.Literal):
+                    # Evaluate simple constant arithmetic via renderer round
+                    # trip is overkill; only literals (incl. negatives) allowed.
+                    if isinstance(expr, sqlast.UnaryOp) and expr.op == "-" and \
+                            isinstance(expr.operand, sqlast.Literal):
+                        expr = sqlast.Literal(-expr.operand.value)
+                    else:
+                        raise SQLSyntaxError("INSERT values must be literals")
+                row.append(expr.value)
+                if self.accept_op(","):
+                    continue
+                break
+            self.expect_op(")")
+            rows.append(row)
+            if self.accept_op(","):
+                continue
+            break
+        return ("insert", name, column_names, rows)
+
+    def parse_drop(self):
+        self.expect_keyword("DROP")
+        self.expect_keyword("TABLE")
+        name = self.expect_ident()
+        return ("drop", name)
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def parse_select(self):
+        if self.accept_op("("):
+            query = self.parse_select()
+            self.expect_op(")")
+            return query
+        self.expect_keyword("SELECT")
+        distinct = bool(self.accept_keyword("DISTINCT"))
+        items = [self.parse_select_item()]
+        while self.accept_op(","):
+            items.append(self.parse_select_item())
+
+        from_clause = None
+        joins = []
+        if self.accept_keyword("FROM"):
+            from_clause = self.parse_table_ref()
+            while True:
+                join = self.parse_join()
+                if join is None:
+                    break
+                joins.append(join)
+
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_expr()
+
+        group_by = []
+        if self.at_keyword("GROUP"):
+            self.advance()
+            self.expect_keyword("BY")
+            group_by.append(self.parse_expr())
+            while self.accept_op(","):
+                group_by.append(self.parse_expr())
+
+        having = None
+        if self.accept_keyword("HAVING"):
+            having = self.parse_expr()
+
+        order_by = []
+        if self.at_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_op(","):
+                order_by.append(self.parse_order_item())
+
+        limit = None
+        offset = None
+        if self.accept_keyword("LIMIT"):
+            token = self.current
+            if token.kind != NUMBER:
+                raise SQLSyntaxError("LIMIT expects a number", token.pos)
+            self.advance()
+            limit = int(token.value)
+            if self.accept_keyword("OFFSET"):
+                token = self.current
+                if token.kind != NUMBER:
+                    raise SQLSyntaxError("OFFSET expects a number", token.pos)
+                self.advance()
+                offset = int(token.value)
+
+        return sqlast.Select(
+            items=tuple(items),
+            from_=from_clause,
+            joins=tuple(joins),
+            where=where,
+            group_by=tuple(group_by),
+            having=having,
+            order_by=tuple(order_by),
+            limit=limit,
+            offset=offset,
+            distinct=distinct,
+        )
+
+    def parse_select_item(self):
+        if self.at_op("*"):
+            self.advance()
+            return sqlast.SelectItem(sqlast.Star())
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self._alias_name()
+        elif self.current.kind == IDENT:
+            alias = self.advance().value
+        return sqlast.SelectItem(expr, alias)
+
+    def _alias_name(self):
+        token = self.current
+        if token.kind == IDENT:
+            self.advance()
+            return token.value
+        raise SQLSyntaxError("expected alias name", token.pos)
+
+    def parse_table_ref(self):
+        if self.accept_op("("):
+            query = self.parse_select()
+            self.expect_op(")")
+            self.accept_keyword("AS")
+            alias = self._alias_name()
+            return sqlast.SubqueryRef(query, alias)
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self._alias_name()
+        elif self.current.kind == IDENT:
+            alias = self.advance().value
+        return sqlast.TableRef(name, alias)
+
+    def parse_join(self):
+        kind = None
+        if self.at_keyword("JOIN"):
+            kind = "INNER"
+            self.advance()
+        elif self.at_keyword("INNER"):
+            self.advance()
+            self.expect_keyword("JOIN")
+            kind = "INNER"
+        elif self.at_keyword("LEFT"):
+            self.advance()
+            self.accept_keyword("OUTER")
+            self.expect_keyword("JOIN")
+            kind = "LEFT"
+        else:
+            return None
+        right = self.parse_table_ref()
+        self.expect_keyword("ON")
+        condition = self.parse_expr()
+        return sqlast.Join(kind, right, condition)
+
+    def parse_order_item(self):
+        expr = self.parse_expr()
+        descending = False
+        if self.accept_keyword("ASC"):
+            descending = False
+        elif self.accept_keyword("DESC"):
+            descending = True
+        nulls_first = None
+        if self.accept_keyword("NULLS"):
+            if self.accept_keyword("FIRST"):
+                nulls_first = True
+            else:
+                self.expect_keyword("LAST")
+                nulls_first = False
+        return sqlast.OrderItem(expr, descending, nulls_first)
+
+    # -- expressions ------------------------------------------------------------
+
+    def parse_expr(self, min_precedence=1):
+        node = self.parse_prefix()
+        while True:
+            token = self.current
+            op = None
+            if token.kind == OP and token.value in _PRECEDENCE:
+                op = token.value
+            elif token.kind == KEYWORD and token.value in _PRECEDENCE:
+                op = token.value
+            elif token.kind == KEYWORD and token.value == "NOT":
+                # Postfix negations: x NOT IN (...), x NOT BETWEEN, x NOT LIKE.
+                follower = self.tokens[self.index + 1]
+                if follower.kind == KEYWORD and follower.value in (
+                    "IN", "BETWEEN", "LIKE", "REGEXP",
+                ):
+                    if _PRECEDENCE[follower.value] < min_precedence:
+                        return node
+                    self.advance()  # NOT
+                    node = self.parse_negated_infix(node, follower.value)
+                    continue
+            if op is None or _PRECEDENCE[op] < min_precedence:
+                return node
+            node = self.parse_infix(node, op)
+
+    def parse_negated_infix(self, left, op):
+        self.advance()  # the IN/BETWEEN/LIKE/REGEXP keyword
+        if op == "IN":
+            result = self._parse_in(left, negated=True)
+            return result
+        if op == "BETWEEN":
+            low = self.parse_expr(_PRECEDENCE["||"])
+            self.expect_keyword("AND")
+            high = self.parse_expr(_PRECEDENCE["||"])
+            return sqlast.Between(left, low, high, negated=True)
+        right = self.parse_expr(_PRECEDENCE[op] + 1)
+        return sqlast.UnaryOp("NOT", sqlast.BinaryOp(op, left, right))
+
+    def parse_infix(self, left, op):
+        precedence = _PRECEDENCE[op]
+        if op == "IS":
+            self.advance()
+            negated = bool(self.accept_keyword("NOT"))
+            self.expect_keyword("NULL")
+            return sqlast.IsNull(left, negated)
+        if op == "IN":
+            self.advance()
+            return self._parse_in(left, negated=False)
+        if op == "BETWEEN":
+            self.advance()
+            low = self.parse_expr(_PRECEDENCE["||"])
+            self.expect_keyword("AND")
+            high = self.parse_expr(_PRECEDENCE["||"])
+            return sqlast.Between(left, low, high)
+        self.advance()
+        if op == "!=":
+            op = "<>"
+        right = self.parse_expr(precedence + 1)
+        return sqlast.BinaryOp(op, left, right)
+
+    def _parse_in(self, left, negated):
+        self.expect_op("(")
+        items = [self.parse_expr()]
+        while self.accept_op(","):
+            items.append(self.parse_expr())
+        self.expect_op(")")
+        return sqlast.InList(left, tuple(items), negated)
+
+    def parse_prefix(self):
+        token = self.current
+        if token.kind == KEYWORD and token.value == "NOT":
+            self.advance()
+            # NOT <expr> IN / LIKE handled by comparing below NOT precedence.
+            operand = self.parse_expr(3)
+            return sqlast.UnaryOp("NOT", operand)
+        if token.kind == OP and token.value == "-":
+            self.advance()
+            operand = self.parse_expr(_PRECEDENCE["*"] + 1)
+            if isinstance(operand, sqlast.Literal) and isinstance(
+                operand.value, (int, float)
+            ):
+                return sqlast.Literal(-operand.value)
+            return sqlast.UnaryOp("-", operand)
+        if token.kind == OP and token.value == "+":
+            self.advance()
+            return self.parse_expr(_PRECEDENCE["*"] + 1)
+        if token.kind == NUMBER:
+            self.advance()
+            return sqlast.Literal(token.value)
+        if token.kind == STRING:
+            self.advance()
+            return sqlast.Literal(token.value)
+        if token.kind == KEYWORD and token.value in ("TRUE", "FALSE"):
+            self.advance()
+            return sqlast.Literal(token.value == "TRUE")
+        if token.kind == KEYWORD and token.value == "NULL":
+            self.advance()
+            return sqlast.Literal(None)
+        if token.kind == KEYWORD and token.value == "CASE":
+            return self.parse_case()
+        if token.kind == KEYWORD and token.value == "CAST":
+            return self.parse_cast()
+        if token.kind == OP and token.value == "(":
+            self.advance()
+            node = self.parse_expr()
+            self.expect_op(")")
+            return node
+        if token.kind == OP and token.value == "*":
+            self.advance()
+            return sqlast.Star()
+        if token.kind == IDENT:
+            return self.parse_identifier_expr()
+        # NOT LIKE / NOT IN appear via infix; anything else is an error.
+        raise SQLSyntaxError(
+            "unexpected token {!r}".format(token.value), token.pos
+        )
+
+    def parse_identifier_expr(self):
+        name = self.advance().value
+        # Function call?
+        if self.at_op("("):
+            self.advance()
+            distinct = bool(self.accept_keyword("DISTINCT"))
+            args = []
+            if not self.at_op(")"):
+                while True:
+                    if self.at_op("*"):
+                        self.advance()
+                        args.append(sqlast.Star())
+                    else:
+                        args.append(self.parse_expr())
+                    if self.accept_op(","):
+                        continue
+                    break
+            self.expect_op(")")
+            call = sqlast.FuncCall(name.upper(), tuple(args), distinct)
+            if self.at_keyword("OVER"):
+                return self.parse_window(call)
+            return call
+        # Qualified column?
+        if self.at_op("."):
+            self.advance()
+            if self.at_op("*"):
+                self.advance()
+                return sqlast.Star(table=name)
+            column = self.expect_ident()
+            return sqlast.ColumnRef(column, table=name)
+        return sqlast.ColumnRef(name)
+
+    def parse_window(self, call):
+        self.expect_keyword("OVER")
+        self.expect_op("(")
+        partition_by = []
+        order_by = []
+        if self.at_keyword("PARTITION"):
+            self.advance()
+            self.expect_keyword("BY")
+            partition_by.append(self.parse_expr())
+            while self.accept_op(","):
+                partition_by.append(self.parse_expr())
+        if self.at_keyword("ORDER"):
+            self.advance()
+            self.expect_keyword("BY")
+            order_by.append(self.parse_order_item())
+            while self.accept_op(","):
+                order_by.append(self.parse_order_item())
+        if self.at_keyword("ROWS"):
+            # Only the frame this engine implements is accepted:
+            # ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW.
+            self.advance()
+            self.expect_keyword("BETWEEN")
+            for word in ("UNBOUNDED", "PRECEDING", "AND", "CURRENT", "ROW"):
+                token = self.current
+                value = str(token.value).upper() if token.value else ""
+                if token.kind not in (IDENT, KEYWORD) or value != word:
+                    raise SQLSyntaxError(
+                        "unsupported window frame (only ROWS BETWEEN "
+                        "UNBOUNDED PRECEDING AND CURRENT ROW)", token.pos
+                    )
+                self.advance()
+        self.expect_op(")")
+        return sqlast.WindowFunc(call, tuple(partition_by), tuple(order_by))
+
+    def parse_case(self):
+        self.expect_keyword("CASE")
+        whens = []
+        while self.at_keyword("WHEN"):
+            self.advance()
+            condition = self.parse_expr()
+            self.expect_keyword("THEN")
+            result = self.parse_expr()
+            whens.append((condition, result))
+        if not whens:
+            raise SQLSyntaxError("CASE requires at least one WHEN")
+        default = None
+        if self.accept_keyword("ELSE"):
+            default = self.parse_expr()
+        self.expect_keyword("END")
+        return sqlast.Case(tuple(whens), default)
+
+    def parse_cast(self):
+        self.expect_keyword("CAST")
+        self.expect_op("(")
+        operand = self.parse_expr()
+        self.expect_keyword("AS")
+        token = self.current
+        if token.kind not in (IDENT, KEYWORD):
+            raise SQLSyntaxError("expected type name in CAST", token.pos)
+        self.advance()
+        type_name = str(token.value)
+        self.expect_op(")")
+        return sqlast.Cast(operand, type_name)
+
+
+def parse_statement(sql):
+    """Parse one SQL statement; returns a tagged tuple (see module doc)."""
+    parser = _Parser(sql)
+    return parser.finish(parser.parse_statement())
+
+
+def parse_select(sql):
+    """Parse a SELECT and return the :class:`~repro.engine.sqlast.Select`."""
+    kind, node = _parse_tagged(sql)
+    if kind != "select":
+        raise SQLSyntaxError("expected a SELECT statement")
+    return node
+
+
+def _parse_tagged(sql):
+    statement = parse_statement(sql)
+    return statement[0], statement[1]

@@ -1,0 +1,438 @@
+"""SQL abstract syntax tree.
+
+Shared between the engine's parser (text -> AST) and the VegaPlus SQL
+generator (:mod:`repro.sqlgen` builds these nodes directly, rewrites them
+structurally, and renders them to text per backend dialect).  Every node
+implements ``to_sql()`` producing engine-dialect SQL.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+def quote_ident(name):
+    return '"' + name.replace('"', '""') + '"'
+
+
+def render_literal(value):
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, float):
+        if value.is_integer() and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    return "'" + str(value).replace("'", "''") + "'"
+
+
+class SqlNode:
+    """Base class for SQL AST nodes."""
+
+    __slots__ = ()
+
+    def to_sql(self):
+        raise NotImplementedError
+
+
+# --------------------------------------------------------------------------
+# Scalar expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Literal(SqlNode):
+    value: object
+
+    def to_sql(self):
+        return render_literal(self.value)
+
+
+@dataclass(frozen=True)
+class ColumnRef(SqlNode):
+    """A column reference, optionally table-qualified."""
+
+    name: str
+    table: Optional[str] = None
+
+    def to_sql(self):
+        if self.table:
+            return "{}.{}".format(quote_ident(self.table), quote_ident(self.name))
+        return quote_ident(self.name)
+
+
+@dataclass(frozen=True)
+class Star(SqlNode):
+    """``*`` — only valid in select lists and COUNT(*)."""
+
+    table: Optional[str] = None
+
+    def to_sql(self):
+        if self.table:
+            return "{}.*".format(quote_ident(self.table))
+        return "*"
+
+
+@dataclass(frozen=True)
+class UnaryOp(SqlNode):
+    op: str  # '-', 'NOT'
+    operand: SqlNode
+
+    def to_sql(self):
+        if self.op.upper() == "NOT":
+            return "(NOT {})".format(self.operand.to_sql())
+        return "({}{})".format(self.op, self.operand.to_sql())
+
+
+@dataclass(frozen=True)
+class BinaryOp(SqlNode):
+    op: str  # '+', '-', '*', '/', '%', '||', '=', '<>', '<', '>', '<=', '>=',
+    # 'AND', 'OR', 'LIKE', 'REGEXP'
+    left: SqlNode
+    right: SqlNode
+
+    def to_sql(self):
+        return "({} {} {})".format(self.left.to_sql(), self.op, self.right.to_sql())
+
+
+@dataclass(frozen=True)
+class IsNull(SqlNode):
+    operand: SqlNode
+    negated: bool = False
+
+    def to_sql(self):
+        verb = "IS NOT NULL" if self.negated else "IS NULL"
+        return "({} {})".format(self.operand.to_sql(), verb)
+
+
+@dataclass(frozen=True)
+class InList(SqlNode):
+    operand: SqlNode
+    items: Tuple[SqlNode, ...]
+    negated: bool = False
+
+    def to_sql(self):
+        verb = "NOT IN" if self.negated else "IN"
+        rendered = ", ".join(item.to_sql() for item in self.items)
+        return "({} {} ({}))".format(self.operand.to_sql(), verb, rendered)
+
+
+@dataclass(frozen=True)
+class Between(SqlNode):
+    operand: SqlNode
+    low: SqlNode
+    high: SqlNode
+    negated: bool = False
+
+    def to_sql(self):
+        verb = "NOT BETWEEN" if self.negated else "BETWEEN"
+        return "({} {} {} AND {})".format(
+            self.operand.to_sql(), verb, self.low.to_sql(), self.high.to_sql()
+        )
+
+
+@dataclass(frozen=True)
+class FuncCall(SqlNode):
+    """Scalar or aggregate function call.
+
+    ``distinct`` applies to aggregates (COUNT(DISTINCT x)).  A bare
+    COUNT(*) is represented with ``args=(Star(),)``.
+    """
+
+    name: str
+    args: Tuple[SqlNode, ...] = ()
+    distinct: bool = False
+
+    def to_sql(self):
+        inner = ", ".join(arg.to_sql() for arg in self.args)
+        if self.distinct:
+            inner = "DISTINCT " + inner
+        return "{}({})".format(self.name.upper(), inner)
+
+
+@dataclass(frozen=True)
+class WindowFunc(SqlNode):
+    """``func(args) OVER (PARTITION BY ... ORDER BY ...)``."""
+
+    func: FuncCall
+    partition_by: Tuple[SqlNode, ...] = ()
+    order_by: Tuple["OrderItem", ...] = ()
+
+    def to_sql(self):
+        parts = []
+        if self.partition_by:
+            parts.append(
+                "PARTITION BY "
+                + ", ".join(expr.to_sql() for expr in self.partition_by)
+            )
+        if self.order_by:
+            parts.append(
+                "ORDER BY " + ", ".join(item.to_sql() for item in self.order_by)
+            )
+            # Explicit ROWS frame: the SQL-standard default with ORDER BY
+            # is RANGE (peers collapse on ties), but Vega's running
+            # aggregates — and this engine — use per-row accumulation.
+            # Emitting the frame keeps sqlite and other backends aligned.
+            parts.append("ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW")
+        return "{} OVER ({})".format(self.func.to_sql(), " ".join(parts))
+
+
+@dataclass(frozen=True)
+class Case(SqlNode):
+    """Searched CASE expression."""
+
+    whens: Tuple[Tuple[SqlNode, SqlNode], ...]
+    default: Optional[SqlNode] = None
+
+    def to_sql(self):
+        parts = ["CASE"]
+        for condition, result in self.whens:
+            parts.append("WHEN {} THEN {}".format(condition.to_sql(), result.to_sql()))
+        if self.default is not None:
+            parts.append("ELSE {}".format(self.default.to_sql()))
+        parts.append("END")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class Cast(SqlNode):
+    operand: SqlNode
+    type_name: str
+
+    def to_sql(self):
+        return "CAST({} AS {})".format(self.operand.to_sql(), self.type_name.upper())
+
+
+# --------------------------------------------------------------------------
+# Query structure
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SelectItem(SqlNode):
+    expr: SqlNode
+    alias: Optional[str] = None
+
+    def to_sql(self):
+        if self.alias:
+            return "{} AS {}".format(self.expr.to_sql(), quote_ident(self.alias))
+        return self.expr.to_sql()
+
+
+@dataclass(frozen=True)
+class OrderItem(SqlNode):
+    expr: SqlNode
+    descending: bool = False
+    nulls_first: Optional[bool] = None
+
+    def to_sql(self):
+        sql = self.expr.to_sql() + (" DESC" if self.descending else " ASC")
+        if self.nulls_first is True:
+            sql += " NULLS FIRST"
+        elif self.nulls_first is False:
+            sql += " NULLS LAST"
+        return sql
+
+
+@dataclass(frozen=True)
+class TableRef(SqlNode):
+    """A base table in FROM."""
+
+    name: str
+    alias: Optional[str] = None
+
+    def to_sql(self):
+        sql = quote_ident(self.name)
+        if self.alias:
+            sql += " AS " + quote_ident(self.alias)
+        return sql
+
+
+@dataclass(frozen=True)
+class SubqueryRef(SqlNode):
+    """A derived table ``(SELECT ...) AS alias`` in FROM."""
+
+    query: "Select"
+    alias: str
+
+    def to_sql(self):
+        return "({}) AS {}".format(self.query.to_sql(), quote_ident(self.alias))
+
+
+@dataclass(frozen=True)
+class Join(SqlNode):
+    kind: str  # 'INNER' or 'LEFT'
+    right: SqlNode  # TableRef or SubqueryRef
+    condition: SqlNode
+
+    def to_sql(self):
+        return "{} JOIN {} ON {}".format(
+            self.kind, self.right.to_sql(), self.condition.to_sql()
+        )
+
+
+@dataclass(frozen=True)
+class Select(SqlNode):
+    """A SELECT query.  ``from_`` is None for constant selects."""
+
+    items: Tuple[SelectItem, ...]
+    from_: Optional[SqlNode] = None  # TableRef | SubqueryRef
+    joins: Tuple[Join, ...] = ()
+    where: Optional[SqlNode] = None
+    group_by: Tuple[SqlNode, ...] = ()
+    having: Optional[SqlNode] = None
+    order_by: Tuple[OrderItem, ...] = ()
+    limit: Optional[int] = None
+    offset: Optional[int] = None
+    distinct: bool = False
+
+    def to_sql(self):
+        parts = ["SELECT"]
+        if self.distinct:
+            parts.append("DISTINCT")
+        parts.append(", ".join(item.to_sql() for item in self.items))
+        if self.from_ is not None:
+            parts.append("FROM " + self.from_.to_sql())
+        for join in self.joins:
+            parts.append(join.to_sql())
+        if self.where is not None:
+            parts.append("WHERE " + self.where.to_sql())
+        if self.group_by:
+            parts.append(
+                "GROUP BY " + ", ".join(expr.to_sql() for expr in self.group_by)
+            )
+        if self.having is not None:
+            parts.append("HAVING " + self.having.to_sql())
+        if self.order_by:
+            parts.append(
+                "ORDER BY " + ", ".join(item.to_sql() for item in self.order_by)
+            )
+        if self.limit is not None:
+            parts.append("LIMIT {}".format(self.limit))
+        if self.offset is not None:
+            parts.append("OFFSET {}".format(self.offset))
+        return " ".join(parts)
+
+
+# Aggregate function names the planner must route through GROUP BY handling.
+AGGREGATE_FUNCTIONS = {
+    "COUNT", "SUM", "AVG", "MIN", "MAX", "MEDIAN", "STDDEV", "STDDEV_POP",
+    "VARIANCE", "VAR_POP", "QUANTILE", "STRING_AGG",
+}
+
+WINDOW_ONLY_FUNCTIONS = {"ROW_NUMBER", "RANK", "DENSE_RANK", "LAG", "LEAD"}
+
+
+def is_aggregate_call(node):
+    return isinstance(node, FuncCall) and node.name.upper() in AGGREGATE_FUNCTIONS
+
+
+def children_of(node):
+    """Direct scalar-expression children of a node."""
+    if isinstance(node, UnaryOp):
+        return (node.operand,)
+    if isinstance(node, BinaryOp):
+        return (node.left, node.right)
+    if isinstance(node, IsNull):
+        return (node.operand,)
+    if isinstance(node, InList):
+        return (node.operand, *node.items)
+    if isinstance(node, Between):
+        return (node.operand, node.low, node.high)
+    if isinstance(node, FuncCall):
+        return node.args
+    if isinstance(node, WindowFunc):
+        return (
+            node.func,
+            *node.partition_by,
+            *(item.expr for item in node.order_by),
+        )
+    if isinstance(node, Case):
+        flat = []
+        for condition, result in node.whens:
+            flat.extend((condition, result))
+        if node.default is not None:
+            flat.append(node.default)
+        return tuple(flat)
+    if isinstance(node, Cast):
+        return (node.operand,)
+    if isinstance(node, SelectItem):
+        return (node.expr,)
+    if isinstance(node, OrderItem):
+        return (node.expr,)
+    return ()
+
+
+def walk_expr(node):
+    """Yield node and all scalar-expression descendants (not subqueries)."""
+    yield node
+    for child in children_of(node):
+        yield from walk_expr(child)
+
+
+def map_children(node, fn):
+    """Rebuild a scalar expression with ``fn`` applied to each direct
+    child; leaves (literals, column refs, stars) are returned as-is."""
+    if isinstance(node, UnaryOp):
+        return UnaryOp(node.op, fn(node.operand))
+    if isinstance(node, BinaryOp):
+        return BinaryOp(node.op, fn(node.left), fn(node.right))
+    if isinstance(node, IsNull):
+        return IsNull(fn(node.operand), node.negated)
+    if isinstance(node, InList):
+        return InList(
+            fn(node.operand), tuple(fn(item) for item in node.items),
+            node.negated,
+        )
+    if isinstance(node, Between):
+        return Between(fn(node.operand), fn(node.low), fn(node.high),
+                       node.negated)
+    if isinstance(node, FuncCall):
+        return FuncCall(node.name, tuple(fn(arg) for arg in node.args),
+                        node.distinct)
+    if isinstance(node, WindowFunc):
+        return WindowFunc(
+            fn(node.func),
+            tuple(fn(expr) for expr in node.partition_by),
+            tuple(
+                OrderItem(fn(item.expr), item.descending, item.nulls_first)
+                for item in node.order_by
+            ),
+        )
+    if isinstance(node, Case):
+        return Case(
+            tuple((fn(c), fn(r)) for c, r in node.whens),
+            fn(node.default) if node.default is not None else None,
+        )
+    if isinstance(node, Cast):
+        return Cast(fn(node.operand), node.type_name)
+    return node
+
+
+def contains_aggregate(node):
+    """True when the expression contains a *grouping* aggregate call.
+
+    An aggregate used purely as a window function (``SUM(x) OVER (...)``)
+    does not count, but an aggregate nested inside a window function's
+    arguments (``SUM(SUM(x)) OVER (...)``) does — it is evaluated by the
+    GROUP BY stage before the window stage.
+    """
+    if isinstance(node, WindowFunc):
+        inner = (
+            *node.func.args,
+            *node.partition_by,
+            *(item.expr for item in node.order_by),
+        )
+        return any(contains_aggregate(child) for child in inner)
+    if is_aggregate_call(node):
+        return True
+    return any(contains_aggregate(child) for child in children_of(node))
+
+
+def referenced_columns(node):
+    """All ColumnRef names in a scalar expression."""
+    return {
+        sub.name for sub in walk_expr(node) if isinstance(sub, ColumnRef)
+    }

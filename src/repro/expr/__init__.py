@@ -1,0 +1,45 @@
+"""Vega expression language: parse, evaluate, analyze, compile to SQL."""
+
+from repro.expr.constfold import fold
+from repro.expr.errors import (
+    ExprError,
+    ExprEvalError,
+    ExprSyntaxError,
+    UntranslatableExpression,
+)
+from repro.expr.evaluator import Evaluator, compile_predicate, evaluate
+from repro.expr.fields import (
+    datum_fields,
+    has_dynamic_field_access,
+    is_constant,
+    signal_refs,
+)
+from repro.expr.parser import parse
+from repro.expr.sqlcompile import (
+    SQLCompiler,
+    compile_expression,
+    is_translatable,
+    quote_ident,
+    sql_literal,
+)
+
+__all__ = [
+    "ExprError",
+    "ExprEvalError",
+    "ExprSyntaxError",
+    "Evaluator",
+    "SQLCompiler",
+    "UntranslatableExpression",
+    "compile_expression",
+    "compile_predicate",
+    "datum_fields",
+    "evaluate",
+    "fold",
+    "has_dynamic_field_access",
+    "is_constant",
+    "is_translatable",
+    "parse",
+    "quote_ident",
+    "signal_refs",
+    "sql_literal",
+]

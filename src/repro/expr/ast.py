@@ -1,0 +1,117 @@
+"""AST node types for the Vega expression language.
+
+Nodes are immutable dataclasses.  Every node supports structural equality,
+which the tests and the constant folder rely on.
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+class Node:
+    """Base class for all expression AST nodes."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Literal(Node):
+    """A constant: number (float), string, bool, or None (JS null)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class Identifier(Node):
+    """A bare name: a signal reference, ``datum``, or a builtin constant."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Member(Node):
+    """Property access: ``obj.prop`` or ``obj['prop']``.
+
+    ``computed`` is True for the bracket form, in which case ``prop`` is an
+    arbitrary expression; for dot access ``prop`` is a Literal string.
+    """
+
+    obj: Node
+    prop: Node
+    computed: bool
+
+
+@dataclass(frozen=True)
+class Unary(Node):
+    """Prefix operator application: ``-x``, ``!x``, ``+x``, ``~x``."""
+
+    op: str
+    operand: Node
+
+
+@dataclass(frozen=True)
+class Binary(Node):
+    """Binary operator application, including comparisons and logic."""
+
+    op: str
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True)
+class Conditional(Node):
+    """Ternary ``test ? consequent : alternate``."""
+
+    test: Node
+    consequent: Node
+    alternate: Node
+
+
+@dataclass(frozen=True)
+class Call(Node):
+    """Function call.  ``func`` is the callee name (Vega has no first-class
+    functions in expressions, so the callee is always an identifier)."""
+
+    func: str
+    args: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class ArrayExpr(Node):
+    """Array literal ``[a, b, c]``."""
+
+    elements: Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class ObjectExpr(Node):
+    """Object literal ``{a: 1, 'b c': 2}`` — keys are plain strings."""
+
+    keys: Tuple[str, ...]
+    values: Tuple[Node, ...]
+
+
+def walk(node):
+    """Yield ``node`` and all of its descendants, pre-order."""
+    yield node
+    if isinstance(node, Member):
+        yield from walk(node.obj)
+        yield from walk(node.prop)
+    elif isinstance(node, Unary):
+        yield from walk(node.operand)
+    elif isinstance(node, Binary):
+        yield from walk(node.left)
+        yield from walk(node.right)
+    elif isinstance(node, Conditional):
+        yield from walk(node.test)
+        yield from walk(node.consequent)
+        yield from walk(node.alternate)
+    elif isinstance(node, Call):
+        for arg in node.args:
+            yield from walk(arg)
+    elif isinstance(node, ArrayExpr):
+        for element in node.elements:
+            yield from walk(element)
+    elif isinstance(node, ObjectExpr):
+        for value in node.values:
+            yield from walk(value)

@@ -1,0 +1,223 @@
+"""Constant folding over expression ASTs.
+
+Used both by the SQL rewriter ("simplifying expressions", §2.2(3) of the
+paper) and by the dataflow compiler to pre-resolve signal-free parameters.
+Folding is conservative: any subtree that might raise or that references
+datum/signals is left untouched.
+"""
+
+import math
+
+from repro.expr import ast
+from repro.expr.evaluator import Evaluator
+from repro.expr.fields import datum_fields, has_dynamic_field_access, signal_refs
+from repro.expr.parser import parse
+
+_FOLDABLE_FUNCTIONS = {
+    # Pure, total functions safe to execute at fold time.
+    "abs", "ceil", "floor", "round", "trunc", "sqrt", "exp", "log", "log2",
+    "log10", "pow", "sin", "cos", "tan", "sign", "min", "max", "clamp",
+    "length", "lower", "upper", "trim", "substring", "pad", "if",
+    "toNumber", "toString", "toBoolean", "isNaN", "isValid",
+}
+
+_evaluator = Evaluator(signals={})
+
+
+def _is_literal(node):
+    return isinstance(node, ast.Literal)
+
+
+def _try_eval(node):
+    try:
+        value = _evaluator.evaluate(node, datum=None)
+    except Exception:
+        return None
+    if isinstance(value, float) and (math.isinf(value)):
+        return None  # keep infinities symbolic; SQL has no literal for them
+    if isinstance(value, (bool, int, float, str)) or value is None:
+        return ast.Literal(value)
+    return None
+
+
+def fold(source):
+    """Return an equivalent AST with constant subexpressions evaluated."""
+    node = source if isinstance(source, ast.Node) else parse(source)
+    return _fold(node)
+
+
+def _fold(node):
+    if isinstance(node, ast.Literal):
+        return node
+    if isinstance(node, ast.Identifier):
+        return node
+    if isinstance(node, ast.Unary):
+        operand = _fold(node.operand)
+        folded = ast.Unary(node.op, operand)
+        if _is_literal(operand):
+            return _try_eval(folded) or folded
+        return folded
+    if isinstance(node, ast.Binary):
+        left = _fold(node.left)
+        right = _fold(node.right)
+        folded = ast.Binary(node.op, left, right)
+        if _is_literal(left) and _is_literal(right):
+            return _try_eval(folded) or folded
+        simplified = _algebraic(folded)
+        return simplified
+    if isinstance(node, ast.Conditional):
+        test = _fold(node.test)
+        if _is_literal(test):
+            # Safe: choosing a branch by a constant test never changes value.
+            from repro.expr.functions import _boolean
+            return _fold(node.consequent if _boolean(test.value) else node.alternate)
+        return ast.Conditional(test, _fold(node.consequent), _fold(node.alternate))
+    if isinstance(node, ast.Call):
+        args = tuple(_fold(arg) for arg in node.args)
+        folded = ast.Call(node.func, args)
+        if node.func in _FOLDABLE_FUNCTIONS and all(_is_literal(arg) for arg in args):
+            return _try_eval(folded) or folded
+        return folded
+    if isinstance(node, ast.Member):
+        return ast.Member(_fold(node.obj), _fold(node.prop), node.computed)
+    if isinstance(node, ast.ArrayExpr):
+        return ast.ArrayExpr(tuple(_fold(element) for element in node.elements))
+    if isinstance(node, ast.ObjectExpr):
+        return ast.ObjectExpr(node.keys, tuple(_fold(value) for value in node.values))
+    return node
+
+
+def _algebraic(node):
+    """Identity simplifications: x+0, x*1, x*0 (when x is a plain field),
+    true&&x, false||x, etc."""
+    left, right, op = node.left, node.right, node.op
+
+    def lit(value):
+        return ast.Literal(value)
+
+    def is_num(n, value):
+        return isinstance(n, ast.Literal) and isinstance(n.value, (int, float)) \
+            and not isinstance(n.value, bool) and float(n.value) == value
+
+    if op == "+":
+        if is_num(left, 0):
+            return right
+        if is_num(right, 0):
+            return left
+    elif op == "-":
+        if is_num(right, 0):
+            return left
+    elif op == "*":
+        if is_num(left, 1):
+            return right
+        if is_num(right, 1):
+            return left
+        # x*0 -> 0 only for side-effect-free pure field refs (NaN caveat is
+        # accepted: Vega data is numeric-or-null and null*0 folds to null in
+        # SQL anyway, so the planner treats this as safe).
+        if (is_num(left, 0) or is_num(right, 0)) and _pure_field(node):
+            return lit(0.0)
+    elif op == "/":
+        if is_num(right, 1):
+            return left
+    elif op == "&&":
+        if isinstance(left, ast.Literal):
+            from repro.expr.functions import _boolean
+            return right if _boolean(left.value) else left
+        if isinstance(right, ast.Literal):
+            from repro.expr.functions import _boolean
+            if _boolean(right.value):
+                return left
+    elif op == "||":
+        if isinstance(left, ast.Literal):
+            from repro.expr.functions import _boolean
+            return left if _boolean(left.value) else right
+        if isinstance(right, ast.Literal):
+            from repro.expr.functions import _boolean
+            if not _boolean(right.value):
+                return left
+    return node
+
+
+def _pure_field(node):
+    """True if every leaf of ``node`` is a literal or a datum member."""
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call):
+            return False
+    return not signal_refs(node) and not has_dynamic_field_access(node)
+
+
+def is_signal_free(source):
+    """True when the folded expression depends only on datum fields."""
+    node = fold(source)
+    return not signal_refs(node)
+
+
+def substitute_signals(source, signals):
+    """Replace bare signal identifiers with their current values.
+
+    Values must be scalars or (nested) lists; other values leave the
+    identifier untouched so the caller can decide how to fail.
+    """
+    node = source if isinstance(source, ast.Node) else parse(source)
+    return _substitute(node, signals)
+
+
+def _value_node(value):
+    if isinstance(value, (list, tuple)):
+        return ast.ArrayExpr(tuple(_value_node(item) for item in value))
+    if isinstance(value, int) and not isinstance(value, bool):
+        value = float(value)
+    return ast.Literal(value)
+
+
+def _substitute(node, signals):
+    if isinstance(node, ast.Identifier) and node.name in signals:
+        value = signals[node.name]
+        if value is None or isinstance(value, (bool, int, float, str,
+                                               list, tuple)):
+            return _value_node(value)
+        return node
+    if isinstance(node, ast.Member):
+        obj = node.obj
+        if not (isinstance(obj, ast.Identifier) and obj.name == "datum"):
+            obj = _substitute(obj, signals)
+        return ast.Member(obj, _substitute(node.prop, signals), node.computed)
+    if isinstance(node, ast.Unary):
+        return ast.Unary(node.op, _substitute(node.operand, signals))
+    if isinstance(node, ast.Binary):
+        return ast.Binary(
+            node.op,
+            _substitute(node.left, signals),
+            _substitute(node.right, signals),
+        )
+    if isinstance(node, ast.Conditional):
+        return ast.Conditional(
+            _substitute(node.test, signals),
+            _substitute(node.consequent, signals),
+            _substitute(node.alternate, signals),
+        )
+    if isinstance(node, ast.Call):
+        return ast.Call(
+            node.func,
+            tuple(_substitute(arg, signals) for arg in node.args),
+        )
+    if isinstance(node, ast.ArrayExpr):
+        return ast.ArrayExpr(
+            tuple(_substitute(el, signals) for el in node.elements)
+        )
+    if isinstance(node, ast.ObjectExpr):
+        return ast.ObjectExpr(
+            node.keys,
+            tuple(_substitute(v, signals) for v in node.values),
+        )
+    return node
+
+
+def fold_with_signals(source, signals):
+    """Substitute signal values, then constant-fold."""
+    return fold(substitute_signals(source, signals or {}))
+
+
+__all__ = ["fold", "fold_with_signals", "is_signal_free",
+           "substitute_signals"]

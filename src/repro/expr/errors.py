@@ -1,0 +1,31 @@
+"""Errors raised by the Vega expression language implementation."""
+
+
+class ExprError(Exception):
+    """Base class for all expression-language errors."""
+
+
+class ExprSyntaxError(ExprError):
+    """The expression source text could not be tokenized or parsed.
+
+    Carries the character position so editors (the live spec editor in the
+    demo UI) can point at the offending location.
+    """
+
+    def __init__(self, message, position=None):
+        self.position = position
+        if position is not None:
+            message = "{} (at position {})".format(message, position)
+        super().__init__(message)
+
+
+class ExprEvalError(ExprError):
+    """Evaluation failed: unknown identifier, bad arity, type error."""
+
+
+class UntranslatableExpression(ExprError):
+    """The expression has no SQL equivalent.
+
+    Raised by the AST->SQL compiler; the partition planner treats the
+    owning transform as client-only when this is raised.
+    """

@@ -1,0 +1,238 @@
+"""Evaluator for Vega expression ASTs.
+
+The evaluator binds three namespaces, matching Vega's runtime scope:
+
+* ``datum`` — the current data object (a dict), referenced via member
+  access (``datum.price``);
+* signals — bare identifiers resolved against a signal dictionary;
+* builtins — the function library and named constants.
+
+JS-flavoured coercion rules are applied for arithmetic and comparison so
+that expressions written for Vega behave identically here.
+"""
+
+import math
+import time as _time
+
+from repro.expr import ast
+from repro.expr.errors import ExprEvalError
+from repro.expr.functions import CONSTANTS, FUNCTIONS, _boolean, _number, _string
+from repro.expr.parser import parse
+
+
+def _js_add(left, right):
+    if isinstance(left, str) or isinstance(right, str):
+        return _string(left) + _string(right)
+    return _number(left) + _number(right)
+
+
+def _js_eq(left, right):
+    # Loose equality with the coercions that matter for data filtering.
+    if left is None or right is None:
+        return left is None and right is None
+    if isinstance(left, bool) or isinstance(right, bool):
+        return _number(left) == _number(right)
+    if isinstance(left, str) and isinstance(right, str):
+        return left == right
+    if isinstance(left, (int, float)) or isinstance(right, (int, float)):
+        ln, rn = _number(left), _number(right)
+        if math.isnan(ln) or math.isnan(rn):
+            return False
+        return ln == rn
+    return left == right
+
+
+def _js_strict_eq(left, right):
+    if type(left) is not type(right):
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)) \
+                and not isinstance(left, bool) and not isinstance(right, bool):
+            return float(left) == float(right)
+        return False
+    if isinstance(left, float) and (math.isnan(left) or math.isnan(right)):
+        return False
+    return left == right
+
+
+def _compare(op, left, right):
+    if isinstance(left, str) and isinstance(right, str):
+        pass  # lexicographic
+    else:
+        left, right = _number(left), _number(right)
+        if isinstance(left, float) and (math.isnan(left) or math.isnan(right)):
+            return False
+    if op == "<":
+        return left < right
+    if op == ">":
+        return left > right
+    if op == "<=":
+        return left <= right
+    return left >= right
+
+
+def _divide(left, right):
+    left, right = _number(left), _number(right)
+    if right == 0:
+        if left == 0 or math.isnan(left):
+            return float("nan")
+        return math.copysign(float("inf"), left) * math.copysign(1.0, right)
+    return left / right
+
+
+def _modulo(left, right):
+    left, right = _number(left), _number(right)
+    if right == 0 or math.isnan(left) or math.isnan(right) or math.isinf(left):
+        return float("nan")
+    return math.fmod(left, right)
+
+
+_BINARY_IMPL = {
+    "+": _js_add,
+    "-": lambda left, right: _number(left) - _number(right),
+    "*": lambda left, right: _number(left) * _number(right),
+    "/": _divide,
+    "%": _modulo,
+    "**": lambda left, right: _number(left) ** _number(right),
+    "==": _js_eq,
+    "!=": lambda left, right: not _js_eq(left, right),
+    "===": _js_strict_eq,
+    "!==": lambda left, right: not _js_strict_eq(left, right),
+    "<": lambda left, right: _compare("<", left, right),
+    ">": lambda left, right: _compare(">", left, right),
+    "<=": lambda left, right: _compare("<=", left, right),
+    ">=": lambda left, right: _compare(">=", left, right),
+    "&": lambda left, right: float(int(_number(left)) & int(_number(right))),
+    "|": lambda left, right: float(int(_number(left)) | int(_number(right))),
+    "^": lambda left, right: float(int(_number(left)) ^ int(_number(right))),
+    "<<": lambda left, right: float(int(_number(left)) << (int(_number(right)) & 31)),
+    ">>": lambda left, right: float(int(_number(left)) >> (int(_number(right)) & 31)),
+    ">>>": lambda left, right: float((int(_number(left)) & 0xFFFFFFFF) >> (int(_number(right)) & 31)),
+}
+
+
+class Evaluator:
+    """Evaluates parsed expressions against a datum and a signal scope.
+
+    ``now_fn`` lets tests freeze the clock; by default ``now()`` returns
+    wall-clock milliseconds like JS ``Date.now()``.
+    """
+
+    def __init__(self, signals=None, functions=None, now_fn=None):
+        self.signals = signals if signals is not None else {}
+        self.functions = dict(FUNCTIONS)
+        if functions:
+            self.functions.update(functions)
+        if now_fn is None:
+            now_fn = lambda: _time.time() * 1000.0  # noqa: E731
+        self.functions["now"] = now_fn
+
+    def evaluate(self, node, datum=None, extra=None):
+        """Evaluate ``node``; ``datum`` is the row dict, ``extra`` adds
+        additional bare-identifier bindings (e.g. ``parent``)."""
+        method = getattr(self, "_eval_" + type(node).__name__.lower(), None)
+        if method is None:
+            raise ExprEvalError("cannot evaluate node {!r}".format(node))
+        return method(node, datum, extra)
+
+    # -- node handlers -----------------------------------------------------
+
+    def _eval_literal(self, node, datum, extra):
+        return node.value
+
+    def _eval_identifier(self, node, datum, extra):
+        name = node.name
+        if name == "datum":
+            return datum
+        if extra and name in extra:
+            return extra[name]
+        if name in self.signals:
+            return self.signals[name]
+        if name in CONSTANTS:
+            return CONSTANTS[name]
+        raise ExprEvalError("unknown identifier {!r}".format(name))
+
+    def _eval_member(self, node, datum, extra):
+        obj = self.evaluate(node.obj, datum, extra)
+        prop = self.evaluate(node.prop, datum, extra)
+        if obj is None:
+            return None
+        if isinstance(obj, dict):
+            if isinstance(prop, float) and prop.is_integer():
+                prop = str(int(prop))
+            return obj.get(prop)
+        if isinstance(obj, (list, str)):
+            if prop == "length":
+                return float(len(obj))
+            index = int(_number(prop))
+            if -len(obj) <= index < len(obj):
+                return obj[index]
+            return None
+        return None
+
+    def _eval_unary(self, node, datum, extra):
+        value = self.evaluate(node.operand, datum, extra)
+        if node.op == "-":
+            return -_number(value)
+        if node.op == "+":
+            return _number(value)
+        if node.op == "!":
+            return not _boolean(value)
+        if node.op == "~":
+            return float(~int(_number(value)))
+        raise ExprEvalError("unknown unary operator {!r}".format(node.op))
+
+    def _eval_binary(self, node, datum, extra):
+        if node.op == "&&":
+            left = self.evaluate(node.left, datum, extra)
+            if not _boolean(left):
+                return left
+            return self.evaluate(node.right, datum, extra)
+        if node.op == "||":
+            left = self.evaluate(node.left, datum, extra)
+            if _boolean(left):
+                return left
+            return self.evaluate(node.right, datum, extra)
+        impl = _BINARY_IMPL.get(node.op)
+        if impl is None:
+            raise ExprEvalError("unknown binary operator {!r}".format(node.op))
+        left = self.evaluate(node.left, datum, extra)
+        right = self.evaluate(node.right, datum, extra)
+        return impl(left, right)
+
+    def _eval_conditional(self, node, datum, extra):
+        test = self.evaluate(node.test, datum, extra)
+        branch = node.consequent if _boolean(test) else node.alternate
+        return self.evaluate(branch, datum, extra)
+
+    def _eval_call(self, node, datum, extra):
+        fn = self.functions.get(node.func)
+        if fn is None:
+            raise ExprEvalError("unknown function {!r}".format(node.func))
+        args = [self.evaluate(arg, datum, extra) for arg in node.args]
+        try:
+            return fn(*args)
+        except TypeError as exc:
+            raise ExprEvalError(
+                "bad arguments for {}(): {}".format(node.func, exc)
+            ) from exc
+
+    def _eval_arrayexpr(self, node, datum, extra):
+        return [self.evaluate(element, datum, extra) for element in node.elements]
+
+    def _eval_objectexpr(self, node, datum, extra):
+        return {
+            key: self.evaluate(value, datum, extra)
+            for key, value in zip(node.keys, node.values)
+        }
+
+
+def evaluate(source, datum=None, signals=None, **kwargs):
+    """Parse and evaluate in one call (convenience for tests/examples)."""
+    node = source if isinstance(source, ast.Node) else parse(source)
+    return Evaluator(signals=signals, **kwargs).evaluate(node, datum)
+
+
+def compile_predicate(source, signals=None):
+    """Compile an expression into ``fn(datum) -> bool`` for filtering."""
+    node = parse(source) if isinstance(source, str) else source
+    evaluator = Evaluator(signals=signals)
+    return lambda datum: _boolean(evaluator.evaluate(node, datum))

@@ -1,0 +1,70 @@
+"""Static analysis over expression ASTs.
+
+The spec->dataflow compiler needs to know which datum fields an expression
+touches (for projection pruning) and which signals it references (to wire
+reactive dependencies and to decide whether a transform is parameterized
+by interaction state — a key input to the partition planner).
+"""
+
+from repro.expr import ast
+from repro.expr.functions import CONSTANTS, FUNCTIONS
+from repro.expr.parser import parse
+
+
+def _as_node(source):
+    return source if isinstance(source, ast.Node) else parse(source)
+
+
+def datum_fields(source):
+    """Return the set of top-level ``datum`` field names referenced.
+
+    Computed accesses with non-constant keys (``datum[someSignal]``) are
+    reported via :func:`has_dynamic_field_access` instead, since the field
+    set cannot be determined statically.
+    """
+    fields = set()
+    for node in ast.walk(_as_node(source)):
+        if not isinstance(node, ast.Member):
+            continue
+        if isinstance(node.obj, ast.Identifier) and node.obj.name == "datum":
+            if isinstance(node.prop, ast.Literal) and isinstance(node.prop.value, str):
+                fields.add(node.prop.value)
+    return fields
+
+
+def has_dynamic_field_access(source):
+    """True if the expression accesses datum with a non-literal key."""
+    for node in ast.walk(_as_node(source)):
+        if not isinstance(node, ast.Member):
+            continue
+        if isinstance(node.obj, ast.Identifier) and node.obj.name == "datum":
+            if not isinstance(node.prop, ast.Literal):
+                return True
+    return False
+
+
+def signal_refs(source, known_signals=None):
+    """Return the set of bare identifiers that must be signal references.
+
+    ``datum``, builtin constants, and function names are excluded.  When
+    ``known_signals`` is given, the result is intersected with it so that
+    typos surface as evaluation errors rather than phantom dependencies.
+    """
+    refs = set()
+    for node in ast.walk(_as_node(source)):
+        if isinstance(node, ast.Identifier):
+            name = node.name
+            if name == "datum" or name in CONSTANTS or name in FUNCTIONS:
+                continue
+            refs.add(name)
+    if known_signals is not None:
+        refs &= set(known_signals)
+    return refs
+
+
+def is_constant(source):
+    """True when the expression references neither datum nor any signal."""
+    node = _as_node(source)
+    if has_dynamic_field_access(node):
+        return False
+    return not datum_fields(node) and not signal_refs(node)

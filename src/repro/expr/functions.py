@@ -1,0 +1,413 @@
+"""The Vega expression function library.
+
+Implements the deterministic core of Vega's built-in functions: math,
+type coercion, strings, regular expressions, dates, arrays, and a few
+statistics helpers.  Functions operate on Python values produced by the
+evaluator (floats, strs, bools, lists, dicts, ``datetime`` objects, and
+``None`` standing in for JS ``null``/``undefined``).
+"""
+
+import math
+import re
+from datetime import datetime, timezone
+
+from repro.expr.errors import ExprEvalError
+
+
+def _number(value):
+    """Coerce to float following (simplified) JS semantics."""
+    if value is None:
+        return float("nan")
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            return 0.0
+        try:
+            return float(text)
+        except ValueError:
+            return float("nan")
+    if isinstance(value, datetime):
+        return value.timestamp() * 1000.0
+    return float("nan")
+
+
+def _string(value):
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NaN"
+        if value.is_integer() and abs(value) < 1e21:
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, list):
+        return ",".join(_string(element) for element in value)
+    return str(value)
+
+
+def _boolean(value):
+    if isinstance(value, float) and math.isnan(value):
+        return False
+    return bool(value)
+
+
+def _datetime_from_ms(ms, utc=False):
+    tz = timezone.utc
+    dt = datetime.fromtimestamp(ms / 1000.0, tz=tz)
+    return dt if utc else dt.astimezone()
+
+
+def _as_datetime(value):
+    if isinstance(value, datetime):
+        return value
+    number = _number(value)
+    if math.isnan(number):
+        raise ExprEvalError("cannot interpret {!r} as a date".format(value))
+    return _datetime_from_ms(number)
+
+
+def _clamp(value, lo, hi):
+    value, lo, hi = _number(value), _number(lo), _number(hi)
+    if lo > hi:
+        lo, hi = hi, lo
+    return max(lo, min(hi, value))
+
+
+def _span(array):
+    if not array:
+        return 0.0
+    return _number(array[-1]) - _number(array[0])
+
+
+def _extent(array):
+    numbers = [_number(item) for item in array if item is not None]
+    numbers = [number for number in numbers if not math.isnan(number)]
+    if not numbers:
+        return [None, None]
+    return [min(numbers), max(numbers)]
+
+
+def _peek(array):
+    return array[-1] if array else None
+
+
+def _test(pattern, value, flags=""):
+    re_flags = 0
+    if "i" in flags:
+        re_flags |= re.IGNORECASE
+    if "m" in flags:
+        re_flags |= re.MULTILINE
+    if "s" in flags:
+        re_flags |= re.DOTALL
+    try:
+        return re.search(pattern, _string(value), re_flags) is not None
+    except re.error as exc:
+        raise ExprEvalError("invalid regular expression: {}".format(exc)) from exc
+
+
+def _indexof(haystack, needle):
+    if isinstance(haystack, list):
+        try:
+            return float(haystack.index(needle))
+        except ValueError:
+            return -1.0
+    return float(_string(haystack).find(_string(needle)))
+
+
+def _lastindexof(haystack, needle):
+    if isinstance(haystack, list):
+        for index in range(len(haystack) - 1, -1, -1):
+            if haystack[index] == needle:
+                return float(index)
+        return -1.0
+    return float(_string(haystack).rfind(_string(needle)))
+
+
+def _substring(value, start, end=None):
+    text = _string(value)
+    start = int(_number(start))
+    end = len(text) if end is None else int(_number(end))
+    start = max(0, min(len(text), start))
+    end = max(0, min(len(text), end))
+    if start > end:
+        start, end = end, start
+    return text[start:end]
+
+
+def _slice(value, start, end=None):
+    sequence = value if isinstance(value, list) else _string(value)
+    start = int(_number(start))
+    end = None if end is None else int(_number(end))
+    return sequence[slice(start, end)]
+
+
+def _replace(value, pattern, replacement):
+    return _string(value).replace(_string(pattern), _string(replacement), 1)
+
+
+def _pad(value, length, character=" ", align="right"):
+    text = _string(value)
+    length = int(_number(length))
+    character = _string(character) or " "
+    if len(text) >= length:
+        return text
+    fill = character * (length - len(text))
+    if align == "left":
+        return text + fill
+    if align == "center":
+        half = (length - len(text)) // 2
+        left = character * half
+        right = character * (length - len(text) - half)
+        return left + text + right
+    return fill + text
+
+
+def _truncate(value, length, align="right", ellipsis="…"):
+    text = _string(value)
+    length = int(_number(length))
+    if len(text) <= length:
+        return text
+    if align == "left":
+        return ellipsis + text[len(text) - length + len(ellipsis):]
+    if align == "center":
+        keep = length - len(ellipsis)
+        left = keep // 2
+        right = keep - left
+        return text[:left] + ellipsis + text[len(text) - right:]
+    return text[: length - len(ellipsis)] + ellipsis
+
+
+def _sequence(*args):
+    if len(args) == 1:
+        start, stop, step = 0.0, _number(args[0]), 1.0
+    elif len(args) == 2:
+        start, stop, step = _number(args[0]), _number(args[1]), 1.0
+    else:
+        start, stop, step = _number(args[0]), _number(args[1]), _number(args[2])
+    if step == 0:
+        raise ExprEvalError("sequence step must be non-zero")
+    out = []
+    value = start
+    if step > 0:
+        while value < stop:
+            out.append(value)
+            value += step
+    else:
+        while value > stop:
+            out.append(value)
+            value += step
+    return out
+
+
+def _if(test, then_value, else_value):
+    return then_value if _boolean(test) else else_value
+
+
+def _is_valid(value):
+    if value is None:
+        return False
+    if isinstance(value, float) and math.isnan(value):
+        return False
+    return True
+
+
+def _date_part(part):
+    def getter(value):
+        return float(getattr(_as_datetime(value), part))
+
+    return getter
+
+
+def _day(value):
+    # JS getDay(): 0=Sunday..6=Saturday; Python weekday(): 0=Monday.
+    return float((_as_datetime(value).weekday() + 1) % 7)
+
+
+def _time(value):
+    return _as_datetime(value).timestamp() * 1000.0
+
+
+def _datetime_ctor(*args):
+    if not args:
+        raise ExprEvalError("datetime requires at least a year")
+    if len(args) == 1:
+        return _as_datetime(args[0])
+    parts = [int(_number(arg)) for arg in args]
+    year = parts[0]
+    month = parts[1] + 1 if len(parts) > 1 else 1  # JS months are 0-based
+    day = parts[2] if len(parts) > 2 else 1
+    hour = parts[3] if len(parts) > 3 else 0
+    minute = parts[4] if len(parts) > 4 else 0
+    second = parts[5] if len(parts) > 5 else 0
+    ms = parts[6] if len(parts) > 6 else 0
+    return datetime(year, month, day, hour, minute, second, ms * 1000)
+
+
+def _quarter(value):
+    return float((_as_datetime(value).month - 1) // 3 + 1)
+
+
+def _safe_log(value):
+    number = _number(value)
+    if number <= 0:
+        return float("nan")
+    return math.log(number)
+
+
+def _safe_sqrt(value):
+    number = _number(value)
+    if number < 0:
+        return float("nan")
+    return math.sqrt(number)
+
+
+def _minmax(reducer):
+    def fn(*args):
+        numbers = [_number(arg) for arg in args]
+        if any(math.isnan(number) for number in numbers):
+            return float("nan")
+        if not numbers:
+            return float("nan")
+        return reducer(numbers)
+
+    return fn
+
+
+def _join(array, separator=","):
+    if not isinstance(array, list):
+        raise ExprEvalError("join expects an array")
+    return _string(separator).join(_string(item) for item in array)
+
+
+def _split(value, separator):
+    return _string(value).split(_string(separator))
+
+
+def _reverse(array):
+    if not isinstance(array, list):
+        raise ExprEvalError("reverse expects an array")
+    return list(reversed(array))
+
+
+def _sort(array):
+    if not isinstance(array, list):
+        raise ExprEvalError("sort expects an array")
+    return sorted(array, key=_number)
+
+
+def _in_range(value, range_pair):
+    number = _number(value)
+    lo, hi = _number(range_pair[0]), _number(range_pair[1])
+    if lo > hi:
+        lo, hi = hi, lo
+    return lo <= number <= hi
+
+
+FUNCTIONS = {
+    # Math
+    "abs": lambda value: abs(_number(value)),
+    "ceil": lambda value: float(math.ceil(_number(value))),
+    "floor": lambda value: float(math.floor(_number(value))),
+    "round": lambda value: float(math.floor(_number(value) + 0.5)),
+    "trunc": lambda value: float(math.trunc(_number(value))),
+    "sqrt": _safe_sqrt,
+    "cbrt": lambda value: math.copysign(abs(_number(value)) ** (1 / 3), _number(value)),
+    "exp": lambda value: math.exp(_number(value)),
+    "log": _safe_log,
+    "log2": lambda value: math.log2(_number(value)) if _number(value) > 0 else float("nan"),
+    "log10": lambda value: math.log10(_number(value)) if _number(value) > 0 else float("nan"),
+    "pow": lambda base, exponent: _number(base) ** _number(exponent),
+    "sin": lambda value: math.sin(_number(value)),
+    "cos": lambda value: math.cos(_number(value)),
+    "tan": lambda value: math.tan(_number(value)),
+    "asin": lambda value: math.asin(_number(value)),
+    "acos": lambda value: math.acos(_number(value)),
+    "atan": lambda value: math.atan(_number(value)),
+    "atan2": lambda y, x: math.atan2(_number(y), _number(x)),
+    "sign": lambda value: math.copysign(1.0, _number(value)) if _number(value) != 0 else 0.0,
+    "min": _minmax(min),
+    "max": _minmax(max),
+    "clamp": _clamp,
+    "hypot": lambda *args: math.hypot(*[_number(arg) for arg in args]),
+    # Type checks and coercion
+    "isNaN": lambda value: isinstance(_number(value), float) and math.isnan(_number(value)),
+    "isFinite": lambda value: math.isfinite(_number(value)),
+    "isValid": _is_valid,
+    "isArray": lambda value: isinstance(value, list),
+    "isBoolean": lambda value: isinstance(value, bool),
+    "isNumber": lambda value: isinstance(value, (int, float)) and not isinstance(value, bool),
+    "isObject": lambda value: isinstance(value, dict),
+    "isString": lambda value: isinstance(value, str),
+    "isDate": lambda value: isinstance(value, datetime),
+    "toNumber": _number,
+    "toString": _string,
+    "toBoolean": _boolean,
+    "toDate": _time,
+    # Control
+    "if": _if,
+    # Strings
+    "length": lambda value: float(len(value)) if isinstance(value, (list, str, dict)) else float("nan"),
+    "lower": lambda value: _string(value).lower(),
+    "upper": lambda value: _string(value).upper(),
+    "trim": lambda value: _string(value).strip(),
+    "substring": _substring,
+    "slice": _slice,
+    "replace": _replace,
+    "split": _split,
+    "indexof": _indexof,
+    "lastindexof": _lastindexof,
+    "pad": _pad,
+    "truncate": _truncate,
+    "parseFloat": _number,
+    "parseInt": lambda value: float(int(_number(value))),
+    # Regular expressions
+    "test": _test,
+    "regexp": lambda pattern, flags="": (pattern, flags),
+    # Arrays
+    "extent": _extent,
+    "span": _span,
+    "peek": _peek,
+    "join": _join,
+    "reverse": _reverse,
+    "sort": _sort,
+    "sequence": _sequence,
+    "inrange": _in_range,
+    "indexOf": _indexof,
+    # Dates
+    "now": None,  # installed per-evaluator so it can be frozen for tests
+    "datetime": _datetime_ctor,
+    "date": lambda value: float(_as_datetime(value).day),
+    "day": _day,
+    "year": lambda value: float(_as_datetime(value).year),
+    "month": lambda value: float(_as_datetime(value).month - 1),  # JS 0-based
+    "quarter": _quarter,
+    "hours": _date_part("hour"),
+    "minutes": _date_part("minute"),
+    "seconds": _date_part("second"),
+    "milliseconds": lambda value: float(_as_datetime(value).microsecond // 1000),
+    "time": _time,
+    "dayofyear": lambda value: float(_as_datetime(value).timetuple().tm_yday),
+}
+
+# Named constants available as bare identifiers in expressions.
+CONSTANTS = {
+    "NaN": float("nan"),
+    "E": math.e,
+    "LN2": math.log(2),
+    "LN10": math.log(10),
+    "LOG2E": 1 / math.log(2),
+    "LOG10E": 1 / math.log(10),
+    "PI": math.pi,
+    "SQRT1_2": math.sqrt(0.5),
+    "SQRT2": math.sqrt(2),
+    "MIN_VALUE": 5e-324,
+    "MAX_VALUE": 1.7976931348623157e308,
+    "undefined": None,
+    "Infinity": float("inf"),
+}

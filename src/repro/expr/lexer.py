@@ -1,0 +1,156 @@
+"""Tokenizer for the Vega expression language.
+
+Vega expressions are a side-effect-free subset of JavaScript expressions:
+literals, identifiers, member access, function calls, unary and binary
+operators, and the ternary conditional.  This lexer produces a flat token
+stream consumed by :mod:`repro.expr.parser`.
+"""
+
+from dataclasses import dataclass
+
+from repro.expr.errors import ExprSyntaxError
+
+# Token kinds.
+NUMBER = "NUMBER"
+STRING = "STRING"
+IDENT = "IDENT"
+PUNCT = "PUNCT"
+EOF = "EOF"
+
+# Multi-character operators, longest first so the scanner is greedy.
+_PUNCTUATORS = [
+    "===", "!==", ">>>",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>", "**",
+    "+", "-", "*", "/", "%", "<", ">", "!", "?", ":",
+    "(", ")", "[", "]", "{", "}", ",", ".", "&", "|", "^", "~",
+]
+
+_IDENT_START = set("abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ_$")
+_IDENT_CONT = _IDENT_START | set("0123456789")
+_DIGITS = set("0123456789")
+
+_ESCAPES = {
+    "n": "\n",
+    "t": "\t",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    "v": "\v",
+    "0": "\0",
+    "'": "'",
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+}
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of NUMBER/STRING/IDENT/PUNCT/EOF; ``value`` carries the
+    parsed payload (float for numbers, decoded text for strings, the raw
+    lexeme otherwise); ``pos`` is the character offset in the source.
+    """
+
+    kind: str
+    value: object
+    pos: int
+
+
+def tokenize(source):
+    """Tokenize ``source`` and return a list of tokens ending with EOF.
+
+    Raises :class:`ExprSyntaxError` on any character that cannot start a
+    token or on an unterminated string literal.
+    """
+    tokens = []
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch in " \t\n\r":
+            i += 1
+            continue
+        if ch in _DIGITS or (ch == "." and i + 1 < n and source[i + 1] in _DIGITS):
+            value, i = _scan_number(source, i)
+            tokens.append(Token(NUMBER, value, i))
+            continue
+        if ch in ("'", '"'):
+            value, end = _scan_string(source, i)
+            tokens.append(Token(STRING, value, i))
+            i = end
+            continue
+        if ch in _IDENT_START:
+            start = i
+            while i < n and source[i] in _IDENT_CONT:
+                i += 1
+            tokens.append(Token(IDENT, source[start:i], start))
+            continue
+        matched = _match_punct(source, i)
+        if matched is not None:
+            tokens.append(Token(PUNCT, matched, i))
+            i += len(matched)
+            continue
+        raise ExprSyntaxError("unexpected character {!r}".format(ch), i)
+    tokens.append(Token(EOF, None, n))
+    return tokens
+
+
+def _match_punct(source, i):
+    for punct in _PUNCTUATORS:
+        if source.startswith(punct, i):
+            return punct
+    return None
+
+
+def _scan_number(source, i):
+    """Scan a numeric literal (int, float, exponent, hex) starting at i."""
+    n = len(source)
+    start = i
+    if source.startswith(("0x", "0X"), i):
+        i += 2
+        while i < n and source[i] in "0123456789abcdefABCDEF":
+            i += 1
+        if i == start + 2:
+            raise ExprSyntaxError("malformed hex literal", start)
+        return float(int(source[start:i], 16)), i
+    while i < n and source[i] in _DIGITS:
+        i += 1
+    if i < n and source[i] == ".":
+        i += 1
+        while i < n and source[i] in _DIGITS:
+            i += 1
+    if i < n and source[i] in "eE":
+        j = i + 1
+        if j < n and source[j] in "+-":
+            j += 1
+        if j < n and source[j] in _DIGITS:
+            i = j
+            while i < n and source[i] in _DIGITS:
+                i += 1
+        else:
+            raise ExprSyntaxError("malformed exponent", i)
+    return float(source[start:i]), i
+
+
+def _scan_string(source, i):
+    """Scan a quoted string starting at i; returns (decoded, end_index)."""
+    quote = source[i]
+    n = len(source)
+    out = []
+    j = i + 1
+    while j < n:
+        ch = source[j]
+        if ch == "\\":
+            if j + 1 >= n:
+                break
+            esc = source[j + 1]
+            out.append(_ESCAPES.get(esc, esc))
+            j += 2
+            continue
+        if ch == quote:
+            return "".join(out), j + 1
+        out.append(ch)
+        j += 1
+    raise ExprSyntaxError("unterminated string literal", i)

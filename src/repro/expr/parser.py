@@ -1,0 +1,209 @@
+"""Pratt (top-down operator precedence) parser for Vega expressions.
+
+``parse(source)`` returns the root :class:`~repro.expr.ast.Node`.  The
+grammar follows JavaScript expression precedence, minus assignment, comma
+sequencing, and anything with side effects — the same subset Vega's own
+expression parser accepts.
+"""
+
+from repro.expr import ast
+from repro.expr.errors import ExprSyntaxError
+from repro.expr.lexer import EOF, IDENT, NUMBER, PUNCT, STRING, tokenize
+
+# Binary operator binding powers (higher binds tighter).  Mirrors JS.
+_BINARY_POWER = {
+    "||": 4,
+    "&&": 5,
+    "|": 6,
+    "^": 7,
+    "&": 8,
+    "==": 9, "!=": 9, "===": 9, "!==": 9,
+    "<": 10, ">": 10, "<=": 10, ">=": 10,
+    "<<": 11, ">>": 11, ">>>": 11,
+    "+": 12, "-": 12,
+    "*": 13, "/": 13, "%": 13,
+    "**": 14,
+}
+
+_TERNARY_POWER = 3
+_UNARY_POWER = 15
+_POSTFIX_POWER = 17  # call, member access
+
+_KEYWORD_LITERALS = {
+    "true": True,
+    "false": False,
+    "null": None,
+}
+
+
+class _Parser:
+    def __init__(self, source):
+        self.source = source
+        self.tokens = tokenize(source)
+        self.index = 0
+
+    @property
+    def current(self):
+        return self.tokens[self.index]
+
+    def advance(self):
+        token = self.tokens[self.index]
+        self.index += 1
+        return token
+
+    def expect(self, value):
+        token = self.current
+        if token.kind != PUNCT or token.value != value:
+            raise ExprSyntaxError(
+                "expected {!r}, found {!r}".format(value, token.value), token.pos
+            )
+        return self.advance()
+
+    def at(self, value):
+        return self.current.kind == PUNCT and self.current.value == value
+
+    def parse(self):
+        node = self.expression(0)
+        if self.current.kind != EOF:
+            raise ExprSyntaxError(
+                "unexpected trailing input {!r}".format(self.current.value),
+                self.current.pos,
+            )
+        return node
+
+    def expression(self, min_power):
+        node = self.prefix()
+        while True:
+            token = self.current
+            if token.kind != PUNCT:
+                break
+            op = token.value
+            if op in ("(", "[", "."):
+                if _POSTFIX_POWER < min_power:
+                    break
+                node = self.postfix(node)
+                continue
+            if op == "?":
+                if _TERNARY_POWER < min_power:
+                    break
+                self.advance()
+                consequent = self.expression(0)
+                self.expect(":")
+                # Ternary is right-associative.
+                alternate = self.expression(_TERNARY_POWER)
+                node = ast.Conditional(node, consequent, alternate)
+                continue
+            power = _BINARY_POWER.get(op)
+            if power is None or power < min_power:
+                break
+            self.advance()
+            # '**' is right-associative; everything else left-associative.
+            next_min = power if op == "**" else power + 1
+            right = self.expression(next_min)
+            node = ast.Binary(op, node, right)
+        return node
+
+    def prefix(self):
+        token = self.current
+        if token.kind == NUMBER:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == STRING:
+            self.advance()
+            return ast.Literal(token.value)
+        if token.kind == IDENT:
+            self.advance()
+            if token.value in _KEYWORD_LITERALS:
+                return ast.Literal(_KEYWORD_LITERALS[token.value])
+            return ast.Identifier(token.value)
+        if token.kind == PUNCT:
+            if token.value in ("-", "+", "!", "~"):
+                self.advance()
+                operand = self.expression(_UNARY_POWER)
+                return ast.Unary(token.value, operand)
+            if token.value == "(":
+                self.advance()
+                node = self.expression(0)
+                self.expect(")")
+                return node
+            if token.value == "[":
+                return self.array_literal()
+            if token.value == "{":
+                return self.object_literal()
+        raise ExprSyntaxError(
+            "unexpected token {!r}".format(token.value), token.pos
+        )
+
+    def postfix(self, node):
+        token = self.advance()
+        if token.value == "(":
+            if not isinstance(node, ast.Identifier):
+                raise ExprSyntaxError("only named functions may be called", token.pos)
+            args = []
+            if not self.at(")"):
+                while True:
+                    args.append(self.expression(0))
+                    if self.at(","):
+                        self.advance()
+                        continue
+                    break
+            self.expect(")")
+            return ast.Call(node.name, tuple(args))
+        if token.value == "[":
+            prop = self.expression(0)
+            self.expect("]")
+            return ast.Member(node, prop, computed=True)
+        if token.value == ".":
+            name = self.current
+            if name.kind != IDENT:
+                raise ExprSyntaxError("expected property name after '.'", name.pos)
+            self.advance()
+            return ast.Member(node, ast.Literal(name.value), computed=False)
+        raise ExprSyntaxError("unexpected token {!r}".format(token.value), token.pos)
+
+    def array_literal(self):
+        self.expect("[")
+        elements = []
+        if not self.at("]"):
+            while True:
+                elements.append(self.expression(0))
+                if self.at(","):
+                    self.advance()
+                    continue
+                break
+        self.expect("]")
+        return ast.ArrayExpr(tuple(elements))
+
+    def object_literal(self):
+        self.expect("{")
+        keys = []
+        values = []
+        if not self.at("}"):
+            while True:
+                token = self.current
+                if token.kind in (IDENT, STRING):
+                    keys.append(str(token.value))
+                elif token.kind == NUMBER:
+                    keys.append(_format_number_key(token.value))
+                else:
+                    raise ExprSyntaxError("invalid object key", token.pos)
+                self.advance()
+                self.expect(":")
+                values.append(self.expression(0))
+                if self.at(","):
+                    self.advance()
+                    continue
+                break
+        self.expect("}")
+        return ast.ObjectExpr(tuple(keys), tuple(values))
+
+
+def _format_number_key(value):
+    if float(value).is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def parse(source):
+    """Parse a Vega expression string into an AST."""
+    return _Parser(source).parse()

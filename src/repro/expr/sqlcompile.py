@@ -1,0 +1,282 @@
+"""Compile Vega expression ASTs to SQL expression text.
+
+This is step (1) of the VegaPlus optimization dynamic ("SQL rewriting",
+§2.2): transform parameters written in the Vega expression language are
+translated into SQL so that the owning operator can execute in the DBMS.
+
+Signal references are *bound at compile time* — the middleware substitutes
+the current signal values into the query, and interactions that change a
+signal trigger re-compilation (or a prefetched variant).  Expressions that
+use features with no SQL counterpart raise
+:class:`~repro.expr.errors.UntranslatableExpression`; the partition
+planner then pins the owning transform to the client.
+"""
+
+import math
+
+from repro.expr import ast
+from repro.expr.constfold import fold
+from repro.expr.errors import UntranslatableExpression
+from repro.expr.functions import CONSTANTS
+from repro.expr.parser import parse
+
+_COMPARISON = {"==": "=", "===": "=", "!=": "<>", "!==": "<>",
+               "<": "<", ">": ">", "<=": "<=", ">=": ">="}
+_ARITHMETIC = {"+": "+", "-": "-", "*": "*", "/": "/", "%": "%"}
+
+# func name -> (sql template or callable(args)->sql, arity or None for varargs)
+_SQL_FUNCTIONS = {
+    "abs": ("ABS({0})", 1),
+    "ceil": ("CEIL({0})", 1),
+    "floor": ("FLOOR({0})", 1),
+    "round": ("ROUND({0})", 1),
+    "sqrt": ("SQRT({0})", 1),
+    "exp": ("EXP({0})", 1),
+    "log": ("LN({0})", 1),
+    "pow": ("POWER({0}, {1})", 2),
+    "min": ("LEAST({0}, {1})", 2),
+    "max": ("GREATEST({0}, {1})", 2),
+    "upper": ("UPPER({0})", 1),
+    "lower": ("LOWER({0})", 1),
+    "trim": ("TRIM({0})", 1),
+    "length": ("LENGTH({0})", 1),
+    "year": ("YEAR({0})", 1),
+    "quarter": ("QUARTER({0})", 1),
+    "date": ("DAYOFMONTH({0})", 1),
+    "hours": ("HOUR({0})", 1),
+    "minutes": ("MINUTE({0})", 1),
+    "seconds": ("SECOND({0})", 1),
+    "toNumber": ("CAST({0} AS DOUBLE)", 1),
+    "toString": ("CAST({0} AS VARCHAR)", 1),
+    "isValid": ("({0} IS NOT NULL)", 1),
+    "isNaN": ("({0} IS NULL)", 1),  # NaN maps to NULL in our SQL data model
+}
+
+
+def _month_sql(args):
+    # Vega month() is 0-based, SQL MONTH() is 1-based.
+    return "(MONTH({0}) - 1)".format(args[0])
+
+
+def _clamp_sql(args):
+    return "LEAST(GREATEST({0}, {1}), {2})".format(*args)
+
+
+def _if_sql(args):
+    return "CASE WHEN {0} THEN {1} ELSE {2} END".format(*args)
+
+
+def _test_sql(args, raw_args):
+    # test(regex, value) — pattern must be a literal for SQL translation.
+    if not isinstance(raw_args[0], ast.Literal) or not isinstance(raw_args[0].value, str):
+        raise UntranslatableExpression("test() pattern must be a string literal")
+    return "({1} REGEXP {0})".format(args[0], args[1])
+
+
+def _indexof_sql(args):
+    # 1-based STRPOS minus one to match JS indexOf semantics.
+    return "(STRPOS({0}, {1}) - 1)".format(args[0], args[1])
+
+
+_SQL_FUNCTION_BUILDERS = {
+    "month": _month_sql,
+    "clamp": _clamp_sql,
+    "if": _if_sql,
+    "indexof": _indexof_sql,
+}
+
+
+def quote_ident(name):
+    """Quote a SQL identifier, escaping embedded quotes."""
+    return '"' + name.replace('"', '""') + '"'
+
+
+def sql_literal(value):
+    """Render a Python value as a SQL literal."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "NULL"
+        if math.isinf(value):
+            raise UntranslatableExpression("infinity has no SQL literal")
+        if value.is_integer() and abs(value) < 1e15:
+            return str(int(value))
+        return repr(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, str):
+        return "'" + value.replace("'", "''") + "'"
+    raise UntranslatableExpression(
+        "value {!r} has no SQL literal form".format(value)
+    )
+
+
+class SQLCompiler:
+    """Compiles expression ASTs against a signal scope.
+
+    ``signals`` maps signal name -> current value; signal references are
+    inlined as literals.  ``field_map`` optionally renames datum fields to
+    column expressions (used after projection/derivation steps).
+    """
+
+    def __init__(self, signals=None, field_map=None):
+        self.signals = signals if signals is not None else {}
+        self.field_map = field_map if field_map is not None else {}
+
+    def compile(self, source):
+        node = source if isinstance(source, ast.Node) else parse(source)
+        # Inline current signal values first so that folding can resolve
+        # signal-guarded branches (e.g. "pattern == '' || test(pattern, …)"
+        # folds to TRUE when the search box is empty) and so that literal
+        # requirements (regex patterns) see concrete strings.
+        from repro.expr.constfold import substitute_signals
+
+        node = substitute_signals(node, self.signals)
+        node = fold(node)
+        return self._emit(node)
+
+    # -- emitters ----------------------------------------------------------
+
+    def _emit(self, node):
+        if isinstance(node, ast.Literal):
+            return sql_literal(node.value)
+        if isinstance(node, ast.Identifier):
+            return self._emit_identifier(node)
+        if isinstance(node, ast.Member):
+            return self._emit_member(node)
+        if isinstance(node, ast.Unary):
+            return self._emit_unary(node)
+        if isinstance(node, ast.Binary):
+            return self._emit_binary(node)
+        if isinstance(node, ast.Conditional):
+            return "CASE WHEN {} THEN {} ELSE {} END".format(
+                self._emit(node.test),
+                self._emit(node.consequent),
+                self._emit(node.alternate),
+            )
+        if isinstance(node, ast.Call):
+            return self._emit_call(node)
+        raise UntranslatableExpression(
+            "{} has no SQL translation".format(type(node).__name__)
+        )
+
+    def _emit_identifier(self, node):
+        name = node.name
+        if name == "datum":
+            raise UntranslatableExpression("bare 'datum' cannot appear in SQL")
+        if name in self.signals:
+            return sql_literal(self.signals[name])
+        if name in CONSTANTS:
+            return sql_literal(CONSTANTS[name])
+        raise UntranslatableExpression(
+            "unbound identifier {!r}; signal value required".format(name)
+        )
+
+    def _emit_member(self, node):
+        if isinstance(node.obj, ast.Identifier) and node.obj.name == "datum":
+            if isinstance(node.prop, ast.Literal) and isinstance(node.prop.value, str):
+                field = node.prop.value
+                if field in self.field_map:
+                    return self.field_map[field]
+                return quote_ident(field)
+            raise UntranslatableExpression(
+                "dynamic datum field access cannot be translated"
+            )
+        raise UntranslatableExpression("nested member access has no SQL form")
+
+    def _emit_unary(self, node):
+        operand = self._emit(node.operand)
+        if node.op == "-":
+            return "(-{})".format(operand)
+        if node.op == "+":
+            return operand
+        if node.op == "!":
+            return "(NOT {})".format(operand)
+        raise UntranslatableExpression(
+            "unary {!r} has no SQL translation".format(node.op)
+        )
+
+    def _emit_binary(self, node):
+        op = node.op
+        if op in ("&&", "||"):
+            keyword = "AND" if op == "&&" else "OR"
+            return "({} {} {})".format(
+                self._emit(node.left), keyword, self._emit(node.right)
+            )
+        if op in _COMPARISON:
+            # Equality against null must become IS NULL for SQL semantics.
+            sql_op = _COMPARISON[op]
+            left_null = isinstance(node.left, ast.Literal) and node.left.value is None
+            right_null = isinstance(node.right, ast.Literal) and node.right.value is None
+            if left_null or right_null:
+                other = node.right if left_null else node.left
+                verb = "IS NULL" if sql_op == "=" else "IS NOT NULL"
+                return "({} {})".format(self._emit(other), verb)
+            return "({} {} {})".format(
+                self._emit(node.left), sql_op, self._emit(node.right)
+            )
+        if op == "+":
+            if self._is_stringy(node.left) or self._is_stringy(node.right):
+                return "({} || {})".format(
+                    self._emit(node.left), self._emit(node.right)
+                )
+            return "({} + {})".format(self._emit(node.left), self._emit(node.right))
+        if op in _ARITHMETIC:
+            return "({} {} {})".format(
+                self._emit(node.left), _ARITHMETIC[op], self._emit(node.right)
+            )
+        if op == "**":
+            return "POWER({}, {})".format(
+                self._emit(node.left), self._emit(node.right)
+            )
+        raise UntranslatableExpression(
+            "operator {!r} has no SQL translation".format(op)
+        )
+
+    def _emit_call(self, node):
+        args = [self._emit(arg) for arg in node.args]
+        if node.func == "test":
+            return _test_sql(args, node.args)
+        builder = _SQL_FUNCTION_BUILDERS.get(node.func)
+        if builder is not None:
+            return builder(args)
+        entry = _SQL_FUNCTIONS.get(node.func)
+        if entry is None:
+            raise UntranslatableExpression(
+                "function {!r} has no SQL translation".format(node.func)
+            )
+        template, arity = entry
+        if arity is not None and len(args) != arity:
+            raise UntranslatableExpression(
+                "{}() expects {} argument(s), got {}".format(
+                    node.func, arity, len(args)
+                )
+            )
+        return template.format(*args)
+
+    def _is_stringy(self, node):
+        if isinstance(node, ast.Literal):
+            return isinstance(node.value, str)
+        if isinstance(node, ast.Call):
+            return node.func in ("toString", "upper", "lower", "trim",
+                                 "substring", "pad", "truncate", "replace")
+        if isinstance(node, ast.Binary) and node.op == "+":
+            return self._is_stringy(node.left) or self._is_stringy(node.right)
+        return False
+
+
+def compile_expression(source, signals=None, field_map=None):
+    """Convenience wrapper: compile ``source`` to a SQL expression string."""
+    return SQLCompiler(signals=signals, field_map=field_map).compile(source)
+
+
+def is_translatable(source, signals=None):
+    """True when the expression compiles to SQL under the given signals."""
+    try:
+        compile_expression(source, signals=signals)
+    except UntranslatableExpression:
+        return False
+    return True

@@ -1,0 +1,26 @@
+"""Scripted interaction traces, replay, and event routing."""
+
+from repro.interact.events import Event, EventError, EventHandler, EventRouter
+from repro.interact.trace import (
+    InteractionStep,
+    InteractionTrace,
+    ReplayReport,
+    interleave,
+    option_cycle,
+    replay,
+    slider_drag,
+)
+
+__all__ = [
+    "Event",
+    "EventError",
+    "EventHandler",
+    "EventRouter",
+    "InteractionStep",
+    "InteractionTrace",
+    "ReplayReport",
+    "interleave",
+    "option_cycle",
+    "replay",
+    "slider_drag",
+]

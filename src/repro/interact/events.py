@@ -1,0 +1,92 @@
+"""Event streams: Vega's ``on: [{events, update}]`` signal handlers.
+
+"Interaction events update operator parameters or data inputs" (§2.1).
+In Vega, UI events (clicks, drags, widget changes) flow through event
+streams into signal updates.  This module models that layer: an
+:class:`EventRouter` matches dispatched events against each signal's
+handlers and evaluates the handler's ``update`` expression with ``event``
+(the event payload) and ``datum`` (the picked data item) in scope.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.expr.evaluator import Evaluator
+from repro.expr.parser import parse
+
+
+class EventError(Exception):
+    """Bad handler declaration or dispatch."""
+
+
+@dataclass
+class EventHandler:
+    """One ``{events, update}`` clause on a signal."""
+
+    signal: str
+    events: str  # event-type selector, e.g. "click", "mousemove", "wheel"
+    update: str  # expression over event/datum/signals
+
+    def __post_init__(self):
+        self._node = parse(self.update)
+
+    def matches(self, event_type):
+        return self.events == event_type or self.events == "*"
+
+
+@dataclass
+class Event:
+    """A dispatched UI event."""
+
+    type: str
+    #: arbitrary payload (x/y coordinates, key, widget value, ...)
+    payload: dict = field(default_factory=dict)
+    #: the data item under the pointer, if any
+    datum: Optional[dict] = None
+
+
+class EventRouter:
+    """Routes events to signal updates on a VegaPlus session."""
+
+    def __init__(self, session):
+        self.session = session
+        self.handlers: List[EventHandler] = []
+        self._install_from_spec()
+
+    def _install_from_spec(self):
+        for signal in self.session.compiled.spec.signals:
+            raw = getattr(signal, "bind", None)
+            # Handlers come from the raw spec's "on" clauses, which the
+            # parser stores on the SignalSpec when present.
+            for clause in getattr(signal, "on", None) or []:
+                self.add_handler(signal.name, clause.get("events"),
+                                 clause.get("update"))
+
+    def add_handler(self, signal, events, update):
+        """Register a handler; ``events`` is an event-type name."""
+        if not events or not update:
+            raise EventError("handler needs 'events' and 'update'")
+        if signal not in self.session.signals:
+            raise EventError("unknown signal {!r}".format(signal))
+        handler = EventHandler(signal=signal, events=events, update=update)
+        self.handlers.append(handler)
+        return handler
+
+    def dispatch(self, event_type, payload=None, datum=None):
+        """Dispatch one event; returns the interaction RunResults (one per
+        signal whose value changed)."""
+        event = Event(type=event_type, payload=payload or {}, datum=datum)
+        evaluator = Evaluator(signals=self.session.signals)
+        results = []
+        for handler in self.handlers:
+            if not handler.matches(event.type):
+                continue
+            scope = {"event": {"type": event.type, **event.payload}}
+            value = evaluator.evaluate(
+                handler._node, datum=event.datum, extra=scope
+            )
+            if value != self.session.signals.get(handler.signal):
+                results.append(
+                    self.session.interact(handler.signal, value)
+                )
+        return results

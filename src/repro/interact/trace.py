@@ -1,0 +1,111 @@
+"""Interaction traces: scripted stand-ins for the demo's live users.
+
+A trace is a sequence of (signal, value) steps with idle gaps.  Replay
+drives a session through the trace, optionally letting the prefetcher use
+the idle time between interactions — which is how E3 measures the benefit
+of prediction + caching.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class InteractionStep:
+    signal: str
+    value: object
+    #: idle seconds before this step (think time the prefetcher can use)
+    think_seconds: float = 1.0
+
+
+@dataclass
+class InteractionTrace:
+    """A scripted user."""
+
+    name: str
+    steps: List[InteractionStep] = field(default_factory=list)
+
+    def add(self, signal, value, think_seconds=1.0):
+        self.steps.append(InteractionStep(signal, value, think_seconds))
+        return self
+
+
+def slider_drag(signal, start, stop, step=1, name=None):
+    """A user dragging a slider monotonically — the classic prefetchable
+    pattern (bin-width slider in the flights demo)."""
+    trace = InteractionTrace(name or "drag:{}".format(signal))
+    direction = 1 if stop >= start else -1
+    value = start
+    while (value <= stop) if direction > 0 else (value >= stop):
+        trace.add(signal, value)
+        value += step * direction
+    return trace
+
+
+def option_cycle(signal, options, name=None, repeats=1):
+    """A user cycling through a drop-down / radio control."""
+    trace = InteractionTrace(name or "cycle:{}".format(signal))
+    for _ in range(repeats):
+        for option in options:
+            trace.add(signal, option)
+    return trace
+
+
+def interleave(first, second, name=None):
+    """Alternate two traces step by step (mixed-control behaviour)."""
+    trace = InteractionTrace(name or "mix:{}+{}".format(first.name, second.name))
+    for a, b in zip(first.steps, second.steps):
+        trace.steps.append(a)
+        trace.steps.append(b)
+    return trace
+
+
+@dataclass
+class ReplayReport:
+    """Aggregate outcome of replaying a trace."""
+
+    trace: str
+    results: list = field(default_factory=list)
+    prefetches: int = 0
+
+    @property
+    def interactions(self):
+        return len(self.results)
+
+    @property
+    def total_latency(self):
+        return sum(result.breakdown.total for result in self.results)
+
+    @property
+    def mean_latency(self):
+        if not self.results:
+            return 0.0
+        return self.total_latency / len(self.results)
+
+    @property
+    def cache_hit_rate(self):
+        hits = sum(result.cache_hits for result in self.results)
+        misses = sum(result.cache_misses for result in self.results)
+        if hits + misses == 0:
+            return 0.0
+        return hits / (hits + misses)
+
+    def latencies(self):
+        return [result.breakdown.total for result in self.results]
+
+
+def replay(session, trace, prefetch=True):
+    """Drive ``session`` through ``trace``.
+
+    With ``prefetch=True`` the session's prefetcher runs during each think
+    gap (idle-time prefetching, §2.2 step 4); prefetch queries are logged
+    but their time does not count toward interaction latency.
+    """
+    report = ReplayReport(trace=trace.name)
+    for step in trace.steps:
+        if prefetch and step.think_seconds > 0:
+            done = session.idle()
+            report.prefetches += len(done)
+        result = session.interact(step.signal, step.value)
+        report.results.append(result)
+    return report

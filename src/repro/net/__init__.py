@@ -1,0 +1,13 @@
+"""Simulated network substrate."""
+
+from repro.net.channel import NetworkChannel, NetworkStats, TransferRecord
+from repro.net.payload import exact_wire_bytes, request_bytes, wire_bytes
+
+__all__ = [
+    "NetworkChannel",
+    "NetworkStats",
+    "TransferRecord",
+    "exact_wire_bytes",
+    "request_bytes",
+    "wire_bytes",
+]

@@ -1,0 +1,93 @@
+"""Simulated client<->server network channel.
+
+The partition optimizer's objective includes network transfer cost, and
+the demo UI lets users "simulate different network latencies".  This
+module provides that knob: a deterministic channel with configurable
+round-trip latency and bandwidth that *accounts* time on a virtual clock
+rather than sleeping, so benchmarks run fast yet report realistic
+latencies.
+"""
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+@dataclass
+class TransferRecord:
+    """One logged round trip."""
+
+    request_bytes: int
+    response_bytes: int
+    seconds: float
+    label: str = ""
+
+
+@dataclass
+class NetworkStats:
+    """Aggregate traffic counters for a channel."""
+
+    round_trips: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    seconds: float = 0.0
+    log: List[TransferRecord] = field(default_factory=list)
+
+
+class NetworkChannel:
+    """A latency/bandwidth model for the client-server link.
+
+    ``latency_ms`` is the one-way latency; a round trip costs twice that
+    plus serialization time at ``bandwidth_mbps`` (megaBITS per second,
+    matching how link speeds are usually quoted).
+    """
+
+    def __init__(self, latency_ms=20.0, bandwidth_mbps=100.0):
+        if latency_ms < 0:
+            raise ValueError("latency_ms must be >= 0")
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be > 0")
+        self.latency_ms = float(latency_ms)
+        self.bandwidth_mbps = float(bandwidth_mbps)
+        self.stats = NetworkStats()
+
+    @property
+    def bytes_per_second(self):
+        return self.bandwidth_mbps * 1e6 / 8.0
+
+    def transfer_seconds(self, payload_bytes):
+        """Pure cost function: time to move ``payload_bytes`` one way,
+        excluding latency.  Used by the planner's cost model."""
+        return payload_bytes / self.bytes_per_second
+
+    def round_trip_seconds(self, request_bytes, response_bytes):
+        """Cost of one request/response exchange."""
+        return (
+            2.0 * self.latency_ms / 1000.0
+            + self.transfer_seconds(request_bytes)
+            + self.transfer_seconds(response_bytes)
+        )
+
+    def request(self, request_bytes, response_bytes, label=""):
+        """Account one round trip on the virtual clock; returns seconds."""
+        seconds = self.round_trip_seconds(request_bytes, response_bytes)
+        self.stats.round_trips += 1
+        self.stats.bytes_sent += int(request_bytes)
+        self.stats.bytes_received += int(response_bytes)
+        self.stats.seconds += seconds
+        self.stats.log.append(
+            TransferRecord(
+                request_bytes=int(request_bytes),
+                response_bytes=int(response_bytes),
+                seconds=seconds,
+                label=label,
+            )
+        )
+        return seconds
+
+    def reset(self):
+        self.stats = NetworkStats()
+
+    def __repr__(self):
+        return "NetworkChannel(latency_ms={}, bandwidth_mbps={})".format(
+            self.latency_ms, self.bandwidth_mbps
+        )

@@ -1,0 +1,48 @@
+"""Wire-size estimation for query results.
+
+The middleware ships JSON rows to the browser client, so the wire size of
+a result is closer to its JSON encoding than to its columnar footprint.
+``wire_bytes`` estimates the JSON size cheaply from column statistics;
+``exact_wire_bytes`` actually encodes (for tests and calibration).
+"""
+
+import json
+
+from repro.engine.table import Table
+from repro.engine.types import SQLType
+
+# Per-value overhead in a JSON row: quotes around the key, the key text,
+# colon, comma.  Estimated per column below; per-row braces add 2.
+_ROW_OVERHEAD = 2.0
+_NUMBER_AVG_CHARS = 8.0
+_BOOL_AVG_CHARS = 5.0
+_NULL_CHARS = 4.0
+
+
+def wire_bytes(table):
+    """Estimated JSON wire size of a table, in bytes."""
+    if table.num_rows == 0:
+        return 2  # "[]"
+    per_row = _ROW_OVERHEAD
+    for name, column in table.columns.items():
+        key_overhead = len(name) + 4  # "name": plus comma
+        if column.type is SQLType.VARCHAR:
+            content = (column.nbytes() / max(table.num_rows, 1)) + 2
+        elif column.type is SQLType.BOOLEAN:
+            content = _BOOL_AVG_CHARS
+        else:
+            content = _NUMBER_AVG_CHARS
+        null_fraction = column.null_count() / table.num_rows
+        content = content * (1 - null_fraction) + _NULL_CHARS * null_fraction
+        per_row += key_overhead + content
+    return int(per_row * table.num_rows) + 2
+
+
+def exact_wire_bytes(table):
+    """Exact JSON wire size (encodes the table; use sparingly)."""
+    return len(json.dumps(table.to_rows()).encode("utf-8"))
+
+
+def request_bytes(sql):
+    """Wire size of a query request."""
+    return len(sql.encode("utf-8")) + 64  # headers/framing allowance

@@ -1,0 +1,21 @@
+"""Performance dashboard data model (Figure 3)."""
+
+from repro.perf.dashboard import (
+    ComparisonRow,
+    GraphNode,
+    PerformanceComparison,
+    PlanGraph,
+    compare_plans,
+    plan_graph,
+    render_stacked_bars,
+)
+
+__all__ = [
+    "ComparisonRow",
+    "GraphNode",
+    "PerformanceComparison",
+    "PlanGraph",
+    "compare_plans",
+    "plan_graph",
+    "render_stacked_bars",
+]

@@ -1,0 +1,55 @@
+"""Client/server partition planning."""
+
+from repro.planner.calibrate import (
+    calibrate,
+    measure_client_row_cost,
+    measure_server_costs,
+)
+from repro.planner.cardinality import (
+    RelationEstimate,
+    estimate_step,
+    from_table_stats,
+)
+from repro.planner.costmodel import CostModel, CostParameters, step_weight
+from repro.planner.partition import (
+    PartitionOptimizer,
+    PlanningError,
+    resolve_chain,
+    translatable_prefix,
+)
+from repro.planner.plans import (
+    CLIENT,
+    SERVER,
+    CostBreakdown,
+    DatasetPlan,
+    PartitionPlan,
+    all_client_plan,
+)
+from repro.planner.repartition import (
+    choose_interaction_plan,
+    interaction_plans,
+    signal_frontier,
+)
+
+__all__ = [
+    "CLIENT",
+    "SERVER",
+    "CostBreakdown",
+    "CostModel",
+    "CostParameters",
+    "DatasetPlan",
+    "PartitionOptimizer",
+    "PartitionPlan",
+    "PlanningError",
+    "RelationEstimate",
+    "all_client_plan",
+    "calibrate",
+    "choose_interaction_plan",
+    "estimate_step",
+    "from_table_stats",
+    "interaction_plans",
+    "resolve_chain",
+    "signal_frontier",
+    "step_weight",
+    "translatable_prefix",
+]

@@ -1,0 +1,79 @@
+"""Cost-model calibration: measure the substrates, don't guess.
+
+The optimizer's constants (client/server per-row cost, query overhead)
+default to values measured on this codebase, but hardware varies.
+``calibrate()`` runs short micro-benchmarks against the actual client
+dataflow and the actual backend and returns fitted
+:class:`~repro.planner.costmodel.CostParameters` — the "estimated data
+sizes and current network latencies" inputs of §2.2, made empirical.
+"""
+
+import time
+
+from repro.datagen import generate_flights
+from repro.dataflow.transforms import create_transform
+from repro.planner.costmodel import CostParameters
+from repro.sqlgen import compose_pipeline, merge_query
+
+_CALIBRATION_STEPS = [
+    ("filter", {"expr": "datum.dep_delay > 10"}),
+    ("bin", {"field": "dep_delay", "extent": [-30, 600], "maxbins": 20}),
+    ("aggregate", {"groupby": ["bin0", "bin1"], "ops": ["count"],
+                   "as": ["count"]}),
+]
+
+
+def measure_client_row_cost(num_rows=20_000, repeats=3):
+    """Seconds per row per (unit-weight) step in the client dataflow."""
+    rows = generate_flights(num_rows, as_rows=True)
+    best = float("inf")
+    for _ in range(repeats):
+        current = rows
+        start = time.perf_counter()
+        for spec_type, params in _CALIBRATION_STEPS:
+            transform = create_transform(spec_type, "cal", params, None)
+            current = transform.transform(current, params, {})
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    # Approximate rows processed: n + n_filtered + n_filtered.
+    processed = num_rows * 2.2
+    return best / processed
+
+
+def measure_server_costs(backend=None, num_rows=100_000, repeats=3):
+    """(seconds per row per step, fixed per-query overhead) on a backend."""
+    from repro.backends import EmbeddedBackend
+
+    if backend is None:
+        backend = EmbeddedBackend()
+    table = generate_flights(num_rows)
+    backend.load_table("__cal", table)
+    sql = merge_query(
+        compose_pipeline("__cal", table.column_names, _CALIBRATION_STEPS)
+    ).to_sql()
+
+    best = float("inf")
+    for _ in range(repeats):
+        best = min(best, backend.execute(sql).seconds)
+
+    tiny_sql = "SELECT COUNT(*) AS n FROM __cal WHERE 1 > 2"
+    overhead = float("inf")
+    for _ in range(repeats):
+        overhead = min(overhead, backend.execute(tiny_sql).seconds)
+
+    per_row = max(best - overhead, 1e-9) / (num_rows * 2.2)
+    return per_row, overhead
+
+
+def calibrate(backend=None, client_rows=20_000, server_rows=100_000):
+    """Measure both substrates and return fitted CostParameters."""
+    client_cost = measure_client_row_cost(client_rows)
+    server_cost, overhead = measure_server_costs(backend, server_rows)
+    defaults = CostParameters()
+    return CostParameters(
+        client_row_cost=client_cost,
+        server_row_cost=server_cost,
+        server_query_overhead=max(overhead, 1e-4),
+        client_op_overhead=defaults.client_op_overhead,
+        render_row_cost=defaults.render_row_cost,
+    )

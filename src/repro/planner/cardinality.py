@@ -1,0 +1,220 @@
+"""Cardinality and width estimation through transform pipelines.
+
+Propagates (row count, row width, per-column distinct estimates) from the
+base table's statistics through each transform, feeding the cost model's
+"estimated data sizes" input (§2.2: "VegaPlus optimizes how to partition
+the dataflow based on the dataflow graph, estimated data sizes, and
+current network latencies").
+"""
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Dict
+
+_DEFAULT_FILTER_SELECTIVITY = 0.5
+_NUMBER_WIDTH = 8.0
+
+
+@dataclass
+class RelationEstimate:
+    """Estimated shape of an intermediate relation."""
+
+    rows: float
+    #: column -> (width bytes, distinct estimate)
+    columns: Dict[str, tuple] = field(default_factory=dict)
+
+    @property
+    def row_width(self):
+        return sum(width for width, _ in self.columns.values()) or _NUMBER_WIDTH
+
+    @property
+    def bytes(self):
+        return self.rows * self.row_width
+
+    def copy(self):
+        return RelationEstimate(rows=self.rows, columns=dict(self.columns))
+
+
+def from_table_stats(stats):
+    """Seed an estimate from engine TableStats."""
+    estimate = RelationEstimate(rows=float(stats.row_count))
+    for name, column in stats.columns.items():
+        estimate.columns[name] = (
+            float(column.avg_width),
+            float(max(column.distinct_estimate, 1)),
+        )
+    return estimate
+
+
+def estimate_step(estimate, spec_type, params, signals=None):
+    """Estimate the output relation of one transform.
+
+    ``params`` are resolved parameters where available; estimation is
+    robust to unresolved ones (it falls back to defaults).  ``signals``
+    sharpen filter selectivity (a signal-guarded predicate that folds to
+    TRUE under the current values has selectivity 1).
+    """
+    out = estimate.copy()
+    if spec_type == "filter":
+        out.rows = estimate.rows * _filter_selectivity(
+            params, estimate, signals
+        )
+        _scale_distincts(out)
+    elif spec_type == "extent":
+        pass  # value output; rows pass through
+    elif spec_type == "bin":
+        as_fields = params.get("as") or ["bin0", "bin1"]
+        maxbins = params.get("maxbins", 20)
+        if not isinstance(maxbins, (int, float)):
+            maxbins = 20
+        for name in as_fields:
+            out.columns[name] = (_NUMBER_WIDTH, float(maxbins))
+    elif spec_type == "formula":
+        name = params.get("as") or "formula"
+        out.columns[name] = (_NUMBER_WIDTH, max(estimate.rows ** 0.5, 1.0))
+    elif spec_type == "project":
+        fields = params.get("fields") or list(estimate.columns)
+        names = params.get("as") or fields
+        out.columns = {
+            name: estimate.columns.get(fld, (_NUMBER_WIDTH, estimate.rows))
+            for fld, name in zip(fields, names)
+        }
+    elif spec_type in ("aggregate", "pivot"):
+        groupby = params.get("groupby") or []
+        groups = 1.0
+        for key in groupby:
+            _, distinct = estimate.columns.get(key, (_NUMBER_WIDTH, 20.0))
+            groups *= max(distinct, 1.0)
+        groups = min(groups, max(estimate.rows, 1.0))
+        out.rows = groups
+        columns = {}
+        for key in groupby:
+            columns[key] = estimate.columns.get(key, (_NUMBER_WIDTH, groups))
+        measure_names = _measure_names(params)
+        for name in measure_names:
+            columns[name] = (_NUMBER_WIDTH, groups)
+        out.columns = columns
+        _scale_distincts(out)
+    elif spec_type in ("stack",):
+        as_fields = params.get("as") or ["y0", "y1"]
+        for name in as_fields:
+            out.columns[name] = (_NUMBER_WIDTH, estimate.rows)
+    elif spec_type in ("joinaggregate", "window"):
+        for name in _measure_names(params):
+            out.columns[name] = (_NUMBER_WIDTH, estimate.rows)
+    elif spec_type == "collect":
+        pass
+    elif spec_type == "sample":
+        size = params.get("size", 1000)
+        if not isinstance(size, (int, float)):
+            size = 1000
+        out.rows = min(estimate.rows, float(size))
+        _scale_distincts(out)
+    elif spec_type == "fold":
+        fields = params.get("fields") or []
+        out.rows = estimate.rows * max(len(fields), 1)
+        key_name, value_name = params.get("as", ["key", "value"])
+        out.columns[key_name] = (12.0, float(max(len(fields), 1)))
+        out.columns[value_name] = (_NUMBER_WIDTH, estimate.rows)
+    elif spec_type == "flatten":
+        out.rows = estimate.rows * 3.0  # unknown array length
+    elif spec_type == "countpattern":
+        out.rows = min(estimate.rows * 2.0, 10000.0)
+        out.columns = {"text": (10.0, out.rows), "count": (_NUMBER_WIDTH, out.rows)}
+    elif spec_type == "impute":
+        out.rows = estimate.rows * 1.2
+    elif spec_type == "identifier":
+        name = params.get("as", "id")
+        out.columns[name] = (_NUMBER_WIDTH, estimate.rows)
+    elif spec_type == "sequence":
+        start = params.get("start", 0) or 0
+        stop = params.get("stop", 0) or 0
+        step = params.get("step", 1) or 1
+        try:
+            out.rows = max(math.ceil((stop - start) / step), 0)
+        except TypeError:
+            out.rows = 100.0
+        out.columns = {params.get("as", "data"): (_NUMBER_WIDTH, out.rows)}
+    elif spec_type == "lookup":
+        values = params.get("values") or []
+        names = params.get("as") or values
+        for name in names:
+            out.columns[name] = (12.0, estimate.rows)
+    elif spec_type == "timeunit":
+        as_fields = params.get("as", ["unit0", "unit1"])
+        for name in as_fields:
+            out.columns[name] = (_NUMBER_WIDTH, 100.0)
+    return out
+
+
+def _measure_names(params):
+    from repro.dataflow.transforms.aggops import default_output_name
+
+    ops = params.get("ops") or ["count"]
+    fields = params.get("fields") or [None] * len(ops)
+    names = params.get("as") or [None] * len(ops)
+    if len(names) < len(ops):
+        names = list(names) + [None] * (len(ops) - len(names))
+    out = []
+    for op, fld, name in zip(ops, fields, names):
+        if name is None:
+            field_name = fld if isinstance(fld, str) else None
+            name = default_output_name(op, field_name) if isinstance(op, str) \
+                else "measure"
+        out.append(name)
+    return out
+
+
+def _filter_selectivity(params, estimate, signals=None):
+    """Heuristic selectivity from the filter expression shape."""
+    expression = params.get("expr")
+    if not isinstance(expression, str):
+        return _DEFAULT_FILTER_SELECTIVITY
+    # Equality on a field: 1/distinct; comparisons: 1/3; regex/other: 1/2.
+    try:
+        from repro.expr import ast as east
+        from repro.expr.constfold import fold_with_signals
+
+        node = fold_with_signals(expression, signals or {})
+    except Exception:
+        return _DEFAULT_FILTER_SELECTIVITY
+
+    if isinstance(node, east.Literal):
+        # The predicate folds to a constant under the current signals
+        # (e.g. a disabled "all"/empty-search guard): pass-through or
+        # drop-everything.
+        from repro.expr.functions import _boolean
+
+        return 1.0 if _boolean(node.value) else 1e-6
+
+    selectivities = []
+    for sub in east.walk(node):
+        if isinstance(sub, east.Binary) and sub.op in ("==", "==="):
+            field_name = _datum_field(sub.left) or _datum_field(sub.right)
+            if field_name and field_name in estimate.columns:
+                _, distinct = estimate.columns[field_name]
+                selectivities.append(1.0 / max(distinct, 1.0))
+        elif isinstance(sub, east.Binary) and sub.op in ("<", ">", "<=", ">="):
+            selectivities.append(1.0 / 3.0)
+    if not selectivities:
+        return _DEFAULT_FILTER_SELECTIVITY
+    result = 1.0
+    for value in selectivities:
+        result *= value
+    # OR-heavy expressions and guards soften the estimate.
+    return min(max(result, 1e-4), 1.0)
+
+
+def _datum_field(node):
+    from repro.expr import ast as east
+
+    if isinstance(node, east.Member) and isinstance(node.obj, east.Identifier) \
+            and node.obj.name == "datum" and isinstance(node.prop, east.Literal):
+        return node.prop.value
+    return None
+
+
+def _scale_distincts(estimate):
+    """Cap per-column distinct estimates at the (new) row count."""
+    for name, (width, distinct) in list(estimate.columns.items()):
+        estimate.columns[name] = (width, min(distinct, max(estimate.rows, 1.0)))

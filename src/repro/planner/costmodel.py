@@ -1,0 +1,154 @@
+"""Latency cost model for partition planning.
+
+Charges per-row, per-step costs on each side plus network transfer at the
+cut.  The client/server per-row constants are calibrated to this
+reproduction's substrates (row-wise Python dataflow vs vectorized
+columnar engine) — the same ~1-2 orders-of-magnitude gap as browser
+JavaScript vs an analytical DBMS, which is what makes the paper's
+crossover behaviour (§2.2: 4M/10M rows) reproducible at smaller scales.
+"""
+
+from dataclasses import dataclass
+
+from repro.net.payload import request_bytes
+from repro.planner.plans import CostBreakdown
+
+# Default per-row per-step costs, in seconds.  Measured on this codebase:
+# the Python dataflow spends ~1-3 us/row/op; the engine ~20-80 ns/row/op.
+DEFAULT_CLIENT_ROW_COST = 1.5e-6
+DEFAULT_SERVER_ROW_COST = 5.0e-8
+
+# Fixed overheads: per server query (parse/plan/dispatch) and per client
+# operator evaluation.
+DEFAULT_SERVER_QUERY_OVERHEAD = 2.0e-3
+DEFAULT_CLIENT_OP_OVERHEAD = 5.0e-5
+
+# Rendering cost per row reaching the marks (encode + draw).
+DEFAULT_RENDER_ROW_COST = 2.0e-6
+
+# Steps that are heavier than a plain row pass (sorts, groupings).
+_STEP_WEIGHT = {
+    "aggregate": 2.5,
+    "joinaggregate": 3.0,
+    "window": 3.5,
+    "stack": 2.5,
+    "collect": 2.0,
+    "pivot": 3.0,
+    "bin": 1.2,
+    "extent": 0.6,
+    "filter": 1.0,
+    "formula": 1.2,
+    "project": 0.8,
+    "lookup": 1.5,
+    "fold": 1.2,
+    "flatten": 1.2,
+    "sample": 0.8,
+    "countpattern": 3.0,
+    "impute": 1.5,
+    "identifier": 0.6,
+    "sequence": 0.3,
+    "timeunit": 2.0,
+}
+
+
+@dataclass
+class CostParameters:
+    """Tunable cost constants (exposed for calibration and ablations)."""
+
+    client_row_cost: float = DEFAULT_CLIENT_ROW_COST
+    server_row_cost: float = DEFAULT_SERVER_ROW_COST
+    server_query_overhead: float = DEFAULT_SERVER_QUERY_OVERHEAD
+    client_op_overhead: float = DEFAULT_CLIENT_OP_OVERHEAD
+    render_row_cost: float = DEFAULT_RENDER_ROW_COST
+    #: artificial extra slowdown of the client, for sensitivity studies
+    client_slowdown: float = 1.0
+
+
+def step_weight(spec_type):
+    return _STEP_WEIGHT.get(spec_type, 1.5)
+
+
+class CostModel:
+    """Evaluates the latency of a pipeline cut.
+
+    ``estimates`` is the list of :class:`RelationEstimate` at each pipeline
+    position: ``estimates[i]`` is the *input* of step i and
+    ``estimates[len(steps)]`` the final output.
+    """
+
+    def __init__(self, channel, params=None):
+        self.channel = channel
+        self.params = params or CostParameters()
+
+    def client_step_cost(self, spec_type, input_rows):
+        per_row = (
+            self.params.client_row_cost
+            * step_weight(spec_type)
+            * self.params.client_slowdown
+        )
+        return self.params.client_op_overhead + input_rows * per_row
+
+    def server_step_cost(self, spec_type, input_rows):
+        return input_rows * self.params.server_row_cost * step_weight(spec_type)
+
+    def cut_cost(self, step_types, estimates, cut, merged=True,
+                 final_fields=None):
+        """Full startup-latency estimate for cutting after ``cut`` steps.
+
+        ``merged=False`` charges one round trip per server step (the
+        unmerged baseline of §2.2 step 3).
+        """
+        breakdown = CostBreakdown()
+
+        # Server side.
+        if cut > 0:
+            queries = 1 if merged else max(cut, 1)
+            breakdown.server += self.params.server_query_overhead * queries
+            for index in range(cut):
+                breakdown.server += self.server_step_cost(
+                    step_types[index], estimates[index].rows
+                )
+            # Value transforms (extent) execute as their own scalar query
+            # even in the merged plan: one extra round trip each, with a
+            # tiny response.
+            for index in range(cut):
+                if step_types[index] == "extent":
+                    breakdown.network += self.channel.round_trip_seconds(
+                        request_bytes("value"), 64
+                    )
+                    breakdown.server += self.params.server_query_overhead
+            if not merged:
+                # Each intermediate result crosses the network.
+                for index in range(1, cut):
+                    breakdown.network += self.channel.round_trip_seconds(
+                        request_bytes("intermediate"),
+                        estimates[index].bytes,
+                    )
+
+        # The cut transfer (or the raw table when cut == 0).
+        transfer = estimates[cut]
+        transfer_bytes = transfer.bytes
+        if final_fields and cut == len(step_types):
+            # Mark-driven projection pruning of the final payload.
+            kept = [
+                width
+                for name, (width, _) in transfer.columns.items()
+                if name in final_fields
+            ]
+            if kept:
+                transfer_bytes = transfer.rows * sum(kept)
+        breakdown.network += self.channel.round_trip_seconds(
+            request_bytes("query"), transfer_bytes
+        )
+
+        # Client side.
+        for index in range(cut, len(step_types)):
+            breakdown.client += self.client_step_cost(
+                step_types[index], estimates[index].rows
+            )
+
+        # Rendering at the sink.
+        breakdown.render += (
+            estimates[len(step_types)].rows * self.params.render_row_cost
+        )
+        return breakdown, transfer

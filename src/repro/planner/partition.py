@@ -1,0 +1,239 @@
+"""Partition optimizer: choose the client/server cut per pipeline.
+
+For every mark-consumed dataset the optimizer resolves its transform
+chain back to a root table, probes how long a prefix is SQL-translatable
+under the current signal values, estimates cost for every legal cut, and
+keeps the cheapest.  Linear pipelines make exhaustive cut enumeration
+cheap — exactly the structure Vega specs compile to.
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.dataflow.operator import DataRef, OperatorRef, SignalRef
+from repro.engine import sqlast
+from repro.expr.evaluator import Evaluator
+from repro.expr.parser import parse
+from repro.planner.cardinality import estimate_step, from_table_stats
+from repro.planner.costmodel import CostModel, CostParameters
+from repro.planner.plans import CostBreakdown, DatasetPlan, PartitionPlan
+from repro.sqlgen.translate import Untranslatable, translate_transform
+
+
+class PlanningError(Exception):
+    """The spec cannot be planned (e.g. no stats for a root table)."""
+
+
+#: placeholder extent used only to probe bin translatability
+_PROBE_EXTENT = [0.0, 1.0]
+
+
+@dataclass
+class ChainStep:
+    """One transform step of a resolved chain."""
+
+    dataset: str
+    index: int  # index within its dataset pipeline
+    spec_type: str
+    params: dict  # planning-resolved parameters
+    operator: object  # the dataflow operator
+
+
+def resolve_chain(compiled, sink):
+    """Walk ``sink`` back to its root dataset; returns (root, steps)."""
+    spec = compiled.spec
+    chain: List[ChainStep] = []
+    name = sink
+    visited = set()
+    while True:
+        if name in visited:
+            raise PlanningError("dataset cycle at {!r}".format(name))
+        visited.add(name)
+        dataset = spec.dataset(name)
+        pipeline = compiled.pipelines[name]
+        steps = []
+        offset = 1 if dataset.source is None else 0  # skip the DataSource op
+        for index, step_spec in enumerate(dataset.transform):
+            operator = pipeline[offset + index]
+            steps.append(
+                ChainStep(
+                    dataset=name,
+                    index=index,
+                    spec_type=step_spec.type,
+                    params={},
+                    operator=operator,
+                )
+            )
+        chain = steps + chain
+        if dataset.source is None:
+            return name, chain
+        name = dataset.source
+
+
+def resolve_planning_params(operator, signals, server_tables=None):
+    """Resolve operator params for planning: signal expressions evaluate,
+    operator refs become probe placeholders, and data refs to transform-
+    free root datasets resolve to LookupTable markers (enabling lookup's
+    LEFT JOIN translation)."""
+    evaluator = Evaluator(signals=signals)
+    server_tables = server_tables or set()
+
+    def resolve(value):
+        if isinstance(value, SignalRef):
+            try:
+                return evaluator.evaluate(parse(value.expression))
+            except Exception:
+                return None
+        if isinstance(value, OperatorRef):
+            return list(_PROBE_EXTENT)
+        if isinstance(value, DataRef):
+            return _lookup_table_marker(value.operator, server_tables)
+        if isinstance(value, dict):
+            return {key: resolve(item) for key, item in value.items()}
+        if isinstance(value, list):
+            return [resolve(item) for item in value]
+        return value
+
+    return {key: resolve(value) for key, value in operator.params.items()}
+
+
+def _lookup_table_marker(operator, server_tables):
+    """LookupTable marker when ``operator`` is the source of a transform-
+    free root dataset resident on the server; None otherwise."""
+    from repro.dataflow.transforms.base import DataSource
+    from repro.sqlgen.translate import LookupTable
+
+    if not isinstance(operator, DataSource):
+        return None
+    name = operator.name
+    if not name.endswith(":source"):
+        return None
+    table = name[: -len(":source")]
+    if table not in server_tables:
+        return None
+    return LookupTable(table)
+
+
+def translatable_prefix(steps, base_columns, signals, server_tables=None):
+    """Longest SQL-translatable prefix; also returns columns per position."""
+    columns = list(base_columns)
+    columns_at = [list(columns)]
+    prefix = 0
+    for step in steps:
+        params = resolve_planning_params(
+            step.operator, signals, server_tables
+        )
+        step.params = params
+        try:
+            translation = translate_transform(
+                step.spec_type,
+                params,
+                sqlast.TableRef("__probe"),
+                columns,
+                signals,
+            )
+        except Untranslatable:
+            break
+        except Exception:
+            break
+        if not translation.is_value:
+            columns = translation.columns
+        prefix += 1
+        columns_at.append(list(columns))
+    # Positions beyond the prefix keep the last known schema.
+    while len(columns_at) <= len(steps):
+        columns_at.append(list(columns))
+    return prefix, columns_at
+
+
+class PartitionOptimizer:
+    """Chooses cuts to minimize estimated startup latency (§2.2 step 2)."""
+
+    def __init__(self, channel, cost_params=None, merged=True):
+        self.channel = channel
+        self.cost_params = cost_params or CostParameters()
+        self.model = CostModel(channel, self.cost_params)
+        self.merged = merged
+
+    def plan_dataset(self, compiled, sink, stats, signals,
+                     forced_cut=None, label=None):
+        """Plan one sink dataset; ``forced_cut`` pins the cut (used by the
+        dashboard's user-customized plans and by baselines)."""
+        root, steps = resolve_chain(compiled, sink)
+        if root not in stats:
+            raise PlanningError(
+                "no statistics for root table {!r}".format(root)
+            )
+        base = from_table_stats(stats[root])
+        prefix, _ = translatable_prefix(
+            steps, list(base.columns), signals, server_tables=set(stats)
+        )
+
+        estimates = [base]
+        current = base
+        for step in steps:
+            current = estimate_step(
+                current, step.spec_type, step.params, signals=signals
+            )
+            estimates.append(current)
+
+        step_types = [step.spec_type for step in steps]
+        final_fields = compiled.spec.mark_fields(sink)
+
+        if forced_cut is not None:
+            cut = max(0, min(forced_cut, prefix))
+            breakdown, transfer = self.model.cut_cost(
+                step_types, estimates, cut, merged=self.merged,
+                final_fields=final_fields,
+            )
+            return DatasetPlan(
+                dataset=sink, cut=cut, max_cut=prefix, estimate=breakdown,
+                transfer_rows=transfer.rows, transfer_bytes=transfer.bytes,
+            ), steps, root
+
+        best: Optional[DatasetPlan] = None
+        for cut in range(prefix + 1):
+            breakdown, transfer = self.model.cut_cost(
+                step_types, estimates, cut, merged=self.merged,
+                final_fields=final_fields,
+            )
+            candidate = DatasetPlan(
+                dataset=sink, cut=cut, max_cut=prefix, estimate=breakdown,
+                transfer_rows=transfer.rows, transfer_bytes=transfer.bytes,
+            )
+            if best is None or _better(candidate, best):
+                best = candidate
+        return best, steps, root
+
+    def plan(self, compiled, stats, signals=None, label="optimized",
+             forced_cuts=None):
+        """Plan all sink datasets; returns a :class:`PartitionPlan`."""
+        signals = signals if signals is not None else dict(compiled.flow.signals)
+        forced_cuts = forced_cuts or {}
+        plan = PartitionPlan(label=label)
+        for sink in self.sink_datasets(compiled):
+            dataset_plan, _, _ = self.plan_dataset(
+                compiled, sink, stats, signals,
+                forced_cut=forced_cuts.get(sink),
+            )
+            plan.datasets[sink] = dataset_plan
+        return plan
+
+    def sink_datasets(self, compiled):
+        """Datasets consumed by marks (fallback: terminal datasets)."""
+        spec = compiled.spec
+        sinks = []
+        for mark in spec.marks:
+            if mark.data and mark.data not in sinks:
+                sinks.append(mark.data)
+        if sinks:
+            return sinks
+        sources = {d.source for d in spec.data if d.source}
+        return [d.name for d in spec.data if d.name not in sources]
+
+
+def _better(candidate, incumbent):
+    """Cheaper total latency wins; ties prefer fewer transferred bytes."""
+    if abs(candidate.estimate.total - incumbent.estimate.total) > 1e-12:
+        return candidate.estimate.total < incumbent.estimate.total
+    return candidate.transfer_bytes < incumbent.transfer_bytes

@@ -1,0 +1,102 @@
+"""Plan data structures for client/server partitioning.
+
+A plan assigns each dataset pipeline a *cut*: the number of leading
+transform steps executed on the server.  Data crosses the network exactly
+once per pipeline, at the cut — the same "when to bring the dataflow back
+to the client-side" framing as the paper (§2.2 step 2).
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+CLIENT = "client"
+SERVER = "server"
+
+
+@dataclass
+class CostBreakdown:
+    """Estimated (or measured) latency decomposition in seconds —
+    the data behind the performance view's stacked bars (Figure 3)."""
+
+    server: float = 0.0
+    network: float = 0.0
+    client: float = 0.0
+    render: float = 0.0
+
+    @property
+    def total(self):
+        return self.server + self.network + self.client + self.render
+
+    def __add__(self, other):
+        return CostBreakdown(
+            server=self.server + other.server,
+            network=self.network + other.network,
+            client=self.client + other.client,
+            render=self.render + other.render,
+        )
+
+    def as_dict(self):
+        return {
+            "server": self.server,
+            "network": self.network,
+            "client": self.client,
+            "render": self.render,
+            "total": self.total,
+        }
+
+
+@dataclass
+class DatasetPlan:
+    """Partitioning decision for one dataset pipeline."""
+
+    dataset: str
+    #: number of leading steps on the server (0 = raw data shipped)
+    cut: int
+    #: largest legal cut (SQL-translatable prefix length)
+    max_cut: int
+    #: estimated cost under this cut
+    estimate: CostBreakdown = field(default_factory=CostBreakdown)
+    #: estimated rows crossing the network at the cut
+    transfer_rows: float = 0.0
+    #: estimated bytes crossing the network at the cut
+    transfer_bytes: float = 0.0
+
+    def placement(self, step_index):
+        return SERVER if step_index < self.cut else CLIENT
+
+
+@dataclass
+class PartitionPlan:
+    """A complete partitioning across all dataset pipelines."""
+
+    label: str
+    datasets: Dict[str, DatasetPlan] = field(default_factory=dict)
+
+    @property
+    def estimate(self):
+        total = CostBreakdown()
+        for plan in self.datasets.values():
+            total = total + plan.estimate
+        return total
+
+    def describe(self):
+        """Human-readable plan summary for the dashboard."""
+        lines = ["plan {!r} (est. {:.4f}s)".format(self.label, self.estimate.total)]
+        for name, plan in sorted(self.datasets.items()):
+            lines.append(
+                "  {}: cut={}/{} (transfer ~{} rows, ~{} bytes)".format(
+                    name, plan.cut, plan.max_cut,
+                    int(plan.transfer_rows), int(plan.transfer_bytes),
+                )
+            )
+        return "\n".join(lines)
+
+
+def all_client_plan(pipelines_steps):
+    """The Vega baseline: every step on the client, raw data shipped."""
+    plan = PartitionPlan(label="vega-client")
+    for dataset, steps in pipelines_steps.items():
+        plan.datasets[dataset] = DatasetPlan(
+            dataset=dataset, cut=0, max_cut=len(steps)
+        )
+    return plan

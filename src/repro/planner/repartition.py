@@ -1,0 +1,70 @@
+"""Interaction-aware re-partitioning (paper §2.2 step 4).
+
+For each interactive signal, the plan that minimizes *interaction*
+latency usually differs from the startup-optimal plan: splitting "right
+before the interaction handlers in dataflow" lets a signal change trigger
+only a cheap client-side partial execution over partially processed data
+that was brought to the client (or prefetched) earlier.
+
+:func:`signal_frontier` finds, per pipeline, the first step whose
+parameters depend on a given signal; :func:`interaction_plans` builds one
+candidate plan per interactive signal by cutting there.  The session's
+interaction dispatcher picks between re-querying the server (current
+plan) and the re-partitioned candidate using the same cost model, plus
+the cache state (a prefetched variant makes the server path free).
+"""
+
+from repro.planner.partition import PartitionOptimizer, resolve_chain
+from repro.planner.plans import PartitionPlan
+
+
+def signal_frontier(compiled, sink, signal_name):
+    """Index of the first chain step depending on ``signal_name``
+    (len(chain) when none does)."""
+    _, steps = resolve_chain(compiled, sink)
+    known = set(compiled.flow.signals)
+    for position, step in enumerate(steps):
+        if signal_name in step.operator.signal_dependencies(known):
+            return position
+    return len(steps)
+
+
+def interaction_plans(compiled, stats, channel, signals=None,
+                      cost_params=None):
+    """One candidate plan per interactive signal, cut at its frontier.
+
+    Returns ``{signal_name: PartitionPlan}``.  The cut is additionally
+    clamped to the translatable prefix by the optimizer.
+    """
+    optimizer = PartitionOptimizer(channel, cost_params)
+    signals = signals if signals is not None else dict(compiled.flow.signals)
+    plans = {}
+    for signal_spec in compiled.spec.interactive_signals():
+        name = signal_spec.name
+        forced = {}
+        for sink in optimizer.sink_datasets(compiled):
+            forced[sink] = signal_frontier(compiled, sink, name)
+        plans[name] = optimizer.plan(
+            compiled, stats, signals,
+            label="interaction:{}".format(name), forced_cuts=forced,
+        )
+    return plans
+
+
+def choose_interaction_plan(startup_plan, candidates, signal_name,
+                            cache_has_variant=False):
+    """Pick the plan to evaluate for an interaction on ``signal_name``.
+
+    When the cache already holds the re-parameterized server result
+    ("based on the interaction and cache state", §2.2), the startup plan's
+    server path costs ~nothing and is preferred; otherwise the candidate
+    plan cut before the interaction handler wins if its estimate is lower.
+    """
+    candidate = candidates.get(signal_name)
+    if candidate is None:
+        return startup_plan
+    if cache_has_variant:
+        return startup_plan
+    if candidate.estimate.total < startup_plan.estimate.total:
+        return candidate
+    return startup_plan

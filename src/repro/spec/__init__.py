@@ -1,0 +1,39 @@
+"""Vega specification model, parser, validator, and example specs."""
+
+from repro.spec.examples import (
+    census_stacked_area_spec,
+    flights_histogram_spec,
+    flights_scatter_spec,
+    simple_filter_spec,
+)
+from repro.spec.model import (
+    DataSpec,
+    EncodingChannel,
+    MarkSpec,
+    ScaleSpec,
+    SignalSpec,
+    Spec,
+    SpecError,
+    TransformSpec,
+)
+from repro.spec.parse import parse_spec
+from repro.spec.validate import validate_spec
+from repro.spec.vegalite import compile_vegalite
+
+__all__ = [
+    "DataSpec",
+    "EncodingChannel",
+    "MarkSpec",
+    "ScaleSpec",
+    "SignalSpec",
+    "Spec",
+    "SpecError",
+    "TransformSpec",
+    "census_stacked_area_spec",
+    "compile_vegalite",
+    "flights_histogram_spec",
+    "flights_scatter_spec",
+    "parse_spec",
+    "simple_filter_spec",
+    "validate_spec",
+]

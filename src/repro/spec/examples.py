@@ -1,0 +1,306 @@
+"""Built-in example specifications, mirroring the paper's demo scenarios.
+
+* :func:`flights_histogram_spec` — §3 "US Airline Flights": a record-count
+  histogram over a user-selected field, with a bin-count slider (Figure 2).
+* :func:`census_stacked_area_spec` — §3 "Census-based Occupation History":
+  a stacked area chart of occupation frequencies by year, filterable by a
+  sex radio button and a regex job search box (Figure 3's pipeline).
+"""
+
+
+def flights_histogram_spec(field="dep_delay", maxbins=20):
+    """The flights record-count histogram spec (Figure 2).
+
+    Signals: ``binField`` (drop-down over data fields) and ``maxbins``
+    (slider).  The pipeline is extent -> bin -> aggregate, exactly the
+    plan shown in the paper's performance view ("the extent, bin, and
+    aggregate operators are all placed on the server").
+    """
+    return {
+        "description": "US Airline Flights record-count histogram",
+        "width": 500,
+        "height": 200,
+        "signals": [
+            {
+                "name": "binField",
+                "value": field,
+                "bind": {
+                    "input": "select",
+                    "options": [
+                        "dep_delay", "arr_delay", "distance", "air_time",
+                    ],
+                },
+            },
+            {
+                "name": "maxbins",
+                "value": maxbins,
+                "bind": {"input": "range", "min": 5, "max": 100, "step": 1},
+            },
+        ],
+        "data": [
+            {"name": "flights", "url": "synthetic://flights"},
+            {
+                "name": "binned",
+                "source": "flights",
+                "transform": [
+                    {
+                        "type": "extent",
+                        "field": {"signal": "binField"},
+                        "signal": "ext",
+                    },
+                    {
+                        "type": "bin",
+                        "field": {"signal": "binField"},
+                        "extent": {"signal": "ext"},
+                        "maxbins": {"signal": "maxbins"},
+                    },
+                    {
+                        "type": "aggregate",
+                        "groupby": ["bin0", "bin1"],
+                        "ops": ["count"],
+                        "as": ["count"],
+                    },
+                ],
+            },
+        ],
+        "scales": [
+            {
+                "name": "xscale",
+                "type": "linear",
+                "domain": {"data": "binned", "fields": ["bin0", "bin1"]},
+                "range": "width",
+            },
+            {
+                "name": "yscale",
+                "type": "linear",
+                "domain": {"data": "binned", "field": "count"},
+                "range": "height",
+            },
+        ],
+        "marks": [
+            {
+                "type": "rect",
+                "from": {"data": "binned"},
+                "encode": {
+                    "update": {
+                        "x": {"scale": "xscale", "field": "bin0"},
+                        "x2": {"scale": "xscale", "field": "bin1"},
+                        "y": {"scale": "yscale", "field": "count"},
+                        "y2": {"scale": "yscale", "value": 0},
+                    }
+                },
+            }
+        ],
+    }
+
+
+def census_stacked_area_spec(sex="all", search=""):
+    """The census occupation stacked-area spec (§3, second scenario).
+
+    Signals: ``sexFilter`` (radio: all/male/female) and ``searchPattern``
+    (regex search box over job names).  The pipeline filters, aggregates
+    per (year, job), then stacks.
+    """
+    return {
+        "description": "Census occupation history stacked area",
+        "width": 600,
+        "height": 300,
+        "signals": [
+            {
+                "name": "sexFilter",
+                "value": sex,
+                "bind": {"input": "radio", "options": ["all", "male", "female"]},
+            },
+            {
+                "name": "searchPattern",
+                "value": search,
+                "bind": {"input": "text"},
+            },
+        ],
+        "data": [
+            {"name": "census", "url": "synthetic://census"},
+            {
+                "name": "stacked",
+                "source": "census",
+                "transform": [
+                    {
+                        "type": "filter",
+                        "expr": "sexFilter == 'all' || datum.sex == sexFilter",
+                    },
+                    {
+                        "type": "filter",
+                        "expr": "searchPattern == '' || "
+                                "test(searchPattern, datum.job)",
+                    },
+                    {
+                        "type": "aggregate",
+                        "groupby": ["year", "job"],
+                        "ops": ["sum"],
+                        "fields": ["count"],
+                        "as": ["total"],
+                    },
+                    {
+                        "type": "stack",
+                        "groupby": ["year"],
+                        "sort": {"field": "job"},
+                        "field": "total",
+                    },
+                ],
+            },
+        ],
+        "scales": [
+            {
+                "name": "xscale",
+                "type": "linear",
+                "domain": {"data": "stacked", "field": "year"},
+                "range": "width",
+            },
+            {
+                "name": "yscale",
+                "type": "linear",
+                "domain": {"data": "stacked", "field": "y1"},
+                "range": "height",
+            },
+        ],
+        "marks": [
+            {
+                "type": "area",
+                "from": {"data": "stacked"},
+                "encode": {
+                    "update": {
+                        "x": {"scale": "xscale", "field": "year"},
+                        "y": {"scale": "yscale", "field": "y0"},
+                        "y2": {"scale": "yscale", "field": "y1"},
+                        "fill": {"field": "job"},
+                    }
+                },
+            }
+        ],
+    }
+
+
+def flights_scatter_spec(sample_size=3000):
+    """A scatterplot of distance vs air time with a regression overlay.
+
+    A third demo-style scenario composed from the same dataset: the
+    scatter samples the raw data (sample has no SQL form, so the planner
+    must keep it client-side), while the trend dataset fits a linear
+    regression over the *full* data — its filter still offloads.
+    """
+    return {
+        "description": "Flights distance vs air time with linear trend",
+        "width": 500,
+        "height": 300,
+        "signals": [
+            {
+                "name": "carrierFilter",
+                "value": "all",
+                "bind": {"input": "select",
+                         "options": ["all", "AA", "DL", "UA", "WN"]},
+            },
+        ],
+        "data": [
+            {"name": "flights", "url": "synthetic://flights"},
+            {
+                "name": "points",
+                "source": "flights",
+                "transform": [
+                    {"type": "filter",
+                     "expr": "carrierFilter == 'all' || "
+                             "datum.carrier == carrierFilter"},
+                    {"type": "sample", "size": sample_size, "seed": 7},
+                    {"type": "project",
+                     "fields": ["distance", "air_time", "carrier"]},
+                ],
+            },
+            {
+                "name": "trend",
+                "source": "flights",
+                "transform": [
+                    {"type": "filter",
+                     "expr": "carrierFilter == 'all' || "
+                             "datum.carrier == carrierFilter"},
+                    {"type": "regression", "x": "distance", "y": "air_time"},
+                ],
+            },
+        ],
+        "scales": [
+            {
+                "name": "xscale",
+                "type": "linear",
+                "domain": {"data": "points", "field": "distance"},
+                "range": "width",
+            },
+            {
+                "name": "yscale",
+                "type": "linear",
+                "domain": {"data": "points", "field": "air_time"},
+                "range": "height",
+            },
+        ],
+        "marks": [
+            {
+                "type": "symbol",
+                "from": {"data": "points"},
+                "encode": {
+                    "update": {
+                        "x": {"scale": "xscale", "field": "distance"},
+                        "y": {"scale": "yscale", "field": "air_time"},
+                        "fill": {"field": "carrier"},
+                    }
+                },
+            },
+            {
+                "type": "line",
+                "from": {"data": "trend"},
+                "encode": {
+                    "update": {
+                        "x": {"scale": "xscale", "field": "distance"},
+                        "y": {"scale": "yscale", "field": "air_time"},
+                    }
+                },
+            },
+        ],
+    }
+
+
+def simple_filter_spec(threshold=10):
+    """A minimal one-transform spec used by tests and the quickstart."""
+    return {
+        "signals": [
+            {
+                "name": "threshold",
+                "value": threshold,
+                "bind": {"input": "range", "min": 0, "max": 100},
+            }
+        ],
+        "data": [
+            {"name": "events", "url": "synthetic://events"},
+            {
+                "name": "big",
+                "source": "events",
+                "transform": [
+                    {"type": "filter", "expr": "datum.value >= threshold"},
+                    {
+                        "type": "aggregate",
+                        "groupby": ["category"],
+                        "ops": ["count", "sum"],
+                        "fields": [None, "value"],
+                        "as": ["n", "total"],
+                    },
+                ],
+            },
+        ],
+        "marks": [
+            {
+                "type": "rect",
+                "from": {"data": "big"},
+                "encode": {
+                    "update": {
+                        "x": {"field": "category"},
+                        "y": {"field": "n"},
+                    }
+                },
+            }
+        ],
+    }

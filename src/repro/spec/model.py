@@ -1,0 +1,179 @@
+"""Typed model of a Vega specification (the subset VegaPlus optimizes).
+
+The model covers signals, data sources with transform pipelines, scales,
+and marks with encodings — enough to compile the demo scenarios (the
+flights histogram and the census stacked area) and any spec built from
+the registered transform types.
+"""
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class SpecError(Exception):
+    """The specification is malformed; carries a JSON-ish path."""
+
+    def __init__(self, message, path=""):
+        self.path = path
+        if path:
+            message = "{} (at {})".format(message, path)
+        super().__init__(message)
+
+
+@dataclass
+class SignalSpec:
+    """A named reactive value, optionally UI-bound.
+
+    ``bind`` mirrors Vega's input binding ({"input": "range", ...}); the
+    interaction substrate uses it to know which signals a user can drive.
+    """
+
+    name: str
+    value: object = None
+    bind: Optional[dict] = None
+    update: Optional[str] = None
+    #: event handlers: list of {"events": type, "update": expr} clauses
+    on: Optional[list] = None
+
+    @property
+    def interactive(self):
+        return self.bind is not None or bool(self.on)
+
+
+@dataclass
+class TransformSpec:
+    """One transform step: a type plus raw parameters.
+
+    Parameter values may embed signal references as ``{"signal": expr}``
+    dicts, exactly like Vega JSON.  ``output_signal`` is Vega's
+    ``"signal"`` key on value transforms (extent) that exposes the result
+    as a named signal.
+    """
+
+    type: str
+    params: Dict[str, object] = field(default_factory=dict)
+    output_signal: Optional[str] = None
+
+
+@dataclass
+class DataSpec:
+    """A dataset: inline values, or derived from another dataset, plus a
+    transform pipeline."""
+
+    name: str
+    values: Optional[List[dict]] = None
+    source: Optional[str] = None
+    url: Optional[str] = None
+    transform: List[TransformSpec] = field(default_factory=list)
+
+    @property
+    def is_root(self):
+        return self.source is None
+
+
+@dataclass
+class ScaleSpec:
+    """A scale: we record name/type/domain/range for completeness and for
+    field-usage analysis (scale domains reference data fields)."""
+
+    name: str
+    type: str = "linear"
+    domain: Optional[dict] = None
+    range: object = None
+
+
+@dataclass
+class AxisSpec:
+    """An axis bound to a scale."""
+
+    scale: str
+    orient: str = "bottom"
+    title: Optional[str] = None
+
+
+@dataclass
+class LegendSpec:
+    """A legend bound to one or more scales (fill/stroke/size...)."""
+
+    scales: Dict[str, str] = field(default_factory=dict)
+    title: Optional[str] = None
+
+
+@dataclass
+class EncodingChannel:
+    """One mark encoding channel (x, y, width, ...)."""
+
+    channel: str
+    field: Optional[str] = None
+    scale: Optional[str] = None
+    value: object = None
+    signal: Optional[str] = None
+
+
+@dataclass
+class MarkSpec:
+    """A mark consuming a dataset through encodings."""
+
+    type: str
+    data: Optional[str] = None
+    encodings: List[EncodingChannel] = field(default_factory=list)
+
+    def fields(self):
+        """Data fields referenced by this mark's encodings."""
+        return {
+            channel.field for channel in self.encodings if channel.field
+        }
+
+
+@dataclass
+class Spec:
+    """A parsed Vega specification."""
+
+    width: int = 400
+    height: int = 200
+    signals: List[SignalSpec] = field(default_factory=list)
+    data: List[DataSpec] = field(default_factory=list)
+    scales: List[ScaleSpec] = field(default_factory=list)
+    marks: List[MarkSpec] = field(default_factory=list)
+    axes: List[AxisSpec] = field(default_factory=list)
+    legends: List[LegendSpec] = field(default_factory=list)
+    description: str = ""
+
+    def signal(self, name):
+        for signal in self.signals:
+            if signal.name == name:
+                return signal
+        raise SpecError("unknown signal {!r}".format(name))
+
+    def dataset(self, name):
+        for dataset in self.data:
+            if dataset.name == name:
+                return dataset
+        raise SpecError("unknown dataset {!r}".format(name))
+
+    def signal_names(self):
+        return [signal.name for signal in self.signals]
+
+    def dataset_names(self):
+        return [dataset.name for dataset in self.data]
+
+    def interactive_signals(self):
+        return [signal for signal in self.signals if signal.interactive]
+
+    def mark_fields(self, dataset_name):
+        """Fields of ``dataset_name`` consumed by any mark (plus scale
+        domains) — drives projection pruning of the final transfer."""
+        fields = set()
+        for mark in self.marks:
+            if mark.data == dataset_name:
+                fields |= mark.fields()
+        for scale in self.scales:
+            domain = scale.domain
+            if isinstance(domain, dict) and domain.get("data") == dataset_name:
+                domain_field = domain.get("field")
+                if isinstance(domain_field, str):
+                    fields.add(domain_field)
+                for item in domain.get("fields", []) or []:
+                    if isinstance(item, str):
+                        fields.add(item)
+        return fields

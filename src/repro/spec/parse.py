@@ -1,0 +1,174 @@
+"""Parse Vega JSON (dict or text) into the typed spec model."""
+
+import json
+
+from repro.spec.model import (
+    AxisSpec,
+    DataSpec,
+    EncodingChannel,
+    LegendSpec,
+    MarkSpec,
+    ScaleSpec,
+    SignalSpec,
+    Spec,
+    SpecError,
+    TransformSpec,
+)
+
+_LEGEND_SCALE_KEYS = ("fill", "stroke", "size", "shape", "opacity")
+
+# Transform spec keys that are not parameters.
+_TRANSFORM_META_KEYS = {"type", "signal"}
+
+
+def parse_spec(source):
+    """Parse a Vega spec from JSON text or an already-decoded dict."""
+    if isinstance(source, str):
+        try:
+            source = json.loads(source)
+        except json.JSONDecodeError as exc:
+            raise SpecError("invalid JSON: {}".format(exc)) from exc
+    if not isinstance(source, dict):
+        raise SpecError("specification must be a JSON object")
+
+    spec = Spec(
+        width=int(source.get("width", 400)),
+        height=int(source.get("height", 200)),
+        description=str(source.get("description", "")),
+    )
+    for index, raw in enumerate(_as_list(source.get("signals"), "signals")):
+        spec.signals.append(_parse_signal(raw, "signals[{}]".format(index)))
+    for index, raw in enumerate(_as_list(source.get("data"), "data")):
+        spec.data.append(_parse_data(raw, "data[{}]".format(index)))
+    for index, raw in enumerate(_as_list(source.get("scales"), "scales")):
+        spec.scales.append(_parse_scale(raw, "scales[{}]".format(index)))
+    for index, raw in enumerate(_as_list(source.get("marks"), "marks")):
+        spec.marks.append(_parse_mark(raw, "marks[{}]".format(index)))
+    for index, raw in enumerate(_as_list(source.get("axes"), "axes")):
+        path = "axes[{}]".format(index)
+        if not isinstance(raw, dict) or "scale" not in raw:
+            raise SpecError("axis requires a 'scale'", path)
+        spec.axes.append(
+            AxisSpec(
+                scale=raw["scale"],
+                orient=raw.get("orient", "bottom"),
+                title=raw.get("title"),
+            )
+        )
+    for index, raw in enumerate(_as_list(source.get("legends"), "legends")):
+        path = "legends[{}]".format(index)
+        if not isinstance(raw, dict):
+            raise SpecError("legend must be an object", path)
+        scales = {
+            key: raw[key]
+            for key in _LEGEND_SCALE_KEYS
+            if isinstance(raw.get(key), str)
+        }
+        if not scales:
+            raise SpecError(
+                "legend needs at least one scale channel", path
+            )
+        spec.legends.append(
+            LegendSpec(scales=scales, title=raw.get("title"))
+        )
+    return spec
+
+
+def _as_list(value, path):
+    if value is None:
+        return []
+    if not isinstance(value, list):
+        raise SpecError("expected a list", path)
+    return value
+
+
+def _parse_signal(raw, path):
+    if not isinstance(raw, dict) or "name" not in raw:
+        raise SpecError("signal requires a 'name'", path)
+    on = raw.get("on")
+    if on is not None and not isinstance(on, list):
+        raise SpecError("signal 'on' must be a list of handlers", path)
+    return SignalSpec(
+        name=raw["name"],
+        value=raw.get("value"),
+        bind=raw.get("bind"),
+        update=raw.get("update"),
+        on=on,
+    )
+
+
+def _parse_data(raw, path):
+    if not isinstance(raw, dict) or "name" not in raw:
+        raise SpecError("dataset requires a 'name'", path)
+    values = raw.get("values")
+    if values is not None and not isinstance(values, list):
+        raise SpecError("'values' must be a list of rows", path)
+    transforms = []
+    for index, step in enumerate(_as_list(raw.get("transform"), path)):
+        transforms.append(
+            _parse_transform(step, "{}.transform[{}]".format(path, index))
+        )
+    return DataSpec(
+        name=raw["name"],
+        values=values,
+        source=raw.get("source"),
+        url=raw.get("url"),
+        transform=transforms,
+    )
+
+
+def _parse_transform(raw, path):
+    if not isinstance(raw, dict) or "type" not in raw:
+        raise SpecError("transform requires a 'type'", path)
+    params = {
+        key: value
+        for key, value in raw.items()
+        if key not in _TRANSFORM_META_KEYS
+    }
+    return TransformSpec(
+        type=raw["type"],
+        params=params,
+        output_signal=raw.get("signal"),
+    )
+
+
+def _parse_scale(raw, path):
+    if not isinstance(raw, dict) or "name" not in raw:
+        raise SpecError("scale requires a 'name'", path)
+    return ScaleSpec(
+        name=raw["name"],
+        type=raw.get("type", "linear"),
+        domain=raw.get("domain") if isinstance(raw.get("domain"), dict) else None,
+        range=raw.get("range"),
+    )
+
+
+def _parse_mark(raw, path):
+    if not isinstance(raw, dict) or "type" not in raw:
+        raise SpecError("mark requires a 'type'", path)
+    data = None
+    from_clause = raw.get("from")
+    if isinstance(from_clause, dict):
+        data = from_clause.get("data")
+    encodings = []
+    encode = raw.get("encode", {})
+    if isinstance(encode, dict):
+        for block_name in ("enter", "update"):
+            block = encode.get(block_name, {})
+            if not isinstance(block, dict):
+                continue
+            for channel, entry in block.items():
+                if not isinstance(entry, dict):
+                    continue
+                encodings.append(
+                    EncodingChannel(
+                        channel=channel,
+                        field=entry.get("field")
+                        if isinstance(entry.get("field"), str)
+                        else None,
+                        scale=entry.get("scale"),
+                        value=entry.get("value"),
+                        signal=entry.get("signal"),
+                    )
+                )
+    return MarkSpec(type=raw["type"], data=data, encodings=encodings)

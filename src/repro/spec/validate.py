@@ -1,0 +1,129 @@
+"""Semantic validation of parsed specs.
+
+Catches the errors a live spec editor needs to surface before compiling:
+duplicate names, dangling dataset/signal references, unknown transform
+types, and datasets with no data origin.
+"""
+
+from repro.dataflow.transforms import transform_types
+from repro.spec.model import Spec, SpecError
+
+# Transform params that reference other datasets.
+_DATASET_REF_PARAMS = {"from"}
+
+
+def validate_spec(spec):
+    """Raise :class:`SpecError` on the first problem found; returns spec."""
+    if not isinstance(spec, Spec):
+        raise SpecError("expected a parsed Spec")
+
+    _check_duplicates(spec.signal_names(), "signal")
+    _check_duplicates(spec.dataset_names(), "dataset")
+    _check_duplicates([scale.name for scale in spec.scales], "scale")
+
+    known_types = set(transform_types())
+    dataset_names = set(spec.dataset_names())
+    signal_names = set(spec.signal_names())
+
+    # Value transforms (extent) publish output signals.
+    for dataset in spec.data:
+        for step in dataset.transform:
+            if step.output_signal:
+                if step.output_signal in signal_names:
+                    raise SpecError(
+                        "transform output signal {!r} collides with a "
+                        "declared signal".format(step.output_signal)
+                    )
+                signal_names.add(step.output_signal)
+
+    for dataset in spec.data:
+        path = "data[{}]".format(dataset.name)
+        if dataset.values is None and dataset.source is None \
+                and dataset.url is None:
+            raise SpecError(
+                "dataset needs 'values', 'source', or 'url'", path
+            )
+        if dataset.source is not None and dataset.source not in dataset_names:
+            raise SpecError(
+                "unknown source dataset {!r}".format(dataset.source), path
+            )
+        if dataset.source == dataset.name:
+            raise SpecError("dataset cannot source itself", path)
+        for index, step in enumerate(dataset.transform):
+            step_path = "{}.transform[{}]".format(path, index)
+            if step.type not in known_types:
+                raise SpecError(
+                    "unknown transform type {!r}".format(step.type), step_path
+                )
+            for key, value in step.params.items():
+                if key in _DATASET_REF_PARAMS:
+                    ref = value.get("data") if isinstance(value, dict) else value
+                    if ref not in dataset_names:
+                        raise SpecError(
+                            "unknown dataset reference {!r}".format(ref),
+                            step_path,
+                        )
+                _check_signal_params(value, signal_names, step_path)
+
+    for index, mark in enumerate(spec.marks):
+        if mark.data is not None and mark.data not in dataset_names:
+            raise SpecError(
+                "mark references unknown dataset {!r}".format(mark.data),
+                "marks[{}]".format(index),
+            )
+    for scale in spec.scales:
+        domain = scale.domain
+        if isinstance(domain, dict) and "data" in domain:
+            if domain["data"] not in dataset_names:
+                raise SpecError(
+                    "scale domain references unknown dataset {!r}".format(
+                        domain["data"]
+                    ),
+                    "scales[{}]".format(scale.name),
+                )
+
+    scale_names = {scale.name for scale in spec.scales}
+    for index, axis in enumerate(spec.axes):
+        if axis.scale not in scale_names:
+            raise SpecError(
+                "axis references unknown scale {!r}".format(axis.scale),
+                "axes[{}]".format(index),
+            )
+    for index, legend in enumerate(spec.legends):
+        for channel, scale_name in legend.scales.items():
+            if scale_name not in scale_names:
+                raise SpecError(
+                    "legend {} references unknown scale {!r}".format(
+                        channel, scale_name
+                    ),
+                    "legends[{}]".format(index),
+                )
+    return spec
+
+
+def _check_duplicates(names, what):
+    seen = set()
+    for name in names:
+        if name in seen:
+            raise SpecError("duplicate {} name {!r}".format(what, name))
+        seen.add(name)
+
+
+def _check_signal_params(value, signal_names, path):
+    """Validate {"signal": name-or-expr} references recursively."""
+    if isinstance(value, dict):
+        if set(value.keys()) == {"signal"}:
+            # The reference may be a bare name or an expression; bare names
+            # must exist.  Expressions are validated at compile time.
+            ref = value["signal"]
+            if isinstance(ref, str) and ref.isidentifier() \
+                    and ref not in signal_names:
+                raise SpecError(
+                    "unknown signal reference {!r}".format(ref), path
+                )
+            return
+        for item in value.values():
+            _check_signal_params(item, signal_names, path)
+    elif isinstance(value, list):
+        for item in value:
+            _check_signal_params(item, signal_names, path)

@@ -1,0 +1,26 @@
+"""SQL generation: transform translation, composition, merging, rewriting."""
+
+from repro.sqlgen.compose import SqlPipelineBuilder, compose_pipeline
+from repro.sqlgen.dialect import register_renderer, render
+from repro.sqlgen.merge import merge_query
+from repro.sqlgen.rewrite import rewrite_query, simplify_expr
+from repro.sqlgen.translate import (
+    Translation,
+    Untranslatable,
+    can_translate,
+    translate_transform,
+)
+
+__all__ = [
+    "SqlPipelineBuilder",
+    "Translation",
+    "Untranslatable",
+    "can_translate",
+    "compose_pipeline",
+    "merge_query",
+    "register_renderer",
+    "render",
+    "rewrite_query",
+    "simplify_expr",
+    "translate_transform",
+]

@@ -1,0 +1,104 @@
+"""Compose per-transform SQL into pipeline queries.
+
+The builder chains translated transforms into one nested query (each step
+reading the previous step as a derived table).  The merger/rewriter
+(:mod:`repro.sqlgen.merge`, :mod:`repro.sqlgen.rewrite`) then collapse
+and optimize the nesting — keeping construction and optimization separate
+makes the paper's §2.2(3) ablation (merging/rewriting on vs off) a
+one-flag switch.
+"""
+
+import itertools
+
+from repro.engine import sqlast
+from repro.sqlgen.translate import Translation, translate_transform
+
+
+class SqlPipelineBuilder:
+    """Incrementally build SQL for a chain of transforms over a table.
+
+    The executor drives this step by step because value transforms
+    (extent) must *execute* before later steps' parameters (bin's extent)
+    can be resolved.
+    """
+
+    def __init__(self, table_name, columns):
+        self.table_name = table_name
+        self.columns = list(columns)
+        self._select = None  # None until a step is added
+        self._alias_counter = itertools.count()
+        self.steps_added = 0
+
+    def _current_source(self):
+        if self._select is None:
+            return sqlast.TableRef(self.table_name)
+        alias = "t{}".format(next(self._alias_counter))
+        return sqlast.SubqueryRef(self._select, alias)
+
+    def add_step(self, spec_type, params, signals=None):
+        """Translate and append a row transform; updates the schema."""
+        translation = translate_transform(
+            spec_type, params, self._current_source(), self.columns, signals
+        )
+        if translation.is_value:
+            raise ValueError(
+                "value transforms go through value_query(), not add_step()"
+            )
+        self._select = translation.select
+        self.columns = translation.columns
+        self.steps_added += 1
+        return translation
+
+    def value_query(self, spec_type, params, signals=None):
+        """Translate a value transform (extent) over the *current* rows
+        without advancing the pipeline."""
+        translation = translate_transform(
+            spec_type, params, self._current_source(), self.columns, signals
+        )
+        if not translation.is_value:
+            raise ValueError("{} is not a value transform".format(spec_type))
+        return translation
+
+    def query(self, project_fields=None):
+        """The composed query for everything added so far.
+
+        ``project_fields`` optionally restricts the final output columns
+        (mark-driven projection pruning of the transfer).
+        """
+        if self._select is None:
+            items = tuple(
+                sqlast.SelectItem(sqlast.ColumnRef(name), alias=name)
+                for name in (project_fields or self.columns)
+            )
+            return sqlast.Select(
+                items=items, from_=sqlast.TableRef(self.table_name)
+            )
+        if project_fields:
+            keep = [
+                name for name in self.columns if name in set(project_fields)
+            ]
+            if keep and len(keep) < len(self.columns):
+                alias = "t{}".format(next(self._alias_counter))
+                items = tuple(
+                    sqlast.SelectItem(sqlast.ColumnRef(name), alias=name)
+                    for name in keep
+                )
+                return sqlast.Select(
+                    items=items,
+                    from_=sqlast.SubqueryRef(self._select, alias),
+                )
+        return self._select
+
+    @property
+    def has_steps(self):
+        return self._select is not None
+
+
+def compose_pipeline(table_name, columns, steps, signals=None):
+    """Compose a full pipeline of (spec_type, params) row steps into one
+    nested Select.  Value transforms are not allowed here (use the builder
+    for incremental execution); convenience for tests and the merger."""
+    builder = SqlPipelineBuilder(table_name, columns)
+    for spec_type, params in steps:
+        builder.add_step(spec_type, params, signals)
+    return builder.query()

@@ -1,0 +1,22 @@
+"""Backend dialect rendering.
+
+The generated AST targets the engine dialect.  Per-backend quirks are
+confined here; today both backends accept the engine dialect directly
+(the sqlite adapter registers compatibility functions), so rendering is
+shared — but the hook point exists for a real PostgreSQL/OmniSci port.
+"""
+
+_RENDERERS = {}
+
+
+def render(select, backend_name="embedded"):
+    """Render a Select AST to SQL text for the named backend."""
+    renderer = _RENDERERS.get(backend_name)
+    if renderer is not None:
+        return renderer(select)
+    return select.to_sql()
+
+
+def register_renderer(backend_name, renderer):
+    """Install a custom renderer for a backend dialect."""
+    _RENDERERS[backend_name] = renderer

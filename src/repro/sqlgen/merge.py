@@ -1,0 +1,229 @@
+"""Query merging (paper §2.2 step 3, "node merging").
+
+The pipeline composer nests one subquery per transform.  ``merge_query``
+collapses that nesting where semantics allow, so the DBMS sees one flat
+query instead of a tower of derived tables:
+
+* a pass-through outer query (SELECT all inner outputs unchanged, no
+  other clauses) is replaced by its inner query;
+* an outer query over a *simple* inner query (projection/filter only —
+  no grouping, windows, distinct, order, or limit) is merged by
+  substituting the inner item expressions into the outer expressions and
+  AND-ing the WHERE clauses.
+
+The second rule is what fuses scan -> filter -> formula/bin -> aggregate
+chains into a single SELECT ... GROUP BY over the base table.
+"""
+
+from repro.engine import sqlast
+
+
+def merge_query(select):
+    """Collapse mergeable derived tables; returns a new Select."""
+    changed = True
+    while changed:
+        select, changed = _merge_once(select)
+    return select
+
+
+def _merge_once(select):
+    # Recurse into FROM first so inner towers collapse bottom-up.
+    changed = False
+    from_ = select.from_
+    if isinstance(from_, sqlast.SubqueryRef):
+        inner, inner_changed = _merge_once(from_.query)
+        if inner_changed:
+            from_ = sqlast.SubqueryRef(inner, from_.alias)
+            select = _replace_from(select, from_)
+            changed = True
+        merged = _try_merge(select)
+        if merged is not None:
+            return merged, True
+    return select, changed
+
+
+def _replace_from(select, from_):
+    return sqlast.Select(
+        items=select.items,
+        from_=from_,
+        joins=select.joins,
+        where=select.where,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        limit=select.limit,
+        offset=select.offset,
+        distinct=select.distinct,
+    )
+
+
+def _try_merge(outer):
+    """Attempt to merge ``outer`` with its immediate derived table."""
+    if not isinstance(outer.from_, sqlast.SubqueryRef):
+        return None
+    if outer.joins:
+        return None
+    inner = outer.from_.query
+    inner_alias = outer.from_.alias
+
+    if _is_passthrough(outer, inner):
+        return inner
+
+    if not _is_simple(inner):
+        return None
+
+    mapping = _output_mapping(inner)
+    if mapping is None:
+        return None
+
+    def substitute(expr):
+        return _substitute(expr, mapping, inner_alias)
+
+    try:
+        items = tuple(
+            sqlast.SelectItem(substitute(item.expr), item.alias)
+            for item in outer.items
+        )
+        where = substitute(outer.where) if outer.where is not None else None
+        group_by = tuple(substitute(expr) for expr in outer.group_by)
+        having = substitute(outer.having) if outer.having is not None else None
+        order_by = tuple(
+            sqlast.OrderItem(substitute(item.expr), item.descending,
+                             item.nulls_first)
+            for item in outer.order_by
+        )
+    except _UnknownColumn:
+        return None
+
+    if inner.where is not None:
+        where = (
+            inner.where
+            if where is None
+            else sqlast.BinaryOp("AND", inner.where, where)
+        )
+    return sqlast.Select(
+        items=items,
+        from_=inner.from_,
+        joins=inner.joins,
+        where=where,
+        group_by=group_by,
+        having=having,
+        order_by=order_by,
+        limit=outer.limit,
+        offset=outer.offset,
+        distinct=outer.distinct,
+    )
+
+
+def _is_passthrough(outer, inner):
+    """Outer selects exactly the inner outputs, unchanged, no clauses."""
+    if (outer.where is not None or outer.group_by or outer.having
+            or outer.order_by or outer.limit is not None
+            or outer.offset is not None or outer.distinct or outer.joins):
+        return False
+    inner_names = _output_names(inner)
+    if inner_names is None or len(outer.items) != len(inner_names):
+        return False
+    for item, name in zip(outer.items, inner_names):
+        expr = item.expr
+        if not isinstance(expr, sqlast.ColumnRef) or expr.name != name:
+            return False
+        if (item.alias or expr.name) != name:
+            return False
+    return True
+
+
+def _is_simple(inner):
+    """Projection/filter only: safe to substitute into an outer query."""
+    if (inner.group_by or inner.having or inner.order_by
+            or inner.limit is not None or inner.offset is not None
+            or inner.distinct or inner.joins):
+        return False
+    for item in inner.items:
+        for node in sqlast.walk_expr(item.expr):
+            if isinstance(node, (sqlast.WindowFunc, sqlast.Star)):
+                return False
+            if sqlast.is_aggregate_call(node):
+                return False
+    return True
+
+
+def _output_names(select):
+    names = []
+    for item in select.items:
+        if isinstance(item.expr, sqlast.Star):
+            return None
+        if item.alias:
+            names.append(item.alias)
+        elif isinstance(item.expr, sqlast.ColumnRef):
+            names.append(item.expr.name)
+        else:
+            names.append(item.expr.to_sql())
+    return names
+
+
+def _output_mapping(select):
+    names = _output_names(select)
+    if names is None:
+        return None
+    return dict(zip(names, (item.expr for item in select.items)))
+
+
+class _UnknownColumn(Exception):
+    pass
+
+
+def _substitute(node, mapping, inner_alias):
+    if isinstance(node, sqlast.ColumnRef):
+        if node.table is not None and node.table != inner_alias:
+            raise _UnknownColumn(node.table)
+        if node.name not in mapping:
+            raise _UnknownColumn(node.name)
+        return mapping[node.name]
+    if isinstance(node, sqlast.Star):
+        # COUNT(*): row counts survive merging because the inner query is
+        # projection/filter-only (its WHERE is AND-ed into the merged one).
+        return node
+
+    def recurse(child):
+        return _substitute(child, mapping, inner_alias)
+
+    if isinstance(node, sqlast.UnaryOp):
+        return sqlast.UnaryOp(node.op, recurse(node.operand))
+    if isinstance(node, sqlast.BinaryOp):
+        return sqlast.BinaryOp(node.op, recurse(node.left), recurse(node.right))
+    if isinstance(node, sqlast.IsNull):
+        return sqlast.IsNull(recurse(node.operand), node.negated)
+    if isinstance(node, sqlast.InList):
+        return sqlast.InList(
+            recurse(node.operand),
+            tuple(recurse(item) for item in node.items),
+            node.negated,
+        )
+    if isinstance(node, sqlast.Between):
+        return sqlast.Between(
+            recurse(node.operand), recurse(node.low), recurse(node.high),
+            node.negated,
+        )
+    if isinstance(node, sqlast.FuncCall):
+        return sqlast.FuncCall(
+            node.name, tuple(recurse(arg) for arg in node.args), node.distinct
+        )
+    if isinstance(node, sqlast.WindowFunc):
+        return sqlast.WindowFunc(
+            recurse(node.func),
+            tuple(recurse(expr) for expr in node.partition_by),
+            tuple(
+                sqlast.OrderItem(recurse(item.expr), item.descending,
+                                 item.nulls_first)
+                for item in node.order_by
+            ),
+        )
+    if isinstance(node, sqlast.Case):
+        return sqlast.Case(
+            tuple((recurse(c), recurse(r)) for c, r in node.whens),
+            recurse(node.default) if node.default is not None else None,
+        )
+    if isinstance(node, sqlast.Cast):
+        return sqlast.Cast(recurse(node.operand), node.type_name)
+    return node

@@ -1,0 +1,392 @@
+"""Source-level SQL rewriting (paper §2.2 step 3).
+
+Rule-based optimizations applied to generated queries before they are
+sent to the backend:
+
+* **predicate pushdown** — conjuncts of an outer WHERE whose columns map
+  to plain pass-through columns of a derived table move inside it ("
+  pushing down derived conditions from outer subqueries");
+* **projection pruning** — derived tables drop output columns the outer
+  query never references;
+* **expression simplification** — constant folding and boolean identity
+  elimination over all scalar expressions.
+
+These matter most for backends without strong internal optimizers; the
+E4 benchmark runs the embedded engine with its own optimizer disabled to
+isolate their effect.
+"""
+
+from repro.engine import sqlast
+
+
+def rewrite_query(select, pushdown=True, prune=True, simplify=True):
+    """Apply enabled rewrite rules to fixpoint (single pass per rule is
+    sufficient for composer-shaped queries; rules recurse internally)."""
+    if simplify:
+        select = _simplify_select(select)
+    if pushdown:
+        select = _pushdown_select(select)
+    if prune:
+        select = _prune_select(select, required=None)
+    return select
+
+
+# --------------------------------------------------------------------------
+# Expression simplification
+# --------------------------------------------------------------------------
+
+
+def simplify_expr(node):
+    """Constant-fold and simplify one scalar expression."""
+    node = sqlast.map_children(node, simplify_expr)
+    if isinstance(node, sqlast.BinaryOp):
+        return _simplify_binary(node)
+    if isinstance(node, sqlast.UnaryOp):
+        if node.op == "-" and isinstance(node.operand, sqlast.Literal) and \
+                isinstance(node.operand.value, (int, float)):
+            return sqlast.Literal(-node.operand.value)
+        if node.op.upper() == "NOT" and isinstance(node.operand, sqlast.Literal) \
+                and isinstance(node.operand.value, bool):
+            return sqlast.Literal(not node.operand.value)
+    if isinstance(node, sqlast.Case):
+        return _simplify_case(node)
+    return node
+
+
+def _number(node):
+    if isinstance(node, sqlast.Literal) and isinstance(
+        node.value, (int, float)
+    ) and not isinstance(node.value, bool):
+        return float(node.value)
+    return None
+
+
+def _is_bool(node, value):
+    return isinstance(node, sqlast.Literal) and node.value is value
+
+
+def _simplify_binary(node):
+    left_num = _number(node.left)
+    right_num = _number(node.right)
+    op = node.op.upper() if node.op.isalpha() else node.op
+
+    if left_num is not None and right_num is not None:
+        folded = _fold_arith(op, left_num, right_num)
+        if folded is not None:
+            return folded
+
+    if op == "AND":
+        if _is_bool(node.left, True):
+            return node.right
+        if _is_bool(node.right, True):
+            return node.left
+        if _is_bool(node.left, False) or _is_bool(node.right, False):
+            return sqlast.Literal(False)
+    if op == "OR":
+        if _is_bool(node.left, False):
+            return node.right
+        if _is_bool(node.right, False):
+            return node.left
+        if _is_bool(node.left, True) or _is_bool(node.right, True):
+            return sqlast.Literal(True)
+
+    if op == "+" and right_num == 0.0:
+        return node.left
+    if op == "+" and left_num == 0.0:
+        return node.right
+    if op == "-" and right_num == 0.0:
+        return node.left
+    if op == "*" and right_num == 1.0:
+        return node.left
+    if op == "*" and left_num == 1.0:
+        return node.right
+    if op == "/" and right_num == 1.0:
+        return node.left
+    return node
+
+
+def _fold_arith(op, left, right):
+    try:
+        if op == "+":
+            return sqlast.Literal(left + right)
+        if op == "-":
+            return sqlast.Literal(left - right)
+        if op == "*":
+            return sqlast.Literal(left * right)
+        if op == "/" and right != 0:
+            return sqlast.Literal(left / right)
+        if op == "=":
+            return sqlast.Literal(left == right)
+        if op == "<>":
+            return sqlast.Literal(left != right)
+        if op == "<":
+            return sqlast.Literal(left < right)
+        if op == ">":
+            return sqlast.Literal(left > right)
+        if op == "<=":
+            return sqlast.Literal(left <= right)
+        if op == ">=":
+            return sqlast.Literal(left >= right)
+    except (OverflowError, ValueError):
+        return None
+    return None
+
+
+def _simplify_case(node):
+    whens = []
+    for condition, result in node.whens:
+        if _is_bool(condition, False):
+            continue
+        if _is_bool(condition, True):
+            if not whens:
+                return result
+            whens.append((condition, result))
+            break
+        whens.append((condition, result))
+    if not whens:
+        return node.default if node.default is not None else sqlast.Literal(None)
+    return sqlast.Case(tuple(whens), node.default)
+
+
+def _simplify_select(select):
+    def fix_from(clause):
+        if isinstance(clause, sqlast.SubqueryRef):
+            return sqlast.SubqueryRef(_simplify_select(clause.query), clause.alias)
+        return clause
+
+    where = simplify_expr(select.where) if select.where is not None else None
+    if where is not None and _is_bool(where, True):
+        where = None
+    return sqlast.Select(
+        items=tuple(
+            sqlast.SelectItem(simplify_expr(item.expr), item.alias)
+            for item in select.items
+        ),
+        from_=fix_from(select.from_),
+        joins=tuple(
+            sqlast.Join(j.kind, fix_from(j.right), simplify_expr(j.condition))
+            for j in select.joins
+        ),
+        where=where,
+        group_by=tuple(simplify_expr(expr) for expr in select.group_by),
+        having=simplify_expr(select.having) if select.having is not None else None,
+        order_by=tuple(
+            sqlast.OrderItem(simplify_expr(item.expr), item.descending,
+                             item.nulls_first)
+            for item in select.order_by
+        ),
+        limit=select.limit,
+        offset=select.offset,
+        distinct=select.distinct,
+    )
+
+
+# --------------------------------------------------------------------------
+# Predicate pushdown
+# --------------------------------------------------------------------------
+
+
+def _conjuncts(node):
+    if isinstance(node, sqlast.BinaryOp) and node.op.upper() == "AND":
+        return _conjuncts(node.left) + _conjuncts(node.right)
+    return [node]
+
+
+def _conjoin(parts):
+    result = None
+    for part in parts:
+        result = part if result is None else sqlast.BinaryOp("AND", result, part)
+    return result
+
+
+def _pushdown_select(select):
+    def fix_from(clause):
+        if isinstance(clause, sqlast.SubqueryRef):
+            return sqlast.SubqueryRef(_pushdown_select(clause.query), clause.alias)
+        return clause
+
+    select = sqlast.Select(
+        items=select.items,
+        from_=fix_from(select.from_),
+        joins=tuple(
+            sqlast.Join(j.kind, fix_from(j.right), j.condition)
+            for j in select.joins
+        ),
+        where=select.where,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        limit=select.limit,
+        offset=select.offset,
+        distinct=select.distinct,
+    )
+    if select.where is None or not isinstance(select.from_, sqlast.SubqueryRef):
+        return select
+    if select.joins:
+        return select
+    inner = select.from_.query
+    if inner.limit is not None or inner.offset is not None or inner.distinct:
+        return select
+
+    passthrough = {}
+    group_keys = set()
+    if inner.group_by:
+        group_keys = {
+            expr.name
+            for expr in inner.group_by
+            if isinstance(expr, sqlast.ColumnRef)
+        }
+    for item in inner.items:
+        name = item.alias or (
+            item.expr.name if isinstance(item.expr, sqlast.ColumnRef) else None
+        )
+        if name is None:
+            continue
+        if isinstance(item.expr, sqlast.ColumnRef):
+            if not inner.group_by or item.expr.name in group_keys:
+                passthrough[name] = item.expr
+
+    kept = []
+    pushed = []
+    for conjunct in _conjuncts(select.where):
+        refs = [
+            node
+            for node in sqlast.walk_expr(conjunct)
+            if isinstance(node, sqlast.ColumnRef)
+        ]
+        if refs and all(ref.name in passthrough and ref.table is None
+                        for ref in refs):
+            pushed.append(_rename_refs(conjunct, passthrough))
+        else:
+            kept.append(conjunct)
+
+    if not pushed:
+        return select
+
+    new_inner_where = _conjoin(
+        ([inner.where] if inner.where is not None else []) + pushed
+    )
+    new_inner = sqlast.Select(
+        items=inner.items,
+        from_=inner.from_,
+        joins=inner.joins,
+        where=new_inner_where,
+        group_by=inner.group_by,
+        having=inner.having,
+        order_by=inner.order_by,
+        limit=inner.limit,
+        offset=inner.offset,
+        distinct=inner.distinct,
+    )
+    return sqlast.Select(
+        items=select.items,
+        from_=sqlast.SubqueryRef(new_inner, select.from_.alias),
+        joins=select.joins,
+        where=_conjoin(kept),
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        limit=select.limit,
+        offset=select.offset,
+        distinct=select.distinct,
+    )
+
+
+def _rename_refs(node, mapping):
+    if isinstance(node, sqlast.ColumnRef):
+        return mapping[node.name]
+    from repro.sqlgen.merge import _substitute  # structural rebuild helper
+
+    class _Map(dict):
+        def __missing__(self, key):
+            raise KeyError(key)
+
+    return _substitute(node, mapping, inner_alias=None)
+
+
+# --------------------------------------------------------------------------
+# Projection pruning
+# --------------------------------------------------------------------------
+
+
+def _select_references(select):
+    """Column names a query references from its FROM relation(s)."""
+    names = set()
+
+    def visit(expr):
+        # Stars reach here only inside COUNT(*), which consumes no columns;
+        # a bare ``SELECT *`` item is handled in the loop below.
+        if expr is None:
+            return
+        for node in sqlast.walk_expr(expr):
+            if isinstance(node, sqlast.ColumnRef):
+                names.add(node.name)
+
+    for item in select.items:
+        if isinstance(item.expr, sqlast.Star):
+            names.add("*")
+            continue
+        visit(item.expr)
+    visit(select.where)
+    for expr in select.group_by:
+        visit(expr)
+    visit(select.having)
+    for item in select.order_by:
+        visit(item.expr)
+    for join in select.joins:
+        visit(join.condition)
+    return names
+
+
+def _prune_select(select, required):
+    """Drop derived-table output columns the outer query never uses."""
+    needed = _select_references(select)
+
+    def fix_from(clause):
+        if not isinstance(clause, sqlast.SubqueryRef):
+            return clause
+        inner = clause.query
+        if "*" in needed or inner.distinct:
+            # Star consumes everything; DISTINCT output depends on the
+            # full column set, so neither can be pruned.
+            return sqlast.SubqueryRef(_prune_select(inner, None), clause.alias)
+        kept_items = []
+        for item in inner.items:
+            name = item.alias or (
+                item.expr.name
+                if isinstance(item.expr, sqlast.ColumnRef)
+                else item.expr.to_sql()
+            )
+            if name in needed:
+                kept_items.append(item)
+        if not kept_items:
+            kept_items = list(inner.items[:1])
+        pruned_inner = sqlast.Select(
+            items=tuple(kept_items),
+            from_=inner.from_,
+            joins=inner.joins,
+            where=inner.where,
+            group_by=inner.group_by,
+            having=inner.having,
+            order_by=inner.order_by,
+            limit=inner.limit,
+            offset=inner.offset,
+            distinct=inner.distinct,
+        )
+        return sqlast.SubqueryRef(_prune_select(pruned_inner, None), clause.alias)
+
+    return sqlast.Select(
+        items=select.items,
+        from_=fix_from(select.from_),
+        joins=tuple(
+            sqlast.Join(j.kind, fix_from(j.right), j.condition)
+            for j in select.joins
+        ),
+        where=select.where,
+        group_by=select.group_by,
+        having=select.having,
+        order_by=select.order_by,
+        limit=select.limit,
+        offset=select.offset,
+        distinct=select.distinct,
+    )

@@ -1,0 +1,537 @@
+"""Per-transform SQL translation (paper §2.2 step 1, "SQL rewriting").
+
+Each Vega transform type maps to a builder producing a
+:class:`~repro.engine.sqlast.Select` over an input relation.  Transforms
+with no SQL equivalent raise :class:`Untranslatable`; the partition
+planner pins those (and everything downstream of them) to the client.
+
+Signal-parameterized transforms are translated against the *current*
+signal values — interactions that change a signal rebuild the SQL (or hit
+a prefetched variant, see :mod:`repro.core.prefetch`).
+"""
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.dataflow.transforms.bin import bin_params
+from repro.engine import sqlast
+from repro.expr.errors import UntranslatableExpression
+from repro.expr.sqlcompile import SQLCompiler
+
+
+class Untranslatable(Exception):
+    """The transform cannot be expressed in SQL (as parameterized)."""
+
+
+@dataclass
+class Translation:
+    """A translated step: the query plus its output schema."""
+
+    select: sqlast.Select
+    columns: List[str]
+    #: value queries (extent) return a scalar/array instead of rows
+    is_value: bool = False
+
+
+@dataclass(frozen=True)
+class LookupTable:
+    """Marker for a lookup's secondary data source that is a server-
+    resident base table (set by the planner/executor param resolvers when
+    the referenced dataset is a transform-free root)."""
+
+    name: str
+    columns: tuple = ()
+
+
+# Vega aggregate op name -> SQL builder(field_ref) returning an expression.
+def _agg_sql(op, field_name):
+    def ref():
+        if field_name is None:
+            raise Untranslatable(
+                "aggregate op {!r} requires a field".format(op)
+            )
+        return sqlast.ColumnRef(field_name)
+
+    if op == "count":
+        return sqlast.FuncCall("COUNT", (sqlast.Star(),))
+    if op == "valid":
+        return sqlast.FuncCall("COUNT", (ref(),))
+    if op == "missing":
+        return sqlast.BinaryOp(
+            "-",
+            sqlast.FuncCall("COUNT", (sqlast.Star(),)),
+            sqlast.FuncCall("COUNT", (ref(),)),
+        )
+    if op == "distinct":
+        return sqlast.FuncCall("COUNT", (ref(),), distinct=True)
+    if op == "sum":
+        return sqlast.FuncCall(
+            "COALESCE",
+            (sqlast.FuncCall("SUM", (ref(),)), sqlast.Literal(0.0)),
+        )
+    if op in ("mean", "average"):
+        return sqlast.FuncCall("AVG", (ref(),))
+    if op == "median":
+        return sqlast.FuncCall("MEDIAN", (ref(),))
+    if op == "stdev":
+        return sqlast.FuncCall("STDDEV", (ref(),))
+    if op == "variance":
+        return sqlast.FuncCall("VARIANCE", (ref(),))
+    if op == "q1":
+        return sqlast.FuncCall("QUANTILE", (ref(), sqlast.Literal(0.25)))
+    if op == "q3":
+        return sqlast.FuncCall("QUANTILE", (ref(), sqlast.Literal(0.75)))
+    if op == "min":
+        return sqlast.FuncCall("MIN", (ref(),))
+    if op == "max":
+        return sqlast.FuncCall("MAX", (ref(),))
+    raise Untranslatable("aggregate op {!r} has no SQL translation".format(op))
+
+
+def _star_items(columns):
+    return tuple(
+        sqlast.SelectItem(sqlast.ColumnRef(name), alias=name)
+        for name in columns
+    )
+
+
+def _compile_expr(expression, signals, what):
+    try:
+        compiler = SQLCompiler(signals=signals)
+        return _parse_sql_expr(compiler.compile(expression))
+    except UntranslatableExpression as exc:
+        raise Untranslatable("{}: {}".format(what, exc)) from exc
+
+
+def _parse_sql_expr(sql_text):
+    """Parse a rendered SQL expression back into sqlast nodes.
+
+    The Vega-expression compiler emits text; round-tripping through the
+    SQL parser gives us structured nodes to compose and rewrite.
+    """
+    from repro.engine.parser import parse_select
+
+    select = parse_select("SELECT {} FROM __x".format(sql_text))
+    return select.items[0].expr
+
+
+# --------------------------------------------------------------------------
+# Translators (registered by transform spec type)
+# --------------------------------------------------------------------------
+
+
+def translate_filter(params, source, columns, signals):
+    predicate = _compile_expr(params.get("expr"), signals, "filter expression")
+    select = sqlast.Select(
+        items=_star_items(columns), from_=source, where=predicate
+    )
+    return Translation(select, list(columns))
+
+
+def translate_formula(params, source, columns, signals):
+    expr = _compile_expr(params.get("expr"), signals, "formula expression")
+    out_field = params.get("as")
+    if not out_field:
+        raise Untranslatable("formula requires 'as'")
+    items = [
+        item for item in _star_items(columns) if item.alias != out_field
+    ]
+    items.append(sqlast.SelectItem(expr, alias=out_field))
+    out_columns = [item.alias for item in items]
+    select = sqlast.Select(items=tuple(items), from_=source)
+    return Translation(select, out_columns)
+
+
+def translate_project(params, source, columns, signals):
+    fields = params.get("fields")
+    if not fields:
+        raise Untranslatable("project requires 'fields'")
+    names = params.get("as") or fields
+    items = tuple(
+        sqlast.SelectItem(sqlast.ColumnRef(field), alias=name)
+        for field, name in zip(fields, names)
+    )
+    select = sqlast.Select(items=items, from_=source)
+    return Translation(select, list(names))
+
+
+def translate_extent(params, source, columns, signals):
+    field = params.get("field")
+    if not isinstance(field, str):
+        raise Untranslatable("extent requires a resolved 'field'")
+    if field not in columns:
+        raise Untranslatable("extent field {!r} not in input".format(field))
+    select = sqlast.Select(
+        items=(
+            sqlast.SelectItem(
+                sqlast.FuncCall("MIN", (sqlast.ColumnRef(field),)), alias="min"
+            ),
+            sqlast.SelectItem(
+                sqlast.FuncCall("MAX", (sqlast.ColumnRef(field),)), alias="max"
+            ),
+        ),
+        from_=source,
+    )
+    return Translation(select, ["min", "max"], is_value=True)
+
+
+def translate_bin(params, source, columns, signals):
+    field = params.get("field")
+    if not isinstance(field, str):
+        raise Untranslatable("bin requires a resolved 'field'")
+    extent = params.get("extent")
+    if not extent:
+        raise Untranslatable("bin requires a resolved numeric 'extent'")
+    as_fields = params.get("as", ["bin0", "bin1"])
+    if extent[0] is None:
+        # Empty upstream data: emit NULL bins (mirrors the client
+        # transform's graceful degrade so hybrid plans stay consistent).
+        bin0_name, bin1_name = as_fields
+        items = [
+            item for item in _star_items(columns)
+            if item.alias not in (bin0_name, bin1_name)
+        ]
+        items.append(sqlast.SelectItem(sqlast.Literal(None), alias=bin0_name))
+        items.append(sqlast.SelectItem(sqlast.Literal(None), alias=bin1_name))
+        select = sqlast.Select(items=tuple(items), from_=source)
+        return Translation(select, [item.alias for item in items])
+    start, stop, step = bin_params(
+        extent,
+        maxbins=params.get("maxbins", 20),
+        step=params.get("step"),
+        nice=params.get("nice", True),
+        minstep=params.get("minstep", 0.0),
+    )
+    ref = sqlast.ColumnRef(field)
+    # start + FLOOR((field - start) / step) * step, clamped at the top edge.
+    raw_bin = sqlast.BinaryOp(
+        "+",
+        sqlast.Literal(start),
+        sqlast.BinaryOp(
+            "*",
+            sqlast.FuncCall(
+                "FLOOR",
+                (
+                    sqlast.BinaryOp(
+                        "/",
+                        sqlast.BinaryOp("-", ref, sqlast.Literal(start)),
+                        sqlast.Literal(step),
+                    ),
+                ),
+            ),
+            sqlast.Literal(step),
+        ),
+    )
+    bin0 = sqlast.FuncCall(
+        "LEAST", (raw_bin, sqlast.Literal(stop - step))
+    )
+    bin0_name, bin1_name = as_fields
+    items = [
+        item
+        for item in _star_items(columns)
+        if item.alias not in (bin0_name, bin1_name)
+    ]
+    items.append(sqlast.SelectItem(bin0, alias=bin0_name))
+    items.append(
+        sqlast.SelectItem(
+            sqlast.BinaryOp("+", bin0, sqlast.Literal(step)), alias=bin1_name
+        )
+    )
+    out_columns = [item.alias for item in items]
+    select = sqlast.Select(items=tuple(items), from_=source)
+    return Translation(select, out_columns)
+
+
+def translate_aggregate(params, source, columns, signals):
+    groupby = params.get("groupby") or []
+    for field in groupby:
+        if not isinstance(field, str):
+            raise Untranslatable("aggregate groupby must be field names")
+    ops = params.get("ops") or ["count"]
+    fields = params.get("fields") or [None] * len(ops)
+    names = params.get("as") or [None] * len(ops)
+    if len(names) < len(ops):
+        names = list(names) + [None] * (len(ops) - len(names))
+
+    items = [
+        sqlast.SelectItem(sqlast.ColumnRef(field), alias=field)
+        for field in groupby
+    ]
+    out_columns = list(groupby)
+    from repro.dataflow.transforms.aggops import default_output_name
+
+    for op, field, name in zip(ops, fields, names):
+        if name is None:
+            name = default_output_name(op, field)
+        items.append(sqlast.SelectItem(_agg_sql(op, field), alias=name))
+        out_columns.append(name)
+
+    select = sqlast.Select(
+        items=tuple(items),
+        from_=source,
+        group_by=tuple(sqlast.ColumnRef(field) for field in groupby),
+    )
+    return Translation(select, out_columns)
+
+
+def translate_collect(params, source, columns, signals):
+    sort = params.get("sort") or {}
+    fields = sort.get("field") or []
+    if isinstance(fields, str):
+        fields = [fields]
+    orders = sort.get("order") or ["ascending"] * len(fields)
+    if isinstance(orders, str):
+        orders = [orders]
+    order_by = tuple(
+        sqlast.OrderItem(
+            sqlast.ColumnRef(field), descending=(order == "descending")
+        )
+        for field, order in zip(fields, orders)
+    )
+    select = sqlast.Select(
+        items=_star_items(columns), from_=source, order_by=order_by
+    )
+    return Translation(select, list(columns))
+
+
+def translate_stack(params, source, columns, signals):
+    field = params.get("field")
+    if not isinstance(field, str):
+        raise Untranslatable("stack requires a resolved 'field'")
+    offset = params.get("offset", "zero")
+    if offset != "zero":
+        raise Untranslatable(
+            "stack offset {!r} has no SQL translation".format(offset)
+        )
+    groupby = params.get("groupby") or []
+    sort = params.get("sort") or {}
+    sort_fields = sort.get("field") or []
+    if isinstance(sort_fields, str):
+        sort_fields = [sort_fields]
+    sort_orders = sort.get("order") or ["ascending"] * len(sort_fields)
+    if isinstance(sort_orders, str):
+        sort_orders = [sort_orders]
+    y0_name, y1_name = params.get("as", ["y0", "y1"])
+
+    partition = tuple(sqlast.ColumnRef(name) for name in groupby)
+    order_by = tuple(
+        sqlast.OrderItem(
+            sqlast.ColumnRef(name), descending=(order == "descending")
+        )
+        for name, order in zip(sort_fields, sort_orders)
+    )
+    running = sqlast.WindowFunc(
+        sqlast.FuncCall("SUM", (sqlast.ColumnRef(field),)),
+        partition_by=partition,
+        order_by=order_by,
+    )
+    y1 = running
+    y0 = sqlast.BinaryOp("-", running, sqlast.ColumnRef(field))
+    items = [
+        item
+        for item in _star_items(columns)
+        if item.alias not in (y0_name, y1_name)
+    ]
+    items.append(sqlast.SelectItem(y0, alias=y0_name))
+    items.append(sqlast.SelectItem(y1, alias=y1_name))
+    out_columns = [item.alias for item in items]
+    select = sqlast.Select(items=tuple(items), from_=source)
+    return Translation(select, out_columns)
+
+
+def translate_joinaggregate(params, source, columns, signals):
+    groupby = params.get("groupby") or []
+    ops = params.get("ops") or []
+    fields = params.get("fields") or [None] * len(ops)
+    names = params.get("as") or [None] * len(ops)
+    from repro.dataflow.transforms.aggops import default_output_name
+
+    partition = tuple(sqlast.ColumnRef(name) for name in groupby)
+    items = list(_star_items(columns))
+    out_columns = list(columns)
+    for index, op in enumerate(ops):
+        field = fields[index] if index < len(fields) else None
+        name = names[index] if index < len(names) else None
+        if name is None:
+            name = default_output_name(op, field)
+        window = sqlast.WindowFunc(
+            _agg_window_call(op, field), partition_by=partition
+        )
+        items.append(sqlast.SelectItem(window, alias=name))
+        out_columns.append(name)
+    select = sqlast.Select(items=tuple(items), from_=source)
+    return Translation(select, out_columns)
+
+
+def _agg_window_call(op, field_name):
+    """Window-compatible aggregate call (subset of _agg_sql)."""
+    mapping = {"count": "COUNT", "sum": "SUM", "mean": "AVG",
+               "average": "AVG", "min": "MIN", "max": "MAX"}
+    sql_name = mapping.get(op)
+    if sql_name is None:
+        raise Untranslatable(
+            "window/joinaggregate op {!r} has no SQL translation".format(op)
+        )
+    if op == "count":
+        return sqlast.FuncCall("COUNT", (sqlast.Star(),))
+    if field_name is None:
+        raise Untranslatable("op {!r} requires a field".format(op))
+    return sqlast.FuncCall(sql_name, (sqlast.ColumnRef(field_name),))
+
+
+def translate_window(params, source, columns, signals):
+    groupby = params.get("groupby") or []
+    ops = params.get("ops") or []
+    fields = params.get("fields") or [None] * len(ops)
+    names = params.get("as") or [None] * len(ops)
+    frame = params.get("frame", [None, 0])
+    sort = params.get("sort") or {}
+    sort_fields = sort.get("field") or []
+    if isinstance(sort_fields, str):
+        sort_fields = [sort_fields]
+    sort_orders = sort.get("order") or ["ascending"] * len(sort_fields)
+    if isinstance(sort_orders, str):
+        sort_orders = [sort_orders]
+
+    if frame == [None, None] and sort_fields:
+        raise Untranslatable(
+            "full-frame window with sort differs from SQL default framing"
+        )
+
+    partition = tuple(sqlast.ColumnRef(name) for name in groupby)
+    order_by = tuple(
+        sqlast.OrderItem(
+            sqlast.ColumnRef(name), descending=(order == "descending")
+        )
+        for name, order in zip(sort_fields, sort_orders)
+    )
+
+    rank_map = {"row_number": "ROW_NUMBER", "rank": "RANK",
+                "dense_rank": "DENSE_RANK"}
+    items = list(_star_items(columns))
+    out_columns = list(columns)
+    for index, op in enumerate(ops):
+        field = fields[index] if index < len(fields) else None
+        name = names[index] if index < len(names) else None
+        if name is None:
+            name = op if field is None else "{}_{}".format(op, field)
+        if op in rank_map:
+            call = sqlast.FuncCall(rank_map[op], ())
+        else:
+            call = _agg_window_call(op, field)
+        window = sqlast.WindowFunc(call, partition_by=partition, order_by=order_by)
+        items.append(sqlast.SelectItem(window, alias=name))
+        out_columns.append(name)
+    select = sqlast.Select(items=tuple(items), from_=source)
+    return Translation(select, out_columns)
+
+
+def translate_lookup(params, source, columns, signals):
+    """Lookup against a server-resident base table becomes a LEFT JOIN.
+
+    Requires: the secondary source resolved to a :class:`LookupTable`
+    (transform-free root dataset loaded in the backend), exactly one
+    lookup field, and explicit ``values`` output fields.
+    """
+    secondary = params.get("from_rows")
+    if not isinstance(secondary, LookupTable):
+        raise Untranslatable(
+            "lookup secondary data is not a server-resident base table"
+        )
+    key = params.get("key")
+    lookup_fields = params.get("fields")
+    values = params.get("values")
+    if not key or not lookup_fields or not values:
+        raise Untranslatable(
+            "lookup requires 'key', 'fields', and 'values' for SQL"
+        )
+    if len(lookup_fields) != 1:
+        raise Untranslatable("multi-field lookup has no SQL translation")
+    field = lookup_fields[0]
+    if field not in columns:
+        raise Untranslatable(
+            "lookup field {!r} not in input".format(field)
+        )
+    names = params.get("as") or values
+    default = params.get("default")
+
+    left_alias = "lkl"
+    right_alias = "lkr"
+    items = [
+        sqlast.SelectItem(
+            sqlast.ColumnRef(name, table=left_alias), alias=name
+        )
+        for name in columns
+    ]
+    out_columns = list(columns)
+    for value_field, out_name in zip(values, names):
+        expr = sqlast.ColumnRef(value_field, table=right_alias)
+        if default is not None:
+            # Vega applies the default only when there is NO match (a
+            # matched row with a NULL value stays NULL), so test the join
+            # key rather than the value.
+            expr = sqlast.Case(
+                whens=(
+                    (
+                        sqlast.IsNull(
+                            sqlast.ColumnRef(key, table=right_alias)
+                        ),
+                        sqlast.Literal(default),
+                    ),
+                ),
+                default=expr,
+            )
+        items.append(sqlast.SelectItem(expr, alias=out_name))
+        out_columns.append(out_name)
+
+    if isinstance(source, sqlast.TableRef):
+        left = sqlast.TableRef(source.name, alias=left_alias)
+    else:
+        left = sqlast.SubqueryRef(source.query, left_alias)
+    join = sqlast.Join(
+        "LEFT",
+        sqlast.TableRef(secondary.name, alias=right_alias),
+        sqlast.BinaryOp(
+            "=",
+            sqlast.ColumnRef(field, table=left_alias),
+            sqlast.ColumnRef(key, table=right_alias),
+        ),
+    )
+    select = sqlast.Select(items=tuple(items), from_=left, joins=(join,))
+    return Translation(select, out_columns)
+
+
+_TRANSLATORS = {
+    "filter": translate_filter,
+    "lookup": translate_lookup,
+    "formula": translate_formula,
+    "project": translate_project,
+    "extent": translate_extent,
+    "bin": translate_bin,
+    "aggregate": translate_aggregate,
+    "collect": translate_collect,
+    "stack": translate_stack,
+    "joinaggregate": translate_joinaggregate,
+    "window": translate_window,
+}
+
+
+def can_translate(spec_type):
+    """Whether a transform type has a SQL translator at all."""
+    return spec_type in _TRANSLATORS
+
+
+def translate_transform(spec_type, params, source, columns, signals=None):
+    """Translate one transform.
+
+    ``source`` is the FROM clause (TableRef/SubqueryRef); ``columns`` the
+    input schema; ``signals`` the current signal values.  Raises
+    :class:`Untranslatable` when the transform (as parameterized) has no
+    SQL form.
+    """
+    translator = _TRANSLATORS.get(spec_type)
+    if translator is None:
+        raise Untranslatable(
+            "transform {!r} has no SQL translation".format(spec_type)
+        )
+    return translator(params, source, columns, signals or {})

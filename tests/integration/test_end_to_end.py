@@ -1,0 +1,208 @@
+"""End-to-end integration tests across the full middleware stack."""
+
+import pytest
+
+from repro.core import VegaPlus
+from repro.datagen import generate_census, generate_events, generate_flights
+from repro.interact import option_cycle, replay, slider_drag
+from repro.perf import compare_plans
+from repro.spec import (
+    census_stacked_area_spec,
+    flights_histogram_spec,
+    simple_filter_spec,
+)
+
+
+class TestFlightsScenario:
+    """The paper's first demo scenario (Figure 2), end to end."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        instance = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(30000)},
+            latency_ms=20,
+        )
+        instance.startup()
+        return instance
+
+    def test_histogram_shape(self, session):
+        rows = [row for row in session.results("binned")
+                if row["bin0"] is not None]
+        # Departure delays are right-skewed: the modal bin is near zero and
+        # counts decay into the late tail.
+        modal = max(rows, key=lambda row: row["count"])
+        assert modal["bin0"] <= 20
+        tail = [row for row in rows if row["bin0"] >= 100]
+        assert all(row["count"] < modal["count"] for row in tail)
+
+    def test_all_plans_agree_on_data(self, session):
+        plans = [
+            session.baseline_plan(),
+            session.plan,
+            session.custom_plan({"binned": 1}, label="user"),
+            session.custom_plan({"binned": 2}, label="user2"),
+        ]
+        outputs = []
+        for plan in plans:
+            session.cache.clear()
+            result = session.run_with_plan(plan)
+            outputs.append(sorted(
+                ((row["bin0"] is None, row["bin0"]), row["count"])
+                for row in result.datasets["binned"]
+            ))
+        assert all(output == outputs[0] for output in outputs[1:])
+
+    def test_slider_session(self, session):
+        report = replay(
+            session, slider_drag("maxbins", 10, 60, step=10), prefetch=True
+        )
+        assert report.interactions == 6
+        assert session.results("binned")
+
+    def test_dropdown_session(self, session):
+        report = replay(
+            session,
+            option_cycle("binField",
+                         ["distance", "air_time", "dep_delay"]),
+            prefetch=False,
+        )
+        assert report.interactions == 3
+        # Ends back on dep_delay; histogram domain must look like delays.
+        rows = [row for row in session.results("binned")
+                if row["bin0"] is not None]
+        assert min(row["bin0"] for row in rows) < 0
+
+
+class TestCensusScenario:
+    """The paper's second demo scenario (stacked occupation areas)."""
+
+    @pytest.fixture(scope="class")
+    def session(self):
+        instance = VegaPlus(
+            census_stacked_area_spec(),
+            data={"census": generate_census(replicate=5)},
+            latency_ms=20,
+        )
+        instance.startup()
+        return instance
+
+    def test_stack_tiles(self, session):
+        rows = session.results("stacked")
+        years = {row["year"] for row in rows}
+        for year in years:
+            segments = sorted(
+                (row["y0"], row["y1"]) for row in rows if row["year"] == year
+            )
+            assert segments[0][0] == 0.0
+            for (a0, a1), (b0, b1) in zip(segments, segments[1:]):
+                assert abs(a1 - b0) < 1e-6
+
+    def test_sex_radio_filter(self, session):
+        before = sum(row["y1"] - row["y0"]
+                     for row in session.results("stacked"))
+        session.interact("sexFilter", "female")
+        after = sum(row["y1"] - row["y0"]
+                    for row in session.results("stacked"))
+        assert after < before
+        session.interact("sexFilter", "all")
+
+    def test_regex_search_box(self, session):
+        session.interact("searchPattern", "^Farm")
+        jobs = {row["job"] for row in session.results("stacked")}
+        assert jobs == {"Farmer", "Farm Laborer"}
+        session.interact("searchPattern", "")
+        jobs = {row["job"] for row in session.results("stacked")}
+        assert len(jobs) > 10
+
+    def test_regex_interaction_stays_consistent_with_client(self, session):
+        session.interact("searchPattern", "er$")
+        server_jobs = {row["job"] for row in session.results("stacked")}
+        # Recompute client-side from raw data.
+        expected = {
+            row["job"] for row in session._rows("census")
+            if row["job"].endswith("er")
+        }
+        assert server_jobs == expected
+        session.interact("searchPattern", "")
+
+
+class TestBackendParity:
+    """Both backends must drive the whole stack to identical results."""
+
+    @pytest.mark.parametrize("backend", ["embedded", "sqlite"])
+    def test_full_stack_per_backend(self, backend):
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(5000)},
+            backend=backend,
+        )
+        result = session.startup()
+        total = sum(row["count"] for row in result.datasets["binned"])
+        assert total == 5000
+
+    def test_backends_agree(self):
+        def run(backend):
+            session = VegaPlus(
+                flights_histogram_spec(),
+                data={"flights": generate_flights(5000)},
+                backend=backend,
+            )
+            rows = session.startup().datasets["binned"]
+            return sorted(
+                ((row["bin0"] is None, row["bin0"]), row["count"])
+                for row in rows
+            )
+
+        assert run("embedded") == run("sqlite")
+
+
+class TestQuickstartSpec:
+    def test_events_pipeline(self):
+        session = VegaPlus(
+            simple_filter_spec(threshold=30),
+            data={"events": generate_events(2000)},
+        )
+        result = session.startup()
+        rows = result.datasets["big"]
+        assert rows
+        assert all(row["n"] >= 1 for row in rows)
+        session.interact("threshold", 60)
+        assert sum(row["n"] for row in session.results("big")) < \
+            sum(row["n"] for row in rows)
+
+
+class TestMergeAblationConsistency:
+    def test_unmerged_session_matches_merged(self):
+        table = generate_flights(3000)
+
+        def run(merge):
+            session = VegaPlus(
+                flights_histogram_spec(),
+                data={"flights": table},
+                merge_queries=merge,
+            )
+            rows = session.startup().datasets["binned"]
+            return sorted(
+                ((row["bin0"] is None, row["bin0"]), row["count"])
+                for row in rows
+            )
+
+        assert run(True) == run(False)
+
+    def test_no_rewrite_session_matches(self):
+        table = generate_flights(3000)
+
+        def run(rewrite):
+            session = VegaPlus(
+                flights_histogram_spec(),
+                data={"flights": table},
+                rewrite_sql=rewrite,
+            )
+            rows = session.startup().datasets["binned"]
+            return sorted(
+                ((row["bin0"] is None, row["bin0"]), row["count"])
+                for row in rows
+            )
+
+        assert run(True) == run(False)

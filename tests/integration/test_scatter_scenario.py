@@ -1,0 +1,73 @@
+"""Integration tests for the scatter + regression scenario."""
+
+import pytest
+
+from repro.core import VegaPlus
+from repro.datagen import generate_flights
+from repro.spec import flights_scatter_spec
+
+
+@pytest.fixture(scope="module")
+def session():
+    instance = VegaPlus(
+        flights_scatter_spec(sample_size=1000),
+        data={"flights": generate_flights(20000)},
+        latency_ms=20,
+    )
+    instance.startup()
+    return instance
+
+
+class TestScatterScenario:
+    def test_sample_size_respected(self, session):
+        assert len(session.results("points")) == 1000
+
+    def test_sample_pins_pipeline_client_side(self, session):
+        assert session.plan.datasets["points"].max_cut == 1
+
+    def test_points_projected_to_three_fields(self, session):
+        row = session.results("points")[0]
+        assert set(row) == {"distance", "air_time", "carrier"}
+
+    def test_trend_is_two_points(self, session):
+        trend = session.results("trend")
+        assert len(trend) == 2
+
+    def test_trend_slope_plausible(self, session):
+        # air_time ~ distance / 7.5 + noise in the generator.
+        a, b = session.results("trend")
+        slope = (b["air_time"] - a["air_time"]) / (
+            b["distance"] - a["distance"]
+        )
+        assert 0.10 < slope < 0.17
+
+    def test_carrier_filter_interaction(self, session):
+        result = session.interact("carrierFilter", "AA")
+        points = result.datasets["points"]
+        assert points
+        assert all(row["carrier"] == "AA" for row in points)
+        trend = result.datasets["trend"]
+        assert len(trend) == 2
+        session.interact("carrierFilter", "all")
+
+    def test_filter_all_restores_sample(self, session):
+        session.interact("carrierFilter", "AA")
+        session.interact("carrierFilter", "all")
+        points = session.results("points")
+        assert len(points) == 1000
+        assert len({row["carrier"] for row in points}) > 1
+
+    def test_regression_matches_direct_fit(self, session):
+        from repro.dataflow.transforms.stats import _linear_fit
+
+        rows = session._rows("flights")
+        pairs = [(row["distance"], row["air_time"]) for row in rows]
+        slope, intercept, _ = _linear_fit(pairs)
+        a, b = sorted(session.results("trend"),
+                      key=lambda r: r["distance"])
+        measured_slope = (b["air_time"] - a["air_time"]) / (
+            b["distance"] - a["distance"]
+        )
+        assert abs(measured_slope - slope) < 1e-9
+        assert abs(a["air_time"] - (intercept + slope * a["distance"])) \
+            < 1e-9

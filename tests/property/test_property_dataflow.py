@@ -1,0 +1,134 @@
+"""Property-based tests for client transforms and client/server parity."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dataflow.transforms import create_transform
+from repro.dataflow.transforms.bin import bin_index, bin_params
+from repro.engine import Database, Table
+from repro.sqlgen import compose_pipeline, merge_query
+
+_VALUES = st.floats(min_value=-1e4, max_value=1e4, allow_nan=False)
+
+
+def apply(spec_type, params, rows):
+    transform = create_transform(spec_type, "t", params, None)
+    return transform.transform(rows, params, {})
+
+
+class TestBinProperties:
+    @given(
+        st.floats(min_value=-1e5, max_value=1e5, allow_nan=False),
+        st.floats(min_value=1e-3, max_value=1e5, allow_nan=False),
+        st.integers(min_value=2, max_value=100),
+    )
+    @settings(max_examples=200)
+    def test_bin_step_respects_maxbins(self, lo, span, maxbins):
+        start, stop, step = bin_params([lo, lo + span], maxbins=maxbins)
+        assert step > 0
+        # Nice rounding may add up to one bin at each end (floor the
+        # start, ceil the stop), so the bound is maxbins + 2.
+        assert (stop - start) / step <= maxbins + 2 + 1e-6
+
+    @given(
+        _VALUES,
+        st.floats(min_value=1.0, max_value=1e4, allow_nan=False),
+    )
+    @settings(max_examples=200)
+    def test_values_fall_in_their_bin(self, lo, span):
+        start, stop, step = bin_params([lo, lo + span], maxbins=10)
+        value = lo + span / 3
+        bin0 = bin_index(value, start, step)
+        assert bin0 <= value < bin0 + step + 1e-9
+
+    @given(st.lists(_VALUES, min_size=1, max_size=50))
+    @settings(max_examples=100)
+    def test_bin_rows_cover_all_values(self, values):
+        rows = [{"x": value} for value in values]
+        extent = [min(values), max(values)]
+        out = apply("bin", {"field": "x", "extent": extent, "maxbins": 10},
+                    rows)
+        for row in out:
+            assert row["bin0"] is not None
+            assert row["bin0"] - 1e-6 <= row["x"]
+
+
+class TestStackProperties:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["g1", "g2"]),
+                  st.floats(min_value=0, max_value=100, allow_nan=False)),
+        min_size=1, max_size=30,
+    ))
+    @settings(max_examples=100)
+    def test_stack_segments_tile_exactly(self, items):
+        rows = [{"g": g, "v": v} for g, v in items]
+        out = apply("stack", {"groupby": ["g"], "field": "v"}, rows)
+        for group in ("g1", "g2"):
+            segments = sorted(
+                (row["y0"], row["y1"]) for row in out if row["g"] == group
+            )
+            total = sum(v for g, v in items if g == group)
+            if not segments:
+                continue
+            assert abs(segments[0][0]) < 1e-9
+            assert abs(segments[-1][1] - total) < 1e-6
+            for (a0, a1), (b0, b1) in zip(segments, segments[1:]):
+                assert abs(a1 - b0) < 1e-6  # no gaps, no overlaps
+
+
+class TestAggregateParity:
+    @given(st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]),
+                  st.one_of(st.none(), _VALUES)),
+        min_size=1, max_size=40,
+    ))
+    @settings(max_examples=100, deadline=None)
+    def test_client_server_aggregate_parity(self, items):
+        """The same aggregate spec gives identical answers on the client
+        dataflow and through generated SQL on the engine."""
+        rows = [{"k": k, "v": v} for k, v in items]
+        params = {
+            "groupby": ["k"],
+            "ops": ["count", "valid", "sum", "min", "max"],
+            "fields": [None, "v", "v", "v", "v"],
+            "as": ["n", "valid", "s", "lo", "hi"],
+        }
+        client = apply("aggregate", params, rows)
+
+        db = Database()
+        db.load_table("t", Table.from_rows(rows, column_order=["k", "v"]))
+        sql = merge_query(
+            compose_pipeline("t", ["k", "v"], [("aggregate", params)])
+        ).to_sql()
+        server = db.execute(sql).to_rows()
+
+        def canon(result):
+            out = []
+            for row in sorted(result, key=lambda r: r["k"]):
+                out.append((
+                    row["k"], row["n"], row["valid"],
+                    None if row["s"] is None else round(row["s"], 6),
+                    row["lo"], row["hi"],
+                ))
+            return out
+
+        # Vega's sum over an all-null group is 0.0; our SQL translation
+        # wraps SUM in COALESCE(.., 0) to match, so both sides agree.
+        assert canon(client) == canon(server)
+
+
+class TestSampleProperties:
+    @given(st.lists(_VALUES, max_size=100), st.integers(1, 50))
+    @settings(max_examples=50)
+    def test_sample_size_bound(self, values, size):
+        rows = [{"x": value} for value in values]
+        out = apply("sample", {"size": size, "seed": 1}, rows)
+        assert len(out) == min(size, len(rows))
+
+    @given(st.lists(_VALUES, min_size=1, max_size=100))
+    @settings(max_examples=50)
+    def test_sample_is_subset(self, values):
+        rows = [{"x": value} for value in values]
+        out = apply("sample", {"size": 10, "seed": 2}, rows)
+        for row in out:
+            assert row in rows

@@ -1,0 +1,196 @@
+"""Property-based tests for the SQL engine's relational invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import Database, Table
+
+_VALUES = st.one_of(
+    st.none(),
+    st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+)
+_KEYS = st.sampled_from(["a", "b", "c", "d"])
+
+
+@st.composite
+def tables(draw, min_rows=0, max_rows=40):
+    count = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    xs = [draw(_VALUES) for _ in range(count)]
+    ks = [draw(_KEYS) for _ in range(count)]
+    return Table.from_columns(x=xs, k=ks)
+
+
+def make_db(table):
+    db = Database()
+    db.load_table("t", table)
+    return db
+
+
+class TestFilterProperties:
+    @given(tables())
+    @settings(max_examples=100)
+    def test_filter_partitions_rows(self, table):
+        """WHERE p plus WHERE NOT p plus WHERE p IS NULL covers the table."""
+        db = make_db(table)
+        true_rows = db.execute("SELECT * FROM t WHERE x > 0").num_rows
+        false_rows = db.execute("SELECT * FROM t WHERE NOT (x > 0)").num_rows
+        null_rows = db.execute("SELECT * FROM t WHERE x IS NULL").num_rows
+        assert true_rows + false_rows + null_rows == table.num_rows
+
+    @given(tables())
+    @settings(max_examples=50)
+    def test_filter_subset(self, table):
+        db = make_db(table)
+        filtered = db.execute("SELECT * FROM t WHERE x > 0")
+        assert filtered.num_rows <= table.num_rows
+
+
+class TestAggregateProperties:
+    @given(tables())
+    @settings(max_examples=100)
+    def test_group_counts_sum_to_total(self, table):
+        db = make_db(table)
+        grouped = db.execute("SELECT k, COUNT(*) AS n FROM t GROUP BY k")
+        total = sum(row["n"] for row in grouped.to_rows())
+        assert total == table.num_rows
+
+    @given(tables(min_rows=1))
+    @settings(max_examples=100)
+    def test_group_sums_equal_global_sum(self, table):
+        db = make_db(table)
+        grouped = db.execute("SELECT k, SUM(x) AS s FROM t GROUP BY k")
+        group_total = sum(
+            row["s"] for row in grouped.to_rows() if row["s"] is not None
+        )
+        overall = db.execute("SELECT SUM(x) AS s FROM t").to_rows()[0]["s"]
+        if overall is None:
+            assert all(row["s"] is None for row in grouped.to_rows())
+        else:
+            assert abs(group_total - overall) < 1e-6
+
+    @given(tables(min_rows=1))
+    @settings(max_examples=100)
+    def test_min_le_avg_le_max(self, table):
+        db = make_db(table)
+        row = db.execute(
+            "SELECT MIN(x) AS lo, AVG(x) AS m, MAX(x) AS hi FROM t"
+        ).to_rows()[0]
+        if row["m"] is not None:
+            assert row["lo"] - 1e-9 <= row["m"] <= row["hi"] + 1e-9
+
+    @given(tables())
+    @settings(max_examples=50)
+    def test_count_distinct_bounds(self, table):
+        db = make_db(table)
+        row = db.execute(
+            "SELECT COUNT(DISTINCT k) AS d, COUNT(k) AS n FROM t"
+        ).to_rows()[0]
+        assert row["d"] <= row["n"]
+        assert row["d"] <= 4
+
+
+class TestSortProperties:
+    @given(tables())
+    @settings(max_examples=100)
+    def test_order_is_monotone(self, table):
+        db = make_db(table)
+        ordered = db.execute("SELECT x FROM t ORDER BY x ASC").to_rows()
+        values = [row["x"] for row in ordered if row["x"] is not None]
+        assert values == sorted(values)
+        # NULLs sort last under ASC.
+        tail = [row["x"] for row in ordered[len(values):]]
+        assert all(value is None for value in tail)
+
+    @given(tables(), st.integers(min_value=0, max_value=10))
+    @settings(max_examples=50)
+    def test_limit_bounds(self, table, limit):
+        db = make_db(table)
+        result = db.execute("SELECT x FROM t LIMIT {}".format(limit))
+        assert result.num_rows == min(limit, table.num_rows)
+
+    @given(tables())
+    @settings(max_examples=50)
+    def test_distinct_is_subset_without_duplicates(self, table):
+        db = make_db(table)
+        distinct = db.execute("SELECT DISTINCT k FROM t").to_rows()
+        values = [row["k"] for row in distinct]
+        assert len(values) == len(set(values))
+        assert set(values) == {
+            value for value in table.column("k").to_list()
+        }
+
+
+class TestMergeRewriteProperties:
+    """Merged and rewritten pipelines agree with nested pipelines."""
+
+    @given(tables(min_rows=1), st.floats(min_value=-10, max_value=10,
+                                         allow_nan=False))
+    @settings(max_examples=50, deadline=None)
+    def test_merge_preserves_semantics(self, table, threshold):
+        from repro.sqlgen import compose_pipeline, merge_query, rewrite_query
+
+        steps = [
+            ("filter", {"expr": "datum.x > {}".format(threshold)}),
+            ("aggregate", {"groupby": ["k"], "ops": ["count", "sum"],
+                           "fields": [None, "x"], "as": ["n", "s"]}),
+        ]
+        nested = compose_pipeline("t", ["x", "k"], steps)
+        db = make_db(table)
+
+        def canon(result):
+            return sorted(
+                (row["k"], row["n"], None if row["s"] is None else
+                 round(row["s"], 6))
+                for row in result.to_rows()
+            )
+
+        base = canon(db.execute(nested.to_sql()))
+        assert canon(db.execute(merge_query(nested).to_sql())) == base
+        assert canon(db.execute(rewrite_query(nested).to_sql())) == base
+
+
+class TestWindowProperties:
+    """Window function invariants: running sums are prefix sums."""
+
+    @given(tables(min_rows=1))
+    @settings(max_examples=50, deadline=None)
+    def test_running_sum_is_prefix_sum(self, table):
+        db = make_db(table)
+        rows = db.execute(
+            "SELECT x, SUM(x) OVER (ORDER BY x ASC) AS run FROM t "
+            "WHERE x IS NOT NULL ORDER BY x ASC"
+        ).to_rows()
+        prefix = 0.0
+        for row in rows:
+            prefix += row["x"]
+            assert abs(row["run"] - prefix) < 1e-6
+
+    @given(tables(min_rows=1))
+    @settings(max_examples=50, deadline=None)
+    def test_row_number_is_permutation(self, table):
+        db = make_db(table)
+        rows = db.execute(
+            "SELECT ROW_NUMBER() OVER (ORDER BY x ASC) AS rn FROM t"
+        ).to_rows()
+        assert sorted(row["rn"] for row in rows) == \
+            [float(i) for i in range(1, table.num_rows + 1)]
+
+    @given(tables(min_rows=1))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_totals_match_group_sums(self, table):
+        db = make_db(table)
+        windowed = db.execute(
+            "SELECT k, SUM(x) OVER (PARTITION BY k) AS total FROM t"
+        ).to_rows()
+        grouped = {
+            row["k"]: row["s"]
+            for row in db.execute(
+                "SELECT k, SUM(x) AS s FROM t GROUP BY k"
+            ).to_rows()
+        }
+        for row in windowed:
+            expected = grouped[row["k"]]
+            if expected is None:
+                assert row["total"] is None
+            else:
+                assert abs(row["total"] - expected) < 1e-6

@@ -1,0 +1,125 @@
+"""Property-based tests (hypothesis) for the expression language."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.expr import ast
+from repro.expr.constfold import fold
+from repro.expr.evaluator import Evaluator, evaluate
+from repro.expr.parser import parse
+
+_NUMBERS = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+_evaluator = Evaluator(signals={})
+
+
+@st.composite
+def arithmetic_exprs(draw, depth=0):
+    """Random arithmetic expression ASTs over literals and datum.x."""
+    if depth >= 3 or draw(st.booleans()):
+        if draw(st.booleans()):
+            return ast.Literal(draw(_NUMBERS))
+        return ast.Member(
+            ast.Identifier("datum"), ast.Literal("x"), computed=False
+        )
+    op = draw(st.sampled_from(["+", "-", "*"]))
+    left = draw(arithmetic_exprs(depth=depth + 1))
+    right = draw(arithmetic_exprs(depth=depth + 1))
+    return ast.Binary(op, left, right)
+
+
+def render(node):
+    """Render an AST back to expression source text."""
+    if isinstance(node, ast.Literal):
+        value = node.value
+        if isinstance(value, float) and value < 0:
+            return "({!r})".format(value)
+        return repr(value)
+    if isinstance(node, ast.Member):
+        return "datum.x"
+    if isinstance(node, ast.Binary):
+        return "({} {} {})".format(
+            render(node.left), node.op, render(node.right)
+        )
+    raise AssertionError("unexpected node")
+
+
+class TestParserProperties:
+    @given(arithmetic_exprs())
+    @settings(max_examples=200)
+    def test_render_parse_round_trip(self, node):
+        """Rendering then re-parsing preserves evaluation."""
+        source = render(node)
+        reparsed = parse(source)
+        datum = {"x": 3.5}
+        assert _close(
+            _evaluator.evaluate(node, datum),
+            _evaluator.evaluate(reparsed, datum),
+        )
+
+    @given(_NUMBERS)
+    def test_number_literals_round_trip(self, value):
+        assert evaluate(repr(value)) == value
+
+
+class TestFoldingProperties:
+    @given(arithmetic_exprs(), _NUMBERS)
+    @settings(max_examples=200)
+    def test_folding_preserves_value(self, node, x):
+        datum = {"x": x}
+        original = _evaluator.evaluate(node, datum)
+        folded = fold(node)
+        result = _evaluator.evaluate(folded, datum)
+        assert _close(original, result)
+
+    @given(arithmetic_exprs())
+    @settings(max_examples=100)
+    def test_folding_idempotent(self, node):
+        once = fold(node)
+        twice = fold(once)
+        assert once == twice
+
+
+class TestEvaluatorProperties:
+    @given(_NUMBERS, _NUMBERS)
+    def test_comparison_trichotomy(self, a, b):
+        lt = evaluate("a < b", signals={"a": a, "b": b})
+        gt = evaluate("a > b", signals={"a": a, "b": b})
+        eq = evaluate("a == b", signals={"a": a, "b": b})
+        assert sum([lt, gt, eq]) == 1
+
+    @given(_NUMBERS)
+    def test_abs_non_negative(self, x):
+        assert evaluate("abs(v)", signals={"v": x}) >= 0
+
+    @given(_NUMBERS, _NUMBERS, _NUMBERS)
+    def test_clamp_within_bounds(self, v, lo, hi):
+        result = evaluate(
+            "clamp(v, lo, hi)", signals={"v": v, "lo": lo, "hi": hi}
+        )
+        low, high = min(lo, hi), max(lo, hi)
+        assert low <= result <= high
+
+    @given(st.lists(_NUMBERS, min_size=1))
+    def test_extent_bounds_all_values(self, values):
+        result = evaluate("extent(vs)", signals={"vs": values})
+        assert result[0] <= min(values) + 1e-9
+        assert result[1] >= max(values) - 1e-9
+
+    @given(st.text(max_size=30))
+    def test_upper_lower_round_trip_length(self, text):
+        upper = evaluate("upper(s)", signals={"s": text})
+        assert len(upper) >= 0  # never raises
+        assert upper == text.upper()
+
+
+def _close(a, b):
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return math.isclose(a, b, rel_tol=1e-9, abs_tol=1e-9)
+    return a == b

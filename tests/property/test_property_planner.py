@@ -1,0 +1,86 @@
+"""Property-based tests for the partition planner's cost model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile import compile_spec
+from repro.datagen import generate_flights
+from repro.engine import compute_stats
+from repro.net import NetworkChannel
+from repro.planner import PartitionOptimizer
+from repro.spec import flights_histogram_spec
+
+# One compiled workload reused across examples (planning is pure).
+_TABLE = generate_flights(20000)
+_COMPILED = compile_spec(
+    flights_histogram_spec(), data_tables={"flights": _TABLE.to_rows()}
+)
+_STATS = {"flights": compute_stats(_TABLE)}
+
+_LATENCIES = st.floats(min_value=0.1, max_value=5000.0, allow_nan=False)
+_BANDWIDTHS = st.floats(min_value=0.5, max_value=10000.0, allow_nan=False)
+
+
+def plan_with(latency_ms, bandwidth_mbps, forced_cut=None):
+    optimizer = PartitionOptimizer(
+        NetworkChannel(latency_ms, bandwidth_mbps)
+    )
+    forced = {"binned": forced_cut} if forced_cut is not None else None
+    return optimizer.plan(_COMPILED, _STATS, forced_cuts=forced)
+
+
+class TestCostModelProperties:
+    @given(_LATENCIES, _BANDWIDTHS)
+    @settings(max_examples=50, deadline=None)
+    def test_estimates_positive_and_finite(self, latency, bandwidth):
+        plan = plan_with(latency, bandwidth)
+        estimate = plan.estimate
+        assert estimate.total > 0
+        assert all(
+            part >= 0
+            for part in (estimate.server, estimate.client,
+                         estimate.network, estimate.render)
+        )
+
+    @given(_LATENCIES, _BANDWIDTHS)
+    @settings(max_examples=50, deadline=None)
+    def test_chosen_cut_is_argmin(self, latency, bandwidth):
+        """The optimizer's choice is never beaten by any forced cut."""
+        best = plan_with(latency, bandwidth)
+        for cut in range(4):
+            forced = plan_with(latency, bandwidth, forced_cut=cut)
+            assert best.estimate.total <= forced.estimate.total + 1e-12
+
+    @given(_BANDWIDTHS, st.tuples(_LATENCIES, _LATENCIES))
+    @settings(max_examples=50, deadline=None)
+    def test_network_cost_monotone_in_latency(self, bandwidth, latencies):
+        low, high = sorted(latencies)
+        # Same forced cut isolates the channel term.
+        cheap = plan_with(low, bandwidth, forced_cut=3)
+        dear = plan_with(high, bandwidth, forced_cut=3)
+        assert dear.estimate.network >= cheap.estimate.network - 1e-12
+
+    @given(_LATENCIES, st.tuples(_BANDWIDTHS, _BANDWIDTHS))
+    @settings(max_examples=50, deadline=None)
+    def test_network_cost_monotone_in_bandwidth(self, latency, bandwidths):
+        slow, fast = sorted(bandwidths)
+        thin = plan_with(latency, slow, forced_cut=0)
+        fat = plan_with(latency, fast, forced_cut=0)
+        assert thin.estimate.network >= fat.estimate.network - 1e-12
+
+    @given(_LATENCIES, _BANDWIDTHS)
+    @settings(max_examples=50, deadline=None)
+    def test_transfer_bytes_shrink_with_full_cut(self, latency, bandwidth):
+        """Cutting after the aggregate always transfers less data than
+        shipping raw rows."""
+        raw = plan_with(latency, bandwidth, forced_cut=0)
+        aggregated = plan_with(latency, bandwidth, forced_cut=3)
+        assert aggregated.datasets["binned"].transfer_bytes < \
+            raw.datasets["binned"].transfer_bytes
+
+    @given(_LATENCIES, _BANDWIDTHS)
+    @settings(max_examples=30, deadline=None)
+    def test_cut_is_legal(self, latency, bandwidth):
+        plan = plan_with(latency, bandwidth)
+        dataset_plan = plan.datasets["binned"]
+        assert 0 <= dataset_plan.cut <= dataset_plan.max_cut == 3

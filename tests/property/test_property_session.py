@@ -1,0 +1,139 @@
+"""Session-level fuzzing: after ANY random interaction sequence, the
+hybrid session's results must equal a pure client-side evaluation of the
+spec under the same signal values — the fundamental correctness invariant
+of client/server partitioning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compile import compile_spec
+from repro.core import VegaPlus
+from repro.datagen import generate_census, generate_flights
+from repro.spec import census_stacked_area_spec, flights_histogram_spec
+
+_FLIGHTS = generate_flights(4000)
+_FLIGHTS_ROWS = _FLIGHTS.to_rows()
+_CENSUS = generate_census(replicate=2)
+_CENSUS_ROWS = _CENSUS.to_rows()
+
+_flights_actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("maxbins"), st.integers(5, 100)),
+        st.tuples(
+            st.just("binField"),
+            st.sampled_from(
+                ["dep_delay", "arr_delay", "distance", "air_time"]
+            ),
+        ),
+    ),
+    max_size=5,
+)
+
+_census_actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("sexFilter"),
+                  st.sampled_from(["all", "male", "female"])),
+        st.tuples(st.just("searchPattern"),
+                  st.sampled_from(["", "^Farm", "er$", "Work"])),
+    ),
+    max_size=4,
+)
+
+
+def reference_rows(spec, data_rows, table_name, dataset, signal_values):
+    """Ground truth: compile and run the spec purely client-side."""
+    compiled = compile_spec(spec, data_tables={table_name: data_rows})
+    for name, value in signal_values.items():
+        if compiled.flow.signals.get(name) != value:
+            compiled.flow.set_signal(name, value)
+    compiled.run()
+    return compiled.results(dataset)
+
+
+def canon(rows, fields):
+    """Canonical form restricted to mark-consumed fields — the hybrid
+    path legitimately prunes columns no mark encodes from the final
+    transfer, so only those fields are comparable.  Values are wrapped in
+    (is_null, value) pairs so None sorts against numbers safely."""
+    return sorted(
+        tuple(sorted(
+            (k, (v is None, v if v is not None else 0))
+            for k, v in row.items() if k in fields
+        ))
+        for row in rows
+    )
+
+
+FLIGHTS_FIELDS = {"bin0", "bin1", "count"}
+CENSUS_FIELDS = {"year", "job", "y0", "y1"}
+
+
+class TestFlightsSessionParity:
+    @given(_flights_actions)
+    @settings(max_examples=15, deadline=None)
+    def test_random_interactions_match_client(self, actions):
+        session = VegaPlus(
+            flights_histogram_spec(), data={"flights": _FLIGHTS},
+        )
+        session.startup()
+        for signal, value in actions:
+            session.interact(signal, value)
+        expected = reference_rows(
+            flights_histogram_spec(), _FLIGHTS_ROWS, "flights", "binned",
+            session.signals,
+        )
+        assert canon(session.results("binned"), FLIGHTS_FIELDS) == \
+            canon(expected, FLIGHTS_FIELDS)
+
+    @given(_flights_actions)
+    @settings(max_examples=10, deadline=None)
+    def test_with_prefetch_and_replanning(self, actions):
+        session = VegaPlus(
+            flights_histogram_spec(), data={"flights": _FLIGHTS},
+            dynamic_replan=True,
+        )
+        session.startup()
+        for signal, value in actions:
+            session.idle()
+            session.interact(signal, value)
+        expected = reference_rows(
+            flights_histogram_spec(), _FLIGHTS_ROWS, "flights", "binned",
+            session.signals,
+        )
+        assert canon(session.results("binned"), FLIGHTS_FIELDS) == \
+            canon(expected, FLIGHTS_FIELDS)
+
+
+class TestCensusSessionParity:
+    @given(_census_actions)
+    @settings(max_examples=15, deadline=None)
+    def test_random_interactions_match_client(self, actions):
+        session = VegaPlus(
+            census_stacked_area_spec(), data={"census": _CENSUS},
+        )
+        session.startup()
+        for signal, value in actions:
+            session.interact(signal, value)
+        expected = reference_rows(
+            census_stacked_area_spec(), _CENSUS_ROWS, "census", "stacked",
+            session.signals,
+        )
+        assert canon(session.results("stacked"), CENSUS_FIELDS) == \
+            canon(expected, CENSUS_FIELDS)
+
+    @given(_census_actions, st.sampled_from([0, 1, 2, 3, 4]))
+    @settings(max_examples=10, deadline=None)
+    def test_any_custom_cut_matches_client(self, actions, cut):
+        session = VegaPlus(
+            census_stacked_area_spec(), data={"census": _CENSUS},
+        )
+        session.startup(plan=session.custom_plan({"stacked": cut}))
+        for signal, value in actions:
+            session.interact(signal, value)
+        expected = reference_rows(
+            census_stacked_area_spec(), _CENSUS_ROWS, "census", "stacked",
+            session.signals,
+        )
+        assert canon(session.results("stacked"), CENSUS_FIELDS) == \
+            canon(expected, CENSUS_FIELDS)

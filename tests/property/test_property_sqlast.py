@@ -1,0 +1,118 @@
+"""Property-based round-trip tests: generated SQL ASTs render to text
+that re-parses to the identical AST."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine import sqlast
+from repro.engine.parser import parse_select
+
+_NAMES = st.sampled_from(["a", "b", "c", "air_time", "dep delay", "x1"])
+_NUMBERS = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+_STRINGS = st.text(
+    alphabet=st.characters(whitelist_categories=("Lu", "Ll", "Nd"),
+                           whitelist_characters=" _-'"),
+    max_size=12,
+)
+
+
+@st.composite
+def scalar_exprs(draw, depth=0):
+    if depth >= 3:
+        choice = draw(st.integers(0, 2))
+    else:
+        choice = draw(st.integers(0, 7))
+    if choice == 0:
+        return sqlast.ColumnRef(draw(_NAMES))
+    if choice == 1:
+        return sqlast.Literal(draw(_NUMBERS))
+    if choice == 2:
+        return sqlast.Literal(draw(_STRINGS))
+    if choice == 3:
+        op = draw(st.sampled_from(["+", "-", "*", "/", "=", "<>", "<", ">",
+                                   "<=", ">=", "AND", "OR"]))
+        return sqlast.BinaryOp(
+            op, draw(scalar_exprs(depth=depth + 1)),
+            draw(scalar_exprs(depth=depth + 1)),
+        )
+    if choice == 4:
+        return sqlast.IsNull(
+            draw(scalar_exprs(depth=depth + 1)), draw(st.booleans())
+        )
+    if choice == 5:
+        name = draw(st.sampled_from(["ABS", "FLOOR", "UPPER", "COALESCE"]))
+        arity = 2 if name == "COALESCE" else 1
+        return sqlast.FuncCall(
+            name,
+            tuple(draw(scalar_exprs(depth=depth + 1)) for _ in range(arity)),
+        )
+    if choice == 6:
+        return sqlast.Case(
+            whens=(
+                (draw(scalar_exprs(depth=depth + 1)),
+                 draw(scalar_exprs(depth=depth + 1))),
+            ),
+            default=draw(st.one_of(
+                st.none(), scalar_exprs(depth=depth + 1)
+            )),
+        )
+    return sqlast.Between(
+        draw(scalar_exprs(depth=depth + 1)),
+        draw(scalar_exprs(depth=depth + 1)),
+        draw(scalar_exprs(depth=depth + 1)),
+        draw(st.booleans()),
+    )
+
+
+@st.composite
+def selects(draw):
+    items = tuple(
+        sqlast.SelectItem(draw(scalar_exprs()), alias="out{}".format(i))
+        for i in range(draw(st.integers(1, 3)))
+    )
+    where = draw(st.one_of(st.none(), scalar_exprs()))
+    group_by = tuple(
+        sqlast.ColumnRef(name)
+        for name in draw(st.lists(_NAMES, max_size=2, unique=True))
+    )
+    order_by = tuple(
+        sqlast.OrderItem(sqlast.ColumnRef(draw(_NAMES)),
+                         draw(st.booleans()),
+                         draw(st.one_of(st.none(), st.booleans())))
+        for _ in range(draw(st.integers(0, 2)))
+    )
+    return sqlast.Select(
+        items=items,
+        from_=sqlast.TableRef(draw(_NAMES), alias=None),
+        where=where,
+        group_by=group_by,
+        order_by=order_by,
+        limit=draw(st.one_of(st.none(), st.integers(0, 1000))),
+        distinct=draw(st.booleans()),
+    )
+
+
+class TestSqlRoundTrip:
+    @given(scalar_exprs())
+    @settings(max_examples=300)
+    def test_expression_round_trip(self, expr):
+        sql = "SELECT {} AS v FROM t".format(expr.to_sql())
+        reparsed = parse_select(sql).items[0].expr
+        assert reparsed == expr
+
+    @given(selects())
+    @settings(max_examples=200)
+    def test_select_round_trip(self, select):
+        reparsed = parse_select(select.to_sql())
+        assert reparsed == select
+
+    @given(selects())
+    @settings(max_examples=100)
+    def test_nested_select_round_trip(self, inner):
+        outer = sqlast.Select(
+            items=(sqlast.SelectItem(sqlast.ColumnRef("out0"), "o"),),
+            from_=sqlast.SubqueryRef(inner, "s"),
+        )
+        assert parse_select(outer.to_sql()) == outer

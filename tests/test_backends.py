@@ -1,0 +1,192 @@
+"""Backend adapter tests: both backends must behave identically through
+the common interface on translator-emitted SQL."""
+
+import pytest
+
+from repro.backends import (
+    BackendError,
+    EmbeddedBackend,
+    SQLiteBackend,
+    available_backends,
+    create_backend,
+)
+from repro.engine import Table
+
+
+@pytest.fixture(params=["embedded", "sqlite"])
+def backend(request):
+    instance = create_backend(request.param)
+    instance.load_table(
+        "t",
+        Table.from_columns(
+            x=[1.0, 2.0, 3.0, None],
+            k=["a", "b", "a", "b"],
+            d=[1.5778368e12, 1.5778368e12, 1.6093440e12, None],  # epoch ms
+        ),
+    )
+    return instance
+
+
+class TestCommonBehaviour:
+    def test_row_count(self, backend):
+        assert backend.row_count("t") == 4
+
+    def test_table_names(self, backend):
+        assert "t" in backend.table_names()
+
+    def test_select(self, backend):
+        result = backend.execute("SELECT x FROM t WHERE x > 1.5")
+        values = sorted(row["x"] for row in result.table.to_rows())
+        assert values == [2.0, 3.0]
+        assert result.seconds >= 0.0
+
+    def test_aggregate(self, backend):
+        result = backend.execute(
+            'SELECT k, COUNT(*) AS n, SUM(x) AS s FROM t GROUP BY k ORDER BY k'
+        )
+        rows = result.table.to_rows()
+        assert rows[0]["k"] == "a" and rows[0]["n"] == 2
+        assert rows[1]["s"] == 2.0
+
+    def test_null_handling(self, backend):
+        result = backend.execute("SELECT COUNT(x) AS v FROM t")
+        assert result.table.to_rows()[0]["v"] == 3
+
+    def test_regexp(self, backend):
+        result = backend.execute("SELECT k FROM t WHERE k REGEXP '^a'")
+        assert len(result.table.to_rows()) == 2
+
+    def test_registered_math_functions(self, backend):
+        result = backend.execute(
+            "SELECT FLOOR(x / 2) AS f, POWER(x, 2) AS p FROM t WHERE x = 3"
+        )
+        row = result.table.to_rows()[0]
+        assert row["f"] == 1.0 and row["p"] == 9.0
+
+    def test_least_greatest(self, backend):
+        result = backend.execute(
+            "SELECT LEAST(x, 2) AS lo, GREATEST(x, 2) AS hi FROM t WHERE x = 3"
+        )
+        row = result.table.to_rows()[0]
+        assert row["lo"] == 2.0 and row["hi"] == 3.0
+
+    def test_date_functions(self, backend):
+        result = backend.execute(
+            "SELECT YEAR(d) AS y FROM t WHERE x = 3"
+        )
+        assert result.table.to_rows()[0]["y"] == 2020.0
+
+    def test_statistics_aggregates(self, backend):
+        result = backend.execute(
+            "SELECT MEDIAN(x) AS md, STDDEV(x) AS sd, QUANTILE(x, 0.5) AS q "
+            "FROM t"
+        )
+        row = result.table.to_rows()[0]
+        assert row["md"] == 2.0
+        assert abs(row["sd"] - 1.0) < 1e-9
+        assert row["q"] == 2.0
+
+    def test_window_function(self, backend):
+        result = backend.execute(
+            "SELECT x, SUM(x) OVER (ORDER BY x ASC) AS run FROM t "
+            "WHERE x IS NOT NULL ORDER BY x"
+        )
+        assert [row["run"] for row in result.table.to_rows()] == [1.0, 3.0, 6.0]
+
+    def test_bad_sql_raises(self, backend):
+        with pytest.raises(BackendError):
+            backend.execute("SELECT FROM WHERE")
+
+    def test_replace_table(self, backend):
+        backend.load_table("t", Table.from_columns(x=[9.0]))
+        assert backend.row_count("t") == 1
+
+
+class TestRegistry:
+    def test_available(self):
+        assert set(available_backends()) >= {"embedded", "sqlite"}
+
+    def test_unknown_backend(self):
+        with pytest.raises(BackendError):
+            create_backend("oracle")
+
+    def test_explain_embedded(self):
+        backend = EmbeddedBackend()
+        backend.load_table("t", Table.from_columns(x=[1.0]))
+        assert "Scan" in backend.explain("SELECT x FROM t")
+
+    def test_explain_sqlite(self):
+        backend = SQLiteBackend()
+        backend.load_table("t", Table.from_columns(x=[1.0]))
+        assert backend.explain("SELECT x FROM t")
+
+
+class TestSQLiteSpecific:
+    def test_quoted_identifiers(self):
+        backend = SQLiteBackend()
+        backend.load_table("t", Table.from_rows([{"air time": 5.0}]))
+        result = backend.execute('SELECT "air time" AS v FROM t')
+        assert result.table.to_rows() == [{"v": 5.0}]
+
+    def test_empty_result_schema(self):
+        backend = SQLiteBackend()
+        backend.load_table("t", Table.from_columns(x=[1.0]))
+        result = backend.execute("SELECT x FROM t WHERE x > 99")
+        assert result.table.num_rows == 0
+
+
+class TestExplainAnalyzeBackend:
+    def test_embedded_explain_analyze(self):
+        backend = EmbeddedBackend()
+        backend.load_table("t", Table.from_columns(x=[1.0, 2.0, 3.0]))
+        text = backend.explain_analyze("SELECT x FROM t WHERE x > 1")
+        assert "rows=2" in text and "time=" in text
+
+    def test_embedded_explain_analyze_bad_sql(self):
+        backend = EmbeddedBackend()
+        with pytest.raises(BackendError):
+            backend.explain_analyze("SELECT x FROM nope")
+
+
+class TestWindowTieSemantics:
+    """Running aggregates must accumulate per ROW on every backend —
+    SQLite's default RANGE frame would collapse ties without the explicit
+    ROWS frame the AST emits."""
+
+    @pytest.mark.parametrize("name", ["embedded", "sqlite"])
+    def test_running_sum_with_ties(self, name):
+        backend = create_backend(name)
+        backend.load_table(
+            "t", Table.from_columns(x=[1.0, 1.0, 2.0], k=["a", "b", "c"])
+        )
+        from repro.engine.parser import parse_select
+
+        select = parse_select(
+            "SELECT k, SUM(x) OVER (ORDER BY x ASC) AS run FROM t"
+        )
+        rows = backend.execute(select.to_sql()).table.to_rows()
+        runs = sorted(row["run"] for row in rows)
+        assert runs == [1.0, 2.0, 4.0]  # per-row, not per-peer-group
+
+    def test_stack_translation_with_duplicate_sort_keys(self):
+        """Two rows with the same sort key in one stack partition must
+        tile, not overlap, on both backends."""
+        from repro.sqlgen import compose_pipeline, merge_query
+
+        table = Table.from_columns(
+            g=["p", "p", "p"], s=["x", "x", "y"], v=[2.0, 3.0, 5.0],
+        )
+        sql = merge_query(compose_pipeline(
+            "t", ["g", "s", "v"],
+            [("stack", {"groupby": ["g"], "sort": {"field": "s"},
+                        "field": "v"})],
+        )).to_sql()
+        for name in ("embedded", "sqlite"):
+            backend = create_backend(name)
+            backend.load_table("t", table)
+            rows = backend.execute(sql).table.to_rows()
+            segments = sorted((row["y0"], row["y1"]) for row in rows)
+            assert segments[0][0] == 0.0
+            for (a0, a1), (b0, b1) in zip(segments, segments[1:]):
+                assert abs(a1 - b0) < 1e-9  # no overlaps from tie collapse
+            assert segments[-1][1] == 10.0

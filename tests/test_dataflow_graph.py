@@ -1,0 +1,170 @@
+"""Tests for the reactive dataflow graph: ranking, dirty propagation,
+signals, and partial re-evaluation."""
+
+import pytest
+
+from repro.dataflow import (
+    Dataflow,
+    DataflowError,
+    DataSource,
+    OperatorRef,
+    SignalRef,
+    create_transform,
+)
+
+
+def make_rows(count=10):
+    return [{"x": float(i), "k": "ab"[i % 2]} for i in range(count)]
+
+
+@pytest.fixture
+def flow():
+    return Dataflow()
+
+
+class TestConstruction:
+    def test_duplicate_name_rejected(self, flow):
+        flow.add(DataSource("src", []))
+        with pytest.raises(DataflowError):
+            flow.add(DataSource("src", []))
+
+    def test_unknown_operator(self, flow):
+        with pytest.raises(DataflowError):
+            flow.operator("nope")
+
+    def test_missing_dependency_detected(self, flow):
+        orphan_source = DataSource("outside", [])
+        transform = create_transform("filter", "f", {"expr": "true"}, orphan_source)
+        flow.add(transform)
+        with pytest.raises(DataflowError):
+            flow.rank()
+
+    def test_ranks_topological(self, flow):
+        src = flow.add(DataSource("src", make_rows()))
+        ext = flow.add(create_transform("extent", "ext", {"field": "x"}, src))
+        binop = flow.add(
+            create_transform(
+                "bin", "bin",
+                {"field": "x", "extent": OperatorRef(ext)}, ext,
+            )
+        )
+        flow.rank()
+        assert src.rank < ext.rank < binop.rank
+
+    def test_unknown_signal_set_rejected(self, flow):
+        flow.add(DataSource("src", []))
+        with pytest.raises(DataflowError):
+            flow.set_signal("nope", 1)
+
+
+class TestExecution:
+    def test_source_emits_rows(self, flow):
+        flow.add(DataSource("src", make_rows(3)))
+        flow.run()
+        assert len(flow.results("src")) == 3
+
+    def test_chain(self, flow):
+        src = flow.add(DataSource("src", make_rows(10)))
+        filt = flow.add(
+            create_transform("filter", "f", {"expr": "datum.x >= 5"}, src)
+        )
+        flow.add(
+            create_transform(
+                "aggregate", "agg",
+                {"groupby": ["k"], "ops": ["count"], "as": ["n"]}, filt,
+            )
+        )
+        flow.run()
+        result = {row["k"]: row["n"] for row in flow.results("agg")}
+        assert result == {"a": 2.0, "b": 3.0}
+
+    def test_value_operator_feeds_parameter(self, flow):
+        src = flow.add(DataSource("src", make_rows(10)))
+        ext = flow.add(create_transform("extent", "ext", {"field": "x"}, src))
+        binop = flow.add(
+            create_transform(
+                "bin", "bin",
+                {"field": "x", "extent": OperatorRef(ext), "maxbins": 3}, ext,
+            )
+        )
+        flow.run()
+        assert ext.last_pulse.value == [0.0, 9.0]
+        assert all("bin0" in row for row in flow.results("bin"))
+
+    def test_signal_in_expression(self, flow):
+        flow.add_signal("cut", 5)
+        src = flow.add(DataSource("src", make_rows(10)))
+        flow.add(create_transform("filter", "f", {"expr": "datum.x >= cut"}, src))
+        flow.run()
+        assert len(flow.results("f")) == 5
+
+    def test_signal_ref_parameter(self, flow):
+        flow.add_signal("n", 3)
+        src = flow.add(DataSource("src", make_rows(10)))
+        flow.add(
+            create_transform(
+                "sample", "s", {"size": SignalRef("n"), "seed": 1}, src
+            )
+        )
+        flow.run()
+        assert len(flow.results("s")) == 3
+
+
+class TestReactivity:
+    def make_pipeline(self, flow):
+        flow.add_signal("cut", 0)
+        src = flow.add(DataSource("src", make_rows(10)))
+        filt = flow.add(
+            create_transform("filter", "f", {"expr": "datum.x >= cut"}, src)
+        )
+        agg = flow.add(
+            create_transform(
+                "aggregate", "agg", {"ops": ["count"], "as": ["n"]}, filt
+            )
+        )
+        flow.run()
+        return src, filt, agg
+
+    def test_signal_update_reruns_only_downstream(self, flow):
+        src, filt, agg = self.make_pipeline(flow)
+        flow.set_signal("cut", 5)
+        evaluated = flow.run()
+        names = {operator.name for operator in evaluated}
+        assert names == {"f", "agg"}
+        assert src.eval_count == 1
+
+    def test_unchanged_signal_no_rerun(self, flow):
+        self.make_pipeline(flow)
+        flow.set_signal("cut", 0)  # same value
+        assert flow.run() == []
+
+    def test_signal_update_changes_result(self, flow):
+        self.make_pipeline(flow)
+        flow.set_signal("cut", 8)
+        flow.run()
+        assert flow.results("agg") == [{"n": 2.0}]
+
+    def test_touch_forces_rerun(self, flow):
+        src, filt, agg = self.make_pipeline(flow)
+        src.set_rows(make_rows(4))
+        flow.touch(src)
+        flow.run()
+        assert flow.results("agg") == [{"n": 4.0}]
+
+    def test_instrumentation(self, flow):
+        src, filt, agg = self.make_pipeline(flow)
+        assert flow.total_eval_seconds() >= 0
+        flow.reset_instrumentation()
+        assert src.eval_count == 0
+
+
+class TestCycleDetection:
+    def test_cycle_raises(self, flow):
+        src = flow.add(DataSource("src", []))
+        a = create_transform("filter", "a", {"expr": "true"}, src)
+        flow.add(a)
+        b = flow.add(create_transform("filter", "b", {"expr": "true"}, a))
+        # Introduce a parameter cycle: a depends on b's value.
+        a.params["limit"] = OperatorRef(b)
+        with pytest.raises(DataflowError):
+            flow.rank()

@@ -1,0 +1,446 @@
+"""Unit tests for each Vega transform's client-side semantics."""
+
+import pytest
+
+from repro.dataflow.transforms import TransformError, create_transform
+from repro.dataflow.transforms.bin import bin_params
+
+
+def apply(spec_type, params, rows, signals=None):
+    transform = create_transform(spec_type, "t", params, source=None)
+    return transform.transform(rows, transform.resolve_params(signals or {}),
+                               signals or {})
+
+
+class TestFilter:
+    def test_basic(self):
+        rows = [{"x": 1}, {"x": 5}]
+        assert apply("filter", {"expr": "datum.x > 2"}, rows) == [{"x": 5}]
+
+    def test_does_not_mutate(self):
+        rows = [{"x": 1}]
+        out = apply("filter", {"expr": "true"}, rows)
+        assert out[0] is rows[0]  # pass-through keeps identity
+
+    def test_missing_expr(self):
+        with pytest.raises(TransformError):
+            apply("filter", {}, [])
+
+
+class TestFormula:
+    def test_derives_field(self):
+        out = apply("formula", {"expr": "datum.x * 2", "as": "y"}, [{"x": 3}])
+        assert out == [{"x": 3, "y": 6.0}]
+
+    def test_copies_rows(self):
+        rows = [{"x": 3}]
+        apply("formula", {"expr": "1", "as": "y"}, rows)
+        assert "y" not in rows[0]
+
+    def test_requires_as(self):
+        with pytest.raises(TransformError):
+            apply("formula", {"expr": "1"}, [])
+
+
+class TestProject:
+    def test_select_and_rename(self):
+        out = apply(
+            "project", {"fields": ["a", "b"], "as": ["a", "bee"]},
+            [{"a": 1, "b": 2, "c": 3}],
+        )
+        assert out == [{"a": 1, "bee": 2}]
+
+    def test_missing_field_becomes_none(self):
+        out = apply("project", {"fields": ["zz"]}, [{"a": 1}])
+        assert out == [{"zz": None}]
+
+
+class TestCollect:
+    def test_sort_ascending(self):
+        rows = [{"x": 3}, {"x": 1}, {"x": 2}]
+        out = apply("collect", {"sort": {"field": "x"}}, rows)
+        assert [r["x"] for r in out] == [1, 2, 3]
+
+    def test_sort_descending(self):
+        rows = [{"x": 3}, {"x": 1}]
+        out = apply(
+            "collect", {"sort": {"field": "x", "order": "descending"}}, rows
+        )
+        assert [r["x"] for r in out] == [3, 1]
+
+    def test_multi_key(self):
+        rows = [
+            {"k": "b", "x": 1}, {"k": "a", "x": 2}, {"k": "a", "x": 1},
+        ]
+        out = apply(
+            "collect",
+            {"sort": {"field": ["k", "x"], "order": ["ascending", "descending"]}},
+            rows,
+        )
+        assert out == [
+            {"k": "a", "x": 2}, {"k": "a", "x": 1}, {"k": "b", "x": 1},
+        ]
+
+    def test_none_sorts_last(self):
+        rows = [{"x": None}, {"x": 1}]
+        out = apply("collect", {"sort": {"field": "x"}}, rows)
+        assert out[-1]["x"] is None
+
+    def test_no_sort_passthrough(self):
+        rows = [{"x": 2}, {"x": 1}]
+        assert apply("collect", {}, rows) == rows
+
+
+class TestBin:
+    def test_bin_params_nice_steps(self):
+        start, stop, step = bin_params([0, 100], maxbins=10)
+        assert step == 10.0
+        assert start == 0.0
+        assert stop == 100.0
+
+    def test_bin_params_chooses_2_step(self):
+        __, __, step = bin_params([0, 10], maxbins=5)
+        assert step == 2.0
+
+    def test_bin_params_degenerate_extent(self):
+        start, stop, step = bin_params([5, 5], maxbins=10)
+        assert stop > start
+
+    def test_bin_rows(self):
+        rows = [{"x": 0.5}, {"x": 9.5}, {"x": None}]
+        out = apply(
+            "bin", {"field": "x", "extent": [0, 10], "maxbins": 5}, rows
+        )
+        assert out[0]["bin0"] == 0.0 and out[0]["bin1"] == 2.0
+        assert out[1]["bin0"] == 8.0
+        assert out[2]["bin0"] is None
+
+    def test_top_edge_clamped(self):
+        out = apply("bin", {"field": "x", "extent": [0, 10], "maxbins": 5},
+                    [{"x": 10}])
+        assert out[0]["bin0"] == 8.0
+
+    def test_explicit_step(self):
+        out = apply(
+            "bin", {"field": "x", "extent": [0, 10], "step": 5}, [{"x": 7}]
+        )
+        assert out[0]["bin0"] == 5.0
+
+    def test_requires_extent(self):
+        with pytest.raises(TransformError):
+            apply("bin", {"field": "x"}, [{"x": 1}])
+
+
+class TestExtent:
+    def test_extent_value(self):
+        transform = create_transform("extent", "e", {"field": "x"}, None)
+        value = transform.compute_value(
+            [{"x": 3}, {"x": None}, {"x": -1}], {"field": "x"}, {}
+        )
+        assert value == [-1.0, 3.0]
+
+    def test_extent_empty(self):
+        transform = create_transform("extent", "e", {"field": "x"}, None)
+        assert transform.compute_value([], {"field": "x"}, {}) == [None, None]
+
+    def test_extent_ignores_strings(self):
+        transform = create_transform("extent", "e", {"field": "x"}, None)
+        value = transform.compute_value(
+            [{"x": "oops"}, {"x": 2}], {"field": "x"}, {}
+        )
+        assert value == [2.0, 2.0]
+
+
+class TestAggregate:
+    ROWS = [
+        {"k": "a", "v": 1.0}, {"k": "a", "v": 3.0},
+        {"k": "b", "v": 5.0}, {"k": "b", "v": None},
+    ]
+
+    def test_count_default(self):
+        out = apply("aggregate", {"groupby": ["k"]}, self.ROWS)
+        assert out == [{"k": "a", "count": 2.0}, {"k": "b", "count": 2.0}]
+
+    def test_multiple_measures(self):
+        out = apply(
+            "aggregate",
+            {"groupby": ["k"], "ops": ["sum", "mean", "valid", "missing"],
+             "fields": ["v", "v", "v", "v"]},
+            self.ROWS,
+        )
+        byk = {row["k"]: row for row in out}
+        assert byk["a"]["sum_v"] == 4.0
+        assert byk["b"]["mean_v"] == 5.0
+        assert byk["b"]["valid_v"] == 1.0
+        assert byk["b"]["missing_v"] == 1.0
+
+    def test_custom_output_names(self):
+        out = apply(
+            "aggregate",
+            {"ops": ["count"], "as": ["n"]},
+            self.ROWS,
+        )
+        assert out == [{"n": 4.0}]
+
+    def test_global_aggregate_on_empty_input(self):
+        out = apply("aggregate", {"ops": ["count"], "as": ["n"]}, [])
+        assert out == [{"n": 0.0}]
+
+    def test_quartiles(self):
+        rows = [{"v": float(i)} for i in range(1, 5)]
+        out = apply(
+            "aggregate",
+            {"ops": ["q1", "median", "q3"], "fields": ["v", "v", "v"]},
+            rows,
+        )
+        assert out == [{"q1_v": 1.75, "median_v": 2.5, "q3_v": 3.25}]
+
+    def test_stdev_matches_sample_formula(self):
+        rows = [{"v": 2.0}, {"v": 4.0}, {"v": 6.0}]
+        out = apply("aggregate", {"ops": ["stdev"], "fields": ["v"]}, rows)
+        assert abs(out[0]["stdev_v"] - 2.0) < 1e-12
+
+    def test_distinct(self):
+        out = apply(
+            "aggregate", {"ops": ["distinct"], "fields": ["k"]}, self.ROWS
+        )
+        assert out == [{"distinct_k": 2.0}]
+
+
+class TestJoinAggregate:
+    def test_joins_back(self):
+        rows = [{"k": "a", "v": 1.0}, {"k": "a", "v": 3.0}, {"k": "b", "v": 5.0}]
+        out = apply(
+            "joinaggregate",
+            {"groupby": ["k"], "ops": ["sum"], "fields": ["v"], "as": ["total"]},
+            rows,
+        )
+        assert [row["total"] for row in out] == [4.0, 4.0, 5.0]
+        assert all("v" in row for row in out)
+
+
+class TestStack:
+    ROWS = [
+        {"year": 2000, "job": "x", "n": 1.0},
+        {"year": 2000, "job": "y", "n": 3.0},
+        {"year": 2001, "job": "x", "n": 2.0},
+    ]
+
+    def test_zero_offset(self):
+        out = apply(
+            "stack",
+            {"groupby": ["year"], "field": "n",
+             "sort": {"field": "job"}},
+            self.ROWS,
+        )
+        y2000 = [row for row in out if row["year"] == 2000]
+        assert y2000[0]["y0"] == 0.0 and y2000[0]["y1"] == 1.0
+        assert y2000[1]["y0"] == 1.0 and y2000[1]["y1"] == 4.0
+
+    def test_normalize(self):
+        out = apply(
+            "stack",
+            {"groupby": ["year"], "field": "n", "offset": "normalize",
+             "sort": {"field": "job"}},
+            self.ROWS,
+        )
+        y2000 = [row for row in out if row["year"] == 2000]
+        assert y2000[-1]["y1"] == 1.0
+
+    def test_center(self):
+        out = apply(
+            "stack",
+            {"groupby": ["year"], "field": "n", "offset": "center",
+             "sort": {"field": "job"}},
+            self.ROWS,
+        )
+        y2000 = [row for row in out if row["year"] == 2000]
+        assert y2000[0]["y0"] == -2.0
+
+    def test_requires_field(self):
+        with pytest.raises(TransformError):
+            apply("stack", {}, [])
+
+
+class TestWindow:
+    ROWS = [
+        {"k": "a", "v": 2.0}, {"k": "a", "v": 1.0}, {"k": "b", "v": 5.0},
+    ]
+
+    def test_row_number(self):
+        out = apply(
+            "window",
+            {"groupby": ["k"], "ops": ["row_number"], "as": ["rn"],
+             "sort": {"field": "v"}},
+            self.ROWS,
+        )
+        byv = {row["v"]: row["rn"] for row in out}
+        assert byv == {1.0: 1.0, 2.0: 2.0, 5.0: 1.0}
+
+    def test_running_sum(self):
+        out = apply(
+            "window",
+            {"ops": ["sum"], "fields": ["v"], "as": ["run"],
+             "sort": {"field": "v"}},
+            self.ROWS,
+        )
+        byv = {row["v"]: row["run"] for row in out}
+        assert byv == {1.0: 1.0, 2.0: 3.0, 5.0: 8.0}
+
+    def test_full_frame(self):
+        out = apply(
+            "window",
+            {"ops": ["sum"], "fields": ["v"], "as": ["total"],
+             "frame": [None, None]},
+            self.ROWS,
+        )
+        assert all(row["total"] == 8.0 for row in out)
+
+    def test_lag(self):
+        out = apply(
+            "window",
+            {"ops": ["lag"], "fields": ["v"], "as": ["prev"],
+             "sort": {"field": "v"}},
+            self.ROWS,
+        )
+        byv = {row["v"]: row["prev"] for row in out}
+        assert byv[1.0] is None
+        assert byv[2.0] == 1.0
+
+    def test_rank_ties(self):
+        rows = [{"v": 1.0}, {"v": 1.0}, {"v": 2.0}]
+        out = apply(
+            "window",
+            {"ops": ["rank", "dense_rank"], "as": ["r", "d"],
+             "sort": {"field": "v"}},
+            rows,
+        )
+        assert [row["r"] for row in out] == [1.0, 1.0, 3.0]
+        assert [row["d"] for row in out] == [1.0, 1.0, 2.0]
+
+
+class TestLookup:
+    def test_lookup_values(self):
+        rows = [{"code": "AA"}, {"code": "ZZ"}]
+        airlines = [{"iata": "AA", "name": "American"}]
+        out = apply(
+            "lookup",
+            {"from_rows": airlines, "key": "iata", "fields": ["code"],
+             "values": ["name"], "as": ["airline"], "default": "?"},
+            rows,
+        )
+        assert out[0]["airline"] == "American"
+        assert out[1]["airline"] == "?"
+
+
+class TestFoldFlattenPivot:
+    def test_fold(self):
+        out = apply("fold", {"fields": ["a", "b"]}, [{"a": 1, "b": 2}])
+        assert out == [
+            {"a": 1, "b": 2, "key": "a", "value": 1},
+            {"a": 1, "b": 2, "key": "b", "value": 2},
+        ]
+
+    def test_flatten(self):
+        out = apply("flatten", {"fields": ["xs"]}, [{"k": 1, "xs": [10, 20]}])
+        assert [row["xs"] for row in out] == [10, 20]
+
+    def test_pivot(self):
+        rows = [
+            {"year": 2000, "sex": "m", "n": 1.0},
+            {"year": 2000, "sex": "f", "n": 2.0},
+            {"year": 2001, "sex": "m", "n": 3.0},
+        ]
+        out = apply(
+            "pivot",
+            {"groupby": ["year"], "field": "sex", "value": "n"},
+            rows,
+        )
+        assert out[0] == {"year": 2000, "f": 2.0, "m": 1.0}
+        assert out[1]["f"] is None
+
+
+class TestSampleSequenceIdentifier:
+    def test_sample_deterministic(self):
+        rows = [{"x": i} for i in range(100)]
+        first = apply("sample", {"size": 10, "seed": 7}, rows)
+        second = apply("sample", {"size": 10, "seed": 7}, rows)
+        assert first == second
+        assert len(first) == 10
+
+    def test_sample_smaller_input_passthrough(self):
+        rows = [{"x": 1}]
+        assert apply("sample", {"size": 10}, rows) == rows
+
+    def test_sequence(self):
+        out = apply("sequence", {"start": 0, "stop": 3}, [])
+        assert [row["data"] for row in out] == [0.0, 1.0, 2.0]
+
+    def test_identifier(self):
+        out = apply("identifier", {"as": "_id"}, [{"x": 1}, {"x": 2}])
+        assert [row["_id"] for row in out] == [1, 2]
+
+
+class TestImpute:
+    def test_impute_value(self):
+        rows = [
+            {"year": 2000, "sex": "m", "n": 1.0},
+            {"year": 2001, "sex": "m", "n": 2.0},
+            {"year": 2000, "sex": "f", "n": 3.0},
+        ]
+        out = apply(
+            "impute",
+            {"groupby": ["sex"], "key": "year", "field": "n", "value": 0},
+            rows,
+        )
+        imputed = [row for row in out if row["sex"] == "f" and row["year"] == 2001]
+        assert imputed == [{"sex": "f", "year": 2001, "n": 0}]
+
+    def test_impute_mean(self):
+        rows = [
+            {"g": "a", "k": 1, "v": 2.0},
+            {"g": "a", "k": 2, "v": 4.0},
+            {"g": "b", "k": 1, "v": 9.0},
+        ]
+        out = apply(
+            "impute",
+            {"groupby": ["g"], "key": "k", "field": "v", "method": "mean"},
+            rows,
+        )
+        filled = [row for row in out if row["g"] == "b" and row["k"] == 2]
+        assert filled[0]["v"] == 9.0
+
+
+class TestCountPattern:
+    def test_counts_tokens(self):
+        rows = [{"text": "farm worker"}, {"text": "farm owner"}]
+        out = apply("countpattern", {"field": "text"}, rows)
+        counts = {row["text"]: row["count"] for row in out}
+        assert counts == {"farm": 2, "worker": 1, "owner": 1}
+
+    def test_case_folding(self):
+        rows = [{"text": "Farm farm"}]
+        out = apply("countpattern", {"field": "text", "case": "lower"}, rows)
+        assert out == [{"text": "farm", "count": 2}]
+
+
+class TestTimeUnit:
+    def test_year_truncation(self):
+        from datetime import datetime, timezone
+
+        ms = datetime(2020, 6, 15, tzinfo=timezone.utc).timestamp() * 1000
+        out = apply("timeunit", {"field": "d", "units": ["year"]}, [{"d": ms}])
+        lo = datetime(2020, 1, 1, tzinfo=timezone.utc).timestamp() * 1000
+        hi = datetime(2021, 1, 1, tzinfo=timezone.utc).timestamp() * 1000
+        assert out[0]["unit0"] == lo
+        assert out[0]["unit1"] == hi
+
+    def test_yearmonth(self):
+        from datetime import datetime, timezone
+
+        ms = datetime(2020, 6, 15, tzinfo=timezone.utc).timestamp() * 1000
+        out = apply(
+            "timeunit", {"field": "d", "units": ["year", "month"]}, [{"d": ms}]
+        )
+        lo = datetime(2020, 6, 1, tzinfo=timezone.utc).timestamp() * 1000
+        assert out[0]["unit0"] == lo

@@ -1,0 +1,114 @@
+"""Tests for interaction-time plan choice (§2.2 step 4: pick the plan
+based on the interaction and cache state)."""
+
+import pytest
+
+from repro.core import VegaPlus
+from repro.datagen import generate_census, generate_flights
+from repro.spec import census_stacked_area_spec, flights_histogram_spec
+
+
+def flights_session(rows=60000, **kwargs):
+    session = VegaPlus(
+        flights_histogram_spec(),
+        data={"flights": generate_flights(rows)},
+        latency_ms=50,
+        dynamic_replan=True,
+        **kwargs,
+    )
+    session.startup()
+    return session
+
+
+class TestDynamicReplan:
+    def test_big_data_keeps_server_plan(self):
+        # Re-querying the server beats shipping 60k rows; the candidate
+        # (cut before the extent) must lose.
+        session = flights_session()
+        result = session.interact("binField", "distance")
+        assert result.plan.label.startswith("startup") or \
+            result.plan.label == "optimized"
+        assert any(not entry.cached for entry in result.queries)
+
+    def test_cached_variant_prefers_startup_plan(self):
+        session = flights_session()
+        session.prefetch_interaction("binField", "distance")
+        result = session.interact("binField", "distance")
+        assert result.plan is session.plan
+        assert result.cache_hits == len(result.queries) > 0
+
+    def test_results_correct_under_replanning(self):
+        session = flights_session()
+        replanned = session.interact("maxbins", 77)
+        static_session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(60000)},
+            latency_ms=50,
+            dynamic_replan=False,
+        )
+        static_session.startup()
+        static = static_session.interact("maxbins", 77)
+
+        def canon(rows):
+            return sorted(
+                ((row["bin0"] is None, row["bin0"]), row["count"])
+                for row in rows
+            )
+
+        assert canon(replanned.datasets["binned"]) == \
+            canon(static.datasets["binned"])
+
+    def test_candidate_wins_after_transfer_amortized(self):
+        """Once the candidate's transfer happened, repeated interactions
+        on the same signal should go pure-client under the candidate."""
+        census = generate_census(replicate=20)
+        session = VegaPlus(
+            census_stacked_area_spec(),
+            data={"census": census},
+            latency_ms=200,  # expensive round trips
+            dynamic_replan=True,
+        )
+        session.startup()
+        # Execute the sexFilter candidate once explicitly to amortize.
+        candidate = session.interaction_candidates()["sexFilter"]
+        session.run_with_plan(candidate)
+        state = session._sink_state("stacked")
+        assert state.cut_executed == candidate.datasets["stacked"].cut
+        result = session.interact("sexFilter", "female")
+        if result.plan is not session.plan:
+            # Candidate chosen: the interaction must be network-free.
+            assert result.breakdown.network == 0
+            assert result.queries == []
+
+    def test_explicit_plan_overrides_dynamic(self):
+        session = flights_session()
+        custom = session.custom_plan({"binned": 0}, label="pinned")
+        result = session.interact("maxbins", 33, plan=custom)
+        assert result.plan is custom
+
+
+class TestSegmentCachedPeek:
+    def test_peek_true_after_prefetch(self):
+        session = flights_session()
+        assert session.plan.datasets["binned"].cut > 0
+        session.prefetch_interaction("binField", "distance")
+        session.signals["binField"] = "distance"
+        assert session._segment_cached(
+            "binned", session.plan.datasets["binned"].cut
+        )
+        session.signals["binField"] = "dep_delay"
+
+    def test_peek_false_for_novel_signal_value(self):
+        session = flights_session()
+        assert session.plan.datasets["binned"].cut > 0
+        session.signals["binField"] = "arr_delay"
+        assert not session._segment_cached(
+            "binned", session.plan.datasets["binned"].cut
+        )
+        session.signals["binField"] = "dep_delay"
+
+    def test_peek_does_not_execute_queries(self):
+        session = flights_session()
+        queries_before = session.backend.db.queries_executed
+        session._segment_cached("binned", session.plan.datasets["binned"].cut)
+        assert session.backend.db.queries_executed == queries_before

@@ -1,0 +1,107 @@
+"""Tests for the Database facade: statement routing, stats, guards."""
+
+import pytest
+
+from repro.engine import (
+    CatalogError,
+    Database,
+    EngineError,
+    SQLSyntaxError,
+    Table,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.load_table(
+        "t", Table.from_columns(x=[1.0, 2.0, None], k=["a", "b", "a"])
+    )
+    return database
+
+
+class TestStatementRouting:
+    def test_select_returns_table(self, db):
+        result = db.execute("SELECT x FROM t")
+        assert result.num_rows == 3
+
+    def test_insert_returns_count(self, db):
+        assert db.execute("INSERT INTO t (x, k) VALUES (9, 'z')") == 1
+        assert db.table("t").num_rows == 4
+
+    def test_drop_removes(self, db):
+        db.execute("DROP TABLE t")
+        with pytest.raises(CatalogError):
+            db.table("t")
+
+    def test_create_duplicate_rejected(self, db):
+        with pytest.raises(CatalogError):
+            db.execute("CREATE TABLE t (a DOUBLE)")
+
+    def test_insert_type_mismatch_rejected(self, db):
+        with pytest.raises(EngineError):
+            db.execute("INSERT INTO t (x, k) VALUES ('text', 'z')")
+
+    def test_syntax_error_carries_position(self, db):
+        with pytest.raises(SQLSyntaxError) as excinfo:
+            db.execute("SELECT x FROM t WHERE @")
+        assert "position" in str(excinfo.value)
+
+    def test_plan_requires_select(self, db):
+        with pytest.raises(EngineError):
+            db.plan("DROP TABLE t")
+
+    def test_queries_executed_counter(self, db):
+        before = db.queries_executed
+        db.execute("SELECT x FROM t")
+        db.execute("SELECT k FROM t")
+        assert db.queries_executed == before + 2
+
+    def test_trailing_semicolon_accepted(self, db):
+        assert db.execute("SELECT x FROM t;").num_rows == 3
+
+
+class TestStatistics:
+    def test_stats_computed(self, db):
+        stats = db.stats("t")
+        assert stats.row_count == 3
+        assert stats.columns["x"].null_count == 1
+        assert stats.columns["k"].distinct_estimate == 2
+        assert stats.columns["x"].min_value == 1.0
+        assert stats.columns["x"].max_value == 2.0
+
+    def test_stats_cached(self, db):
+        first = db.stats("t")
+        assert db.stats("t") is first
+
+    def test_reload_invalidates_stats(self, db):
+        db.stats("t")
+        db.load_table("t", Table.from_columns(x=[5.0], k=["z"]))
+        assert db.stats("t").row_count == 1
+
+    def test_row_width(self, db):
+        width = db.stats("t").row_width()
+        assert width > 8.0  # a number column plus a text column
+
+    def test_varchar_avg_width(self, db):
+        db.load_table(
+            "s", Table.from_columns(name=["ab", "abcd"])
+        )
+        assert db.stats("s").columns["name"].avg_width == 3.0
+
+
+class TestOptimizerFlags:
+    def test_flags_stored(self):
+        database = Database(enable_pushdown=False, enable_pruning=False)
+        assert database.enable_pushdown is False
+        assert database.enable_pruning is False
+
+    def test_disabled_flags_still_correct(self, db):
+        plain = db.execute(
+            "SELECT k, COUNT(*) AS n FROM t GROUP BY k ORDER BY k"
+        ).to_rows()
+        weak = Database(enable_pushdown=False, enable_pruning=False)
+        weak.load_table("t", db.table("t"))
+        assert weak.execute(
+            "SELECT k, COUNT(*) AS n FROM t GROUP BY k ORDER BY k"
+        ).to_rows() == plain

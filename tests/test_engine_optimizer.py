@@ -1,0 +1,163 @@
+"""Tests for the engine's logical optimizer (pushdown, pruning, fusion)
+and EXPLAIN output."""
+
+import pytest
+
+from repro.engine import Database, Table
+from repro.engine.binder import bind
+from repro.engine.logical import Filter, Project, Scan, walk_plan
+from repro.engine.optimizer import optimize
+from repro.engine.parser import parse_select
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.load_table(
+        "t",
+        Table.from_columns(
+            a=[1.0, 2.0, 3.0], b=[4.0, 5.0, 6.0], c=["x", "y", "z"],
+        ),
+    )
+    return database
+
+
+def plan_for(db, sql, **flags):
+    plan = bind(parse_select(sql), db.catalog)
+    return optimize(plan, db.catalog, **flags)
+
+
+class TestPushdown:
+    def test_filter_pushed_below_project(self, db):
+        plan = plan_for(db, "SELECT a * 2 AS d FROM t WHERE a > 1")
+        # After optimization the filter must sit directly above the scan.
+        nodes = list(walk_plan(plan))
+        filter_nodes = [node for node in nodes if isinstance(node, Filter)]
+        assert filter_nodes
+        assert isinstance(filter_nodes[-1].child, Scan)
+
+    def test_filter_on_computed_column_substituted(self, db):
+        explain = db.explain(
+            "SELECT d FROM (SELECT a * 2 AS d FROM t) AS s WHERE d > 2"
+        )
+        # The predicate is rewritten in terms of the base column.
+        assert '("a" * 2)' in explain
+        assert "Scan t" in explain
+
+    def test_adjacent_filters_fused(self, db):
+        plan = plan_for(db, "SELECT a FROM (SELECT a FROM t WHERE a > 1) "
+                            "AS s WHERE a < 3")
+        filters = [n for n in walk_plan(plan) if isinstance(n, Filter)]
+        assert len(filters) == 1
+        assert "AND" in filters[0].predicate.to_sql()
+
+    def test_pushdown_can_be_disabled(self, db):
+        sql = "SELECT d FROM (SELECT a * 2 AS d FROM t) AS s WHERE d > 2"
+        unoptimized = plan_for(db, sql, enable_pushdown=False)
+        filters = [n for n in walk_plan(unoptimized)
+                   if isinstance(n, Filter)]
+        # Without pushdown the filter stays above the derived table.
+        assert not isinstance(filters[0].child, Scan)
+        optimized = plan_for(db, sql)
+        filters = [n for n in walk_plan(optimized) if isinstance(n, Filter)]
+        assert isinstance(filters[-1].child, Scan)
+
+
+class TestPruning:
+    def test_scan_restricted_to_used_columns(self, db):
+        plan = plan_for(db, "SELECT a FROM t")
+        scan = next(n for n in walk_plan(plan) if isinstance(n, Scan))
+        assert scan.columns == ["a"]
+
+    def test_filter_columns_kept(self, db):
+        plan = plan_for(db, "SELECT a FROM t WHERE b > 4")
+        scan = next(n for n in walk_plan(plan) if isinstance(n, Scan))
+        assert set(scan.columns) == {"a", "b"}
+
+    def test_star_keeps_everything(self, db):
+        plan = plan_for(db, "SELECT * FROM t")
+        scan = next(n for n in walk_plan(plan) if isinstance(n, Scan))
+        assert scan.columns is None or set(scan.columns) == {"a", "b", "c"}
+
+    def test_count_star_scans_one_column(self, db):
+        plan = plan_for(db, "SELECT COUNT(*) AS n FROM t")
+        scan = next(n for n in walk_plan(plan) if isinstance(n, Scan))
+        assert scan.columns is not None and len(scan.columns) == 1
+
+    def test_pruning_can_be_disabled(self, db):
+        plan = plan_for(db, "SELECT a FROM t", enable_pruning=False)
+        scan = next(n for n in walk_plan(plan) if isinstance(n, Scan))
+        assert scan.columns is None
+
+
+class TestOptimizedCorrectness:
+    """Optimization flags must never change results."""
+
+    QUERIES = [
+        "SELECT a FROM t WHERE b > 4",
+        "SELECT a * 2 AS d FROM (SELECT a FROM t WHERE a > 1) AS s",
+        "SELECT c, COUNT(*) AS n FROM t GROUP BY c ORDER BY c",
+        "SELECT d FROM (SELECT a + b AS d, c FROM t) AS s WHERE d > 6 "
+        "ORDER BY d",
+        "SELECT a FROM (SELECT a FROM t ORDER BY a DESC) AS s WHERE a < 3",
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_flags_equivalent(self, sql):
+        results = []
+        for pushdown in (True, False):
+            for pruning in (True, False):
+                db = Database(enable_pushdown=pushdown,
+                              enable_pruning=pruning)
+                db.load_table(
+                    "t",
+                    Table.from_columns(
+                        a=[1.0, 2.0, 3.0], b=[4.0, 5.0, 6.0],
+                        c=["x", "y", "z"],
+                    ),
+                )
+                results.append(db.execute(sql).to_rows())
+        assert all(result == results[0] for result in results[1:])
+
+
+class TestExplain:
+    def test_explain_shows_tree(self, db):
+        text = db.explain("SELECT c, COUNT(*) AS n FROM t "
+                          "WHERE a > 1 GROUP BY c")
+        assert "Aggregate" in text
+        assert "Filter" in text
+        assert "Scan t" in text
+        # Indentation encodes the tree depth.
+        lines = text.splitlines()
+        assert lines[0].startswith("Project")
+        assert lines[-1].strip().startswith("Scan")
+
+    def test_explain_statement_form(self, db):
+        assert db.execute("EXPLAIN SELECT a FROM t") == \
+            db.explain("SELECT a FROM t")
+
+    def test_explain_includes_pruned_columns(self, db):
+        text = db.explain("SELECT a FROM t")
+        assert "cols=[a]" in text
+
+
+class TestExplainAnalyze:
+    def test_annotated_plan(self, db):
+        text = db.explain_analyze(
+            "SELECT c, COUNT(*) AS n FROM t WHERE a > 1 GROUP BY c"
+        )
+        assert "rows=" in text and "time=" in text
+        # Filter output: a in {2, 3} -> 2 rows survive the scan of 3.
+        filter_line = next(
+            line for line in text.splitlines() if "Filter" in line
+        )
+        assert "rows=2" in filter_line
+
+    def test_stats_not_reentrant_flag_resets(self, db):
+        db.explain_analyze("SELECT a FROM t")
+        # A plain execute afterwards must not collect stats or fail.
+        assert db.execute("SELECT a FROM t").num_rows == 3
+
+    def test_plain_explain_has_no_stats(self, db):
+        text = db.explain("SELECT a FROM t")
+        assert "time=" not in text

@@ -1,0 +1,220 @@
+"""Unit tests for the SQL lexer and parser."""
+
+import pytest
+
+from repro.engine import sqlast
+from repro.engine.errors import SQLSyntaxError
+from repro.engine.lexer import tokenize
+from repro.engine.parser import parse_select, parse_statement
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select FROM Where")
+        assert [t.value for t in tokens[:-1]] == ["SELECT", "FROM", "WHERE"]
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"air time"')
+        assert tokens[0].kind == "IDENT"
+        assert tokens[0].value == "air time"
+
+    def test_doubled_quote_escape(self):
+        tokens = tokenize('"a""b"')
+        assert tokens[0].value == 'a"b'
+
+    def test_string_literal(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].value == "it's"
+
+    def test_line_comment_skipped(self):
+        tokens = tokenize("SELECT -- comment\n1")
+        assert [t.kind for t in tokens] == ["KEYWORD", "NUMBER", "EOF"]
+
+    def test_operators(self):
+        tokens = tokenize("a <> b <= c || d")
+        ops = [t.value for t in tokens if t.kind == "OP"]
+        assert ops == ["<>", "<=", "||"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'abc")
+
+    def test_number_with_exponent(self):
+        tokens = tokenize("1.5e3")
+        assert tokens[0].value == 1500.0
+
+
+class TestSelectParsing:
+    def test_simple(self):
+        select = parse_select("SELECT a FROM t")
+        assert select.items[0].expr == sqlast.ColumnRef("a")
+        assert select.from_ == sqlast.TableRef("t")
+
+    def test_star(self):
+        select = parse_select("SELECT * FROM t")
+        assert isinstance(select.items[0].expr, sqlast.Star)
+
+    def test_aliases(self):
+        select = parse_select("SELECT a AS x, b y FROM t AS s")
+        assert select.items[0].alias == "x"
+        assert select.items[1].alias == "y"
+        assert select.from_.alias == "s"
+
+    def test_qualified_column(self):
+        select = parse_select("SELECT t.a FROM t")
+        assert select.items[0].expr == sqlast.ColumnRef("a", table="t")
+
+    def test_where_precedence(self):
+        select = parse_select("SELECT a FROM t WHERE a > 1 AND b < 2 OR c = 3")
+        assert select.where.op == "OR"
+        assert select.where.left.op == "AND"
+
+    def test_group_by_having(self):
+        select = parse_select(
+            "SELECT k, COUNT(*) AS n FROM t GROUP BY k HAVING COUNT(*) > 2"
+        )
+        assert len(select.group_by) == 1
+        assert select.having is not None
+
+    def test_order_by_directions(self):
+        select = parse_select("SELECT a FROM t ORDER BY a DESC, b ASC NULLS FIRST")
+        assert select.order_by[0].descending is True
+        assert select.order_by[1].nulls_first is True
+
+    def test_limit_offset(self):
+        select = parse_select("SELECT a FROM t LIMIT 10 OFFSET 5")
+        assert select.limit == 10
+        assert select.offset == 5
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct is True
+
+    def test_subquery_in_from(self):
+        select = parse_select("SELECT a FROM (SELECT a FROM t) AS s")
+        assert isinstance(select.from_, sqlast.SubqueryRef)
+        assert select.from_.alias == "s"
+
+    def test_join(self):
+        select = parse_select("SELECT * FROM a JOIN b ON a.k = b.k")
+        assert select.joins[0].kind == "INNER"
+
+    def test_left_join(self):
+        select = parse_select("SELECT * FROM a LEFT OUTER JOIN b ON a.k = b.k")
+        assert select.joins[0].kind == "LEFT"
+
+    def test_count_star(self):
+        select = parse_select("SELECT COUNT(*) FROM t")
+        call = select.items[0].expr
+        assert call.name == "COUNT"
+        assert isinstance(call.args[0], sqlast.Star)
+
+    def test_count_distinct(self):
+        select = parse_select("SELECT COUNT(DISTINCT k) FROM t")
+        assert select.items[0].expr.distinct is True
+
+    def test_case_expression(self):
+        select = parse_select(
+            "SELECT CASE WHEN a > 0 THEN 'p' WHEN a < 0 THEN 'n' ELSE 'z' END FROM t"
+        )
+        case = select.items[0].expr
+        assert len(case.whens) == 2
+        assert case.default == sqlast.Literal("z")
+
+    def test_cast(self):
+        select = parse_select("SELECT CAST(a AS DOUBLE) FROM t")
+        assert isinstance(select.items[0].expr, sqlast.Cast)
+
+    def test_between(self):
+        select = parse_select("SELECT a FROM t WHERE a BETWEEN 1 AND 5")
+        assert isinstance(select.where, sqlast.Between)
+
+    def test_in_list(self):
+        select = parse_select("SELECT a FROM t WHERE k IN ('x', 'y')")
+        assert isinstance(select.where, sqlast.InList)
+        assert len(select.where.items) == 2
+
+    def test_is_null(self):
+        select = parse_select("SELECT a FROM t WHERE a IS NOT NULL")
+        assert select.where == sqlast.IsNull(sqlast.ColumnRef("a"), negated=True)
+
+    def test_window_function(self):
+        select = parse_select(
+            "SELECT SUM(x) OVER (PARTITION BY k ORDER BY y DESC) FROM t"
+        )
+        window = select.items[0].expr
+        assert isinstance(window, sqlast.WindowFunc)
+        assert window.func.name == "SUM"
+        assert len(window.partition_by) == 1
+        assert window.order_by[0].descending is True
+
+    def test_negative_literal_folded(self):
+        select = parse_select("SELECT -5 AS v FROM t")
+        assert select.items[0].expr == sqlast.Literal(-5.0)
+
+    def test_not_equals_normalized(self):
+        select = parse_select("SELECT a FROM t WHERE a != 1")
+        assert select.where.op == "<>"
+
+    def test_regexp(self):
+        select = parse_select("SELECT a FROM t WHERE a REGEXP '^x'")
+        assert select.where.op == "REGEXP"
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT",
+        "SELECT FROM t",
+        "SELECT a FROM",
+        "SELECT a FROM t WHERE",
+        "SELECT a FROM t GROUP BY",
+        "SELECT a FROM t LIMIT x",
+        "SELECT a t t",
+        "SELECT CASE END FROM t",
+    ])
+    def test_errors(self, sql):
+        with pytest.raises(SQLSyntaxError):
+            parse_select(sql)
+
+
+class TestRoundTrip:
+    """to_sql() output must re-parse to the same AST."""
+
+    @pytest.mark.parametrize("sql", [
+        "SELECT a FROM t",
+        "SELECT a AS x, b + 1 AS y FROM t WHERE a > 1",
+        "SELECT k, COUNT(*) AS n FROM t GROUP BY k HAVING COUNT(*) > 2 "
+        "ORDER BY n DESC LIMIT 5",
+        "SELECT * FROM (SELECT a FROM t WHERE a IS NOT NULL) AS s",
+        "SELECT CASE WHEN a > 0 THEN 1 ELSE 0 END AS s FROM t",
+        "SELECT SUM(x) OVER (PARTITION BY k ORDER BY y ASC) AS w FROM t",
+        "SELECT a FROM t JOIN u ON t.k = u.k WHERE t.a BETWEEN 1 AND 2",
+        "SELECT DISTINCT a FROM t ORDER BY a ASC NULLS LAST",
+    ])
+    def test_round_trip(self, sql):
+        first = parse_select(sql)
+        second = parse_select(first.to_sql())
+        assert first == second
+
+
+class TestOtherStatements:
+    def test_create_table(self):
+        kind, name, columns = parse_statement(
+            "CREATE TABLE t (a DOUBLE, b VARCHAR)"
+        )
+        assert kind == "create"
+        assert name == "t"
+        assert columns == [("a", "DOUBLE"), ("b", "VARCHAR")]
+
+    def test_insert(self):
+        kind, name, column_names, rows = parse_statement(
+            "INSERT INTO t (a, b) VALUES (1, 'x'), (-2, NULL)"
+        )
+        assert kind == "insert"
+        assert column_names == ["a", "b"]
+        assert rows == [[1.0, "x"], [-2.0, None]]
+
+    def test_drop(self):
+        assert parse_statement("DROP TABLE t") == ("drop", "t")
+
+    def test_explain(self):
+        kind, select = parse_statement("EXPLAIN SELECT a FROM t")
+        assert kind == "explain"
+        assert isinstance(select, sqlast.Select)

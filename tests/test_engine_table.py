@@ -1,0 +1,170 @@
+"""Unit tests for columnar storage (Column/Table)."""
+
+import numpy as np
+import pytest
+
+from repro.engine.errors import CatalogError, TypeMismatchError
+from repro.engine.table import Column, Table, concat_tables
+from repro.engine.types import SQLType, infer_type
+
+
+class TestColumn:
+    def test_from_values_infers_double(self):
+        column = Column.from_values([1, 2.5, None])
+        assert column.type is SQLType.DOUBLE
+        assert column.to_list() == [1.0, 2.5, None]
+
+    def test_from_values_infers_varchar(self):
+        column = Column.from_values(["a", None, "b"])
+        assert column.type is SQLType.VARCHAR
+        assert column.to_list() == ["a", None, "b"]
+
+    def test_from_values_infers_boolean(self):
+        column = Column.from_values([True, False, None])
+        assert column.type is SQLType.BOOLEAN
+        assert column.to_list() == [True, False, None]
+
+    def test_nan_becomes_null(self):
+        column = Column.from_values([1.0, float("nan"), 3.0])
+        assert column.to_list() == [1.0, None, 3.0]
+
+    def test_all_null_defaults_to_double(self):
+        column = Column.from_values([None, None])
+        assert column.type is SQLType.DOUBLE
+        assert column.null_count() == 2
+
+    def test_nulls_constructor(self):
+        column = Column.nulls(SQLType.VARCHAR, 3)
+        assert column.to_list() == [None, None, None]
+
+    def test_constant(self):
+        column = Column.constant("x", 2)
+        assert column.to_list() == ["x", "x"]
+
+    def test_constant_none(self):
+        column = Column.constant(None, 2)
+        assert column.to_list() == [None, None]
+
+    def test_take(self):
+        column = Column.from_values([10.0, 20.0, 30.0])
+        assert column.take(np.array([2, 0])).to_list() == [30.0, 10.0]
+
+    def test_mask(self):
+        column = Column.from_values([10.0, 20.0, 30.0])
+        keep = np.array([True, False, True])
+        assert column.mask(keep).to_list() == [10.0, 30.0]
+
+    def test_value_at_null(self):
+        column = Column.from_values([1.0, None])
+        assert column.value_at(0) == 1.0
+        assert column.value_at(1) is None
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(TypeMismatchError):
+            Column(SQLType.DOUBLE, np.zeros(3), np.ones(2, dtype=np.bool_))
+
+    def test_nbytes_double(self):
+        column = Column.from_values([1.0, 2.0])
+        assert column.nbytes() == 16
+
+    def test_nbytes_varchar_counts_content(self):
+        column = Column.from_values(["ab", "cdef"])
+        assert column.nbytes() == 6 + 2
+
+
+class TestTable:
+    def test_from_rows(self):
+        table = Table.from_rows([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert table.num_rows == 2
+        assert table.column_names == ["a", "b"]
+
+    def test_from_rows_missing_keys_null(self):
+        table = Table.from_rows([{"a": 1}, {"b": "y"}])
+        assert table.to_rows() == [
+            {"a": 1.0, "b": None},
+            {"a": None, "b": "y"},
+        ]
+
+    def test_from_columns(self):
+        table = Table.from_columns(a=[1, 2], b=["x", "y"])
+        assert table.num_rows == 2
+
+    def test_duplicate_column_rejected(self):
+        table = Table.from_columns(a=[1])
+        with pytest.raises(CatalogError):
+            table.add_column("a", Column.from_values([2]))
+
+    def test_length_mismatch_rejected(self):
+        table = Table.from_columns(a=[1, 2])
+        with pytest.raises(TypeMismatchError):
+            table.add_column("b", Column.from_values([1]))
+
+    def test_unknown_column_raises(self):
+        table = Table.from_columns(a=[1])
+        with pytest.raises(CatalogError):
+            table.column("zzz")
+
+    def test_select_preserves_order(self):
+        table = Table.from_columns(a=[1], b=[2], c=[3])
+        assert table.select(["c", "a"]).column_names == ["c", "a"]
+
+    def test_rename(self):
+        table = Table.from_columns(a=[1])
+        assert table.rename({"a": "z"}).column_names == ["z"]
+
+    def test_row_access(self):
+        table = Table.from_columns(a=[1, 2], b=["x", None])
+        assert table.row(1) == {"a": 2.0, "b": None}
+
+    def test_head(self):
+        table = Table.from_columns(a=list(range(10)))
+        assert table.head(3).num_rows == 3
+
+    def test_schema(self):
+        table = Table.from_columns(a=[1.0], b=["x"])
+        assert table.schema() == [("a", SQLType.DOUBLE), ("b", SQLType.VARCHAR)]
+
+    def test_take_mask_roundtrip(self):
+        table = Table.from_columns(a=[1, 2, 3, 4])
+        masked = table.mask(np.array([True, False, True, False]))
+        assert masked.column("a").to_list() == [1.0, 3.0]
+
+
+class TestConcat:
+    def test_concat(self):
+        t1 = Table.from_columns(a=[1.0], b=["x"])
+        t2 = Table.from_columns(a=[2.0], b=[None])
+        merged = concat_tables([t1, t2])
+        assert merged.to_rows() == [
+            {"a": 1.0, "b": "x"},
+            {"a": 2.0, "b": None},
+        ]
+
+    def test_concat_type_mismatch(self):
+        t1 = Table.from_columns(a=[1.0])
+        t2 = Table.from_columns(a=["x"])
+        with pytest.raises(TypeMismatchError):
+            concat_tables([t1, t2])
+
+    def test_concat_empty_list(self):
+        assert concat_tables([]).num_rows == 0
+
+
+class TestTypeInference:
+    def test_infer_double(self):
+        assert infer_type([None, 3]) is SQLType.DOUBLE
+
+    def test_infer_varchar(self):
+        assert infer_type(["x"]) is SQLType.VARCHAR
+
+    def test_bool_not_confused_with_number(self):
+        assert infer_type([True]) is SQLType.BOOLEAN
+
+    def test_from_name_aliases(self):
+        assert SQLType.from_name("text") is SQLType.VARCHAR
+        assert SQLType.from_name("INT") is SQLType.DOUBLE
+        assert SQLType.from_name("bool") is SQLType.BOOLEAN
+
+    def test_from_name_unknown(self):
+        with pytest.raises(ValueError):
+            SQLType.from_name("BLOB")

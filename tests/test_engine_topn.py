@@ -1,0 +1,105 @@
+"""Tests for the top-N (ORDER BY + LIMIT) partial-sort fast path."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, Table
+from repro.engine.binder import bind
+from repro.engine.logical import Limit, Sort, walk_plan
+from repro.engine.optimizer import optimize
+from repro.engine.parser import parse_select
+
+
+@pytest.fixture
+def db():
+    rng = np.random.default_rng(3)
+    database = Database()
+    database.load_table(
+        "t",
+        Table.from_columns(
+            x=list(rng.normal(size=500)) + [None] * 5,
+            k=[("key%d" % (i % 50)) for i in range(505)],
+        ),
+    )
+    return database
+
+
+class TestAnnotation:
+    def test_limit_over_sort_annotated(self, db):
+        plan = bind(parse_select("SELECT x FROM t ORDER BY x LIMIT 10"),
+                    db.catalog)
+        plan = optimize(plan, db.catalog)
+        sort = next(n for n in walk_plan(plan) if isinstance(n, Sort))
+        assert sort.limit_hint == 10
+
+    def test_offset_included_in_hint(self, db):
+        plan = bind(
+            parse_select("SELECT x FROM t ORDER BY x LIMIT 10 OFFSET 5"),
+            db.catalog,
+        )
+        plan = optimize(plan, db.catalog)
+        sort = next(n for n in walk_plan(plan) if isinstance(n, Sort))
+        assert sort.limit_hint == 15
+
+    def test_sort_without_limit_not_annotated(self, db):
+        plan = bind(parse_select("SELECT x FROM t ORDER BY x"), db.catalog)
+        plan = optimize(plan, db.catalog)
+        sort = next(n for n in walk_plan(plan) if isinstance(n, Sort))
+        assert sort.limit_hint is None
+
+
+class TestCorrectness:
+    def full_sort(self, db, sql_order, limit):
+        full = db.execute(
+            "SELECT x FROM t ORDER BY x {}".format(sql_order)
+        ).to_rows()
+        return full[:limit]
+
+    @pytest.mark.parametrize("order", ["ASC", "DESC"])
+    def test_topn_matches_full_sort(self, db, order):
+        top = db.execute(
+            "SELECT x FROM t ORDER BY x {} LIMIT 20".format(order)
+        ).to_rows()
+        assert top == self.full_sort(db, order, 20)
+
+    def test_topn_with_offset(self, db):
+        top = db.execute(
+            "SELECT x FROM t ORDER BY x ASC LIMIT 10 OFFSET 7"
+        ).to_rows()
+        assert top == self.full_sort(db, "ASC", 17)[7:]
+
+    def test_topn_varchar_key(self, db):
+        top = db.execute(
+            "SELECT k FROM t ORDER BY k ASC LIMIT 15"
+        ).to_rows()
+        full = db.execute("SELECT k FROM t ORDER BY k ASC").to_rows()
+        assert top == full[:15]
+
+    def test_nulls_respected_desc(self, db):
+        # DESC: NULLs are largest, so they lead the top-N.
+        top = db.execute(
+            "SELECT x FROM t ORDER BY x DESC LIMIT 8"
+        ).to_rows()
+        assert [row["x"] for row in top[:5]] == [None] * 5
+
+    def test_nulls_last_asc(self, db):
+        top = db.execute(
+            "SELECT x FROM t ORDER BY x ASC LIMIT 20"
+        ).to_rows()
+        assert all(row["x"] is not None for row in top)
+
+    def test_multi_key_falls_back(self, db):
+        # Multi-key sorts skip the fast path but stay correct.
+        top = db.execute(
+            "SELECT k, x FROM t ORDER BY k ASC, x DESC LIMIT 10"
+        ).to_rows()
+        full = db.execute(
+            "SELECT k, x FROM t ORDER BY k ASC, x DESC"
+        ).to_rows()
+        assert top == full[:10]
+
+    def test_limit_larger_than_table(self, db):
+        rows = db.execute(
+            "SELECT x FROM t ORDER BY x LIMIT 10000"
+        ).to_rows()
+        assert len(rows) == 505

@@ -1,0 +1,127 @@
+"""Tests for event streams (signal ``on`` handlers)."""
+
+import pytest
+
+from repro.core import VegaPlus
+from repro.datagen import generate_flights
+from repro.interact import EventError, EventRouter
+from repro.spec import parse_spec
+
+
+SPEC_WITH_HANDLERS = {
+    "signals": [
+        {
+            "name": "maxbins",
+            "value": 20,
+            "bind": {"input": "range", "min": 5, "max": 100},
+            "on": [
+                {"events": "wheel", "update": "clamp(maxbins + event.delta, 5, 100)"},
+            ],
+        },
+        {
+            "name": "binField",
+            "value": "dep_delay",
+            "on": [
+                {"events": "fieldSelect", "update": "event.value"},
+            ],
+        },
+    ],
+    "data": [
+        {"name": "flights", "url": "synthetic://flights"},
+        {"name": "binned", "source": "flights", "transform": [
+            {"type": "extent", "field": {"signal": "binField"},
+             "signal": "ext"},
+            {"type": "bin", "field": {"signal": "binField"},
+             "extent": {"signal": "ext"},
+             "maxbins": {"signal": "maxbins"}},
+            {"type": "aggregate", "groupby": ["bin0", "bin1"],
+             "ops": ["count"], "as": ["count"]},
+        ]},
+    ],
+    "marks": [
+        {"type": "rect", "from": {"data": "binned"},
+         "encode": {"update": {"x": {"field": "bin0"},
+                               "x2": {"field": "bin1"},
+                               "y": {"field": "count"}}}},
+    ],
+}
+
+
+@pytest.fixture
+def session():
+    instance = VegaPlus(
+        SPEC_WITH_HANDLERS, data={"flights": generate_flights(5000)}
+    )
+    instance.startup()
+    return instance
+
+
+class TestSpecParsing:
+    def test_on_clauses_parsed(self):
+        spec = parse_spec(SPEC_WITH_HANDLERS)
+        assert spec.signal("maxbins").on[0]["events"] == "wheel"
+        assert spec.signal("binField").interactive  # on-handlers count
+
+    def test_bad_on_rejected(self):
+        from repro.spec import SpecError
+
+        with pytest.raises(SpecError):
+            parse_spec({"signals": [{"name": "s", "on": "click"}]})
+
+
+class TestEventRouter:
+    def test_handlers_installed_from_spec(self, session):
+        router = EventRouter(session)
+        assert {handler.events for handler in router.handlers} == \
+            {"wheel", "fieldSelect"}
+
+    def test_wheel_event_updates_signal(self, session):
+        router = EventRouter(session)
+        results = router.dispatch("wheel", payload={"delta": 10})
+        assert session.signals["maxbins"] == 30.0
+        assert len(results) == 1
+        assert results[0].datasets["binned"]
+
+    def test_clamping_in_update_expression(self, session):
+        router = EventRouter(session)
+        router.dispatch("wheel", payload={"delta": 1000})
+        assert session.signals["maxbins"] == 100.0
+
+    def test_field_select_event(self, session):
+        router = EventRouter(session)
+        router.dispatch("fieldSelect", payload={"value": "distance"})
+        assert session.signals["binField"] == "distance"
+        rows = session.results("binned")
+        assert min(row["bin0"] for row in rows
+                   if row["bin0"] is not None) >= 0
+
+    def test_unmatched_event_no_op(self, session):
+        router = EventRouter(session)
+        assert router.dispatch("click") == []
+
+    def test_no_change_no_execution(self, session):
+        router = EventRouter(session)
+        results = router.dispatch("wheel", payload={"delta": 0})
+        assert results == []
+
+    def test_manual_handler_with_datum(self, session):
+        router = EventRouter(session)
+        router.add_handler("maxbins", "barClick", "datum.count")
+        router.dispatch("barClick", datum={"count": 42.0})
+        assert session.signals["maxbins"] == 42.0
+
+    def test_wildcard_handler(self, session):
+        router = EventRouter(session)
+        router.add_handler("maxbins", "*", "50")
+        router.dispatch("anything")
+        assert session.signals["maxbins"] == 50.0
+
+    def test_unknown_signal_rejected(self, session):
+        router = EventRouter(session)
+        with pytest.raises(EventError):
+            router.add_handler("ghost", "click", "1")
+
+    def test_missing_update_rejected(self, session):
+        router = EventRouter(session)
+        with pytest.raises(EventError):
+            router.add_handler("maxbins", "click", None)

@@ -1,0 +1,197 @@
+"""Tests for field/signal extraction, constant folding, and SQL compilation."""
+
+import pytest
+
+from repro.expr import ast
+from repro.expr.constfold import fold, is_signal_free
+from repro.expr.errors import UntranslatableExpression
+from repro.expr.fields import (
+    datum_fields,
+    has_dynamic_field_access,
+    is_constant,
+    signal_refs,
+)
+from repro.expr.sqlcompile import compile_expression, is_translatable, sql_literal
+
+
+class TestFieldExtraction:
+    def test_simple_fields(self):
+        assert datum_fields("datum.a + datum.b") == {"a", "b"}
+
+    def test_bracket_literal_field(self):
+        assert datum_fields("datum['air time']") == {"air time"}
+
+    def test_nested_in_call(self):
+        assert datum_fields("max(datum.x, abs(datum.y))") == {"x", "y"}
+
+    def test_signals_not_fields(self):
+        assert datum_fields("threshold * 2") == set()
+
+    def test_dynamic_access_flagged(self):
+        assert has_dynamic_field_access("datum[fieldSignal]") is True
+        assert has_dynamic_field_access("datum.fixed") is False
+
+    def test_field_inside_ternary(self):
+        assert datum_fields("flag ? datum.a : datum.b") == {"a", "b"}
+
+
+class TestSignalExtraction:
+    def test_simple(self):
+        assert signal_refs("threshold + 1") == {"threshold"}
+
+    def test_excludes_datum_constants_functions(self):
+        assert signal_refs("abs(datum.x) + PI") == set()
+
+    def test_known_signal_filter(self):
+        refs = signal_refs("a + b", known_signals={"a"})
+        assert refs == {"a"}
+
+    def test_is_constant(self):
+        assert is_constant("1 + 2 * 3") is True
+        assert is_constant("datum.x") is False
+        assert is_constant("sig") is False
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        assert fold("1 + 2 * 3") == ast.Literal(7.0)
+
+    def test_string_concat_folds(self):
+        assert fold("'a' + 'b'") == ast.Literal("ab")
+
+    def test_function_folds(self):
+        assert fold("abs(-5)") == ast.Literal(5.0)
+
+    def test_datum_untouched(self):
+        node = fold("datum.x + 1")
+        assert isinstance(node, ast.Binary)
+
+    def test_partial_fold_inside(self):
+        node = fold("datum.x + (2 * 3)")
+        assert node.right == ast.Literal(6.0)
+
+    def test_add_zero_identity(self):
+        assert fold("datum.x + 0") == ast.Member(
+            ast.Identifier("datum"), ast.Literal("x"), computed=False
+        )
+
+    def test_multiply_one_identity(self):
+        assert fold("1 * datum.x") == ast.Member(
+            ast.Identifier("datum"), ast.Literal("x"), computed=False
+        )
+
+    def test_constant_ternary_picks_branch(self):
+        assert fold("1 < 2 ? datum.a : datum.b") == ast.Member(
+            ast.Identifier("datum"), ast.Literal("a"), computed=False
+        )
+
+    def test_true_and_x_simplifies(self):
+        node = fold("true && datum.ok")
+        assert isinstance(node, ast.Member)
+
+    def test_signal_free_detection(self):
+        assert is_signal_free("datum.x * 2") is True
+        assert is_signal_free("datum.x * factor") is False
+
+
+class TestSqlLiteral:
+    def test_null(self):
+        assert sql_literal(None) == "NULL"
+
+    def test_booleans(self):
+        assert sql_literal(True) == "TRUE"
+        assert sql_literal(False) == "FALSE"
+
+    def test_integral_float_rendered_as_int(self):
+        assert sql_literal(15.0) == "15"
+
+    def test_float(self):
+        assert sql_literal(1.5) == "1.5"
+
+    def test_string_escaping(self):
+        assert sql_literal("O'Hare") == "'O''Hare'"
+
+    def test_nan_is_null(self):
+        assert sql_literal(float("nan")) == "NULL"
+
+
+class TestSqlCompilation:
+    def test_comparison(self):
+        sql = compile_expression("datum.delay > 15")
+        assert sql == '("delay" > 15)'
+
+    def test_signal_inlined(self):
+        sql = compile_expression("datum.delay > cutoff", signals={"cutoff": 30})
+        assert sql == '("delay" > 30)'
+
+    def test_logic(self):
+        sql = compile_expression("datum.a > 1 && datum.b < 2")
+        assert "AND" in sql
+
+    def test_equality_becomes_single_equals(self):
+        assert "=" in compile_expression("datum.x == 5")
+        assert "==" not in compile_expression("datum.x == 5")
+
+    def test_null_comparison_becomes_is_null(self):
+        assert compile_expression("datum.x == null") == '("x" IS NULL)'
+        assert compile_expression("datum.x != null") == '("x" IS NOT NULL)'
+
+    def test_ternary_becomes_case(self):
+        sql = compile_expression("datum.x > 0 ? 1 : 0")
+        assert sql.startswith("CASE WHEN")
+
+    def test_functions_map(self):
+        assert compile_expression("abs(datum.x)") == 'ABS("x")'
+        assert compile_expression("year(datum.d)") == 'YEAR("d")'
+
+    def test_month_offset(self):
+        assert compile_expression("month(datum.d)") == '(MONTH("d") - 1)'
+
+    def test_string_concat_uses_pipes(self):
+        sql = compile_expression("'ap' + datum.code")
+        assert "||" in sql
+
+    def test_test_translates_to_regexp(self):
+        sql = compile_expression("test('^Farm', datum.job)")
+        assert "REGEXP" in sql
+
+    def test_test_with_dynamic_pattern_untranslatable(self):
+        with pytest.raises(UntranslatableExpression):
+            compile_expression("test(pattern, datum.job)", signals={})
+
+    def test_field_quoting_handles_spaces(self):
+        assert compile_expression("datum['air time']") == '"air time"'
+
+    def test_field_map_substitution(self):
+        sql = compile_expression(
+            "datum.total * 2", field_map={"total": "SUM(amount)"}
+        )
+        assert sql == "(SUM(amount) * 2)"
+
+    def test_unknown_function_untranslatable(self):
+        with pytest.raises(UntranslatableExpression):
+            compile_expression("sampleLogNormal(datum.x)")
+
+    def test_unbound_signal_untranslatable(self):
+        with pytest.raises(UntranslatableExpression):
+            compile_expression("datum.x > cutoff")
+
+    def test_dynamic_field_resolves_through_bound_signal(self):
+        # The binField drop-down pattern: a signal-valued field reference
+        # becomes a concrete column once the signal value is inlined.
+        assert compile_expression("datum[f]", signals={"f": "x"}) == '"x"'
+
+    def test_dynamic_field_unbound_untranslatable(self):
+        with pytest.raises(UntranslatableExpression):
+            compile_expression("datum[f]", signals={})
+
+    def test_is_translatable_helper(self):
+        assert is_translatable("datum.x + 1") is True
+        assert is_translatable("peek(data('t'))") is False
+
+    def test_constant_folding_applied_before_emit(self):
+        sql = compile_expression("datum.x + (1 + 1)")
+        assert sql == '("x" + 2)'
+
+    def test_power_operator(self):
+        assert compile_expression("datum.x ** 2") == 'POWER("x", 2)'

@@ -1,0 +1,219 @@
+"""Unit tests for expression evaluation, including JS coercion semantics."""
+
+import math
+
+import pytest
+
+from repro.expr.errors import ExprEvalError
+from repro.expr.evaluator import Evaluator, compile_predicate, evaluate
+
+
+class TestArithmetic:
+    def test_basic(self):
+        assert evaluate("2 + 3 * 4") == 14.0
+
+    def test_division(self):
+        assert evaluate("7 / 2") == 3.5
+
+    def test_division_by_zero_is_infinite(self):
+        assert math.isinf(evaluate("1 / 0"))
+
+    def test_zero_over_zero_is_nan(self):
+        assert math.isnan(evaluate("0 / 0"))
+
+    def test_modulo(self):
+        assert evaluate("7 % 3") == 1.0
+
+    def test_negative_modulo_follows_js(self):
+        # JS: -7 % 3 === -1 (unlike Python's +2).
+        assert evaluate("-7 % 3") == -1.0
+
+    def test_exponent(self):
+        assert evaluate("2 ** 10") == 1024.0
+
+    def test_unary_minus(self):
+        assert evaluate("-(3 + 4)") == -7.0
+
+    def test_string_concat_with_plus(self):
+        assert evaluate("'a' + 1") == "a1"
+
+    def test_number_plus_string_number(self):
+        assert evaluate("1 + '2'") == "12"
+
+
+class TestComparisonAndLogic:
+    def test_loose_equality_coerces(self):
+        assert evaluate("1 == '1'") is True
+
+    def test_strict_equality_does_not(self):
+        assert evaluate("1 === '1'") is False
+
+    def test_null_equals_null(self):
+        assert evaluate("null == null") is True
+
+    def test_nan_never_equal(self):
+        assert evaluate("NaN == NaN") is False
+        assert evaluate("NaN === NaN") is False
+
+    def test_string_lexicographic_compare(self):
+        assert evaluate("'apple' < 'banana'") is True
+
+    def test_and_short_circuits(self):
+        # The right side would raise (unknown identifier) if evaluated.
+        assert evaluate("false && bogus_signal") is False
+
+    def test_or_short_circuits(self):
+        assert evaluate("true || bogus_signal") is True
+
+    def test_and_returns_operand_value(self):
+        assert evaluate("1 && 2") == 2.0
+
+    def test_not(self):
+        assert evaluate("!0") is True
+        assert evaluate("!'x'") is False
+
+    def test_ternary(self):
+        assert evaluate("1 < 2 ? 'yes' : 'no'") == "yes"
+
+
+class TestDatumAndSignals:
+    def test_datum_field(self):
+        assert evaluate("datum.price * 2", {"price": 10}) == 20.0
+
+    def test_datum_bracket_access(self):
+        assert evaluate("datum['unit price']", {"unit price": 5}) == 5
+
+    def test_missing_field_is_none(self):
+        assert evaluate("datum.nope", {"price": 1}) is None
+
+    def test_signal_reference(self):
+        assert evaluate("threshold + 1", signals={"threshold": 10}) == 11.0
+
+    def test_unknown_identifier_raises(self):
+        with pytest.raises(ExprEvalError):
+            evaluate("no_such_signal")
+
+    def test_dynamic_field_by_signal(self):
+        result = evaluate(
+            "datum[field]", {"a": 1, "b": 2}, signals={"field": "b"}
+        )
+        assert result == 2
+
+    def test_constants(self):
+        assert evaluate("PI") == math.pi
+        assert math.isnan(evaluate("NaN"))
+
+    def test_array_length(self):
+        assert evaluate("extents.length", signals={"extents": [1, 2, 3]}) == 3.0
+
+    def test_array_indexing(self):
+        assert evaluate("extents[1]", signals={"extents": [10, 20]}) == 20
+
+
+class TestFunctions:
+    def test_math(self):
+        assert evaluate("sqrt(16)") == 4.0
+        assert evaluate("abs(-3)") == 3.0
+        assert evaluate("floor(2.7)") == 2.0
+        assert evaluate("ceil(2.1)") == 3.0
+
+    def test_round_half_up_like_js(self):
+        assert evaluate("round(2.5)") == 3.0
+        assert evaluate("round(-2.5)") == -2.0
+
+    def test_clamp(self):
+        assert evaluate("clamp(15, 0, 10)") == 10.0
+        assert evaluate("clamp(-1, 0, 10)") == 0.0
+
+    def test_min_max_varargs(self):
+        assert evaluate("min(3, 1, 2)") == 1.0
+        assert evaluate("max(3, 1, 2)") == 3.0
+
+    def test_log_of_negative_is_nan(self):
+        assert math.isnan(evaluate("log(-1)"))
+
+    def test_strings(self):
+        assert evaluate("upper('abc')") == "ABC"
+        assert evaluate("substring('hello', 1, 3)") == "el"
+        assert evaluate("length('hello')") == 5.0
+        assert evaluate("trim('  x  ')") == "x"
+
+    def test_pad(self):
+        assert evaluate("pad('5', 3, '0')") == "005"
+        assert evaluate("pad('5', 3, '0', 'left')") == "500"
+
+    def test_regex_test(self):
+        assert evaluate("test('^a.c$', 'abc')") is True
+        assert evaluate("test('^A', 'abc')") is False
+        assert evaluate("test('^A', 'abc', 'i')") is True
+
+    def test_invalid_regex_raises(self):
+        with pytest.raises(ExprEvalError):
+            evaluate("test('[', 'x')")
+
+    def test_type_predicates(self):
+        assert evaluate("isNumber(1)") is True
+        assert evaluate("isNumber('1')") is False
+        assert evaluate("isString('x')") is True
+        assert evaluate("isArray([1])") is True
+        assert evaluate("isValid(null)") is False
+        assert evaluate("isValid(0)") is True
+
+    def test_coercion_functions(self):
+        assert evaluate("toNumber('42')") == 42.0
+        assert evaluate("toString(42)") == "42"
+        assert evaluate("toBoolean(0)") is False
+
+    def test_if_function(self):
+        assert evaluate("if(1 > 0, 'pos', 'neg')") == "pos"
+
+    def test_sequence(self):
+        assert evaluate("sequence(3)") == [0.0, 1.0, 2.0]
+        assert evaluate("sequence(1, 7, 2)") == [1.0, 3.0, 5.0]
+
+    def test_extent_and_span(self):
+        assert evaluate("extent(xs)", signals={"xs": [3, 1, 2]}) == [1.0, 3.0]
+        assert evaluate("span([1, 5])") == 4.0
+
+    def test_inrange(self):
+        assert evaluate("inrange(5, [0, 10])") is True
+        assert evaluate("inrange(15, [0, 10])") is False
+
+    def test_dates(self):
+        assert evaluate("year(datetime(2021, 5, 4))") == 2021.0
+        assert evaluate("month(datetime(2021, 5, 4))") == 5.0  # 0-based input
+        assert evaluate("date(datetime(2021, 5, 4))") == 4.0
+        assert evaluate("quarter(datetime(2021, 11, 1))") == 4.0
+
+    def test_now_can_be_frozen(self):
+        evaluator = Evaluator(now_fn=lambda: 123456.0)
+        from repro.expr.parser import parse
+
+        assert evaluator.evaluate(parse("now()")) == 123456.0
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(ExprEvalError):
+            evaluate("frobnicate(1)")
+
+    def test_bad_arity_raises(self):
+        with pytest.raises(ExprEvalError):
+            evaluate("pow(2)")
+
+
+class TestCompilePredicate:
+    def test_filter_predicate(self):
+        predicate = compile_predicate("datum.delay > 15")
+        assert predicate({"delay": 30}) is True
+        assert predicate({"delay": 10}) is False
+
+    def test_predicate_with_signal(self):
+        predicate = compile_predicate(
+            "datum.delay > cutoff", signals={"cutoff": 5}
+        )
+        assert predicate({"delay": 6}) is True
+
+    def test_predicate_coerces_to_bool(self):
+        predicate = compile_predicate("datum.name")
+        assert predicate({"name": "x"}) is True
+        assert predicate({"name": ""}) is False
+        assert predicate({"name": None}) is False

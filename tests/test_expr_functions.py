@@ -1,0 +1,184 @@
+"""Coverage for the long tail of the Vega expression function library."""
+
+import math
+
+import pytest
+
+from repro.expr.errors import ExprEvalError
+from repro.expr.evaluator import evaluate
+
+
+class TestStringFunctions:
+    def test_truncate_right(self):
+        assert evaluate("truncate('hello world', 8)") == "hello w…"
+
+    def test_truncate_left(self):
+        assert evaluate("truncate('hello world', 8, 'left')") == "…o world"
+
+    def test_truncate_center(self):
+        result = evaluate("truncate('hello world', 7, 'center')")
+        assert len(result) == 7 and "…" in result
+
+    def test_truncate_no_op_when_short(self):
+        assert evaluate("truncate('hi', 10)") == "hi"
+
+    def test_pad_center(self):
+        assert evaluate("pad('x', 5, '-', 'center')") == "--x--"
+
+    def test_replace_first_occurrence_only(self):
+        assert evaluate("replace('aaa', 'a', 'b')") == "baa"
+
+    def test_split(self):
+        assert evaluate("split('a,b,c', ',')") == ["a", "b", "c"]
+
+    def test_slice_string(self):
+        assert evaluate("slice('hello', 1, 3)") == "el"
+
+    def test_slice_negative(self):
+        assert evaluate("slice('hello', -2)") == "lo"
+
+    def test_slice_array(self):
+        assert evaluate("slice(xs, 1)", signals={"xs": [1, 2, 3]}) == [2, 3]
+
+    def test_lastindexof(self):
+        assert evaluate("lastindexof('abcabc', 'b')") == 4.0
+
+    def test_indexof_array(self):
+        assert evaluate("indexof(xs, 20)", signals={"xs": [10, 20]}) == 1.0
+
+    def test_indexof_missing(self):
+        assert evaluate("indexof('abc', 'z')") == -1.0
+
+    def test_parse_functions(self):
+        assert evaluate("parseFloat('2.5')") == 2.5
+        assert evaluate("parseInt('42')") == 42.0
+
+
+class TestMathFunctions:
+    def test_trig(self):
+        assert abs(evaluate("sin(PI / 2)") - 1.0) < 1e-12
+        assert abs(evaluate("cos(0)") - 1.0) < 1e-12
+        assert abs(evaluate("atan2(1, 1)") - math.pi / 4) < 1e-12
+
+    def test_inverse_trig(self):
+        assert abs(evaluate("asin(1)") - math.pi / 2) < 1e-12
+        assert abs(evaluate("acos(1)")) < 1e-12
+        assert abs(evaluate("atan(1)") - math.pi / 4) < 1e-12
+
+    def test_cbrt_negative(self):
+        assert abs(evaluate("cbrt(-8)") + 2.0) < 1e-12
+
+    def test_hypot(self):
+        assert evaluate("hypot(3, 4)") == 5.0
+
+    def test_log_bases(self):
+        assert evaluate("log2(8)") == 3.0
+        assert evaluate("log10(1000)") == 3.0
+
+    def test_sign(self):
+        assert evaluate("sign(-5)") == -1.0
+        assert evaluate("sign(5)") == 1.0
+        assert evaluate("sign(0)") == 0.0
+
+    def test_trunc(self):
+        assert evaluate("trunc(1.9)") == 1.0
+        assert evaluate("trunc(-1.9)") == -1.0
+
+    def test_exp(self):
+        assert abs(evaluate("exp(1)") - math.e) < 1e-12
+
+    def test_constants(self):
+        assert evaluate("E") == math.e
+        assert evaluate("SQRT2") == math.sqrt(2)
+        assert evaluate("LN10") == math.log(10)
+        assert math.isinf(evaluate("Infinity"))
+        assert evaluate("undefined") is None
+
+
+class TestArrayFunctions:
+    def test_peek(self):
+        assert evaluate("peek(xs)", signals={"xs": [1, 2, 3]}) == 3
+
+    def test_peek_empty(self):
+        assert evaluate("peek(xs)", signals={"xs": []}) is None
+
+    def test_join(self):
+        assert evaluate("join(xs, '-')", signals={"xs": [1, 2]}) == "1-2"
+
+    def test_reverse_does_not_mutate(self):
+        xs = [1, 2, 3]
+        assert evaluate("reverse(xs)", signals={"xs": xs}) == [3, 2, 1]
+        assert xs == [1, 2, 3]
+
+    def test_sort_numeric(self):
+        assert evaluate("sort(xs)", signals={"xs": [3, 1, 2]}) == [1, 2, 3]
+
+    def test_sequence_negative_step(self):
+        assert evaluate("sequence(3, 0, -1)") == [3.0, 2.0, 1.0]
+
+    def test_sequence_zero_step_rejected(self):
+        with pytest.raises(ExprEvalError):
+            evaluate("sequence(0, 5, 0)")
+
+    def test_extent_all_null(self):
+        assert evaluate("extent(xs)", signals={"xs": [None]}) == [None, None]
+
+    def test_inrange_reversed_bounds(self):
+        assert evaluate("inrange(5, [10, 0])") is True
+
+
+class TestDateFunctions:
+    def test_day_of_week(self):
+        # 2021-01-04 was a Monday -> JS getDay() == 1.
+        assert evaluate("day(datetime(2021, 0, 4))") == 1.0
+
+    def test_dayofyear(self):
+        assert evaluate("dayofyear(datetime(2021, 1, 1))") == 32.0
+
+    def test_time_components(self):
+        value = "hours(datetime(2021, 0, 1, 13, 45, 30))"
+        assert evaluate(value) == 13.0
+        value = "minutes(datetime(2021, 0, 1, 13, 45, 30))"
+        assert evaluate(value) == 45.0
+        value = "seconds(datetime(2021, 0, 1, 13, 45, 30))"
+        assert evaluate(value) == 30.0
+
+    def test_time_round_trips_through_ms(self):
+        ms = evaluate("time(datetime(2020, 5, 15))")
+        assert evaluate("year({})".format(ms)) == 2020.0
+
+    def test_datetime_requires_args(self):
+        with pytest.raises(ExprEvalError):
+            evaluate("datetime()")
+
+    def test_invalid_date_input(self):
+        with pytest.raises(ExprEvalError):
+            evaluate("year('not a date')")
+
+
+class TestCoercionEdgeCases:
+    def test_to_number_of_spaces(self):
+        assert evaluate("toNumber('  ')") == 0.0
+
+    def test_to_number_garbage_is_nan(self):
+        assert math.isnan(evaluate("toNumber('abc')"))
+
+    def test_to_string_of_array(self):
+        assert evaluate("toString(xs)", signals={"xs": [1, 2]}) == "1,2"
+
+    def test_to_string_of_bool(self):
+        assert evaluate("toString(true)") == "true"
+
+    def test_null_string(self):
+        assert evaluate("toString(null)") == "null"
+
+    def test_isfinite(self):
+        assert evaluate("isFinite(1)") is True
+        assert evaluate("isFinite(1 / 0)") is False
+
+    def test_isdate(self):
+        assert evaluate("isDate(datetime(2020, 0, 1))") is True
+        assert evaluate("isDate(5)") is False
+
+    def test_length_of_non_sized_is_nan(self):
+        assert math.isnan(evaluate("length(5)"))

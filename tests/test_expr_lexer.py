@@ -1,0 +1,131 @@
+"""Unit tests for the expression tokenizer."""
+
+import pytest
+
+from repro.expr.errors import ExprSyntaxError
+from repro.expr.lexer import EOF, IDENT, NUMBER, PUNCT, STRING, tokenize
+
+
+def kinds(source):
+    return [token.kind for token in tokenize(source)]
+
+
+def values(source):
+    return [token.value for token in tokenize(source)[:-1]]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert values("42") == [42.0]
+
+    def test_float(self):
+        assert values("3.14") == [3.14]
+
+    def test_leading_dot(self):
+        assert values(".5") == [0.5]
+
+    def test_exponent(self):
+        assert values("1e3") == [1000.0]
+
+    def test_negative_exponent(self):
+        assert values("2.5e-2") == [0.025]
+
+    def test_positive_exponent_sign(self):
+        assert values("1E+2") == [100.0]
+
+    def test_hex(self):
+        assert values("0xff") == [255.0]
+
+    def test_hex_uppercase(self):
+        assert values("0XAB") == [171.0]
+
+    def test_malformed_hex_raises(self):
+        with pytest.raises(ExprSyntaxError):
+            tokenize("0x")
+
+    def test_malformed_exponent_raises(self):
+        with pytest.raises(ExprSyntaxError):
+            tokenize("1e+")
+
+    def test_number_then_dot_member(self):
+        # "1.5.x" is not valid input we care about, but "a.1" should fail in
+        # the parser, not the lexer; the lexer sees IDENT PUNCT NUMBER.
+        assert kinds("1.5") == [NUMBER, EOF]
+
+
+class TestStrings:
+    def test_single_quoted(self):
+        assert values("'hello'") == ["hello"]
+
+    def test_double_quoted(self):
+        assert values('"world"') == ["world"]
+
+    def test_escape_sequences(self):
+        assert values(r"'a\nb\tc'") == ["a\nb\tc"]
+
+    def test_escaped_quote(self):
+        assert values(r"'it\'s'") == ["it's"]
+
+    def test_unknown_escape_passes_through(self):
+        assert values(r"'\q'") == ["q"]
+
+    def test_unterminated_raises(self):
+        with pytest.raises(ExprSyntaxError):
+            tokenize("'abc")
+
+    def test_empty_string(self):
+        assert values("''") == [""]
+
+
+class TestIdentifiers:
+    def test_simple(self):
+        assert values("datum") == ["datum"]
+
+    def test_with_digits_and_underscore(self):
+        assert values("field_2") == ["field_2"]
+
+    def test_dollar_sign(self):
+        assert values("$foo") == ["$foo"]
+
+    def test_keywords_are_plain_idents(self):
+        tokens = tokenize("true false null")
+        assert [token.kind for token in tokens[:-1]] == [IDENT] * 3
+
+
+class TestPunctuators:
+    def test_longest_match_strict_equality(self):
+        assert values("a===b") == ["a", "===", "b"]
+
+    def test_longest_match_unsigned_shift(self):
+        assert values("a>>>b") == ["a", ">>>", "b"]
+
+    def test_two_char_ops(self):
+        assert values("a<=b") == ["a", "<=", "b"]
+
+    def test_logical_ops(self):
+        assert values("a&&b||c") == ["a", "&&", "b", "||", "c"]
+
+    def test_exponent_operator(self):
+        assert values("a**b") == ["a", "**", "b"]
+
+    def test_ternary(self):
+        assert values("a?b:c") == ["a", "?", "b", ":", "c"]
+
+
+class TestWhitespaceAndErrors:
+    def test_whitespace_ignored(self):
+        assert values("  a \t+\n b ") == ["a", "+", "b"]
+
+    def test_empty_input_gives_only_eof(self):
+        assert kinds("") == [EOF]
+
+    def test_invalid_character_raises(self):
+        with pytest.raises(ExprSyntaxError) as excinfo:
+            tokenize("a @ b")
+        assert excinfo.value.position == 2
+
+    def test_positions_recorded(self):
+        tokens = tokenize("ab + cd")
+        assert tokens[0].pos == 0
+        assert tokens[1].pos == 3
+        assert tokens[2].pos == 5

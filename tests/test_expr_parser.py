@@ -1,0 +1,144 @@
+"""Unit tests for the expression parser (precedence, associativity, forms)."""
+
+import pytest
+
+from repro.expr import ast
+from repro.expr.errors import ExprSyntaxError
+from repro.expr.parser import parse
+
+
+def lit(value):
+    return ast.Literal(value)
+
+
+class TestPrecedence:
+    def test_multiplication_binds_tighter_than_addition(self):
+        assert parse("1+2*3") == ast.Binary(
+            "+", lit(1.0), ast.Binary("*", lit(2.0), lit(3.0))
+        )
+
+    def test_parentheses_override(self):
+        assert parse("(1+2)*3") == ast.Binary(
+            "*", ast.Binary("+", lit(1.0), lit(2.0)), lit(3.0)
+        )
+
+    def test_comparison_below_arithmetic(self):
+        node = parse("a+1 < b*2")
+        assert isinstance(node, ast.Binary) and node.op == "<"
+
+    def test_logical_and_below_comparison(self):
+        node = parse("a < b && c > d")
+        assert node.op == "&&"
+
+    def test_or_below_and(self):
+        node = parse("a && b || c")
+        assert node.op == "||"
+        assert node.left.op == "&&"
+
+    def test_ternary_lowest(self):
+        node = parse("a || b ? 1 : 2")
+        assert isinstance(node, ast.Conditional)
+        assert node.test.op == "||"
+
+    def test_unary_binds_tighter_than_binary(self):
+        node = parse("-a * b")
+        assert node.op == "*"
+        assert isinstance(node.left, ast.Unary)
+
+    def test_bitwise_between_logic_and_equality(self):
+        node = parse("a == b & c == d")
+        assert node.op == "&"
+
+
+class TestAssociativity:
+    def test_subtraction_left_associative(self):
+        node = parse("10 - 3 - 2")
+        assert node == ast.Binary(
+            "-", ast.Binary("-", lit(10.0), lit(3.0)), lit(2.0)
+        )
+
+    def test_exponent_right_associative(self):
+        node = parse("2 ** 3 ** 2")
+        assert node == ast.Binary(
+            "**", lit(2.0), ast.Binary("**", lit(3.0), lit(2.0))
+        )
+
+    def test_ternary_right_associative(self):
+        node = parse("a ? 1 : b ? 2 : 3")
+        assert isinstance(node.alternate, ast.Conditional)
+
+
+class TestForms:
+    def test_member_dot(self):
+        node = parse("datum.price")
+        assert node == ast.Member(
+            ast.Identifier("datum"), lit("price"), computed=False
+        )
+
+    def test_member_bracket(self):
+        node = parse("datum['unit price']")
+        assert node == ast.Member(
+            ast.Identifier("datum"), lit("unit price"), computed=True
+        )
+
+    def test_chained_member(self):
+        node = parse("a.b.c")
+        assert isinstance(node.obj, ast.Member)
+
+    def test_call_no_args(self):
+        assert parse("now()") == ast.Call("now", ())
+
+    def test_call_with_args(self):
+        node = parse("clamp(x, 0, 10)")
+        assert node.func == "clamp"
+        assert len(node.args) == 3
+
+    def test_nested_calls(self):
+        node = parse("max(abs(a), abs(b))")
+        assert all(isinstance(arg, ast.Call) for arg in node.args)
+
+    def test_array_literal(self):
+        node = parse("[1, 2, 3]")
+        assert node == ast.ArrayExpr((lit(1.0), lit(2.0), lit(3.0)))
+
+    def test_empty_array(self):
+        assert parse("[]") == ast.ArrayExpr(())
+
+    def test_object_literal(self):
+        node = parse("{a: 1, 'b c': 2}")
+        assert node.keys == ("a", "b c")
+
+    def test_keyword_literals(self):
+        assert parse("true") == lit(True)
+        assert parse("false") == lit(False)
+        assert parse("null") == lit(None)
+
+    def test_strict_equality_ops(self):
+        assert parse("a === b").op == "==="
+        assert parse("a !== b").op == "!=="
+
+    def test_call_on_member_rejected(self):
+        with pytest.raises(ExprSyntaxError):
+            parse("datum.f()")
+
+
+class TestErrors:
+    @pytest.mark.parametrize("source", [
+        "1 +",
+        "(1",
+        "[1, 2",
+        "a ? b",
+        "a.",
+        "a.1",
+        "{a}",
+        ", a",
+        "1 2",
+        "",
+    ])
+    def test_syntax_errors(self, source):
+        with pytest.raises(ExprSyntaxError):
+            parse(source)
+
+    def test_trailing_garbage(self):
+        with pytest.raises(ExprSyntaxError):
+            parse("a + b c")

@@ -1,0 +1,186 @@
+"""Failure-injection and edge-case tests across the middleware stack."""
+
+import pytest
+
+from repro.backends import Backend, BackendError, QueryResult
+from repro.core import SessionError, VegaPlus
+from repro.core.executors import ExecutorError
+from repro.datagen import generate_flights
+from repro.engine import Table
+from repro.spec import flights_histogram_spec
+
+
+class FlakyBackend(Backend):
+    """Wraps a real backend; fails the first ``failures`` execute calls."""
+
+    name = "flaky"
+
+    def __init__(self, failures=1):
+        from repro.backends import EmbeddedBackend
+
+        self.inner = EmbeddedBackend()
+        self.failures = failures
+        self.calls = 0
+
+    def load_table(self, name, table):
+        self.inner.load_table(name, table)
+
+    def execute(self, sql):
+        self.calls += 1
+        if self.calls <= self.failures:
+            raise BackendError("injected failure")
+        return self.inner.execute(sql)
+
+    def table_names(self):
+        return self.inner.table_names()
+
+    def row_count(self, name):
+        return self.inner.row_count(name)
+
+
+class TestBackendFailures:
+    def test_backend_error_propagates_cleanly(self):
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(500)},
+            backend=FlakyBackend(failures=100),
+        )
+        # Force a server plan so the failure path is actually exercised.
+        plan = session.custom_plan({"binned": 3})
+        with pytest.raises(BackendError):
+            session.startup(plan=plan)
+
+    def test_recovery_after_transient_failure(self):
+        backend = FlakyBackend(failures=1)
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(500)},
+            backend=backend,
+        )
+        plan = session.custom_plan({"binned": 3})
+        with pytest.raises(BackendError):
+            session.startup(plan=plan)
+        # Second attempt succeeds; no corrupt state left behind.
+        result = session.startup(plan=plan)
+        assert result.datasets["binned"]
+
+
+class TestUntranslatablePipelines:
+    SPEC = {
+        "signals": [{"name": "cut", "value": 0,
+                     "bind": {"input": "range", "min": 0, "max": 10}}],
+        "data": [
+            {"name": "raw", "url": "x://"},
+            {"name": "out", "source": "raw", "transform": [
+                {"type": "filter", "expr": "datum.v >= cut"},
+                {"type": "density", "field": "v", "steps": 20},
+            ]},
+        ],
+        "marks": [{"type": "line", "from": {"data": "out"},
+                   "encode": {"update": {"x": {"field": "value"},
+                                         "y": {"field": "density"}}}}],
+    }
+
+    def test_session_clamps_cut_to_prefix(self):
+        rows = [{"v": float(i)} for i in range(2000)]
+        session = VegaPlus(self.SPEC, data={"raw": rows})
+        session.startup()
+        # density is client-only, so at most the filter can be offloaded.
+        assert session.plan.datasets["out"].cut <= 1
+        assert len(session.results("out")) == 20
+
+    def test_interaction_on_hybrid_density_pipeline(self):
+        rows = [{"v": float(i)} for i in range(2000)]
+        session = VegaPlus(self.SPEC, data={"raw": rows})
+        session.startup()
+        result = session.interact("cut", 1000)
+        assert len(result.datasets["out"]) == 20
+        values = [row["value"] for row in result.datasets["out"]]
+        assert min(values) >= 1000.0
+
+
+class TestSessionEdgeCases:
+    def test_empty_dataset(self):
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": Table.from_rows(
+                [], column_order=["dep_delay", "arr_delay", "distance",
+                                  "air_time"],
+            )},
+        )
+        result = session.startup()
+        # No rows -> extent is NULL -> bin cannot run; the whole pipeline
+        # degrades gracefully to an empty histogram.
+        assert result.datasets["binned"] == [] or \
+            all(row.get("count", 0) in (0.0, None)
+                for row in result.datasets["binned"])
+
+    def test_missing_dataset_table(self):
+        from repro.spec import SpecError
+
+        with pytest.raises(SpecError):
+            VegaPlus(flights_histogram_spec(), data={})
+
+    def test_prefetch_budget_zero(self):
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(2000)},
+            prefetch_budget=0,
+        )
+        session.startup()
+        session.interact("binField", "distance")
+        assert session.idle() == []
+
+    def test_cache_single_entry_still_correct(self):
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(2000)},
+            cache_entries=1,
+        )
+        first = session.startup()
+        second = session.interact("binField", "distance")
+        third = session.interact("binField", "dep_delay")
+        assert sorted(
+            ((r["bin0"] is None, r["bin0"]), r["count"])
+            for r in third.datasets["binned"]
+        ) == sorted(
+            ((r["bin0"] is None, r["bin0"]), r["count"])
+            for r in first.datasets["binned"]
+        )
+
+    def test_run_with_plan_does_not_adopt(self):
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(2000)},
+        )
+        session.startup()
+        adopted = session.plan
+        session.run_with_plan(session.custom_plan({"binned": 0}))
+        assert session.plan is adopted
+
+
+class TestExecutorGuards:
+    def test_server_step_missing_value_dependency(self):
+        """A bin step on the server without its extent raises clearly."""
+        from repro.core.executors import ServerSegmentRunner
+        from repro.net import NetworkChannel
+        from repro.backends import EmbeddedBackend
+        from repro.compile import compile_spec
+        from repro.planner import resolve_chain
+
+        rows = generate_flights(100, as_rows=True)
+        compiled = compile_spec(
+            flights_histogram_spec(), data_tables={"flights": rows}
+        )
+        backend = EmbeddedBackend()
+        backend.load_table("flights", generate_flights(100))
+        runner = ServerSegmentRunner(
+            backend, NetworkChannel(), dict(compiled.flow.signals)
+        )
+        _, steps = resolve_chain(compiled, "binned")
+        # Skip the extent step; bin's OperatorRef now dangles.
+        with pytest.raises(ExecutorError):
+            runner.run_segment(
+                "flights", generate_flights(100).column_names,
+                steps[1:], cut=2,
+            )

@@ -1,0 +1,75 @@
+"""Network channel and payload estimation tests."""
+
+import pytest
+
+from repro.engine import Table
+from repro.net import (
+    NetworkChannel,
+    exact_wire_bytes,
+    request_bytes,
+    wire_bytes,
+)
+
+
+class TestChannel:
+    def test_round_trip_includes_two_latencies(self):
+        channel = NetworkChannel(latency_ms=50, bandwidth_mbps=1000)
+        seconds = channel.round_trip_seconds(0, 0)
+        assert abs(seconds - 0.1) < 1e-9
+
+    def test_bandwidth_term(self):
+        channel = NetworkChannel(latency_ms=0, bandwidth_mbps=8)  # 1 MB/s
+        assert abs(channel.transfer_seconds(1_000_000) - 1.0) < 1e-9
+
+    def test_request_accounts_stats(self):
+        channel = NetworkChannel(latency_ms=10, bandwidth_mbps=100)
+        channel.request(100, 5000, label="q1")
+        channel.request(100, 5000, label="q2")
+        assert channel.stats.round_trips == 2
+        assert channel.stats.bytes_received == 10000
+        assert channel.stats.seconds > 0
+        assert [record.label for record in channel.stats.log] == ["q1", "q2"]
+
+    def test_reset(self):
+        channel = NetworkChannel()
+        channel.request(1, 1)
+        channel.reset()
+        assert channel.stats.round_trips == 0
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NetworkChannel(latency_ms=-1)
+        with pytest.raises(ValueError):
+            NetworkChannel(bandwidth_mbps=0)
+
+    def test_higher_latency_costs_more(self):
+        fast = NetworkChannel(latency_ms=1)
+        slow = NetworkChannel(latency_ms=500)
+        assert slow.round_trip_seconds(10, 10) > fast.round_trip_seconds(10, 10)
+
+
+class TestPayload:
+    def test_wire_bytes_scales_with_rows(self):
+        small = Table.from_columns(x=[1.0] * 10)
+        large = Table.from_columns(x=[1.0] * 1000)
+        assert wire_bytes(large) > wire_bytes(small) * 50
+
+    def test_wire_bytes_empty(self):
+        assert wire_bytes(Table.from_columns(x=[])) == 2
+
+    def test_estimate_tracks_exact_within_2x(self):
+        table = Table.from_columns(
+            x=[float(i) for i in range(200)],
+            name=["row{}".format(i) for i in range(200)],
+        )
+        estimated = wire_bytes(table)
+        exact = exact_wire_bytes(table)
+        assert exact / 2 <= estimated <= exact * 2
+
+    def test_null_heavy_payload_smaller(self):
+        dense = Table.from_columns(s=["abcdefghij"] * 100)
+        sparse = Table.from_columns(s=[None] * 100)
+        assert wire_bytes(sparse) < wire_bytes(dense)
+
+    def test_request_bytes(self):
+        assert request_bytes("SELECT 1") > len("SELECT 1")

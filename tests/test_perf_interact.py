@@ -1,0 +1,174 @@
+"""Tests for the performance dashboard model and interaction traces."""
+
+import pytest
+
+from repro.core import VegaPlus
+from repro.datagen import generate_flights
+from repro.interact import (
+    InteractionTrace,
+    interleave,
+    option_cycle,
+    replay,
+    slider_drag,
+)
+from repro.perf import PerformanceComparison, compare_plans, plan_graph
+from repro.planner.plans import CostBreakdown
+from repro.spec import flights_histogram_spec
+
+
+@pytest.fixture(scope="module")
+def session():
+    instance = VegaPlus(
+        flights_histogram_spec(),
+        data={"flights": generate_flights(5000)},
+    )
+    instance.startup()
+    return instance
+
+
+class TestPlanGraph:
+    def test_nodes_and_edges(self, session):
+        graph = plan_graph(session)
+        names = [node.name for node in graph.nodes]
+        assert "flights:source" in names
+        assert "binned:1:bin" in names
+        assert len(graph.edges) == 3  # source->extent->bin->aggregate
+
+    def test_placement_colors(self, session):
+        graph = plan_graph(session)
+        placements = graph.placements()
+        assert placements["binned:2:aggregate"] == "server"
+
+    def test_custom_plan_placements(self, session):
+        custom = session.custom_plan({"binned": 1})
+        graph = plan_graph(session, custom)
+        placements = graph.placements()
+        assert placements["binned:0:extent"] == "server"
+        assert placements["binned:1:bin"] == "client"
+
+    def test_sql_tooltips_on_server_nodes(self, session):
+        graph = plan_graph(session)
+        aggregate_node = next(
+            node for node in graph.nodes if node.kind == "aggregate"
+        )
+        assert "SELECT" in aggregate_node.tooltip
+        extent_node = next(
+            node for node in graph.nodes if node.kind == "extent"
+        )
+        assert "MIN" in extent_node.tooltip
+
+    def test_dot_output(self, session):
+        dot = plan_graph(session).to_dot()
+        assert dot.startswith("digraph")
+        assert "lightblue" in dot
+
+    def test_to_dict(self, session):
+        data = plan_graph(session).to_dict()
+        assert data["plan"] == session.plan.label
+        assert all("placement" in node for node in data["nodes"])
+
+    def test_requires_plan(self):
+        fresh = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(100)},
+        )
+        with pytest.raises(ValueError):
+            plan_graph(fresh)
+
+
+class TestComparison:
+    def test_compare_three_plans(self, session):
+        plans = [
+            session.baseline_plan(),
+            session.plan,
+            session.custom_plan({"binned": 1}, label="user"),
+        ]
+        comparison = compare_plans(session, plans)
+        rows = comparison.as_dicts()
+        assert [row["plan"] for row in rows] == \
+            ["vega-client", "optimized", "user"]
+        # The optimizer recommendation must beat the user's bin-on-client
+        # partitioning (the paper's §3.1 narrative).
+        by_plan = {row["plan"]: row["total_s"] for row in rows}
+        assert by_plan["optimized"] < by_plan["user"]
+
+    def test_format_table(self, session):
+        comparison = PerformanceComparison()
+        comparison.add("x", CostBreakdown(server=1.0, client=2.0))
+        text = comparison.format_table()
+        assert "plan" in text and "x" in text
+
+
+class TestTraces:
+    def test_slider_drag(self):
+        trace = slider_drag("bins", 10, 14, step=2)
+        assert [step.value for step in trace.steps] == [10, 12, 14]
+
+    def test_slider_drag_descending(self):
+        trace = slider_drag("bins", 14, 10, step=2)
+        assert [step.value for step in trace.steps] == [14, 12, 10]
+
+    def test_option_cycle(self):
+        trace = option_cycle("field", ["a", "b"], repeats=2)
+        assert [step.value for step in trace.steps] == ["a", "b", "a", "b"]
+
+    def test_interleave(self):
+        mixed = interleave(
+            slider_drag("bins", 1, 2), option_cycle("field", ["x", "y"])
+        )
+        assert [step.signal for step in mixed.steps] == \
+            ["bins", "field", "bins", "field"]
+
+    def test_manual_trace(self):
+        trace = InteractionTrace("t").add("a", 1).add("b", 2, think_seconds=0)
+        assert len(trace.steps) == 2
+
+
+class TestReplay:
+    def test_replay_produces_results(self, session):
+        report = replay(
+            session, option_cycle("binField", ["distance", "air_time"]),
+            prefetch=False,
+        )
+        assert report.interactions == 2
+        assert report.total_latency > 0
+        assert len(report.latencies()) == 2
+
+    def test_prefetch_improves_hit_rate(self):
+        def fresh():
+            instance = VegaPlus(
+                flights_histogram_spec(),
+                data={"flights": generate_flights(5000)},
+            )
+            instance.startup()
+            return instance
+
+        trace = option_cycle(
+            "binField", ["distance", "air_time", "arr_delay"], repeats=2
+        )
+        cold = replay(fresh(), trace, prefetch=False)
+        warm = replay(fresh(), trace, prefetch=True)
+        assert warm.cache_hit_rate > cold.cache_hit_rate
+        assert warm.prefetches > 0
+
+    def test_prefetch_lowers_mean_latency(self):
+        table = generate_flights(60000)  # large enough for a server cut
+
+        def fresh():
+            instance = VegaPlus(
+                flights_histogram_spec(),
+                data={"flights": table},
+                latency_ms=100,
+            )
+            instance.startup()
+            assert instance.plan.datasets["binned"].cut > 0
+            return instance
+
+        # One lap only: after the first lap both sessions are fully cached
+        # and the comparison degenerates to client-time jitter.
+        trace = option_cycle(
+            "binField", ["distance", "air_time", "arr_delay"], repeats=1
+        )
+        cold = replay(fresh(), trace, prefetch=False)
+        warm = replay(fresh(), trace, prefetch=True)
+        assert warm.total_latency < cold.total_latency

@@ -1,0 +1,246 @@
+"""Tests for the partition planner: cardinality, cost model, cut choice,
+and interaction re-partitioning."""
+
+import pytest
+
+from repro.compile import compile_spec
+from repro.datagen import generate_census, generate_flights
+from repro.engine import compute_stats
+from repro.net import NetworkChannel
+from repro.planner import (
+    CostParameters,
+    PartitionOptimizer,
+    estimate_step,
+    from_table_stats,
+    interaction_plans,
+    signal_frontier,
+    translatable_prefix,
+)
+from repro.planner.partition import resolve_chain
+from repro.planner.plans import CostBreakdown
+from repro.spec import census_stacked_area_spec, flights_histogram_spec
+
+
+@pytest.fixture(scope="module")
+def flights_setup():
+    table = generate_flights(20000)
+    compiled = compile_spec(
+        flights_histogram_spec(), data_tables={"flights": table.to_rows()}
+    )
+    stats = {"flights": compute_stats(table)}
+    return compiled, stats
+
+
+@pytest.fixture(scope="module")
+def census_setup():
+    table = generate_census()
+    compiled = compile_spec(
+        census_stacked_area_spec(), data_tables={"census": table.to_rows()}
+    )
+    stats = {"census": compute_stats(table)}
+    return compiled, stats
+
+
+class TestCardinality:
+    def make_estimate(self, table):
+        return from_table_stats(compute_stats(table))
+
+    def test_base_estimate(self):
+        table = generate_flights(1000)
+        estimate = self.make_estimate(table)
+        assert estimate.rows == 1000
+        assert "dep_delay" in estimate.columns
+
+    def test_filter_reduces_rows(self):
+        table = generate_flights(1000)
+        estimate = self.make_estimate(table)
+        out = estimate_step(estimate, "filter",
+                            {"expr": "datum.dep_delay > 10"})
+        assert 0 < out.rows < estimate.rows
+
+    def test_equality_filter_uses_distinct(self):
+        table = generate_flights(1000)
+        estimate = self.make_estimate(table)
+        out = estimate_step(estimate, "filter",
+                            {"expr": "datum.carrier == 'AA'"})
+        assert out.rows < estimate.rows / 2
+
+    def test_aggregate_rows_bounded_by_groups(self):
+        table = generate_flights(1000)
+        estimate = self.make_estimate(table)
+        out = estimate_step(
+            estimate, "aggregate", {"groupby": ["carrier"], "ops": ["count"]}
+        )
+        assert out.rows <= 10  # ten carriers
+
+    def test_bin_adds_columns(self):
+        table = generate_flights(100)
+        estimate = self.make_estimate(table)
+        out = estimate_step(
+            estimate, "bin", {"field": "dep_delay", "maxbins": 10}
+        )
+        assert "bin0" in out.columns and "bin1" in out.columns
+
+    def test_aggregate_on_bins_estimates_maxbins_groups(self):
+        table = generate_flights(1000)
+        estimate = self.make_estimate(table)
+        binned = estimate_step(
+            estimate, "bin", {"field": "dep_delay", "maxbins": 15}
+        )
+        out = estimate_step(
+            binned, "aggregate", {"groupby": ["bin0"], "ops": ["count"]}
+        )
+        assert out.rows <= 15
+
+    def test_sample_caps_rows(self):
+        table = generate_flights(1000)
+        estimate = self.make_estimate(table)
+        out = estimate_step(estimate, "sample", {"size": 50})
+        assert out.rows == 50
+
+    def test_fold_multiplies_rows(self):
+        table = generate_flights(100)
+        estimate = self.make_estimate(table)
+        out = estimate_step(estimate, "fold", {"fields": ["a", "b", "c"]})
+        assert out.rows == 300
+
+
+class TestTranslatablePrefix:
+    def test_full_prefix_for_flights(self, flights_setup):
+        compiled, stats = flights_setup
+        _, steps = resolve_chain(compiled, "binned")
+        prefix, _ = translatable_prefix(
+            steps, list(stats["flights"].columns), dict(compiled.flow.signals)
+        )
+        assert prefix == 3  # extent, bin, aggregate all translatable
+
+    def test_census_prefix_without_search(self, census_setup):
+        compiled, stats = census_setup
+        _, steps = resolve_chain(compiled, "stacked")
+        prefix, _ = translatable_prefix(
+            steps, list(stats["census"].columns), dict(compiled.flow.signals)
+        )
+        assert prefix == 4  # filter, filter, aggregate, stack
+
+    def test_untranslatable_step_stops_prefix(self, flights_setup):
+        compiled, stats = flights_setup
+        spec = flights_histogram_spec()
+        # Inject a sample transform (no SQL translation) in the middle.
+        spec["data"][1]["transform"].insert(
+            1, {"type": "sample", "size": 100}
+        )
+        table_rows = [{"dep_delay": 1.0}]
+        new_compiled = compile_spec(spec, data_tables={"flights": table_rows})
+        _, steps = resolve_chain(new_compiled, "binned")
+        prefix, _ = translatable_prefix(
+            steps, ["dep_delay"], dict(new_compiled.flow.signals)
+        )
+        assert prefix == 1  # only extent before sample
+
+
+class TestOptimizer:
+    def test_large_data_goes_server(self, flights_setup):
+        compiled, stats = flights_setup
+        optimizer = PartitionOptimizer(NetworkChannel(20, 100))
+        plan = optimizer.plan(compiled, stats)
+        assert plan.datasets["binned"].cut == 3
+
+    def test_tiny_data_prefers_client(self):
+        table = generate_flights(50)
+        compiled = compile_spec(
+            flights_histogram_spec(), data_tables={"flights": table.to_rows()}
+        )
+        stats = {"flights": compute_stats(table)}
+        # Slow, chatty network: round trips dominate; keep it client-side.
+        optimizer = PartitionOptimizer(
+            NetworkChannel(latency_ms=500, bandwidth_mbps=1000)
+        )
+        plan = optimizer.plan(compiled, stats)
+        assert plan.datasets["binned"].cut == 0
+
+    def test_forced_cut_respected(self, flights_setup):
+        compiled, stats = flights_setup
+        optimizer = PartitionOptimizer(NetworkChannel(20, 100))
+        plan = optimizer.plan(compiled, stats, forced_cuts={"binned": 1})
+        assert plan.datasets["binned"].cut == 1
+
+    def test_forced_cut_clamped_to_prefix(self, flights_setup):
+        compiled, stats = flights_setup
+        optimizer = PartitionOptimizer(NetworkChannel(20, 100))
+        plan = optimizer.plan(compiled, stats, forced_cuts={"binned": 99})
+        assert plan.datasets["binned"].cut == 3
+
+    def test_estimates_populated(self, flights_setup):
+        compiled, stats = flights_setup
+        optimizer = PartitionOptimizer(NetworkChannel(20, 100))
+        plan = optimizer.plan(compiled, stats)
+        dataset_plan = plan.datasets["binned"]
+        assert dataset_plan.estimate.total > 0
+        assert dataset_plan.transfer_rows < 1000  # aggregated output only
+
+    def test_higher_latency_penalizes_server(self, flights_setup):
+        compiled, stats = flights_setup
+        fast = PartitionOptimizer(NetworkChannel(1, 1000))
+        slow = PartitionOptimizer(NetworkChannel(2000, 1))
+        fast_plan = fast.plan(compiled, stats)
+        slow_plan = slow.plan(compiled, stats)
+        assert slow_plan.datasets["binned"].estimate.network > \
+            fast_plan.datasets["binned"].estimate.network
+
+    def test_describe(self, flights_setup):
+        compiled, stats = flights_setup
+        optimizer = PartitionOptimizer(NetworkChannel(20, 100))
+        text = optimizer.plan(compiled, stats).describe()
+        assert "binned" in text and "cut=" in text
+
+
+class TestCostBreakdown:
+    def test_addition(self):
+        total = CostBreakdown(server=1, network=2) + CostBreakdown(client=3)
+        assert total.total == 6
+
+    def test_as_dict(self):
+        data = CostBreakdown(server=1).as_dict()
+        assert data["server"] == 1
+        assert data["total"] == 1
+
+
+class TestInteractionPlanning:
+    def test_signal_frontiers(self, flights_setup):
+        compiled, _ = flights_setup
+        assert signal_frontier(compiled, "binned", "binField") == 0
+        assert signal_frontier(compiled, "binned", "maxbins") == 1
+
+    def test_unreferenced_signal_frontier_is_end(self, census_setup):
+        compiled, _ = census_setup
+        compiled.flow.signals.setdefault("ghost", 1)
+        assert signal_frontier(compiled, "stacked", "ghost") == 4
+
+    def test_census_frontiers(self, census_setup):
+        compiled, _ = census_setup
+        assert signal_frontier(compiled, "stacked", "sexFilter") == 0
+        assert signal_frontier(compiled, "stacked", "searchPattern") == 1
+
+    def test_interaction_plans_cut_at_frontier(self, flights_setup):
+        compiled, stats = flights_setup
+        plans = interaction_plans(compiled, stats, NetworkChannel(20, 100))
+        assert set(plans) == {"binField", "maxbins"}
+        assert plans["binField"].datasets["binned"].cut == 0
+        assert plans["maxbins"].datasets["binned"].cut == 1
+
+
+class TestCostParameters:
+    def test_client_slowdown_scales_client_cost(self, flights_setup):
+        compiled, stats = flights_setup
+        channel = NetworkChannel(20, 100)
+        normal = PartitionOptimizer(channel, CostParameters())
+        slow = PartitionOptimizer(
+            channel, CostParameters(client_slowdown=10.0)
+        )
+        normal_cost = normal.plan(
+            compiled, stats, forced_cuts={"binned": 0}
+        ).estimate.client
+        slow_cost = slow.plan(
+            compiled, stats, forced_cuts={"binned": 0}
+        ).estimate.client
+        assert slow_cost > normal_cost * 5

@@ -1,0 +1,127 @@
+"""Tests for signal substitution/folding and its planner integration."""
+
+from repro.expr import ast
+from repro.expr.constfold import fold_with_signals, substitute_signals
+
+
+class TestSubstituteSignals:
+    def test_scalar_substitution(self):
+        node = substitute_signals("cut + 1", {"cut": 5})
+        assert isinstance(node, ast.Binary)
+        assert node.left == ast.Literal(5.0)
+
+    def test_list_substitution(self):
+        node = substitute_signals("ext[0]", {"ext": [1, 2]})
+        assert isinstance(node.obj, ast.ArrayExpr)
+
+    def test_datum_fields_untouched(self):
+        node = substitute_signals("datum.cut", {"cut": 5})
+        assert node == ast.Member(
+            ast.Identifier("datum"), ast.Literal("cut"), computed=False
+        )
+
+    def test_unknown_signal_left_alone(self):
+        node = substitute_signals("ghost + 1", {})
+        assert isinstance(node.left, ast.Identifier)
+
+    def test_guard_folds_true(self):
+        node = fold_with_signals(
+            "mode == 'all' || datum.sex == mode", {"mode": "all"}
+        )
+        assert node == ast.Literal(True)
+
+    def test_guard_folds_to_residual_predicate(self):
+        node = fold_with_signals(
+            "mode == 'all' || datum.sex == mode", {"mode": "male"}
+        )
+        assert isinstance(node, ast.Binary)
+        assert node.op == "=="
+
+    def test_empty_search_folds_true(self):
+        node = fold_with_signals(
+            "q == '' || test(q, datum.job)", {"q": ""}
+        )
+        assert node == ast.Literal(True)
+
+
+class TestSelectivityWithSignals:
+    def make_estimate(self):
+        from repro.datagen import generate_census
+        from repro.engine import compute_stats
+        from repro.planner import from_table_stats
+
+        return from_table_stats(compute_stats(generate_census()))
+
+    def test_disabled_guard_selectivity_one(self):
+        from repro.planner import estimate_step
+
+        estimate = self.make_estimate()
+        out = estimate_step(
+            estimate, "filter",
+            {"expr": "mode == 'all' || datum.sex == mode"},
+            signals={"mode": "all"},
+        )
+        assert out.rows == estimate.rows
+
+    def test_enabled_guard_uses_distinct(self):
+        from repro.planner import estimate_step
+
+        estimate = self.make_estimate()
+        out = estimate_step(
+            estimate, "filter",
+            {"expr": "mode == 'all' || datum.sex == mode"},
+            signals={"mode": "male"},
+        )
+        assert out.rows == estimate.rows / 2  # two sexes
+
+    def test_false_predicate_near_zero(self):
+        from repro.planner import estimate_step
+
+        estimate = self.make_estimate()
+        out = estimate_step(
+            estimate, "filter", {"expr": "1 > 2"}, signals={},
+        )
+        assert out.rows < 1
+
+
+class TestScatterSpecPlanning:
+    def test_sample_pins_points_client_side(self):
+        from repro.compile import compile_spec
+        from repro.datagen import generate_flights
+        from repro.engine import compute_stats
+        from repro.net import NetworkChannel
+        from repro.planner import PartitionOptimizer
+        from repro.spec import flights_scatter_spec
+
+        table = generate_flights(20000)
+        compiled = compile_spec(
+            flights_scatter_spec(), data_tables={"flights": table.to_rows()}
+        )
+        optimizer = PartitionOptimizer(NetworkChannel(20, 100))
+        plan = optimizer.plan(compiled, {"flights": compute_stats(table)})
+        # points: filter | sample | project -> prefix stops at sample.
+        assert plan.datasets["points"].max_cut == 1
+        # trend: filter | regression -> prefix stops at regression.
+        assert plan.datasets["trend"].max_cut == 1
+
+
+class TestAsciiBars:
+    def test_render(self):
+        from repro.perf import PerformanceComparison, render_stacked_bars
+        from repro.planner.plans import CostBreakdown
+
+        comparison = PerformanceComparison()
+        comparison.add("slow", CostBreakdown(network=2.0, client=2.0))
+        comparison.add("fast", CostBreakdown(server=0.5))
+        text = render_stacked_bars(comparison, width=40)
+        lines = text.splitlines()
+        assert "slow" in lines[0] and "N" in lines[0] and "C" in lines[0]
+        assert "fast" in lines[1] and "S" in lines[1]
+        # Bar lengths proportional: slow's bar much longer than fast's.
+        assert lines[0].count("N") + lines[0].count("C") > \
+            lines[1].count("S") * 4
+
+    def test_empty(self):
+        from repro.perf import PerformanceComparison, render_stacked_bars
+
+        assert "no plans" in render_stacked_bars(PerformanceComparison())

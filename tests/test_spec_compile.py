@@ -1,0 +1,267 @@
+"""Spec parsing, validation, and spec->dataflow compilation tests."""
+
+import pytest
+
+from repro.compile import compile_spec
+from repro.spec import (
+    SpecError,
+    census_stacked_area_spec,
+    flights_histogram_spec,
+    parse_spec,
+    simple_filter_spec,
+    validate_spec,
+)
+
+
+class TestParsing:
+    def test_parse_flights_spec(self):
+        spec = parse_spec(flights_histogram_spec())
+        assert spec.signal_names() == ["binField", "maxbins"]
+        assert spec.dataset_names() == ["flights", "binned"]
+        assert len(spec.dataset("binned").transform) == 3
+
+    def test_parse_from_json_text(self):
+        import json
+
+        spec = parse_spec(json.dumps(simple_filter_spec()))
+        assert spec.dataset_names() == ["events", "big"]
+
+    def test_invalid_json(self):
+        with pytest.raises(SpecError):
+            parse_spec("{not json")
+
+    def test_non_object(self):
+        with pytest.raises(SpecError):
+            parse_spec("[1, 2]")
+
+    def test_signal_requires_name(self):
+        with pytest.raises(SpecError):
+            parse_spec({"signals": [{"value": 1}]})
+
+    def test_transform_requires_type(self):
+        with pytest.raises(SpecError):
+            parse_spec({"data": [{"name": "d", "values": [],
+                                  "transform": [{"field": "x"}]}]})
+
+    def test_output_signal_captured(self):
+        spec = parse_spec(flights_histogram_spec())
+        assert spec.dataset("binned").transform[0].output_signal == "ext"
+
+    def test_mark_fields(self):
+        spec = parse_spec(flights_histogram_spec())
+        assert spec.mark_fields("binned") == {"bin0", "bin1", "count"}
+
+    def test_interactive_signals(self):
+        spec = parse_spec(flights_histogram_spec())
+        assert {s.name for s in spec.interactive_signals()} == \
+            {"binField", "maxbins"}
+
+
+class TestValidation:
+    def test_valid_specs_pass(self):
+        for builder in (flights_histogram_spec, census_stacked_area_spec,
+                        simple_filter_spec):
+            validate_spec(parse_spec(builder()))
+
+    def test_duplicate_dataset(self):
+        raw = {"data": [{"name": "d", "values": []},
+                        {"name": "d", "values": []}]}
+        with pytest.raises(SpecError):
+            validate_spec(parse_spec(raw))
+
+    def test_unknown_source(self):
+        raw = {"data": [{"name": "d", "source": "nope"}]}
+        with pytest.raises(SpecError):
+            validate_spec(parse_spec(raw))
+
+    def test_self_source(self):
+        raw = {"data": [{"name": "d", "source": "d"}]}
+        with pytest.raises(SpecError):
+            validate_spec(parse_spec(raw))
+
+    def test_dataset_without_origin(self):
+        raw = {"data": [{"name": "d"}]}
+        with pytest.raises(SpecError):
+            validate_spec(parse_spec(raw))
+
+    def test_unknown_transform_type(self):
+        raw = {"data": [{"name": "d", "values": [],
+                         "transform": [{"type": "quantumsort"}]}]}
+        with pytest.raises(SpecError):
+            validate_spec(parse_spec(raw))
+
+    def test_unknown_signal_reference(self):
+        raw = {"data": [{"name": "d", "values": [],
+                         "transform": [{"type": "bin", "field": "x",
+                                        "maxbins": {"signal": "nope"}}]}]}
+        with pytest.raises(SpecError):
+            validate_spec(parse_spec(raw))
+
+    def test_mark_unknown_dataset(self):
+        raw = {"data": [{"name": "d", "values": []}],
+               "marks": [{"type": "rect", "from": {"data": "nope"}}]}
+        with pytest.raises(SpecError):
+            validate_spec(parse_spec(raw))
+
+    def test_transform_signal_collision(self):
+        raw = {
+            "signals": [{"name": "ext", "value": 1}],
+            "data": [{"name": "d", "values": [],
+                      "transform": [{"type": "extent", "field": "x",
+                                     "signal": "ext"}]}],
+        }
+        with pytest.raises(SpecError):
+            validate_spec(parse_spec(raw))
+
+
+class TestCompilation:
+    def test_flights_compiles_and_runs(self):
+        rows = [{"dep_delay": float(i % 60), "arr_delay": 1.0,
+                 "distance": 100.0, "air_time": 10.0} for i in range(500)]
+        compiled = compile_spec(
+            flights_histogram_spec(), data_tables={"flights": rows}
+        )
+        compiled.run()
+        binned = compiled.results("binned")
+        assert binned
+        assert sum(row["count"] for row in binned) == 500
+
+    def test_census_compiles_and_runs(self):
+        rows = [
+            {"year": 1900.0, "job": "Farmer", "sex": "male", "count": 10.0},
+            {"year": 1900.0, "job": "Nurse", "sex": "female", "count": 5.0},
+            {"year": 1910.0, "job": "Farmer", "sex": "male", "count": 8.0},
+        ]
+        compiled = compile_spec(
+            census_stacked_area_spec(), data_tables={"census": rows}
+        )
+        compiled.run()
+        stacked = compiled.results("stacked")
+        assert all("y0" in row and "y1" in row for row in stacked)
+
+    def test_census_sex_filter_signal(self):
+        rows = [
+            {"year": 1900.0, "job": "Farmer", "sex": "male", "count": 10.0},
+            {"year": 1900.0, "job": "Nurse", "sex": "female", "count": 5.0},
+        ]
+        compiled = compile_spec(
+            census_stacked_area_spec(), data_tables={"census": rows}
+        )
+        compiled.run()
+        assert len(compiled.results("stacked")) == 2
+        compiled.set_signal("sexFilter", "female")
+        compiled.run()
+        assert [row["job"] for row in compiled.results("stacked")] == ["Nurse"]
+
+    def test_census_regex_search(self):
+        rows = [
+            {"year": 1900.0, "job": "Farm Laborer", "sex": "male", "count": 1.0},
+            {"year": 1900.0, "job": "Nurse", "sex": "female", "count": 1.0},
+        ]
+        compiled = compile_spec(
+            census_stacked_area_spec(), data_tables={"census": rows}
+        )
+        compiled.set_signal("searchPattern", "^Farm")
+        compiled.run()
+        assert [row["job"] for row in compiled.results("stacked")] == \
+            ["Farm Laborer"]
+
+    def test_missing_root_data(self):
+        with pytest.raises(SpecError):
+            compile_spec(flights_histogram_spec(), data_tables={})
+
+    def test_inline_values_need_no_tables(self):
+        raw = {
+            "data": [{
+                "name": "d",
+                "values": [{"x": 1}, {"x": 2}],
+                "transform": [{"type": "filter", "expr": "datum.x > 1"}],
+            }]
+        }
+        compiled = compile_spec(raw)
+        compiled.run()
+        assert compiled.results("d") == [{"x": 2}]
+
+    def test_lookup_across_datasets(self):
+        raw = {
+            "data": [
+                {"name": "airlines",
+                 "values": [{"iata": "AA", "label": "American"}]},
+                {"name": "flights", "values": [{"carrier": "AA"}],
+                 "transform": [
+                     {"type": "lookup", "from": {"data": "airlines"},
+                      "key": "iata", "fields": ["carrier"],
+                      "values": ["label"], "as": ["airline"]},
+                 ]},
+            ]
+        }
+        compiled = compile_spec(raw)
+        compiled.run()
+        assert compiled.results("flights")[0]["airline"] == "American"
+
+    def test_circular_datasets_rejected(self):
+        raw = {
+            "data": [
+                {"name": "a", "source": "b"},
+                {"name": "b", "source": "a"},
+            ]
+        }
+        with pytest.raises(SpecError):
+            compile_spec(raw, validate=False)
+
+    def test_pipelines_index(self):
+        rows = [{"dep_delay": 1.0}]
+        compiled = compile_spec(
+            flights_histogram_spec(), data_tables={"flights": rows}
+        )
+        assert len(compiled.pipelines["binned"]) == 3
+        assert compiled.pipelines["flights"][0].name == "flights:source"
+        assert "ext" in compiled.signal_ops
+
+
+class TestAxesLegends:
+    BASE = {
+        "data": [{"name": "d", "values": [{"x": 1.0}]}],
+        "scales": [
+            {"name": "xscale", "type": "linear",
+             "domain": {"data": "d", "field": "x"}, "range": "width"},
+        ],
+    }
+
+    def test_axes_parsed(self):
+        raw = dict(self.BASE)
+        raw["axes"] = [{"scale": "xscale", "orient": "bottom",
+                        "title": "X"}]
+        spec = validate_spec(parse_spec(raw))
+        assert spec.axes[0].scale == "xscale"
+        assert spec.axes[0].title == "X"
+
+    def test_axis_requires_scale(self):
+        raw = dict(self.BASE)
+        raw["axes"] = [{"orient": "left"}]
+        with pytest.raises(SpecError):
+            parse_spec(raw)
+
+    def test_axis_unknown_scale_rejected(self):
+        raw = dict(self.BASE)
+        raw["axes"] = [{"scale": "nope"}]
+        with pytest.raises(SpecError):
+            validate_spec(parse_spec(raw))
+
+    def test_legend_parsed(self):
+        raw = dict(self.BASE)
+        raw["legends"] = [{"fill": "xscale", "title": "Legend"}]
+        spec = validate_spec(parse_spec(raw))
+        assert spec.legends[0].scales == {"fill": "xscale"}
+
+    def test_legend_without_channel_rejected(self):
+        raw = dict(self.BASE)
+        raw["legends"] = [{"title": "Empty"}]
+        with pytest.raises(SpecError):
+            parse_spec(raw)
+
+    def test_legend_unknown_scale_rejected(self):
+        raw = dict(self.BASE)
+        raw["legends"] = [{"fill": "ghost"}]
+        with pytest.raises(SpecError):
+            validate_spec(parse_spec(raw))

@@ -1,0 +1,385 @@
+"""Tests for SQL translation, composition, merging, and rewriting."""
+
+import pytest
+
+from repro.engine import Database, Table, sqlast
+from repro.engine.parser import parse_select
+from repro.sqlgen import (
+    SqlPipelineBuilder,
+    Untranslatable,
+    can_translate,
+    compose_pipeline,
+    merge_query,
+    rewrite_query,
+    simplify_expr,
+    translate_transform,
+)
+
+
+def translate(spec_type, params, columns, signals=None, table="t"):
+    return translate_transform(
+        spec_type, params, sqlast.TableRef(table), columns, signals
+    )
+
+
+class TestTranslators:
+    def test_filter(self):
+        out = translate("filter", {"expr": "datum.x > 5"}, ["x", "y"])
+        assert 'WHERE ("x" > 5)' in out.select.to_sql()
+        assert out.columns == ["x", "y"]
+
+    def test_filter_with_signal(self):
+        out = translate(
+            "filter", {"expr": "datum.x > cut"}, ["x"], signals={"cut": 7}
+        )
+        assert "7" in out.select.to_sql()
+
+    def test_filter_unbound_signal_untranslatable(self):
+        with pytest.raises(Untranslatable):
+            translate("filter", {"expr": "datum.x > cut"}, ["x"])
+
+    def test_formula(self):
+        out = translate(
+            "formula", {"expr": "datum.x * 2", "as": "x2"}, ["x"]
+        )
+        assert out.columns == ["x", "x2"]
+        assert '("x" * 2) AS "x2"' in out.select.to_sql()
+
+    def test_formula_overwrite_same_field(self):
+        out = translate("formula", {"expr": "datum.x * 2", "as": "x"}, ["x"])
+        assert out.columns == ["x"]
+
+    def test_project(self):
+        out = translate(
+            "project", {"fields": ["a", "b"], "as": ["a", "bee"]},
+            ["a", "b", "c"],
+        )
+        assert out.columns == ["a", "bee"]
+
+    def test_extent_is_value(self):
+        out = translate("extent", {"field": "x"}, ["x"])
+        assert out.is_value is True
+        sql = out.select.to_sql()
+        assert "MIN" in sql and "MAX" in sql
+
+    def test_extent_unknown_field(self):
+        with pytest.raises(Untranslatable):
+            translate("extent", {"field": "zz"}, ["x"])
+
+    def test_bin(self):
+        out = translate(
+            "bin", {"field": "x", "extent": [0, 100], "maxbins": 10}, ["x"]
+        )
+        assert out.columns == ["x", "bin0", "bin1"]
+        assert "FLOOR" in out.select.to_sql()
+        assert "LEAST" in out.select.to_sql()
+
+    def test_bin_requires_extent(self):
+        with pytest.raises(Untranslatable):
+            translate("bin", {"field": "x"}, ["x"])
+
+    def test_aggregate_ops(self):
+        out = translate(
+            "aggregate",
+            {"groupby": ["k"],
+             "ops": ["count", "valid", "missing", "distinct", "sum", "mean",
+                     "median", "q1", "q3", "min", "max"],
+             "fields": [None, "v", "v", "v", "v", "v", "v", "v", "v", "v", "v"]},
+            ["k", "v"],
+        )
+        sql = out.select.to_sql()
+        assert "COUNT(*)" in sql
+        assert "COUNT(DISTINCT" in sql
+        assert "QUANTILE" in sql
+        assert "GROUP BY" in sql
+        assert out.columns[0] == "k"
+
+    def test_collect(self):
+        out = translate(
+            "collect",
+            {"sort": {"field": "x", "order": "descending"}},
+            ["x"],
+        )
+        assert 'ORDER BY "x" DESC' in out.select.to_sql()
+
+    def test_stack(self):
+        out = translate(
+            "stack",
+            {"groupby": ["year"], "field": "total",
+             "sort": {"field": "job"}},
+            ["year", "job", "total"],
+        )
+        sql = out.select.to_sql()
+        assert "SUM" in sql and "OVER" in sql and "PARTITION BY" in sql
+        assert out.columns[-2:] == ["y0", "y1"]
+
+    def test_stack_nonzero_offset_untranslatable(self):
+        with pytest.raises(Untranslatable):
+            translate(
+                "stack",
+                {"groupby": [], "field": "v", "offset": "normalize"},
+                ["v"],
+            )
+
+    def test_joinaggregate(self):
+        out = translate(
+            "joinaggregate",
+            {"groupby": ["k"], "ops": ["sum"], "fields": ["v"], "as": ["t"]},
+            ["k", "v"],
+        )
+        assert "OVER (PARTITION BY" in out.select.to_sql()
+        assert out.columns == ["k", "v", "t"]
+
+    def test_window_rank(self):
+        out = translate(
+            "window",
+            {"ops": ["row_number"], "as": ["rn"], "sort": {"field": "v"}},
+            ["v"],
+        )
+        assert "ROW_NUMBER() OVER" in out.select.to_sql()
+
+    def test_untranslatable_types(self):
+        for spec_type in ("sample", "fold", "flatten", "countpattern",
+                          "impute", "pivot"):
+            assert can_translate(spec_type) is False
+            with pytest.raises(Untranslatable):
+                translate(spec_type, {}, ["x"])
+
+    def test_can_translate(self):
+        assert can_translate("aggregate") is True
+        assert can_translate("bin") is True
+
+
+class TestBuilder:
+    def test_incremental_composition(self):
+        builder = SqlPipelineBuilder("t", ["x", "k"])
+        builder.add_step("filter", {"expr": "datum.x > 0"})
+        builder.add_step(
+            "aggregate", {"groupby": ["k"], "ops": ["count"], "as": ["n"]}
+        )
+        sql = builder.query().to_sql()
+        assert "GROUP BY" in sql
+        assert builder.columns == ["k", "n"]
+
+    def test_value_query_does_not_advance(self):
+        builder = SqlPipelineBuilder("t", ["x"])
+        translation = builder.value_query("extent", {"field": "x"})
+        assert translation.is_value
+        assert builder.columns == ["x"]
+        assert builder.has_steps is False
+
+    def test_empty_pipeline_query(self):
+        builder = SqlPipelineBuilder("t", ["x", "y"])
+        sql = builder.query().to_sql()
+        assert sql.startswith("SELECT")
+        assert 'FROM "t"' in sql
+
+    def test_final_projection(self):
+        builder = SqlPipelineBuilder("t", ["x", "y", "z"])
+        builder.add_step("filter", {"expr": "datum.x > 0"})
+        sql = builder.query(project_fields=["x"]).to_sql()
+        outer = parse_select(sql)
+        assert len(outer.items) == 1
+
+    def test_value_through_add_step_rejected(self):
+        builder = SqlPipelineBuilder("t", ["x"])
+        with pytest.raises(ValueError):
+            builder.add_step("extent", {"field": "x"})
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.load_table(
+        "t",
+        Table.from_columns(
+            x=[1.0, 5.0, 9.0, 13.0, None],
+            k=["a", "b", "a", "b", "a"],
+        ),
+    )
+    return database
+
+
+PIPELINE = [
+    ("filter", {"expr": "datum.x > 2"}),
+    ("bin", {"field": "x", "extent": [0, 16], "maxbins": 4}),
+    ("aggregate", {"groupby": ["bin0"], "ops": ["count"], "as": ["n"]}),
+]
+
+
+class TestMerge:
+    def test_merges_to_single_select(self):
+        nested = compose_pipeline("t", ["x", "k"], PIPELINE)
+        merged = merge_query(nested)
+        assert "(" not in merged.to_sql().split("FROM")[1].split("WHERE")[0]
+        assert merged.from_ == sqlast.TableRef("t")
+
+    def test_merged_equivalent(self, db):
+        nested = compose_pipeline("t", ["x", "k"], PIPELINE)
+        merged = merge_query(nested)
+        key = lambda rows: sorted(rows, key=lambda r: (r["bin0"] is None, r["bin0"]))  # noqa: E731
+        assert key(db.execute(nested.to_sql()).to_rows()) == \
+            key(db.execute(merged.to_sql()).to_rows())
+
+    def test_does_not_merge_through_group_by(self, db):
+        steps = [
+            ("aggregate", {"groupby": ["k"], "ops": ["count"], "as": ["n"]}),
+            ("filter", {"expr": "datum.n > 1"}),
+        ]
+        nested = compose_pipeline("t", ["x", "k"], steps)
+        merged = merge_query(nested)
+        # The aggregate must stay a derived table under the outer filter.
+        assert isinstance(merged.from_, sqlast.SubqueryRef)
+        rows = db.execute(merged.to_sql()).to_rows()
+        assert {row["k"] for row in rows} == {"a", "b"}
+
+    def test_passthrough_collapses(self):
+        inner = parse_select("SELECT a AS a, b AS b FROM t WHERE a > 1")
+        outer = sqlast.Select(
+            items=(
+                sqlast.SelectItem(sqlast.ColumnRef("a"), "a"),
+                sqlast.SelectItem(sqlast.ColumnRef("b"), "b"),
+            ),
+            from_=sqlast.SubqueryRef(inner, "s"),
+        )
+        assert merge_query(outer) == inner
+
+    def test_window_inner_not_merged(self, db):
+        steps = [
+            ("stack", {"groupby": ["k"], "field": "x",
+                       "sort": {"field": "x"}}),
+            ("filter", {"expr": "datum.y1 > 5"}),
+        ]
+        nested = compose_pipeline("t", ["x", "k"], steps)
+        merged = merge_query(nested)
+        assert isinstance(merged.from_, sqlast.SubqueryRef)
+
+
+class TestRewrite:
+    def test_simplify_folds_constants(self):
+        expr = parse_select("SELECT a + (1 + 1) AS v FROM t").items[0].expr
+        assert simplify_expr(expr).to_sql() == '("a" + 2)'
+
+    def test_simplify_boolean_identity(self):
+        expr = parse_select("SELECT a FROM t WHERE TRUE AND a > 1").where
+        assert simplify_expr(expr).to_sql() == '("a" > 1)'
+
+    def test_true_where_removed(self):
+        select = parse_select("SELECT a FROM t WHERE 1 < 2")
+        assert rewrite_query(select).where is None
+
+    def test_pushdown_moves_predicate_inside(self):
+        select = parse_select(
+            "SELECT k, n FROM (SELECT k AS k, COUNT(*) AS n FROM t GROUP BY k) "
+            "AS s WHERE k = 'a'"
+        )
+        rewritten = rewrite_query(select)
+        inner = rewritten.from_.query
+        assert inner.where is not None
+        assert rewritten.where is None
+
+    def test_pushdown_keeps_aggregate_predicates_outside(self):
+        select = parse_select(
+            "SELECT k, n FROM (SELECT k AS k, COUNT(*) AS n FROM t GROUP BY k) "
+            "AS s WHERE n > 1"
+        )
+        rewritten = rewrite_query(select)
+        assert rewritten.where is not None
+        assert rewritten.from_.query.where is None
+
+    def test_pruning_drops_unused_columns(self):
+        select = parse_select(
+            "SELECT a FROM (SELECT a AS a, b AS b, c AS c FROM t) AS s"
+        )
+        rewritten = rewrite_query(select)
+        assert len(rewritten.from_.query.items) == 1
+
+    def test_pruning_respects_where_references(self):
+        select = parse_select(
+            "SELECT a FROM (SELECT a AS a, b AS b, c AS c FROM t) AS s "
+            "WHERE b > 1"
+        )
+        # Pruning alone must keep b (the outer WHERE needs it) but drop c.
+        rewritten = rewrite_query(select, pushdown=False, simplify=False)
+        names = {item.alias for item in rewritten.from_.query.items}
+        assert names == {"a", "b"}
+
+    def test_rewrite_preserves_results(self, db):
+        nested = compose_pipeline("t", ["x", "k"], PIPELINE)
+        rewritten = rewrite_query(nested)
+        key = lambda rows: sorted(rows, key=lambda r: (r["bin0"] is None, r["bin0"]))  # noqa: E731
+        assert key(db.execute(nested.to_sql()).to_rows()) == \
+            key(db.execute(rewritten.to_sql()).to_rows())
+
+    def test_flags_disable_rules(self):
+        select = parse_select(
+            "SELECT a FROM (SELECT a AS a, b AS b FROM t) AS s"
+        )
+        untouched = rewrite_query(select, pushdown=False, prune=False,
+                                  simplify=False)
+        assert untouched == select
+
+
+class TestClientServerParity:
+    """The SQL path and the client dataflow must produce identical data."""
+
+    PARITY_PIPELINES = [
+        [("filter", {"expr": "datum.x > 2"})],
+        [("aggregate", {"groupby": ["k"],
+                        "ops": ["count", "sum", "mean"],
+                        "fields": [None, "x", "x"]})],
+        [("bin", {"field": "x", "extent": [0, 16], "maxbins": 4}),
+         ("aggregate", {"groupby": ["bin0", "bin1"], "ops": ["count"],
+                        "as": ["count"]})],
+        # formula then filter on the derived field
+        [("formula", {"expr": "datum.x * 2", "as": "x2"}),
+         ("filter", {"expr": "datum.x2 >= 10"})],
+        # aggregate then stack over the groups
+        [("aggregate", {"groupby": ["k"], "ops": ["sum"],
+                        "fields": ["x"], "as": ["total"]}),
+         ("stack", {"groupby": [], "sort": {"field": "k"},
+                    "field": "total"})],
+        # joinaggregate appends group totals to every row
+        [("joinaggregate", {"groupby": ["k"], "ops": ["sum", "count"],
+                            "fields": ["x", None],
+                            "as": ["total", "n"]})],
+        # min/max/valid/missing/distinct measures
+        [("aggregate", {"groupby": ["k"],
+                        "ops": ["min", "max", "valid", "missing",
+                                "distinct"],
+                        "fields": ["x", "x", "x", "x", "x"]})],
+        # project then aggregate
+        [("project", {"fields": ["k"], "as": ["cat"]}),
+         ("aggregate", {"groupby": ["cat"], "ops": ["count"],
+                        "as": ["n"]})],
+        # filter chain fused across steps
+        [("filter", {"expr": "datum.x > 1"}),
+         ("filter", {"expr": "datum.x < 12"}),
+         ("aggregate", {"ops": ["count"], "as": ["n"]})],
+    ]
+
+    @pytest.mark.parametrize(
+        "steps", PARITY_PIPELINES,
+        ids=["filter", "aggregate", "bin-agg", "formula-filter",
+             "agg-stack", "joinaggregate", "measures", "project-agg",
+             "filter-chain"],
+    )
+    def test_parity(self, db, steps):
+        client_params = steps
+        from repro.dataflow.transforms import create_transform
+
+        sql = merge_query(compose_pipeline("t", ["x", "k"], steps)).to_sql()
+        server_rows = db.execute(sql).to_rows()
+
+        rows = db.table("t").to_rows()
+        for spec_type, params in client_params:
+            transform = create_transform(spec_type, "t", params, None)
+            rows = transform.transform(rows, params, {})
+
+        def canon(items):
+            return sorted(
+                (tuple(sorted((k, v) for k, v in row.items() if v is not None))
+                 for row in items)
+            )
+
+        assert canon(server_rows) == canon(rows)

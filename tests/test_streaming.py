@@ -1,0 +1,139 @@
+"""Tests for streaming data appends through the session."""
+
+import pytest
+
+from repro.core import SessionError, VegaPlus
+from repro.datagen import generate_flights
+from repro.spec import flights_histogram_spec, simple_filter_spec
+
+
+class TestAppendData:
+    def make_session(self, rows=2000):
+        return VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(rows)},
+        )
+
+    def test_append_updates_counts(self):
+        session = self.make_session()
+        session.startup()
+        before = sum(row["count"] for row in session.results("binned"))
+        extra = generate_flights(500, seed=99, as_rows=True)
+        result = session.append_data("flights", extra)
+        after = sum(row["count"] for row in result.datasets["binned"])
+        assert after == before + 500
+
+    def test_append_updates_backend(self):
+        session = self.make_session()
+        session.startup()
+        session.append_data(
+            "flights", generate_flights(100, seed=5, as_rows=True)
+        )
+        assert session.backend.row_count("flights") == 2100
+
+    def test_append_invalidates_cache(self):
+        session = self.make_session()
+        session.startup()
+        session.append_data(
+            "flights", generate_flights(100, seed=5, as_rows=True)
+        )
+        # A repeat of the startup queries must NOT be served from cache
+        # (the data changed), so counts stay consistent.
+        result = session.interact("maxbins", 20)
+        total = sum(row["count"] for row in result.datasets["binned"])
+        assert total == 2100
+
+    def test_append_before_startup_loads_only(self):
+        session = self.make_session()
+        result = session.append_data(
+            "flights", generate_flights(50, seed=3, as_rows=True)
+        )
+        assert result is None
+        assert session.backend.row_count("flights") == 2050
+
+    def test_append_replans(self):
+        # Start tiny (client-side plan), append until the server wins.
+        session = VegaPlus(
+            simple_filter_spec(threshold=0),
+            data={"events": [{"category": "c", "value": 1.0}] * 200},
+        )
+        session.startup()
+        assert session.plan.datasets["big"].cut == 0
+        big_batch = [
+            {"category": "c{}".format(i % 5), "value": float(i % 90)}
+            for i in range(150_000)
+        ]
+        result = session.append_data("events", big_batch)
+        assert session.plan.datasets["big"].cut == 2
+        assert sum(row["n"] for row in result.datasets["big"]) == 150_200
+
+    def test_unknown_dataset(self):
+        session = self.make_session()
+        with pytest.raises(SessionError):
+            session.append_data("nope", [{"x": 1}])
+
+    def test_empty_append_rejected(self):
+        session = self.make_session()
+        with pytest.raises(SessionError):
+            session.append_data("flights", [])
+
+    def test_client_dataflow_sees_appended_rows(self):
+        session = self.make_session(rows=300)
+        session.startup()
+        session.append_data(
+            "flights", generate_flights(100, seed=8, as_rows=True)
+        )
+        baseline = session.run_client_only()
+        total = sum(row["count"] for row in baseline.datasets["binned"])
+        assert total == 400
+
+
+class TestLiveSpecEditing:
+    """The demo's live editor: swap the spec, keep the data."""
+
+    def test_update_spec_reruns_under_new_pipeline(self):
+        from repro.spec import flights_histogram_spec, flights_scatter_spec
+
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(3000)},
+        )
+        session.startup()
+        assert "binned" in session.plan.datasets
+
+        result = session.update_spec(flights_scatter_spec(sample_size=500))
+        assert "points" in result.datasets
+        assert len(result.datasets["points"]) == 500
+        # Old state is gone.
+        assert "binned" not in session.plan.datasets
+
+    def test_update_spec_with_edited_parameters(self):
+        spec = flights_histogram_spec(maxbins=10)
+        session = VegaPlus(
+            spec, data={"flights": generate_flights(3000)},
+        )
+        before = len(session.startup().datasets["binned"])
+        edited = flights_histogram_spec(maxbins=80)
+        after = len(session.update_spec(edited).datasets["binned"])
+        assert after > before
+
+    def test_update_spec_invalid_rejected(self):
+        from repro.spec import SpecError
+
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(100)},
+        )
+        session.startup()
+        with pytest.raises(SpecError):
+            session.update_spec({"data": [{"name": "broken"}]})
+
+    def test_interactions_work_after_update(self):
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(3000)},
+        )
+        session.startup()
+        session.update_spec(flights_histogram_spec(maxbins=30))
+        result = session.interact("binField", "distance")
+        assert result.datasets["binned"]

@@ -1,0 +1,191 @@
+"""Tests for the statistical transforms (density, quantile, regression)."""
+
+import math
+
+import pytest
+
+from repro.dataflow.transforms import TransformError, create_transform
+from repro.dataflow.transforms.stats import gaussian_kde
+
+
+def apply(spec_type, params, rows):
+    transform = create_transform(spec_type, "t", params, None)
+    return transform.transform(rows, params, {})
+
+
+class TestGaussianKde:
+    def test_integrates_to_one(self):
+        values = [1.0, 2.0, 3.0, 4.0, 5.0]
+        lo, hi, steps = -10.0, 20.0, 600
+        step = (hi - lo) / steps
+        points = [lo + i * step for i in range(steps + 1)]
+        densities = gaussian_kde(values, points)
+        integral = sum(densities) * step
+        assert abs(integral - 1.0) < 0.02
+
+    def test_peak_near_mode(self):
+        values = [5.0] * 50 + [20.0]
+        points = [float(p) for p in range(0, 26)]
+        densities = gaussian_kde(values, points)
+        assert points[densities.index(max(densities))] == 5.0
+
+    def test_empty_values(self):
+        assert gaussian_kde([], [0.0, 1.0]) == [0.0, 0.0]
+
+    def test_explicit_bandwidth(self):
+        narrow = gaussian_kde([0.0], [0.0], bandwidth=0.1)
+        wide = gaussian_kde([0.0], [0.0], bandwidth=10.0)
+        assert narrow[0] > wide[0]
+
+
+class TestDensityTransform:
+    ROWS = [{"v": float(i % 10), "g": "ab"[i % 2]} for i in range(100)]
+
+    def test_emits_steps_points(self):
+        out = apply("density", {"field": "v", "steps": 50}, self.ROWS)
+        assert len(out) == 50
+        assert all({"value", "density"} <= set(row) for row in out)
+
+    def test_groupby(self):
+        out = apply(
+            "density", {"field": "v", "groupby": ["g"], "steps": 20},
+            self.ROWS,
+        )
+        assert len(out) == 40
+        assert {row["g"] for row in out} == {"a", "b"}
+
+    def test_extent_respected(self):
+        out = apply(
+            "density",
+            {"field": "v", "steps": 10, "extent": [0, 100]},
+            self.ROWS,
+        )
+        assert out[0]["value"] == 0.0
+        assert out[-1]["value"] == 100.0
+
+    def test_requires_field(self):
+        with pytest.raises(TransformError):
+            apply("density", {}, self.ROWS)
+
+    def test_ignores_nulls(self):
+        rows = [{"v": None}, {"v": 5.0}]
+        out = apply("density", {"field": "v", "steps": 5}, rows)
+        assert len(out) == 5
+
+
+class TestQuantileTransform:
+    ROWS = [{"v": float(i)} for i in range(1, 101)]
+
+    def test_default_probs(self):
+        out = apply("quantile", {"field": "v"}, self.ROWS)
+        assert len(out) == 20  # step 0.05 -> 0.025 .. 0.975
+        assert out[0]["prob"] == 0.025
+
+    def test_median_prob(self):
+        out = apply("quantile", {"field": "v", "probs": [0.5]}, self.ROWS)
+        assert abs(out[0]["value"] - 50.5) < 1e-9
+
+    def test_extreme_probs(self):
+        out = apply(
+            "quantile", {"field": "v", "probs": [0.0, 1.0]}, self.ROWS
+        )
+        assert out[0]["value"] == 1.0
+        assert out[1]["value"] == 100.0
+
+    def test_monotone_in_prob(self):
+        out = apply("quantile", {"field": "v"}, self.ROWS)
+        values = [row["value"] for row in out]
+        assert values == sorted(values)
+
+    def test_groupby(self):
+        rows = [{"v": 1.0, "g": "a"}, {"v": 100.0, "g": "b"}]
+        out = apply(
+            "quantile",
+            {"field": "v", "groupby": ["g"], "probs": [0.5]},
+            rows,
+        )
+        assert {(row["g"], row["value"]) for row in out} == \
+            {("a", 1.0), ("b", 100.0)}
+
+    def test_bad_step(self):
+        with pytest.raises(TransformError):
+            apply("quantile", {"field": "v", "step": 2}, self.ROWS)
+
+
+class TestRegressionTransform:
+    def test_perfect_line(self):
+        rows = [{"x": float(i), "y": 2.0 * i + 1.0} for i in range(10)]
+        out = apply("regression", {"x": "x", "y": "y"}, rows)
+        assert len(out) == 2
+        assert abs(out[0]["y"] - 1.0) < 1e-9      # intercept at x=0
+        assert abs(out[1]["y"] - 19.0) < 1e-9     # 2*9+1 at x=9
+
+    def test_params_mode(self):
+        rows = [{"x": float(i), "y": 3.0 * i} for i in range(5)]
+        out = apply(
+            "regression", {"x": "x", "y": "y", "params": True}, rows
+        )
+        assert len(out) == 1
+        intercept, slope = out[0]["coef"]
+        assert abs(slope - 3.0) < 1e-9
+        assert abs(intercept) < 1e-9
+        assert out[0]["rSquared"] == 1.0
+
+    def test_noisy_r_squared_below_one(self):
+        rows = [
+            {"x": 0.0, "y": 0.0}, {"x": 1.0, "y": 2.0},
+            {"x": 2.0, "y": 1.0}, {"x": 3.0, "y": 4.0},
+        ]
+        out = apply(
+            "regression", {"x": "x", "y": "y", "params": True}, rows
+        )
+        assert 0 < out[0]["rSquared"] < 1
+
+    def test_groupby(self):
+        rows = (
+            [{"x": float(i), "y": float(i), "g": "a"} for i in range(4)]
+            + [{"x": float(i), "y": -float(i), "g": "b"} for i in range(4)]
+        )
+        out = apply(
+            "regression",
+            {"x": "x", "y": "y", "groupby": ["g"], "params": True},
+            rows,
+        )
+        slopes = {row["g"]: row["coef"][1] for row in out}
+        assert abs(slopes["a"] - 1.0) < 1e-9
+        assert abs(slopes["b"] + 1.0) < 1e-9
+
+    def test_insufficient_points_skipped(self):
+        out = apply("regression", {"x": "x", "y": "y"}, [{"x": 1, "y": 1}])
+        assert out == []
+
+    def test_unsupported_method(self):
+        with pytest.raises(TransformError):
+            apply(
+                "regression",
+                {"x": "x", "y": "y", "method": "poly"},
+                [{"x": 1.0, "y": 1.0}, {"x": 2.0, "y": 2.0}],
+            )
+
+    def test_untranslatable_forces_client_cut(self):
+        """A density step must pin everything after it to the client."""
+        from repro.compile import compile_spec
+        from repro.engine import compute_stats, Table
+        from repro.planner import resolve_chain, translatable_prefix
+
+        spec = {
+            "data": [
+                {"name": "raw", "url": "x://"},
+                {"name": "dens", "source": "raw", "transform": [
+                    {"type": "filter", "expr": "datum.v > 0"},
+                    {"type": "density", "field": "v", "steps": 10},
+                    {"type": "collect", "sort": {"field": "value"}},
+                ]},
+            ]
+        }
+        rows = [{"v": float(i)} for i in range(50)]
+        compiled = compile_spec(spec, data_tables={"raw": rows})
+        table = Table.from_rows(rows)
+        _, steps = resolve_chain(compiled, "dens")
+        prefix, _ = translatable_prefix(steps, ["v"], {})
+        assert prefix == 1  # only the filter is offloadable

@@ -1,0 +1,221 @@
+"""Tests for the Vega-Lite-to-Vega compiler."""
+
+import pytest
+
+from repro.core import VegaPlus
+from repro.datagen import generate_flights
+from repro.spec import parse_spec, validate_spec
+from repro.spec.model import SpecError
+from repro.spec.vegalite import compile_vegalite
+
+HISTOGRAM_VL = {
+    "mark": "bar",
+    "data": {"name": "flights"},
+    "encoding": {
+        "x": {"field": "dep_delay", "type": "quantitative",
+              "bin": {"maxbins": 10}},
+        "y": {"aggregate": "count", "type": "quantitative"},
+    },
+}
+
+GROUPED_BAR_VL = {
+    "mark": "bar",
+    "data": {"name": "flights"},
+    "encoding": {
+        "x": {"field": "carrier", "type": "nominal"},
+        "y": {"field": "dep_delay", "aggregate": "mean",
+              "type": "quantitative"},
+    },
+}
+
+SCATTER_VL = {
+    "mark": "point",
+    "data": {"name": "flights"},
+    "encoding": {
+        "x": {"field": "distance", "type": "quantitative"},
+        "y": {"field": "air_time", "type": "quantitative"},
+    },
+}
+
+
+class TestCompilation:
+    def test_histogram_lowering(self):
+        spec = compile_vegalite(HISTOGRAM_VL)
+        parsed = validate_spec(parse_spec(spec))
+        types = [t.type for t in parsed.dataset("table").transform]
+        assert types == ["extent", "bin", "aggregate"]
+        assert parsed.marks[0].type == "rect"
+        assert parsed.mark_fields("table") == {"bin0", "bin1", "count"}
+
+    def test_grouped_bar_lowering(self):
+        spec = compile_vegalite(GROUPED_BAR_VL)
+        parsed = validate_spec(parse_spec(spec))
+        transform = parsed.dataset("table").transform
+        assert [t.type for t in transform] == ["aggregate"]
+        assert transform[0].params["groupby"] == ["carrier"]
+        assert transform[0].params["ops"] == ["mean"]
+
+    def test_scatter_has_no_aggregation(self):
+        spec = compile_vegalite(SCATTER_VL)
+        parsed = validate_spec(parse_spec(spec))
+        assert parsed.dataset("table").transform == []
+        assert parsed.mark_fields("table") == {"distance", "air_time"}
+
+    def test_color_channel_becomes_groupby(self):
+        vl = {
+            "mark": "bar",
+            "encoding": {
+                "x": {"field": "carrier", "type": "nominal"},
+                "y": {"aggregate": "count"},
+                "color": {"field": "origin", "type": "nominal"},
+            },
+        }
+        spec = compile_vegalite(vl, dataset_name="flights")
+        parsed = validate_spec(parse_spec(spec))
+        groupby = parsed.dataset("table").transform[0].params["groupby"]
+        assert groupby == ["carrier", "origin"]
+
+    def test_filter_transform_lowered(self):
+        vl = dict(HISTOGRAM_VL)
+        vl["transform"] = [{"filter": "datum.dep_delay > 0"}]
+        parsed = validate_spec(parse_spec(compile_vegalite(vl)))
+        types = [t.type for t in parsed.dataset("table").transform]
+        assert types == ["filter", "extent", "bin", "aggregate"]
+
+    def test_calculate_transform_lowered(self):
+        vl = dict(SCATTER_VL)
+        vl["transform"] = [
+            {"calculate": "datum.distance / 60", "as": "hours"}
+        ]
+        parsed = validate_spec(parse_spec(compile_vegalite(vl)))
+        assert parsed.dataset("table").transform[0].type == "formula"
+
+    def test_timeunit_lowered(self):
+        vl = {
+            "mark": "line",
+            "encoding": {
+                "x": {"field": "date_ms", "timeUnit": "year",
+                      "type": "temporal"},
+                "y": {"aggregate": "count"},
+            },
+        }
+        parsed = validate_spec(parse_spec(
+            compile_vegalite(vl, dataset_name="flights")
+        ))
+        types = [t.type for t in parsed.dataset("table").transform]
+        assert types == ["timeunit", "aggregate"]
+
+
+class TestErrors:
+    def test_unsupported_mark(self):
+        with pytest.raises(SpecError):
+            compile_vegalite({"mark": "geoshape", "encoding": {
+                "x": {"field": "a"}, "y": {"field": "b"}}})
+
+    def test_missing_encoding(self):
+        with pytest.raises(SpecError):
+            compile_vegalite({"mark": "bar"})
+
+    def test_missing_positional(self):
+        with pytest.raises(SpecError):
+            compile_vegalite({"mark": "bar", "encoding": {
+                "x": {"field": "a"}}})
+
+    def test_unsupported_aggregate(self):
+        with pytest.raises(SpecError):
+            compile_vegalite({"mark": "bar", "encoding": {
+                "x": {"field": "a"},
+                "y": {"aggregate": "argmax", "field": "b"}}})
+
+    def test_object_filter_rejected(self):
+        vl = dict(HISTOGRAM_VL)
+        vl["transform"] = [{"filter": {"field": "x", "gt": 0}}]
+        with pytest.raises(SpecError):
+            compile_vegalite(vl)
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def flights(self):
+        return generate_flights(20000)
+
+    def test_histogram_through_optimizer(self, flights):
+        session = VegaPlus(
+            compile_vegalite(HISTOGRAM_VL), data={"flights": flights},
+        )
+        result = session.startup()
+        # The whole VL-derived pipeline offloads to the server.
+        assert session.plan.datasets["table"].cut == 3
+        total = sum(row["count"] for row in result.datasets["table"])
+        assert total == flights.num_rows
+
+    def test_grouped_bar_matches_sql(self, flights):
+        session = VegaPlus(
+            compile_vegalite(GROUPED_BAR_VL), data={"flights": flights},
+        )
+        result = session.startup()
+        rows = {row["carrier"]: row["mean_dep_delay"]
+                for row in result.datasets["table"]}
+        check = session.backend.execute(
+            'SELECT carrier, AVG(dep_delay) AS m FROM flights '
+            'GROUP BY carrier'
+        ).table.to_rows()
+        for row in check:
+            assert abs(rows[row["carrier"]] - row["m"]) < 1e-9
+
+    def test_vl_and_vega_agree(self, flights):
+        from repro.spec import flights_histogram_spec
+
+        vl_session = VegaPlus(
+            compile_vegalite(HISTOGRAM_VL), data={"flights": flights},
+        )
+        vl_rows = vl_session.startup().datasets["table"]
+        vega_session = VegaPlus(
+            flights_histogram_spec(maxbins=10), data={"flights": flights},
+        )
+        vega_rows = vega_session.startup().datasets["binned"]
+
+        def canon(rows):
+            return sorted(
+                ((row["bin0"] is None, row["bin0"]), row["count"])
+                for row in rows
+            )
+
+        assert canon(vl_rows) == canon(vega_rows)
+
+
+class TestBinnedColorHistogram:
+    def test_bin_plus_color_groupby(self):
+        vl = {
+            "mark": "bar",
+            "encoding": {
+                "x": {"field": "dep_delay", "type": "quantitative",
+                      "bin": True},
+                "y": {"aggregate": "count"},
+                "color": {"field": "carrier", "type": "nominal"},
+            },
+        }
+        spec = compile_vegalite(vl, dataset_name="flights")
+        parsed = validate_spec(parse_spec(spec))
+        aggregate = parsed.dataset("table").transform[-1]
+        assert aggregate.params["groupby"] == ["bin0", "bin1", "carrier"]
+
+    def test_bin_plus_color_executes(self):
+        vl = {
+            "mark": "bar",
+            "encoding": {
+                "x": {"field": "dep_delay", "type": "quantitative",
+                      "bin": {"maxbins": 5}},
+                "y": {"aggregate": "count"},
+                "color": {"field": "carrier", "type": "nominal"},
+            },
+        }
+        flights = generate_flights(5000)
+        session = VegaPlus(
+            compile_vegalite(vl, dataset_name="flights"),
+            data={"flights": flights},
+        )
+        result = session.startup()
+        rows = result.datasets["table"]
+        assert sum(row["count"] for row in rows) == 5000
+        assert len({row["carrier"] for row in rows}) == 10
