@@ -52,6 +52,11 @@ class Backend(abc.ABC):
         """Optional: backend plan text (default: unsupported note)."""
         return "(no EXPLAIN support in backend {!r})".format(self.name)
 
+    def table_schema(self, name):
+        """Optional: ((column, SQLType), ...) of a loaded table, or None
+        when the backend cannot report types."""
+        return None
+
     def _timed(self, fn, sql):
         start = time.perf_counter()
         table = fn()

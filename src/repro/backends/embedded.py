@@ -47,6 +47,12 @@ class EmbeddedBackend(Backend):
     def table_names(self):
         return self.db.table_names()
 
+    def table_schema(self, name):
+        try:
+            return tuple(self.db.table(name).schema())
+        except EngineError:
+            return None
+
     def row_count(self, name):
         return self.db.table(name).num_rows
 

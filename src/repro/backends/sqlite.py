@@ -224,6 +224,10 @@ class SQLiteBackend(Backend):
         cursor = self.conn.execute("SELECT COUNT(*) FROM {}".format(quoted))
         return int(cursor.fetchone()[0])
 
+    def table_schema(self, name):
+        schema = self._schemas.get(name)
+        return tuple(schema) if schema is not None else None
+
     def close(self):
         self.conn.close()
 

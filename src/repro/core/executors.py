@@ -263,7 +263,16 @@ def _lookup_table_for(operator, backend):
     table = name[: -len(":source")]
     if table not in backend.table_names():
         return None
-    return LookupTable(table)
+    types = ()
+    schema = backend.table_schema(table)
+    if schema:
+        kind_map = {"DOUBLE": "num", "VARCHAR": "str", "BOOLEAN": "bool"}
+        types = tuple(
+            (column, kind_map.get(getattr(sql_type, "name", str(sql_type)),
+                                  "other"))
+            for column, sql_type in schema
+        )
+    return LookupTable(table, types=types)
 
 
 class ClientSuffixRunner:

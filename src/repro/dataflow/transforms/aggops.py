@@ -168,7 +168,21 @@ def default_output_name(op, field):
 
 
 def group_key(row, groupby):
-    return tuple(row.get(field) for field in groupby)
+    """Grouping key for a row.
+
+    NaN folds into None: as a dict key every NaN float is distinct
+    (``nan != nan``), which would put each NaN row in its own group —
+    while the engine's data model folds NaN into NULL at load, grouping
+    them together on the server.  Folding here keeps client and server
+    group sets identical.
+    """
+    key = []
+    for field in groupby:
+        value = row.get(field)
+        if isinstance(value, float) and math.isnan(value):
+            value = None
+        key.append(value)
+    return tuple(key)
 
 
 def group_rows(rows, groupby):

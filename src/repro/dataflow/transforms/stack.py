@@ -43,13 +43,11 @@ class StackTransform(Transform):
                 members = sort_rows(members, sort_fields, sort_orders)
             total = 0.0
             for row in members:
-                value = row.get(field)
-                total += abs(float(value)) if value is not None else 0.0
+                total += self._magnitude(row.get(field))
             cumulative = 0.0
             stacked = []
             for row in members:
-                value = row.get(field)
-                magnitude = abs(float(value)) if value is not None else 0.0
+                magnitude = self._magnitude(row.get(field))
                 derived = dict(row)
                 derived[y0_name] = cumulative
                 derived[y1_name] = cumulative + magnitude
@@ -66,3 +64,15 @@ class StackTransform(Transform):
                     row[y1_name] -= shift
             out.extend(stacked)
         return out
+
+    @staticmethod
+    def _magnitude(value):
+        """|value| with NULL-and-NaN as 0 (NaN ≡ NULL in the data model,
+        so a hybrid plan's server half sees NULL where the client sees
+        NaN — both must contribute nothing to the stack)."""
+        if value is None:
+            return 0.0
+        magnitude = abs(float(value))
+        if magnitude != magnitude:  # NaN
+            return 0.0
+        return magnitude

@@ -215,9 +215,7 @@ class SQLCompiler:
                 other = node.right if left_null else node.left
                 verb = "IS NULL" if sql_op == "=" else "IS NOT NULL"
                 return "({} {})".format(self._emit(other), verb)
-            return "({} {} {})".format(
-                self._emit(node.left), sql_op, self._emit(node.right)
-            )
+            return self._emit_comparison(sql_op, node)
         if op == "+":
             if self._is_stringy(node.left) or self._is_stringy(node.right):
                 return "({} || {})".format(
@@ -235,6 +233,39 @@ class SQLCompiler:
         raise UntranslatableExpression(
             "operator {!r} has no SQL translation".format(op)
         )
+
+    def _emit_comparison(self, sql_op, node):
+        """Comparison with JS truth semantics: always TRUE or FALSE.
+
+        JS comparisons are two-valued while SQL's are three-valued: a
+        NULL operand yields NULL, which WHERE treats as FALSE but NOT
+        flips to "still dropped" — diverging from the client evaluator,
+        where ``null != 5`` is true and ``null == null`` is true.  Every
+        comparison therefore compiles to a COALESCE that pins the NULL
+        case to the boolean the client would produce (ordered
+        comparisons on NULL/NaN are false; equality holds only when
+        both sides are null).
+        """
+        left_sql = self._emit(node.left)
+        right_sql = self._emit(node.right)
+        compare = "({} {} {})".format(left_sql, sql_op, right_sql)
+        if sql_op in ("<", ">", "<=", ">="):
+            return "COALESCE({}, FALSE)".format(compare)
+        both_null = "(({} IS NULL) AND ({} IS NULL))".format(
+            left_sql, right_sql
+        )
+        # A non-null literal side cannot produce the both-null case.
+        literal_side = (
+            isinstance(node.left, ast.Literal)
+            or isinstance(node.right, ast.Literal)
+        )
+        if sql_op == "=":
+            if literal_side:
+                return "COALESCE({}, FALSE)".format(compare)
+            return "COALESCE({}, {})".format(compare, both_null)
+        if literal_side:
+            return "COALESCE({}, TRUE)".format(compare)
+        return "COALESCE({}, (NOT {}))".format(compare, both_null)
 
     def _emit_call(self, node):
         args = [self._emit(arg) for arg in node.args]

@@ -1,0 +1,52 @@
+"""Differential fuzzing harness: prove every partition cut and every
+backend computes the same answer.
+
+VegaPlus's core claim is that partitioning a Vega dataflow between client
+and server — with SQL rewriting and rule-based query optimization in
+between — is *semantics-preserving*.  This package turns that claim into
+a randomized, reproducible test battery:
+
+* :mod:`repro.fuzz.specgen` — a seeded generator of random-but-valid Vega
+  specs (random transform chains, random signal bindings) over generated
+  datasets with nasty value distributions (NULLs, NaN, empty tables,
+  duplicate keys, unicode strings);
+* :mod:`repro.fuzz.oracle` — the differential oracle: run each spec under
+  every legal partition cut, on every backend, canonicalize the result
+  tables, and assert pairwise equality; plus a metamorphic check that the
+  engine's rule-based optimizer does not change query answers;
+* :mod:`repro.fuzz.shrink` — a greedy minimizer that reduces a failing
+  case (rows, steps, columns) while preserving the failure;
+* :mod:`repro.fuzz.reprofile` — self-contained ``repro_<seed>.py`` writer
+  so any failure is one-command reproducible;
+* :mod:`repro.fuzz.runner` / ``python -m repro.fuzz`` — the bounded fuzz
+  campaign used by CI.
+"""
+
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.normalize import (
+    canonical_cell,
+    canonical_rows,
+    diff_canonical,
+    rows_equivalent,
+)
+from repro.fuzz.oracle import CaseReport, Mismatch, check_case
+from repro.fuzz.reprofile import write_repro
+from repro.fuzz.runner import CampaignResult, run_campaign
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.specgen import generate_case
+
+__all__ = [
+    "CampaignResult",
+    "CaseReport",
+    "FuzzCase",
+    "Mismatch",
+    "canonical_cell",
+    "canonical_rows",
+    "check_case",
+    "diff_canonical",
+    "generate_case",
+    "rows_equivalent",
+    "run_campaign",
+    "shrink_case",
+    "write_repro",
+]

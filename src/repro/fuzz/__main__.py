@@ -1,0 +1,131 @@
+"""``python -m repro.fuzz`` — the differential fuzz CLI.
+
+Examples::
+
+    # deterministic bounded run (the acceptance gate)
+    python -m repro.fuzz --seed 7 --iterations 50
+
+    # CI smoke: seed derived from today's date, quick budget
+    python -m repro.fuzz --seed from-date --iterations 25
+
+    # prove the failure pipeline works end to end
+    python -m repro.fuzz --selftest
+"""
+
+import argparse
+import datetime
+import sys
+
+from repro.fuzz.runner import run_campaign
+
+
+def _parse_seed(text):
+    if text == "from-date":
+        today = datetime.date.today()
+        return int(today.strftime("%Y%m%d"))
+    return int(text)
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fuzz",
+        description="Differential fuzzing: every partition cut and every "
+                    "backend must compute the same answer.",
+    )
+    parser.add_argument(
+        "--seed", default="7", type=_parse_seed,
+        help="campaign seed (an integer, or 'from-date' for a seed "
+             "derived from today's UTC date; default 7)")
+    parser.add_argument(
+        "--iterations", type=int, default=50,
+        help="number of generated cases (default 50)")
+    parser.add_argument(
+        "--max-rows", type=int, default=40,
+        help="maximum rows per generated table (default 40)")
+    parser.add_argument(
+        "--include-inf", action="store_true",
+        help="also generate +/-Infinity values (documented divergence "
+             "frontier; off by default)")
+    parser.add_argument(
+        "--no-shrink", action="store_true",
+        help="write failures un-minimized")
+    parser.add_argument(
+        "--no-optimizer-check", action="store_true",
+        help="skip the metamorphic optimizer-rules replay")
+    parser.add_argument(
+        "--out", default=".",
+        help="directory for repro_<seed>.py files (default: cwd)")
+    parser.add_argument(
+        "--max-failures", type=int, default=5,
+        help="stop after this many distinct failures (default 5)")
+    parser.add_argument(
+        "--quiet", action="store_true",
+        help="only print the final summary")
+    parser.add_argument(
+        "--selftest", action="store_true",
+        help="inject a deliberate SQL-literal bug and verify the "
+             "find -> shrink -> repro pipeline catches it")
+    return parser
+
+
+def run_selftest(out_dir, quiet=False):
+    """Prove the harness detects, minimizes, and persists a real bug.
+
+    Temporarily breaks ``sql_literal`` so every non-zero numeric literal
+    the SQL compiler emits is off by 0.75 — any translated filter or
+    formula then computes different rows on the server than on the
+    client.  The campaign must find a mismatch, shrink it, and write a
+    repro file; anything else is a harness bug.
+    """
+    from repro.expr import sqlcompile
+
+    emit = (lambda message: None) if quiet else print
+    original = sqlcompile.sql_literal
+
+    def broken_literal(value):
+        if isinstance(value, float) and value == value \
+                and abs(value) not in (0.0, float("inf")):
+            return original(value + 0.75)
+        return original(value)
+
+    sqlcompile.sql_literal = broken_literal
+    try:
+        result = run_campaign(
+            seed=424242, iterations=40, max_rows=20, shrink=True,
+            out_dir=out_dir, max_failures=1, check_optimizer=False,
+            log=emit)
+    finally:
+        sqlcompile.sql_literal = original
+
+    if not result.failures:
+        print("SELFTEST FAILED: the injected bug was not detected")
+        return 1
+    failure = result.failures[0]
+    print("SELFTEST OK: injected bug detected at seed {}, "
+          "minimized repro written to {}".format(
+              failure.case_seed, failure.repro_path))
+    return 0
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    if args.selftest:
+        return run_selftest(args.out, quiet=args.quiet)
+    emit = (lambda message: None) if args.quiet else print
+    result = run_campaign(
+        seed=args.seed,
+        iterations=args.iterations,
+        max_rows=args.max_rows,
+        include_inf=args.include_inf,
+        shrink=not args.no_shrink,
+        out_dir=args.out,
+        max_failures=args.max_failures,
+        check_optimizer=not args.no_optimizer_check,
+        log=emit,
+    )
+    print(result.describe())
+    return 0 if result.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""The unit of fuzzing: one spec plus its generated data tables."""
+
+import copy
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class FuzzCase:
+    """A generated (or minimized) differential test case.
+
+    ``spec`` is a plain Vega spec dict (the same shape the session API
+    accepts); ``tables`` maps root dataset name -> list of row dicts.
+    Cases are value objects: the oracle and the shrinker never mutate
+    them, they copy.
+    """
+
+    seed: int
+    spec: dict
+    tables: Dict[str, List[dict]] = field(default_factory=dict)
+    #: free-form notes from the generator (chain shape, nasty features)
+    notes: str = ""
+
+    def clone(self):
+        return FuzzCase(
+            seed=self.seed,
+            spec=copy.deepcopy(self.spec),
+            tables={
+                name: [dict(row) for row in rows]
+                for name, rows in self.tables.items()
+            },
+            notes=self.notes,
+        )
+
+    def total_rows(self):
+        return sum(len(rows) for rows in self.tables.values())
+
+    def chain_types(self):
+        """Transform types of every derived dataset, in order."""
+        types = []
+        for dataset in self.spec.get("data", []):
+            for step in dataset.get("transform", []):
+                types.append(step.get("type"))
+        return types

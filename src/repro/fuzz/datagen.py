@@ -1,0 +1,124 @@
+"""Seeded generation of datasets with nasty value distributions.
+
+The point is not realism but coverage of the value-space corners where
+client (JS-semantics) and server (SQL-semantics) executions historically
+diverge: NULLs, NaN (which the engine's data model folds into NULL),
+empty tables, heavy duplicate keys, negative and tiny/huge magnitudes,
+``-0.0``, empty/unicode/quote-bearing strings.
+"""
+
+from dataclasses import dataclass
+from typing import Dict
+
+#: string category pool: duplicates guaranteed, plus unicode, an empty
+#: string, embedded single/double quotes, and numeric look-alikes
+CATEGORY_POOL = [
+    "a", "b", "cc", "", "α-β", "ñandú", "日本語", "O'Brien", 'q"q',
+    "z z", "-1", "NaN",
+]
+
+#: numeric pool skewed toward collisions and edge magnitudes
+NUMERIC_POOL = [
+    0.0, -0.0, 1.0, -1.0, 2.0, 3.0, -1.5, 0.5, 42.0, -273.15,
+    3.14159265358979, 1e-9, -1e-9, 123456.789, -98765.4321, 1e12,
+]
+
+
+@dataclass
+class ColumnMeta:
+    """What the spec generator may assume about a generated column."""
+
+    kind: str  # "num" | "str"
+    nullable: bool = False
+    unique: bool = False
+
+
+def _numeric_value(rng, null_p, nan_p, inf_p):
+    roll = rng.random()
+    if roll < null_p:
+        return None
+    if roll < null_p + nan_p:
+        return float("nan")
+    if roll < null_p + nan_p + inf_p:
+        return rng.choice([float("inf"), float("-inf")])
+    if rng.random() < 0.5:
+        # Small-domain integers: duplicate-heavy group keys.
+        return float(rng.randint(-3, 6))
+    return rng.choice(NUMERIC_POOL) * rng.choice([1.0, 1.0, 1.0, 10.0])
+
+
+def _string_value(rng, null_p):
+    if rng.random() < null_p:
+        return None
+    return rng.choice(CATEGORY_POOL)
+
+
+def random_table(rng, max_rows=40, include_inf=False):
+    """Generate (rows, meta): a nasty table plus per-column metadata.
+
+    Always includes ``uid`` (unique, non-null numeric) so order-sensitive
+    transforms (stack, window) can sort deterministically, at least one
+    more numeric column, and at least one string column.
+    """
+    shape_roll = rng.random()
+    if shape_roll < 0.06:
+        n_rows = 0  # empty table
+    elif shape_roll < 0.14:
+        n_rows = 1
+    else:
+        n_rows = rng.randint(2, max_rows)
+
+    meta: Dict[str, ColumnMeta] = {"uid": ColumnMeta("num", unique=True)}
+    columns = {"uid": [float(index) for index in range(n_rows)]}
+
+    inf_p = 0.03 if include_inf else 0.0
+    for index in range(rng.randint(1, 3)):
+        name = "n{}".format(index)
+        profile = rng.random()
+        if profile < 0.08:
+            null_p, nan_p = 1.0, 0.0  # all-NULL column
+        elif profile < 0.5:
+            null_p, nan_p = 0.2, 0.1
+        else:
+            null_p, nan_p = 0.0, 0.0
+        columns[name] = [
+            _numeric_value(rng, null_p, nan_p, inf_p) for _ in range(n_rows)
+        ]
+        meta[name] = ColumnMeta("num", nullable=(null_p + nan_p + inf_p) > 0)
+
+    for index in range(rng.randint(1, 2)):
+        name = "k{}".format(index)
+        null_p = rng.choice([0.0, 0.0, 0.25])
+        columns[name] = [_string_value(rng, null_p) for _ in range(n_rows)]
+        meta[name] = ColumnMeta("str", nullable=null_p > 0)
+
+    rows = [
+        {name: values[row_index] for name, values in columns.items()}
+        for row_index in range(n_rows)
+    ]
+    return rows, meta
+
+
+def random_lookup_table(rng):
+    """A small dimension table with unique string keys.
+
+    Keys are unique by construction: the client lookup transform keeps
+    the *first* match per key while a SQL LEFT JOIN would duplicate rows,
+    so duplicate-key lookup tables are a known, documented divergence the
+    generator avoids (see docs/TESTING.md).
+    """
+    size = rng.randint(1, len(CATEGORY_POOL))
+    keys = rng.sample(CATEGORY_POOL, size)
+    rows = []
+    for key in keys:
+        rows.append({
+            "key": key,
+            "v_num": _numeric_value(rng, 0.2, 0.1, 0.0),
+            "v_str": _string_value(rng, 0.2),
+        })
+    meta = {
+        "key": ColumnMeta("str", unique=True),
+        "v_num": ColumnMeta("num", nullable=True),
+        "v_str": ColumnMeta("str", nullable=True),
+    }
+    return rows, meta

@@ -1,0 +1,112 @@
+"""Bounded fuzz campaigns: the loop behind ``python -m repro.fuzz``."""
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.fuzz.oracle import check_case
+from repro.fuzz.reprofile import write_repro
+from repro.fuzz.shrink import shrink_case
+from repro.fuzz.specgen import generate_case
+
+#: spreads campaign seeds so adjacent campaigns share no case seeds
+_SEED_STRIDE = 100003
+
+
+@dataclass
+class Failure:
+    case_seed: int
+    repro_path: str
+    summary: str
+
+
+@dataclass
+class CampaignResult:
+    seed: int
+    iterations: int
+    cases_run: int = 0
+    #: cases where every configuration raised the same way (acceptable)
+    consistent_errors: int = 0
+    failures: List[Failure] = field(default_factory=list)
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def describe(self):
+        lines = [
+            "fuzz campaign: seed={} iterations={}".format(
+                self.seed, self.iterations),
+            "cases run: {} ({} with consistent errors)".format(
+                self.cases_run, self.consistent_errors),
+        ]
+        if self.failures:
+            lines.append("FAILURES: {}".format(len(self.failures)))
+            for failure in self.failures:
+                lines.append("  seed {} -> {}".format(
+                    failure.case_seed, failure.repro_path))
+                for line in failure.summary.splitlines():
+                    lines.append("    " + line)
+        else:
+            lines.append("OK: no mismatches")
+        return "\n".join(lines)
+
+
+def case_seed(campaign_seed, index):
+    """The derived per-case seed: reproducible from (seed, index)."""
+    return campaign_seed * _SEED_STRIDE + index
+
+
+def run_campaign(seed, iterations, max_rows=40, include_inf=False,
+                 shrink=True, out_dir=".", max_failures=5,
+                 check_optimizer=True, log=None):
+    """Run ``iterations`` generated cases; minimize and persist failures.
+
+    Stops early once ``max_failures`` distinct failures were collected —
+    by then the signal is a bug to fix, not more failures to pile up.
+    """
+    emit = log or (lambda message: None)
+    result = CampaignResult(seed=seed, iterations=iterations)
+    for index in range(iterations):
+        current_seed = case_seed(seed, index)
+        case = generate_case(current_seed, max_rows=max_rows,
+                             include_inf=include_inf)
+        report = check_case(case, check_optimizer=check_optimizer)
+        result.cases_run += 1
+        if report.notes and not report.runs:
+            emit("case {}: {}".format(current_seed, "; ".join(report.notes)))
+            continue
+        if report.runs and all(
+                run.status == "error" for run in report.runs):
+            result.consistent_errors += 1
+        if report.ok:
+            emit("case {} ok ({})".format(current_seed, case.notes))
+            continue
+
+        emit("case {} FAILED: {} mismatches".format(
+            current_seed, len(report.mismatches)))
+        minimized = case
+        if shrink:
+            minimized, evals = shrink_case(case)
+            emit("  minimized to {} rows / {} steps in {} evals".format(
+                minimized.total_rows(), len(minimized.chain_types()),
+                evals))
+        final_report = check_case(minimized,
+                                  check_optimizer=check_optimizer)
+        if not final_report.mismatches:
+            # Shrinking must never lose the bug; fall back to the
+            # original case if the predicate went flaky.
+            minimized, final_report = case, report
+        path = write_repro(minimized, final_report, directory=out_dir)
+        first_lines = [
+            mismatch.describe().splitlines()[0]
+            for mismatch in final_report.mismatches
+        ]
+        result.failures.append(Failure(
+            case_seed=current_seed, repro_path=path,
+            summary="\n".join(first_lines)))
+        emit("  wrote {}".format(path))
+        if len(result.failures) >= max_failures:
+            emit("stopping early: {} failures collected".format(
+                len(result.failures)))
+            break
+    return result

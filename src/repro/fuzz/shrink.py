@@ -1,0 +1,182 @@
+"""Greedy minimization of failing fuzz cases.
+
+Given a failing case and a predicate (default: "check_case reports at
+least one mismatch"), repeatedly try structure-preserving reductions —
+fewer rows, fewer transform steps, fewer columns — keeping any reduction
+that still fails, until a fixpoint or the evaluation budget runs out.
+Candidate reductions that make the case *invalid* (a removed step breaks
+a column reference, say) simply stop failing-with-a-mismatch and are
+rejected by the predicate, so the shrinker needs no schema knowledge.
+"""
+
+
+def _default_predicate():
+    """Signature-preserving predicate: the first evaluation (the original
+    failing case) records its mismatch signatures ``(kind, sink)``; later
+    candidates only count as failing when they reproduce at least one of
+    them.  Without this, a reduction can slide into an unrelated failure
+    class (e.g. dropping a column the spec references turns a value
+    mismatch into a construction error) and the "minimized" repro no
+    longer demonstrates the original bug."""
+    from repro.fuzz.oracle import check_case
+
+    baseline = []
+
+    def is_failing(case):
+        signatures = {
+            (mismatch.kind, mismatch.sink)
+            for mismatch in check_case(case).mismatches
+        }
+        if not baseline:
+            if not signatures:
+                return False
+            baseline.append(signatures)
+            return True
+        return bool(signatures & baseline[0])
+
+    return is_failing
+
+
+class _Budget:
+    def __init__(self, max_evals, predicate):
+        self.max_evals = max_evals
+        self.evals = 0
+        self.predicate = predicate
+
+    @property
+    def exhausted(self):
+        return self.evals >= self.max_evals
+
+    def failing(self, case):
+        if self.exhausted:
+            return False
+        self.evals += 1
+        try:
+            return bool(self.predicate(case))
+        except Exception:  # noqa: BLE001 - broken candidate, reject
+            return False
+
+
+def _with_rows(case, name, rows):
+    candidate = case.clone()
+    candidate.tables[name] = [dict(row) for row in rows]
+    return candidate
+
+
+def _shrink_rows(case, budget):
+    """Halve tables while the failure persists, then drop single rows."""
+    changed = False
+    for name in list(case.tables):
+        # Bisection: repeatedly try keeping either half.
+        while len(case.tables[name]) > 1 and not budget.exhausted:
+            rows = case.tables[name]
+            half = len(rows) // 2
+            if budget.failing(_with_rows(case, name, rows[:half])):
+                case.tables[name] = [dict(row) for row in rows[:half]]
+                changed = True
+                continue
+            if budget.failing(_with_rows(case, name, rows[half:])):
+                case.tables[name] = [dict(row) for row in rows[half:]]
+                changed = True
+                continue
+            break
+        # One-at-a-time removal once the table is small.  Tables keep at
+        # least one row: the generator never emits an empty dimension
+        # table, so an emptied table would leave the valid input space.
+        if len(case.tables[name]) <= 12:
+            index = 0
+            while len(case.tables[name]) > 1 and \
+                    index < len(case.tables[name]) and not budget.exhausted:
+                rows = case.tables[name]
+                candidate_rows = rows[:index] + rows[index + 1:]
+                if budget.failing(_with_rows(case, name, candidate_rows)):
+                    case.tables[name] = [
+                        dict(row) for row in candidate_rows
+                    ]
+                    changed = True
+                else:
+                    index += 1
+    return changed
+
+
+def _transform_slots(spec):
+    """(dataset_dict, step_index) for every transform step, last first."""
+    slots = []
+    for dataset in spec.get("data", []):
+        for index in range(len(dataset.get("transform", []))):
+            slots.append((dataset["name"], index))
+    return list(reversed(slots))
+
+
+def _without_step(case, dataset_name, index):
+    candidate = case.clone()
+    for dataset in candidate.spec.get("data", []):
+        if dataset.get("name") == dataset_name:
+            del dataset["transform"][index]
+    return candidate
+
+
+def _shrink_steps(case, budget):
+    """Drop transform steps (later steps first) while the failure holds."""
+    changed = False
+    progress = True
+    while progress and not budget.exhausted:
+        progress = False
+        for dataset_name, index in _transform_slots(case.spec):
+            candidate = _without_step(case, dataset_name, index)
+            if budget.failing(candidate):
+                case.spec = candidate.spec
+                case.tables = candidate.tables
+                changed = progress = True
+                break
+    return changed
+
+
+def _shrink_columns(case, budget):
+    """Drop whole columns from root tables while the failure holds."""
+    changed = False
+    for name in list(case.tables):
+        rows = case.tables[name]
+        if not rows:
+            continue
+        for column in list(rows[0]):
+            if budget.exhausted:
+                return changed
+            if len(case.tables[name][0]) <= 1:
+                break  # zero-column tables are outside the input space
+            candidate = case.clone()
+            candidate.tables[name] = [
+                {key: value for key, value in row.items() if key != column}
+                for row in candidate.tables[name]
+            ]
+            if budget.failing(candidate):
+                case.tables = candidate.tables
+                changed = True
+    return changed
+
+
+def shrink_case(case, is_failing=None, max_evals=200):
+    """Minimize ``case`` while ``is_failing`` stays true.
+
+    Returns ``(minimized_case, evaluations_used)``.  The input case is
+    not mutated.  If the case does not fail the predicate to begin with,
+    it is returned unchanged (with one evaluation spent discovering so).
+    """
+    predicate = is_failing or _default_predicate()
+    budget = _Budget(max_evals, predicate)
+    current = case.clone()
+    if not budget.failing(current):
+        return current, budget.evals
+
+    progress = True
+    while progress and not budget.exhausted:
+        progress = False
+        if _shrink_steps(current, budget):
+            progress = True
+        if _shrink_rows(current, budget):
+            progress = True
+        if _shrink_columns(current, budget):
+            progress = True
+    current.notes = (case.notes + " | " if case.notes else "") + \
+        "shrunk in {} evals".format(budget.evals)
+    return current, budget.evals

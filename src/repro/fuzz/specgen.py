@@ -1,0 +1,486 @@
+"""Seeded generation of random-but-valid Vega specs.
+
+Every generated spec is a linear transform chain (optionally split across
+two derived datasets) over a nasty root table, consumed by a mark — the
+exact shape the partition planner optimizes.  The generator tracks the
+schema through the chain so parameters always reference live columns,
+and it tracks *uniqueness* so order-sensitive transforms (stack, window)
+always sort by a key that is unique within their partition: without that,
+client and server executions could legitimately assign different running
+offsets to tied rows and the differential oracle would drown in false
+positives.
+
+Known, documented divergences the generator deliberately avoids (see
+docs/TESTING.md): duplicate keys in lookup tables (first-match vs JOIN
+fan-out), order-encoding transforms (identifier), division by a column
+that can be zero (JS Infinity vs SQL NULL), and string concatenation of
+nullable fields (JS "null" string vs SQL NULL).
+"""
+
+import random
+
+from repro.fuzz.case import FuzzCase
+from repro.fuzz.datagen import (
+    CATEGORY_POOL,
+    ColumnMeta,
+    random_lookup_table,
+    random_table,
+)
+
+#: aggregate ops with a SQL translation (see sqlgen.translate._agg_sql)
+AGG_OPS = [
+    "count", "valid", "missing", "distinct", "sum", "mean", "min", "max",
+    "median", "stdev", "variance", "q1", "q3",
+]
+
+#: window-compatible aggregate ops (subset, see _agg_window_call)
+WINDOW_AGG_OPS = ["count", "sum", "mean", "min", "max"]
+RANK_OPS = ["row_number", "rank", "dense_rank"]
+
+_FILTER_LITERALS = [0.0, 1.0, -1.0, 2.5, -3.0, 42.0, 0.5]
+_REGEX_POOL = ["^a", "b$", "c", "z", "a", "ñ"]
+
+
+class _Gen:
+    """One generation session: rng + evolving schema state."""
+
+    def __init__(self, rng, meta, has_dim, dim_meta):
+        self.rng = rng
+        self.schema = dict(meta)  # name -> ColumnMeta
+        self.unique = ["uid"]  # tuple of these columns is unique per row
+        self.has_dim = has_dim
+        self.dim_meta = dim_meta
+        self.counter = 0
+        self.signals_used = set()
+
+    def fresh(self, prefix):
+        self.counter += 1
+        return "{}{}".format(prefix, self.counter)
+
+    def num_cols(self):
+        return [n for n, m in self.schema.items() if m.kind == "num"]
+
+    def str_cols(self):
+        return [n for n, m in self.schema.items() if m.kind == "str"]
+
+    def pick(self, items):
+        return self.rng.choice(items)
+
+    # -- expression fragments ------------------------------------------------
+
+    def _quoted(self, text):
+        if "'" not in text:
+            return "'" + text + "'"
+        return '"' + text + '"'
+
+    def filter_expr(self):
+        rng = self.rng
+        choices = []
+        nums = self.num_cols()
+        strs = self.str_cols()
+        if nums:
+            choices += ["ordered", "ordered_signal", "valid", "num_eq"]
+            if len(nums) >= 2:
+                choices.append("field_eq")
+        if strs:
+            choices += ["str_eq", "str_neq", "regex", "str_signal"]
+        kind = rng.choice(choices)
+        if kind == "ordered":
+            column = self.pick(nums)
+            op = self.pick(["<", ">", "<=", ">="])
+            literal = self.pick(_FILTER_LITERALS)
+            expr = "datum.{} {} {}".format(column, op, literal)
+            if rng.random() < 0.6:
+                expr = "isValid(datum.{}) && ".format(column) + expr
+            return expr
+        if kind == "ordered_signal":
+            self.signals_used.add("threshold")
+            return "datum.{} >= threshold".format(self.pick(nums))
+        if kind == "valid":
+            return "isValid(datum.{})".format(self.pick(nums))
+        if kind == "num_eq":
+            op = self.pick(["==", "!="])
+            return "datum.{} {} {}".format(
+                self.pick(nums), op, self.pick(_FILTER_LITERALS))
+        if kind == "field_eq":
+            left, right = rng.sample(nums, 2)
+            op = self.pick(["==", "!="])
+            return "datum.{} {} datum.{}".format(left, op, right)
+        if kind == "str_eq":
+            return "datum.{} == {}".format(
+                self.pick(strs), self._quoted(self.pick(CATEGORY_POOL)))
+        if kind == "str_neq":
+            return "datum.{} != {}".format(
+                self.pick(strs), self._quoted(self.pick(CATEGORY_POOL)))
+        if kind == "str_signal":
+            self.signals_used.add("category")
+            return "datum.{} == category".format(self.pick(strs))
+        # regex
+        return "test('{}', datum.{})".format(
+            self.pick(_REGEX_POOL), self.pick(strs))
+
+    def formula_expr(self):
+        rng = self.rng
+        nums = self.num_cols()
+        column = self.pick(nums)
+        kinds = ["scale", "shift", "abs", "neg", "minmax", "clamp",
+                 "cond", "divide", "sqrt"]
+        if len(nums) >= 2:
+            kinds += ["add", "sub"]
+        kind = rng.choice(kinds)
+        if kind == "scale":
+            return "datum.{} * {}".format(column, self.pick([2, -1, 0.5, 10]))
+        if kind == "shift":
+            return "datum.{} + {}".format(column, self.pick([1, -7, 0.25]))
+        if kind == "abs":
+            return "abs(datum.{})".format(column)
+        if kind == "neg":
+            return "-datum.{}".format(column)
+        if kind == "minmax":
+            fn = self.pick(["min", "max"])
+            return "{}(datum.{}, {})".format(
+                fn, column, self.pick(_FILTER_LITERALS))
+        if kind == "clamp":
+            return "clamp(datum.{}, -1, 5)".format(column)
+        if kind == "cond":
+            return "datum.{} > {} ? {} : {}".format(
+                column, self.pick(_FILTER_LITERALS),
+                self.pick([1, 100]), self.pick([0, -100]))
+        if kind == "divide":
+            return "datum.{} / {}".format(column, self.pick([2, -4, 0.5]))
+        if kind == "sqrt":
+            return "sqrt(datum.{})".format(column)
+        if kind == "add":
+            left, right = rng.sample(nums, 2)
+            return "datum.{} + datum.{}".format(left, right)
+        left, right = rng.sample(nums, 2)
+        return "datum.{} - datum.{}".format(left, right)
+
+    # -- step builders ---------------------------------------------------------
+
+    def gen_filter(self):
+        return [{"type": "filter", "expr": self.filter_expr()}]
+
+    def gen_formula(self):
+        name = self.fresh("f")
+        step = {"type": "formula", "expr": self.formula_expr(), "as": name}
+        self.schema[name] = ColumnMeta("num", nullable=True)
+        return [step]
+
+    def gen_extent_bin(self):
+        rng = self.rng
+        field = self.pick(self.num_cols())
+        signal_name = self.fresh("e")
+        bin0 = self.fresh("bin")
+        bin1 = bin0 + "_hi"
+        if rng.random() < 0.2:
+            # Signal-indirected field selection (the flights binField idiom).
+            field_param = {"signal": "binField"}
+            self.signals_used.add("binField:" + field)
+        else:
+            field_param = field
+        extent = {"type": "extent", "field": field_param,
+                  "signal": signal_name}
+        bin_step = {"type": "bin", "field": field_param,
+                    "extent": {"signal": signal_name},
+                    "as": [bin0, bin1]}
+        roll = rng.random()
+        if roll < 0.4:
+            self.signals_used.add("maxbins")
+            bin_step["maxbins"] = {"signal": "maxbins"}
+        elif roll < 0.7:
+            bin_step["maxbins"] = rng.randint(1, 40)
+        else:
+            bin_step["step"] = self.pick([0.5, 1.0, 2.0, 5.0])
+        if rng.random() < 0.3:
+            bin_step["nice"] = False
+        nullable = self.schema[field].nullable
+        self.schema[bin0] = ColumnMeta("num", nullable=nullable)
+        self.schema[bin1] = ColumnMeta("num", nullable=nullable)
+        return [extent, bin_step]
+
+    def gen_aggregate(self):
+        rng = self.rng
+        columns = list(self.schema)
+        groupby = rng.sample(columns, min(len(columns), rng.randint(0, 2)))
+        nums = self.num_cols()
+        measures = []
+        seen = set()
+        for _ in range(rng.randint(1, 3)):
+            op = self.pick(AGG_OPS)
+            field = None if op == "count" else self.pick(nums)
+            if (op, field) in seen:
+                continue
+            seen.add((op, field))
+            measures.append((op, field))
+        step = {
+            "type": "aggregate",
+            "groupby": groupby,
+            "ops": [op for op, _ in measures],
+            "fields": [field for _, field in measures],
+        }
+        if rng.random() < 0.5:
+            names = [self.fresh("m") for _ in measures]
+        else:
+            from repro.dataflow.transforms.aggops import default_output_name
+
+            names = [default_output_name(op, field)
+                     for op, field in measures]
+            if len(set(names) | set(groupby)) < len(names) + len(groupby):
+                names = [self.fresh("m") for _ in measures]
+        step["as"] = names
+        new_schema = {}
+        for name in groupby:
+            new_schema[name] = self.schema[name]
+        for name in names:
+            new_schema[name] = ColumnMeta("num", nullable=True)
+        self.schema = new_schema
+        # groupby tuple is unique per output row; a global aggregate
+        # yields one row, where any column is trivially unique.
+        self.unique = list(groupby) if groupby else [names[0]]
+        return [step]
+
+    def _partition_and_sort(self):
+        """(partition, sort_field) with sort unique within partitions."""
+        partition = list(self.unique[:-1])
+        sort_field = self.unique[-1]
+        extras = [c for c in self.schema
+                  if c not in partition and c != sort_field]
+        if extras and self.rng.random() < 0.4:
+            partition.append(self.pick(extras))
+        return partition, sort_field
+
+    def gen_stack(self):
+        rng = self.rng
+        partition, sort_field = self._partition_and_sort()
+        y0 = self.fresh("y")
+        y1 = y0 + "_top"
+        step = {
+            "type": "stack",
+            "field": self.pick(self.num_cols()),
+            "groupby": partition,
+            "sort": {"field": sort_field,
+                     "order": self.pick(["ascending", "descending"])},
+            "as": [y0, y1],
+        }
+        if rng.random() < 0.12:
+            # Untranslatable offsets exercise the pin-to-client path.
+            step["offset"] = self.pick(["normalize", "center"])
+        self.schema[y0] = ColumnMeta("num")
+        self.schema[y1] = ColumnMeta("num")
+        return [step]
+
+    def gen_window(self):
+        rng = self.rng
+        partition, sort_field = self._partition_and_sort()
+        nums = self.num_cols()
+        measures = []
+        for _ in range(rng.randint(1, 2)):
+            if rng.random() < 0.4:
+                measures.append((self.pick(RANK_OPS), None))
+            else:
+                measures.append((self.pick(WINDOW_AGG_OPS),
+                                 self.pick(nums)))
+        names = [self.fresh("w") for _ in measures]
+        step = {
+            "type": "window",
+            "groupby": partition,
+            "sort": {"field": sort_field,
+                     "order": self.pick(["ascending", "descending"])},
+            "ops": [op for op, _ in measures],
+            "fields": [field for _, field in measures],
+            "as": names,
+        }
+        for name in names:
+            self.schema[name] = ColumnMeta("num", nullable=True)
+        return [step]
+
+    def gen_joinaggregate(self):
+        rng = self.rng
+        columns = list(self.schema)
+        groupby = rng.sample(columns, min(len(columns), rng.randint(0, 2)))
+        nums = self.num_cols()
+        measures = []
+        for _ in range(rng.randint(1, 2)):
+            op = self.pick(WINDOW_AGG_OPS)
+            field = None if op == "count" else self.pick(nums)
+            measures.append((op, field))
+        names = [self.fresh("j") for _ in measures]
+        step = {
+            "type": "joinaggregate",
+            "groupby": groupby,
+            "ops": [op for op, _ in measures],
+            "fields": [field for _, field in measures],
+            "as": names,
+        }
+        for name in names:
+            self.schema[name] = ColumnMeta("num", nullable=True)
+        return [step]
+
+    def gen_project(self):
+        rng = self.rng
+        columns = list(self.schema)
+        keep = rng.sample(columns, rng.randint(1, len(columns)))
+        if rng.random() < 0.4:
+            names = [self.fresh("p") for _ in keep]
+        else:
+            names = list(keep)
+        step = {"type": "project", "fields": keep, "as": names}
+        mapping = dict(zip(keep, names))
+        self.schema = {mapping[c]: self.schema[c] for c in keep}
+        if all(c in mapping for c in self.unique):
+            self.unique = [mapping[c] for c in self.unique]
+        else:
+            self.unique = []
+        return [step]
+
+    def gen_collect(self):
+        rng = self.rng
+        columns = list(self.schema)
+        fields = rng.sample(columns, min(len(columns), rng.randint(1, 2)))
+        return [{"type": "collect", "sort": {
+            "field": fields,
+            "order": [self.pick(["ascending", "descending"])
+                      for _ in fields],
+        }}]
+
+    def gen_lookup(self):
+        rng = self.rng
+        field = self.pick(self.str_cols())
+        values = rng.sample(["v_num", "v_str"], rng.randint(1, 2))
+        names = [self.fresh("l") for _ in values]
+        step = {
+            "type": "lookup",
+            "from": {"data": "dim"},
+            "key": "key",
+            "fields": [field],
+            "values": values,
+            "as": names,
+        }
+        if rng.random() < 0.4:
+            step["default"] = self.pick([0.0, -1.0, "(none)"])
+        for value, name in zip(values, names):
+            self.schema[name] = ColumnMeta(
+                self.dim_meta[value].kind, nullable=True)
+        return [step]
+
+    def gen_pin_client(self):
+        # `sample` has no SQL translation, pinning this and every later
+        # step to the client; size >= any table keeps it an identity.
+        return [{"type": "sample", "size": 10000, "seed": 7}]
+
+
+def _candidate_builders(gen):
+    """(weight, builder) pairs valid in the current schema state."""
+    candidates = []
+    if gen.num_cols():
+        candidates += [
+            (3, gen.gen_filter),
+            (2, gen.gen_formula),
+            (2, gen.gen_extent_bin),
+            (3, gen.gen_aggregate),
+            (2, gen.gen_joinaggregate),
+        ]
+        if gen.unique:
+            candidates += [(2, gen.gen_stack), (2, gen.gen_window)]
+    if gen.str_cols():
+        candidates.append((1, gen.gen_filter))
+        if gen.has_dim:
+            candidates.append((2, gen.gen_lookup))
+    if len(gen.schema) > 1:
+        candidates.append((1, gen.gen_project))
+    candidates.append((1, gen.gen_collect))
+    candidates.append((1, gen.gen_pin_client))
+    return candidates
+
+
+def _weighted_choice(rng, candidates):
+    total = sum(weight for weight, _ in candidates)
+    roll = rng.random() * total
+    for weight, builder in candidates:
+        roll -= weight
+        if roll <= 0:
+            return builder
+    return candidates[-1][1]
+
+
+def generate_case(seed, max_rows=40, include_inf=False):
+    """Generate one differential test case from ``seed``."""
+    rng = random.Random(seed)
+    src_rows, src_meta = random_table(rng, max_rows=max_rows,
+                                     include_inf=include_inf)
+    tables = {"src": src_rows}
+    data = [{"name": "src", "url": "synthetic://src"}]
+    has_dim = rng.random() < 0.45
+    dim_meta = {}
+    if has_dim:
+        dim_rows, dim_meta = random_lookup_table(rng)
+        tables["dim"] = dim_rows
+        data.append({"name": "dim", "url": "synthetic://dim"})
+
+    gen = _Gen(rng, src_meta, has_dim, dim_meta)
+    steps = []
+    target_length = rng.randint(1, 5)
+    guard = 0
+    while len(steps) < target_length and guard < 20:
+        guard += 1
+        builder = _weighted_choice(rng, _candidate_builders(gen))
+        steps.extend(builder())
+
+    # Optionally split the chain across two derived datasets to exercise
+    # multi-dataset chain resolution in the planner.
+    if len(steps) >= 2 and rng.random() < 0.3:
+        split = rng.randint(1, len(steps) - 1)
+        data.append({"name": "mid", "source": "src",
+                     "transform": steps[:split]})
+        data.append({"name": "view", "source": "mid",
+                     "transform": steps[split:]})
+    else:
+        data.append({"name": "view", "source": "src", "transform": steps})
+
+    signals = [
+        {"name": "threshold", "value": rng.choice(_FILTER_LITERALS),
+         "bind": {"input": "range", "min": -10, "max": 50, "step": 0.5}},
+        {"name": "maxbins", "value": rng.randint(1, 40),
+         "bind": {"input": "range", "min": 1, "max": 100, "step": 1}},
+        {"name": "category", "value": rng.choice(CATEGORY_POOL),
+         "bind": {"input": "select", "options": CATEGORY_POOL}},
+    ]
+    for used in gen.signals_used:
+        if used.startswith("binField:"):
+            signals.append({"name": "binField",
+                            "value": used.split(":", 1)[1],
+                            "bind": {"input": "select",
+                                     "options": list(src_meta)}})
+
+    spec = {
+        "description": "fuzz case seed={}".format(seed),
+        "width": 400,
+        "height": 200,
+        "signals": signals,
+        "data": data,
+    }
+
+    final_columns = list(gen.schema)
+    if rng.random() < 0.9 and final_columns:
+        count = rng.randint(1, min(3, len(final_columns)))
+        mark_fields = rng.sample(final_columns, count)
+        channels = ["x", "y", "fill"]
+        spec["marks"] = [{
+            "type": rng.choice(["rect", "line", "symbol"]),
+            "from": {"data": "view"},
+            "encode": {"update": {
+                channel: {"field": field}
+                for channel, field in zip(channels, mark_fields)
+            }},
+        }]
+        if rng.random() < 0.4:
+            spec["scales"] = [{
+                "name": "xs", "type": "linear",
+                "domain": {"data": "view", "field": mark_fields[0]},
+                "range": "width",
+            }]
+
+    notes = "chain={} rows={} dim={}".format(
+        [step["type"] for step in steps], len(src_rows), has_dim)
+    return FuzzCase(seed=seed, spec=spec, tables=tables, notes=notes)

@@ -99,7 +99,11 @@ def resolve_planning_params(operator, signals, server_tables=None):
 
 def _lookup_table_marker(operator, server_tables):
     """LookupTable marker when ``operator`` is the source of a transform-
-    free root dataset resident on the server; None otherwise."""
+    free root dataset resident on the server; None otherwise.
+
+    ``server_tables`` is either a set of table names or a mapping
+    name -> TableStats; with stats, the marker carries column types so
+    type-sensitive translations (lookup defaults) can be validated."""
     from repro.dataflow.transforms.base import DataSource
     from repro.sqlgen.translate import LookupTable
 
@@ -111,7 +115,22 @@ def _lookup_table_marker(operator, server_tables):
     table = name[: -len(":source")]
     if table not in server_tables:
         return None
-    return LookupTable(table)
+    types = ()
+    if isinstance(server_tables, dict):
+        stats = server_tables[table]
+        types = tuple(
+            (column, _type_kind(column_stats.type))
+            for column, column_stats in stats.columns.items()
+        )
+    return LookupTable(table, types=types)
+
+
+def _type_kind(sql_type):
+    """Engine SQLType -> coarse kind tag used by translation checks."""
+    name = getattr(sql_type, "name", str(sql_type))
+    return {"DOUBLE": "num", "VARCHAR": "str", "BOOLEAN": "bool"}.get(
+        name, "other"
+    )
 
 
 def translatable_prefix(steps, base_columns, signals, server_tables=None):
@@ -166,7 +185,7 @@ class PartitionOptimizer:
             )
         base = from_table_stats(stats[root])
         prefix, _ = translatable_prefix(
-            steps, list(base.columns), signals, server_tables=set(stats)
+            steps, list(base.columns), signals, server_tables=stats
         )
 
         estimates = [base]

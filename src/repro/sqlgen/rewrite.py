@@ -227,6 +227,13 @@ def _pushdown_select(select):
     inner = select.from_.query
     if inner.limit is not None or inner.offset is not None or inner.distinct:
         return select
+    # A window function computes over the derived table's full row set;
+    # filtering before it would change that set (unlike GROUP BY, where
+    # filtering on group keys commutes with grouping).
+    for item in inner.items:
+        for node in sqlast.walk_expr(item.expr):
+            if isinstance(node, sqlast.WindowFunc):
+                return select
 
     passthrough = {}
     group_keys = set()

@@ -13,6 +13,7 @@ a prefetched variant, see :mod:`repro.core.prefetch`).
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.dataflow.transforms.base import TransformError
 from repro.dataflow.transforms.bin import bin_params
 from repro.engine import sqlast
 from repro.expr.errors import UntranslatableExpression
@@ -41,6 +42,15 @@ class LookupTable:
 
     name: str
     columns: tuple = ()
+    #: ((column, kind), ...) with kind in {"num", "str", "bool"}; empty
+    #: when the resolver has no type information
+    types: tuple = ()
+
+    def column_kind(self, name):
+        for column, kind in self.types:
+            if column == name:
+                return kind
+        return None
 
 
 # Vega aggregate op name -> SQL builder(field_ref) returning an expression.
@@ -95,7 +105,29 @@ def _star_items(columns):
     )
 
 
+def _order_items(fields, orders):
+    """ORDER BY items with explicit NULL placement.
+
+    The client comparator treats null as largest (last ascending, first
+    descending); backends disagree on the default (the embedded engine
+    sorts NULLs last ascending, sqlite first), so every emitted OrderItem
+    pins it explicitly.
+    """
+    return tuple(
+        sqlast.OrderItem(
+            sqlast.ColumnRef(field),
+            descending=(order == "descending"),
+            nulls_first=(order == "descending"),
+        )
+        for field, order in zip(fields, orders)
+    )
+
+
 def _compile_expr(expression, signals, what):
+    if not isinstance(expression, str):
+        raise Untranslatable(
+            "{}: expected an expression string, got {!r}".format(
+                what, type(expression).__name__))
     try:
         compiler = SQLCompiler(signals=signals)
         return _parse_sql_expr(compiler.compile(expression))
@@ -195,13 +227,20 @@ def translate_bin(params, source, columns, signals):
         items.append(sqlast.SelectItem(sqlast.Literal(None), alias=bin1_name))
         select = sqlast.Select(items=tuple(items), from_=source)
         return Translation(select, [item.alias for item in items])
-    start, stop, step = bin_params(
-        extent,
-        maxbins=params.get("maxbins", 20),
-        step=params.get("step"),
-        nice=params.get("nice", True),
-        minstep=params.get("minstep", 0.0),
-    )
+    try:
+        start, stop, step = bin_params(
+            extent,
+            maxbins=params.get("maxbins", 20),
+            step=params.get("step"),
+            nice=params.get("nice", True),
+            minstep=params.get("minstep", 0.0),
+        )
+    except TransformError as exc:
+        # Degenerate parameters (non-finite extent, non-positive step)
+        # are a translation refusal, not a server-side crash: the
+        # planner pins the bin to the client, which raises the same
+        # error on both sides of any cut — consistently.
+        raise Untranslatable("bin: {}".format(exc)) from exc
     ref = sqlast.ColumnRef(field)
     # start + FLOOR((field - start) / step) * step, clamped at the top edge.
     raw_bin = sqlast.BinaryOp(
@@ -222,8 +261,18 @@ def translate_bin(params, source, columns, signals):
             sqlast.Literal(step),
         ),
     )
-    bin0 = sqlast.FuncCall(
-        "LEAST", (raw_bin, sqlast.Literal(stop - step))
+    # Clamp exactly like the client transform: only values whose raw
+    # bucket reaches ``stop`` fold into the last bin.  A blanket
+    # LEAST(raw, stop - step) would over-clamp partial last bins (and,
+    # when bin_params widened a zero-width extent, clamp below start).
+    bin0 = sqlast.Case(
+        whens=(
+            (
+                sqlast.BinaryOp(">=", raw_bin, sqlast.Literal(stop)),
+                sqlast.Literal(stop - step),
+            ),
+        ),
+        default=raw_bin,
     )
     bin0_name, bin1_name = as_fields
     items = [
@@ -282,12 +331,7 @@ def translate_collect(params, source, columns, signals):
     orders = sort.get("order") or ["ascending"] * len(fields)
     if isinstance(orders, str):
         orders = [orders]
-    order_by = tuple(
-        sqlast.OrderItem(
-            sqlast.ColumnRef(field), descending=(order == "descending")
-        )
-        for field, order in zip(fields, orders)
-    )
+    order_by = _order_items(fields, orders)
     select = sqlast.Select(
         items=_star_items(columns), from_=source, order_by=order_by
     )
@@ -314,19 +358,23 @@ def translate_stack(params, source, columns, signals):
     y0_name, y1_name = params.get("as", ["y0", "y1"])
 
     partition = tuple(sqlast.ColumnRef(name) for name in groupby)
-    order_by = tuple(
-        sqlast.OrderItem(
-            sqlast.ColumnRef(name), descending=(order == "descending")
-        )
-        for name, order in zip(sort_fields, sort_orders)
+    order_by = _order_items(sort_fields, sort_orders)
+    # The client transform stacks |value| and treats NULL as 0; the SQL
+    # form must do the same or negative/NULL fields flip the offsets.
+    magnitude = sqlast.FuncCall(
+        "COALESCE",
+        (
+            sqlast.FuncCall("ABS", (sqlast.ColumnRef(field),)),
+            sqlast.Literal(0.0),
+        ),
     )
     running = sqlast.WindowFunc(
-        sqlast.FuncCall("SUM", (sqlast.ColumnRef(field),)),
+        sqlast.FuncCall("SUM", (magnitude,)),
         partition_by=partition,
         order_by=order_by,
     )
     y1 = running
-    y0 = sqlast.BinaryOp("-", running, sqlast.ColumnRef(field))
+    y0 = sqlast.BinaryOp("-", running, magnitude)
     items = [
         item
         for item in _star_items(columns)
@@ -357,10 +405,25 @@ def translate_joinaggregate(params, source, columns, signals):
         window = sqlast.WindowFunc(
             _agg_window_call(op, field), partition_by=partition
         )
-        items.append(sqlast.SelectItem(window, alias=name))
+        items.append(
+            sqlast.SelectItem(_null_safe_window(op, window), alias=name)
+        )
         out_columns.append(name)
     select = sqlast.Select(items=tuple(items), from_=source)
     return Translation(select, out_columns)
+
+
+def _null_safe_window(op, window):
+    """Align window aggregates with the client's Vega semantics.
+
+    Vega's ``sum`` of zero valid values is 0, while SQL's windowed
+    ``SUM`` over an all-NULL frame is NULL — COALESCE pins the empty
+    case to 0.  The other window ops (mean/min/max -> NULL) agree
+    between the two sides already.
+    """
+    if op == "sum":
+        return sqlast.FuncCall("COALESCE", (window, sqlast.Literal(0.0)))
+    return window
 
 
 def _agg_window_call(op, field_name):
@@ -399,12 +462,7 @@ def translate_window(params, source, columns, signals):
         )
 
     partition = tuple(sqlast.ColumnRef(name) for name in groupby)
-    order_by = tuple(
-        sqlast.OrderItem(
-            sqlast.ColumnRef(name), descending=(order == "descending")
-        )
-        for name, order in zip(sort_fields, sort_orders)
-    )
+    order_by = _order_items(sort_fields, sort_orders)
 
     rank_map = {"row_number": "ROW_NUMBER", "rank": "RANK",
                 "dense_rank": "DENSE_RANK"}
@@ -420,7 +478,9 @@ def translate_window(params, source, columns, signals):
         else:
             call = _agg_window_call(op, field)
         window = sqlast.WindowFunc(call, partition_by=partition, order_by=order_by)
-        items.append(sqlast.SelectItem(window, alias=name))
+        items.append(
+            sqlast.SelectItem(_null_safe_window(op, window), alias=name)
+        )
         out_columns.append(name)
     select = sqlast.Select(items=tuple(items), from_=source)
     return Translation(select, out_columns)
@@ -454,6 +514,26 @@ def translate_lookup(params, source, columns, signals):
         )
     names = params.get("as") or values
     default = params.get("default")
+    if default is not None:
+        # The client applies the default value as-is, whatever the value
+        # column's type; a typed SQL backend would reject (or worse,
+        # silently coerce) a CASE mixing e.g. a numeric default into a
+        # VARCHAR column.  Only translate when types provably agree.
+        if isinstance(default, bool):
+            default_kind = "bool"
+        elif isinstance(default, (int, float)):
+            default_kind = "num"
+        elif isinstance(default, str):
+            default_kind = "str"
+        else:
+            default_kind = "other"
+        for value_field in values:
+            kind = secondary.column_kind(value_field)
+            if kind != default_kind:
+                raise Untranslatable(
+                    "lookup default {!r} does not match the type of "
+                    "value column {!r}".format(default, value_field)
+                )
 
     left_alias = "lkl"
     right_alias = "lkr"

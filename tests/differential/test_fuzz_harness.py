@@ -1,0 +1,144 @@
+"""End-to-end tests of the differential fuzzing harness itself: a
+bounded clean campaign, and the forced-failure pipeline (detect ->
+shrink -> write a replayable ``repro_<seed>.py``)."""
+
+import runpy
+
+import pytest
+
+from repro.fuzz import generate_case
+from repro.fuzz.oracle import check_case
+from repro.fuzz.runner import case_seed, run_campaign
+from repro.fuzz.shrink import shrink_case
+
+pytestmark = pytest.mark.differential
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        a = generate_case(123)
+        b = generate_case(123)
+        assert a.spec == b.spec
+        assert a.tables == b.tables
+
+    def test_distinct_seeds_differ(self):
+        assert generate_case(1).spec != generate_case(2).spec
+
+    def test_campaign_seeds_do_not_collide(self):
+        first = {case_seed(7, i) for i in range(100)}
+        second = {case_seed(8, i) for i in range(100)}
+        assert not first & second
+
+
+@pytest.mark.slow
+class TestCleanCampaign:
+    def test_bounded_campaign_finds_no_mismatches(self, tmp_path):
+        result = run_campaign(
+            seed=11, iterations=8, max_rows=25,
+            out_dir=str(tmp_path), log=lambda message: None,
+        )
+        assert result.ok, result.describe()
+        assert result.cases_run == 8
+
+
+@pytest.mark.slow
+class TestForcedFailurePipeline:
+    """Inject a deliberate translation bug and require the harness to
+    detect it, minimize it, and emit a self-contained repro file that
+    replays clean once the bug is gone."""
+
+    @pytest.fixture()
+    def broken_sql_literal(self, monkeypatch):
+        from repro.expr import sqlcompile
+
+        original = sqlcompile.sql_literal
+
+        def broken(value):
+            if isinstance(value, float) and value == value \
+                    and abs(value) not in (0.0, float("inf")):
+                return original(value + 0.75)
+            return original(value)
+
+        monkeypatch.setattr(sqlcompile, "sql_literal", broken)
+
+    def test_detect_shrink_and_replay(self, broken_sql_literal, tmp_path):
+        result = run_campaign(
+            seed=424242, iterations=40, max_rows=20, max_failures=1,
+            check_optimizer=False, out_dir=str(tmp_path),
+            log=lambda message: None,
+        )
+        assert result.failures, "injected bug was not detected"
+        failure = result.failures[0]
+        repro = tmp_path / "repro_{}.py".format(failure.case_seed)
+        assert repro.exists()
+        text = repro.read_text()
+        assert "check_case" in text and str(failure.case_seed) in text
+
+        # Shrinking must have actually reduced the case.
+        original_case = generate_case(failure.case_seed)
+        module = runpy.run_path(str(repro), run_name="repro")
+        shrunk_tables = module["TABLES"]
+        original_rows = sum(len(r) for r in original_case.tables.values())
+        shrunk_rows = sum(len(r) for r in shrunk_tables.values())
+        assert shrunk_rows <= original_rows
+
+    def test_repro_replays_clean_without_the_bug(self, tmp_path):
+        # With the injection gone, the same case must pass the oracle:
+        # the repro demonstrates the bug only while the bug exists.
+        with pytest.MonkeyPatch.context() as mp:
+            from repro.expr import sqlcompile
+
+            original = sqlcompile.sql_literal
+
+            def broken(value):
+                if isinstance(value, float) and value == value \
+                        and abs(value) not in (0.0, float("inf")):
+                    return original(value + 0.75)
+                return original(value)
+
+            mp.setattr(sqlcompile, "sql_literal", broken)
+            result = run_campaign(
+                seed=424242, iterations=40, max_rows=20, max_failures=1,
+                check_optimizer=False, out_dir=str(tmp_path),
+                log=lambda message: None,
+            )
+        assert result.failures
+        seed = result.failures[0].case_seed
+        report = check_case(generate_case(seed), check_optimizer=False)
+        assert not report.mismatches, report.describe()
+
+
+class TestShrinker:
+    def test_signature_preserved(self):
+        """The shrinker must not accept reductions that fail for a
+        different reason than the original case."""
+        case = generate_case(3)
+        calls = {"count": 0}
+
+        def predicate(candidate):
+            calls["count"] += 1
+            # Fails only while both tables keep at least 3 rows total.
+            return candidate.total_rows() >= 3
+
+        minimized, evals = shrink_case(case, is_failing=predicate,
+                                       max_evals=60)
+        assert minimized.total_rows() >= 3
+        assert evals == calls["count"]
+
+    def test_never_empties_a_table(self):
+        case = generate_case(3)
+        minimized, _ = shrink_case(
+            case, is_failing=lambda candidate: True, max_evals=120,
+        )
+        for name, rows in minimized.tables.items():
+            assert rows, "table {!r} was emptied".format(name)
+            assert rows[0], "table {!r} lost every column".format(name)
+
+    def test_non_failing_case_returned_unchanged(self):
+        case = generate_case(5)
+        minimized, evals = shrink_case(
+            case, is_failing=lambda candidate: False,
+        )
+        assert evals == 1
+        assert minimized.spec == case.spec
+        assert minimized.tables == case.tables

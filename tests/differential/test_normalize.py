@@ -1,0 +1,119 @@
+"""Unit tests for the result-table canonicalizer used by the
+differential oracle (:mod:`repro.fuzz.normalize`)."""
+
+import math
+
+from repro.fuzz.normalize import (
+    FLOAT_DIGITS,
+    canonical_cell,
+    canonical_rows,
+    diff_canonical,
+    rows_equivalent,
+)
+
+
+class TestCanonicalCell:
+    def test_null_and_nan_fold_together(self):
+        assert canonical_cell(None) == canonical_cell(float("nan"))
+
+    def test_negative_zero_folds_into_zero(self):
+        assert canonical_cell(-0.0) == canonical_cell(0.0)
+
+    def test_bool_and_int_equal_their_float(self):
+        assert canonical_cell(True) == canonical_cell(1.0)
+        assert canonical_cell(False) == canonical_cell(0.0)
+        assert canonical_cell(3) == canonical_cell(3.0)
+
+    def test_string_number_stays_distinct_from_number(self):
+        assert canonical_cell("1") != canonical_cell(1.0)
+        assert canonical_cell("NaN") != canonical_cell(float("nan"))
+
+    def test_infinity_survives(self):
+        tag, payload = canonical_cell(float("inf"))
+        assert math.isinf(payload)
+        assert canonical_cell(float("inf")) != canonical_cell(float("-inf"))
+
+    def test_rounds_to_significant_digits(self):
+        a = canonical_cell(1.0 / 3.0)
+        b = canonical_cell(0.333333333333)  # differs past 9 sig digits
+        assert a == b
+        assert canonical_cell(1.0) != canonical_cell(1.001)
+
+    def test_cells_totally_orderable(self):
+        cells = [
+            canonical_cell(v)
+            for v in (None, float("nan"), -2.0, "z", True, "", 0.5, 7)
+        ]
+        assert sorted(cells)  # must not raise TypeError
+
+
+class TestCanonicalRows:
+    def test_column_order_insensitive(self):
+        a = canonical_rows([{"x": 1.0, "y": "a"}])
+        b = canonical_rows([{"y": "a", "x": 1.0}])
+        assert a == b
+
+    def test_row_order_insensitive(self):
+        a = canonical_rows([{"x": 1.0}, {"x": 2.0}])
+        b = canonical_rows([{"x": 2.0}, {"x": 1.0}])
+        assert a == b
+
+    def test_fields_projection(self):
+        full = [{"x": 1.0, "noise": 99.0}]
+        projected = [{"x": 1.0}]
+        assert canonical_rows(full, fields=["x"]) == canonical_rows(projected)
+
+    def test_missing_keys_read_as_null(self):
+        a = canonical_rows([{"x": 1.0, "y": None}, {"x": 2.0, "y": None}])
+        b = canonical_rows([{"x": 1.0}, {"y": None, "x": 2.0}])
+        assert a == b
+
+    def test_duplicate_rows_preserved(self):
+        one = canonical_rows([{"x": 1.0}])
+        two = canonical_rows([{"x": 1.0}, {"x": 1.0}])
+        assert one != two
+
+
+class TestRowsEquivalent:
+    def test_exact_equality(self):
+        a = canonical_rows([{"x": 1.0}])
+        assert rows_equivalent(a, a)
+
+    def test_tolerance_fallback_across_rounding_boundary(self):
+        # Two values a hair apart can round to different 9-digit forms;
+        # the isclose fallback must still accept them.
+        value = 1.0000000005
+        a = canonical_rows([{"x": value}])
+        b = canonical_rows([{"x": value + 2e-10}])
+        assert rows_equivalent(a, b)
+
+    def test_real_difference_detected(self):
+        a = canonical_rows([{"x": 1.0}])
+        b = canonical_rows([{"x": 1.1}])
+        assert not rows_equivalent(a, b)
+
+    def test_shape_difference_detected(self):
+        a = canonical_rows([{"x": 1.0}])
+        b = canonical_rows([{"x": 1.0}, {"x": 1.0}])
+        assert not rows_equivalent(a, b)
+        c = canonical_rows([{"y": 1.0}])
+        assert not rows_equivalent(a, c)
+
+
+class TestDiffCanonical:
+    def test_reports_rows_on_one_side(self):
+        a = canonical_rows([{"x": 1.0}, {"x": 2.0}])
+        b = canonical_rows([{"x": 1.0}, {"x": 3.0}])
+        report = diff_canonical(a, b, label_a="left", label_b="right")
+        assert "rows only in left" in report
+        assert "rows only in right" in report
+        assert "2.0" in report and "3.0" in report
+
+    def test_reports_column_mismatch(self):
+        a = canonical_rows([{"x": 1.0}])
+        b = canonical_rows([{"y": 1.0}])
+        assert "columns differ" in diff_canonical(a, b)
+
+    def test_float_digits_constant_documented_tolerance(self):
+        # The documented float tolerance of the differential oracle.
+        assert FLOAT_DIGITS == 9

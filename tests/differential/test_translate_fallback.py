@@ -1,0 +1,114 @@
+"""Every transform type, under every edge-case parameterization, must
+either produce a :class:`Translation` or raise :class:`Untranslatable` —
+never crash with an arbitrary exception.  An uncaught error here would
+desynchronize planning (``translatable_prefix`` treats any exception as
+"pin to client") from execution (which would crash mid-segment)."""
+
+import pytest
+
+from repro.engine import sqlast
+from repro.sqlgen.translate import (
+    LookupTable,
+    Translation,
+    Untranslatable,
+    translate_transform,
+)
+
+COLUMNS = ["x", "y", "k"]
+
+
+def attempt(spec_type, params, columns=COLUMNS, signals=None):
+    """Translate; returns the Translation or the Untranslatable raised."""
+    try:
+        result = translate_transform(
+            spec_type, params, sqlast.TableRef("t"), list(columns),
+            signals or {},
+        )
+    except Untranslatable as exc:
+        return exc
+    assert isinstance(result, Translation)
+    return result
+
+
+# (spec_type, params) covering every registered transform plus edge-case
+# parameter values: empty/zero-width extents, negative and zero steps,
+# unresolved fields, missing type info.
+CASES = [
+    ("filter", {"expr": "datum.x > 5"}),
+    ("filter", {"expr": "datum.missing_col > 5"}),
+    ("filter", {}),
+    ("formula", {"expr": "datum.x * 2", "as": "x2"}),
+    ("formula", {"expr": "now()", "as": "t"}),
+    ("formula", {"as": "x2"}),
+    ("project", {"fields": ["x"], "as": ["only_x"]}),
+    ("project", {"fields": ["not_there"]}),
+    ("extent", {"field": "x", "signal": "e"}),
+    ("extent", {"field": None}),
+    ("bin", {"field": "x", "extent": [0, 100], "maxbins": 10}),
+    ("bin", {"field": "x", "extent": [None, None]}),   # empty upstream
+    ("bin", {"field": "x", "extent": [5.0, 5.0], "step": 1.0}),
+    ("bin", {"field": "x", "extent": [5.0, 5.0], "nice": False}),
+    ("bin", {"field": "x", "extent": [0.0, 10.0], "step": -2.0}),
+    ("bin", {"field": "x", "extent": [0.0, 10.0], "step": 0.0}),
+    ("bin", {"field": "x",
+             "extent": [float("nan"), float("nan")]}),
+    ("bin", {"field": "x", "extent": [float("-inf"), float("inf")]}),
+    ("bin", {"field": None, "extent": [0, 1]}),
+    ("bin", {"field": "x"}),                           # unresolved extent
+    ("aggregate", {"groupby": ["k"], "ops": ["sum"], "fields": ["x"],
+                   "as": ["s"]}),
+    ("aggregate", {"groupby": [None], "ops": ["sum"], "fields": ["x"]}),
+    ("aggregate", {"ops": ["argmax"], "fields": ["x"], "as": ["a"]}),
+    ("collect", {"sort": {"field": ["x"], "order": ["ascending"]}}),
+    ("collect", {}),
+    ("stack", {"groupby": ["k"], "sort": {"field": "x"}, "field": "y"}),
+    ("stack", {"groupby": ["k"], "sort": {"field": "x"}, "field": "y",
+               "offset": "normalize"}),
+    ("joinaggregate", {"groupby": ["k"], "ops": ["mean"], "fields": ["x"],
+                       "as": ["m"]}),
+    ("window", {"sort": {"field": ["x"], "order": ["ascending"]},
+                "ops": ["rank"], "as": ["r"]}),
+    ("window", {"ops": ["rank"]}),                     # no sort order
+    ("lookup", {"from_rows": LookupTable("dim", types=(("v", "num"),)),
+                "key": "key", "fields": ["k"], "values": ["v"],
+                "as": ["l"]}),
+    ("lookup", {"from_rows": LookupTable("dim"), "key": "key",
+                "fields": ["k"], "values": ["v"], "as": ["l"],
+                "default": 0.0}),                      # no type info
+    ("lookup", {"from_rows": [{"key": "a"}], "key": "key",
+                "fields": ["k"], "values": ["v"]}),    # client-side rows
+    ("sample", {"size": 10}),                          # no SQL form
+    ("identifier", {"as": "id"}),
+    ("nosuchtransform", {}),
+]
+
+
+@pytest.mark.parametrize(
+    "spec_type,params", CASES,
+    ids=["{}-{}".format(i, spec_type)
+         for i, (spec_type, _) in enumerate(CASES)],
+)
+def test_translation_or_clean_refusal(spec_type, params):
+    attempt(spec_type, params)
+
+
+def test_zero_width_extent_clamp_matches_client():
+    """The seed-700050 shape: bin_params widens a zero-width extent, so
+    the top-edge clamp must not drop below the bin start."""
+    from repro.dataflow.transforms.bin import bin_params
+
+    start, stop, step = bin_params([0.0, 0.0], step=5.0, nice=False)
+    assert stop - step < start  # the degenerate shape under test
+    result = attempt("bin", {"field": "x", "extent": [0.0, 0.0],
+                             "step": 5.0, "nice": False})
+    assert isinstance(result, Translation)
+    sql = result.select.to_sql()
+    assert "LEAST" not in sql
+    assert "CASE WHEN" in sql
+
+
+def test_every_registered_transform_covered():
+    from repro.sqlgen.translate import _TRANSLATORS
+
+    covered = {spec_type for spec_type, _ in CASES}
+    assert set(_TRANSLATORS) <= covered

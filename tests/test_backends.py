@@ -11,6 +11,7 @@ from repro.backends import (
     create_backend,
 )
 from repro.engine import Table
+from repro.fuzz.normalize import canonical_table, diff_canonical, rows_equivalent
 
 
 @pytest.fixture(params=["embedded", "sqlite"])
@@ -181,12 +182,56 @@ class TestWindowTieSemantics:
             [("stack", {"groupby": ["g"], "sort": {"field": "s"},
                         "field": "v"})],
         )).to_sql()
+        results = {}
         for name in ("embedded", "sqlite"):
             backend = create_backend(name)
             backend.load_table("t", table)
-            rows = backend.execute(sql).table.to_rows()
+            result = backend.execute(sql).table
+            rows = result.to_rows()
             segments = sorted((row["y0"], row["y1"]) for row in rows)
             assert segments[0][0] == 0.0
             for (a0, a1), (b0, b1) in zip(segments, segments[1:]):
                 assert abs(a1 - b0) < 1e-9  # no overlaps from tie collapse
             assert segments[-1][1] == 10.0
+            results[name] = canonical_table(result)
+        assert rows_equivalent(results["embedded"], results["sqlite"]), \
+            diff_canonical(results["embedded"], results["sqlite"],
+                           "embedded", "sqlite")
+
+
+class TestCrossBackendCanonical:
+    """Both backends must compute canonically identical tables for
+    translator-shaped SQL — compared through the same canonicalizer the
+    differential fuzzer uses (column/row order and int-vs-float typing
+    are presentation, not semantics)."""
+
+    QUERIES = [
+        'SELECT "k", COUNT(*) AS "n", SUM("x") AS "s" FROM "t" '
+        'GROUP BY "k"',
+        'SELECT "x", "k" FROM "t" WHERE COALESCE(("x" > 1), FALSE)',
+        'SELECT "k", AVG("x") OVER (PARTITION BY "k") AS "m" FROM "t"',
+        'SELECT MEDIAN("x") AS "md", STDDEV("x") AS "sd", '
+        'VARIANCE("x") AS "var" FROM "t"',
+        # Explicit NULLS placement, as the translator always emits it:
+        # backend *defaults* differ (embedded: last asc, sqlite: first).
+        'SELECT "k", "x", SUM("x") OVER (ORDER BY "x" ASC NULLS LAST, '
+        '"k" ASC NULLS LAST '
+        'ROWS BETWEEN UNBOUNDED PRECEDING AND CURRENT ROW) AS "run" '
+        'FROM "t"',
+    ]
+
+    @pytest.mark.parametrize("sql", QUERIES)
+    def test_canonical_equality(self, sql):
+        canon = {}
+        for name in ("embedded", "sqlite"):
+            backend = create_backend(name)
+            backend.load_table(
+                "t",
+                Table.from_columns(
+                    x=[1.0, 2.0, 3.0, None], k=["a", "b", "a", "b"],
+                ),
+            )
+            canon[name] = canonical_table(backend.execute(sql).table)
+        assert rows_equivalent(canon["embedded"], canon["sqlite"]), \
+            diff_canonical(canon["embedded"], canon["sqlite"],
+                           "embedded", "sqlite")

@@ -117,12 +117,15 @@ class TestSqlLiteral:
 
 class TestSqlCompilation:
     def test_comparison(self):
+        # Ordered comparisons wrap in COALESCE(..., FALSE): JS yields a
+        # plain false for null operands where SQL would yield NULL (which
+        # flips under NOT).
         sql = compile_expression("datum.delay > 15")
-        assert sql == '("delay" > 15)'
+        assert sql == 'COALESCE(("delay" > 15), FALSE)'
 
     def test_signal_inlined(self):
         sql = compile_expression("datum.delay > cutoff", signals={"cutoff": 30})
-        assert sql == '("delay" > 30)'
+        assert sql == 'COALESCE(("delay" > 30), FALSE)'
 
     def test_logic(self):
         sql = compile_expression("datum.a > 1 && datum.b < 2")

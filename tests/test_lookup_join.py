@@ -51,13 +51,41 @@ class TestTranslator:
     def test_default_uses_match_test_not_value(self):
         translation = translate_transform(
             "lookup",
-            {"from_rows": LookupTable("airlines"), "key": "iata",
+            {"from_rows": LookupTable("airlines",
+                                      types=(("name", "str"),)),
+             "key": "iata",
              "fields": ["carrier"], "values": ["name"],
              "as": ["airline"], "default": "?"},
             sqlast.TableRef("flights"), ["carrier"], {},
         )
         sql = translation.select.to_sql()
         assert "CASE WHEN" in sql and "IS NULL" in sql
+
+    def test_default_type_mismatch_untranslatable(self):
+        # A numeric default over a string value column would be silently
+        # coerced by some backends (and crash others): pinned to client.
+        with pytest.raises(Untranslatable):
+            translate_transform(
+                "lookup",
+                {"from_rows": LookupTable("airlines",
+                                          types=(("name", "str"),)),
+                 "key": "iata",
+                 "fields": ["carrier"], "values": ["name"],
+                 "as": ["airline"], "default": 0.0},
+                sqlast.TableRef("flights"), ["carrier"], {},
+            )
+
+    def test_default_without_type_info_untranslatable(self):
+        # No column type info: the translator cannot prove the default's
+        # type matches, so it conservatively refuses.
+        with pytest.raises(Untranslatable):
+            translate_transform(
+                "lookup",
+                {"from_rows": LookupTable("airlines"), "key": "iata",
+                 "fields": ["carrier"], "values": ["name"],
+                 "as": ["airline"], "default": "?"},
+                sqlast.TableRef("flights"), ["carrier"], {},
+            )
 
     def test_rows_secondary_untranslatable(self):
         with pytest.raises(Untranslatable):

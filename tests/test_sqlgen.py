@@ -25,7 +25,7 @@ def translate(spec_type, params, columns, signals=None, table="t"):
 class TestTranslators:
     def test_filter(self):
         out = translate("filter", {"expr": "datum.x > 5"}, ["x", "y"])
-        assert 'WHERE ("x" > 5)' in out.select.to_sql()
+        assert 'WHERE COALESCE(("x" > 5), FALSE)' in out.select.to_sql()
         assert out.columns == ["x", "y"]
 
     def test_filter_with_signal(self):
@@ -72,7 +72,10 @@ class TestTranslators:
         )
         assert out.columns == ["x", "bin0", "bin1"]
         assert "FLOOR" in out.select.to_sql()
-        assert "LEAST" in out.select.to_sql()
+        # Top-edge clamp mirrors the client: CASE WHEN raw >= stop, never
+        # a blanket LEAST (which over-clamps partial last bins).
+        assert "CASE WHEN" in out.select.to_sql()
+        assert "THEN 90" in out.select.to_sql()
 
     def test_bin_requires_extent(self):
         with pytest.raises(Untranslatable):
