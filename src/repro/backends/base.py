@@ -52,6 +52,19 @@ class Backend(abc.ABC):
         """Optional: backend plan text (default: unsupported note)."""
         return "(no EXPLAIN support in backend {!r})".format(self.name)
 
+    def execute_with_node_stats(self, sql):
+        """Run a SELECT and, when the backend supports it, also return
+        per-plan-node EXPLAIN ANALYZE rows.
+
+        Returns ``(QueryResult, nodes_or_None)`` where nodes is the
+        pre-order list of dicts produced by the embedded engine's
+        ``explain_analyze_data`` (label, depth, parent, rows_in,
+        rows_out, seconds).  The default falls back to a plain execute
+        with ``None`` stats, so tracing degrades gracefully on backends
+        without plan instrumentation.
+        """
+        return self.execute(sql), None
+
     def table_schema(self, name):
         """Optional: ((column, SQLType), ...) of a loaded table, or None
         when the backend cannot report types."""

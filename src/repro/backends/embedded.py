@@ -44,6 +44,29 @@ class EmbeddedBackend(Backend):
         except EngineError as exc:
             raise BackendError(str(exc)) from exc
 
+    def explain_analyze_data(self, sql):
+        """Structured EXPLAIN ANALYZE: (result Table, per-node dicts)."""
+        try:
+            return self.db.explain_analyze_data(sql)
+        except EngineError as exc:
+            raise BackendError(str(exc)) from exc
+
+    def execute_with_node_stats(self, sql):
+        """Timed execute that also collects per-plan-node statistics —
+        the traced path: one engine execution serves both the result and
+        its EXPLAIN ANALYZE rows."""
+        import time
+
+        start = time.perf_counter()
+        try:
+            table, nodes = self.db.explain_analyze_data(sql)
+        except EngineError as exc:
+            raise BackendError(str(exc)) from exc
+        elapsed = time.perf_counter() - start
+        from repro.backends.base import QueryResult
+
+        return QueryResult(table=table, seconds=elapsed, sql=sql), nodes
+
     def table_names(self):
         return self.db.table_names()
 

@@ -37,11 +37,16 @@ def _build_session(args):
     else:
         data = {"flights": generate_flights(args.rows)}
         spec = flights_histogram_spec()
-    return VegaPlus(
+    session = VegaPlus(
         spec, data=data,
         channel=NetworkChannel(args.latency, args.bandwidth),
         backend=args.backend,
+        trace=bool(getattr(args, "trace", None)),
     )
+    # Remember the session so main() can export the trace after the
+    # command runs.
+    args._session = session
+    return session
 
 
 def _sink(args):
@@ -106,7 +111,30 @@ def cmd_explain(args, out):
             entry.kind, entry.rows, entry.server_seconds), file=out)
         print(entry.sql, file=out)
         print(file=out)
+    if getattr(args, "analyze", False):
+        _print_explain_analyze(session, out)
     return 0
+
+
+def _print_explain_analyze(session, out):
+    """EXPLAIN ANALYZE of each server query: per-plan-node rows in/out
+    and elapsed time, from the embedded engine."""
+    printed = False
+    for entry in session.history[0].queries:
+        if entry.kind == "prefetch" or entry.cached:
+            continue
+        try:
+            text = session.backend.explain_analyze(entry.sql)
+        except Exception as exc:
+            print("-- EXPLAIN ANALYZE unavailable: {}".format(exc),
+                  file=out)
+            return
+        print("-- EXPLAIN ANALYZE", file=out)
+        print(text, file=out)
+        print(file=out)
+        printed = True
+    if not printed:
+        print("-- EXPLAIN ANALYZE: no uncached server queries", file=out)
 
 
 def cmd_sweep(args, out):
@@ -168,10 +196,25 @@ def build_parser():
                          help="link bandwidth in Mbps")
         cmd.add_argument("--backend", choices=("embedded", "sqlite"),
                          default="embedded")
+        cmd.add_argument("--trace", metavar="PATH", default=None,
+                         help="record telemetry and write the trace here")
+        cmd.add_argument("--trace-format", choices=("chrome", "json"),
+                         default="chrome",
+                         help="trace file format (default: chrome, for "
+                              "chrome://tracing / Perfetto)")
+        if name == "explain":
+            cmd.add_argument("--analyze", action="store_true",
+                             help="append EXPLAIN ANALYZE (per-node rows "
+                                  "and times) for each server query")
     return parser
 
 
 def main(argv=None, out=None):
     out = out or sys.stdout
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args, out)
+    status = _COMMANDS[args.command](args, out)
+    session = getattr(args, "_session", None)
+    if args.trace and session is not None and session.tracer.enabled:
+        session.export_trace(args.trace, format=args.trace_format)
+        print("trace written to {}".format(args.trace), file=out)
+    return status

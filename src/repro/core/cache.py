@@ -11,6 +11,8 @@ cache").
 from collections import OrderedDict
 from dataclasses import dataclass
 
+from repro.telemetry.tracer import NOOP
+
 
 @dataclass
 class CacheEntry:
@@ -31,6 +33,11 @@ class ResultCache:
         self._bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
+        #: bytes evicted over the cache's lifetime
+        self.evicted_bytes = 0
+        #: telemetry sink; the session installs its tracer here
+        self.tracer = NOOP
 
     def __len__(self):
         return len(self._entries)
@@ -43,9 +50,11 @@ class ResultCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            self.tracer.count("cache.misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        self.tracer.count("cache.hits")
         return entry
 
     def contains(self, key):
@@ -66,6 +75,9 @@ class ResultCache:
         ):
             _, evicted = self._entries.popitem(last=False)
             self._bytes -= evicted.wire_bytes
+            self.evictions += 1
+            self.evicted_bytes += evicted.wire_bytes
+            self.tracer.count("cache.evictions")
 
     def clear(self):
         self._entries.clear()
@@ -77,4 +89,6 @@ class ResultCache:
             "bytes": self._bytes,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
+            "evicted_bytes": self.evicted_bytes,
         }

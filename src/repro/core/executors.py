@@ -23,6 +23,7 @@ from repro.sqlgen.compose import SqlPipelineBuilder
 from repro.sqlgen.dialect import render
 from repro.sqlgen.merge import merge_query
 from repro.sqlgen.rewrite import rewrite_query
+from repro.telemetry.tracer import NOOP
 
 
 class ExecutorError(Exception):
@@ -33,13 +34,16 @@ class ServerSegmentRunner:
     """Runs the server-assigned prefix of one chain."""
 
     def __init__(self, backend, channel, signals, cache=None,
-                 merge=True, rewrite=True):
+                 merge=True, rewrite=True, tracer=None, dataset=""):
         self.backend = backend
         self.channel = channel
         self.signals = signals
         self.cache = cache
         self.merge = merge
         self.rewrite = rewrite
+        self.tracer = tracer or NOOP
+        #: sink dataset this segment computes (tags query log entries)
+        self.dataset = dataset
         self.queries = []
         self.server_seconds = 0.0
         self.network_seconds = 0.0
@@ -47,11 +51,20 @@ class ServerSegmentRunner:
         self.parse_seconds = 0.0
 
     def finalize_sql(self, select):
-        if self.merge:
-            select = merge_query(select)
-        if self.rewrite:
-            select = rewrite_query(select)
-        return render(select, self.backend.name)
+        if not self.tracer.enabled:
+            if self.merge:
+                select = merge_query(select)
+            if self.rewrite:
+                select = rewrite_query(select)
+            return render(select, self.backend.name)
+        with self.tracer.span("sql.translate", dataset=self.dataset) as span:
+            if self.merge:
+                select = merge_query(select)
+            if self.rewrite:
+                select = rewrite_query(select)
+            sql = render(select, self.backend.name)
+            span.set(sql=sql, merged=self.merge, rewritten=self.rewrite)
+        return sql
 
     def run_segment(self, root_table, base_columns, steps, cut,
                     final_fields=None, prefetch=False):
@@ -62,6 +75,19 @@ class ServerSegmentRunner:
         results), needed both by later server steps and by the client
         suffix.
         """
+        if not self.tracer.enabled:
+            return self._run_segment(root_table, base_columns, steps, cut,
+                                     final_fields, prefetch)
+        with self.tracer.span("server.segment", dataset=self.dataset,
+                              root=root_table, cut=cut,
+                              prefetch=prefetch) as span:
+            out = self._run_segment(root_table, base_columns, steps, cut,
+                                    final_fields, prefetch)
+            span.set(transfer_rows=len(out[0]))
+            return out
+
+    def _run_segment(self, root_table, base_columns, steps, cut,
+                     final_fields=None, prefetch=False):
         builder = SqlPipelineBuilder(root_table, base_columns)
         value_results = {}
         for step in steps[:cut]:
@@ -174,23 +200,42 @@ class ServerSegmentRunner:
 
     def _execute(self, sql, kind, prefetch=False):
         """Run one query with caching and network accounting."""
+        tracer = self.tracer
         if self.cache is not None:
             entry = self.cache.get(sql)
             if entry is not None:
+                if tracer.enabled:
+                    tracer.measured_span(
+                        "sql.cached", 0.0, kind=kind, rows=len(entry.rows),
+                        dataset=self.dataset, sql=sql,
+                    )
                 self.queries.append(
                     QueryLogEntry(sql=sql, rows=len(entry.rows),
                                   server_seconds=0.0, network_seconds=0.0,
-                                  cached=True, kind=kind)
+                                  cached=True, kind=kind,
+                                  dataset=self.dataset)
                 )
                 return None, entry.rows
-        result = self.backend.execute(sql)
+        if tracer.enabled:
+            with tracer.span("sql.execute", kind=kind, sql=sql,
+                             dataset=self.dataset,
+                             backend=self.backend.name) as span:
+                result, nodes = self.backend.execute_with_node_stats(sql)
+                span.set(rows=result.table.num_rows,
+                         server_seconds=result.seconds)
+                if nodes:
+                    _graft_plan_nodes(tracer, nodes)
+                tracer.observe("sql.server_seconds", result.seconds)
+        else:
+            result = self.backend.execute(sql)
         parse_start = time.perf_counter()
         rows = result.table.to_rows()
         if not prefetch:
             self.parse_seconds += time.perf_counter() - parse_start
         response_bytes = wire_bytes(result.table)
         network = self.channel.request(
-            request_bytes(sql), response_bytes, label=kind
+            request_bytes(sql), response_bytes,
+            label="prefetch" if prefetch else kind,
         )
         if not prefetch:
             self.server_seconds += result.seconds
@@ -200,6 +245,7 @@ class ServerSegmentRunner:
                 sql=sql, rows=len(rows), server_seconds=result.seconds,
                 network_seconds=network, cached=False,
                 kind="prefetch" if prefetch else kind,
+                dataset=self.dataset,
             )
         )
         if self.cache is not None:
@@ -249,6 +295,38 @@ class ServerSegmentRunner:
         return {key: resolve(value) for key, value in operator.params.items()}
 
 
+def _graft_plan_nodes(tracer, nodes):
+    """Graft engine EXPLAIN ANALYZE nodes into the span tree as measured
+    child spans of the currently open (sql.execute) span.
+
+    Node times are inclusive of children, so a child span laid at its
+    parent's start always fits; siblings (join inputs) are laid out
+    sequentially to keep the single-lane nesting valid.
+    """
+    anchor = tracer.current_span()
+    spans = []
+    offsets = {}
+    for node in nodes:
+        parent_index = node.get("parent")
+        parent = anchor if parent_index is None else spans[parent_index]
+        base = parent.start if parent is not None else 0.0
+        offset = offsets.get(id(parent), 0.0)
+        seconds = node.get("seconds", 0.0)
+        span = tracer.measured_span(
+            "engine:" + node.get("label", "node").split()[0],
+            seconds,
+            start=base + offset,
+            parent=parent,
+            label=node.get("label", ""),
+            rows_in=node.get("rows_in"),
+            rows_out=node.get("rows_out"),
+            self_seconds=node.get("self_seconds"),
+        )
+        offsets[id(parent)] = offset + seconds
+        spans.append(span)
+    return spans
+
+
 def _lookup_table_for(operator, backend):
     """LookupTable marker when ``operator`` sources a transform-free root
     dataset that is loaded in the backend."""
@@ -278,9 +356,10 @@ def _lookup_table_for(operator, backend):
 class ClientSuffixRunner:
     """Runs the client-assigned suffix of one chain in a fresh dataflow."""
 
-    def __init__(self, signals, data_resolver=None):
+    def __init__(self, signals, data_resolver=None, tracer=None):
         self.signals = signals
         self.data_resolver = data_resolver
+        self.tracer = tracer or NOOP
         self.client_seconds = 0.0
         #: per-operator wall time of the last suffix run (dashboard data:
         #: "tooltips showing the details behind the nodes", §1)
@@ -293,6 +372,7 @@ class ClientSuffixRunner:
             return list(input_rows)
 
         flow = Dataflow()
+        flow.tracer = self.tracer
         for name, value in self.signals.items():
             flow.add_signal(name, value)
         source = flow.add(DataSource("__input", input_rows))
@@ -310,7 +390,13 @@ class ClientSuffixRunner:
             current = clone
 
         start = time.perf_counter()
-        flow.run()
+        if self.tracer.enabled:
+            with self.tracer.span("client.suffix", cut=cut,
+                                  input_rows=len(input_rows),
+                                  steps=len(suffix)):
+                flow.run()
+        else:
+            flow.run()
         self.client_seconds += time.perf_counter() - start
         for original_name, clone in clones.items():
             self.op_seconds[original_name] = clone.eval_seconds

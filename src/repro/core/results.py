@@ -16,6 +16,8 @@ class QueryLogEntry:
     network_seconds: float
     cached: bool = False
     kind: str = "rows"  # "rows" | "value" | "prefetch"
+    #: sink dataset whose segment issued the query ("" when unknown)
+    dataset: str = ""
 
 
 @dataclass

@@ -37,6 +37,7 @@ from repro.planner import (
     signal_frontier,
 )
 from repro.planner.plans import CostBreakdown, DatasetPlan
+from repro.telemetry.tracer import as_tracer
 
 
 class SessionError(Exception):
@@ -64,7 +65,12 @@ class VegaPlus:
                  latency_ms=20.0, bandwidth_mbps=100.0, cost_params=None,
                  merge_queries=True, rewrite_sql=True, cache_entries=64,
                  prefetch_budget=3, validate=True,
-                 per_operator_roundtrips=False, dynamic_replan=False):
+                 per_operator_roundtrips=False, dynamic_replan=False,
+                 trace=False):
+        #: telemetry: False/None = off (no-op tracer), True = record, or
+        #: pass a :class:`repro.telemetry.Tracer` to share one across
+        #: sessions.
+        self.tracer = as_tracer(trace)
         self.tables = {}
         rows_by_name = {}
         for name, value in (data or {}).items():
@@ -77,25 +83,34 @@ class VegaPlus:
                 rows_by_name[name] = rows
         self._rows_cache = rows_by_name
 
-        self.compiled = compile_spec(
-            spec,
-            data_tables={
-                name: self._rows(name) for name in self.tables
-            },
-            validate=validate,
-        )
+        with self.tracer.span("compile") as span:
+            self.compiled = compile_spec(
+                spec,
+                data_tables={
+                    name: self._rows(name) for name in self.tables
+                },
+                validate=validate,
+            )
+            span.set(
+                datasets=len(self.compiled.pipelines),
+                operators=len(self.compiled.flow.operators),
+            )
+        self.compiled.flow.tracer = self.tracer
         self.signals = dict(self.compiled.flow.signals)
 
         if isinstance(backend, Backend):
             self.backend = backend
         else:
             self.backend = create_backend(backend)
-        for name, table in self.tables.items():
-            self.backend.load_table(name, table)
+        with self.tracer.span("data.load", tables=len(self.tables)):
+            for name, table in self.tables.items():
+                self.backend.load_table(name, table)
 
         self.channel = channel or NetworkChannel(
             latency_ms=latency_ms, bandwidth_mbps=bandwidth_mbps
         )
+        if self.tracer.enabled:
+            self.channel.tracer = self.tracer
         self.cost_params = cost_params or CostParameters()
         self.merge_queries = merge_queries
         self.rewrite_sql = rewrite_sql
@@ -109,10 +124,12 @@ class VegaPlus:
             self.channel, self.cost_params,
             merged=not per_operator_roundtrips,
         )
-        self.stats = {
+        self.table_stats = {
             name: compute_stats(table) for name, table in self.tables.items()
         }
         self.cache = ResultCache(max_entries=cache_entries)
+        if self.tracer.enabled:
+            self.cache.tracer = self.tracer
         self.prefetcher = Prefetcher(budget=prefetch_budget)
         self.plan = None
         self._sink_states = {}
@@ -140,7 +157,17 @@ class VegaPlus:
 
     def optimize(self):
         """Compute (and adopt) the optimizer's startup plan."""
-        self.plan = self.optimizer.plan(self.compiled, self.stats, self.signals)
+        with self.tracer.span("plan") as span:
+            self.plan = self.optimizer.plan(
+                self.compiled, self.table_stats, self.signals
+            )
+            span.set(
+                cuts={
+                    sink: dataset_plan.cut
+                    for sink, dataset_plan in self.plan.datasets.items()
+                },
+                estimated_total=self.plan.estimate.total,
+            )
         self._interaction_plans = None  # candidates depend on the stats
         return self.plan
 
@@ -150,7 +177,7 @@ class VegaPlus:
             sink: 0 for sink in self.optimizer.sink_datasets(self.compiled)
         }
         return self.optimizer.plan(
-            self.compiled, self.stats, self.signals,
+            self.compiled, self.table_stats, self.signals,
             label="vega-client", forced_cuts=forced,
         )
 
@@ -158,14 +185,14 @@ class VegaPlus:
         """A user-chosen partitioning (the dashboard's toggles): ``cuts``
         maps sink dataset -> number of server steps."""
         return self.optimizer.plan(
-            self.compiled, self.stats, self.signals,
+            self.compiled, self.table_stats, self.signals,
             label=label, forced_cuts=cuts,
         )
 
     def interaction_candidates(self):
         """Per-signal re-partitioned plans (§2.2 step 4)."""
         return interaction_plans(
-            self.compiled, self.stats, self.channel, self.signals,
+            self.compiled, self.table_stats, self.channel, self.signals,
             self.cost_params,
         )
 
@@ -190,12 +217,14 @@ class VegaPlus:
         result = RunResult(label=label, plan=plan)
         hits_before = self.cache.hits
         misses_before = self.cache.misses
-        for sink, dataset_plan in plan.datasets.items():
-            state = self._sink_state(sink)
-            rows = self._run_sink(sink, state, dataset_plan, result)
-            result.datasets[sink] = rows
-            if adopt:
-                state.rows = rows
+        with self.tracer.span("run", label=label, plan=plan.label) as span:
+            for sink, dataset_plan in plan.datasets.items():
+                state = self._sink_state(sink)
+                rows = self._run_sink(sink, state, dataset_plan, result)
+                result.datasets[sink] = rows
+                if adopt:
+                    state.rows = rows
+            span.set(total_seconds=result.breakdown.total)
         result.cache_hits = self.cache.hits - hits_before
         result.cache_misses = self.cache.misses - misses_before
         self.history.append(result)
@@ -211,32 +240,42 @@ class VegaPlus:
         cut = dataset_plan.cut
         final_fields = self.compiled.spec.mark_fields(sink) or None
 
+        sink_span = self.tracer.span(
+            "sink:" + sink, dataset=sink, cut=cut,
+            max_cut=dataset_plan.max_cut,
+        )
         server = ServerSegmentRunner(
             self.backend, self.channel, self.signals,
             # Temp-table SQL text is not a canonical key (the same text
             # reads different __seg_i contents), so per-op mode is uncached.
             cache=None if self.per_operator_roundtrips else self.cache,
             merge=self.merge_queries, rewrite=self.rewrite_sql,
+            tracer=self.tracer, dataset=sink,
         )
         base_columns = self.tables[state.root].column_names
-        if self.per_operator_roundtrips:
-            transfer_rows, value_results, _ = server.run_segment_per_op(
-                state.root, base_columns, state.steps, cut,
-                final_fields=final_fields,
-            )
-        else:
-            transfer_rows, value_results, _ = server.run_segment(
-                state.root, base_columns, state.steps, cut,
-                final_fields=final_fields,
-            )
-        state.transfer_rows = transfer_rows
-        state.value_results = value_results
-        state.cut_executed = cut
+        with sink_span:
+            if self.per_operator_roundtrips:
+                transfer_rows, value_results, _ = server.run_segment_per_op(
+                    state.root, base_columns, state.steps, cut,
+                    final_fields=final_fields,
+                )
+            else:
+                transfer_rows, value_results, _ = server.run_segment(
+                    state.root, base_columns, state.steps, cut,
+                    final_fields=final_fields,
+                )
+            state.transfer_rows = transfer_rows
+            state.value_results = value_results
+            state.cut_executed = cut
 
-        client = ClientSuffixRunner(
-            self.signals, data_resolver=self._resolve_cross_dataset
-        )
-        rows = client.run_suffix(state.steps, cut, transfer_rows, value_results)
+            client = ClientSuffixRunner(
+                self.signals, data_resolver=self._resolve_cross_dataset,
+                tracer=self.tracer,
+            )
+            rows = client.run_suffix(
+                state.steps, cut, transfer_rows, value_results
+            )
+            sink_span.set(rows=len(rows))
 
         result.queries.extend(server.queries)
         result.client_op_seconds.update(client.op_seconds)
@@ -327,7 +366,7 @@ class VegaPlus:
         self.tables[name] = merged
         self._rows_cache[name] = None
         self.backend.load_table(name, merged)
-        self.stats[name] = compute_stats(merged)
+        self.table_stats[name] = compute_stats(merged)
         # Every cached result derived from this table is stale.
         self.cache.clear()
         for state in self._sink_states.values():
@@ -377,24 +416,27 @@ class VegaPlus:
         if plan is None and self.dynamic_replan:
             plan = self._pick_interaction_plan(signal)
         plan = plan or self.plan
-        result = RunResult(label="interact:{}={}".format(signal, value),
-                           plan=plan)
+        label = "interact:{}={}".format(signal, value)
+        result = RunResult(label=label, plan=plan)
         hits_before = self.cache.hits
         misses_before = self.cache.misses
-        for sink, dataset_plan in plan.datasets.items():
-            state = self._sink_state(sink)
-            frontier = min(
-                signal_frontier(self.compiled, sink, name)
-                for name in changed
-            )
-            if frontier >= dataset_plan.cut \
-                    and state.transfer_rows is not None \
-                    and state.cut_executed == dataset_plan.cut:
-                rows = self._client_partial(state, dataset_plan, result)
-            else:
-                rows = self._run_sink(sink, state, dataset_plan, result)
-            state.rows = rows
-            result.datasets[sink] = rows
+        with self.tracer.span("run", label=label, plan=plan.label,
+                              signal=signal) as span:
+            for sink, dataset_plan in plan.datasets.items():
+                state = self._sink_state(sink)
+                frontier = min(
+                    signal_frontier(self.compiled, sink, name)
+                    for name in changed
+                )
+                if frontier >= dataset_plan.cut \
+                        and state.transfer_rows is not None \
+                        and state.cut_executed == dataset_plan.cut:
+                    rows = self._client_partial(state, dataset_plan, result)
+                else:
+                    rows = self._run_sink(sink, state, dataset_plan, result)
+                state.rows = rows
+                result.datasets[sink] = rows
+            span.set(total_seconds=result.breakdown.total)
         result.cache_hits = self.cache.hits - hits_before
         result.cache_misses = self.cache.misses - misses_before
         self.history.append(result)
@@ -463,7 +505,8 @@ class VegaPlus:
         """Partial execution: only the client suffix re-runs (§2.2 step 4's
         'faster partial execution')."""
         client = ClientSuffixRunner(
-            self.signals, data_resolver=self._resolve_cross_dataset
+            self.signals, data_resolver=self._resolve_cross_dataset,
+            tracer=self.tracer,
         )
         rows = client.run_suffix(
             state.steps, dataset_plan.cut, state.transfer_rows,
@@ -493,25 +536,34 @@ class VegaPlus:
             self.signals = dict(saved_signals)
             self.signals[signal] = value
         fetched = False
+        prefetch_span = self.tracer.span(
+            "prefetch", signal=signal, value=value
+        )
         try:
-            for sink, dataset_plan in self.plan.datasets.items():
-                state = self._sink_state(sink)
-                frontier = signal_frontier(self.compiled, sink, signal)
-                if frontier >= dataset_plan.cut:
-                    continue  # interaction will not touch the server
-                runner = ServerSegmentRunner(
-                    self.backend, self.channel, self.signals,
-                    cache=self.cache, merge=self.merge_queries,
-                    rewrite=self.rewrite_sql,
-                )
-                base_columns = self.tables[state.root].column_names
-                final_fields = self.compiled.spec.mark_fields(sink) or None
-                runner.run_segment(
-                    state.root, base_columns, state.steps, dataset_plan.cut,
-                    final_fields=final_fields, prefetch=True,
-                )
-                if any(not entry.cached for entry in runner.queries):
-                    fetched = True
+            with prefetch_span:
+                for sink, dataset_plan in self.plan.datasets.items():
+                    state = self._sink_state(sink)
+                    frontier = signal_frontier(self.compiled, sink, signal)
+                    if frontier >= dataset_plan.cut:
+                        continue  # interaction will not touch the server
+                    runner = ServerSegmentRunner(
+                        self.backend, self.channel, self.signals,
+                        cache=self.cache, merge=self.merge_queries,
+                        rewrite=self.rewrite_sql,
+                        tracer=self.tracer, dataset=sink,
+                    )
+                    base_columns = self.tables[state.root].column_names
+                    final_fields = (
+                        self.compiled.spec.mark_fields(sink) or None
+                    )
+                    runner.run_segment(
+                        state.root, base_columns, state.steps,
+                        dataset_plan.cut,
+                        final_fields=final_fields, prefetch=True,
+                    )
+                    if any(not entry.cached for entry in runner.queries):
+                        fetched = True
+                prefetch_span.set(fetched=fetched)
         finally:
             self.signals = saved_signals
         return fetched
@@ -527,6 +579,40 @@ class VegaPlus:
 
     def network_stats(self):
         return self.channel.stats
+
+    def stats(self):
+        """One snapshot dict of every session-level counter: cache
+        hits/misses/evictions/bytes, network aggregates (plus dropped log
+        records), prefetcher state, and run history size.  Included in
+        trace exports (see :meth:`export_trace`)."""
+        return {
+            "cache": self.cache.stats(),
+            "network": self.channel.stats.as_dict(),
+            "prefetcher": {
+                "budget": self.prefetcher.budget,
+                "observations": self.prefetcher.predictor.observations,
+                "prefetched": self.prefetcher.prefetched,
+            },
+            "runs": len(self.history),
+        }
+
+    def export_trace(self, path, format="chrome"):
+        """Write the session's trace to ``path``.
+
+        ``format`` is ``"chrome"`` (load in ``chrome://tracing`` or
+        Perfetto) or ``"json"`` (the raw span tree).  The export embeds
+        the :meth:`stats` snapshot.  Raises if tracing was not enabled.
+        """
+        if not self.tracer.enabled:
+            raise SessionError(
+                "tracing is disabled; construct the session with "
+                "trace=True (or pass a Tracer) to export a trace"
+            )
+        from repro.telemetry.export import write_trace
+
+        return write_trace(
+            self.tracer, path, format=format, stats=self.stats()
+        )
 
     def explain(self):
         """Human-readable explanation of the current plan: the cut per
@@ -553,7 +639,7 @@ class VegaPlus:
         if self.plan is None:
             raise SessionError("call startup() before dashboard()")
         last = self.last_result()
-        return {
+        board = {
             "graph": plan_graph(self).to_dict(),
             "plan": self.plan.describe(),
             "breakdown": last.breakdown.as_dict() if last else None,
@@ -564,3 +650,46 @@ class VegaPlus:
                 "seconds": self.channel.stats.seconds,
             },
         }
+        if self.tracer.enabled:
+            # With tracing on, the latency decomposition comes from the
+            # measured spans of the latest run instead of the runner's
+            # coarse accumulators.
+            board["trace"] = self._trace_decomposition()
+        return board
+
+    def _trace_decomposition(self):
+        """Measured per-phase seconds from the most recent ``run`` span."""
+        runs = self.tracer.find_spans("run")
+        if not runs:
+            return None
+        run = runs[-1]
+
+        def subtree(span):
+            out = [span]
+            for child in self.tracer.children_of(span):
+                out.extend(subtree(child))
+            return out
+
+        spans = subtree(run)
+        # sql.execute nests inside server.segment; count only the leaves
+        # so phases do not double-count.
+        by_prefix = {
+            "server": ("sql.execute", "sql.cached"),
+            "network": ("net.transfer",),
+            "client": ("client.suffix",),
+        }
+        decomposition = {}
+        for phase, prefixes in by_prefix.items():
+            decomposition[phase] = sum(
+                span.wall for span in spans
+                if any(span.name.startswith(p) for p in prefixes)
+            )
+        operators = {}
+        for span in spans:
+            if span.name.startswith("pulse:"):
+                name = span.name[len("pulse:"):]
+                operators[name] = operators.get(name, 0.0) + span.wall
+        decomposition["operators"] = operators
+        decomposition["label"] = run.attributes.get("label")
+        decomposition["total"] = run.wall
+        return decomposition

@@ -4,6 +4,7 @@ from collections import defaultdict, deque
 
 from repro.dataflow.operator import Operator
 from repro.dataflow.pulse import Pulse
+from repro.telemetry.tracer import NOOP
 
 
 class DataflowError(Exception):
@@ -27,6 +28,9 @@ class Dataflow:
         self._signal_watchers = defaultdict(set)  # signal -> operator set
         self._dirty = set()
         self._ranked = False
+        #: telemetry sink; sessions and suffix runners install a tracer
+        #: here to get one span per operator pulse
+        self.tracer = NOOP
 
     def attach_signal_graph(self, graph):
         """Use a SignalGraph for signal storage (enables ``update``
@@ -173,7 +177,19 @@ class Dataflow:
             )
             if source_pulse is None:
                 source_pulse = Pulse(rows=[], changed=True)
-            operator.evaluate(source_pulse, self.signals)
+            if self.tracer.enabled:
+                with self.tracer.span(
+                    "pulse:" + operator.name, kind=operator.kind,
+                    rows_in=len(source_pulse.rows),
+                ) as span:
+                    pulse = operator.evaluate(source_pulse, self.signals)
+                    span.set(
+                        rows_out=len(pulse.rows) if pulse is not None else 0,
+                        changed=bool(pulse.changed) if pulse is not None
+                        else False,
+                    )
+            else:
+                operator.evaluate(source_pulse, self.signals)
             evaluated.append(operator)
         return evaluated
 

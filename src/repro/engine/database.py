@@ -103,13 +103,32 @@ class Database:
 
     def explain_analyze(self, sql):
         """Execute a SELECT and return the plan annotated with measured
-        per-node output rows and (inclusive) times."""
-        from repro.engine.executor import execute_with_stats
+        per-node rows-in/rows-out and (inclusive) times."""
+        from repro.engine.executor import annotate_stats, execute_with_stats
 
         plan = self.plan(sql)
         self.queries_executed += 1
         _, stats = execute_with_stats(plan, self.catalog)
-        return format_plan(plan, stats=stats)
+        annotated = annotate_stats(plan, stats, self.catalog)
+        return format_plan(plan, stats=annotated)
+
+    def explain_analyze_data(self, sql):
+        """Structured EXPLAIN ANALYZE: executes a SELECT and returns
+        ``(table, nodes)`` where nodes is a pre-order list of per-plan-
+        node dicts (label, depth, parent, rows_in, rows_out, seconds,
+        self_seconds).  The table is the actual query result, so callers
+        can correlate node cardinalities with what was returned."""
+        from repro.engine.executor import (
+            annotate_stats,
+            execute_with_stats,
+            stats_preorder,
+        )
+
+        plan = self.plan(sql)
+        self.queries_executed += 1
+        table, stats = execute_with_stats(plan, self.catalog)
+        annotated = annotate_stats(plan, stats, self.catalog)
+        return table, stats_preorder(plan, annotated)
 
     def explain_select(self, select):
         plan = bind(select, self.catalog)

@@ -56,6 +56,73 @@ def execute_with_stats(plan, catalog):
         _active_stats = None
 
 
+def annotate_stats(plan, raw_stats, catalog=None):
+    """Enrich raw ``execute_with_stats`` output into per-node dicts.
+
+    Returns a mapping ``id(node) -> {"label", "rows_in", "rows_out",
+    "seconds", "self_seconds"}``.  ``rows_in`` is the sum of the node's
+    children's output rows (for Scan, the base table's row count when a
+    catalog is given); ``self_seconds`` subtracts child-inclusive time.
+    """
+    annotated = {}
+
+    def visit(node):
+        children = node.children()
+        for child in children:
+            visit(child)
+        raw = raw_stats.get(id(node))
+        if raw is None:
+            return
+        rows_out, seconds = raw
+        if children:
+            rows_in = sum(
+                raw_stats[id(child)][0]
+                for child in children
+                if id(child) in raw_stats
+            )
+            child_seconds = sum(
+                raw_stats[id(child)][1]
+                for child in children
+                if id(child) in raw_stats
+            )
+        else:
+            child_seconds = 0.0
+            rows_in = rows_out
+            if isinstance(node, Scan) and catalog is not None:
+                try:
+                    rows_in = catalog.get(node.table).num_rows
+                except Exception:
+                    pass
+        annotated[id(node)] = {
+            "label": node.label(),
+            "rows_in": int(rows_in),
+            "rows_out": int(rows_out),
+            "seconds": seconds,
+            "self_seconds": max(seconds - child_seconds, 0.0),
+        }
+
+    visit(plan)
+    return annotated
+
+
+def stats_preorder(plan, annotated):
+    """Flatten annotated stats into a pre-order list with depths —
+    the structured EXPLAIN ANALYZE rows (one dict per plan node)."""
+    rows = []
+
+    def visit(node, depth, parent_index):
+        entry = dict(annotated.get(id(node), {"label": node.label()}))
+        entry["depth"] = depth
+        entry["parent"] = parent_index
+        index = len(rows)
+        rows.append(entry)
+        for child in node.children():
+            visit(child, depth + 1, index)
+
+    visit(plan, 0, None)
+    return rows
+
+
 def _execute(plan, catalog):
     if _active_stats is None:
         return _execute_node(plan, catalog)

@@ -190,12 +190,20 @@ def format_plan(plan, indent=0, stats=None):
     """Render a plan tree as indented text (used by EXPLAIN).
 
     ``stats`` (from the executor's EXPLAIN ANALYZE mode) maps node ids to
-    (rows, seconds) and is appended per line when given.
+    either raw ``(rows, seconds)`` tuples or annotated dicts (with
+    ``rows_in``/``rows_out``/``seconds``) and is appended per line.
     """
     label = plan.label()
     if stats is not None and id(plan) in stats:
-        rows, seconds = stats[id(plan)]
-        label += "  [rows={} time={:.4f}s]".format(rows, seconds)
+        node_stats = stats[id(plan)]
+        if isinstance(node_stats, dict):
+            label += "  [rows_in={} rows_out={} time={:.4f}s]".format(
+                node_stats["rows_in"], node_stats["rows_out"],
+                node_stats["seconds"],
+            )
+        else:
+            rows, seconds = node_stats
+            label += "  [rows={} time={:.4f}s]".format(rows, seconds)
     lines = ["  " * indent + label]
     for child in plan.children():
         lines.append(format_plan(child, indent + 1, stats))

@@ -8,8 +8,13 @@ rather than sleeping, so benchmarks run fast yet report realistic
 latencies.
 """
 
-from dataclasses import dataclass, field
-from typing import List
+from collections import deque
+from dataclasses import dataclass
+
+from repro.telemetry.tracer import NOOP
+
+#: default per-transfer log capacity; aggregates stay exact past it
+DEFAULT_LOG_CAPACITY = 256
 
 
 @dataclass
@@ -22,15 +27,43 @@ class TransferRecord:
     label: str = ""
 
 
-@dataclass
 class NetworkStats:
-    """Aggregate traffic counters for a channel."""
+    """Aggregate traffic counters for a channel.
 
-    round_trips: int = 0
-    bytes_sent: int = 0
-    bytes_received: int = 0
-    seconds: float = 0.0
-    log: List[TransferRecord] = field(default_factory=list)
+    Counters (``round_trips``, ``bytes_*``, ``seconds``) are exact over
+    the channel's whole lifetime; ``log`` is a bounded ring buffer of the
+    most recent :class:`TransferRecord` entries (old sessions grew it
+    without bound — one record per round trip, forever), with
+    ``log_dropped`` counting records the ring has discarded.
+    """
+
+    def __init__(self, log_capacity=DEFAULT_LOG_CAPACITY):
+        if log_capacity <= 0:
+            raise ValueError("log_capacity must be positive")
+        self.round_trips = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.seconds = 0.0
+        self.log_capacity = log_capacity
+        self.log = deque(maxlen=log_capacity)
+        self.log_dropped = 0
+
+    def record(self, record):
+        """Append to the ring, tracking how many records fell off."""
+        if len(self.log) == self.log.maxlen:
+            self.log_dropped += 1
+        self.log.append(record)
+
+    def as_dict(self):
+        return {
+            "round_trips": self.round_trips,
+            "bytes_sent": self.bytes_sent,
+            "bytes_received": self.bytes_received,
+            "seconds": self.seconds,
+            "log_entries": len(self.log),
+            "log_capacity": self.log_capacity,
+            "log_dropped": self.log_dropped,
+        }
 
 
 class NetworkChannel:
@@ -38,17 +71,22 @@ class NetworkChannel:
 
     ``latency_ms`` is the one-way latency; a round trip costs twice that
     plus serialization time at ``bandwidth_mbps`` (megaBITS per second,
-    matching how link speeds are usually quoted).
+    matching how link speeds are usually quoted).  ``log_capacity``
+    bounds the per-transfer log (aggregate counters stay exact).
     """
 
-    def __init__(self, latency_ms=20.0, bandwidth_mbps=100.0):
+    def __init__(self, latency_ms=20.0, bandwidth_mbps=100.0,
+                 log_capacity=DEFAULT_LOG_CAPACITY):
         if latency_ms < 0:
             raise ValueError("latency_ms must be >= 0")
         if bandwidth_mbps <= 0:
             raise ValueError("bandwidth_mbps must be > 0")
         self.latency_ms = float(latency_ms)
         self.bandwidth_mbps = float(bandwidth_mbps)
-        self.stats = NetworkStats()
+        self.log_capacity = log_capacity
+        self.stats = NetworkStats(log_capacity=log_capacity)
+        #: telemetry sink; the session installs its tracer here
+        self.tracer = NOOP
 
     @property
     def bytes_per_second(self):
@@ -74,7 +112,7 @@ class NetworkChannel:
         self.stats.bytes_sent += int(request_bytes)
         self.stats.bytes_received += int(response_bytes)
         self.stats.seconds += seconds
-        self.stats.log.append(
+        self.stats.record(
             TransferRecord(
                 request_bytes=int(request_bytes),
                 response_bytes=int(response_bytes),
@@ -82,10 +120,20 @@ class NetworkChannel:
                 label=label,
             )
         )
+        if self.tracer.enabled:
+            # Virtual time: the span's duration is the modeled seconds.
+            self.tracer.measured_span(
+                "net.transfer", seconds,
+                label=label, request_bytes=int(request_bytes),
+                response_bytes=int(response_bytes), virtual_seconds=seconds,
+            )
+            self.tracer.count("net.round_trips")
+            self.tracer.count("net.bytes_received", int(response_bytes))
+            self.tracer.observe("net.round_trip_seconds", seconds)
         return seconds
 
     def reset(self):
-        self.stats = NetworkStats()
+        self.stats = NetworkStats(log_capacity=self.log_capacity)
 
     def __repr__(self):
         return "NetworkChannel(latency_ms={}, bandwidth_mbps={})".format(

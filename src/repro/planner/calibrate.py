@@ -77,3 +77,33 @@ def calibrate(backend=None, client_rows=20_000, server_rows=100_000):
         client_op_overhead=defaults.client_op_overhead,
         render_row_cost=defaults.render_row_cost,
     )
+
+
+def refit_from_report(report, base_params=None):
+    """Rescale cost constants from a telemetry misprediction report.
+
+    ``report`` is a :class:`repro.telemetry.MispredictionReport` (or any
+    object with ``median_ratio(kind)`` returning measured/predicted, kind
+    in ``"client-op"``/``"server-segment"``; duck-typed to keep this
+    module free of a telemetry import).  Where the micro-benchmarks of
+    :func:`calibrate` measure substrates in isolation, this closes the
+    loop on a *real session*: if client steps ran 3x slower than
+    predicted, the client per-row cost triples.  Kinds with no audit
+    entries keep their base value.
+    """
+    params = base_params or CostParameters()
+
+    def scaled(value, kind):
+        ratio = report.median_ratio(kind)
+        if ratio is None or ratio <= 0:
+            return value
+        return value * ratio
+
+    return CostParameters(
+        client_row_cost=scaled(params.client_row_cost, "client-op"),
+        server_row_cost=scaled(params.server_row_cost, "server-segment"),
+        server_query_overhead=params.server_query_overhead,
+        client_op_overhead=params.client_op_overhead,
+        render_row_cost=params.render_row_cost,
+        client_slowdown=params.client_slowdown,
+    )

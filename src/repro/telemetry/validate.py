@@ -1,0 +1,58 @@
+"""Validate an exported Chrome trace file from the command line.
+
+Used by CI after a traced end-to-end session::
+
+    python -m repro.telemetry.validate trace.json --expect-span compile
+
+Exit status 0 when the file parses, spans nest correctly, and every
+``--expect-span`` name (exact or prefix with a trailing ``*``) occurs.
+"""
+
+import argparse
+import json
+import sys
+
+from repro.telemetry.export import validate_chrome_trace
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.telemetry.validate",
+        description="Validate a Chrome trace_event export.",
+    )
+    parser.add_argument("path", help="trace JSON file")
+    parser.add_argument(
+        "--expect-span", action="append", default=[],
+        help="require a span name (suffix '*' matches a prefix); repeatable",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.path) as handle:
+        document = json.load(handle)
+    problems = validate_chrome_trace(document)
+    names = [
+        event.get("name", "")
+        for event in document.get("traceEvents", [])
+        if event.get("ph") == "X"
+    ]
+    for expected in args.expect_span:
+        if expected.endswith("*"):
+            hit = any(name.startswith(expected[:-1]) for name in names)
+        else:
+            hit = expected in names
+        if not hit:
+            problems.append("expected span {!r} not found".format(expected))
+    if problems:
+        for problem in problems:
+            print("INVALID: " + problem, file=sys.stderr)
+        return 1
+    print(
+        "trace OK: {} events, {} distinct span names".format(
+            len(document.get("traceEvents", [])), len(set(names))
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

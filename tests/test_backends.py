@@ -141,7 +141,8 @@ class TestExplainAnalyzeBackend:
         backend = EmbeddedBackend()
         backend.load_table("t", Table.from_columns(x=[1.0, 2.0, 3.0]))
         text = backend.explain_analyze("SELECT x FROM t WHERE x > 1")
-        assert "rows=2" in text and "time=" in text
+        assert "rows_out=2" in text and "time=" in text
+        assert "rows_in=" in text
 
     def test_embedded_explain_analyze_bad_sql(self):
         backend = EmbeddedBackend()

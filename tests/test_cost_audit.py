@@ -1,0 +1,183 @@
+"""Cost-model audit tests: misprediction report, rank correlation, and
+closing the loop via refit_from_report."""
+
+import pytest
+
+from repro.core import VegaPlus
+from repro.datagen import generate_flights
+from repro.net import NetworkChannel
+from repro.planner import CostParameters
+from repro.planner.calibrate import refit_from_report
+from repro.spec import flights_histogram_spec
+from repro.telemetry import (
+    AuditEntry,
+    MispredictionReport,
+    PlanCandidate,
+    audit_session,
+    spearman,
+)
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman([1, 2, 3, 4], [10, 20, 30, 40]) == pytest.approx(1.0)
+
+    def test_perfect_disagreement(self):
+        assert spearman([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+    def test_monotone_transform_invariance(self):
+        xs = [0.1, 2.0, 0.5, 7.0]
+        ys = [x ** 3 for x in xs]
+        assert spearman(xs, ys) == pytest.approx(1.0)
+
+    def test_ties_use_average_ranks(self):
+        value = spearman([1, 1, 2], [1, 2, 3])
+        assert -1.0 <= value <= 1.0
+        assert value == pytest.approx(0.866, abs=1e-3)
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            spearman([1], [2])
+
+    def test_constant_sequence_returns_zero(self):
+        assert spearman([5, 5, 5], [1, 2, 3]) == 0.0
+
+
+class TestReport:
+    def _report(self):
+        return MispredictionReport(
+            entries=[
+                AuditEntry("op-a", "client-op", "d", 0.010, 0.030),
+                AuditEntry("op-b", "client-op", "d", 0.020, 0.080),
+                AuditEntry("seg", "server-segment", "d", 0.001, 0.0005),
+                AuditEntry("zero", "transfer", "d", 0.0, 0.5),
+            ],
+            candidates=[
+                PlanCandidate("cut=0", 0.5, 0.45),
+                PlanCandidate("cut=1", 0.3, 0.28),
+                PlanCandidate("cut=2", 0.1, 0.09),
+            ],
+        )
+
+    def test_ratio_and_zero_prediction(self):
+        report = self._report()
+        assert report.entries[0].ratio == pytest.approx(3.0)
+        assert report.entries[3].ratio is None
+
+    def test_median_ratio_per_kind(self):
+        report = self._report()
+        assert report.median_ratio("client-op") == pytest.approx(3.5)
+        assert report.median_ratio("server-segment") == pytest.approx(0.5)
+        assert report.median_ratio("transfer") is None
+
+    def test_rank_correlation(self):
+        assert self._report().rank_correlation == pytest.approx(1.0)
+
+    def test_worst_sorted_by_log_ratio(self):
+        worst = self._report().worst(2)
+        assert worst[0].name == "op-b"  # 4x off beats 3x and 2x
+
+    def test_as_dict_and_format(self):
+        report = self._report()
+        data = report.as_dict()
+        assert len(data["entries"]) == 4
+        assert data["rank_correlation"] == pytest.approx(1.0)
+        text = report.format()
+        assert "misprediction" in text
+        assert "Spearman" in text
+
+
+class TestRefit:
+    def test_refit_scales_by_median_ratio(self):
+        report = MispredictionReport(entries=[
+            AuditEntry("a", "client-op", "d", 0.01, 0.04),
+            AuditEntry("b", "server-segment", "d", 0.01, 0.005),
+        ])
+        base = CostParameters()
+        fitted = refit_from_report(report, base)
+        assert fitted.client_row_cost == pytest.approx(
+            base.client_row_cost * 4.0
+        )
+        assert fitted.server_row_cost == pytest.approx(
+            base.server_row_cost * 0.5
+        )
+        # Untouched constants carry over.
+        assert fitted.render_row_cost == base.render_row_cost
+
+    def test_refit_keeps_base_when_no_entries(self):
+        report = MispredictionReport()
+        base = CostParameters()
+        fitted = refit_from_report(report, base)
+        assert fitted.client_row_cost == base.client_row_cost
+        assert fitted.server_row_cost == base.server_row_cost
+
+
+@pytest.fixture(scope="module")
+def flights():
+    return generate_flights(8000)
+
+
+def _session(flights, params):
+    session = VegaPlus(
+        flights_histogram_spec(),
+        data={"flights": flights},
+        channel=NetworkChannel(10, 100),
+        cost_params=params,
+        trace=True,
+    )
+    session.startup()
+    return session
+
+
+class TestAuditSession:
+    def test_report_covers_all_sides(self, flights):
+        session = _session(flights, None)
+        report = audit_session(session, run_candidates=False)
+        kinds = {entry.kind for entry in report.entries}
+        assert "server-segment" in kinds or "client-op" in kinds
+        assert "transfer" in kinds
+        for entry in report.entries:
+            assert entry.measured >= 0
+            assert entry.predicted >= 0
+
+    def test_candidates_measured(self, flights):
+        session = _session(flights, None)
+        report = audit_session(session, run_candidates=True,
+                               max_candidates=4)
+        assert len(report.candidates) >= 2
+        assert report.rank_correlation is not None
+        for candidate in report.candidates:
+            assert candidate.measured > 0
+
+    def test_miscalibrated_model_shows_up_and_refits_back(self, flights):
+        # Deliberately inflate the client cost 50x: the audit must report
+        # client-op ratios far below 1, and refitting must pull the
+        # constant back toward truth.
+        defaults = CostParameters()
+        broken = CostParameters(
+            client_row_cost=defaults.client_row_cost * 50.0
+        )
+        session = _session(flights, broken)
+        # Force client work so client-op entries exist.
+        result = session.run_client_only()
+        report = audit_session(session, result=result,
+                               run_candidates=False)
+        ratios = report.ratios("client-op")
+        assert ratios
+        median = report.median_ratio("client-op")
+        assert median < 0.5  # measured far below the inflated prediction
+
+        fitted = refit_from_report(report, broken)
+        assert fitted.client_row_cost < broken.client_row_cost
+        # The refit lands within an order of magnitude of the default
+        # constant that generated the measurements.
+        assert fitted.client_row_cost < defaults.client_row_cost * 10
+
+    def test_requires_executed_session(self, flights):
+        session = VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": generate_flights(100)},
+            trace=True,
+        )
+        with pytest.raises(ValueError):
+            audit_session(session)

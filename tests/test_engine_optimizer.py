@@ -146,12 +146,13 @@ class TestExplainAnalyze:
         text = db.explain_analyze(
             "SELECT c, COUNT(*) AS n FROM t WHERE a > 1 GROUP BY c"
         )
-        assert "rows=" in text and "time=" in text
+        assert "rows_out=" in text and "time=" in text
         # Filter output: a in {2, 3} -> 2 rows survive the scan of 3.
         filter_line = next(
             line for line in text.splitlines() if "Filter" in line
         )
-        assert "rows=2" in filter_line
+        assert "rows_in=3" in filter_line
+        assert "rows_out=2" in filter_line
 
     def test_stats_not_reentrant_flag_resets(self, db):
         db.explain_analyze("SELECT a FROM t")
