@@ -1,0 +1,140 @@
+"""E10 — morsel-driven parallel execution in the embedded engine.
+
+Two server-heavy query shapes on a 1M-row table (scaled by
+``REPRO_BENCH_SCALE``), each run serially and with 2 and 4 workers:
+
+* ``aggregate`` — scan -> filter -> grouped COUNT/SUM (the partial-
+  aggregate merge path);
+* ``topn`` — ORDER BY + LIMIT (the per-morsel top-N candidate merge).
+
+Writes the repo's first machine-readable perf record,
+``BENCH_parallel.json`` (git SHA, timestamp, per-configuration timings),
+via the shared writer in conftest.  Numpy kernels release the GIL, so
+multi-worker runs should not be slower than serial by more than pool
+overhead; CI's perf-smoke job fails when parallel-4 exceeds serial by
+``REPRO_BENCH_MAX_SLOWDOWN`` (default 1.25x) — a lock-contention
+tripwire, not a flaky speedup assertion.
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_header, print_rows, scaled, write_bench_record
+
+from repro.engine import Database, Table
+
+ROWS = 1_000_000
+WORKER_COUNTS = (1, 2, 4)
+REPEATS = 3
+
+QUERIES = {
+    "aggregate": (
+        'SELECT "key", COUNT(*) AS c, SUM("v") AS s FROM "t" '
+        'WHERE "v" > -1.0 GROUP BY "key"'
+    ),
+    "topn": 'SELECT * FROM "t" ORDER BY "v" LIMIT 100',
+}
+
+
+def build_table(num_rows):
+    rng = np.random.default_rng(10)
+    return Table.from_columns(
+        key=rng.integers(0, 128, num_rows).astype(np.float64),
+        v=rng.normal(size=num_rows),
+    )
+
+
+def best_seconds(db, sql, repeats=REPEATS):
+    """Best-of-N wall time (insulates CI timings from scheduler noise)."""
+    best = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        db.execute(sql)
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def test_e10_parallel_execution(benchmark):
+    num_rows = scaled(ROWS)
+    table = build_table(num_rows)
+
+    databases = {}
+    for workers in WORKER_COUNTS:
+        db = Database(parallelism=workers)
+        db.load_table("t", table)
+        databases[workers] = db
+
+    results = {"rows": num_rows, "queries": {}}
+    display = []
+    reference = {}
+    for name, sql in QUERIES.items():
+        timings = {}
+        rows_out = None
+        for workers in WORKER_COUNTS:
+            seconds = best_seconds(databases[workers], sql)
+            timings["serial" if workers == 1 else
+                    "workers{}".format(workers)] = seconds
+            out = databases[workers].execute(sql)
+            if rows_out is None:
+                rows_out = out.num_rows
+                reference[name] = out.to_rows()
+            else:
+                assert out.num_rows == rows_out
+        results["queries"][name] = {
+            "sql": sql, "rows_out": rows_out, "seconds": timings,
+        }
+        serial = timings["serial"]
+        display.append([
+            name, num_rows, rows_out,
+            "{:.4f}".format(serial),
+            "{:.4f}".format(timings["workers2"]),
+            "{:.4f}".format(timings["workers4"]),
+            "{:.2f}x".format(serial / max(timings["workers4"], 1e-9)),
+        ])
+
+    print_header("E10: morsel-driven parallel execution (best of {})".format(
+        REPEATS))
+    print_rows(
+        ["query", "rows", "out", "serial(s)", "2w(s)", "4w(s)", "speedup4"],
+        display,
+    )
+
+    write_bench_record("parallel", results)
+
+    # Equivalence spot check: parallel results match serial exactly on
+    # these queries' decomposable paths (top-N) and within float merge
+    # tolerance (SUM).
+    for name, sql in QUERIES.items():
+        parallel_rows = databases[4].execute(sql).to_rows()
+        assert len(parallel_rows) == len(reference[name])
+        for serial_row, parallel_row in zip(reference[name], parallel_rows):
+            for column, serial_value in serial_row.items():
+                parallel_value = parallel_row[column]
+                if isinstance(serial_value, float):
+                    assert parallel_value == pytest.approx(
+                        serial_value, rel=1e-9, abs=1e-9)
+                else:
+                    assert parallel_value == serial_value
+
+    # The contention tripwire: parallel-4 must not be slower than serial
+    # by more than the configured factor.
+    max_slowdown = float(os.environ.get("REPRO_BENCH_MAX_SLOWDOWN", "1.25"))
+    for name, entry in results["queries"].items():
+        serial = entry["seconds"]["serial"]
+        parallel = entry["seconds"]["workers4"]
+        assert parallel <= serial * max_slowdown, (
+            "{}: parallel-4 {:.4f}s exceeds serial {:.4f}s x {}".format(
+                name, parallel, serial, max_slowdown
+            )
+        )
+
+    # The benchmark statistic: the 4-worker aggregate.
+    benchmark.pedantic(
+        lambda: databases[4].execute(QUERIES["aggregate"]),
+        rounds=3, iterations=1,
+    )

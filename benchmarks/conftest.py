@@ -3,9 +3,18 @@
 ``REPRO_BENCH_SCALE`` scales every workload's row counts (default 1.0) so
 the suite can run quickly in CI (0.2) or at larger scale (5.0) without
 editing the benchmarks.
+
+:func:`write_bench_record` is the shared machine-readable output path:
+every ``bench_e*.py`` can persist a ``BENCH_<name>.json`` record (with
+git SHA, timestamp, and scale) next to the printed tables, so perf runs
+leave comparable artifacts instead of scrollback.  ``REPRO_BENCH_OUT``
+overrides the output directory (default: current working directory).
 """
 
+import datetime
+import json
 import os
+import subprocess
 
 import pytest
 
@@ -21,6 +30,45 @@ def scaled(n):
 @pytest.fixture(scope="session")
 def bench_scale():
     return scale()
+
+
+def git_sha():
+    """Current commit SHA, or None outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def write_bench_record(name, payload):
+    """Persist one benchmark's results as ``BENCH_<name>.json``.
+
+    ``payload`` is the benchmark-specific body (timings, config); the
+    envelope adds the benchmark name, git SHA, UTC timestamp, and the
+    active ``REPRO_BENCH_SCALE``.  Returns the path written.
+    """
+    out_dir = os.environ.get("REPRO_BENCH_OUT", os.getcwd())
+    record = {
+        "benchmark": name,
+        "git_sha": git_sha(),
+        "timestamp": datetime.datetime.now(
+            datetime.timezone.utc
+        ).isoformat(),
+        "scale": scale(),
+        "results": payload,
+    }
+    path = os.path.join(out_dir, "BENCH_{}.json".format(name))
+    with open(path, "w") as handle:
+        json.dump(record, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print("\nbench record written to {}".format(path))
+    return path
 
 
 def print_header(title):

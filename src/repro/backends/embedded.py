@@ -10,10 +10,15 @@ class EmbeddedBackend(Backend):
 
     name = "embedded"
 
-    def __init__(self, enable_pushdown=True, enable_pruning=True):
+    def __init__(self, enable_pushdown=True, enable_pruning=True,
+                 parallelism=None, morsel_rows=None):
         self.db = Database(
-            enable_pushdown=enable_pushdown, enable_pruning=enable_pruning
+            enable_pushdown=enable_pushdown, enable_pruning=enable_pruning,
+            parallelism=parallelism, morsel_rows=morsel_rows,
         )
+        #: resolved engine worker count (1 = serial); the session reads
+        #: this to make the planner cost model parallelism-aware
+        self.parallelism = self.db.parallelism
 
     def load_table(self, name, table):
         self.db.load_table(name, table, replace=True)

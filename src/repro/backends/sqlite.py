@@ -180,13 +180,20 @@ class SQLiteBackend(Backend):
             decls.append(
                 '"{}" {}'.format(column_name.replace('"', '""'), sqlite_type)
             )
+        if not decls:
+            # SQLite cannot create a zero-column table; the embedded
+            # engine can (an empty dataset with no rows).  A placeholder
+            # column keeps loading consistent — it is absent from the
+            # recorded schema and never inserted into or referenced.
+            decls.append('"__empty" REAL')
         self.conn.execute(
             "CREATE TABLE {} ({})".format(quoted, ", ".join(decls))
         )
         placeholders = ", ".join("?" for _ in table.columns)
         insert_sql = "INSERT INTO {} VALUES ({})".format(quoted, placeholders)
         column_lists = [column.to_list() for column in table.columns.values()]
-        self.conn.executemany(insert_sql, list(zip(*column_lists)))
+        if table.columns:
+            self.conn.executemany(insert_sql, list(zip(*column_lists)))
         self.conn.commit()
         self._schemas[name] = table.schema()
 

@@ -41,6 +41,7 @@ def _build_session(args):
         spec, data=data,
         channel=NetworkChannel(args.latency, args.bandwidth),
         backend=args.backend,
+        parallelism=getattr(args, "threads", None),
         trace=bool(getattr(args, "trace", None)),
     )
     # Remember the session so main() can export the trace after the
@@ -196,6 +197,9 @@ def build_parser():
                          help="link bandwidth in Mbps")
         cmd.add_argument("--backend", choices=("embedded", "sqlite"),
                          default="embedded")
+        cmd.add_argument("--threads", type=int, default=None, metavar="N",
+                         help="engine worker threads for the embedded "
+                              "backend (default: REPRO_THREADS or serial)")
         cmd.add_argument("--trace", metavar="PATH", default=None,
                          help="record telemetry and write the trace here")
         cmd.add_argument("--trace-format", choices=("chrome", "json"),

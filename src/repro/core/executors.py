@@ -301,7 +301,9 @@ def _graft_plan_nodes(tracer, nodes):
 
     Node times are inclusive of children, so a child span laid at its
     parent's start always fits; siblings (join inputs) are laid out
-    sequentially to keep the single-lane nesting valid.
+    sequentially to keep the single-lane nesting valid.  Nodes the
+    morsel-driven executor split additionally get one ``engine:morsel``
+    child span per morsel plus worker-utilization counters.
     """
     anchor = tracer.current_span()
     spans = []
@@ -324,7 +326,46 @@ def _graft_plan_nodes(tracer, nodes):
         )
         offsets[id(parent)] = offset + seconds
         spans.append(span)
+        morsels = node.get("morsels") or ()
+        if morsels:
+            _graft_morsels(tracer, span, seconds, morsels)
     return spans
+
+
+def _graft_morsels(tracer, node_span, node_seconds, morsels):
+    """Per-morsel child spans under one engine node span.
+
+    Morsels ran concurrently, so their summed wall time can exceed the
+    node's wall time; on the single-lane trace they are laid out
+    sequentially, compressed to fit inside the node span when needed
+    (each morsel's true duration stays in its ``morsel_seconds``
+    attribute).
+    """
+    total = sum(record.get("seconds", 0.0) for record in morsels)
+    scale = 1.0 if total <= node_seconds or total <= 0.0 else (
+        node_seconds / total
+    )
+    tracer.count("engine.parallel_nodes")
+    offset = 0.0
+    for record in morsels:
+        seconds = record.get("seconds", 0.0)
+        worker = record.get("worker", 0)
+        tracer.measured_span(
+            "engine:morsel",
+            seconds * scale,
+            start=node_span.start + offset,
+            parent=node_span,
+            op=record.get("op"),
+            index=record.get("index"),
+            worker=worker,
+            rows_in=record.get("rows_in"),
+            rows_out=record.get("rows_out"),
+            morsel_seconds=seconds,
+        )
+        offset += seconds * scale
+        tracer.count("engine.morsels")
+        tracer.count("engine.worker.{}.morsels".format(worker))
+        tracer.observe("engine.morsel_seconds", seconds)
 
 
 def _lookup_table_for(operator, backend):

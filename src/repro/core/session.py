@@ -66,7 +66,7 @@ class VegaPlus:
                  merge_queries=True, rewrite_sql=True, cache_entries=64,
                  prefetch_budget=3, validate=True,
                  per_operator_roundtrips=False, dynamic_replan=False,
-                 trace=False):
+                 trace=False, parallelism=None):
         #: telemetry: False/None = off (no-op tracer), True = record, or
         #: pass a :class:`repro.telemetry.Tracer` to share one across
         #: sessions.
@@ -101,7 +101,13 @@ class VegaPlus:
         if isinstance(backend, Backend):
             self.backend = backend
         else:
-            self.backend = create_backend(backend)
+            kwargs = {}
+            if parallelism is not None and backend == "embedded":
+                kwargs["parallelism"] = parallelism
+            self.backend = create_backend(backend, **kwargs)
+        #: engine worker count (1 = serial); backends without a parallel
+        #: executor (sqlite) report 1, keeping the cost model honest
+        self.parallelism = getattr(self.backend, "parallelism", 1) or 1
         with self.tracer.span("data.load", tables=len(self.tables)):
             for name, table in self.tables.items():
                 self.backend.load_table(name, table)
@@ -111,7 +117,10 @@ class VegaPlus:
         )
         if self.tracer.enabled:
             self.channel.tracer = self.tracer
-        self.cost_params = cost_params or CostParameters()
+        if cost_params is None:
+            # Candidate-plan costing reflects the engine's worker count.
+            cost_params = CostParameters(server_workers=self.parallelism)
+        self.cost_params = cost_params
         self.merge_queries = merge_queries
         self.rewrite_sql = rewrite_sql
         #: when True, every server operator runs as its own round trip

@@ -10,6 +10,11 @@ from repro.engine.errors import (
     SQLSyntaxError,
     TypeMismatchError,
 )
+from repro.engine.parallel import (
+    MorselExecutor,
+    resolve_morsel_rows,
+    resolve_parallelism,
+)
 from repro.engine.table import Column, Table, concat_tables
 from repro.engine.types import SQLType
 
@@ -21,6 +26,7 @@ __all__ = [
     "Database",
     "EngineError",
     "ExecutionError",
+    "MorselExecutor",
     "PlanError",
     "SQLSyntaxError",
     "SQLType",
@@ -29,4 +35,6 @@ __all__ = [
     "TypeMismatchError",
     "compute_stats",
     "concat_tables",
+    "resolve_morsel_rows",
+    "resolve_parallelism",
 ]

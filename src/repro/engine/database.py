@@ -5,12 +5,19 @@ execute.  It is the "DuckDB stand-in" of this reproduction — an embedded
 analytical SQL engine the VegaPlus middleware can offload work to.
 """
 
+import threading
+
 from repro.engine.binder import bind
 from repro.engine.catalog import Catalog
 from repro.engine.errors import EngineError
 from repro.engine.executor import execute
 from repro.engine.logical import format_plan
 from repro.engine.optimizer import optimize
+from repro.engine.parallel import (
+    MorselExecutor,
+    resolve_morsel_rows,
+    resolve_parallelism,
+)
 from repro.engine.parser import parse_statement
 from repro.engine.table import Column, Table
 from repro.engine.types import SQLType
@@ -28,13 +35,34 @@ class Database:
 
     ``enable_pushdown`` / ``enable_pruning`` switch the logical optimizer
     rules on and off; benchmarks use them for ablations.
+
+    ``parallelism`` enables the morsel-driven parallel executor
+    (:mod:`repro.engine.parallel`); it defaults to ``REPRO_THREADS`` or
+    serial execution.  ``morsel_rows`` tunes the rows-per-morsel split
+    (``REPRO_MORSEL_ROWS``).
     """
 
-    def __init__(self, enable_pushdown=True, enable_pruning=True):
+    def __init__(self, enable_pushdown=True, enable_pruning=True,
+                 parallelism=None, morsel_rows=None):
         self.catalog = Catalog()
         self.enable_pushdown = enable_pushdown
         self.enable_pruning = enable_pruning
+        self.parallelism = resolve_parallelism(parallelism)
+        self.morsel_rows = resolve_morsel_rows(morsel_rows)
+        self._morsel_executor = (
+            MorselExecutor(self.parallelism, self.morsel_rows)
+            if self.parallelism > 1
+            else None
+        )
         self.queries_executed = 0
+        # Queries may arrive from several client threads at once (the
+        # parallel executor keeps per-call state, so execution itself is
+        # reentrant); the counter needs its own lock to stay exact.
+        self._counter_lock = threading.Lock()
+
+    def _count_query(self):
+        with self._counter_lock:
+            self.queries_executed += 1
 
     # -- data management -----------------------------------------------------
 
@@ -104,31 +132,42 @@ class Database:
     def explain_analyze(self, sql):
         """Execute a SELECT and return the plan annotated with measured
         per-node rows-in/rows-out and (inclusive) times."""
-        from repro.engine.executor import annotate_stats, execute_with_stats
-
         plan = self.plan(sql)
-        self.queries_executed += 1
-        _, stats = execute_with_stats(plan, self.catalog)
-        annotated = annotate_stats(plan, stats, self.catalog)
+        _, annotated = self._analyze(plan)
         return format_plan(plan, stats=annotated)
 
     def explain_analyze_data(self, sql):
         """Structured EXPLAIN ANALYZE: executes a SELECT and returns
         ``(table, nodes)`` where nodes is a pre-order list of per-plan-
         node dicts (label, depth, parent, rows_in, rows_out, seconds,
-        self_seconds).  The table is the actual query result, so callers
-        can correlate node cardinalities with what was returned."""
-        from repro.engine.executor import (
-            annotate_stats,
-            execute_with_stats,
-            stats_preorder,
-        )
+        self_seconds — plus a ``morsels`` log on nodes the parallel
+        executor split).  The table is the actual query result, so
+        callers can correlate node cardinalities with what was
+        returned."""
+        from repro.engine.executor import stats_preorder
 
         plan = self.plan(sql)
-        self.queries_executed += 1
-        table, stats = execute_with_stats(plan, self.catalog)
-        annotated = annotate_stats(plan, stats, self.catalog)
+        table, annotated = self._analyze(plan)
         return table, stats_preorder(plan, annotated)
+
+    def _analyze(self, plan):
+        """Execute ``plan`` with per-node stats; returns
+        ``(table, annotated)``."""
+        from repro.engine.executor import annotate_stats, execute_with_stats
+
+        self._count_query()
+        if self._morsel_executor is not None:
+            table, stats, morsels = self._morsel_executor.execute_with_stats(
+                plan, self.catalog
+            )
+        else:
+            table, stats = execute_with_stats(plan, self.catalog)
+            morsels = {}
+        annotated = annotate_stats(plan, stats, self.catalog)
+        for node_id, records in morsels.items():
+            if node_id in annotated:
+                annotated[node_id]["morsels"] = records
+        return table, annotated
 
     def explain_select(self, select):
         plan = bind(select, self.catalog)
@@ -150,7 +189,9 @@ class Database:
             enable_pushdown=self.enable_pushdown,
             enable_pruning=self.enable_pruning,
         )
-        self.queries_executed += 1
+        self._count_query()
+        if self._morsel_executor is not None:
+            return self._morsel_executor.execute(plan, self.catalog)
         return execute(plan, self.catalog)
 
     def _run_insert(self, statement):

@@ -138,45 +138,77 @@ def _execute(plan, catalog):
 
 def _execute_node(plan, catalog):
     if isinstance(plan, Scan):
-        table = catalog.get(plan.table)
-        if plan.columns is not None:
-            table = table.select(plan.columns)
-        return Frame.from_table(table, qualifier=plan.alias or plan.table)
+        return apply_scan(plan, catalog)
     if isinstance(plan, Derived):
-        child = _execute(plan.child, catalog)
-        table = child.to_table()
-        return Frame.from_table(table, qualifier=plan.alias)
+        return apply_derived(plan, _execute(plan.child, catalog))
     if isinstance(plan, Filter):
-        child = _execute(plan.child, catalog)
-        keep = predicate_mask(plan.predicate, child)
-        return child.mask(keep)
+        return apply_filter(plan, _execute(plan.child, catalog))
     if isinstance(plan, Project):
-        child = _execute(plan.child, catalog)
-        entries = [
-            (None, name, evaluate(expr, child)) for expr, name in plan.items
-        ]
-        return Frame(entries, num_rows=child.num_rows)
+        return apply_project(plan, _execute(plan.child, catalog))
     if isinstance(plan, Aggregate):
-        return _execute_aggregate(plan, catalog)
+        return apply_aggregate(plan, _execute(plan.child, catalog))
     if isinstance(plan, Window):
-        return _execute_window(plan, catalog)
+        return apply_window(plan, _execute(plan.child, catalog))
     if isinstance(plan, Distinct):
-        child = _execute(plan.child, catalog)
-        columns = [column for _, _, column in child.entries]
-        group_ids, group_count = factorize_rows(columns, child.num_rows)
-        first = first_occurrences(group_ids, group_count)
-        return child.take(first)
+        return apply_distinct(plan, _execute(plan.child, catalog))
     if isinstance(plan, Sort):
-        return _execute_sort(plan, catalog)
+        return apply_sort(plan, _execute(plan.child, catalog))
     if isinstance(plan, Limit):
-        child = _execute(plan.child, catalog)
-        start = plan.offset
-        stop = child.num_rows if plan.limit is None else start + plan.limit
-        indices = np.arange(start, min(stop, child.num_rows))
-        return child.take(indices)
+        return apply_limit(plan, _execute(plan.child, catalog))
     if isinstance(plan, Join):
-        return _execute_join(plan, catalog)
+        return apply_join(
+            plan, _execute(plan.left, catalog), _execute(plan.right, catalog)
+        )
     raise ExecutionError("unsupported plan node {!r}".format(plan))
+
+
+# --------------------------------------------------------------------------
+# Per-node appliers
+#
+# Each applier takes already-executed child Frames, so both the serial
+# interpreter above and the morsel-driven parallel executor
+# (repro.engine.parallel) share one implementation per operator — any
+# node the parallel executor does not split falls back to the exact
+# serial code path.
+# --------------------------------------------------------------------------
+
+
+def apply_scan(plan, catalog):
+    table = catalog.get(plan.table)
+    if plan.columns is not None:
+        table = table.select(plan.columns)
+    return Frame.from_table(table, qualifier=plan.alias or plan.table)
+
+
+def apply_derived(plan, child):
+    table = child.to_table()
+    return Frame.from_table(table, qualifier=plan.alias)
+
+
+def apply_filter(plan, child):
+    keep = predicate_mask(plan.predicate, child)
+    return child.mask(keep)
+
+
+def apply_project(plan, child):
+    entries = [
+        (None, name, evaluate(expr, child)) for expr, name in plan.items
+    ]
+    return Frame(entries, num_rows=child.num_rows)
+
+
+def apply_distinct(plan, child):
+    columns = [column for _, _, column in child.entries]
+    group_ids, group_count = factorize_rows(columns, child.num_rows)
+    first = first_occurrences(group_ids, group_count)
+    return child.take(first)
+
+
+def apply_limit(plan, child):
+    start = plan.offset
+    stop = child.num_rows if plan.limit is None else start + plan.limit
+    indices = np.arange(start, min(stop, child.num_rows))
+    return child.take(indices)
 
 
 # --------------------------------------------------------------------------
@@ -221,12 +253,12 @@ def factorize_rows(columns, num_rows):
 def first_occurrences(group_ids, group_count):
     """Index of the first row of each group, in group-id order."""
     first = np.full(group_count, -1, dtype=np.int64)
-    # Reverse iteration via minimum.at keeps the earliest index.
-    seen = np.zeros(group_count, dtype=np.bool_)
-    for index, gid in enumerate(group_ids):
-        if not seen[gid]:
-            seen[gid] = True
-            first[gid] = index
+    if len(group_ids) == 0:
+        return first
+    order = np.argsort(group_ids, kind="stable")
+    sorted_ids = group_ids[order]
+    starts = np.flatnonzero(np.r_[True, np.diff(sorted_ids) > 0])
+    first[sorted_ids[starts]] = order[starts]
     return first
 
 
@@ -243,31 +275,13 @@ def group_row_indices(group_ids, group_count):
 # --------------------------------------------------------------------------
 
 
-def _execute_aggregate(plan, catalog):
-    child = _execute(plan.child, catalog)
-    key_columns = [evaluate(expr, child) for expr, _ in plan.groups]
-    group_ids, group_count = factorize_rows(key_columns, child.num_rows)
-
-    if group_count == 0 and plan.groups:
-        # No input rows and explicit grouping: empty result.
-        entries = [
-            (None, name, Column.from_values([], column.type))
-            for (explicit, name), column in zip(plan.groups, key_columns)
-        ]
-        for call, name in plan.aggregates:
-            entries.append((None, name, Column.from_values([], SQLType.DOUBLE)))
-        return Frame(entries, num_rows=0)
-
-    if group_count == 0:
-        group_count = 1  # global aggregate over empty input: one group
-        group_ids = np.zeros(0, dtype=np.int64)
+def apply_aggregate(plan, child):
+    key_columns, group_ids, group_count, early = _aggregate_setup(plan, child)
+    if early is not None:
+        return early
 
     first = first_occurrences(group_ids, group_count)
-    groups, _ = group_row_indices(group_ids, group_count) if child.num_rows else ([], None)
-    if child.num_rows == 0:
-        groups = [np.zeros(0, dtype=np.int64)] * group_count
-    elif len(groups) != group_count:
-        raise ExecutionError("internal grouping inconsistency")
+    groups = _aggregate_groups(child, group_ids, group_count)
 
     entries = []
     for column, (_, name) in zip(key_columns, plan.groups):
@@ -279,7 +293,51 @@ def _execute_aggregate(plan, catalog):
     return Frame(entries, num_rows=group_count)
 
 
-def _compute_aggregate(call, frame, groups):
+def _aggregate_setup(plan, child):
+    """Shared grouping front half of Aggregate execution.
+
+    Returns ``(key_columns, group_ids, group_count, early)``; when
+    ``early`` is a Frame the caller must return it as-is (empty-input
+    edge cases), otherwise ``group_count >= 1`` and ``group_ids`` index
+    into ``[0, group_count)`` in global factorization order.
+    """
+    key_columns = [evaluate(expr, child) for expr, _ in plan.groups]
+    group_ids, group_count = factorize_rows(key_columns, child.num_rows)
+
+    if group_count == 0 and plan.groups:
+        # No input rows and explicit grouping: empty result.
+        entries = [
+            (None, name, Column.from_values([], column.type))
+            for (explicit, name), column in zip(plan.groups, key_columns)
+        ]
+        for call, name in plan.aggregates:
+            entries.append((None, name, Column.from_values([], SQLType.DOUBLE)))
+        return key_columns, group_ids, group_count, Frame(entries, num_rows=0)
+
+    if group_count == 0:
+        group_count = 1  # global aggregate over empty input: one group
+        group_ids = np.zeros(0, dtype=np.int64)
+
+    return key_columns, group_ids, group_count, None
+
+
+def _aggregate_groups(child, group_ids, group_count):
+    """Per-group row-index arrays in group-id order."""
+    if child.num_rows == 0:
+        return [np.zeros(0, dtype=np.int64)] * group_count
+    groups, _ = group_row_indices(group_ids, group_count)
+    if len(groups) != group_count:
+        raise ExecutionError("internal grouping inconsistency")
+    return groups
+
+
+def _aggregate_inputs(call, frame):
+    """Resolve one aggregate call against a frame.
+
+    Returns ``(fn, arg_column, result_type)`` — the aggregate function,
+    the evaluated argument column (synthetic ones for ``COUNT(*)``), and
+    the output column type.
+    """
     star = len(call.args) == 1 and isinstance(call.args[0], sqlast.Star)
     extra_literal = None
     if call.name.upper() == "QUANTILE":
@@ -299,16 +357,20 @@ def _compute_aggregate(call, frame, groups):
         if not call.args:
             raise PlanError("{}() requires an argument".format(call.name))
         arg_column = evaluate(call.args[0], frame)
-
-    values = []
-    for indices in groups:
-        values.append(fn(arg_column.take(indices)))
     result_type = (
         SQLType.VARCHAR
         if arg_column.type is SQLType.VARCHAR
         and call.name.upper() in ("MIN", "MAX")
         else SQLType.DOUBLE
     )
+    return fn, arg_column, result_type
+
+
+def _compute_aggregate(call, frame, groups):
+    fn, arg_column, result_type = _aggregate_inputs(call, frame)
+    values = []
+    for indices in groups:
+        values.append(fn(arg_column.take(indices)))
     return Column.from_values(values, result_type)
 
 
@@ -321,8 +383,7 @@ _WINDOW_AGGREGATES = {"SUM", "COUNT", "AVG", "MIN", "MAX"}
 _WINDOW_OFFSETS = {"LAG", "LEAD"}
 
 
-def _execute_window(plan, catalog):
-    child = _execute(plan.child, catalog)
+def apply_window(plan, child):
     entries = list(child.entries)
     for window, name in plan.items:
         entries.append((None, name, _compute_window(window, child)))
@@ -450,8 +511,7 @@ def _window_offset(func_name, call, ordered, arg_column, out, out_valid):
 # --------------------------------------------------------------------------
 
 
-def _execute_sort(plan, catalog):
-    child = _execute(plan.child, catalog)
+def apply_sort(plan, child):
     table = child.to_table()
     keys = []
     for name, descending, nulls_first in plan.keys:
@@ -477,12 +537,21 @@ def _execute_sort(plan, catalog):
 
 
 def _topn_indices(key, num_rows, limit):
-    """Top-N partial selection for a single sort key: argpartition picks
-    the N smallest composite keys, then only those are fully sorted.
+    """Top-N partial selection for a single sort key: a partition pass
+    narrows the candidate pool, then only those are fully sorted.
 
     Only the first ``limit`` positions of the returned order are
     meaningful — exactly what the Limit above will consume.
     """
+    composite = _topn_composite(key)
+    ordered = _topn_select(composite, np.arange(num_rows), limit)
+    rest = np.setdiff1d(np.arange(num_rows), ordered, assume_unique=False)
+    return np.concatenate([ordered, rest])
+
+
+def _topn_composite(key):
+    """Single float sort key: value sign-flipped for DESC, NULLs mapped
+    to +/-inf per the requested (or Postgres-default) placement."""
     column, descending, nulls_first = key
     if column.type is SQLType.VARCHAR:
         codes, _ = factorize_column(column)
@@ -496,14 +565,29 @@ def _topn_indices(key, num_rows, limit):
         null_first = descending  # Postgres: NULLs largest
     else:
         null_first = nulls_first
-    composite = np.where(
+    return np.where(
         column.valid, values,
         -np.inf if null_first else np.inf,
     )
-    top = np.argpartition(composite, limit)[:limit]
-    ordered = top[np.argsort(composite[top], kind="stable")]
-    rest = np.setdiff1d(np.arange(num_rows), ordered, assume_unique=False)
-    return np.concatenate([ordered, rest])
+
+
+def _topn_select(composite, candidates, limit):
+    """Canonical top-``limit`` of ``candidates`` by (composite, index).
+
+    Ties at the selection boundary always resolve to the lowest row
+    index, so the result equals the first ``limit`` rows of a stable
+    full sort — regardless of candidate order.  That makes per-morsel
+    partial top-N selections mergeable: the union of each morsel's
+    canonical top-N contains the global canonical top-N.
+    """
+    values = composite[candidates]
+    if limit >= len(candidates):
+        return candidates[np.lexsort((candidates, values))]
+    kth = np.partition(values, limit - 1)[limit - 1]
+    keep = values <= kth
+    pool = candidates[keep]
+    order = np.lexsort((pool, values[keep]))
+    return pool[order[:limit]]
 
 
 def _sorted_indices(keys, num_rows):
@@ -543,9 +627,7 @@ def _sorted_indices(keys, num_rows):
 # --------------------------------------------------------------------------
 
 
-def _execute_join(plan, catalog):
-    left = _execute(plan.left, catalog)
-    right = _execute(plan.right, catalog)
+def apply_join(plan, left, right):
     left_exprs, right_exprs = _equi_keys(plan.condition, left, right)
 
     left_keys = [evaluate(expr, left) for expr in left_exprs]

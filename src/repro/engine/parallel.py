@@ -1,0 +1,529 @@
+"""Morsel-driven parallel execution of logical plans.
+
+The serial interpreter in :mod:`repro.engine.executor` evaluates every
+plan node on one thread.  This module adds the morsel-driven design of
+Leis et al.: the rows flowing into a data-parallel operator are split
+into fixed-size *morsels*, a shared :class:`ThreadPoolExecutor` runs the
+operator's vectorized kernel per morsel (numpy releases the GIL inside
+those kernels), and a merge step combines the partial results into an
+answer canonically identical to the serial path:
+
+* **Filter / Project** — embarrassingly parallel; per-morsel outputs are
+  concatenated in morsel order, so row order is bit-identical to serial.
+* **Aggregate** — group keys are factorized globally (serial), then each
+  morsel computes partial states (count / sum / min / max per group) that
+  merge associatively.  Output group order equals the serial path because
+  both derive it from the same global factorization.  Floating-point SUM
+  and AVG may differ from serial in the last bits (summation order), which
+  the differential oracle's canonicalizer tolerates.  Non-decomposable
+  aggregates (MEDIAN, STDDEV, VARIANCE, QUANTILE, COUNT DISTINCT) fall
+  back to the serial kernel.
+* **Top-N Sort** — each morsel selects its canonical top-N candidates by
+  ``(sort key, row index)``; the merged candidate pool is re-selected with
+  the same rule, which provably equals the serial stable-sort prefix.
+
+Everything else (Window, Distinct, Join, Limit, full Sort, Derived) runs
+the exact serial applier — shared code, shared behaviour.
+
+Opt-in: ``Database(parallelism=4)`` or ``REPRO_THREADS=4``.  The default
+is serial, so existing behaviour is unchanged.
+"""
+
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+
+from repro.engine.errors import ExecutionError
+from repro.engine.eval import Frame, evaluate, predicate_mask
+from repro.engine.executor import (
+    _aggregate_groups,
+    _aggregate_inputs,
+    _aggregate_setup,
+    _compute_aggregate,
+    _topn_composite,
+    _topn_select,
+    apply_derived,
+    apply_distinct,
+    apply_filter,
+    apply_join,
+    apply_limit,
+    apply_project,
+    apply_scan,
+    apply_sort,
+    apply_window,
+    first_occurrences,
+)
+from repro.engine.logical import (
+    Aggregate,
+    Derived,
+    Distinct,
+    Filter,
+    Join,
+    Limit,
+    Project,
+    Scan,
+    Sort,
+    Window,
+)
+from repro.engine.sqlast import Star
+from repro.engine.table import Column
+
+#: default rows per morsel; override with ``REPRO_MORSEL_ROWS``
+DEFAULT_MORSEL_ROWS = 65536
+
+THREADS_ENV = "REPRO_THREADS"
+MORSEL_ENV = "REPRO_MORSEL_ROWS"
+
+
+def resolve_parallelism(value=None):
+    """Worker count: explicit value wins, then ``REPRO_THREADS``, then 1."""
+    if value is None:
+        value = os.environ.get(THREADS_ENV)
+    if value in (None, ""):
+        return 1
+    workers = int(value)
+    if workers < 1:
+        raise ValueError("parallelism must be >= 1, got {}".format(workers))
+    return workers
+
+
+def resolve_morsel_rows(value=None):
+    """Morsel size: explicit value wins, then ``REPRO_MORSEL_ROWS``."""
+    if value is None:
+        value = os.environ.get(MORSEL_ENV)
+    if value in (None, ""):
+        return DEFAULT_MORSEL_ROWS
+    rows = int(value)
+    if rows < 1:
+        raise ValueError("morsel size must be >= 1, got {}".format(rows))
+    return rows
+
+
+# --------------------------------------------------------------------------
+# Shared worker pools
+#
+# One process-wide pool per worker count: hundreds of short-lived
+# Database instances (the fuzzer builds one per case) must not each spawn
+# their own threads.  Pool threads are named ``repro-morsel<N>_<i>`` so a
+# morsel can attribute itself to worker ``i``.
+# --------------------------------------------------------------------------
+
+_POOL_LOCK = threading.Lock()
+_POOLS = {}
+
+
+def shared_pool(workers):
+    with _POOL_LOCK:
+        pool = _POOLS.get(workers)
+        if pool is None:
+            pool = ThreadPoolExecutor(
+                max_workers=workers,
+                thread_name_prefix="repro-morsel{}".format(workers),
+            )
+            _POOLS[workers] = pool
+        return pool
+
+
+def _worker_index():
+    """Index of the current pool worker (from its thread name)."""
+    name = threading.current_thread().name
+    _, _, suffix = name.rpartition("_")
+    try:
+        return int(suffix)
+    except ValueError:
+        return 0
+
+
+def slice_frame(frame, lo, hi):
+    """A zero-copy view of rows ``[lo, hi)`` of ``frame``."""
+    entries = [
+        (qualifier, name, Column(c.type, c.data[lo:hi], c.valid[lo:hi]))
+        for qualifier, name, c in frame.entries
+    ]
+    return Frame(entries, num_rows=hi - lo)
+
+
+def concat_frame_parts(parts):
+    """Ordered concatenation of per-morsel frames (morsel order = row
+    order, so the result matches the serial operator exactly)."""
+    if len(parts) == 1:
+        return parts[0]
+    num_rows = sum(part.num_rows for part in parts)
+    entries = []
+    for index, (qualifier, name, column) in enumerate(parts[0].entries):
+        data = np.concatenate([part.entries[index][2].data for part in parts])
+        valid = np.concatenate([part.entries[index][2].valid for part in parts])
+        entries.append((qualifier, name, Column(column.type, data, valid)))
+    return Frame(entries, num_rows=num_rows)
+
+
+# --------------------------------------------------------------------------
+# Decomposable aggregate partial states
+# --------------------------------------------------------------------------
+
+#: aggregate call -> partial-state kind, or None when not decomposable
+_DECOMPOSABLE = {"SUM": "sum", "AVG": "avg", "MIN": "min", "MAX": "max"}
+
+
+def partial_kind(call):
+    """Partial-state kind for a decomposable aggregate call, else None."""
+    if call.distinct:
+        return None
+    name = call.name.upper()
+    if name == "COUNT":
+        star = len(call.args) == 1 and isinstance(call.args[0], Star)
+        return "count_star" if star else "count"
+    return _DECOMPOSABLE.get(name)
+
+
+def morsel_partial(kind, group_ids, column, lo, hi):
+    """Partial aggregate state for one morsel.
+
+    Returns ``(uniq, *state)`` where ``uniq`` lists the group ids present
+    in the morsel (ascending) and the state arrays align with it:
+    counts for count kinds, ``(sums, counts)`` for sum/avg, extreme
+    values for min/max.  Only valid rows contribute (except COUNT(*)).
+    """
+    gids = group_ids[lo:hi]
+    data = column.data[lo:hi]
+    if kind != "count_star":
+        valid = column.valid[lo:hi]
+        gids = gids[valid]
+        data = data[valid]
+    if len(gids) == 0:
+        empty = np.zeros(0, dtype=np.int64)
+        if kind in ("count_star", "count"):
+            return (empty, np.zeros(0, dtype=np.float64))
+        if kind in ("sum", "avg"):
+            return (empty, np.zeros(0), np.zeros(0))
+        return (empty, np.zeros(0, dtype=data.dtype))
+
+    order = np.argsort(gids, kind="stable")
+    sorted_ids = gids[order]
+    starts = np.flatnonzero(np.r_[True, np.diff(sorted_ids) > 0])
+    uniq = sorted_ids[starts]
+    counts = np.diff(np.r_[starts, len(sorted_ids)]).astype(np.float64)
+
+    if kind in ("count_star", "count"):
+        return (uniq, counts)
+
+    sorted_data = data[order]
+    if kind in ("sum", "avg"):
+        sums = np.add.reduceat(sorted_data.astype(np.float64), starts)
+        return (uniq, sums, counts)
+
+    # min / max
+    if sorted_data.dtype == np.object_:
+        bounds = list(starts) + [len(sorted_data)]
+        reducer = min if kind == "min" else max
+        values = np.array(
+            [reducer(sorted_data[a:b]) for a, b in zip(bounds, bounds[1:])],
+            dtype=object,
+        )
+    else:
+        ufunc = np.minimum if kind == "min" else np.maximum
+        values = ufunc.reduceat(sorted_data, starts)
+    return (uniq, values)
+
+
+def merge_partials(kind, partials, group_count):
+    """Merge per-morsel partial states into final per-group values.
+
+    Returns a list of python values in group-id order (None for groups
+    with no valid input), matching the serial aggregate kernels.
+    """
+    if kind in ("count_star", "count"):
+        totals = np.zeros(group_count)
+        for uniq, counts in partials:
+            totals[uniq] += counts
+        return [float(total) for total in totals]
+
+    if kind in ("sum", "avg"):
+        sums = np.zeros(group_count)
+        counts = np.zeros(group_count)
+        for uniq, part_sums, part_counts in partials:
+            sums[uniq] += part_sums
+            counts[uniq] += part_counts
+        if kind == "sum":
+            return [
+                float(total) if count else None
+                for total, count in zip(sums, counts)
+            ]
+        return [
+            float(total / count) if count else None
+            for total, count in zip(sums, counts)
+        ]
+
+    # min / max
+    seen = np.zeros(group_count, dtype=np.bool_)
+    accumulated = np.empty(group_count, dtype=object)
+    for uniq, values in partials:
+        if len(uniq) == 0:
+            continue
+        fresh = ~seen[uniq]
+        accumulated[uniq[fresh]] = values[fresh]
+        stale = uniq[~fresh]
+        if len(stale):
+            current = accumulated[stale]
+            incoming = values[~fresh]
+            better = incoming < current if kind == "min" else incoming > current
+            accumulated[stale[better]] = incoming[better]
+        seen[uniq] = True
+    return [
+        (value if isinstance(value, str) else float(value)) if ok else None
+        for value, ok in zip(accumulated, seen)
+    ]
+
+
+# --------------------------------------------------------------------------
+# The executor
+# --------------------------------------------------------------------------
+
+
+class MorselExecutor:
+    """Executes logical plans with morsel-driven parallelism.
+
+    Splitting only engages when an operator's input holds at least two
+    morsels; smaller inputs (and operators without a parallel kernel)
+    run the exact serial appliers, so every branch is equivalence-
+    preserving by construction.
+    """
+
+    def __init__(self, workers, morsel_rows=None, pool=None):
+        self.workers = max(int(workers), 1)
+        self.morsel_rows = resolve_morsel_rows(morsel_rows)
+        self.pool = pool if pool is not None else shared_pool(self.workers)
+
+    def execute(self, plan, catalog):
+        """Execute ``plan`` and return the result Table."""
+        run = _ParallelRun(self, catalog, collect_stats=False)
+        return run.execute(plan).to_table()
+
+    def execute_with_stats(self, plan, catalog):
+        """Like :func:`repro.engine.executor.execute_with_stats`, plus a
+        per-node morsel log.
+
+        Returns ``(table, stats, morsels)``: ``stats`` maps ``id(node)``
+        to ``(output_rows, seconds)`` (child-inclusive, like EXPLAIN
+        ANALYZE); ``morsels`` maps ``id(node)`` to a list of per-morsel
+        records (index, op, worker, rows_in, rows_out, seconds) for
+        nodes that actually split.  Unlike the serial path this keeps
+        all state per-call, so concurrent queries on one Database are
+        safe.
+        """
+        run = _ParallelRun(self, catalog, collect_stats=True)
+        frame = run.execute(plan)
+        morsels = {
+            node_id: sorted(records, key=lambda record: record["index"])
+            for node_id, records in run.morsels.items()
+        }
+        return frame.to_table(), run.stats, morsels
+
+
+class _ParallelRun:
+    """State of one plan execution: per-node stats and morsel logs."""
+
+    def __init__(self, executor, catalog, collect_stats):
+        self.executor = executor
+        self.catalog = catalog
+        self.collect_stats = collect_stats
+        self.stats = {}
+        self.morsels = {}
+        self._lock = threading.Lock()
+
+    # -- plan walk ---------------------------------------------------------
+
+    def execute(self, plan):
+        if not self.collect_stats:
+            return self._execute_node(plan)
+        start = time.perf_counter()
+        frame = self._execute_node(plan)
+        self.stats[id(plan)] = (frame.num_rows, time.perf_counter() - start)
+        return frame
+
+    def _execute_node(self, plan):
+        if isinstance(plan, Scan):
+            return apply_scan(plan, self.catalog)
+        if isinstance(plan, Derived):
+            return apply_derived(plan, self.execute(plan.child))
+        if isinstance(plan, Filter):
+            return self._execute_filter(plan, self.execute(plan.child))
+        if isinstance(plan, Project):
+            return self._execute_project(plan, self.execute(plan.child))
+        if isinstance(plan, Aggregate):
+            return self._execute_aggregate(plan, self.execute(plan.child))
+        if isinstance(plan, Window):
+            return apply_window(plan, self.execute(plan.child))
+        if isinstance(plan, Distinct):
+            return apply_distinct(plan, self.execute(plan.child))
+        if isinstance(plan, Sort):
+            return self._execute_sort(plan, self.execute(plan.child))
+        if isinstance(plan, Limit):
+            return apply_limit(plan, self.execute(plan.child))
+        if isinstance(plan, Join):
+            return apply_join(
+                plan, self.execute(plan.left), self.execute(plan.right)
+            )
+        raise ExecutionError("unsupported plan node {!r}".format(plan))
+
+    # -- morsel machinery --------------------------------------------------
+
+    def _should_split(self, num_rows):
+        return num_rows > self.executor.morsel_rows
+
+    def _bounds(self, num_rows):
+        step = self.executor.morsel_rows
+        return [(lo, min(lo + step, num_rows)) for lo in range(0, num_rows, step)]
+
+    def _map_morsels(self, node, op, num_rows, task):
+        """Run ``task(lo, hi) -> (result, rows_out)`` for every morsel on
+        the shared pool; returns results in morsel order."""
+        bounds = self._bounds(num_rows)
+        futures = [
+            self.executor.pool.submit(
+                self._run_morsel, node, op, index, lo, hi, task
+            )
+            for index, (lo, hi) in enumerate(bounds)
+        ]
+        return [future.result() for future in futures]
+
+    def _run_morsel(self, node, op, index, lo, hi, task):
+        start = time.perf_counter()
+        result, rows_out = task(lo, hi)
+        seconds = time.perf_counter() - start
+        if self.collect_stats:
+            record = {
+                "index": index,
+                "op": op,
+                "worker": _worker_index(),
+                "rows_in": hi - lo,
+                "rows_out": int(rows_out),
+                "seconds": seconds,
+            }
+            with self._lock:
+                self.morsels.setdefault(id(node), []).append(record)
+        return result
+
+    # -- parallel operators ------------------------------------------------
+
+    def _execute_filter(self, plan, child):
+        if not self._should_split(child.num_rows):
+            return apply_filter(plan, child)
+
+        def task(lo, hi):
+            morsel = slice_frame(child, lo, hi)
+            keep = predicate_mask(plan.predicate, morsel)
+            out = morsel.mask(keep)
+            return out, out.num_rows
+
+        parts = self._map_morsels(plan, "filter", child.num_rows, task)
+        return concat_frame_parts(parts)
+
+    def _execute_project(self, plan, child):
+        if not self._should_split(child.num_rows):
+            return apply_project(plan, child)
+
+        def task(lo, hi):
+            morsel = slice_frame(child, lo, hi)
+            entries = [
+                (None, name, evaluate(expr, morsel))
+                for expr, name in plan.items
+            ]
+            out = Frame(entries, num_rows=morsel.num_rows)
+            return out, out.num_rows
+
+        parts = self._map_morsels(plan, "project", child.num_rows, task)
+        return concat_frame_parts(parts)
+
+    def _execute_aggregate(self, plan, child):
+        key_columns, group_ids, group_count, early = _aggregate_setup(
+            plan, child
+        )
+        if early is not None:
+            return early
+
+        kinds = [partial_kind(call) for call, _ in plan.aggregates]
+        decomposable = all(kind is not None for kind in kinds)
+        if not (decomposable and self._should_split(child.num_rows)):
+            # Serial back half over the shared global factorization.
+            first = first_occurrences(group_ids, group_count)
+            groups = _aggregate_groups(child, group_ids, group_count)
+            entries = [
+                (None, name, column.take(first))
+                for column, (_, name) in zip(key_columns, plan.groups)
+            ]
+            for call, name in plan.aggregates:
+                entries.append(
+                    (None, name, _compute_aggregate(call, child, groups))
+                )
+            return Frame(entries, num_rows=group_count)
+
+        inputs = [_aggregate_inputs(call, child) for call, _ in plan.aggregates]
+
+        def task(lo, hi):
+            states = [
+                morsel_partial(kind, group_ids, arg_column, lo, hi)
+                for kind, (_, arg_column, _) in zip(kinds, inputs)
+            ]
+            return states, hi - lo
+
+        per_morsel = self._map_morsels(
+            plan, "aggregate", child.num_rows, task
+        )
+
+        first = first_occurrences(group_ids, group_count)
+        entries = [
+            (None, name, column.take(first))
+            for column, (_, name) in zip(key_columns, plan.groups)
+        ]
+        for position, ((call, name), kind) in enumerate(
+            zip(plan.aggregates, kinds)
+        ):
+            partials = [states[position] for states in per_morsel]
+            values = merge_partials(kind, partials, group_count)
+            _, _, result_type = inputs[position]
+            entries.append(
+                (None, name, Column.from_values(values, result_type))
+            )
+        return Frame(entries, num_rows=group_count)
+
+    def _execute_sort(self, plan, child):
+        table = child.to_table()
+        limit = plan.limit_hint
+        topn = (
+            limit is not None
+            and len(plan.keys) == 1
+            and 0 < limit < table.num_rows // 4
+        )
+        if not (topn and self._should_split(table.num_rows)):
+            return apply_sort(plan, child)
+
+        name, descending, nulls_first = plan.keys[0]
+        composite = _topn_composite(
+            (table.column(name), descending, nulls_first)
+        )
+
+        def task(lo, hi):
+            candidates = _topn_select(composite, np.arange(lo, hi), limit)
+            return candidates, len(candidates)
+
+        parts = self._map_morsels(plan, "topn", table.num_rows, task)
+        pool = np.concatenate(parts)
+        ordered = _topn_select(composite, pool, limit)
+        rest = np.setdiff1d(
+            np.arange(table.num_rows), ordered, assume_unique=False
+        )
+        order = np.concatenate([ordered, rest])
+
+        sorted_frame = Frame.from_table(table.take(order))
+        if plan.drop:
+            entries = [
+                (qualifier, column_name, column)
+                for qualifier, column_name, column in sorted_frame.entries
+                if column_name not in plan.drop
+            ]
+            return Frame(entries, num_rows=sorted_frame.num_rows)
+        return sorted_frame

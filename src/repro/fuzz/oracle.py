@@ -9,6 +9,9 @@ The run matrix per case:
 
 * ``embedded`` backend, every cut ``0..max_cut`` (client-only, each
   hybrid prefix, server-only);
+* ``embedded-mt4`` — same cuts on the morsel-driven parallel executor
+  (4 workers, tiny morsels) — the executor axis: serial-vs-parallel
+  divergence is caught the same way backend divergence is;
 * ``embedded-norewrite`` — same cuts with ``rewrite_sql=False``
   (metamorphic check on the SQL rewriter);
 * ``sqlite`` backend, every cut;
@@ -35,12 +38,21 @@ from repro.fuzz.normalize import (
     rows_equivalent,
 )
 
-#: session configurations: (label, backend name, rewrite_sql)
+#: session configurations: (label, backend name, rewrite_sql, threads).
+#: The executor axis (threads ∈ {1, 4}) runs every cut both serially and
+#: on the morsel-driven parallel executor; a tiny morsel size makes the
+#: fuzzer's small tables split into many morsels so merge paths are
+#: genuinely exercised.
 RUN_CONFIGS = [
-    ("embedded", "embedded", True),
-    ("embedded-norewrite", "embedded", False),
-    ("sqlite", "sqlite", True),
+    ("embedded", "embedded", True, 1),
+    ("embedded-mt4", "embedded", True, 4),
+    ("embedded-norewrite", "embedded", False, 1),
+    ("sqlite", "sqlite", True, 1),
 ]
+
+#: rows per morsel for the parallel fuzz configurations (fuzz tables are
+#: tens of rows; 7 forces multi-morsel execution, boundary effects included)
+FUZZ_MORSEL_ROWS = 7
 
 
 @dataclass
@@ -105,7 +117,15 @@ class CaseReport:
         return "\n".join(lines)
 
 
-def _build_session(case, backend, rewrite_sql):
+def _build_session(case, backend, rewrite_sql, threads=1):
+    if backend == "embedded" and threads > 1:
+        # Backend instance so the morsel size can be pinned small enough
+        # for the fuzzer's tiny tables to split.
+        from repro.backends.embedded import EmbeddedBackend
+
+        backend = EmbeddedBackend(
+            parallelism=threads, morsel_rows=FUZZ_MORSEL_ROWS
+        )
     return VegaPlus(
         case.spec,
         data={name: rows for name, rows in case.tables.items()},
@@ -277,10 +297,10 @@ def check_case(case, check_optimizer=True):
     report = CaseReport(case=case)
 
     sessions = []
-    for label, backend, rewrite_sql in RUN_CONFIGS:
+    for label, backend, rewrite_sql, threads in RUN_CONFIGS:
         try:
             sessions.append(
-                (label, _build_session(case, backend, rewrite_sql)))
+                (label, _build_session(case, backend, rewrite_sql, threads)))
         except Exception as exc:  # noqa: BLE001
             report.runs.append(_RunOutcome(
                 label + "/construct", "error",

@@ -26,6 +26,12 @@ DEFAULT_CLIENT_OP_OVERHEAD = 5.0e-5
 # Rendering cost per row reaching the marks (encode + draw).
 DEFAULT_RENDER_ROW_COST = 2.0e-6
 
+# Marginal utility of each additional engine worker.  Morsel-driven
+# scans are not perfectly scalable (merge steps, the serial grouping
+# front half, pool handoff), so N workers buy roughly
+# ``1 + (N - 1) * efficiency`` of one worker's throughput.
+DEFAULT_PARALLEL_EFFICIENCY = 0.6
+
 # Steps that are heavier than a plain row pass (sorts, groupings).
 _STEP_WEIGHT = {
     "aggregate": 2.5,
@@ -62,10 +68,26 @@ class CostParameters:
     render_row_cost: float = DEFAULT_RENDER_ROW_COST
     #: artificial extra slowdown of the client, for sensitivity studies
     client_slowdown: float = 1.0
+    #: engine worker count (1 = serial); candidate-plan costing scales
+    #: server step costs by the resulting speedup
+    server_workers: int = 1
+    #: fraction of an extra worker that translates into throughput
+    parallel_efficiency: float = DEFAULT_PARALLEL_EFFICIENCY
 
 
 def step_weight(spec_type):
     return _STEP_WEIGHT.get(spec_type, 1.5)
+
+
+def server_speedup(params):
+    """Effective server throughput multiplier for the configured worker
+    count: ``1 + (workers - 1) * efficiency``, floored at 1."""
+    workers = max(int(getattr(params, "server_workers", 1) or 1), 1)
+    if workers == 1:
+        return 1.0
+    efficiency = getattr(params, "parallel_efficiency",
+                         DEFAULT_PARALLEL_EFFICIENCY)
+    return max(1.0 + (workers - 1) * efficiency, 1.0)
 
 
 class CostModel:
@@ -89,7 +111,10 @@ class CostModel:
         return self.params.client_op_overhead + input_rows * per_row
 
     def server_step_cost(self, spec_type, input_rows):
-        return input_rows * self.params.server_row_cost * step_weight(spec_type)
+        serial = (
+            input_rows * self.params.server_row_cost * step_weight(spec_type)
+        )
+        return serial / server_speedup(self.params)
 
     def cut_cost(self, step_types, estimates, cut, merged=True,
                  final_fields=None):

@@ -70,6 +70,15 @@ class SqlPipelineBuilder:
                 sqlast.SelectItem(sqlast.ColumnRef(name), alias=name)
                 for name in (project_fields or self.columns)
             )
+            if not items:
+                # A zero-column base table (empty dataset) still needs a
+                # valid projection; it has zero rows, so a constant
+                # placeholder yields the same (empty) result everywhere.
+                items = (
+                    sqlast.SelectItem(
+                        sqlast.Literal(None), alias="__empty"
+                    ),
+                )
             return sqlast.Select(
                 items=items, from_=sqlast.TableRef(self.table_name)
             )

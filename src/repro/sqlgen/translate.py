@@ -614,4 +614,13 @@ def translate_transform(spec_type, params, source, columns, signals=None):
         raise Untranslatable(
             "transform {!r} has no SQL translation".format(spec_type)
         )
+    if not columns:
+        # A zero-column input (an empty dataset never materialized a
+        # schema) cannot be validated against SQL's static binding: the
+        # client dataflow would succeed vacuously on zero rows while the
+        # server rejects unknown column references.  Keep such chains on
+        # the client.
+        raise Untranslatable(
+            "input relation has no known schema (empty dataset)"
+        )
     return translator(params, source, columns, signals or {})

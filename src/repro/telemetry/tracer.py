@@ -14,6 +14,7 @@ the hot paths), so instrumented code needs no conditionals beyond
 """
 
 import functools
+import threading
 import time
 
 
@@ -180,6 +181,11 @@ class Tracer:
         self._next_id = 1
         self._stack = []         # open spans (current last)
         self.metadata = {}       # free-form, included in exports
+        # Counters and histograms may be updated from engine worker
+        # threads (morsel-driven execution); guard them so totals stay
+        # exact.  Spans remain single-threaded: open/close them on the
+        # session thread only.
+        self._metrics_lock = threading.Lock()
 
     # -- spans ----------------------------------------------------------------
 
@@ -260,16 +266,18 @@ class Tracer:
     # -- metrics ---------------------------------------------------------------
 
     def count(self, name, delta=1):
-        counter = self.counters.get(name)
-        if counter is None:
-            counter = self.counters[name] = Counter(name)
-        counter.add(delta)
+        with self._metrics_lock:
+            counter = self.counters.get(name)
+            if counter is None:
+                counter = self.counters[name] = Counter(name)
+            counter.add(delta)
 
     def observe(self, name, value):
-        histogram = self.histograms.get(name)
-        if histogram is None:
-            histogram = self.histograms[name] = Histogram(name)
-        histogram.record(value)
+        with self._metrics_lock:
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = Histogram(name)
+            histogram.record(value)
 
     # -- introspection ---------------------------------------------------------
 

@@ -65,3 +65,15 @@ def test_seed_700050_bin_top_edge_clamp():
     bucket below the start.  Fixed by a CASE clamp that mirrors the
     client exactly (only raw >= stop folds into the last bin)."""
     _assert_clean(700050)
+
+
+def test_seed_123403708_empty_dataset_schema():
+    """An empty dataset (zero rows, so zero known columns) diverged three
+    ways: sqlite raised at load time on ``CREATE TABLE t ()``, the
+    zero-column base projection rendered invalid ``SELECT FROM t``, and a
+    pushed-down window transform referencing a never-materialized column
+    failed the server's static binding while the client succeeded
+    vacuously on zero rows.  Fixed by a placeholder column in the sqlite
+    loader, a constant placeholder projection, and treating transforms
+    over a zero-column schema as Untranslatable (pinned to the client)."""
+    _assert_clean(123403708)
