@@ -1,0 +1,169 @@
+"""E11 — columnar interchange vs dict-row client execution.
+
+The same client pipeline (filter -> bin -> aggregate over a 1M-row
+table, scaled by ``REPRO_BENCH_SCALE``) run two ways:
+
+* ``rowwise`` — the pre-columnar path: the transfer batch is
+  materialized into dict rows up front and every transform runs
+  row-at-a-time (``columnar=False``);
+* ``columnar`` — the batch stays the interchange format end to end;
+  dict rows exist only for the final renderer-facing output.
+
+Reported per mode: wall seconds, input rows/s, peak allocation bytes
+(tracemalloc), and how many interchange row dicts were materialized at
+layer boundaries (counted at ``ColumnBatch.iter_rows``, the single
+funnel all row materialization goes through).  Writes
+``BENCH_columnar.json`` via the shared conftest writer.
+
+CI tripwires: the columnar path must beat rowwise by at least
+``REPRO_BENCH_MIN_SPEEDUP`` (default 2.0 — the vectorized kernels are
+numpy; losing 2x to a Python dict loop means the batch path silently
+fell back), and must materialize strictly fewer interchange dicts.
+"""
+
+import os
+import time
+import tracemalloc
+
+from conftest import print_header, print_rows, scaled, write_bench_record
+
+import numpy as np
+
+from repro.data import ColumnBatch
+from repro.dataflow.pulse import Pulse
+from repro.dataflow.transforms import create_transform
+
+ROWS = 1_000_000
+REPEATS = 3
+
+PIPELINE = [
+    ("filter", {"expr": "datum.v > -1"}),
+    ("bin", {"field": "v", "extent": [-4.0, 4.0], "maxbins": 50}),
+    ("aggregate", {"groupby": ["bin0", "bin1"],
+                   "ops": ["count", "mean"], "fields": [None, "v"]}),
+]
+
+
+def build_batch(num_rows):
+    rng = np.random.default_rng(11)
+    return ColumnBatch.from_columns(
+        v=rng.normal(size=num_rows),
+        w=rng.gamma(2.0, 5.0, size=num_rows),
+    )
+
+
+class _RowMeter:
+    """Counts dict rows materialized through the batch layer's single
+    row-producing funnel (``ColumnBatch.iter_rows``)."""
+
+    def __init__(self):
+        self.count = 0
+        self._original = ColumnBatch.iter_rows
+
+    def __enter__(self):
+        meter = self
+        original = self._original
+
+        def counted(batch):
+            for row in original(batch):
+                meter.count += 1
+                yield row
+
+        ColumnBatch.iter_rows = counted
+        return self
+
+    def __exit__(self, *exc):
+        ColumnBatch.iter_rows = self._original
+        return False
+
+
+def make_pipeline(columnar):
+    transforms = []
+    for spec_type, params in PIPELINE:
+        transform = create_transform(spec_type, spec_type, params, None)
+        transform.columnar = columnar
+        transforms.append((transform, params))
+    return transforms
+
+
+def run_pipeline(batch, columnar):
+    """One end-to-end run; returns (final rows, seconds, dicts, peak)."""
+    transforms = make_pipeline(columnar)
+    with _RowMeter() as meter:
+        tracemalloc.start()
+        start = time.perf_counter()
+        if columnar:
+            pulse = Pulse(batch=batch, changed=True)
+        else:
+            # the pre-columnar interchange: rows cross the wire boundary
+            pulse = Pulse(rows=batch.to_rows(), changed=True)
+        for transform, params in transforms:
+            pulse = transform.run(pulse, params, {})
+        rows = pulse.rows  # the renderer-facing materialization
+        seconds = time.perf_counter() - start
+        _, peak = tracemalloc.get_traced_memory()
+        tracemalloc.stop()
+    return rows, seconds, meter.count, peak
+
+
+def test_e11_columnar_interchange(benchmark):
+    num_rows = scaled(ROWS)
+    batch = build_batch(num_rows)
+
+    results = {"rows": num_rows, "modes": {}}
+    reference = None
+    for mode, columnar in (("rowwise", False), ("columnar", True)):
+        best = None
+        for _ in range(REPEATS):
+            rows, seconds, dicts, peak = run_pipeline(batch, columnar)
+            if best is None or seconds < best[1]:
+                best = (rows, seconds, dicts, peak)
+        rows, seconds, dicts, peak = best
+        if reference is None:
+            reference = rows
+        else:
+            assert rows == reference  # both paths compute the same result
+        results["modes"][mode] = {
+            "seconds": seconds,
+            "rows_per_s": num_rows / max(seconds, 1e-9),
+            "interchange_dicts": dicts,
+            "peak_alloc_bytes": peak,
+            "rows_out": len(rows),
+        }
+
+    row_mode = results["modes"]["rowwise"]
+    col_mode = results["modes"]["columnar"]
+    speedup = row_mode["seconds"] / max(col_mode["seconds"], 1e-9)
+    results["speedup"] = speedup
+
+    print_header("E11: columnar vs dict-row interchange (best of {})".format(
+        REPEATS))
+    print_rows(
+        ["mode", "rows", "seconds", "rows/s", "dicts", "peak MiB"],
+        [
+            [mode, num_rows,
+             "{:.4f}".format(entry["seconds"]),
+             "{:,.0f}".format(entry["rows_per_s"]),
+             entry["interchange_dicts"],
+             "{:.1f}".format(entry["peak_alloc_bytes"] / 2 ** 20)]
+            for mode, entry in results["modes"].items()
+        ],
+    )
+    print("speedup (rowwise/columnar): {:.2f}x".format(speedup))
+
+    write_bench_record("columnar", results)
+
+    # Tripwires (see module docstring).
+    min_speedup = float(os.environ.get("REPRO_BENCH_MIN_SPEEDUP", "2.0"))
+    assert speedup >= min_speedup, (
+        "columnar path only {:.2f}x faster than rowwise "
+        "(tripwire: {}x) — a vectorized kernel is falling back".format(
+            speedup, min_speedup)
+    )
+    assert col_mode["interchange_dicts"] < row_mode["interchange_dicts"], (
+        "columnar path materialized as many interchange dicts as rowwise"
+    )
+
+    benchmark.pedantic(
+        lambda: run_pipeline(batch, True), rounds=3, iterations=1,
+    )

@@ -15,8 +15,7 @@ from datetime import datetime, timezone
 import numpy as np
 
 from repro.backends.base import Backend, BackendError
-from repro.engine.table import Column, Table
-from repro.engine.types import SQLType
+from repro.data import Column, ColumnBatch, SQLType
 
 
 def _regexp(pattern, value):
@@ -200,16 +199,22 @@ class SQLiteBackend(Backend):
     def execute(self, sql):
         def run():
             try:
-                cursor = self.conn.execute(sql)
+                # A dedicated plain-tuple cursor: results go straight from
+                # the fetch into columns, skipping the dict-row detour
+                # (conn-level row_factory stays sqlite3.Row for the
+                # administrative queries).
+                cursor = self.conn.cursor()
+                cursor.row_factory = None
+                cursor.execute(sql)
             except sqlite3.Error as exc:
                 raise BackendError("sqlite error: {}".format(exc)) from exc
-            rows = cursor.fetchall()
+            tuples = cursor.fetchall()
             names = (
                 [description[0] for description in cursor.description]
                 if cursor.description
                 else []
             )
-            return _rows_to_table(names, rows)
+            return _tuples_to_batch(names, tuples)
 
         return self._timed(run, sql)
 
@@ -239,12 +244,13 @@ class SQLiteBackend(Backend):
         self.conn.close()
 
 
-def _rows_to_table(names, rows):
-    """Convert sqlite rows into an engine Table with inferred types."""
-    table = Table()
+def _tuples_to_batch(names, tuples):
+    """Transpose fetched result tuples into a ColumnBatch with inferred
+    types — the backend's output is columnar from the first copy."""
+    batch = ColumnBatch()
+    transposed = list(zip(*tuples)) if tuples else [()] * len(names)
     for index, name in enumerate(names):
-        values = [row[index] for row in rows]
-        table.add_column(name, Column.from_values(values))
+        batch.add_column(name, Column.from_values(transposed[index]))
     if not names:
-        table._num_rows = len(rows)
-    return table
+        batch._num_rows = len(tuples)
+    return batch

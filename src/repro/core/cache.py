@@ -9,16 +9,49 @@ cache").
 """
 
 from collections import OrderedDict
-from dataclasses import dataclass
 
 from repro.telemetry.tracer import NOOP
 
 
-@dataclass
 class CacheEntry:
-    rows: list
-    wire_bytes: int
-    value: object = None  # for value queries (extent results)
+    """One cached query response.
+
+    The canonical payload is the columnar ``batch`` exactly as it came
+    off the wire; ``rows`` is a lazily materialized (and then cached)
+    dict-row view for row-oriented consumers.  Entries can still be
+    constructed from a row list directly (tests, synthetic entries)."""
+
+    __slots__ = ("batch", "wire_bytes", "value", "_rows")
+
+    def __init__(self, rows=None, wire_bytes=0, value=None, batch=None):
+        self.batch = batch
+        self.wire_bytes = wire_bytes
+        #: for value queries (extent results)
+        self.value = value
+        self._rows = None if rows is None else list(rows)
+        if self._rows is None and batch is None:
+            self._rows = []
+
+    @property
+    def rows(self):
+        if self._rows is None:
+            self._rows = self.batch.to_rows()
+        return self._rows
+
+    @property
+    def num_rows(self):
+        if self.batch is not None:
+            return self.batch.num_rows
+        return len(self._rows)
+
+    def as_batch(self):
+        """The entry's batch, building (and caching) one from the row
+        view for entries that were constructed from rows."""
+        if self.batch is None:
+            from repro.data import ColumnBatch
+
+            self.batch = ColumnBatch.from_rows(self._rows)
+        return self.batch
 
 
 class ResultCache:

@@ -11,7 +11,9 @@ remaining steps execute in a per-segment client dataflow.
 
 import time
 
+from repro.data import ColumnBatch
 from repro.dataflow import Dataflow, DataRef, DataSource, OperatorRef, SignalRef
+from repro.dataflow.pulse import Pulse
 from repro.dataflow.transforms import create_transform
 from repro.dataflow.transforms.base import ValueTransform
 from repro.expr.evaluator import Evaluator
@@ -47,8 +49,6 @@ class ServerSegmentRunner:
         self.queries = []
         self.server_seconds = 0.0
         self.network_seconds = 0.0
-        #: time spent deserializing responses (charged to the client side)
-        self.parse_seconds = 0.0
 
     def finalize_sql(self, select):
         if not self.tracer.enabled:
@@ -70,10 +70,11 @@ class ServerSegmentRunner:
                     final_fields=None, prefetch=False):
         """Execute steps[0:cut] on the server.
 
-        Returns (rows, value_results, out_columns).  ``value_results``
-        maps value-operator names to their computed values (extent
-        results), needed both by later server steps and by the client
-        suffix.
+        Returns (batch, value_results, out_columns): the transfer result
+        as a :class:`ColumnBatch` (it stays columnar into the cache and
+        the client suffix), plus ``value_results`` mapping value-operator
+        names to their computed values (extent results), needed both by
+        later server steps and by the client suffix.
         """
         if not self.tracer.enabled:
             return self._run_segment(root_table, base_columns, steps, cut,
@@ -83,7 +84,7 @@ class ServerSegmentRunner:
                               prefetch=prefetch) as span:
             out = self._run_segment(root_table, base_columns, steps, cut,
                                     final_fields, prefetch)
-            span.set(transfer_rows=len(out[0]))
+            span.set(transfer_rows=out[0].num_rows)
             return out
 
     def _run_segment(self, root_table, base_columns, steps, cut,
@@ -97,9 +98,8 @@ class ServerSegmentRunner:
                     step.spec_type, params, self.signals
                 )
                 sql = self.finalize_sql(translation.select)
-                table, rows = self._execute(sql, kind="value",
-                                            prefetch=prefetch)
-                value = self._extract_value(step.spec_type, rows)
+                batch = self._execute(sql, kind="value", prefetch=prefetch)
+                value = self._extract_value(step.spec_type, batch)
                 value_results[step.operator.name] = value
             else:
                 builder.add_step(step.spec_type, params, self.signals)
@@ -107,11 +107,9 @@ class ServerSegmentRunner:
         project = final_fields if cut >= len(steps) else None
         final = builder.query(project_fields=project)
         sql = self.finalize_sql(final)
-        table, rows = self._execute(sql, kind="rows", prefetch=prefetch)
-        columns = list(table.columns) if table is not None else list(
-            builder.columns
-        )
-        return rows, value_results, columns
+        batch = self._execute(sql, kind="rows", prefetch=prefetch)
+        columns = batch.column_names or list(builder.columns)
+        return batch, value_results, columns
 
     def segment_cached(self, root_table, base_columns, steps, cut,
                        final_fields=None):
@@ -138,7 +136,7 @@ class ServerSegmentRunner:
                 # Undo the hit-counter bump: this is a peek, not a use.
                 self.cache.hits -= 1
                 value_results[step.operator.name] = self._extract_value(
-                    step.spec_type, entry.rows
+                    step.spec_type, entry.as_batch()
                 )
             else:
                 builder.add_step(step.spec_type, params, self.signals)
@@ -154,12 +152,10 @@ class ServerSegmentRunner:
         temp table for the next step — the "unnecessary network round
         trips for data transfers" that node merging (§2.2 step 3) avoids.
         """
-        from repro.engine import Table
-
         current_table = root_table
         current_columns = list(base_columns)
         value_results = {}
-        rows = None
+        batch = None
         temp_index = 0
         for step in steps[:cut]:
             params = self._resolve_params(step.operator, value_results)
@@ -169,53 +165,56 @@ class ServerSegmentRunner:
                     step.spec_type, params, self.signals
                 )
                 sql = self.finalize_sql(translation.select)
-                _, value_rows = self._execute(sql, kind="value")
+                value_batch = self._execute(sql, kind="value")
                 value_results[step.operator.name] = self._extract_value(
-                    step.spec_type, value_rows
+                    step.spec_type, value_batch
                 )
                 continue
             builder.add_step(step.spec_type, params, self.signals)
             sql = self.finalize_sql(builder.query())
-            table, rows = self._execute(sql, kind="rows")
+            batch = self._execute(sql, kind="rows")
             current_columns = builder.columns
-            # Ship the intermediate back up as a temp table (upload cost).
+            # Ship the intermediate back up as a temp table (upload cost);
+            # the batch goes back verbatim, no row round-trip.
             temp_index += 1
             current_table = "__seg_{}".format(temp_index)
-            upload = table if table is not None else Table.from_rows(
-                rows, column_order=current_columns
-            )
-            self.backend.load_table(current_table, upload)
-            upload_bytes = wire_bytes(upload)
+            self.backend.load_table(current_table, batch)
+            upload_bytes = wire_bytes(batch)
             self.network_seconds += self.channel.request(
                 upload_bytes, 64, label="upload"
             )
 
         # Final fetch (either the last intermediate or the raw table).
-        if rows is None:
+        if batch is None:
             builder = SqlPipelineBuilder(current_table, current_columns)
             project = final_fields if cut >= len(steps) else None
             sql = self.finalize_sql(builder.query(project_fields=project))
-            _, rows = self._execute(sql, kind="rows")
-        return rows, value_results, current_columns
+            batch = self._execute(sql, kind="rows")
+        return batch, value_results, current_columns
 
     def _execute(self, sql, kind, prefetch=False):
-        """Run one query with caching and network accounting."""
+        """Run one query with caching and network accounting.
+
+        Returns the result as a :class:`ColumnBatch` — the batch flows
+        from the backend through the cache to the caller without ever
+        materializing dict rows on this path.
+        """
         tracer = self.tracer
         if self.cache is not None:
             entry = self.cache.get(sql)
             if entry is not None:
                 if tracer.enabled:
                     tracer.measured_span(
-                        "sql.cached", 0.0, kind=kind, rows=len(entry.rows),
+                        "sql.cached", 0.0, kind=kind, rows=entry.num_rows,
                         dataset=self.dataset, sql=sql,
                     )
                 self.queries.append(
-                    QueryLogEntry(sql=sql, rows=len(entry.rows),
+                    QueryLogEntry(sql=sql, rows=entry.num_rows,
                                   server_seconds=0.0, network_seconds=0.0,
                                   cached=True, kind=kind,
                                   dataset=self.dataset)
                 )
-                return None, entry.rows
+                return entry.as_batch()
         if tracer.enabled:
             with tracer.span("sql.execute", kind=kind, sql=sql,
                              dataset=self.dataset,
@@ -228,11 +227,8 @@ class ServerSegmentRunner:
                 tracer.observe("sql.server_seconds", result.seconds)
         else:
             result = self.backend.execute(sql)
-        parse_start = time.perf_counter()
-        rows = result.table.to_rows()
-        if not prefetch:
-            self.parse_seconds += time.perf_counter() - parse_start
-        response_bytes = wire_bytes(result.table)
+        batch = result.table
+        response_bytes = wire_bytes(batch)
         network = self.channel.request(
             request_bytes(sql), response_bytes,
             label="prefetch" if prefetch else kind,
@@ -242,7 +238,7 @@ class ServerSegmentRunner:
             self.network_seconds += network
         self.queries.append(
             QueryLogEntry(
-                sql=sql, rows=len(rows), server_seconds=result.seconds,
+                sql=sql, rows=batch.num_rows, server_seconds=result.seconds,
                 network_seconds=network, cached=False,
                 kind="prefetch" if prefetch else kind,
                 dataset=self.dataset,
@@ -250,15 +246,15 @@ class ServerSegmentRunner:
         )
         if self.cache is not None:
             self.cache.put(
-                sql, CacheEntry(rows=rows, wire_bytes=response_bytes)
+                sql, CacheEntry(batch=batch, wire_bytes=response_bytes)
             )
-        return result.table, rows
+        return batch
 
-    def _extract_value(self, spec_type, rows):
+    def _extract_value(self, spec_type, batch):
         if spec_type == "extent":
-            if not rows:
+            if batch.num_rows == 0:
                 return [None, None]
-            row = rows[0]
+            row = batch.row(0)
             return [row.get("min"), row.get("max")]
         raise ExecutorError(
             "unknown value transform {!r}".format(spec_type)
@@ -395,28 +391,39 @@ def _lookup_table_for(operator, backend):
 
 
 class ClientSuffixRunner:
-    """Runs the client-assigned suffix of one chain in a fresh dataflow."""
+    """Runs the client-assigned suffix of one chain in a fresh dataflow.
 
-    def __init__(self, signals, data_resolver=None, tracer=None):
+    ``columnar=False`` forces every cloned transform onto the
+    row-at-a-time path (the pre-columnar behavior) — the fuzz oracle
+    uses this to difference the two execution paths.
+    """
+
+    def __init__(self, signals, data_resolver=None, tracer=None,
+                 columnar=True):
         self.signals = signals
         self.data_resolver = data_resolver
         self.tracer = tracer or NOOP
+        self.columnar = columnar
         self.client_seconds = 0.0
         #: per-operator wall time of the last suffix run (dashboard data:
         #: "tooltips showing the details behind the nodes", §1)
         self.op_seconds = {}
 
-    def run_suffix(self, steps, cut, input_rows, value_results):
-        """Execute steps[cut:] over ``input_rows``; returns output rows."""
+    def run_suffix(self, steps, cut, input_data, value_results):
+        """Execute steps[cut:] over ``input_data`` (a ColumnBatch or a
+        row list); returns the output :class:`Pulse` — still columnar
+        when every suffix transform kept the batch form."""
         suffix = steps[cut:]
         if not suffix:
-            return list(input_rows)
+            if isinstance(input_data, ColumnBatch):
+                return Pulse(batch=input_data, changed=True)
+            return Pulse(rows=list(input_data), changed=True)
 
         flow = Dataflow()
         flow.tracer = self.tracer
         for name, value in self.signals.items():
             flow.add_signal(name, value)
-        source = flow.add(DataSource("__input", input_rows))
+        source = flow.add(DataSource("__input", input_data))
         current = source
         clones = {}
         for step in suffix:
@@ -427,13 +434,18 @@ class ClientSuffixRunner:
                     source=current,
                 )
             )
+            clone.columnar = self.columnar
             clones[step.operator.name] = clone
             current = clone
 
+        input_rows = (
+            input_data.num_rows if isinstance(input_data, ColumnBatch)
+            else len(input_data)
+        )
         start = time.perf_counter()
         if self.tracer.enabled:
             with self.tracer.span("client.suffix", cut=cut,
-                                  input_rows=len(input_rows),
+                                  input_rows=input_rows,
                                   steps=len(suffix)):
                 flow.run()
         else:
@@ -442,7 +454,7 @@ class ClientSuffixRunner:
         for original_name, clone in clones.items():
             self.op_seconds[original_name] = clone.eval_seconds
         pulse = current.last_pulse
-        return pulse.rows if pulse is not None else []
+        return pulse if pulse is not None else Pulse(rows=[], changed=True)
 
     def _clone_params(self, operator, value_results, clones):
         def clone(value):

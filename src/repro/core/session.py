@@ -19,6 +19,8 @@ the prefetcher — the full middleware stack of Figure 1.  Typical use::
     result = session.interact("maxbins", 30)
 """
 
+import time
+
 from repro.backends import Backend, create_backend
 from repro.compile import compile_spec
 from repro.core.cache import ResultCache
@@ -50,7 +52,9 @@ class _SinkState:
     def __init__(self, root, steps):
         self.root = root
         self.steps = steps
-        self.transfer_rows = None
+        #: the server segment's result batch (columnar), reused by
+        #: client-partial re-executions
+        self.transfer = None
         self.value_results = {}
         self.rows = None
         #: the cut the cached transfer corresponds to; a client-partial
@@ -66,11 +70,15 @@ class VegaPlus:
                  merge_queries=True, rewrite_sql=True, cache_entries=64,
                  prefetch_budget=3, validate=True,
                  per_operator_roundtrips=False, dynamic_replan=False,
-                 trace=False, parallelism=None):
+                 trace=False, parallelism=None, columnar=True):
         #: telemetry: False/None = off (no-op tracer), True = record, or
         #: pass a :class:`repro.telemetry.Tracer` to share one across
         #: sessions.
         self.tracer = as_tracer(trace)
+        #: when False, every transform runs row-at-a-time (the
+        #: pre-columnar client path); the fuzz oracle differences the
+        #: two modes
+        self.columnar = columnar
         self.tables = {}
         rows_by_name = {}
         for name, value in (data or {}).items():
@@ -86,9 +94,7 @@ class VegaPlus:
         with self.tracer.span("compile") as span:
             self.compiled = compile_spec(
                 spec,
-                data_tables={
-                    name: self._rows(name) for name in self.tables
-                },
+                data_tables=self._compile_data_tables(),
                 validate=validate,
             )
             span.set(
@@ -96,6 +102,7 @@ class VegaPlus:
                 operators=len(self.compiled.flow.operators),
             )
         self.compiled.flow.tracer = self.tracer
+        self._apply_columnar_mode()
         self.signals = dict(self.compiled.flow.signals)
 
         if isinstance(backend, Backend):
@@ -154,6 +161,27 @@ class VegaPlus:
         if self._rows_cache.get(name) is None:
             self._rows_cache[name] = self.tables[name].to_rows()
         return self._rows_cache[name]
+
+    def _compile_data_tables(self):
+        """Root data for the compiled client dataflow.  Tables stay
+        columnar (the DataSource materializes rows lazily); datasets the
+        caller provided as row lists keep their original row objects."""
+        return {
+            name: (
+                self.tables[name]
+                if self._rows_cache.get(name) is None
+                else self._rows_cache[name]
+            )
+            for name in self.tables
+        }
+
+    def _apply_columnar_mode(self):
+        """Propagate ``columnar=False`` to every compiled transform so the
+        whole session runs row-at-a-time (differential baseline)."""
+        if self.columnar:
+            return
+        for operator in self.compiled.flow.operators:
+            operator.columnar = False
 
     def results(self, dataset):
         """Current rows of a sink dataset (after startup/interactions)."""
@@ -264,26 +292,32 @@ class VegaPlus:
         base_columns = self.tables[state.root].column_names
         with sink_span:
             if self.per_operator_roundtrips:
-                transfer_rows, value_results, _ = server.run_segment_per_op(
+                transfer, value_results, _ = server.run_segment_per_op(
                     state.root, base_columns, state.steps, cut,
                     final_fields=final_fields,
                 )
             else:
-                transfer_rows, value_results, _ = server.run_segment(
+                transfer, value_results, _ = server.run_segment(
                     state.root, base_columns, state.steps, cut,
                     final_fields=final_fields,
                 )
-            state.transfer_rows = transfer_rows
+            state.transfer = transfer
             state.value_results = value_results
             state.cut_executed = cut
 
             client = ClientSuffixRunner(
                 self.signals, data_resolver=self._resolve_cross_dataset,
-                tracer=self.tracer,
+                tracer=self.tracer, columnar=self.columnar,
             )
-            rows = client.run_suffix(
-                state.steps, cut, transfer_rows, value_results
+            out = client.run_suffix(
+                state.steps, cut, transfer, value_results
             )
+            # The one row materialization of the request path: producing
+            # the renderer-facing dict rows (deserialization cost, charged
+            # to the client like browser-side JSON parsing would be).
+            materialize_start = time.perf_counter()
+            rows = out.rows
+            materialize_seconds = time.perf_counter() - materialize_start
             sink_span.set(rows=len(rows))
 
         result.queries.extend(server.queries)
@@ -291,8 +325,7 @@ class VegaPlus:
         result.breakdown = result.breakdown + CostBreakdown(
             server=server.server_seconds,
             network=server.network_seconds,
-            # Response deserialization happens in the browser: client time.
-            client=client.client_seconds + server.parse_seconds,
+            client=client.client_seconds + materialize_seconds,
             render=len(rows) * self.cost_params.render_row_cost,
         )
         return rows
@@ -322,11 +355,12 @@ class VegaPlus:
         """Run a non-sink dataset's full chain on the client."""
         state = self._sink_state(name)
         client = ClientSuffixRunner(
-            self.signals, data_resolver=self._resolve_cross_dataset
+            self.signals, data_resolver=self._resolve_cross_dataset,
+            columnar=self.columnar,
         )
-        rows = client.run_suffix(state.steps, 0, self._rows(state.root), {})
-        state.rows = rows
-        return rows
+        out = client.run_suffix(state.steps, 0, self.tables[state.root], {})
+        state.rows = out.rows
+        return state.rows
 
     # -- live spec editing -------------------------------------------------------------
 
@@ -340,9 +374,10 @@ class VegaPlus:
         """
         self.compiled = compile_spec(
             spec,
-            data_tables={name: self._rows(name) for name in self.tables},
+            data_tables=self._compile_data_tables(),
             validate=validate,
         )
+        self._apply_columnar_mode()
         self.signals = dict(self.compiled.flow.signals)
         self.plan = None
         self._sink_states = {}
@@ -380,16 +415,17 @@ class VegaPlus:
         self.cache.clear()
         for state in self._sink_states.values():
             if state.root == name:
-                state.transfer_rows = None
+                state.transfer = None
                 state.value_results = {}
-        # Update the client dataflow's raw source too.
+        # Update the client dataflow's raw source too (columnar: the
+        # merged batch goes in as-is, rows materialize only on demand).
         source_name = name + ":source"
         try:
             source = self.compiled.flow.operator(source_name)
         except Exception:
             source = None
         if source is not None:
-            source.set_rows(self._rows(name))
+            source.set_rows(merged)
             self.compiled.flow.touch(source)
         if self.plan is None:
             return None
@@ -438,7 +474,7 @@ class VegaPlus:
                     for name in changed
                 )
                 if frontier >= dataset_plan.cut \
-                        and state.transfer_rows is not None \
+                        and state.transfer is not None \
                         and state.cut_executed == dataset_plan.cut:
                     rows = self._client_partial(state, dataset_plan, result)
                 else:
@@ -481,7 +517,7 @@ class VegaPlus:
         for sink, dataset_plan in candidate.datasets.items():
             state = self._sink_state(sink)
             transferred = (
-                state.transfer_rows is not None
+                state.transfer is not None
                 and state.cut_executed == dataset_plan.cut
             )
             if transferred:
@@ -515,15 +551,18 @@ class VegaPlus:
         'faster partial execution')."""
         client = ClientSuffixRunner(
             self.signals, data_resolver=self._resolve_cross_dataset,
-            tracer=self.tracer,
+            tracer=self.tracer, columnar=self.columnar,
         )
-        rows = client.run_suffix(
-            state.steps, dataset_plan.cut, state.transfer_rows,
+        out = client.run_suffix(
+            state.steps, dataset_plan.cut, state.transfer,
             state.value_results,
         )
+        materialize_start = time.perf_counter()
+        rows = out.rows
+        materialize_seconds = time.perf_counter() - materialize_start
         result.client_op_seconds.update(client.op_seconds)
         result.breakdown = result.breakdown + CostBreakdown(
-            client=client.client_seconds,
+            client=client.client_seconds + materialize_seconds,
             render=len(rows) * self.cost_params.render_row_cost,
         )
         return rows

@@ -1,0 +1,347 @@
+"""Columnar batches: the layer-neutral interchange format.
+
+A :class:`ColumnBatch` (historically ``engine.table.Table``, which is
+kept as an alias) is an ordered mapping of column name -> :class:`Column`
+— typed numpy arrays with validity masks.  The batch is the unit that
+crosses every layer boundary: backends produce batches, the query cache
+and the network payload model account batches, and dataflow pulses carry
+batches with a lazy list-of-dict row view for operators that need one.
+
+Error compatibility: batch operations raise the engine's
+``CatalogError``/``TypeMismatchError`` so existing callers (and tests)
+keep working.  Those classes are imported lazily at raise time so this
+package has no import-time dependency on ``repro.engine``.
+"""
+
+import numpy as np
+
+from repro.data.types import SQLType, infer_type
+
+
+def _catalog_error(message):
+    from repro.engine.errors import CatalogError
+
+    return CatalogError(message)
+
+
+def _type_mismatch_error(message):
+    from repro.engine.errors import TypeMismatchError
+
+    return TypeMismatchError(message)
+
+
+class Column:
+    """A typed column: a numpy ``data`` array plus a boolean ``valid`` mask.
+
+    Invariants: ``len(data) == len(valid)``; positions with
+    ``valid == False`` hold an arbitrary placeholder in ``data`` (0.0 for
+    DOUBLE, "" for VARCHAR, False for BOOLEAN) and must never be read as
+    values.
+    """
+
+    __slots__ = ("type", "data", "valid")
+
+    def __init__(self, sql_type, data, valid=None):
+        self.type = sql_type
+        self.data = np.asarray(data, dtype=sql_type.numpy_dtype())
+        if valid is None:
+            valid = np.ones(len(self.data), dtype=np.bool_)
+        self.valid = np.asarray(valid, dtype=np.bool_)
+        if len(self.valid) != len(self.data):
+            raise _type_mismatch_error("data/valid length mismatch")
+
+    def __len__(self):
+        return len(self.data)
+
+    def __repr__(self):
+        return "Column({}, n={}, nulls={})".format(
+            self.type.value, len(self), int((~self.valid).sum())
+        )
+
+    @classmethod
+    def from_values(cls, values, sql_type=None):
+        """Build a column from Python values; None becomes NULL."""
+        values = list(values)
+        if sql_type is None:
+            sql_type = infer_type(values)
+        placeholder = {"DOUBLE": 0.0, "VARCHAR": "", "BOOLEAN": False}[sql_type.value]
+        valid = np.fromiter(
+            (value is not None for value in values), dtype=np.bool_, count=len(values)
+        )
+        data = [placeholder if value is None else value for value in values]
+        if sql_type is SQLType.DOUBLE:
+            # NaN inputs are treated as NULL (matches the SQL translation of
+            # JS NaN in repro.expr.sqlcompile).
+            array = np.asarray(data, dtype=np.float64)
+            nan_mask = np.isnan(array)
+            if nan_mask.any():
+                valid = valid & ~nan_mask
+                array = np.where(nan_mask, 0.0, array)
+            return cls(sql_type, array, valid)
+        if sql_type is SQLType.VARCHAR:
+            # Normalize numpy string scalars to plain Python str so row
+            # dicts round-trip cleanly through JSON/clients.
+            data = [value if type(value) is str else str(value)
+                    for value in data]
+        return cls(sql_type, data, valid)
+
+    @classmethod
+    def nulls(cls, sql_type, count):
+        """An all-NULL column of the given type and length."""
+        placeholder = {"DOUBLE": 0.0, "VARCHAR": "", "BOOLEAN": False}[sql_type.value]
+        data = np.full(count, placeholder, dtype=sql_type.numpy_dtype())
+        return cls(sql_type, data, np.zeros(count, dtype=np.bool_))
+
+    @classmethod
+    def constant(cls, value, count):
+        """A column repeating a single scalar (or NULL) ``count`` times."""
+        if value is None:
+            return cls.nulls(SQLType.DOUBLE, count)
+        from repro.data.types import python_value_type
+
+        sql_type = python_value_type(value)
+        data = np.full(count, value, dtype=sql_type.numpy_dtype())
+        return cls(sql_type, data)
+
+    def take(self, indices):
+        """Gather rows by integer index array."""
+        return Column(self.type, self.data[indices], self.valid[indices])
+
+    def mask(self, keep):
+        """Filter rows by boolean mask."""
+        return Column(self.type, self.data[keep], self.valid[keep])
+
+    def to_list(self):
+        """Materialize as Python values with None for NULLs."""
+        out = []
+        for value, ok in zip(self.data.tolist(), self.valid.tolist()):
+            out.append(value if ok else None)
+        return out
+
+    def value_at(self, index):
+        if not self.valid[index]:
+            return None
+        value = self.data[index]
+        if self.type is SQLType.DOUBLE:
+            return float(value)
+        if self.type is SQLType.BOOLEAN:
+            return bool(value)
+        return value
+
+    def null_count(self):
+        return int((~self.valid).sum())
+
+    def nbytes(self):
+        """Approximate in-memory/wire size of this column in bytes.
+
+        Used by the network simulator and the planner's transfer-size
+        estimator.  VARCHAR columns are costed by actual string lengths.
+        """
+        if self.type is SQLType.VARCHAR:
+            total = 0
+            for value, ok in zip(self.data, self.valid):
+                if ok:
+                    total += len(value)
+            return total + len(self)  # +1 byte/row framing
+        if self.type is SQLType.BOOLEAN:
+            return len(self)
+        return 8 * len(self)
+
+
+class ColumnBatch:
+    """An ordered mapping of column name -> :class:`Column`, equal lengths."""
+
+    def __init__(self, columns=None):
+        self.columns = {}
+        self._num_rows = 0
+        if columns:
+            for name, column in columns.items():
+                self.add_column(name, column)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, rows, column_order=None):
+        """Build from a list of dicts.  Missing keys become NULL."""
+        rows = list(rows)
+        if column_order is None:
+            column_order = []
+            seen = set()
+            for row in rows:
+                for key in row:
+                    if key not in seen:
+                        seen.add(key)
+                        column_order.append(key)
+        batch = cls()
+        for name in column_order:
+            values = [row.get(name) for row in rows]
+            batch.add_column(name, Column.from_values(values))
+        if not column_order:
+            batch._num_rows = len(rows)
+        return batch
+
+    @classmethod
+    def from_columns(cls, **named_values):
+        """Build from keyword lists: ``from_columns(a=[1,2], b=['x','y'])``."""
+        batch = cls()
+        for name, values in named_values.items():
+            batch.add_column(name, Column.from_values(values))
+        return batch
+
+    def add_column(self, name, column):
+        if name in self.columns:
+            raise _catalog_error("duplicate column {!r}".format(name))
+        if self.columns and len(column) != self._num_rows:
+            raise _type_mismatch_error(
+                "column {!r} has {} rows, table has {}".format(
+                    name, len(column), self._num_rows
+                )
+            )
+        self.columns[name] = column
+        self._num_rows = len(column)
+
+    def set_column(self, name, column):
+        """Add or replace a column, preserving its position when replacing
+        (dict key order is stable under overwrite) — the columnar analogue
+        of ``row[name] = value`` on a dict row."""
+        if self.columns and len(column) != self._num_rows:
+            raise _type_mismatch_error(
+                "column {!r} has {} rows, table has {}".format(
+                    name, len(column), self._num_rows
+                )
+            )
+        self.columns[name] = column
+        self._num_rows = len(column)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def num_rows(self):
+        return self._num_rows
+
+    @property
+    def num_columns(self):
+        return len(self.columns)
+
+    @property
+    def column_names(self):
+        return list(self.columns)
+
+    def column(self, name):
+        if name not in self.columns:
+            raise _catalog_error("unknown column {!r}".format(name))
+        return self.columns[name]
+
+    def schema(self):
+        """Ordered (name, SQLType) pairs."""
+        return [(name, column.type) for name, column in self.columns.items()]
+
+    def nbytes(self):
+        return sum(column.nbytes() for column in self.columns.values())
+
+    def __repr__(self):
+        cols = ", ".join(
+            "{}:{}".format(name, column.type.value)
+            for name, column in self.columns.items()
+        )
+        return "Table({} rows; {})".format(self.num_rows, cols)
+
+    # -- row-wise views (for the client runtime and tests) ------------------
+
+    def to_rows(self):
+        """Materialize as a list of dicts (None for NULL)."""
+        return list(self.iter_rows())
+
+    def iter_rows(self):
+        """Yield row dicts one at a time (None for NULL) without holding
+        the whole row list — used for incremental wire encoding."""
+        names = list(self.columns)
+        lists = [self.columns[name].to_list() for name in names]
+        for index in range(self.num_rows):
+            yield {
+                name: lists[position][index]
+                for position, name in enumerate(names)
+            }
+
+    def row(self, index):
+        return {
+            name: column.value_at(index) for name, column in self.columns.items()
+        }
+
+    # -- transformations ----------------------------------------------------
+
+    def take(self, indices):
+        out = ColumnBatch()
+        for name, column in self.columns.items():
+            out.add_column(name, column.take(indices))
+        if not self.columns:
+            out._num_rows = len(indices)
+        return out
+
+    def mask(self, keep):
+        out = ColumnBatch()
+        for name, column in self.columns.items():
+            out.add_column(name, column.mask(keep))
+        if not self.columns:
+            out._num_rows = int(np.count_nonzero(keep))
+        return out
+
+    def select(self, names):
+        out = ColumnBatch()
+        for name in names:
+            out.add_column(name, self.column(name))
+        out._num_rows = self._num_rows
+        return out
+
+    def rename(self, mapping):
+        out = ColumnBatch()
+        for name, column in self.columns.items():
+            out.add_column(mapping.get(name, name), column)
+        out._num_rows = self._num_rows
+        return out
+
+    def head(self, count):
+        indices = np.arange(min(count, self.num_rows))
+        return self.take(indices)
+
+
+#: Historical name, still used across the engine and tests.
+Table = ColumnBatch
+
+
+def concat_batches(batches):
+    """Vertically concatenate batches with identical schemas."""
+    batches = [batch for batch in batches if batch is not None]
+    if not batches:
+        return ColumnBatch()
+    first = batches[0]
+    out = ColumnBatch()
+    for name in first.column_names:
+        parts = [batch.column(name) for batch in batches]
+        # All-NULL columns carry a placeholder type (DOUBLE); coerce them to
+        # the concrete type found in sibling batches.
+        concrete = {
+            part.type for part in parts if part.null_count() != len(part)
+        }
+        if len(concrete) > 1:
+            raise _type_mismatch_error(
+                "type mismatch for {!r} in concat".format(name)
+            )
+        target = concrete.pop() if concrete else parts[0].type
+        parts = [
+            part if part.type is target else Column.nulls(target, len(part))
+            for part in parts
+        ]
+        out.add_column(
+            name,
+            Column(
+                target,
+                np.concatenate([part.data for part in parts]),
+                np.concatenate([part.valid for part in parts]),
+            ),
+        )
+    return out
+
+
+#: Historical name, kept for engine-layer callers.
+concat_tables = concat_batches

@@ -180,14 +180,22 @@ class Dataflow:
             if self.tracer.enabled:
                 with self.tracer.span(
                     "pulse:" + operator.name, kind=operator.kind,
-                    rows_in=len(source_pulse.rows),
+                    rows_in=source_pulse.num_rows,
                 ) as span:
                     pulse = operator.evaluate(source_pulse, self.signals)
                     span.set(
-                        rows_out=len(pulse.rows) if pulse is not None else 0,
+                        rows_out=pulse.num_rows if pulse is not None else 0,
                         changed=bool(pulse.changed) if pulse is not None
                         else False,
                     )
+                if source_pulse.batch is not None:
+                    # did the columnar input survive this operator, or did
+                    # it (or a fallback) force the dict-row view?
+                    if pulse is not None and pulse.batch is not None \
+                            and not source_pulse.materialized:
+                        self.tracer.count("data.batch_passthrough")
+                    else:
+                        self.tracer.count("data.rows_materialized")
             else:
                 operator.evaluate(source_pulse, self.signals)
             evaluated.append(operator)

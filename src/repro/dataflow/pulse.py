@@ -6,32 +6,77 @@ recomputes its full output only when an upstream operator or a referenced
 signal changed — which preserves the property the paper relies on
 ("interaction events ... are only re-evaluated by the necessary
 operators", §2.1) while keeping the data plane simple: every pulse
-carries the operator's complete current output rows.
+carries the operator's complete current output.
+
+The output itself is carried either as a :class:`repro.data.ColumnBatch`
+(the columnar fast path: vectorized transforms consume ``pulse.batch``
+directly) or as a list of dicts.  ``pulse.rows`` is always available —
+when only a batch is present the row view materializes lazily on first
+access and is cached on the pulse, so row-at-a-time operators and the
+existing public API are unchanged.
 """
 
-from dataclasses import dataclass, field
-from typing import List
 
-
-@dataclass
 class Pulse:
     """Output of one operator evaluation.
 
-    ``rows`` is a list of dicts (the Vega "data tuples"); ``changed``
-    records whether this evaluation produced different output than the
-    previous one (conservatively True on any re-evaluation unless the
-    operator proves otherwise); ``value`` carries the result of value
+    ``rows`` is a list of dicts (the Vega "data tuples"); ``batch`` is the
+    columnar form of the same data when the producer kept it columnar;
+    ``changed`` records whether this evaluation produced different output
+    than the previous one (conservatively True on any re-evaluation unless
+    the operator proves otherwise); ``value`` carries the result of value
     operators (e.g. extent's [min, max]) whose consumers are parameters
     rather than data edges.
     """
 
-    rows: List[dict] = field(default_factory=list)
-    changed: bool = True
-    value: object = None
+    __slots__ = ("batch", "changed", "value", "_rows")
+
+    def __init__(self, rows=None, changed=True, value=None, batch=None):
+        self.batch = batch
+        self.changed = changed
+        self.value = value
+        if rows is None and batch is None:
+            rows = []
+        self._rows = rows
+
+    @property
+    def rows(self):
+        """The list-of-dicts view; materialized from the batch on first
+        access and cached for the pulse's lifetime."""
+        if self._rows is None:
+            self._rows = self.batch.to_rows()
+        return self._rows
+
+    @property
+    def materialized(self):
+        """True when the row view already exists (no batch, or lazily
+        materialized by an earlier access)."""
+        return self._rows is not None
+
+    @property
+    def num_rows(self):
+        """Row count without forcing materialization of the row view."""
+        if self._rows is not None:
+            return len(self._rows)
+        return self.batch.num_rows if self.batch is not None else 0
 
     @classmethod
     def unchanged(cls, previous):
-        return cls(rows=previous.rows, changed=False, value=previous.value)
+        pulse = cls(rows=previous._rows, changed=False, value=previous.value,
+                    batch=previous.batch)
+        return pulse
+
+    def with_value(self, value):
+        """A passthrough pulse: same data (batch and any materialized row
+        cache shared), new operator value."""
+        return Pulse(rows=self._rows, changed=True, value=value,
+                     batch=self.batch)
 
     def fork(self, rows):
         return Pulse(rows=rows, changed=True, value=self.value)
+
+    def __repr__(self):
+        form = "batch" if self.batch is not None and self._rows is None \
+            else "rows"
+        return "Pulse({}={}, changed={})".format(
+            form, self.num_rows, self.changed)

@@ -1,5 +1,8 @@
 """Group-by aggregation transforms (Vega `aggregate` and `joinaggregate`)."""
 
+import numpy as np
+
+from repro.data import Column, ColumnBatch, SQLType
 from repro.dataflow.transforms.aggops import (
     aggregate_op,
     default_output_name,
@@ -10,6 +13,7 @@ from repro.dataflow.transforms.base import (
     TransformError,
     register_transform,
 )
+from repro.dataflow.vectorized import Unvectorizable
 
 
 def _measures(params):
@@ -41,6 +45,172 @@ def _apply_measures(rows, triples):
     return out
 
 
+def _effective_valid(column):
+    """Slots holding a real value for grouping/aggregation purposes: the
+    validity mask, minus NaN for DOUBLE (``group_key`` folds NaN into
+    None and ``_valid``/``_numbers`` drop it)."""
+    if column.type is SQLType.DOUBLE:
+        with np.errstate(invalid="ignore"):
+            return column.valid & ~np.isnan(column.data)
+    return column.valid
+
+
+def _value_codes(batch, field):
+    """(codes, cardinality, column) for one field: dense non-negative
+    integer codes per distinct value, -1 for NULL."""
+    count = batch.num_rows
+    column = batch.columns.get(field)
+    if column is None:
+        return np.full(count, -1, dtype=np.int64), 0, None
+    valid = _effective_valid(column)
+    data = column.data
+    if column.type is SQLType.DOUBLE:
+        # neutralize masked slots so unique() never sees NaN
+        data = np.where(valid, data, 0.0)
+    elif column.type is SQLType.BOOLEAN:
+        data = data.astype(np.int8)
+    _, inverse = np.unique(data, return_inverse=True)
+    codes = np.where(valid, inverse.astype(np.int64), -1)
+    cardinality = int(inverse.max()) + 1 if count else 0
+    return codes, cardinality, column
+
+
+def _group_ids(batch, groupby):
+    """First-seen-order group assignment over the groupby columns.
+
+    Returns (gid, n_groups, first_rows): a group index per row, the group
+    count, and the row index of each group's first member (in output
+    order).  With no groupby there is a single global group — present
+    even for an empty batch, matching the row path's one-row output.
+    """
+    count = batch.num_rows
+    if not groupby:
+        return (np.zeros(count, dtype=np.int64), 1,
+                np.zeros(0, dtype=np.int64))
+    combined = np.zeros(count, dtype=np.int64)
+    for field in groupby:
+        codes, cardinality, _ = _value_codes(batch, field)
+        combined = combined * (cardinality + 1) + (codes + 1)
+    uniq, first_idx, inverse = np.unique(
+        combined, return_index=True, return_inverse=True)
+    order = np.argsort(first_idx, kind="stable")
+    rank = np.empty(len(uniq), dtype=np.int64)
+    rank[order] = np.arange(len(uniq))
+    return rank[inverse], len(uniq), first_idx[order]
+
+
+def _key_column(batch, field, first_rows):
+    """The output column for one groupby field: each group's key value,
+    taken from its first row (NaN folded to NULL like ``group_key``)."""
+    column = batch.columns.get(field)
+    if column is None:
+        return Column.nulls(SQLType.DOUBLE, len(first_rows))
+    return Column(
+        column.type, column.data, _effective_valid(column)).take(first_rows)
+
+
+def _grouped_minmax(data, gid, n_groups, valid, reducer):
+    """Per-group min/max over the valid slots; groups with no valid value
+    come back NULL."""
+    selected = np.flatnonzero(valid)
+    out_valid = np.zeros(n_groups, dtype=np.bool_)
+    out_data = np.zeros(n_groups, dtype=data.dtype)
+    if selected.size == 0:
+        return out_data, out_valid
+    group_of = gid[selected]
+    order = np.argsort(group_of, kind="stable")
+    sorted_groups = group_of[order]
+    sorted_values = data[selected][order]
+    starts = np.flatnonzero(
+        np.r_[True, sorted_groups[1:] != sorted_groups[:-1]])
+    results = reducer.reduceat(sorted_values, starts)
+    present = sorted_groups[starts]
+    out_data[present] = results
+    out_valid[present] = True
+    return out_data, out_valid
+
+
+def _grouped_distinct(data, gid, n_groups, valid):
+    """Per-group count of distinct valid values."""
+    selected = np.flatnonzero(valid)
+    if selected.size == 0:
+        return np.zeros(n_groups, dtype=np.float64)
+    _, codes = np.unique(data[selected], return_inverse=True)
+    cardinality = int(codes.max()) + 1
+    pairs = gid[selected].astype(np.int64) * cardinality + codes
+    distinct_pairs = np.unique(pairs)
+    return np.bincount(
+        distinct_pairs // cardinality, minlength=n_groups
+    ).astype(np.float64)
+
+
+def _measure_column(batch, op, field, gid, n_groups, sizes):
+    """One aggregate measure as an output column, replicating the
+    semantics of the row-path ``op_*`` functions exactly."""
+    if field is None:
+        # the row path aggregates over the row dicts themselves; only
+        # count is meaningful there
+        if op != "count":
+            raise Unvectorizable("field-less op {!r}".format(op))
+        return Column(SQLType.DOUBLE, sizes)
+    if op == "count":
+        return Column(SQLType.DOUBLE, sizes)
+    column = batch.columns.get(field)
+    if column is None:
+        valid = np.zeros(batch.num_rows, dtype=np.bool_)
+        data = np.zeros(batch.num_rows, dtype=np.float64)
+        sql_type = SQLType.DOUBLE
+    else:
+        valid = _effective_valid(column)
+        data = column.data
+        sql_type = column.type
+    valid_counts = np.bincount(
+        gid[valid], minlength=n_groups).astype(np.float64)
+    if op == "valid":
+        return Column(SQLType.DOUBLE, valid_counts)
+    if op == "missing":
+        return Column(SQLType.DOUBLE, sizes - valid_counts)
+    if op == "distinct":
+        return Column(
+            SQLType.DOUBLE, _grouped_distinct(data, gid, n_groups, valid))
+    # numeric slots: _numbers() keeps numbers and booleans, drops strings
+    if sql_type is SQLType.VARCHAR:
+        numeric_valid = np.zeros(len(valid), dtype=np.bool_)
+        numeric_data = np.zeros(len(valid), dtype=np.float64)
+    else:
+        numeric_valid = valid
+        numeric_data = data.astype(np.float64) \
+            if sql_type is SQLType.BOOLEAN else data
+    if op == "sum":
+        sums = np.bincount(
+            gid[numeric_valid], weights=numeric_data[numeric_valid],
+            minlength=n_groups)
+        return Column(SQLType.DOUBLE, sums)
+    if op in ("mean", "average"):
+        counts = np.bincount(gid[numeric_valid], minlength=n_groups)
+        sums = np.bincount(
+            gid[numeric_valid], weights=numeric_data[numeric_valid],
+            minlength=n_groups)
+        present = counts > 0
+        means = np.where(present, sums / np.maximum(counts, 1), 0.0)
+        return Column(SQLType.DOUBLE, means, present)
+    if op in ("min", "max"):
+        if sql_type is SQLType.VARCHAR:
+            # np.minimum on object arrays is not dependable
+            raise Unvectorizable("string min/max")
+        reducer = np.minimum if op == "min" else np.maximum
+        if sql_type is SQLType.BOOLEAN:
+            out_data, out_valid = _grouped_minmax(
+                data.astype(np.int8), gid, n_groups, valid, reducer)
+            return Column(
+                SQLType.BOOLEAN, out_data.astype(np.bool_), out_valid)
+        out_data, out_valid = _grouped_minmax(
+            data, gid, n_groups, valid, reducer)
+        return Column(SQLType.DOUBLE, out_data, out_valid)
+    # variance/stdev/median/quantiles: fall back to the row path
+    raise Unvectorizable("aggregate op {!r}".format(op))
+
+
 @register_transform("aggregate")
 class AggregateTransform(Transform):
     """Group rows and compute summary measures (Vega `aggregate`).
@@ -63,6 +233,19 @@ class AggregateTransform(Transform):
         if not groupby and not out:
             # Global aggregate over empty input still yields one row.
             out.append(_apply_measures([], triples))
+        return out
+
+    def transform_batch(self, batch, params, signals):
+        groupby = params.get("groupby") or []
+        triples = _measures(params)
+        gid, n_groups, first_rows = _group_ids(batch, groupby)
+        sizes = np.bincount(gid, minlength=n_groups).astype(np.float64)
+        out = ColumnBatch()
+        for field in groupby:
+            out.set_column(field, _key_column(batch, field, first_rows))
+        for op, field, name in triples:
+            out.set_column(
+                name, _measure_column(batch, op, field, gid, n_groups, sizes))
         return out
 
 

@@ -6,8 +6,10 @@ transforms via :func:`create_transform`; the SQL generator looks up
 translation capability per type in :mod:`repro.sqlgen.translate`.
 """
 
+from repro.data import ColumnBatch
 from repro.dataflow.operator import Operator
 from repro.dataflow.pulse import Pulse
+from repro.dataflow.vectorized import Unvectorizable
 
 
 class TransformError(Exception):
@@ -49,13 +51,31 @@ class Transform(Operator):
 
     kind = "transform"
     spec_type = "?"
+    #: when True and the incoming pulse carries a ColumnBatch, try the
+    #: vectorized ``transform_batch`` first; an Unvectorizable raise
+    #: falls back to the row path (set False — per instance or per
+    #: class — to force row-at-a-time execution, e.g. for differential
+    #: testing of the two paths)
+    columnar = True
 
     def run(self, pulse, params, signals):
+        if self.columnar and pulse.batch is not None:
+            try:
+                batch = self.transform_batch(pulse.batch, params, signals)
+            except Unvectorizable:
+                pass
+            else:
+                return Pulse(batch=batch, changed=True)
         rows = self.transform(pulse.rows, params, signals)
         return Pulse(rows=rows, changed=True)
 
     def transform(self, rows, params, signals):
         raise NotImplementedError
+
+    def transform_batch(self, batch, params, signals):
+        """Columnar counterpart of ``transform``; the default declines so
+        only transforms with a vectorized implementation opt in."""
+        raise Unvectorizable(type(self).__name__)
 
 
 class ValueTransform(Transform):
@@ -66,25 +86,58 @@ class ValueTransform(Transform):
     """
 
     def run(self, pulse, params, signals):
+        if self.columnar and pulse.batch is not None:
+            try:
+                value = self.compute_value_batch(pulse.batch, params, signals)
+            except Unvectorizable:
+                pass
+            else:
+                return pulse.with_value(value)
         value = self.compute_value(pulse.rows, params, signals)
-        return Pulse(rows=pulse.rows, changed=True, value=value)
+        return pulse.with_value(value)
 
     def compute_value(self, rows, params, signals):
         raise NotImplementedError
 
+    def compute_value_batch(self, batch, params, signals):
+        raise Unvectorizable(type(self).__name__)
+
 
 class DataSource(Operator):
-    """A root operator holding raw rows (the Vega ``data`` source)."""
+    """A root operator holding raw data (the Vega ``data`` source).
+
+    Accepts either a list of row dicts or a :class:`ColumnBatch`; with a
+    batch the data stays columnar until a consumer actually needs the
+    row view (``.rows`` materializes it lazily, then caches it so
+    repeated pulses share one materialization).
+    """
 
     kind = "source"
     spec_type = "source"
 
     def __init__(self, name, rows=None):
         super().__init__(name, params={}, source=None)
-        self.rows = list(rows or [])
+        self._batch = None
+        self._rows = []
+        self.set_rows(rows)
+
+    @property
+    def rows(self):
+        if self._rows is None:
+            self._rows = self._batch.to_rows()
+        return self._rows
+
+    @property
+    def batch(self):
+        return self._batch
 
     def set_rows(self, rows):
-        self.rows = list(rows)
+        if isinstance(rows, ColumnBatch):
+            self._batch = rows
+            self._rows = None
+        else:
+            self._batch = None
+            self._rows = list(rows or [])
 
     def run(self, pulse, params, signals):
-        return Pulse(rows=self.rows, changed=True)
+        return Pulse(rows=self._rows, changed=True, batch=self._batch)

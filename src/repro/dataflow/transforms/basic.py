@@ -4,11 +4,13 @@ import math
 import random
 import re
 
+from repro.data import Column, ColumnBatch, SQLType
 from repro.dataflow.transforms.base import (
     Transform,
     TransformError,
     register_transform,
 )
+from repro.dataflow.vectorized import Unvectorizable, VectorEvaluator
 from repro.expr.evaluator import Evaluator
 from repro.expr.functions import _boolean
 from repro.expr.parser import parse
@@ -29,6 +31,12 @@ class FilterTransform(Transform):
         evaluator = Evaluator(signals=signals)
         return [row for row in rows if _boolean(evaluator.evaluate(node, row))]
 
+    def transform_batch(self, batch, params, signals):
+        node = _compile(params.get("expr"))
+        evaluator = VectorEvaluator(batch, signals=signals)
+        keep = evaluator.truthy_mask(evaluator.evaluate(node))
+        return batch.mask(keep)
+
 
 @register_transform("formula")
 class FormulaTransform(Transform):
@@ -47,6 +55,17 @@ class FormulaTransform(Transform):
             out.append(derived)
         return out
 
+    def transform_batch(self, batch, params, signals):
+        node = _compile(params.get("expr"))
+        out_field = params.get("as")
+        if not out_field:
+            raise TransformError("formula requires an 'as' field name")
+        evaluator = VectorEvaluator(batch, signals=signals)
+        column = evaluator.as_column(evaluator.evaluate(node))
+        out = ColumnBatch(batch.columns)
+        out.set_column(out_field, column)
+        return out
+
 
 @register_transform("project")
 class ProjectTransform(Transform):
@@ -63,6 +82,26 @@ class ProjectTransform(Transform):
             {name: row.get(field) for field, name in zip(fields, names)}
             for row in rows
         ]
+
+    def transform_batch(self, batch, params, signals):
+        fields = params.get("fields")
+        if not fields:
+            raise TransformError("project requires 'fields'")
+        names = params.get("as") or fields
+        if len(names) != len(fields):
+            raise TransformError("project 'as' must match 'fields' length")
+        if len(set(names)) != len(names):
+            # duplicate output names collapse in a dict; the row path's
+            # last-write-wins is not expressible as distinct columns
+            raise Unvectorizable("duplicate project output names")
+        out = ColumnBatch()
+        for field, name in zip(fields, names):
+            column = batch.columns.get(field)
+            if column is None:
+                # row.get() of a missing field is None everywhere
+                column = Column.nulls(SQLType.DOUBLE, batch.num_rows)
+            out.add_column(name, column)
+        return out
 
 
 def _sort_key_fn(fields, orders):

@@ -2,12 +2,16 @@
 
 import math
 
+import numpy as np
+
+from repro.data import Column, ColumnBatch, SQLType
 from repro.dataflow.transforms.base import (
     Transform,
     TransformError,
     ValueTransform,
     register_transform,
 )
+from repro.dataflow.vectorized import Unvectorizable
 
 
 def bin_params(extent, maxbins=20, step=None, nice=True, minstep=0.0):
@@ -79,6 +83,22 @@ class ExtentTransform(ValueTransform):
             return [None, None]
         return [lo, hi]
 
+    def compute_value_batch(self, batch, params, signals):
+        field = params.get("field")
+        if not field:
+            raise TransformError("extent requires 'field'")
+        column = batch.columns.get(field)
+        if column is None or column.type is SQLType.VARCHAR:
+            return [None, None]
+        values = column.data[column.valid]
+        if column.type is SQLType.BOOLEAN:
+            values = values.astype(np.float64)
+        else:
+            values = values[~np.isnan(values)]
+        if values.size == 0:
+            return [None, None]
+        return [float(values.min()), float(values.max())]
+
 
 @register_transform("bin")
 class BinTransform(Transform):
@@ -128,4 +148,53 @@ class BinTransform(Transform):
                 derived[bin0_name] = bin0
                 derived[bin1_name] = bin0 + step
             out.append(derived)
+        return out
+
+    def transform_batch(self, batch, params, signals):
+        field = params.get("field")
+        if not field:
+            raise TransformError("bin requires 'field'")
+        extent = params.get("extent")
+        if extent is None:
+            raise TransformError("bin requires an 'extent' parameter")
+        as_fields = params.get("as", ["bin0", "bin1"])
+        bin0_name, bin1_name = as_fields
+        count = batch.num_rows
+        out = ColumnBatch(batch.columns)
+        if not out.columns:
+            out._num_rows = count
+        if extent[0] is None:
+            out.set_column(bin0_name, Column.nulls(SQLType.DOUBLE, count))
+            out.set_column(bin1_name, Column.nulls(SQLType.DOUBLE, count))
+            return out
+        start, stop, step = bin_params(
+            extent,
+            maxbins=params.get("maxbins", 20),
+            step=params.get("step"),
+            nice=params.get("nice", True),
+            minstep=params.get("minstep", 0.0),
+        )
+        column = batch.columns.get(field)
+        if column is None or column.type is SQLType.VARCHAR:
+            # every value is missing or a string: all bins are null
+            view = np.full(count, np.nan)
+        elif column.type is SQLType.BOOLEAN:
+            view = np.where(column.valid,
+                            column.data.astype(np.float64), np.nan)
+        else:
+            view = np.where(column.valid, column.data, np.nan)
+        if np.isinf(view).any():
+            # math.floor(inf) raises in the row path
+            raise Unvectorizable("infinite bin input")
+        with np.errstate(invalid="ignore"):
+            # identical IEEE double arithmetic to bin_index()
+            bin0 = start + np.floor((view - start) / step) * step
+            # Clamp the top edge: values == stop land in the last bin.
+            bin0 = np.where(bin0 >= stop, stop - step, bin0)
+        missing = np.isnan(bin0)
+        valid = ~missing
+        out.set_column(bin0_name, Column(
+            SQLType.DOUBLE, np.where(missing, 0.0, bin0), valid))
+        out.set_column(bin1_name, Column(
+            SQLType.DOUBLE, np.where(missing, 0.0, bin0 + step), valid))
         return out

@@ -1,12 +1,17 @@
 """Synthetic dataset generators (paper-data stand-ins)."""
 
 from repro.datagen.census import generate_census, generate_events
-from repro.datagen.common import columns_to_table, table_to_rows
+from repro.datagen.common import (
+    columns_to_batch,
+    columns_to_table,
+    table_to_rows,
+)
 from repro.datagen.flights import CARRIERS, ORIGINS, generate_flights
 
 __all__ = [
     "CARRIERS",
     "ORIGINS",
+    "columns_to_batch",
     "columns_to_table",
     "generate_census",
     "generate_events",

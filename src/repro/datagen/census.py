@@ -10,7 +10,7 @@ so the stacked-area picture has realistic structure.
 
 import numpy as np
 
-from repro.datagen.common import columns_to_table
+from repro.datagen.common import columns_to_batch
 
 OCCUPATIONS = [
     # (name, peak year, spread, scale)
@@ -73,7 +73,7 @@ def generate_census(start_year=1850, end_year=2000, step=10, seed=11,
                     rows_sex.append(sex)
                     rows_count.append(count)
 
-    table = columns_to_table(
+    table = columns_to_batch(
         year=np.array(rows_year),
         job=rows_job,
         sex=rows_sex,
@@ -91,7 +91,7 @@ def generate_events(num_rows, num_categories=8, seed=3, as_rows=False):
     categories = ["c{}".format(index) for index in range(num_categories)]
     category = rng.choice(categories, size=n)
     value = rng.gamma(2.0, 15.0, size=n)
-    table = columns_to_table(category=category, value=value)
+    table = columns_to_batch(category=category, value=value)
     if as_rows:
         return table.to_rows()
     return table

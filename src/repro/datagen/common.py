@@ -1,28 +1,41 @@
-"""Shared helpers for the synthetic dataset generators."""
+"""Shared helpers for the synthetic dataset generators.
+
+Generators emit :class:`repro.data.ColumnBatch` directly from their
+numpy arrays — data is born columnar and stays columnar into the
+backend and the client dataflow; row dicts exist only when a caller
+explicitly asks (``as_rows=True``).
+"""
 
 import numpy as np
 
-from repro.engine.table import Column, Table
-from repro.engine.types import SQLType
+from repro.data import Column, ColumnBatch, SQLType
 
 
-def columns_to_table(**named_arrays):
-    """Build an engine Table from numpy arrays / lists of values."""
-    table = Table()
+def columns_to_batch(**named_arrays):
+    """Build a ColumnBatch from numpy arrays / lists of values.
+
+    Float arrays keep their buffers (NaN becomes NULL); integer arrays
+    widen to float64; anything else goes through value inference.
+    """
+    batch = ColumnBatch()
     for name, values in named_arrays.items():
         if isinstance(values, np.ndarray) and values.dtype.kind == "f":
             valid = ~np.isnan(values)
             data = np.where(valid, values, 0.0)
-            table.add_column(name, Column(SQLType.DOUBLE, data, valid))
+            batch.add_column(name, Column(SQLType.DOUBLE, data, valid))
         elif isinstance(values, np.ndarray) and values.dtype.kind in "iu":
-            table.add_column(
+            batch.add_column(
                 name, Column(SQLType.DOUBLE, values.astype(np.float64))
             )
         else:
-            table.add_column(name, Column.from_values(list(values)))
-    return table
+            batch.add_column(name, Column.from_values(list(values)))
+    return batch
+
+
+#: Historical name (the batch class is also the engine Table).
+columns_to_table = columns_to_batch
 
 
 def table_to_rows(table):
-    """Row dicts for the client dataflow (Vega tuples)."""
+    """Row dicts for callers that want the list-of-dict view."""
     return table.to_rows()

@@ -11,7 +11,7 @@ shapes (bin/aggregate selectivities and row counts), not on real records.
 
 import numpy as np
 
-from repro.datagen.common import columns_to_table
+from repro.datagen.common import columns_to_batch
 
 CARRIERS = ["AA", "DL", "UA", "WN", "US", "NW", "CO", "AS", "B6", "EV"]
 
@@ -81,7 +81,7 @@ def generate_flights(num_rows, seed=7, as_rows=False):
     dep_delay = np.where(cancelled, np.nan, dep_delay)
     arr_delay = np.where(cancelled, np.nan, arr_delay)
 
-    table = columns_to_table(
+    table = columns_to_batch(
         carrier=carrier,
         origin=origin,
         dest=dest,

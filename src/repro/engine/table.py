@@ -1,295 +1,17 @@
-"""Columnar table storage: typed numpy columns with validity masks."""
+"""Compatibility shim: columnar storage now lives in :mod:`repro.data`.
 
-import numpy as np
+The engine historically owned ``Table``/``Column``; the classes moved to
+the layer-neutral ``repro.data`` package so the middleware and client
+dataflow can share them without importing the engine.  Everything the
+engine (and existing tests) imported from here keeps working.
+"""
 
-from repro.engine.errors import CatalogError, TypeMismatchError
-from repro.engine.types import SQLType, infer_type
+from repro.data.batch import (
+    Column,
+    ColumnBatch,
+    Table,
+    concat_batches,
+    concat_tables,
+)
 
-
-class Column:
-    """A typed column: a numpy ``data`` array plus a boolean ``valid`` mask.
-
-    Invariants: ``len(data) == len(valid)``; positions with
-    ``valid == False`` hold an arbitrary placeholder in ``data`` (0.0 for
-    DOUBLE, "" for VARCHAR, False for BOOLEAN) and must never be read as
-    values.
-    """
-
-    __slots__ = ("type", "data", "valid")
-
-    def __init__(self, sql_type, data, valid=None):
-        self.type = sql_type
-        self.data = np.asarray(data, dtype=sql_type.numpy_dtype())
-        if valid is None:
-            valid = np.ones(len(self.data), dtype=np.bool_)
-        self.valid = np.asarray(valid, dtype=np.bool_)
-        if len(self.valid) != len(self.data):
-            raise TypeMismatchError("data/valid length mismatch")
-
-    def __len__(self):
-        return len(self.data)
-
-    def __repr__(self):
-        return "Column({}, n={}, nulls={})".format(
-            self.type.value, len(self), int((~self.valid).sum())
-        )
-
-    @classmethod
-    def from_values(cls, values, sql_type=None):
-        """Build a column from Python values; None becomes NULL."""
-        values = list(values)
-        if sql_type is None:
-            sql_type = infer_type(values)
-        placeholder = {"DOUBLE": 0.0, "VARCHAR": "", "BOOLEAN": False}[sql_type.value]
-        valid = np.fromiter(
-            (value is not None for value in values), dtype=np.bool_, count=len(values)
-        )
-        data = [placeholder if value is None else value for value in values]
-        if sql_type is SQLType.DOUBLE:
-            # NaN inputs are treated as NULL (matches the SQL translation of
-            # JS NaN in repro.expr.sqlcompile).
-            array = np.asarray(data, dtype=np.float64)
-            nan_mask = np.isnan(array)
-            if nan_mask.any():
-                valid = valid & ~nan_mask
-                array = np.where(nan_mask, 0.0, array)
-            return cls(sql_type, array, valid)
-        if sql_type is SQLType.VARCHAR:
-            # Normalize numpy string scalars to plain Python str so row
-            # dicts round-trip cleanly through JSON/clients.
-            data = [value if type(value) is str else str(value)
-                    for value in data]
-        return cls(sql_type, data, valid)
-
-    @classmethod
-    def nulls(cls, sql_type, count):
-        """An all-NULL column of the given type and length."""
-        placeholder = {"DOUBLE": 0.0, "VARCHAR": "", "BOOLEAN": False}[sql_type.value]
-        data = np.full(count, placeholder, dtype=sql_type.numpy_dtype())
-        return cls(sql_type, data, np.zeros(count, dtype=np.bool_))
-
-    @classmethod
-    def constant(cls, value, count):
-        """A column repeating a single scalar (or NULL) ``count`` times."""
-        if value is None:
-            return cls.nulls(SQLType.DOUBLE, count)
-        from repro.engine.types import python_value_type
-
-        sql_type = python_value_type(value)
-        data = np.full(count, value, dtype=sql_type.numpy_dtype())
-        return cls(sql_type, data)
-
-    def take(self, indices):
-        """Gather rows by integer index array."""
-        return Column(self.type, self.data[indices], self.valid[indices])
-
-    def mask(self, keep):
-        """Filter rows by boolean mask."""
-        return Column(self.type, self.data[keep], self.valid[keep])
-
-    def to_list(self):
-        """Materialize as Python values with None for NULLs."""
-        out = []
-        for value, ok in zip(self.data.tolist(), self.valid.tolist()):
-            out.append(value if ok else None)
-        return out
-
-    def value_at(self, index):
-        if not self.valid[index]:
-            return None
-        value = self.data[index]
-        if self.type is SQLType.DOUBLE:
-            return float(value)
-        if self.type is SQLType.BOOLEAN:
-            return bool(value)
-        return value
-
-    def null_count(self):
-        return int((~self.valid).sum())
-
-    def nbytes(self):
-        """Approximate in-memory/wire size of this column in bytes.
-
-        Used by the network simulator and the planner's transfer-size
-        estimator.  VARCHAR columns are costed by actual string lengths.
-        """
-        if self.type is SQLType.VARCHAR:
-            total = 0
-            for value, ok in zip(self.data, self.valid):
-                if ok:
-                    total += len(value)
-            return total + len(self)  # +1 byte/row framing
-        if self.type is SQLType.BOOLEAN:
-            return len(self)
-        return 8 * len(self)
-
-
-class Table:
-    """An ordered mapping of column name -> :class:`Column`, equal lengths."""
-
-    def __init__(self, columns=None):
-        self.columns = {}
-        self._num_rows = 0
-        if columns:
-            for name, column in columns.items():
-                self.add_column(name, column)
-
-    # -- construction ------------------------------------------------------
-
-    @classmethod
-    def from_rows(cls, rows, column_order=None):
-        """Build from a list of dicts.  Missing keys become NULL."""
-        rows = list(rows)
-        if column_order is None:
-            column_order = []
-            seen = set()
-            for row in rows:
-                for key in row:
-                    if key not in seen:
-                        seen.add(key)
-                        column_order.append(key)
-        table = cls()
-        for name in column_order:
-            values = [row.get(name) for row in rows]
-            table.add_column(name, Column.from_values(values))
-        if not column_order:
-            table._num_rows = len(rows)
-        return table
-
-    @classmethod
-    def from_columns(cls, **named_values):
-        """Build from keyword lists: ``Table.from_columns(a=[1,2], b=['x','y'])``."""
-        table = cls()
-        for name, values in named_values.items():
-            table.add_column(name, Column.from_values(values))
-        return table
-
-    def add_column(self, name, column):
-        if name in self.columns:
-            raise CatalogError("duplicate column {!r}".format(name))
-        if self.columns and len(column) != self._num_rows:
-            raise TypeMismatchError(
-                "column {!r} has {} rows, table has {}".format(
-                    name, len(column), self._num_rows
-                )
-            )
-        self.columns[name] = column
-        self._num_rows = len(column)
-
-    # -- introspection -----------------------------------------------------
-
-    @property
-    def num_rows(self):
-        return self._num_rows
-
-    @property
-    def num_columns(self):
-        return len(self.columns)
-
-    @property
-    def column_names(self):
-        return list(self.columns)
-
-    def column(self, name):
-        if name not in self.columns:
-            raise CatalogError("unknown column {!r}".format(name))
-        return self.columns[name]
-
-    def schema(self):
-        """Ordered (name, SQLType) pairs."""
-        return [(name, column.type) for name, column in self.columns.items()]
-
-    def nbytes(self):
-        return sum(column.nbytes() for column in self.columns.values())
-
-    def __repr__(self):
-        cols = ", ".join(
-            "{}:{}".format(name, column.type.value)
-            for name, column in self.columns.items()
-        )
-        return "Table({} rows; {})".format(self.num_rows, cols)
-
-    # -- row-wise views (for the client runtime and tests) ------------------
-
-    def to_rows(self):
-        """Materialize as a list of dicts (None for NULL)."""
-        lists = {name: column.to_list() for name, column in self.columns.items()}
-        return [
-            {name: lists[name][index] for name in self.columns}
-            for index in range(self.num_rows)
-        ]
-
-    def row(self, index):
-        return {
-            name: column.value_at(index) for name, column in self.columns.items()
-        }
-
-    # -- transformations ----------------------------------------------------
-
-    def take(self, indices):
-        out = Table()
-        for name, column in self.columns.items():
-            out.add_column(name, column.take(indices))
-        if not self.columns:
-            out._num_rows = len(indices)
-        return out
-
-    def mask(self, keep):
-        out = Table()
-        for name, column in self.columns.items():
-            out.add_column(name, column.mask(keep))
-        if not self.columns:
-            out._num_rows = int(np.count_nonzero(keep))
-        return out
-
-    def select(self, names):
-        out = Table()
-        for name in names:
-            out.add_column(name, self.column(name))
-        out._num_rows = self._num_rows
-        return out
-
-    def rename(self, mapping):
-        out = Table()
-        for name, column in self.columns.items():
-            out.add_column(mapping.get(name, name), column)
-        out._num_rows = self._num_rows
-        return out
-
-    def head(self, count):
-        indices = np.arange(min(count, self.num_rows))
-        return self.take(indices)
-
-
-def concat_tables(tables):
-    """Vertically concatenate tables with identical schemas."""
-    tables = [table for table in tables if table is not None]
-    if not tables:
-        return Table()
-    first = tables[0]
-    out = Table()
-    for name in first.column_names:
-        parts = [table.column(name) for table in tables]
-        # All-NULL columns carry a placeholder type (DOUBLE); coerce them to
-        # the concrete type found in sibling tables.
-        concrete = {
-            part.type for part in parts if part.null_count() != len(part)
-        }
-        if len(concrete) > 1:
-            raise TypeMismatchError(
-                "type mismatch for {!r} in concat".format(name)
-            )
-        target = concrete.pop() if concrete else parts[0].type
-        parts = [
-            part if part.type is target else Column.nulls(target, len(part))
-            for part in parts
-        ]
-        out.add_column(
-            name,
-            Column(
-                target,
-                np.concatenate([part.data for part in parts]),
-                np.concatenate([part.valid for part in parts]),
-            ),
-        )
-    return out
+__all__ = ["Column", "ColumnBatch", "Table", "concat_batches", "concat_tables"]

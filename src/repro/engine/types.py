@@ -1,80 +1,10 @@
-"""Type system for the embedded columnar engine.
+"""Compatibility shim: the type lattice now lives in :mod:`repro.data`.
 
-The engine has a deliberately small type lattice that matches the data
-model of the Vega translation layer:
-
-* ``DOUBLE`` — all numbers (Vega/JS has only doubles); dates are stored as
-  epoch milliseconds in DOUBLE columns.
-* ``VARCHAR`` — strings.
-* ``BOOLEAN`` — filter results and boolean columns.
-
-NULL is orthogonal to type: every column carries a validity mask.
+``SQLType``/``infer_type``/``python_value_type`` moved to
+``repro.data.types`` alongside the ColumnBatch they describe; the engine
+re-exports them so existing imports keep working.
 """
 
-import enum
+from repro.data.types import SQLType, infer_type, python_value_type
 
-import numpy as np
-
-
-class SQLType(enum.Enum):
-    """Column data types supported by the engine."""
-
-    DOUBLE = "DOUBLE"
-    VARCHAR = "VARCHAR"
-    BOOLEAN = "BOOLEAN"
-
-    def numpy_dtype(self):
-        if self is SQLType.DOUBLE:
-            return np.float64
-        if self is SQLType.BOOLEAN:
-            return np.bool_
-        return object
-
-    @classmethod
-    def from_name(cls, name):
-        """Resolve a SQL type name (with common aliases) to a SQLType."""
-        normalized = name.strip().upper()
-        aliases = {
-            "DOUBLE": cls.DOUBLE,
-            "FLOAT": cls.DOUBLE,
-            "REAL": cls.DOUBLE,
-            "INT": cls.DOUBLE,
-            "INTEGER": cls.DOUBLE,
-            "BIGINT": cls.DOUBLE,
-            "NUMERIC": cls.DOUBLE,
-            "DECIMAL": cls.DOUBLE,
-            "VARCHAR": cls.VARCHAR,
-            "TEXT": cls.VARCHAR,
-            "STRING": cls.VARCHAR,
-            "CHAR": cls.VARCHAR,
-            "BOOLEAN": cls.BOOLEAN,
-            "BOOL": cls.BOOLEAN,
-        }
-        if normalized not in aliases:
-            raise ValueError("unknown SQL type {!r}".format(name))
-        return aliases[normalized]
-
-
-def infer_type(values):
-    """Infer the SQLType of a sequence of Python values (Nones ignored)."""
-    for value in values:
-        if value is None:
-            continue
-        if isinstance(value, bool):
-            return SQLType.BOOLEAN
-        if isinstance(value, (int, float)):
-            return SQLType.DOUBLE
-        if isinstance(value, str):
-            return SQLType.VARCHAR
-    return SQLType.DOUBLE  # all-NULL columns default to DOUBLE
-
-
-def python_value_type(value):
-    """SQLType of a single non-null Python scalar."""
-    if isinstance(value, bool):
-        return SQLType.BOOLEAN
-    if isinstance(value, (int, float)):
-        return SQLType.DOUBLE
-    if isinstance(value, str):
-        return SQLType.VARCHAR
-    raise TypeError("unsupported scalar {!r}".format(value))
+__all__ = ["SQLType", "infer_type", "python_value_type"]

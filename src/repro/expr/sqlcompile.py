@@ -58,8 +58,28 @@ def _month_sql(args):
     return "(MONTH({0}) - 1)".format(args[0])
 
 
-def _clamp_sql(args):
-    return "LEAST(GREATEST({0}, {1}), {2})".format(*args)
+def _clamp_sql(args, raw_args):
+    # The client clamp (functions._clamp) coerces through _number, so a
+    # NULL/NaN value folds to the *hi* bound (Python's min keeps the
+    # non-NaN side), and swapped bounds are reordered.  A bare
+    # LEAST(GREATEST(...)) returns NULL instead — with literal numeric
+    # bounds the SQL mirrors the client exactly; computed bounds are
+    # pinned to the client.
+    lo_node, hi_node = raw_args[1], raw_args[2]
+    bounds = []
+    for node in (lo_node, hi_node):
+        if not isinstance(node, ast.Literal) \
+                or isinstance(node.value, bool) \
+                or not isinstance(node.value, (int, float)) \
+                or not math.isfinite(node.value):
+            raise UntranslatableExpression(
+                "clamp() bounds must be finite numeric literals")
+        bounds.append(float(node.value))
+    lo, hi = sorted(bounds)
+    return (
+        "CASE WHEN ({0}) IS NULL THEN {2} "
+        "ELSE LEAST(GREATEST({0}, {1}), {2}) END"
+    ).format(args[0], sql_literal(lo), sql_literal(hi))
 
 
 def _if_sql(args):
@@ -80,7 +100,6 @@ def _indexof_sql(args):
 
 _SQL_FUNCTION_BUILDERS = {
     "month": _month_sql,
-    "clamp": _clamp_sql,
     "if": _if_sql,
     "indexof": _indexof_sql,
 }
@@ -271,6 +290,11 @@ class SQLCompiler:
         args = [self._emit(arg) for arg in node.args]
         if node.func == "test":
             return _test_sql(args, node.args)
+        if node.func == "clamp":
+            if len(args) != 3:
+                raise UntranslatableExpression(
+                    "clamp() expects 3 argument(s), got {}".format(len(args)))
+            return _clamp_sql(args, node.args)
         builder = _SQL_FUNCTION_BUILDERS.get(node.func)
         if builder is not None:
             return builder(args)

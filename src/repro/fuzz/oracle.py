@@ -38,16 +38,20 @@ from repro.fuzz.normalize import (
     rows_equivalent,
 )
 
-#: session configurations: (label, backend name, rewrite_sql, threads).
+#: session configurations:
+#: (label, backend name, rewrite_sql, threads, columnar).
 #: The executor axis (threads ∈ {1, 4}) runs every cut both serially and
 #: on the morsel-driven parallel executor; a tiny morsel size makes the
 #: fuzzer's small tables split into many morsels so merge paths are
-#: genuinely exercised.
+#: genuinely exercised.  The columnar axis (``embedded-rowwise``) forces
+#: every client transform onto the row-at-a-time path, differencing the
+#: vectorized batch kernels against the dict-row reference on every cut.
 RUN_CONFIGS = [
-    ("embedded", "embedded", True, 1),
-    ("embedded-mt4", "embedded", True, 4),
-    ("embedded-norewrite", "embedded", False, 1),
-    ("sqlite", "sqlite", True, 1),
+    ("embedded", "embedded", True, 1, True),
+    ("embedded-rowwise", "embedded", True, 1, False),
+    ("embedded-mt4", "embedded", True, 4, True),
+    ("embedded-norewrite", "embedded", False, 1, True),
+    ("sqlite", "sqlite", True, 1, True),
 ]
 
 #: rows per morsel for the parallel fuzz configurations (fuzz tables are
@@ -117,7 +121,7 @@ class CaseReport:
         return "\n".join(lines)
 
 
-def _build_session(case, backend, rewrite_sql, threads=1):
+def _build_session(case, backend, rewrite_sql, threads=1, columnar=True):
     if backend == "embedded" and threads > 1:
         # Backend instance so the morsel size can be pinned small enough
         # for the fuzzer's tiny tables to split.
@@ -133,6 +137,7 @@ def _build_session(case, backend, rewrite_sql, threads=1):
         latency_ms=0.0,
         bandwidth_mbps=100000.0,
         rewrite_sql=rewrite_sql,
+        columnar=columnar,
     )
 
 
@@ -297,10 +302,12 @@ def check_case(case, check_optimizer=True):
     report = CaseReport(case=case)
 
     sessions = []
-    for label, backend, rewrite_sql, threads in RUN_CONFIGS:
+    for label, backend, rewrite_sql, threads, columnar in RUN_CONFIGS:
         try:
             sessions.append(
-                (label, _build_session(case, backend, rewrite_sql, threads)))
+                (label,
+                 _build_session(case, backend, rewrite_sql, threads,
+                                columnar)))
         except Exception as exc:  # noqa: BLE001
             report.runs.append(_RunOutcome(
                 label + "/construct", "error",

@@ -8,8 +8,7 @@ a result is closer to its JSON encoding than to its columnar footprint.
 
 import json
 
-from repro.engine.table import Table
-from repro.engine.types import SQLType
+from repro.data import SQLType
 
 # Per-value overhead in a JSON row: quotes around the key, the key text,
 # colon, comma.  Estimated per column below; per-row braces add 2.
@@ -39,8 +38,18 @@ def wire_bytes(table):
 
 
 def exact_wire_bytes(table):
-    """Exact JSON wire size (encodes the table; use sparingly)."""
-    return len(json.dumps(table.to_rows()).encode("utf-8"))
+    """Exact JSON wire size (encodes the table; use sparingly).
+
+    Encodes incrementally, one row at a time straight off the batch's
+    columns — never materializing the full row list (the JSON text of
+    ``[r1, r2, ...]`` is the rows joined by ", " inside brackets).
+    """
+    total = 2  # the surrounding "[" and "]"
+    count = 0
+    for row in table.iter_rows():
+        total += len(json.dumps(row).encode("utf-8"))
+        count += 1
+    return total + 2 * max(count - 1, 0)  # ", " separators
 
 
 def request_bytes(sql):

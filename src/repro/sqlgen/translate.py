@@ -123,11 +123,28 @@ def _order_items(fields, orders):
     )
 
 
-def _compile_expr(expression, signals, what):
+def _compile_expr(expression, signals, what, columns=None):
     if not isinstance(expression, str):
         raise Untranslatable(
             "{}: expected an expression string, got {!r}".format(
                 what, type(expression).__name__))
+    if columns is not None:
+        # The client evaluator reads missing fields as NULL (row.get);
+        # SQL backends disagree — the embedded engine errors on an
+        # unknown column and sqlite falls back to treating "name" as a
+        # string literal.  Refusing the translation pins the step to the
+        # client, where the permissive semantics are the same on every
+        # cut (found by the differential fuzzer, seeds 700105/700152).
+        from repro.expr.fields import datum_fields
+
+        try:
+            missing = datum_fields(expression) - set(columns)
+        except Exception:  # noqa: BLE001 - let the compiler report it
+            missing = ()
+        if missing:
+            raise Untranslatable(
+                "{}: field(s) {} not in input".format(
+                    what, ", ".join(repr(f) for f in sorted(missing))))
     try:
         compiler = SQLCompiler(signals=signals)
         return _parse_sql_expr(compiler.compile(expression))
@@ -153,7 +170,9 @@ def _parse_sql_expr(sql_text):
 
 
 def translate_filter(params, source, columns, signals):
-    predicate = _compile_expr(params.get("expr"), signals, "filter expression")
+    predicate = _compile_expr(
+        params.get("expr"), signals, "filter expression", columns=columns
+    )
     select = sqlast.Select(
         items=_star_items(columns), from_=source, where=predicate
     )
@@ -161,7 +180,9 @@ def translate_filter(params, source, columns, signals):
 
 
 def translate_formula(params, source, columns, signals):
-    expr = _compile_expr(params.get("expr"), signals, "formula expression")
+    expr = _compile_expr(
+        params.get("expr"), signals, "formula expression", columns=columns
+    )
     out_field = params.get("as")
     if not out_field:
         raise Untranslatable("formula requires 'as'")

@@ -77,3 +77,31 @@ def test_seed_123403708_empty_dataset_schema():
     loader, a constant placeholder projection, and treating transforms
     over a zero-column schema as Untranslatable (pinned to the client)."""
     _assert_clean(123403708)
+
+
+def test_seed_700105_clamp_null_folds_to_hi():
+    """``clamp(datum.f2, -1, 5)`` over a NULL input: the client coerces
+    through ``_number`` (NULL -> NaN) and Python's min/max keep the
+    non-NaN side, so clamp(NULL) yields the *hi* bound — while the SQL
+    translation ``LEAST(GREATEST(x, lo), hi)`` yields NULL.  Downstream
+    extent+bin then computed different bucket widths per cut.  Fixed by
+    a CASE translation that folds NULL to the hi bound (literal bounds
+    only; computed bounds are pinned to the client).
+
+    The shrunk repro also exposed a second bug this commit fixes: a
+    formula/filter expression over a column absent from the input schema
+    diverged three ways (client reads missing fields as NULL, the
+    embedded engine errors on the unknown column, sqlite's
+    double-quoted-string fallback reads ``"m1"`` as the literal
+    ``'m1'``).  ``_compile_expr`` now refuses such expressions, pinning
+    the step to the client."""
+    _assert_clean(700105)
+
+
+def test_seed_700152_clamp_null_after_variance():
+    """Same clamp-over-NULL class as seed 700105, reached through
+    ``clamp(datum.variance_f2, -1, 5)`` where the variance aggregate
+    yields NULL for single-row groups: server cuts produced NULL, client
+    cuts produced 5.0.  Pinned by the NULL-folding CASE clamp
+    translation."""
+    _assert_clean(700152)
