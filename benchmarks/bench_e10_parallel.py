@@ -1,19 +1,22 @@
 """E10 — morsel-driven parallel execution in the embedded engine.
 
-Two server-heavy query shapes on a 1M-row table (scaled by
+Two server-heavy query shapes on a 10M-row table (scaled by
 ``REPRO_BENCH_SCALE``), each run serially and with 2 and 4 workers:
 
-* ``aggregate`` — scan -> filter -> grouped COUNT/SUM (the partial-
-  aggregate merge path);
+* ``aggregate`` — scan -> filter -> grouped COUNT/SUM (the fused
+  filter+partial-aggregate morsel pipeline with columnar merge);
 * ``topn`` — ORDER BY + LIMIT (the per-morsel top-N candidate merge).
 
-Writes the repo's first machine-readable perf record,
-``BENCH_parallel.json`` (git SHA, timestamp, per-configuration timings),
-via the shared writer in conftest.  Numpy kernels release the GIL, so
-multi-worker runs should not be slower than serial by more than pool
-overhead; CI's perf-smoke job fails when parallel-4 exceeds serial by
-``REPRO_BENCH_MAX_SLOWDOWN`` (default 1.25x) — a lock-contention
-tripwire, not a flaky speedup assertion.
+Writes the machine-readable perf record ``BENCH_parallel.json`` (git
+SHA, timestamp, per-configuration timings and rows/s) via the shared
+writer in conftest.  The vectorized morsel kernels do strictly less
+work than the serial operators (local ``bincount`` aggregation instead
+of a full-table argsort; candidate pools instead of a full gather), so
+parallel execution must be *faster* than serial, not merely not-slower:
+CI's perf-smoke job fails when the 4-worker aggregate speedup falls
+below ``REPRO_BENCH_MIN_PARALLEL_SPEEDUP`` (default 1.5x).  The fitted
+``parallel_efficiency`` in the record feeds
+``repro.planner.calibrate.refit_from_report``.
 """
 
 import os
@@ -26,9 +29,12 @@ from conftest import print_header, print_rows, scaled, write_bench_record
 
 from repro.engine import Database, Table
 
-ROWS = 1_000_000
+ROWS = 10_000_000
 WORKER_COUNTS = (1, 2, 4)
 REPEATS = 3
+
+#: the query whose 4-worker speedup the tripwire enforces
+TRIPWIRE_QUERY = "aggregate"
 
 QUERIES = {
     "aggregate": (
@@ -74,28 +80,51 @@ def test_e10_parallel_execution(benchmark):
     reference = {}
     for name, sql in QUERIES.items():
         timings = {}
+        throughput = {}
         rows_out = None
         for workers in WORKER_COUNTS:
             seconds = best_seconds(databases[workers], sql)
-            timings["serial" if workers == 1 else
-                    "workers{}".format(workers)] = seconds
+            label = "serial" if workers == 1 else "workers{}".format(workers)
+            timings[label] = seconds
+            throughput[label] = {
+                "rows_per_second": num_rows / max(seconds, 1e-9),
+                "rows_per_second_per_worker": (
+                    num_rows / max(seconds, 1e-9) / workers
+                ),
+            }
             out = databases[workers].execute(sql)
             if rows_out is None:
                 rows_out = out.num_rows
                 reference[name] = out.to_rows()
             else:
                 assert out.num_rows == rows_out
-        results["queries"][name] = {
-            "sql": sql, "rows_out": rows_out, "seconds": timings,
-        }
         serial = timings["serial"]
+        speedup4 = serial / max(timings["workers4"], 1e-9)
+        results["queries"][name] = {
+            "sql": sql,
+            "rows_out": rows_out,
+            "seconds": timings,
+            "throughput": throughput,
+            "speedup_vs_serial": {
+                "workers2": serial / max(timings["workers2"], 1e-9),
+                "workers4": speedup4,
+            },
+        }
         display.append([
             name, num_rows, rows_out,
             "{:.4f}".format(serial),
             "{:.4f}".format(timings["workers2"]),
             "{:.4f}".format(timings["workers4"]),
-            "{:.2f}x".format(serial / max(timings["workers4"], 1e-9)),
+            "{:.2f}x".format(speedup4),
         ])
+
+    # Fitted marginal worker utility at 4 workers on the tripwire query,
+    # inverting speedup = 1 + (workers - 1) * efficiency.  Feeds the
+    # cost model via calibrate.refit_from_report(parallel_speedup=...).
+    tripwire_speedup = (
+        results["queries"][TRIPWIRE_QUERY]["speedup_vs_serial"]["workers4"]
+    )
+    results["parallel_efficiency"] = (tripwire_speedup - 1.0) / 3.0
 
     print_header("E10: morsel-driven parallel execution (best of {})".format(
         REPEATS))
@@ -121,16 +150,26 @@ def test_e10_parallel_execution(benchmark):
                 else:
                     assert parallel_value == serial_value
 
-    # The contention tripwire: parallel-4 must not be slower than serial
-    # by more than the configured factor.
-    max_slowdown = float(os.environ.get("REPRO_BENCH_MAX_SLOWDOWN", "1.25"))
+    # The speedup tripwire: the 4-worker aggregate must actually beat
+    # serial by the configured floor.  The vectorized morsel pipeline is
+    # algorithmically cheaper than the serial operators, so this holds
+    # even on a single-core runner.
+    min_speedup = float(
+        os.environ.get("REPRO_BENCH_MIN_PARALLEL_SPEEDUP", "1.5")
+    )
+    assert tripwire_speedup >= min_speedup, (
+        "{}: 4-worker speedup {:.2f}x is below the {:.2f}x floor "
+        "(serial {:.4f}s, workers4 {:.4f}s)".format(
+            TRIPWIRE_QUERY, tripwire_speedup, min_speedup,
+            results["queries"][TRIPWIRE_QUERY]["seconds"]["serial"],
+            results["queries"][TRIPWIRE_QUERY]["seconds"]["workers4"],
+        )
+    )
+
+    # The other shapes must at least not regress behind serial.
     for name, entry in results["queries"].items():
-        serial = entry["seconds"]["serial"]
-        parallel = entry["seconds"]["workers4"]
-        assert parallel <= serial * max_slowdown, (
-            "{}: parallel-4 {:.4f}s exceeds serial {:.4f}s x {}".format(
-                name, parallel, serial, max_slowdown
-            )
+        assert entry["speedup_vs_serial"]["workers4"] >= 1.0, (
+            "{}: parallel-4 slower than serial".format(name)
         )
 
     # The benchmark statistic: the 4-worker aggregate.

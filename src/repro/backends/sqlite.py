@@ -108,6 +108,52 @@ class _Quantile:
         return float(np.quantile(self.values, self.fraction))
 
 
+def _quoted_identifiers(sql):
+    """Every double-quoted identifier outside single-quoted string
+    literals, as ``(name, is_alias_definition)`` pairs — the latter true
+    when the identifier directly follows an ``AS`` keyword (a column or
+    derived-table alias being *defined* rather than referenced)."""
+    found = []
+    index, length = 0, len(sql)
+    while index < length:
+        char = sql[index]
+        if char == "'":
+            index += 1
+            while index < length:
+                if sql[index] == "'":
+                    if index + 1 < length and sql[index + 1] == "'":
+                        index += 2
+                        continue
+                    index += 1
+                    break
+                index += 1
+            continue
+        if char == '"':
+            start = index
+            index += 1
+            parts = []
+            while index < length:
+                if sql[index] == '"':
+                    if index + 1 < length and sql[index + 1] == '"':
+                        parts.append('"')
+                        index += 2
+                        continue
+                    index += 1
+                    break
+                parts.append(sql[index])
+                index += 1
+            before = sql[:start].rstrip()
+            is_alias = (
+                before[-2:].upper() == "AS"
+                and (len(before) == 2
+                     or not (before[-3].isalnum() or before[-3] == "_"))
+            )
+            found.append(("".join(parts), is_alias))
+            continue
+        index += 1
+    return found
+
+
 class SQLiteBackend(Backend):
     """SQLite (stdlib) behind the common Backend interface."""
 
@@ -196,7 +242,47 @@ class SQLiteBackend(Backend):
         self.conn.commit()
         self._schemas[name] = table.schema()
 
+    def _check_identifiers(self, sql):
+        """Reject references to names no loaded table defines.
+
+        SQLite quietly reads an unresolvable double-quoted identifier as
+        a *string literal* (a documented legacy misfeature the stdlib
+        module cannot switch off), so ``MIN("no_such_col")`` returns the
+        text ``'no_such_col'`` where the embedded engine raises.  The
+        generated SQL quotes every identifier and introduces every alias
+        with ``AS``, so a quoted token that is neither a loaded table or
+        column name nor an alias defined in the statement itself is an
+        unknown column — raise exactly like the embedded engine does
+        instead of letting the literal fallback fake a result.
+
+        A reference's *own* trailing alias does not vouch for it: in
+        ``SELECT "uid" AS "uid"`` the alias merely renames whatever
+        ``"uid"`` resolves to, so the definition that excuses a
+        reference must come from some other occurrence (typically the
+        projection of an inner derived table)."""
+        identifiers = _quoted_identifiers(sql)
+        definition_counts = {}
+        for name, is_alias in identifiers:
+            if is_alias:
+                definition_counts[name] = definition_counts.get(name, 0) + 1
+        known = set()
+        for table_name, schema in self._schemas.items():
+            known.add(table_name)
+            known.update(column_name for column_name, _ in schema)
+        for position, (name, is_alias) in enumerate(identifiers):
+            if is_alias or name in known:
+                continue
+            definitions = definition_counts.get(name, 0)
+            follower = (identifiers[position + 1]
+                        if position + 1 < len(identifiers) else None)
+            if follower == (name, True):
+                definitions -= 1  # its own alias does not count
+            if definitions < 1:
+                raise BackendError("unknown column '{}'".format(name))
+
     def execute(self, sql):
+        self._check_identifiers(sql)
+
         def run():
             try:
                 # A dedicated plain-tuple cursor: results go straight from

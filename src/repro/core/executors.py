@@ -322,6 +322,9 @@ def _graft_plan_nodes(tracer, nodes):
         )
         offsets[id(parent)] = offset + seconds
         spans.append(span)
+        fallback = node.get("fallback")
+        if fallback:
+            tracer.count("engine.fallback.{}".format(fallback))
         morsels = node.get("morsels") or ()
         if morsels:
             _graft_morsels(tracer, span, seconds, morsels)

@@ -1,0 +1,88 @@
+"""Layer-neutral grouped-reduction kernels.
+
+Both execution substrates — the client dataflow's columnar transforms
+(:mod:`repro.dataflow.transforms`) and the embedded engine's morsel
+executor (:mod:`repro.engine.parallel`) — reduce values per dense group
+id.  These kernels implement the shared segmented-reduction idiom
+(stable argsort by group, ``reduceat`` at segment starts) once, over
+plain numpy arrays, so the two layers cannot drift apart.
+
+All kernels take ``(data, gid, n_groups, valid)`` where ``gid`` assigns
+each row a dense group id in ``[0, n_groups)`` and ``valid`` masks the
+rows that contribute.  They release the GIL inside numpy, which is what
+makes them usable as per-morsel work units.
+"""
+
+import numpy as np
+
+__all__ = [
+    "Unvectorizable",
+    "grouped_counts",
+    "grouped_sums",
+    "grouped_minmax",
+]
+
+
+class Unvectorizable(Exception):
+    """This expression/transform cannot be evaluated columnar; the caller
+    must fall back to the row-at-a-time path (which either computes the
+    result or raises exactly the error the row semantics call for)."""
+
+
+def grouped_counts(gid, n_groups, valid=None):
+    """Per-group count of contributing rows as float64."""
+    if valid is not None:
+        gid = gid[valid]
+    return np.bincount(gid, minlength=n_groups).astype(np.float64)
+
+
+def grouped_sums(gid, n_groups, data, valid=None):
+    """Per-group sum over the valid slots as float64 (groups with no
+    valid value sum to 0.0 — pair with :func:`grouped_counts` to tell
+    empty groups apart)."""
+    if valid is not None:
+        gid = gid[valid]
+        data = data[valid]
+    if data.dtype != np.float64:
+        data = data.astype(np.float64)
+    return np.bincount(gid, weights=data, minlength=n_groups)
+
+
+def grouped_minmax(data, gid, n_groups, valid, reducer):
+    """Per-group min/max over the valid slots; groups with no valid value
+    come back with ``present=False``.
+
+    ``reducer`` is ``np.minimum`` or ``np.maximum``.  Object (string)
+    arrays take a per-segment Python reduction — ufunc ``reduceat`` on
+    object dtype is not dependable.
+
+    Returns ``(out_data, present)``.
+    """
+    selected = np.flatnonzero(valid) if valid is not None \
+        else np.arange(len(gid))
+    present = np.zeros(n_groups, dtype=np.bool_)
+    out_data = np.empty(n_groups, dtype=data.dtype)
+    if data.dtype != np.object_:
+        out_data[:] = 0
+    if selected.size == 0:
+        return out_data, present
+    group_of = gid[selected]
+    order = np.argsort(group_of, kind="stable")
+    sorted_groups = group_of[order]
+    sorted_values = data[selected][order]
+    starts = np.flatnonzero(
+        np.r_[True, sorted_groups[1:] != sorted_groups[:-1]])
+    if data.dtype == np.object_:
+        bounds = list(starts) + [len(sorted_values)]
+        python_reducer = min if reducer is np.minimum else max
+        results = np.array(
+            [python_reducer(sorted_values[a:b])
+             for a, b in zip(bounds, bounds[1:])],
+            dtype=object,
+        )
+    else:
+        results = reducer.reduceat(sorted_values, starts)
+    hit = sorted_groups[starts]
+    out_data[hit] = results
+    present[hit] = True
+    return out_data, present

@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.data import Column, ColumnBatch, SQLType
+from repro.data.grouping import grouped_counts, grouped_minmax, grouped_sums
 from repro.dataflow.transforms.aggops import (
     aggregate_op,
     default_output_name,
@@ -109,27 +110,6 @@ def _key_column(batch, field, first_rows):
         column.type, column.data, _effective_valid(column)).take(first_rows)
 
 
-def _grouped_minmax(data, gid, n_groups, valid, reducer):
-    """Per-group min/max over the valid slots; groups with no valid value
-    come back NULL."""
-    selected = np.flatnonzero(valid)
-    out_valid = np.zeros(n_groups, dtype=np.bool_)
-    out_data = np.zeros(n_groups, dtype=data.dtype)
-    if selected.size == 0:
-        return out_data, out_valid
-    group_of = gid[selected]
-    order = np.argsort(group_of, kind="stable")
-    sorted_groups = group_of[order]
-    sorted_values = data[selected][order]
-    starts = np.flatnonzero(
-        np.r_[True, sorted_groups[1:] != sorted_groups[:-1]])
-    results = reducer.reduceat(sorted_values, starts)
-    present = sorted_groups[starts]
-    out_data[present] = results
-    out_valid[present] = True
-    return out_data, out_valid
-
-
 def _grouped_distinct(data, gid, n_groups, valid):
     """Per-group count of distinct valid values."""
     selected = np.flatnonzero(valid)
@@ -164,8 +144,7 @@ def _measure_column(batch, op, field, gid, n_groups, sizes):
         valid = _effective_valid(column)
         data = column.data
         sql_type = column.type
-    valid_counts = np.bincount(
-        gid[valid], minlength=n_groups).astype(np.float64)
+    valid_counts = grouped_counts(gid, n_groups, valid)
     if op == "valid":
         return Column(SQLType.DOUBLE, valid_counts)
     if op == "missing":
@@ -182,29 +161,25 @@ def _measure_column(batch, op, field, gid, n_groups, sizes):
         numeric_data = data.astype(np.float64) \
             if sql_type is SQLType.BOOLEAN else data
     if op == "sum":
-        sums = np.bincount(
-            gid[numeric_valid], weights=numeric_data[numeric_valid],
-            minlength=n_groups)
-        return Column(SQLType.DOUBLE, sums)
+        return Column(SQLType.DOUBLE,
+                      grouped_sums(gid, n_groups, numeric_data, numeric_valid))
     if op in ("mean", "average"):
-        counts = np.bincount(gid[numeric_valid], minlength=n_groups)
-        sums = np.bincount(
-            gid[numeric_valid], weights=numeric_data[numeric_valid],
-            minlength=n_groups)
+        counts = grouped_counts(gid, n_groups, numeric_valid)
+        sums = grouped_sums(gid, n_groups, numeric_data, numeric_valid)
         present = counts > 0
         means = np.where(present, sums / np.maximum(counts, 1), 0.0)
         return Column(SQLType.DOUBLE, means, present)
     if op in ("min", "max"):
         if sql_type is SQLType.VARCHAR:
-            # np.minimum on object arrays is not dependable
+            # keep the row path's string comparison semantics
             raise Unvectorizable("string min/max")
         reducer = np.minimum if op == "min" else np.maximum
         if sql_type is SQLType.BOOLEAN:
-            out_data, out_valid = _grouped_minmax(
+            out_data, out_valid = grouped_minmax(
                 data.astype(np.int8), gid, n_groups, valid, reducer)
             return Column(
                 SQLType.BOOLEAN, out_data.astype(np.bool_), out_valid)
-        out_data, out_valid = _grouped_minmax(
+        out_data, out_valid = grouped_minmax(
             data, gid, n_groups, valid, reducer)
         return Column(SQLType.DOUBLE, out_data, out_valid)
     # variance/stdev/median/quantiles: fall back to the row path

@@ -20,6 +20,8 @@ correct NULL semantics from IEEE NaN propagation.
 import numpy as np
 
 from repro.data import Column, SQLType
+from repro.data.grouping import Unvectorizable  # noqa: F401  (canonical home;
+# re-exported here because every transform imports it from this module)
 from repro.expr import ast
 from repro.expr.functions import (
     CONSTANTS,
@@ -31,12 +33,6 @@ from repro.expr.functions import (
 )
 
 _NAN = float("nan")
-
-
-class Unvectorizable(Exception):
-    """This expression/transform cannot be evaluated columnar; the caller
-    must fall back to the row-at-a-time path (which either computes the
-    result or raises exactly the error the row semantics call for)."""
 
 
 def _kind(value):

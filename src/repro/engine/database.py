@@ -157,16 +157,20 @@ class Database:
 
         self._count_query()
         if self._morsel_executor is not None:
-            table, stats, morsels = self._morsel_executor.execute_with_stats(
-                plan, self.catalog
+            table, stats, morsels, fallbacks = (
+                self._morsel_executor.execute_with_stats(plan, self.catalog)
             )
         else:
             table, stats = execute_with_stats(plan, self.catalog)
             morsels = {}
+            fallbacks = {}
         annotated = annotate_stats(plan, stats, self.catalog)
         for node_id, records in morsels.items():
             if node_id in annotated:
                 annotated[node_id]["morsels"] = records
+        for node_id, reason in fallbacks.items():
+            if node_id in annotated:
+                annotated[node_id]["fallback"] = reason
         return table, annotated
 
     def explain_select(self, select):

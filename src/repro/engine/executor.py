@@ -199,8 +199,7 @@ def apply_project(plan, child):
 
 def apply_distinct(plan, child):
     columns = [column for _, _, column in child.entries]
-    group_ids, group_count = factorize_rows(columns, child.num_rows)
-    first = first_occurrences(group_ids, group_count)
+    _, _, first = factorize_rows_first(columns, child.num_rows)
     return child.take(first)
 
 
@@ -262,6 +261,36 @@ def first_occurrences(group_ids, group_count):
     return first
 
 
+def factorize_rows_first(columns, num_rows):
+    """Like :func:`factorize_rows`, but also returns each group's first
+    occurrence row index (in group-id order) from the same ``np.unique``
+    pass — one full-table argsort cheaper than a separate
+    :func:`first_occurrences` call."""
+    if not columns:
+        if num_rows:
+            return (
+                np.zeros(num_rows, dtype=np.int64),
+                1,
+                np.zeros(1, dtype=np.int64),
+            )
+        return (
+            np.zeros(0, dtype=np.int64),
+            0,
+            np.zeros(0, dtype=np.int64),
+        )
+    combined = None
+    for column in columns:
+        codes, count = factorize_column(column)
+        if combined is None:
+            combined = codes
+        else:
+            combined = combined * np.int64(max(count, 1)) + codes
+    uniques, first, inverse = np.unique(
+        combined, return_index=True, return_inverse=True
+    )
+    return inverse.astype(np.int64), len(uniques), first.astype(np.int64)
+
+
 def group_row_indices(group_ids, group_count):
     """List of index arrays, one per group id."""
     order = np.argsort(group_ids, kind="stable")
@@ -276,11 +305,12 @@ def group_row_indices(group_ids, group_count):
 
 
 def apply_aggregate(plan, child):
-    key_columns, group_ids, group_count, early = _aggregate_setup(plan, child)
+    key_columns, group_ids, group_count, first, early = _aggregate_setup(
+        plan, child
+    )
     if early is not None:
         return early
 
-    first = first_occurrences(group_ids, group_count)
     groups = _aggregate_groups(child, group_ids, group_count)
 
     entries = []
@@ -296,13 +326,17 @@ def apply_aggregate(plan, child):
 def _aggregate_setup(plan, child):
     """Shared grouping front half of Aggregate execution.
 
-    Returns ``(key_columns, group_ids, group_count, early)``; when
-    ``early`` is a Frame the caller must return it as-is (empty-input
-    edge cases), otherwise ``group_count >= 1`` and ``group_ids`` index
-    into ``[0, group_count)`` in global factorization order.
+    Returns ``(key_columns, group_ids, group_count, first, early)``;
+    when ``early`` is a Frame the caller must return it as-is
+    (empty-input edge cases), otherwise ``group_count >= 1``,
+    ``group_ids`` index into ``[0, group_count)`` in global
+    factorization order, and ``first`` is each group's first occurrence
+    row index.
     """
     key_columns = [evaluate(expr, child) for expr, _ in plan.groups]
-    group_ids, group_count = factorize_rows(key_columns, child.num_rows)
+    group_ids, group_count, first = factorize_rows_first(
+        key_columns, child.num_rows
+    )
 
     if group_count == 0 and plan.groups:
         # No input rows and explicit grouping: empty result.
@@ -312,13 +346,17 @@ def _aggregate_setup(plan, child):
         ]
         for call, name in plan.aggregates:
             entries.append((None, name, Column.from_values([], SQLType.DOUBLE)))
-        return key_columns, group_ids, group_count, Frame(entries, num_rows=0)
+        return (
+            key_columns, group_ids, group_count, first,
+            Frame(entries, num_rows=0),
+        )
 
     if group_count == 0:
         group_count = 1  # global aggregate over empty input: one group
         group_ids = np.zeros(0, dtype=np.int64)
+        first = np.zeros(1, dtype=np.int64)
 
-    return key_columns, group_ids, group_count, None
+    return key_columns, group_ids, group_count, first, None
 
 
 def _aggregate_groups(child, group_ids, group_count):
@@ -390,13 +428,23 @@ def apply_window(plan, child):
     return Frame(entries, num_rows=child.num_rows)
 
 
-def _compute_window(window, frame):
+def window_inputs(window, frame):
+    """Shared setup for one window item: evaluates partition and order
+    expressions plus the function argument against the full frame.
+
+    Returns ``(func_name, groups, order_keys, arg_column, out,
+    out_valid)``.  ``groups`` is the per-partition row-index list;
+    partitions are independent (each writes a disjoint row set of the
+    shared output arrays), which is what makes the morsel executor's
+    partition-parallel window sound.
+    """
     num_rows = frame.num_rows
     partition_columns = [evaluate(expr, frame) for expr in window.partition_by]
     group_ids, group_count = factorize_rows(partition_columns, num_rows)
     if num_rows == 0:
-        return Column.from_values([], SQLType.DOUBLE)
-    groups, _ = group_row_indices(group_ids, max(group_count, 1))
+        groups = []
+    else:
+        groups, _ = group_row_indices(group_ids, max(group_count, 1))
 
     order_keys = [
         (evaluate(item.expr, frame), item.descending, item.nulls_first)
@@ -411,24 +459,45 @@ def _compute_window(window, frame):
     if window.func.args and not isinstance(window.func.args[0], sqlast.Star):
         arg_column = evaluate(window.func.args[0], frame)
 
-    for indices in groups:
-        local_order = _sorted_indices(
-            [(column.take(indices), desc, nf) for column, desc, nf in order_keys],
-            len(indices),
+    return func_name, groups, order_keys, arg_column, out, out_valid
+
+
+def window_partition_kernel(
+    window, func_name, order_keys, arg_column, indices, out, out_valid
+):
+    """Compute one window item over one partition, writing the results
+    into the shared output arrays (only rows in ``indices`` are
+    touched)."""
+    local_order = _sorted_indices(
+        [(column.take(indices), desc, nf) for column, desc, nf in order_keys],
+        len(indices),
+    )
+    ordered = indices[local_order]
+    if func_name in _WINDOW_RANKERS:
+        _window_rank(func_name, ordered, order_keys, out)
+    elif func_name in _WINDOW_AGGREGATES:
+        _window_aggregate(
+            func_name, ordered, arg_column, bool(window.order_by), out, out_valid
         )
-        ordered = indices[local_order]
-        if func_name in _WINDOW_RANKERS:
-            _window_rank(func_name, ordered, order_keys, out)
-        elif func_name in _WINDOW_AGGREGATES:
-            _window_aggregate(
-                func_name, ordered, arg_column, bool(window.order_by), out, out_valid
-            )
-        elif func_name in _WINDOW_OFFSETS:
-            _window_offset(func_name, window.func, ordered, arg_column, out, out_valid)
-        else:
-            raise ExecutionError(
-                "unsupported window function {}()".format(window.func.name)
-            )
+    elif func_name in _WINDOW_OFFSETS:
+        _window_offset(func_name, window.func, ordered, arg_column, out, out_valid)
+    else:
+        raise ExecutionError(
+            "unsupported window function {}()".format(window.func.name)
+        )
+
+
+def _compute_window(window, frame):
+    func_name, groups, order_keys, arg_column, out, out_valid = window_inputs(
+        window, frame
+    )
+    if frame.num_rows == 0:
+        return Column.from_values([], SQLType.DOUBLE)
+
+    for indices in groups:
+        window_partition_kernel(
+            window, func_name, order_keys, arg_column, indices, out, out_valid
+        )
 
     return Column(SQLType.DOUBLE, out, out_valid)
 

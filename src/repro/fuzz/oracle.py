@@ -10,8 +10,13 @@ The run matrix per case:
 * ``embedded`` backend, every cut ``0..max_cut`` (client-only, each
   hybrid prefix, server-only);
 * ``embedded-mt4`` — same cuts on the morsel-driven parallel executor
-  (4 workers, tiny morsels) — the executor axis: serial-vs-parallel
-  divergence is caught the same way backend divergence is;
+  (4 workers, tiny morsels) with the row-at-a-time client path — the
+  executor axis: serial-vs-parallel divergence is caught the same way
+  backend divergence is;
+* ``embedded-mt4-columnar`` — the parallel executor combined with the
+  vectorized columnar client kernels, crossing the executor axis with
+  the columnar axis (the vectorized morsel pipeline feeding vectorized
+  client transforms, the all-fast-paths configuration);
 * ``embedded-norewrite`` — same cuts with ``rewrite_sql=False``
   (metamorphic check on the SQL rewriter);
 * ``sqlite`` backend, every cut;
@@ -46,10 +51,14 @@ from repro.fuzz.normalize import (
 #: genuinely exercised.  The columnar axis (``embedded-rowwise``) forces
 #: every client transform onto the row-at-a-time path, differencing the
 #: vectorized batch kernels against the dict-row reference on every cut.
+#: ``embedded-mt4-columnar`` crosses the two axes: the parallel engine
+#: feeding the columnar client kernels, so a divergence that only shows
+#: when both fast paths compose is still caught.
 RUN_CONFIGS = [
     ("embedded", "embedded", True, 1, True),
     ("embedded-rowwise", "embedded", True, 1, False),
-    ("embedded-mt4", "embedded", True, 4, True),
+    ("embedded-mt4", "embedded", True, 4, False),
+    ("embedded-mt4-columnar", "embedded", True, 4, True),
     ("embedded-norewrite", "embedded", False, 1, True),
     ("sqlite", "sqlite", True, 1, True),
 ]

@@ -79,7 +79,7 @@ def calibrate(backend=None, client_rows=20_000, server_rows=100_000):
     )
 
 
-def refit_from_report(report, base_params=None):
+def refit_from_report(report, base_params=None, parallel_speedup=None):
     """Rescale cost constants from a telemetry misprediction report.
 
     ``report`` is a :class:`repro.telemetry.MispredictionReport` (or any
@@ -90,6 +90,14 @@ def refit_from_report(report, base_params=None):
     loop on a *real session*: if client steps ran 3x slower than
     predicted, the client per-row cost triples.  Kinds with no audit
     entries keep their base value.
+
+    ``parallel_speedup`` optionally refits ``parallel_efficiency`` from a
+    measured end-to-end speedup at ``base_params.server_workers`` workers
+    (e.g. the ``speedup_vs_serial`` field of BENCH_parallel.json),
+    inverting the ``1 + (workers - 1) * efficiency`` throughput model.
+    The parallel fields always carry over from ``base_params`` — a refit
+    must not silently demote a parallel deployment back to serial
+    costing.
     """
     params = base_params or CostParameters()
 
@@ -99,6 +107,12 @@ def refit_from_report(report, base_params=None):
             return value
         return value * ratio
 
+    workers = max(int(getattr(params, "server_workers", 1) or 1), 1)
+    efficiency = params.parallel_efficiency
+    if parallel_speedup is not None and workers > 1:
+        fitted = (float(parallel_speedup) - 1.0) / (workers - 1)
+        efficiency = min(max(fitted, 0.05), 1.5)
+
     return CostParameters(
         client_row_cost=scaled(params.client_row_cost, "client-op"),
         server_row_cost=scaled(params.server_row_cost, "server-segment"),
@@ -106,4 +120,6 @@ def refit_from_report(report, base_params=None):
         client_op_overhead=params.client_op_overhead,
         render_row_cost=params.render_row_cost,
         client_slowdown=params.client_slowdown,
+        server_workers=params.server_workers,
+        parallel_efficiency=efficiency,
     )

@@ -133,11 +133,56 @@ def _type_kind(sql_type):
     )
 
 
-def translatable_prefix(steps, base_columns, signals, server_tables=None):
-    """Longest SQL-translatable prefix; also returns columns per position."""
+def _zero_row_table(column_types):
+    from repro.engine import Table
+    from repro.engine.table import Column
+
+    table = Table()
+    for name, sql_type in column_types:
+        table.add_column(name, Column.from_values([], sql_type))
+    return table
+
+
+def _probe_database(server_tables, base_types):
+    """A zero-row embedded Database mirroring the server schemas.
+
+    Engine type errors (``cannot compare DOUBLE with VARCHAR``, unknown
+    columns) depend only on column types, never on row values, so
+    executing a candidate step against an empty table with the *real*
+    schema proves the server will accept it — without touching data."""
+    from repro.engine import Database
+
+    database = Database()
+    database.load_table("__probe", _zero_row_table(base_types))
+    if isinstance(server_tables, dict):
+        for name, stats in server_tables.items():
+            database.load_table(
+                name,
+                _zero_row_table(
+                    (column, column_stats.type)
+                    for column, column_stats in stats.columns.items()
+                ),
+            )
+    return database
+
+
+def translatable_prefix(steps, base_columns, signals, server_tables=None,
+                        base_types=None):
+    """Longest SQL-translatable prefix; also returns columns per position.
+
+    With ``base_types`` (the root table's ``(column, SQLType)`` pairs)
+    each translated step is additionally *executed* on a zero-row probe
+    table carrying the evolving schema.  Translation alone is purely
+    syntactic: ``datum.k == 'x'`` translates fine but fails on the server
+    when ``k`` is numeric, while the client's loose comparison succeeds —
+    a success-vs-error divergence between cuts (differential fuzzer,
+    seed 80802431).  The probe run surfaces every schema-driven server
+    rejection at planning time, pinning such steps to the client."""
     columns = list(base_columns)
     columns_at = [list(columns)]
     prefix = 0
+    probe_db = _probe_database(server_tables, base_types) \
+        if base_types is not None else None
     for step in steps:
         params = resolve_planning_params(
             step.operator, signals, server_tables
@@ -155,6 +200,13 @@ def translatable_prefix(steps, base_columns, signals, server_tables=None):
             break
         except Exception:
             break
+        if probe_db is not None:
+            try:
+                probe_result = probe_db.execute(translation.select.to_sql())
+            except Exception:
+                break
+            if not translation.is_value:
+                probe_db.load_table("__probe", probe_result)
         if not translation.is_value:
             columns = translation.columns
         prefix += 1
@@ -185,7 +237,11 @@ class PartitionOptimizer:
             )
         base = from_table_stats(stats[root])
         prefix, _ = translatable_prefix(
-            steps, list(base.columns), signals, server_tables=stats
+            steps, list(base.columns), signals, server_tables=stats,
+            base_types=[
+                (column, column_stats.type)
+                for column, column_stats in stats[root].columns.items()
+            ],
         )
 
         estimates = [base]

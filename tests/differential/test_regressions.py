@@ -98,6 +98,19 @@ def test_seed_700105_clamp_null_folds_to_hi():
     _assert_clean(700105)
 
 
+def test_seed_80802431_sqlite_quoted_literal_fallback():
+    """A mark/scale referencing a field absent from the dataset: the
+    embedded engine raised ``unknown column`` while SQLite's legacy
+    double-quoted-string fallback read ``"y3_top"`` as the *literal*
+    ``'y3_top'`` and returned fake rows — a success-vs-error outcome
+    split.  Python's stdlib sqlite3 cannot switch the misfeature off, so
+    the adapter now validates every quoted identifier against the loaded
+    schemas (plus aliases the statement itself defines; a reference's
+    own trailing alias does not vouch for it) and raises like the
+    embedded engine.  All configurations now fail consistently."""
+    _assert_clean(80802431)
+
+
 def test_seed_700152_clamp_null_after_variance():
     """Same clamp-over-NULL class as seed 700105, reached through
     ``clamp(datum.variance_f2, -1, 5)`` where the variance aggregate

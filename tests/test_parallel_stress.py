@@ -125,6 +125,105 @@ def test_shared_database_explain_analyze_concurrently():
     assert not failures, failures[:5]
 
 
+def test_concurrent_columnar_queries_keep_morsel_logs_exact():
+    """Concurrent columnar queries on one shared Database: every
+    EXPLAIN ANALYZE run must carry its *own* complete morsel log —
+    indices exactly ``range(count)``, rows_in summing to the node's
+    input, workers within the pool — and grafting all runs into one
+    tracer must land on exact ``engine.morsels`` / per-worker totals.
+
+    A reference single-threaded pass over the same Database fixes the
+    expected morsel count per query; any cross-query run-state bleed
+    (lost records, doubled records, mixed indices) breaks either the
+    per-run invariants or the final counter arithmetic.
+    """
+    from repro.core.executors import _graft_plan_nodes
+
+    parallelism = 2
+    table = build_table(num_rows=2_000, seed=13)
+    shared = Database(parallelism=parallelism, morsel_rows=97)
+    shared.load_table("t", table)
+
+    columnar_queries = [
+        'SELECT "k", COUNT(*) AS n, SUM("v") AS s FROM "t" GROUP BY "k"',
+        'SELECT "k", "v" FROM "t" WHERE "v" > 0.0',
+        'SELECT * FROM "t" ORDER BY "v" LIMIT 7',
+    ]
+
+    def morsel_count(nodes):
+        return sum(len(node.get("morsels") or ()) for node in nodes)
+
+    expected_per_query = {}
+    for sql in columnar_queries:
+        _, nodes = shared.explain_analyze_data(sql)
+        expected_per_query[sql] = morsel_count(nodes)
+        assert expected_per_query[sql] > 0, (
+            "query must exercise the parallel path: {}".format(sql))
+    warmup_queries = len(columnar_queries)
+
+    failures = []
+    collected = []
+    collected_lock = threading.Lock()
+    barrier = threading.Barrier(CLIENT_THREADS)
+
+    def client(worker_index):
+        barrier.wait()
+        for round_index in range(ROUNDS):
+            sql = columnar_queries[
+                (worker_index + round_index) % len(columnar_queries)]
+            _, nodes = shared.explain_analyze_data(sql)
+            if morsel_count(nodes) != expected_per_query[sql]:
+                failures.append(
+                    "client {} round {}: {} morsels, expected {}".format(
+                        worker_index, round_index, morsel_count(nodes),
+                        expected_per_query[sql]))
+            for node in nodes:
+                morsels = node.get("morsels") or ()
+                if not morsels:
+                    continue
+                if [m["index"] for m in morsels] != list(range(len(morsels))):
+                    failures.append(
+                        "client {} round {}: morsel indices bled".format(
+                            worker_index, round_index))
+                if sum(m["rows_in"] for m in morsels) != node["rows_in"]:
+                    failures.append(
+                        "client {} round {}: morsel rows_in bled".format(
+                            worker_index, round_index))
+                if any(not (0 <= m["worker"] < parallelism)
+                       for m in morsels):
+                    failures.append(
+                        "client {} round {}: worker id out of pool".format(
+                            worker_index, round_index))
+            with collected_lock:
+                collected.append((sql, nodes))
+
+    threads = [threading.Thread(target=client, args=(index,))
+               for index in range(CLIENT_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not failures, "\n".join(failures[:10])
+    assert len(collected) == CLIENT_THREADS * ROUNDS
+    assert shared.queries_executed == CLIENT_THREADS * ROUNDS + warmup_queries
+
+    # Graft every run's nodes into one tracer: the counter totals must
+    # be the exact sum of the per-query expectations.
+    tracer = Tracer()
+    for _, nodes in collected:
+        _graft_plan_nodes(tracer, nodes)
+    expected_total = sum(expected_per_query[sql] for sql, _ in collected)
+    assert tracer.counters["engine.morsels"].value == expected_total
+    per_worker = [
+        tracer.counters["engine.worker.{}.morsels".format(index)].value
+        for index in range(parallelism)
+        if "engine.worker.{}.morsels".format(index) in tracer.counters
+    ]
+    assert sum(per_worker) == expected_total
+    assert tracer.histograms["engine.morsel_seconds"].count == expected_total
+
+
 def test_tracer_metrics_exact_under_contention():
     """Counter adds and histogram observations from many threads must
     total exactly (the tracer's metrics lock)."""

@@ -1,0 +1,493 @@
+"""Adversarial equivalence wall for the vectorized morsel executor.
+
+The parallel executor promises output *byte-identical* to serial —
+identical rows in identical order, identical dict key order, identical
+float bit patterns (``-0.0`` stays ``-0.0``) — with one carve-out:
+SUM/AVG merge partial sums, so their last bits may differ with
+summation order (asserted with a 1e-9 relative tolerance instead).
+
+Every case here targets a specific way per-morsel decomposition could
+diverge from the serial path:
+
+* NULL and NaN group keys straddling morsel boundaries (the local
+  factorize + merge re-factorization must place them in the serial
+  group order);
+* degenerate key distributions — every row its own group vs one group;
+* top-N ties crossing morsel boundaries (canonical row-index
+  tie-break);
+* empty, single-row, and exact-morsel-multiple tables;
+* VARCHAR MIN/MAX (object-dtype segmented reduction + python merge);
+* a non-decomposable aggregate mid-plan (serial fallback under a
+  parallel filter), and the other recorded fallback reasons;
+* the parallel general sort (multi-key, mixed direction, NULLS
+  placement, VARCHAR keys) and its sorted-run merge;
+* the vectorized hash join (NULL/NaN keys, LEFT pads, VARCHAR keys,
+  boolean/double key coercion) and its type-mismatch fallback;
+* partition-parallel windows and parallel DISTINCT.
+"""
+
+import math
+import struct
+
+import numpy as np
+import pytest
+
+from repro.engine import Database, Table
+
+MORSEL = 7
+WORKERS = 4
+
+
+def make_databases(tables):
+    serial = Database()
+    parallel = Database(parallelism=WORKERS, morsel_rows=MORSEL)
+    for db in (serial, parallel):
+        for name, table in tables.items():
+            db.load_table(name, table)
+    return serial, parallel
+
+
+def float_bytes(value):
+    return struct.pack("<d", value)
+
+
+def assert_byte_identical(serial, parallel, context="", sum_avg_columns=()):
+    """Strict positional equality: same columns, same rows in the same
+    order, same dict key order, bitwise-equal floats — except the named
+    SUM/AVG columns, which tolerate summation-order noise."""
+    assert parallel.column_names == serial.column_names, context
+    serial_rows = serial.to_rows()
+    parallel_rows = parallel.to_rows()
+    assert len(parallel_rows) == len(serial_rows), context
+    for position, (expect, got) in enumerate(zip(serial_rows, parallel_rows)):
+        assert list(got.keys()) == list(expect.keys()), (
+            "{} row {}: dict key order".format(context, position)
+        )
+        for column, expect_value in expect.items():
+            got_value = got[column]
+            where = "{} row {} column {}".format(context, position, column)
+            assert type(got_value) is type(expect_value), where
+            if isinstance(expect_value, float) and not isinstance(
+                    expect_value, bool):
+                if column in sum_avg_columns:
+                    assert math.isclose(got_value, expect_value,
+                                        rel_tol=1e-9, abs_tol=1e-12), where
+                else:
+                    assert float_bytes(got_value) == float_bytes(
+                        expect_value), where
+            else:
+                assert got_value == expect_value, where
+
+
+def run_both(sql, tables, sum_avg_columns=()):
+    serial_db, parallel_db = make_databases(tables)
+    assert_byte_identical(
+        serial_db.execute(sql), parallel_db.execute(sql),
+        context=sql, sum_avg_columns=sum_avg_columns,
+    )
+    return parallel_db
+
+
+def fallback_reasons(parallel_db, sql):
+    """The serial-fallback reasons EXPLAIN ANALYZE recorded for ``sql``."""
+    _, nodes = parallel_db.explain_analyze_data(sql)
+    return {node["fallback"] for node in nodes if node.get("fallback")}
+
+
+# --------------------------------------------------------------------------
+# Group keys across morsel boundaries
+# --------------------------------------------------------------------------
+
+
+def test_null_nan_group_keys_across_morsels():
+    """NULL and NaN keys (NaN folds to NULL at load) scattered so every
+    morsel sees a different subset of the groups."""
+    num_rows = 6 * MORSEL + 3
+    keys, values = [], []
+    for index in range(num_rows):
+        roll = index % 5
+        if roll == 0:
+            keys.append(None)
+        elif roll == 1:
+            keys.append(float("nan"))
+        else:
+            keys.append(float(index % 3))
+        values.append(None if index % 4 == 0 else float(index) - 10.0)
+    tables = {"t": Table.from_columns(k=keys, v=values)}
+    run_both(
+        'SELECT "k", COUNT(*) AS n, COUNT("v") AS nv, MIN("v") AS lo, '
+        'MAX("v") AS hi FROM "t" GROUP BY "k"',
+        tables,
+    )
+    run_both(
+        'SELECT "k", SUM("v") AS s, AVG("v") AS a FROM "t" GROUP BY "k"',
+        tables, sum_avg_columns={"s", "a"},
+    )
+
+
+def test_negative_zero_group_key_bytes():
+    """-0.0 and 0.0 collapse into one group; the emitted key must carry
+    the bit pattern of the group's first row, exactly like serial."""
+    num_rows = 3 * MORSEL + 1
+    keys = [-0.0 if index % 2 else 0.0 for index in range(num_rows)]
+    tables = {"t": Table.from_columns(
+        k=keys, v=[float(index) for index in range(num_rows)])}
+    run_both('SELECT "k", COUNT(*) AS n FROM "t" GROUP BY "k"', tables)
+
+
+def test_high_cardinality_every_row_its_own_group():
+    num_rows = 5 * MORSEL + 3
+    tables = {"t": Table.from_columns(
+        k=[float(num_rows - index) for index in range(num_rows)],
+        v=[float(index % 4) for index in range(num_rows)],
+    )}
+    run_both(
+        'SELECT "k", COUNT(*) AS n, MIN("v") AS lo FROM "t" GROUP BY "k"',
+        tables,
+    )
+
+
+def test_single_group_key():
+    num_rows = 4 * MORSEL
+    tables = {"t": Table.from_columns(
+        k=[1.0] * num_rows,
+        v=[None if index % 5 == 0 else float(index)
+           for index in range(num_rows)],
+    )}
+    run_both(
+        'SELECT "k", COUNT("v") AS n, MIN("v") AS lo, MAX("v") AS hi '
+        'FROM "t" GROUP BY "k"',
+        tables,
+    )
+
+
+def test_global_aggregate_empty_after_filter():
+    """Every morsel comes up empty post-filter: the merged global
+    aggregate must still emit the serial one-row (COUNT 0, SUM NULL)."""
+    num_rows = 3 * MORSEL + 2
+    tables = {"t": Table.from_columns(
+        v=[float(index) for index in range(num_rows)])}
+    run_both(
+        'SELECT COUNT(*) AS n, COUNT("v") AS nv, SUM("v") AS s, '
+        'MIN("v") AS lo FROM "t" WHERE "v" < -1.0',
+        tables,
+    )
+
+
+def test_grouped_aggregate_empty_after_filter():
+    num_rows = 3 * MORSEL + 2
+    tables = {"t": Table.from_columns(
+        k=[float(index % 3) for index in range(num_rows)],
+        v=[float(index) for index in range(num_rows)],
+    )}
+    run_both(
+        'SELECT "k", COUNT(*) AS n FROM "t" WHERE "v" < -1.0 GROUP BY "k"',
+        tables,
+    )
+
+
+def test_varchar_min_max_group_keys():
+    """Object-dtype keys and extremes: python-reducer segments in the
+    morsels, python merge across them."""
+    num_rows = 4 * MORSEL + 5
+    tables = {"t": Table.from_columns(
+        k=[None if index % 9 == 0 else "grp%d" % (index % 4)
+           for index in range(num_rows)],
+        s=[None if index % 6 == 0 else "val%02d" % ((index * 11) % 23)
+           for index in range(num_rows)],
+    )}
+    run_both(
+        'SELECT "k", MIN("s") AS lo, MAX("s") AS hi, COUNT("s") AS n '
+        'FROM "t" GROUP BY "k"',
+        tables,
+    )
+
+
+# --------------------------------------------------------------------------
+# Size classes
+# --------------------------------------------------------------------------
+
+BOUNDARY_QUERIES = [
+    ('SELECT "k", COUNT(*) AS n, MIN("v") AS lo FROM "t" GROUP BY "k"', ()),
+    ('SELECT "k", SUM("v") AS s FROM "t" GROUP BY "k"', ("s",)),
+    ('SELECT "k", "v" FROM "t" WHERE "v" > 0.25', ()),
+    ('SELECT * FROM "t" ORDER BY "v" DESC, "k"', ()),
+    ('SELECT DISTINCT "k" FROM "t"', ()),
+]
+
+
+@pytest.mark.parametrize("num_rows", [0, 1, MORSEL - 1, MORSEL, MORSEL + 1,
+                                      2 * MORSEL, 3 * MORSEL])
+@pytest.mark.parametrize("sql,sum_columns", BOUNDARY_QUERIES)
+def test_boundary_sizes(num_rows, sql, sum_columns):
+    """Empty, one-row, morsel-boundary, and exact-multiple tables."""
+    rng = np.random.default_rng(num_rows)
+    tables = {"t": Table.from_columns(
+        k=[None if rng.integers(0, 5) == 0 else float(rng.integers(0, 3))
+           for _ in range(num_rows)],
+        v=[None if rng.integers(0, 4) == 0 else float(rng.normal())
+           for _ in range(num_rows)],
+    )}
+    run_both(sql, tables, sum_avg_columns=set(sum_columns))
+
+
+# --------------------------------------------------------------------------
+# Sort and top-N
+# --------------------------------------------------------------------------
+
+
+def test_cross_morsel_topn_ties_break_by_row_index():
+    """Heavily tied keys where every morsel contributes boundary
+    candidates: the canonical (key, row-index) tie-break must pick the
+    stable-sort prefix, not merely *a* valid top-N."""
+    num_rows = 12 * MORSEL + 1  # limit < num_rows // 4 engages top-N
+    tables = {"t": Table.from_columns(
+        v=[float(index % 3) for index in range(num_rows)],
+        tag=["row%03d" % index for index in range(num_rows)],
+    )}
+    for sql in (
+        'SELECT * FROM "t" ORDER BY "v" LIMIT 5',
+        'SELECT * FROM "t" ORDER BY "v" DESC LIMIT 5',
+    ):
+        run_both(sql, tables)
+
+
+def test_topn_with_nulls_and_offset():
+    num_rows = 12 * MORSEL + 3
+    tables = {"t": Table.from_columns(
+        v=[None if index % 5 == 0 else float(-(index % 11))
+           for index in range(num_rows)],
+    )}
+    for sql in (
+        'SELECT "v" FROM "t" ORDER BY "v" LIMIT 6',
+        'SELECT "v" FROM "t" ORDER BY "v" DESC LIMIT 6 OFFSET 3',
+    ):
+        run_both(sql, tables)
+
+
+def test_parallel_general_sort_multi_key():
+    """The per-morsel sorted-run merge: mixed directions, NULL
+    placement, VARCHAR keys, ties resolved by stable row order."""
+    num_rows = 5 * MORSEL + 2
+    rng = np.random.default_rng(3)
+    tables = {"t": Table.from_columns(
+        a=[None if rng.integers(0, 6) == 0 else float(rng.integers(0, 4))
+           for _ in range(num_rows)],
+        b=[None if rng.integers(0, 7) == 0 else "s%d" % rng.integers(0, 3)
+           for _ in range(num_rows)],
+        v=[float(index) for index in range(num_rows)],
+    )}
+    for sql in (
+        'SELECT * FROM "t" ORDER BY "a", "b" DESC',
+        'SELECT * FROM "t" ORDER BY "a" DESC NULLS LAST, "b" ASC NULLS FIRST',
+        'SELECT * FROM "t" ORDER BY "b", "a" LIMIT 9',
+    ):
+        run_both(sql, tables)
+
+
+def test_sort_key_width_overflow_falls_back():
+    """Enough wide key columns to overflow the composite int64 code:
+    must fall back to the serial sort, record the reason, and still
+    match byte-for-byte."""
+    num_rows = 3 * MORSEL
+    rng = np.random.default_rng(11)
+    # Cardinality is counted over values actually present, so with 21
+    # rows each column contributes a factor of ~22: sixteen all-distinct
+    # columns push the mixed-radix product past 2**62.
+    columns = {
+        "c%d" % position: list(rng.permutation(num_rows).astype(float))
+        for position in range(16)
+    }
+    tables = {"t": Table.from_columns(**columns)}
+    order = ", ".join('"c%d"' % position for position in range(16))
+    sql = 'SELECT * FROM "t" ORDER BY {}'.format(order)
+    parallel_db = run_both(sql, tables)
+    assert "sort_key_width" in fallback_reasons(parallel_db, sql)
+
+
+# --------------------------------------------------------------------------
+# Joins
+# --------------------------------------------------------------------------
+
+
+def build_fact(num_rows, seed=5):
+    rng = np.random.default_rng(seed)
+    keys = []
+    for index in range(num_rows):
+        roll = rng.integers(0, 8)
+        if roll == 0:
+            keys.append(None)
+        elif roll == 1:
+            keys.append(float("nan"))  # folds to NULL at load
+        else:
+            keys.append(float(rng.integers(0, 4)))
+    return Table.from_columns(
+        k=keys, v=[float(index) for index in range(num_rows)])
+
+
+def test_parallel_inner_join_with_duplicate_build_rows():
+    dims = Table.from_columns(
+        k=[0.0, 1.0, 1.0, 2.0, None],
+        label=["zero", "one-a", "one-b", "two", "null"],
+    )
+    tables = {"t": build_fact(4 * MORSEL + 3), "d": dims}
+    run_both(
+        'SELECT "t"."k", "t"."v", "d"."label" FROM "t" '
+        'JOIN "d" ON "t"."k" = "d"."k"',
+        tables,
+    )
+
+
+def test_parallel_left_join_pads_after_matches():
+    dims = Table.from_columns(k=[1.0, 3.0], label=["one", "three"])
+    tables = {"t": build_fact(4 * MORSEL + 1), "d": dims}
+    run_both(
+        'SELECT "t"."k", "t"."v", "d"."label" FROM "t" '
+        'LEFT JOIN "d" ON "t"."k" = "d"."k"',
+        tables,
+    )
+
+
+def test_parallel_join_varchar_keys():
+    num_rows = 3 * MORSEL + 4
+    tables = {
+        "t": Table.from_columns(
+            name=[None if index % 6 == 0 else "n%d" % (index % 5)
+                  for index in range(num_rows)],
+            v=[float(index) for index in range(num_rows)],
+        ),
+        "d": Table.from_columns(
+            name=["n0", "n2", "n4", "n9"],
+            label=["zero", "two", "four", "nine"],
+        ),
+    }
+    run_both(
+        'SELECT "t"."v", "d"."label" FROM "t" '
+        'JOIN "d" ON "t"."name" = "d"."name"',
+        tables,
+    )
+
+
+def test_join_type_mismatch_falls_back():
+    """VARCHAR against DOUBLE keys: serial python equality never matches
+    mixed types either way, but the vectorized codes cannot express it —
+    the fallback must engage and agree with serial."""
+    num_rows = 3 * MORSEL + 1
+    tables = {
+        "t": Table.from_columns(
+            k=["%d" % (index % 3) for index in range(num_rows)],
+            v=[float(index) for index in range(num_rows)],
+        ),
+        "d": Table.from_columns(k=[0.0, 1.0], label=["a", "b"]),
+    }
+    sql = ('SELECT "t"."v", "d"."label" FROM "t" '
+           'LEFT JOIN "d" ON "t"."k" = "d"."k"')
+    parallel_db = run_both(sql, tables)
+    assert "join_type_mismatch" in fallback_reasons(parallel_db, sql)
+
+
+# --------------------------------------------------------------------------
+# Windows and DISTINCT
+# --------------------------------------------------------------------------
+
+
+def test_partition_parallel_window():
+    num_rows = 5 * MORSEL + 4
+    rng = np.random.default_rng(9)
+    tables = {"t": Table.from_columns(
+        p=[float(rng.integers(0, 6)) for _ in range(num_rows)],
+        v=[None if rng.integers(0, 5) == 0 else float(rng.normal())
+           for _ in range(num_rows)],
+    )}
+    for sql in (
+        'SELECT "p", "v", SUM("v") OVER (PARTITION BY "p") AS total '
+        'FROM "t"',
+        'SELECT "p", "v", ROW_NUMBER() OVER (PARTITION BY "p" '
+        'ORDER BY "v" DESC) AS rn FROM "t"',
+        'SELECT "p", "v", LAG("v") OVER (PARTITION BY "p" ORDER BY "v") '
+        'AS prev FROM "t"',
+    ):
+        run_both(sql, tables)
+
+
+def test_unpartitioned_window_records_fallback():
+    num_rows = 3 * MORSEL + 2
+    tables = {"t": Table.from_columns(
+        v=[float(index % 9) for index in range(num_rows)])}
+    sql = 'SELECT "v", SUM("v") OVER (ORDER BY "v") AS running FROM "t"'
+    parallel_db = run_both(sql, tables)
+    assert "window_single_partition" in fallback_reasons(parallel_db, sql)
+
+
+def test_parallel_distinct_first_occurrence_bytes():
+    """DISTINCT output order (factorization order) and the surviving
+    row's bit patterns must match serial, including -0.0 vs 0.0."""
+    num_rows = 4 * MORSEL + 2
+    tables = {"t": Table.from_columns(
+        k=[(-0.0 if index % 2 else 0.0) if index % 5 == 0
+           else float(index % 4)
+           for index in range(num_rows)],
+        s=[None if index % 7 == 0 else "s%d" % (index % 3)
+           for index in range(num_rows)],
+    )}
+    run_both('SELECT DISTINCT "k", "s" FROM "t"', tables)
+
+
+# --------------------------------------------------------------------------
+# Fallbacks mid-plan
+# --------------------------------------------------------------------------
+
+
+def test_nondecomposable_aggregate_mid_plan():
+    """MEDIAN forces the aggregate onto the serial kernel while the
+    filter below it still runs morsel-parallel — the handoff between the
+    paths must not disturb rows or group order."""
+    num_rows = 6 * MORSEL + 1
+    rng = np.random.default_rng(17)
+    tables = {"t": Table.from_columns(
+        k=[None if rng.integers(0, 5) == 0 else float(rng.integers(0, 3))
+           for _ in range(num_rows)],
+        v=[None if rng.integers(0, 4) == 0 else float(rng.normal())
+           for _ in range(num_rows)],
+    )}
+    sql = ('SELECT "k", MEDIAN("v") AS med, COUNT(*) AS n FROM "t" '
+           'WHERE "v" IS NOT NULL OR "k" IS NOT NULL GROUP BY "k"')
+    parallel_db = run_both(sql, tables)
+    assert "aggregate_nondecomposable" in fallback_reasons(parallel_db, sql)
+
+
+def test_count_distinct_falls_back_identically():
+    num_rows = 4 * MORSEL + 3
+    tables = {"t": Table.from_columns(
+        k=[float(index % 2) for index in range(num_rows)],
+        v=[float(index % 5) for index in range(num_rows)],
+    )}
+    run_both(
+        'SELECT "k", COUNT(DISTINCT "v") AS dv FROM "t" GROUP BY "k"',
+        tables,
+    )
+
+
+def test_mixed_decomposable_and_not_in_one_query():
+    num_rows = 5 * MORSEL + 2
+    tables = {"t": Table.from_columns(
+        k=[float(index % 3) for index in range(num_rows)],
+        v=[None if index % 6 == 0 else float(index % 13)
+           for index in range(num_rows)],
+    )}
+    run_both(
+        'SELECT "k", COUNT(*) AS n, STDDEV("v") AS sd, MAX("v") AS hi '
+        'FROM "t" GROUP BY "k"',
+        tables,
+    )
+
+
+def test_fallback_reasons_absent_on_clean_parallel_plans():
+    num_rows = 4 * MORSEL
+    tables = {"t": Table.from_columns(
+        k=[float(index % 3) for index in range(num_rows)],
+        v=[float(index) for index in range(num_rows)],
+    )}
+    sql = 'SELECT "k", COUNT(*) AS n FROM "t" GROUP BY "k"'
+    parallel_db = run_both(sql, tables)
+    assert fallback_reasons(parallel_db, sql) == set()
