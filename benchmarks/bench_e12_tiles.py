@@ -1,0 +1,175 @@
+"""E12 — data-tile index vs direct requery for linked brushing.
+
+The demo's marquee interaction: a 1M-row flights dashboard (scaled by
+``REPRO_BENCH_SCALE``) with two views linked to one distance brush — a
+departure-delay histogram and a per-carrier aggregate.  Every brush move
+re-filters the full table on the direct path; the tile path builds a
+bin x bin aggregate cube once and answers each event by slicing it in
+O(bins), with zero base-table scans.
+
+Both sessions replay the same ~24-position brush sweep over grid-aligned
+edges (the tile fast path — off-grid bounds fall back to requery and are
+covered by the fuzz axis, not benchmarked here).  Per-event latency is
+``result.breakdown.total``; every event's rows are checked equivalent
+between the two sessions, so the speedup is never bought with a wrong
+answer.  Writes ``BENCH_tiles.json``.
+
+CI tripwire: the tiled path's median per-event latency must beat direct
+requery by at least ``REPRO_BENCH_MIN_TILE_SPEEDUP`` (default 10.0; the
+reduced-scale CI run relaxes it — at 0.2 scale the requery being beaten
+is itself 5x cheaper while the slice cost is scale-invariant).
+"""
+
+import os
+
+from conftest import (
+    latency_summary,
+    print_header,
+    print_rows,
+    scaled,
+    write_bench_record,
+)
+
+from repro.core import VegaPlus
+from repro.datagen import generate_flights
+from repro.fuzz.normalize import canonical_rows, rows_equivalent
+
+ROWS = 1_000_000
+
+DASHBOARD = {
+    "signals": [
+        {"name": "lo", "value": 0.0,
+         "bind": {"input": "range", "min": 0, "max": 3000}},
+        {"name": "hi", "value": 3000.0,
+         "bind": {"input": "range", "min": 0, "max": 3000}},
+    ],
+    "data": [
+        {"name": "flights", "url": "synthetic://flights"},
+        {"name": "hist", "source": "flights", "transform": [
+            {"type": "filter",
+             "expr": "datum.distance >= lo && datum.distance < hi"},
+            {"type": "bin", "field": "dep_delay",
+             "extent": [-30, 600], "maxbins": 30,
+             "as": ["bin0", "bin1"]},
+            {"type": "aggregate", "groupby": ["bin0", "bin1"],
+             "ops": ["count"], "as": ["cnt"]},
+        ]},
+        {"name": "by_carrier", "source": "flights", "transform": [
+            {"type": "filter",
+             "expr": "datum.distance >= lo && datum.distance < hi"},
+            {"type": "aggregate", "groupby": ["carrier"],
+             "ops": ["count", "mean"], "fields": [None, "dep_delay"],
+             "as": ["cnt", "avg_delay"]},
+        ]},
+    ],
+    "marks": [
+        {"type": "rect", "from": {"data": "hist"},
+         "encode": {"update": {"x": {"field": "bin0"},
+                               "x2": {"field": "bin1"},
+                               "y": {"field": "cnt"}}}},
+        {"type": "rect", "from": {"data": "by_carrier"},
+         "encode": {"update": {"x": {"field": "carrier"},
+                               "y": {"field": "cnt"},
+                               "fill": {"field": "avg_delay"}}}},
+    ],
+}
+
+
+def fresh_session(table, tiles):
+    session = VegaPlus(
+        DASHBOARD, data={"flights": table},
+        latency_ms=0.0, bandwidth_mbps=100000.0, tiles=tiles)
+    session.startup()
+    return session
+
+
+def brush_trace(session):
+    """~24 brush positions on the tile grid's own edges: sweep the low
+    bound up, then the high bound down."""
+    entry = session.tiles._states["hist"]
+    grid = entry.cube.grids[0]
+    edges = [grid.edge(i) for i in range(grid.n_bins + 1)]
+    stride = max(1, len(edges) // 12)
+    lows = edges[:len(edges) // 2:stride]
+    highs = list(reversed(edges[len(edges) // 2::stride]))
+    return [("lo", value) for value in lows] \
+        + [("hi", value) for value in highs]
+
+
+def canon(session, sink):
+    fields = session.compiled.spec.mark_fields(sink) or None
+    return canonical_rows(session._sink_state(sink).rows, fields=fields)
+
+
+def replay(session, trace, check_against=None):
+    latencies = []
+    for name, value in trace:
+        result = session.interact(name, value)
+        latencies.append(result.breakdown.total)
+        if check_against is not None:
+            check_against.interact(name, value)
+            for sink in ("hist", "by_carrier"):
+                assert rows_equivalent(
+                    canon(session, sink), canon(check_against, sink)), \
+                    "tiled != direct at {}={} sink={}".format(
+                        name, value, sink)
+    return latencies
+
+
+def median(values):
+    ordered = sorted(values)
+    return ordered[len(ordered) // 2]
+
+
+def test_e12_tile_index_speedup():
+    num_rows = scaled(ROWS)
+    table = generate_flights(num_rows)
+
+    tiled = fresh_session(table, tiles="force")
+    built = tiled.prewarm_tiles()
+    assert built == 2, "both brushed views must tile"
+    trace = brush_trace(tiled)
+
+    direct = fresh_session(table, tiles=False)
+    # one equivalence-checked pass (correctness, unmeasured) ...
+    replay(fresh_session(table, tiles="force"), trace,
+           check_against=fresh_session(table, tiles=False))
+    # ... then the measured passes
+    direct_lat = replay(direct, trace)
+    tiled_lat = replay(tiled, trace)
+    assert tiled.tiles.hits == len(trace) * 2, \
+        "every event on both sinks must be a tile hit"
+
+    speedup = median(direct_lat) / max(median(tiled_lat), 1e-9)
+    stats = tiled.tiles.stats()
+    record = {
+        "rows": num_rows,
+        "events": len(trace),
+        "views": 2,
+        "direct": latency_summary(direct_lat),
+        "tiled": latency_summary(tiled_lat),
+        "median_speedup": speedup,
+        "tile_builds": stats["builds"],
+        "tile_bytes": stats["bytes_built"],
+        "build_seconds": sum(
+            entry.build_seconds for entry in tiled.tiles._states.values()),
+    }
+    write_bench_record("tiles", record)
+
+    print_header("E12: linked brushing, direct requery vs tile index")
+    rows = []
+    for mode, lat in (("direct", direct_lat), ("tiled", tiled_lat)):
+        summary = latency_summary(lat)
+        rows.append([mode, len(lat),
+                     "{:.5f}".format(summary["p50_s"]),
+                     "{:.5f}".format(summary["p95_s"]),
+                     "{:.5f}".format(summary["p99_s"])])
+    print_rows(["mode", "events", "p50(s)", "p95(s)", "p99(s)"], rows)
+    print("\nmedian speedup: {:.1f}x  (build: {:.3f}s amortized over "
+          "{} events x 2 views)".format(
+              speedup, record["build_seconds"], len(trace)))
+
+    floor = float(os.environ.get("REPRO_BENCH_MIN_TILE_SPEEDUP", "10.0"))
+    assert speedup >= floor, (
+        "tile index must beat direct requery by >= {}x "
+        "(got {:.1f}x)".format(floor, speedup))

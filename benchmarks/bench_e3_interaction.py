@@ -12,7 +12,13 @@ the flights histogram and measure per-interaction latency:
   changes never touch the server at all.
 """
 
-from conftest import print_header, print_rows, scaled
+from conftest import (
+    latency_summary,
+    print_header,
+    print_rows,
+    scaled,
+    write_bench_record,
+)
 
 from repro.core import VegaPlus
 from repro.datagen import generate_flights
@@ -39,26 +45,34 @@ def test_e3_interaction_prefetch(benchmark):
         "slider drag": slider_drag("maxbins", 20, 90, step=10),
     }
     reports = {}
+    record = {}
     for name, trace in traces.items():
         cold = replay(fresh_session(table), trace, prefetch=False)
         warm = replay(fresh_session(table), trace, prefetch=True)
         reports[name] = (cold, warm)
-        rows.append([
-            name, "off", cold.interactions,
-            "{:.4f}".format(cold.mean_latency),
-            "{:.0%}".format(cold.cache_hit_rate), "-",
-        ])
-        rows.append([
-            name, "on", warm.interactions,
-            "{:.4f}".format(warm.mean_latency),
-            "{:.0%}".format(warm.cache_hit_rate), warm.prefetches,
-        ])
+        record[name] = {}
+        for label, report in (("prefetch_off", cold),
+                              ("prefetch_on", warm)):
+            summary = latency_summary(report.latencies())
+            summary["cache_hit_rate"] = report.cache_hit_rate
+            record[name][label] = summary
+            rows.append([
+                name, "off" if report is cold else "on",
+                report.interactions,
+                "{:.4f}".format(summary["p50_s"]),
+                "{:.4f}".format(summary["p95_s"]),
+                "{:.4f}".format(summary["p99_s"]),
+                "{:.0%}".format(report.cache_hit_rate),
+                "-" if report is cold else report.prefetches,
+            ])
 
     print_header("E3: interaction latency, prefetch off vs on")
     print_rows(
-        ["trace", "prefetch", "steps", "mean(s)", "hit-rate", "prefetches"],
+        ["trace", "prefetch", "steps", "p50(s)", "p95(s)", "p99(s)",
+         "hit-rate", "prefetches"],
         rows,
     )
+    write_bench_record("interaction", record)
     print("\npaper shape: prefetch+cache turns repeated server round trips "
           "into cache hits, cutting interaction latency")
 

@@ -94,12 +94,34 @@ class ResultCache:
         """Peek without affecting counters or recency."""
         return key in self._entries
 
+    def peek(self, key):
+        """The entry for ``key`` (refreshing its recency) without touching
+        the hit/miss counters — used by owners of synthetic entries (tile
+        cubes) that treat the cache purely as the eviction authority."""
+        entry = self._entries.get(key)
+        if entry is not None:
+            self._entries.move_to_end(key)
+        return entry
+
+    def discard(self, key):
+        """Drop one entry (owner-initiated invalidation, not eviction)."""
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return
+        self._bytes -= entry.wire_bytes
+        self.tracer.count("cache.bytes", delta=-entry.wire_bytes)
+
     def put(self, key, entry):
         if key in self._entries:
             self._bytes -= self._entries[key].wire_bytes
+            self.tracer.count("cache.bytes",
+                              delta=-self._entries[key].wire_bytes)
             del self._entries[key]
         self._entries[key] = entry
         self._bytes += entry.wire_bytes
+        # ``cache.bytes`` tracks the resident byte size as a net counter:
+        # every put adds, every eviction/clear subtracts.
+        self.tracer.count("cache.bytes", delta=entry.wire_bytes)
         self._evict()
 
     def _evict(self):
@@ -111,8 +133,11 @@ class ResultCache:
             self.evictions += 1
             self.evicted_bytes += evicted.wire_bytes
             self.tracer.count("cache.evictions")
+            self.tracer.count("cache.bytes", delta=-evicted.wire_bytes)
 
     def clear(self):
+        if self._bytes:
+            self.tracer.count("cache.bytes", delta=-self._bytes)
         self._entries.clear()
         self._bytes = 0
 

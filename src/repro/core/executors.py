@@ -111,6 +111,22 @@ class ServerSegmentRunner:
         columns = batch.column_names or list(builder.columns)
         return batch, value_results, columns
 
+    def execute_value(self, builder, spec_type, params):
+        """Run one value transform (extent) as a scalar query against the
+        pipeline composed in ``builder`` and return its value.  Used by
+        the tile builder, which needs the computed value *between* steps
+        (the brush grid derives from the measured extent)."""
+        translation = builder.value_query(spec_type, params, self.signals)
+        sql = self.finalize_sql(translation.select)
+        batch = self._execute(sql, kind="value")
+        return self._extract_value(spec_type, batch)
+
+    def execute_rows(self, builder, project_fields=None):
+        """Run the rows query of the pipeline composed in ``builder`` and
+        return the result batch (with caching and network accounting)."""
+        sql = self.finalize_sql(builder.query(project_fields=project_fields))
+        return self._execute(sql, kind="rows")
+
     def segment_cached(self, root_table, base_columns, steps, cut,
                        final_fields=None):
         """True when every query of this segment (value queries plus the

@@ -70,7 +70,8 @@ class VegaPlus:
                  merge_queries=True, rewrite_sql=True, cache_entries=64,
                  prefetch_budget=3, validate=True,
                  per_operator_roundtrips=False, dynamic_replan=False,
-                 trace=False, parallelism=None, columnar=True):
+                 trace=False, parallelism=None, columnar=True,
+                 tiles=True):
         #: telemetry: False/None = off (no-op tracer), True = record, or
         #: pass a :class:`repro.telemetry.Tracer` to share one across
         #: sessions.
@@ -147,6 +148,15 @@ class VegaPlus:
         if self.tracer.enabled:
             self.cache.tracer = self.tracer
         self.prefetcher = Prefetcher(budget=prefetch_budget)
+        #: data-tile index for brush interactions: False/None = off,
+        #: True = cost-model gated ("auto"), or "force" to always tile
+        #: eligible sinks regardless of the cost model
+        self.tiles = None
+        if tiles:
+            from repro.tiles import TileIndexManager
+
+            mode = tiles if isinstance(tiles, str) else "auto"
+            self.tiles = TileIndexManager(mode=mode, tracer=self.tracer)
         self.plan = None
         self._sink_states = {}
         self.history = []
@@ -384,6 +394,8 @@ class VegaPlus:
         self._interaction_plans = None
         self.cache.clear()
         self.prefetcher = Prefetcher(budget=self.prefetcher.budget)
+        if self.tiles is not None:
+            self.tiles.reset()
         return self.startup()
 
     # -- streaming data ---------------------------------------------------------------
@@ -427,6 +439,10 @@ class VegaPlus:
         if source is not None:
             source.set_rows(merged)
             self.compiled.flow.touch(source)
+        if self.tiles is not None:
+            # Patch live tile cubes with just the delta (the cache clear
+            # above dropped their entries; a successful patch re-puts).
+            self.tiles.on_append(self, name, incoming)
         if self.plan is None:
             return None
         plan = self.optimize()
@@ -469,6 +485,14 @@ class VegaPlus:
                               signal=signal) as span:
             for sink, dataset_plan in plan.datasets.items():
                 state = self._sink_state(sink)
+                if self.tiles is not None:
+                    rows = self.tiles.try_interact(
+                        self, sink, state, dataset_plan, changed, result
+                    )
+                    if rows is not None:
+                        state.rows = rows
+                        result.datasets[sink] = rows
+                        continue
                 frontier = min(
                     signal_frontier(self.compiled, sink, name)
                     for name in changed
@@ -620,6 +644,14 @@ class VegaPlus:
         """Signal an idle period: the prefetcher runs its predictions."""
         return self.prefetcher.prefetch(self)
 
+    def prewarm_tiles(self):
+        """Eagerly build tile cubes for every eligible sink (e.g. during
+        idle time, before the first brush event pays the build).  Returns
+        the number of cubes built; 0 when tiles are disabled."""
+        if self.tiles is None or self.plan is None:
+            return 0
+        return self.tiles.prewarm(self)
+
     # -- introspection -----------------------------------------------------------------
 
     def last_result(self):
@@ -641,6 +673,7 @@ class VegaPlus:
                 "observations": self.prefetcher.predictor.observations,
                 "prefetched": self.prefetcher.prefetched,
             },
+            "tiles": self.tiles.stats() if self.tiles is not None else None,
             "runs": len(self.history),
         }
 
@@ -668,6 +701,8 @@ class VegaPlus:
         if self.plan is None:
             raise SessionError("call startup() before explain()")
         lines = [self.plan.describe()]
+        if self.tiles is not None:
+            lines.extend(self.tiles.explain_lines(self))
         last = self.last_result()
         if last is not None:
             for entry in last.queries:

@@ -232,8 +232,14 @@ class SQLCompiler:
             right_null = isinstance(node.right, ast.Literal) and node.right.value is None
             if left_null or right_null:
                 other = node.right if left_null else node.left
-                verb = "IS NULL" if sql_op == "=" else "IS NOT NULL"
-                return "({} {})".format(self._emit(other), verb)
+                if sql_op == "=":
+                    return "({} IS NULL)".format(self._emit(other))
+                if sql_op == "<>":
+                    return "({} IS NOT NULL)".format(self._emit(other))
+                # Ordered comparison against a null literal: the client
+                # evaluator coerces null to NaN, so the comparison is
+                # uniformly false — for NULL operands too.
+                return "FALSE"
             return self._emit_comparison(sql_op, node)
         if op == "+":
             if self._is_stringy(node.left) or self._is_stringy(node.right):

@@ -34,19 +34,31 @@ from repro.fuzz.reprofile import write_repro
 from repro.fuzz.runner import CampaignResult, run_campaign
 from repro.fuzz.shrink import shrink_case
 from repro.fuzz.specgen import generate_case
+from repro.fuzz.tiles import (
+    TilesCampaignResult,
+    TilesReport,
+    check_tiles_case,
+    generate_tiles_case,
+    run_tiles_campaign,
+)
 
 __all__ = [
     "CampaignResult",
     "CaseReport",
     "FuzzCase",
     "Mismatch",
+    "TilesCampaignResult",
+    "TilesReport",
     "canonical_cell",
     "canonical_rows",
     "check_case",
+    "check_tiles_case",
     "diff_canonical",
     "generate_case",
+    "generate_tiles_case",
     "rows_equivalent",
     "run_campaign",
+    "run_tiles_campaign",
     "shrink_case",
     "write_repro",
 ]

@@ -65,6 +65,11 @@ def build_parser():
         "--selftest", action="store_true",
         help="inject a deliberate SQL-literal bug and verify the "
              "find -> shrink -> repro pipeline catches it")
+    parser.add_argument(
+        "--tiles", action="store_true",
+        help="run the tiles-vs-direct equivalence axis instead: brush "
+             "cases replayed through a tile-forced and a tile-free "
+             "session must agree after every event")
     return parser
 
 
@@ -112,6 +117,18 @@ def main(argv=None):
     if args.selftest:
         return run_selftest(args.out, quiet=args.quiet)
     emit = (lambda message: None) if args.quiet else print
+    if args.tiles:
+        from repro.fuzz.tiles import run_tiles_campaign
+
+        result = run_tiles_campaign(
+            seed=args.seed,
+            iterations=args.iterations,
+            max_rows=args.max_rows,
+            max_failures=args.max_failures,
+            log=emit,
+        )
+        print(result.describe())
+        return 0 if result.ok else 1
     result = run_campaign(
         seed=args.seed,
         iterations=args.iterations,

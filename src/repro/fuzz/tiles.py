@@ -1,0 +1,377 @@
+"""Tiles-vs-direct differential fuzzing.
+
+Generates brush-shaped cases (1-D / 2-D range predicates over numeric
+columns feeding a decomposable aggregate) and replays the same event
+sequence through two sessions: one with the tile index forced on, one
+with tiles disabled.  After startup and after every event the canonical
+sink rows must match.  Event values mix grid-aligned bin edges (the tile
+fast path), off-grid values and exotic bounds (the unaligned fallback),
+nulls (gated brushes), inverted/empty ranges, and mid-sequence streaming
+appends (the delta-patch path).
+"""
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.core.session import VegaPlus
+from repro.dataflow.transforms.bin import bin_params
+from repro.expr.evaluator import Evaluator, _boolean
+from repro.expr.parser import parse
+from repro.fuzz.normalize import canonical_rows, rows_equivalent
+from repro.tiles.build import TILE_RESOLUTION
+
+_SEED_STRIDE = 100003
+
+#: category pool for group keys: duplicates, empty string, unicode
+_CATS = ["a", "b", "cc", "", "α-β", None]
+
+#: operator pairs for the low/high side of a brush range
+_OP_PAIRS = [(">=", "<"), (">", "<="), (">=", "<="), (">", "<")]
+
+
+@dataclass
+class TilesCase:
+    """One generated tiles-vs-direct case."""
+
+    seed: int
+    spec: dict
+    rows: List[dict]
+    #: ("set", signal, value) | ("append", rows)
+    events: List[tuple]
+    notes: str = ""
+
+
+@dataclass
+class TilesMismatch:
+    stage: str  # "startup" | "event[i] sig=value" | "append[i]"
+    sink: str
+    tiled: list
+    direct: list
+
+    def describe(self):
+        return "{} sink={}\n  tiled : {!r}\n  direct: {!r}".format(
+            self.stage, self.sink, self.tiled[:6], self.direct[:6])
+
+
+@dataclass
+class TilesReport:
+    case: TilesCase
+    mismatches: List[TilesMismatch] = field(default_factory=list)
+    error: str = ""
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def ok(self):
+        return not self.mismatches and not self.error
+
+    def describe(self):
+        lines = ["seed={} {}".format(self.case.seed, self.case.notes)]
+        if self.error:
+            lines.append("ERROR: {}".format(self.error))
+        for mismatch in self.mismatches:
+            lines.append(mismatch.describe())
+        if self.stats:
+            lines.append("tiles: {}".format(self.stats))
+        return "\n".join(lines)
+
+
+@dataclass
+class TilesCampaignResult:
+    seed: int
+    iterations: int
+    failures: List[TilesReport] = field(default_factory=list)
+    cases_run: int = 0
+    tile_hits: int = 0
+    tile_builds: int = 0
+    tile_deltas: int = 0
+    tile_unaligned: int = 0
+
+    @property
+    def ok(self):
+        return not self.failures
+
+    def describe(self):
+        lines = [
+            "tiles campaign: {} cases, {} failures "
+            "(hits={} builds={} deltas={} unaligned={})".format(
+                self.cases_run, len(self.failures), self.tile_hits,
+                self.tile_builds, self.tile_deltas, self.tile_unaligned)
+        ]
+        for report in self.failures:
+            lines.append("-" * 60)
+            lines.append(report.describe())
+        return "\n".join(lines)
+
+
+# -- generation --------------------------------------------------------------
+
+
+def _numeric(rng, lo, hi, null_p):
+    roll = rng.random()
+    if roll < null_p:
+        return None
+    if roll < null_p + 0.04:
+        return float("nan")  # the data model folds NaN into NULL
+    # snap to a coarse lattice so duplicates and exact edge collisions
+    # actually happen
+    span = hi - lo
+    return lo + round(rng.random() * 20) / 20.0 * span
+
+
+def _row(rng):
+    return {
+        "bx": _numeric(rng, 0.0, 100.0, 0.15),
+        "by": _numeric(rng, -20.0, 20.0, 0.15),
+        "val": _numeric(rng, -50.0, 50.0, 0.10),
+        "cat": rng.choice(_CATS),
+    }
+
+
+def _brush_steps(rng, field_name, lo, hi):
+    """Brush filter step(s) over one axis, in one of several shapes the
+    detector must normalize identically."""
+    ops = rng.choice(_OP_PAIRS)
+    low = "datum.{} {} {}".format(field_name, ops[0], lo)
+    high = "datum.{} {} {}".format(field_name, ops[1], hi)
+    shape = rng.random()
+    if shape < 0.35:
+        return [{"type": "filter", "expr": "{} && {}".format(low, high)}]
+    if shape < 0.55:
+        # null-gated: a cleared brush selects everything
+        return [{"type": "filter",
+                 "expr": "{} == null || ({} && {})".format(lo, low, high)}]
+    if shape < 0.75:
+        # two separate steps
+        return [{"type": "filter", "expr": low},
+                {"type": "filter", "expr": high}]
+    # negated complement of the low side
+    flipped = {">=": "<", ">": "<=", "<": ">=", "<=": ">"}[ops[0]]
+    return [{"type": "filter",
+             "expr": "!(datum.{} {} {}) && {}".format(
+                 field_name, flipped, lo, high)}]
+
+
+def _grid_edges(rows, prefix_steps, field_name):
+    """The widened brush-grid edges the tile build will choose, derived
+    the same way: extent of the prefix-filtered column, bin_params at the
+    tile resolution, plus one top slot."""
+    keep = rows
+    for step in prefix_steps:
+        if step["type"] == "filter":
+            node = parse(step["expr"])
+            evaluator = Evaluator()
+            keep = [row for row in keep
+                    if _boolean(evaluator.evaluate(node, datum=row))]
+    values = [row.get(field_name) for row in keep]
+    values = [v for v in values
+              if isinstance(v, (int, float)) and v == v]
+    if not values:
+        return []
+    start, stop, step_w = bin_params(
+        [min(values), max(values)], maxbins=TILE_RESOLUTION, nice=True)
+    if step_w <= 0:
+        return []
+    n_bins = int(round((stop - start) / step_w)) + 1
+    return [start + k * step_w for k in range(n_bins + 1)]
+
+
+def _event_value(rng, edges):
+    roll = rng.random()
+    if edges and roll < 0.60:
+        return rng.choice(edges)
+    if edges and roll < 0.72:
+        # off-grid: splits a slot, must fall back to requery
+        return rng.choice(edges[:-1]) + (edges[1] - edges[0]) * 0.37
+    if roll < 0.82:
+        return None
+    if roll < 0.90:
+        return rng.choice([-1e9, 1e9])
+    return round(rng.uniform(-120.0, 120.0), 2)
+
+
+def generate_tiles_case(seed, max_rows=60):
+    """Generate one tiles-vs-direct case from ``seed``."""
+    rng = random.Random(seed)
+    rows = [_row(rng) for _ in range(rng.randint(0, max_rows))]
+
+    prefix = []
+    if rng.random() < 0.35:
+        prefix.append({"type": "filter", "expr": rng.choice([
+            "datum.val > 0", "datum.val != null", "datum.bx <= 90",
+        ])})
+    if rng.random() < 0.2:
+        prefix.append({"type": "formula", "expr": "datum.val * 2",
+                       "as": "v2"})
+
+    axes = [("bx", "lo0", "hi0")]
+    if rng.random() < 0.4:
+        axes.append(("by", "lo1", "hi1"))
+    steps = list(prefix)
+    for field_name, lo, hi in axes:
+        steps.extend(_brush_steps(rng, field_name, lo, hi))
+
+    # target: what the brush filters into
+    target = rng.random()
+    groupby = []
+    if target < 0.4:
+        groupby = ["cat"]
+    elif target < 0.7:
+        steps.append({"type": "bin", "field": "val",
+                      "extent": [-50, 50], "maxbins": 10,
+                      "as": ["vb0", "vb1"]})
+        groupby = ["vb0", "vb1"]
+
+    pool = [("count", None), ("sum", "val"), ("mean", "val"),
+            ("min", "val"), ("max", "val"), ("valid", "val"),
+            ("missing", "val")]
+    picks = rng.sample(pool, rng.randint(1, 3))
+    steps.append({
+        "type": "aggregate",
+        "groupby": groupby,
+        "ops": [op for op, _ in picks],
+        "fields": [f for _, f in picks],
+        "as": ["out{}".format(i) for i in range(len(picks))],
+    })
+    out_fields = list(groupby) + ["out{}".format(i)
+                                  for i in range(len(picks))]
+    if rng.random() < 0.25:
+        steps.append({"type": "collect",
+                      "sort": {"field": out_fields[0]}})
+
+    edges = {f: _grid_edges(rows, prefix, f) for f, _, _ in axes}
+    signals = []
+    for field_name, lo, hi in axes:
+        for name in (lo, hi):
+            signals.append({
+                "name": name,
+                "value": _event_value(rng, edges[field_name]),
+                "bind": {"input": "range", "min": -120, "max": 120,
+                         "step": 0.01},
+            })
+
+    channels = ["x", "y", "fill", "stroke", "size", "shape", "opacity",
+                "x2", "y2", "tooltip"]
+    spec = {
+        "description": "tiles fuzz seed={}".format(seed),
+        "width": 400,
+        "height": 200,
+        "signals": signals,
+        "data": [
+            {"name": "t", "url": "synthetic://t"},
+            {"name": "view", "source": "t", "transform": steps},
+        ],
+        "marks": [{
+            "type": "rect",
+            "from": {"data": "view"},
+            "encode": {"update": {
+                channel: {"field": f}
+                for channel, f in zip(channels, out_fields)
+            }},
+        }],
+    }
+
+    events = []
+    signal_axis = {}
+    for field_name, lo, hi in axes:
+        signal_axis[lo] = field_name
+        signal_axis[hi] = field_name
+    for _ in range(rng.randint(4, 8)):
+        name = rng.choice(list(signal_axis))
+        events.append(("set", name,
+                       _event_value(rng, edges[signal_axis[name]])))
+    if rows and rng.random() < 0.3:
+        extra = [_row(rng) for _ in range(rng.randint(1, 8))]
+        events.insert(rng.randint(1, len(events)), ("append", extra))
+
+    notes = "rows={} axes={} groupby={} ops={} events={}".format(
+        len(rows), [a[0] for a in axes], groupby,
+        [op for op, _ in picks], len(events))
+    return TilesCase(seed=seed, spec=spec, rows=rows, events=events,
+                     notes=notes)
+
+
+# -- checking ----------------------------------------------------------------
+
+
+def _canon(session, result):
+    canon = {}
+    for sink, sink_rows in result.datasets.items():
+        fields = session.compiled.spec.mark_fields(sink) or None
+        canon[sink] = canonical_rows(sink_rows, fields=fields)
+    return canon
+
+
+def _compare(report, stage, tiled_canon, direct_canon):
+    for sink in sorted(set(tiled_canon) | set(direct_canon)):
+        t_rows = tiled_canon.get(sink, [])
+        d_rows = direct_canon.get(sink, [])
+        if not rows_equivalent(t_rows, d_rows):
+            report.mismatches.append(
+                TilesMismatch(stage, sink, t_rows, d_rows))
+
+
+def check_tiles_case(case):
+    """Replay ``case`` through a tiles-forced and a tiles-off session,
+    comparing canonical sink rows at every step."""
+    report = TilesReport(case)
+    try:
+        tiled = VegaPlus(case.spec, data={"t": case.rows},
+                         latency_ms=0.0, bandwidth_mbps=100000.0,
+                         tiles="force")
+        direct = VegaPlus(case.spec, data={"t": case.rows},
+                          latency_ms=0.0, bandwidth_mbps=100000.0,
+                          tiles=False)
+        t_result = tiled.startup()
+        d_result = direct.startup()
+    except Exception as exc:  # noqa: BLE001 - report, don't crash
+        report.error = "{}: {}".format(type(exc).__name__, exc)
+        return report
+    _compare(report, "startup", _canon(tiled, t_result),
+             _canon(direct, d_result))
+    for index, event in enumerate(case.events):
+        try:
+            if event[0] == "append":
+                t_result = tiled.append_data("t", event[1])
+                d_result = direct.append_data("t", event[1])
+                stage = "append[{}] rows={}".format(index, len(event[1]))
+            else:
+                _, name, value = event
+                t_result = tiled.interact(name, value)
+                d_result = direct.interact(name, value)
+                stage = "event[{}] {}={}".format(index, name, value)
+        except Exception as exc:  # noqa: BLE001
+            report.error = "event[{}]: {}: {}".format(
+                index, type(exc).__name__, exc)
+            break
+        _compare(report, stage, _canon(tiled, t_result),
+                 _canon(direct, d_result))
+    if tiled.tiles is not None:
+        report.stats = tiled.tiles.stats()
+    return report
+
+
+def run_tiles_campaign(seed=0, iterations=200, max_rows=60,
+                       max_failures=5, log=None):
+    """Run ``iterations`` generated cases; stop early after
+    ``max_failures`` failing ones."""
+    result = TilesCampaignResult(seed=seed, iterations=iterations)
+    for index in range(iterations):
+        case_seed = seed * _SEED_STRIDE + index
+        case = generate_tiles_case(case_seed, max_rows=max_rows)
+        report = check_tiles_case(case)
+        result.cases_run += 1
+        stats = report.stats or {}
+        result.tile_hits += stats.get("hits", 0)
+        result.tile_builds += stats.get("builds", 0)
+        result.tile_deltas += stats.get("deltas", 0)
+        result.tile_unaligned += stats.get("unaligned_fallbacks", 0)
+        if not report.ok:
+            result.failures.append(report)
+            if log:
+                log("FAIL seed={}".format(case_seed))
+            if len(result.failures) >= max_failures:
+                break
+        elif log and (index + 1) % 25 == 0:
+            log("{}/{} ok".format(index + 1, iterations))
+    return result

@@ -122,4 +122,11 @@ def refit_from_report(report, base_params=None, parallel_speedup=None):
         client_slowdown=params.client_slowdown,
         server_workers=params.server_workers,
         parallel_efficiency=efficiency,
+        # Tile costing refits from measured slice times when the audit
+        # carries them; the remaining tile fields always carry over so a
+        # refit never silently changes the tile-vs-requery policy.
+        tile_cell_cost=scaled(params.tile_cell_cost, "tile-slice"),
+        tile_slice_overhead=params.tile_slice_overhead,
+        tile_build_factor=params.tile_build_factor,
+        tile_predicted_events=params.tile_predicted_events,
     )

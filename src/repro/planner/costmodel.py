@@ -32,6 +32,19 @@ DEFAULT_RENDER_ROW_COST = 2.0e-6
 # ``1 + (N - 1) * efficiency`` of one worker's throughput.
 DEFAULT_PARALLEL_EFFICIENCY = 0.6
 
+# Data-tile costing: answering a brush event from a materialized
+# bin-aggregate cube costs a fixed overhead (membership evaluation,
+# result assembly) plus a per-cell numpy reduction.
+DEFAULT_TILE_CELL_COST = 2.0e-8
+DEFAULT_TILE_SLICE_OVERHEAD = 5.0e-4
+# Building the cube is roughly one re-query of the same pipeline, at a
+# finer grouping granularity (the extra extent query and the wider
+# GROUP BY), hence a factor > 1 over the per-event requery estimate.
+DEFAULT_TILE_BUILD_FACTOR = 2.0
+# How many brush events a built tile is expected to serve; the build
+# cost amortizes over this horizon.  Refittable from replayed traces.
+DEFAULT_TILE_PREDICTED_EVENTS = 40.0
+
 # Steps that are heavier than a plain row pass (sorts, groupings).
 _STEP_WEIGHT = {
     "aggregate": 2.5,
@@ -73,10 +86,38 @@ class CostParameters:
     server_workers: int = 1
     #: fraction of an extra worker that translates into throughput
     parallel_efficiency: float = DEFAULT_PARALLEL_EFFICIENCY
+    #: per-cube-cell cost of slicing a data tile for one brush event
+    tile_cell_cost: float = DEFAULT_TILE_CELL_COST
+    #: fixed per-event cost of the tile path (membership eval, assembly)
+    tile_slice_overhead: float = DEFAULT_TILE_SLICE_OVERHEAD
+    #: tile build cost as a multiple of one direct requery
+    tile_build_factor: float = DEFAULT_TILE_BUILD_FACTOR
+    #: brush events a tile is expected to serve (amortization horizon)
+    tile_predicted_events: float = DEFAULT_TILE_PREDICTED_EVENTS
 
 
 def step_weight(spec_type):
     return _STEP_WEIGHT.get(spec_type, 1.5)
+
+
+def tile_slice_cost(params, cells):
+    """Estimated latency of answering one brush event from a tile cube
+    with ``cells`` cells (brush slots x target groups)."""
+    return params.tile_slice_overhead + cells * params.tile_cell_cost
+
+
+def should_use_tiles(params, requery_seconds, cells):
+    """The planner's tile-vs-requery decision for one brushed sink.
+
+    ``requery_seconds`` is the existing cost model's estimate for one
+    direct re-execution of the sink's plan (``dataset_plan.estimate
+    .total``).  The tile wins when the per-event slice cost plus the
+    build cost amortized over the predicted event count undercuts a
+    direct requery per event.
+    """
+    events = max(float(params.tile_predicted_events), 1.0)
+    build = requery_seconds * params.tile_build_factor
+    return tile_slice_cost(params, cells) + build / events < requery_seconds
 
 
 def server_speedup(params):

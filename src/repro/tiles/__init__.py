@@ -1,0 +1,47 @@
+"""Data-tile index: O(bins) brush interactions instead of O(rows).
+
+When a sink's interactive predicate is a 1-D or 2-D range brush over
+numeric fields, the session materializes — once, server-side — a
+bin x bin aggregate cube of the sink's (decomposable) measures, then
+answers every subsequent brush event by slicing the cube: membership of
+each brush bin is decided by evaluating the actual filter expression on
+one representative value per bin, and the selected partials merge in
+O(bins x groups) numpy reductions with zero base-table scans.  See
+docs/ARCHITECTURE.md for the lifecycle and the planner decision rule.
+"""
+
+from repro.tiles.build import (
+    TILE_RESOLUTION,
+    TileBuildError,
+    build_cube,
+    component_plan,
+)
+from repro.tiles.cube import BrushGrid, TileCube, slice_result
+from repro.tiles.detect import (
+    SUPPORTED_MEASURES,
+    BrushAxis,
+    BrushComparison,
+    Ineligible,
+    TileCandidate,
+    analyze_brush_expr,
+    detect_candidate,
+)
+from repro.tiles.manager import TileIndexManager
+
+__all__ = [
+    "TILE_RESOLUTION",
+    "TileBuildError",
+    "build_cube",
+    "component_plan",
+    "BrushGrid",
+    "TileCube",
+    "slice_result",
+    "SUPPORTED_MEASURES",
+    "BrushAxis",
+    "BrushComparison",
+    "Ineligible",
+    "TileCandidate",
+    "analyze_brush_expr",
+    "detect_candidate",
+    "TileIndexManager",
+]

@@ -1,0 +1,322 @@
+"""Tile eligibility: recognize brushed bin-aggregate pipelines.
+
+A sink qualifies for the data-tile index when its chain looks like::
+
+    [static prefix: filter/formula]*
+    [brush filter]+          -- 1-D or 2-D range predicates over signals
+    [static bin]?            -- literal extent/maxbins (the chart's bins)
+    aggregate                -- decomposable ops only
+    [static post steps]*
+
+The brush filters are the only steps allowed to read the brush signals;
+everything the cube bakes in (prefix, bin, aggregate) must be static with
+respect to them, so a brush event can be answered by re-slicing the cube
+instead of re-running the chain.  Detection is conservative: any shape it
+does not recognize falls back to the ordinary requery path, which is
+always correct.
+"""
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.data.types import SQLType
+from repro.dataflow.operator import DataRef, OperatorRef, SignalRef
+from repro.dataflow.transforms.aggregate import _measures
+from repro.dataflow.transforms.base import ValueTransform
+from repro.expr import ast
+from repro.expr.parser import parse
+
+#: aggregate ops the cube can decompose (merge partials of).  distinct,
+#: variance, median etc. are not decomposable from per-bin partials.
+SUPPORTED_MEASURES = {
+    "count", "sum", "mean", "average", "min", "max", "valid", "missing",
+}
+
+_COMPARISON_OPS = ("<", "<=", ">", ">=")
+#: flipped operator when the datum field is on the right-hand side
+_FLIP = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+
+
+class Ineligible(Exception):
+    """A filter expression does not have the brush shape."""
+
+
+@dataclass
+class BrushComparison:
+    """One range comparison against the brush field, normalized so the
+    field is conceptually on the left: ``datum.f  <op>  bound``."""
+
+    op: str
+    bound: object  # datum-free expression AST
+
+
+@dataclass
+class BrushAxis:
+    """All brush predicates over one field."""
+
+    field: str
+    exprs: List[object] = field(default_factory=list)  # parsed filter ASTs
+    comparisons: List[BrushComparison] = field(default_factory=list)
+
+
+@dataclass
+class TileCandidate:
+    """A tile-indexable sink chain, decomposed."""
+
+    sink: str
+    root: str
+    prefix: list            # ChainSteps before the brush block
+    brush_steps: list       # the brush filter ChainSteps
+    first_brush_index: int  # chain index of the first brush step
+    axes: List[BrushAxis]   # 1 or 2 brushed fields
+    bin_step: Optional[object]   # the chart's own bin ChainStep, if any
+    agg_step: object             # the aggregate ChainStep
+    post_steps: list             # ChainSteps after the aggregate
+    brush_signals: set           # signals read only by the brush filters
+    static_deps: set             # signals baked into the cube
+    measures: list               # (op, field, name) triples
+    groupby: list                # target groupby fields (cube's last axis)
+
+
+def _contains_datum(node):
+    return any(
+        isinstance(n, ast.Identifier) and n.name == "datum"
+        for n in ast.walk(node)
+    )
+
+
+def _datum_field(node):
+    """The field name of a bare ``datum.f`` access; raises otherwise."""
+    if (
+        isinstance(node, ast.Member)
+        and isinstance(node.obj, ast.Identifier)
+        and node.obj.name == "datum"
+        and isinstance(node.prop, ast.Literal)
+        and isinstance(node.prop.value, str)
+    ):
+        return node.prop.value
+    raise Ineligible("datum used outside a bare field access")
+
+
+def _analyze(node, fields, comparisons):
+    """Check the brush shape; returns True when the subtree reads datum.
+
+    Allowed datum-bearing structure: boolean combinators (&&, ||, !) over
+    range comparisons with ``datum.f`` on exactly one side; any datum-free
+    subtree is a gate and passes through untouched.
+    """
+    if isinstance(node, ast.Binary) and node.op in ("&&", "||"):
+        left = _analyze(node.left, fields, comparisons)
+        right = _analyze(node.right, fields, comparisons)
+        return left or right
+    if isinstance(node, ast.Unary) and node.op == "!":
+        return _analyze(node.operand, fields, comparisons)
+    if isinstance(node, ast.Binary) and node.op in _COMPARISON_OPS:
+        left_datum = _contains_datum(node.left)
+        right_datum = _contains_datum(node.right)
+        if not left_datum and not right_datum:
+            return False
+        if left_datum and right_datum:
+            raise Ineligible("datum on both comparison sides")
+        if left_datum:
+            fields.add(_datum_field(node.left))
+            comparisons.append(BrushComparison(node.op, node.right))
+        else:
+            fields.add(_datum_field(node.right))
+            comparisons.append(BrushComparison(_FLIP[node.op], node.left))
+        return True
+    if _contains_datum(node):
+        raise Ineligible("datum outside a range comparison")
+    return False
+
+
+def analyze_brush_expr(source):
+    """(field, parsed AST, comparisons) for a brush-shaped filter, or
+    raises :class:`Ineligible`."""
+    node = parse(source)
+    fields = set()
+    comparisons = []
+    if not _analyze(node, fields, comparisons):
+        raise Ineligible("no datum comparison")
+    if len(fields) != 1:
+        raise Ineligible("brush step must range over exactly one field")
+    return fields.pop(), node, comparisons
+
+
+def _has_refs(value):
+    """Whether a params value (recursively) contains dynamic references."""
+    if isinstance(value, (SignalRef, OperatorRef, DataRef)):
+        return True
+    if isinstance(value, dict):
+        return any(_has_refs(item) for item in value.values())
+    if isinstance(value, (list, tuple)):
+        return any(_has_refs(item) for item in value)
+    return False
+
+
+def _is_static_number(value):
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def detect_candidate(session, sink, state):
+    """(TileCandidate, reason) for an eligible sink, else (None, reason)."""
+    steps = state.steps
+    root = state.root
+    known = set(session.signals)
+    stats = session.table_stats.get(root)
+    if stats is None:
+        return None, "no statistics for root table"
+
+    # -- locate the brush filters -------------------------------------------
+    brush_info = {}
+    for position, step in enumerate(steps):
+        if step.spec_type != "filter":
+            continue
+        expr = step.operator.params.get("expr")
+        if not isinstance(expr, str):
+            continue
+        signals = step.operator.signal_dependencies(known)
+        if not signals:
+            continue  # a static filter belongs to the prefix
+        try:
+            brush_field, node, comparisons = analyze_brush_expr(expr)
+        except Exception:
+            return None, "interactive filter is not a range brush"
+        brush_info[position] = (brush_field, node, comparisons, signals)
+    if not brush_info:
+        return None, "no interactive brush filter"
+    positions = sorted(brush_info)
+    first, last = positions[0], positions[-1]
+    if positions != list(range(first, last + 1)):
+        return None, "brush filters are not contiguous"
+
+    # -- static prefix -------------------------------------------------------
+    prefix = steps[:first]
+    for step in prefix:
+        if isinstance(step.operator, ValueTransform):
+            return None, "value transform before the brush"
+        if step.spec_type not in ("filter", "formula"):
+            return None, "untileable prefix step {!r}".format(step.spec_type)
+        if _has_refs(step.operator.params):
+            return None, "prefix step has operator/data references"
+
+    # -- axes ----------------------------------------------------------------
+    axes = {}
+    order = []
+    for position in positions:
+        brush_field, node, comparisons, _ = brush_info[position]
+        if brush_field not in axes:
+            axes[brush_field] = BrushAxis(field=brush_field)
+            order.append(brush_field)
+        axes[brush_field].exprs.append(node)
+        axes[brush_field].comparisons.extend(comparisons)
+    if len(order) > 2:
+        return None, "brush spans more than two fields"
+    for name in order:
+        column = stats.columns.get(name)
+        if column is None:
+            return None, "brush field {!r} is not a root column".format(name)
+        if column.type is not SQLType.DOUBLE:
+            return None, "brush field {!r} is not numeric".format(name)
+        for step in prefix:
+            if (
+                step.spec_type == "formula"
+                and step.operator.params.get("as") == name
+            ):
+                return None, "prefix overwrites the brush field"
+
+    # -- suffix: [bin]? aggregate post* --------------------------------------
+    rest = steps[last + 1:]
+    if not rest:
+        return None, "no aggregate after the brush"
+    bin_step = None
+    position = 0
+    if rest[0].spec_type == "bin":
+        bin_step = rest[0]
+        position = 1
+    if position >= len(rest) or rest[position].spec_type != "aggregate":
+        return None, "brush is not followed by an aggregate"
+    agg_step = rest[position]
+    post_steps = rest[position + 1:]
+
+    bin_outputs = set()
+    if bin_step is not None:
+        params = bin_step.operator.params
+        if _has_refs(params):
+            return None, "bin parameters are dynamic"
+        extent = params.get("extent")
+        if (
+            not isinstance(extent, (list, tuple))
+            or len(extent) != 2
+            or not all(_is_static_number(v) for v in extent)
+        ):
+            return None, "bin extent is not a static numeric range"
+        as_fields = params.get("as", ["bin0", "bin1"])
+        if (
+            not isinstance(as_fields, (list, tuple))
+            or len(as_fields) != 2
+            or not all(isinstance(v, str) for v in as_fields)
+        ):
+            return None, "bin 'as' is not a pair of names"
+        bin_outputs = set(as_fields)
+
+    agg_params = agg_step.operator.params
+    if _has_refs(agg_params):
+        return None, "aggregate parameters are dynamic"
+    try:
+        measures = _measures(agg_params)
+    except Exception:
+        return None, "malformed aggregate parameters"
+    groupby = list(agg_params.get("groupby") or [])
+    for op, measure_field, _name in measures:
+        if op not in SUPPORTED_MEASURES:
+            return None, "aggregate op {!r} is not decomposable".format(op)
+        if measure_field is None:
+            if op != "count":
+                return None, "field-less op {!r}".format(op)
+            continue
+        if op in ("count", "valid", "missing"):
+            continue  # type-agnostic: non-NULL counting only
+        if measure_field in bin_outputs:
+            continue  # numeric by construction
+        column = stats.columns.get(measure_field)
+        if column is None or column.type is not SQLType.DOUBLE:
+            return None, (
+                "measure field {!r} is not a numeric root column".format(
+                    measure_field)
+            )
+
+    for step in post_steps:
+        if _has_refs(step.operator.params):
+            return None, "post-aggregate step has dynamic references"
+
+    # -- signal separation ---------------------------------------------------
+    brush_signals = set()
+    for position in positions:
+        brush_signals |= brush_info[position][3]
+    static_steps = list(prefix)
+    if bin_step is not None:
+        static_steps.append(bin_step)
+    static_steps.append(agg_step)
+    static_deps = set()
+    for step in static_steps:
+        static_deps |= step.operator.signal_dependencies(known)
+    if static_deps & brush_signals:
+        return None, "a brush signal feeds a baked-in step"
+
+    candidate = TileCandidate(
+        sink=sink,
+        root=root,
+        prefix=prefix,
+        brush_steps=[steps[p] for p in positions],
+        first_brush_index=first,
+        axes=[axes[name] for name in order],
+        bin_step=bin_step,
+        agg_step=agg_step,
+        post_steps=post_steps,
+        brush_signals=brush_signals,
+        static_deps=static_deps,
+        measures=measures,
+        groupby=groupby,
+    )
+    return candidate, "tiled"

@@ -1,0 +1,486 @@
+"""Tile lifecycle: decide, build, slice, patch, invalidate.
+
+The manager sits between :meth:`VegaPlus.interact` and the requery path.
+Per sink it caches an eligibility verdict (:mod:`repro.tiles.detect`),
+consults the cost model (build cost amortized over the predicted event
+count), builds the cube on the first qualifying brush event, and answers
+later events by slicing.  Cubes live in the session's
+:class:`~repro.core.cache.ResultCache` under synthetic keys, so the
+ordinary byte budget and LRU eviction govern tile storage; an evicted
+cube simply rebuilds on the next event.  Append-only streaming inserts
+patch cubes in place (a delta pulse through the static prefix) instead of
+rebuilding.
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.cache import CacheEntry
+from repro.core.executors import ClientSuffixRunner
+from repro.data import ColumnBatch
+from repro.dataflow.transforms.aggregate import _effective_valid
+from repro.expr.evaluator import Evaluator, _boolean, _number
+from repro.planner.costmodel import should_use_tiles
+from repro.planner.plans import CostBreakdown
+from repro.telemetry.tracer import NOOP
+from repro.tiles.build import (
+    TILE_RESOLUTION,
+    TileBuildError,
+    build_cube,
+    group_key_tuple,
+)
+from repro.tiles.cube import slice_result
+from repro.tiles.detect import detect_candidate
+
+
+class _TileState:
+    """Per-sink tile bookkeeping."""
+
+    __slots__ = ("candidate", "reason", "cube", "cache_key", "decision",
+                 "decision_reason", "dead", "build_seconds", "slices")
+
+    def __init__(self, candidate, reason):
+        self.candidate = candidate
+        self.reason = reason
+        self.cube = None
+        self.cache_key = None
+        #: cost-model verdict (None = not yet decided)
+        self.decision = None
+        self.decision_reason = ""
+        #: a build failed; stop trying for this sink
+        self.dead = False
+        self.build_seconds = 0.0
+        self.slices = 0
+
+
+class TileIndexManager:
+    """Owns every tile cube of one session."""
+
+    def __init__(self, mode="auto", resolution=TILE_RESOLUTION, tracer=None):
+        #: "auto" = cost-model gated, "force" = always tile when eligible
+        self.mode = mode
+        self.resolution = resolution
+        #: the session's tracer may be a no-op, so the manager keeps its
+        #: own integer counters for stats()/explain()
+        self.tracer = tracer or NOOP
+        self._states = {}
+        self._generation = 0
+        self.builds = 0
+        self.build_failures = 0
+        self.hits = 0
+        self.unaligned = 0
+        self.invalidations = 0
+        self.deltas = 0
+        self.evicted_rebuilds = 0
+        self.bytes_built = 0
+
+    # -- interaction hook ----------------------------------------------------
+
+    def state_for(self, session, sink, sink_state):
+        entry = self._states.get(sink)
+        if entry is None:
+            candidate, reason = detect_candidate(session, sink, sink_state)
+            entry = _TileState(candidate, reason)
+            self._states[sink] = entry
+        return entry
+
+    def try_interact(self, session, sink, sink_state, dataset_plan,
+                     changed, result):
+        """Rows for one brush event answered from the tile, or None to
+        fall through to the ordinary requery/partial path."""
+        entry = self.state_for(session, sink, sink_state)
+        candidate = entry.candidate
+        if candidate is None or entry.dead:
+            return None
+        if changed & candidate.static_deps:
+            # a baked-in signal moved: the cube's contents are stale
+            self._invalidate(session, entry)
+            return None
+        if not (changed & candidate.brush_signals):
+            # Not a brush event for this sink; the normal path handles it
+            # (it may be a pure client-suffix change).
+            return None
+        if not self._decide(session, entry, dataset_plan):
+            return None
+        cube = self._ensure_cube(session, entry, result)
+        if cube is None:
+            return None
+
+        start = time.perf_counter()
+        memberships = self._memberships(session, candidate, cube)
+        if memberships is None:
+            self.unaligned += 1
+            self.tracer.count("tiles.unaligned")
+            return None
+        batch = slice_result(
+            cube, memberships, candidate.measures, candidate.groupby)
+        if candidate.post_steps:
+            client = ClientSuffixRunner(
+                session.signals,
+                data_resolver=session._resolve_cross_dataset,
+                tracer=session.tracer, columnar=session.columnar,
+            )
+            out = client.run_suffix(candidate.post_steps, 0, batch, {})
+            rows = out.rows
+        else:
+            rows = batch.to_rows()
+        if dataset_plan.cut >= len(sink_state.steps):
+            # the full-server plan projects the transfer to the mark's
+            # fields; mirror it so tiled rows are shaped identically
+            final_fields = session.compiled.spec.mark_fields(sink)
+            if final_fields:
+                rows = [
+                    {k: v for k, v in row.items() if k in final_fields}
+                    for row in rows
+                ]
+        elapsed = time.perf_counter() - start
+
+        if candidate.first_brush_index < dataset_plan.cut:
+            # the cached server transfer embeds the *previous* brush
+            # values; it must not satisfy a later client-partial
+            sink_state.transfer = None
+            sink_state.value_results = {}
+            sink_state.cut_executed = None
+        self.hits += 1
+        entry.slices += 1
+        self.tracer.count("tiles.hit")
+        self.tracer.observe("tiles.slice_seconds", elapsed)
+        result.breakdown = result.breakdown + CostBreakdown(
+            client=elapsed,
+            render=len(rows) * session.cost_params.render_row_cost,
+        )
+        return rows
+
+    def _decide(self, session, entry, dataset_plan):
+        if entry.decision is not None:
+            return entry.decision
+        if self.mode == "force":
+            entry.decision = True
+            entry.decision_reason = "forced"
+            return True
+        cells = self._estimated_cells(entry.candidate, dataset_plan)
+        entry.decision = should_use_tiles(
+            session.cost_params, dataset_plan.estimate.total, cells)
+        entry.decision_reason = (
+            "cost model: slice+amortized build {} requery".format(
+                "beats" if entry.decision else "loses to"))
+        return entry.decision
+
+    def _estimated_cells(self, candidate, dataset_plan):
+        slots = 1
+        for _axis in candidate.axes:
+            slots *= self.resolution + 1
+        groups = max(1, min(int(dataset_plan.transfer_rows or 1), 4096))
+        return slots * groups
+
+    # -- cube residency ------------------------------------------------------
+
+    def _ensure_cube(self, session, entry, result):
+        if entry.cube is not None:
+            cached = session.cache.peek(entry.cache_key)
+            if cached is not None and cached.value is entry.cube:
+                return entry.cube
+            # evicted under byte pressure: rebuild on demand
+            entry.cube = None
+            entry.cache_key = None
+            self.evicted_rebuilds += 1
+            self.tracer.count("tiles.evicted")
+        start = time.perf_counter()
+        try:
+            cube, runner = build_cube(
+                session, entry.candidate, self.resolution)
+        except TileBuildError:
+            entry.dead = True
+            self.build_failures += 1
+            self.tracer.count("tiles.build_failed")
+            return None
+        entry.build_seconds = time.perf_counter() - start
+        self.builds += 1
+        self.tracer.count("tiles.build")
+        self.tracer.observe("tiles.build_seconds", entry.build_seconds)
+        size = cube.nbytes()
+        self.bytes_built += size
+        self.tracer.count("tiles.bytes", delta=size)
+        self._generation += 1
+        entry.cache_key = "tiles:{}#{}".format(
+            entry.candidate.sink, self._generation)
+        session.cache.put(
+            entry.cache_key, CacheEntry(rows=[], wire_bytes=size, value=cube))
+        entry.cube = cube
+        if result is not None:
+            result.queries.extend(runner.queries)
+            ingest = max(
+                entry.build_seconds
+                - runner.server_seconds - runner.network_seconds,
+                0.0,
+            )
+            result.breakdown = result.breakdown + CostBreakdown(
+                server=runner.server_seconds,
+                network=runner.network_seconds,
+                client=ingest,
+            )
+        if session.cache.peek(entry.cache_key) is None:
+            # larger than the whole cache budget: unusable
+            entry.cube = None
+            entry.cache_key = None
+            entry.decision = False
+            entry.decision_reason = "cube exceeds the cache byte budget"
+            return None
+        return entry.cube
+
+    # -- membership ----------------------------------------------------------
+
+    def _memberships(self, session, candidate, cube):
+        """One bool vector per brush axis under the current signal values,
+        or None when a brush bound splits a slot (fall back to requery)."""
+        evaluator = Evaluator(signals=session.signals)
+        memberships = []
+        for grid, axis in zip(cube.grids, candidate.axes):
+            for comparison in axis.comparisons:
+                try:
+                    # the datum side is DOUBLE/NULL, so _compare always
+                    # takes its numeric branch: the bound's effective
+                    # value is its JS number coercion
+                    bound = _number(evaluator.evaluate(comparison.bound))
+                except Exception:
+                    return None
+                if not grid.aligned(bound, comparison.op):
+                    return None
+            mask = np.zeros(grid.n_slots, dtype=np.bool_)
+            try:
+                for index in range(grid.n_bins):
+                    datum = {axis.field: grid.edge(index)}
+                    mask[index] = all(
+                        _boolean(evaluator.evaluate(node, datum=datum))
+                        for node in axis.exprs
+                    )
+                datum = {axis.field: None}
+                mask[grid.null_slot] = all(
+                    _boolean(evaluator.evaluate(node, datum=datum))
+                    for node in axis.exprs
+                )
+            except Exception:
+                return None
+            memberships.append(mask)
+        return memberships
+
+    # -- streaming appends ---------------------------------------------------
+
+    def on_append(self, session, name, incoming):
+        """Patch every live cube rooted at ``name`` with the appended
+        batch; anything the delta path cannot absorb invalidates."""
+        for sink, entry in self._states.items():
+            if entry.cube is None or entry.candidate is None:
+                continue
+            if entry.candidate.root != name:
+                continue
+            # NB: append_data clears the whole result cache before this
+            # hook runs, so the manager's own reference is authoritative
+            # here; a successful patch re-puts the entry below.
+            try:
+                patched = self._apply_delta(session, entry, incoming)
+            except Exception:
+                patched = False
+            if patched:
+                self.deltas += 1
+                self.tracer.count("tiles.delta")
+                session.cache.put(entry.cache_key, CacheEntry(
+                    rows=[], wire_bytes=entry.cube.nbytes(),
+                    value=entry.cube,
+                ))
+            else:
+                self._invalidate(session, entry)
+
+    def _apply_delta(self, session, entry, incoming):
+        candidate = entry.candidate
+        cube = entry.cube
+        steps = list(candidate.prefix)
+        if candidate.bin_step is not None:
+            steps.append(candidate.bin_step)
+        if steps:
+            client = ClientSuffixRunner(
+                session.signals,
+                data_resolver=session._resolve_cross_dataset,
+                columnar=session.columnar,
+            )
+            pulse = client.run_suffix(steps, 0, incoming, {})
+            batch = pulse.batch
+            if batch is None:
+                batch = ColumnBatch.from_rows(pulse.rows)
+        else:
+            batch = incoming
+        count = batch.num_rows
+        if count == 0:
+            return True
+
+        slot_arrays = []
+        for grid, axis in zip(cube.grids, candidate.axes):
+            column = batch.columns.get(axis.field)
+            if column is None:
+                slots = np.full(count, grid.null_slot, dtype=np.int64)
+            else:
+                slots, in_grid = grid.slots_of_values(
+                    column.data, _effective_valid(column))
+                if not in_grid:
+                    return False  # outside the measured extent: rebuild
+            slot_arrays.append(slots)
+
+        if candidate.groupby:
+            columns = [batch.columns.get(f) for f in candidate.groupby]
+            valids = [
+                None if c is None else _effective_valid(c) for c in columns
+            ]
+            gid = np.empty(count, dtype=np.int64)
+            new_rows = []
+            for row in range(count):
+                key = group_key_tuple(columns, valids, row)
+                group = cube.group_index.get(key)
+                if group is None:
+                    group = cube.n_groups + len(new_rows)
+                    cube.group_index[key] = group
+                    new_rows.append(row)
+                gid[row] = group
+            if new_rows:
+                keys = ColumnBatch()
+                take = np.asarray(new_rows, dtype=np.int64)
+                from repro.data import Column, SQLType
+
+                for field, column in zip(candidate.groupby, columns):
+                    if column is None:
+                        keys.add_column(
+                            field, Column.nulls(SQLType.DOUBLE, len(take)))
+                    else:
+                        keys.add_column(field, Column(
+                            column.type, column.data,
+                            _effective_valid(column)).take(take))
+                cube.extend_groups(keys)
+        else:
+            gid = np.zeros(count, dtype=np.int64)
+
+        measure_columns = {}
+        for component_name in cube.components:
+            if component_name == "__tc":
+                continue
+            field = component_name[len("__ts_"):]
+            if field not in measure_columns:
+                column = batch.columns.get(field)
+                if column is None:
+                    measure_columns[field] = (None, None)
+                else:
+                    data = column.data
+                    if data.dtype != np.float64:
+                        data = data.astype(np.float64)
+                    measure_columns[field] = (
+                        data, _effective_valid(column))
+
+        for row in range(count):
+            index = tuple(s[row] for s in slot_arrays) + (gid[row],)
+            cube.accumulate("__tc", index, 1)
+            for component_name, component in cube.components.items():
+                if component_name == "__tc":
+                    continue
+                field = component_name[len("__ts_"):]
+                data, valid = measure_columns[field]
+                if data is None or not valid[row]:
+                    continue
+                if component_name.startswith("__tv_"):
+                    cube.accumulate(component_name, index, 1)
+                else:
+                    cube.accumulate(component_name, index, data[row])
+        return True
+
+    # -- invalidation / lifecycle -------------------------------------------
+
+    def _invalidate(self, session, entry):
+        if entry.cube is None:
+            return
+        if entry.cache_key is not None:
+            session.cache.discard(entry.cache_key)
+        entry.cube = None
+        entry.cache_key = None
+        entry.decision = None  # data/signals moved; re-decide
+        self.invalidations += 1
+        self.tracer.count("tiles.invalidated")
+
+    def reset(self):
+        """Forget everything (spec replaced)."""
+        self._states = {}
+
+    def prewarm(self, session):
+        """Eagerly build cubes for every eligible, cost-approved sink
+        (e.g. during idle time before the first brush).  Returns the
+        number of cubes built."""
+        if session.plan is None:
+            return 0
+        built = 0
+        for sink, dataset_plan in session.plan.datasets.items():
+            sink_state = session._sink_state(sink)
+            entry = self.state_for(session, sink, sink_state)
+            if entry.candidate is None or entry.dead:
+                continue
+            if not self._decide(session, entry, dataset_plan):
+                continue
+            already = entry.cube is not None
+            if self._ensure_cube(session, entry, None) is not None \
+                    and not already:
+                built += 1
+        return built
+
+    # -- introspection -------------------------------------------------------
+
+    def stats(self):
+        return {
+            "mode": self.mode,
+            "resolution": self.resolution,
+            "builds": self.builds,
+            "build_failures": self.build_failures,
+            "hits": self.hits,
+            "unaligned_fallbacks": self.unaligned,
+            "invalidations": self.invalidations,
+            "deltas": self.deltas,
+            "evicted_rebuilds": self.evicted_rebuilds,
+            "bytes_built": self.bytes_built,
+            "live_cubes": sum(
+                1 for entry in self._states.values()
+                if entry.cube is not None
+            ),
+        }
+
+    def explain_lines(self, session):
+        """EXPLAIN lines describing the per-sink tile decision."""
+        lines = []
+        if session.plan is None:
+            return lines
+        for sink in session.plan.datasets:
+            entry = self._states.get(sink)
+            if entry is None:
+                sink_state = session._sink_state(sink)
+                entry = self.state_for(session, sink, sink_state)
+            if entry.candidate is None:
+                lines.append(
+                    "tile[{}]: requery ({})".format(sink, entry.reason))
+            elif entry.dead:
+                lines.append(
+                    "tile[{}]: requery (build failed)".format(sink))
+            elif entry.decision is False:
+                lines.append("tile[{}]: requery ({})".format(
+                    sink, entry.decision_reason))
+            elif entry.cube is not None:
+                dims = "x".join(
+                    str(grid.n_slots) for grid in entry.cube.grids)
+                lines.append(
+                    "tile[{}]: tiled {} slots x {} groups, {} bytes, "
+                    "build {:.4f}s, {} slices".format(
+                        sink, dims, entry.cube.n_groups,
+                        entry.cube.nbytes(), entry.build_seconds,
+                        entry.slices,
+                    ))
+            else:
+                lines.append(
+                    "tile[{}]: eligible (brush over {}), not built "
+                    "yet".format(
+                        sink,
+                        ", ".join(a.field
+                                  for a in entry.candidate.axes)))
+        return lines

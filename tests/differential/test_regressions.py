@@ -118,3 +118,40 @@ def test_seed_700152_clamp_null_after_variance():
     cuts produced 5.0.  Pinned by the NULL-folding CASE clamp
     translation."""
     _assert_clean(700152)
+
+
+# -- tiles-vs-direct axis ----------------------------------------------------
+
+
+def _assert_tiles_clean(seed):
+    from repro.fuzz.tiles import check_tiles_case, generate_tiles_case
+
+    report = check_tiles_case(generate_tiles_case(seed))
+    assert report.ok, report.describe()
+
+
+def test_tiles_seed_1_ordered_comparison_against_null_literal():
+    """A brush bound cleared to null: the client evaluator coerces null
+    to NaN, so ``datum.bx >= lo`` is uniformly false — while the SQL
+    compiler's null-literal special case rewrote the ordered comparison
+    to ``IS NOT NULL``, keeping every non-null row.  The tile path
+    (representative-evaluation membership, client semantics) disagreed
+    with the direct requery until the translator emitted FALSE for
+    ordered comparisons against a null literal."""
+    _assert_tiles_clean(1)
+
+
+def test_tiles_seed_0_two_axis_brush_with_null_bounds():
+    """2-D brush over bx/by grouped by a nullable category, with null
+    bounds arriving mid-sequence: pins separable-axis membership, the
+    NaN-vs-NULL group-key fold in cube group keys, and null-slot
+    handling on both axes."""
+    _assert_tiles_clean(0)
+
+
+def test_tiles_seed_12_append_delta_patch():
+    """Mid-sequence streaming append into a binned 2-D brush target: the
+    delta pulse must patch the cube in place (bin the incoming rows,
+    extend the group dictionary) and keep agreeing with a direct requery
+    over the merged table."""
+    _assert_tiles_clean(12)

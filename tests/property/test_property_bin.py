@@ -1,0 +1,132 @@
+"""Property tests pinning BinTransform / bin_params / bin_index edges.
+
+The tile subsystem leans on exact bin arithmetic: the brush grid is
+``bin_params(extent, maxbins=TILE_RESOLUTION, nice=True)`` widened by one
+step, and cube ingestion asserts every server-binned value lands exactly
+on a grid edge.  These properties pin the contract both paths rely on:
+top-edge clamping, zero-width extents, NaN/NULL/string inputs, nice-step
+snapping, and row-vs-batch identity down to the last IEEE bit.
+"""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import ColumnBatch
+from repro.dataflow.transforms import create_transform
+from repro.dataflow.transforms.bin import bin_index, bin_params
+
+_FINITE = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False)
+_SPANS = st.floats(min_value=1e-3, max_value=1e6, allow_nan=False)
+
+_PARAMS = {"field": "v", "extent": [0.0, 100.0], "maxbins": 10,
+           "as": ["bin0", "bin1"]}
+
+
+def _run_rows(rows, params=_PARAMS):
+    transform = create_transform("bin", "t", params, None)
+    return transform.transform(rows, params, {})
+
+
+def _run_batch(rows, params=_PARAMS):
+    transform = create_transform("bin", "t", params, None)
+    out = transform.transform_batch(ColumnBatch.from_rows(rows), params, {})
+    return out.to_rows()
+
+
+class TestBinParams:
+    @given(_FINITE, _SPANS, st.integers(min_value=1, max_value=200))
+    @settings(max_examples=200)
+    def test_nice_step_is_1_2_5_times_power_of_ten(self, lo, span,
+                                                   maxbins):
+        _start, _stop, step = bin_params([lo, lo + span],
+                                         maxbins=maxbins, nice=True)
+        mantissa = step / 10.0 ** math.floor(math.log10(step))
+        assert min(abs(mantissa - m) for m in (1.0, 2.0, 5.0, 10.0)) \
+            < 1e-9
+
+    @given(_FINITE, _SPANS, st.integers(min_value=1, max_value=200))
+    @settings(max_examples=200)
+    def test_nice_bounds_cover_the_extent_on_step_multiples(
+            self, lo, span, maxbins):
+        hi = lo + span
+        start, stop, step = bin_params([lo, hi], maxbins=maxbins,
+                                       nice=True)
+        # coverage is ulp-approximate: floor(lo/step) can land one ulp
+        # high when lo/step rounds up to an integer (e.g. 0.95/0.01)
+        slack = 1e-9 * max(1.0, abs(lo), abs(hi))
+        assert start <= lo + slack and stop >= hi - slack
+        # niced bounds sit on integer multiples of the step (up to
+        # round-off in start/step when the multiple is huge)
+        for bound in (start, stop):
+            k = bound / step
+            assert abs(k - round(k)) < 1e-9 * max(1.0, abs(k))
+
+    @given(_FINITE)
+    @settings(max_examples=100)
+    def test_zero_width_extent_widens_to_one_unit(self, lo):
+        start, stop, step = bin_params([lo, lo], maxbins=10)
+        assert stop > start
+        assert step > 0
+        # the widened span is [lo, lo + 1] before nicing
+        assert start <= lo and stop >= lo + 1.0
+
+    @given(_FINITE, _SPANS)
+    @settings(max_examples=200)
+    def test_bin_index_floors_onto_the_lattice(self, lo, span):
+        start, stop, step = bin_params([lo, lo + span], maxbins=17)
+        value = lo + span / 2
+        bucket = bin_index(value, start, step)
+        assert bucket <= value or math.isclose(bucket, value)
+        # the bucket start is start + k*step for an integer k
+        k = (bucket - start) / step
+        assert abs(k - round(k)) < 1e-6
+
+
+class TestBinTransformEdges:
+    def test_top_edge_clamps_into_last_bin(self):
+        rows = _run_rows([{"v": 100.0}])
+        assert rows[0]["bin0"] == 90.0
+        assert rows[0]["bin1"] == 100.0
+
+    def test_value_just_below_top_edge(self):
+        rows = _run_rows([{"v": 99.999}])
+        assert rows[0]["bin0"] == 90.0
+
+    def test_nan_null_and_string_inputs_get_null_bins(self):
+        rows = _run_rows([{"v": float("nan")}, {"v": None}, {"v": "x"}])
+        for row in rows:
+            assert row["bin0"] is None
+            assert row["bin1"] is None
+
+    def test_null_extent_nulls_every_bin(self):
+        params = dict(_PARAMS, extent=[None, None])
+        rows = _run_rows([{"v": 5.0}, {"v": None}], params)
+        assert all(row["bin0"] is None for row in rows)
+
+    @given(st.lists(
+        st.one_of(st.none(),
+                  st.floats(min_value=-50.0, max_value=150.0,
+                            allow_nan=False)),
+        max_size=30))
+    @settings(max_examples=200)
+    def test_row_and_batch_paths_agree_bit_for_bit(self, values):
+        rows = [{"v": value} for value in values]
+        from_rows = _run_rows(rows)
+        from_batch = _run_batch(rows)
+        assert len(from_rows) == len(from_batch)
+        for a, b in zip(from_rows, from_batch):
+            # exact equality: both paths must use the same IEEE ops,
+            # or server-built tiles drift off the client's grid
+            assert a["bin0"] == b["bin0"], (a, b)
+            assert a["bin1"] == b["bin1"], (a, b)
+
+    @given(st.floats(min_value=0.0, max_value=100.0, allow_nan=False))
+    @settings(max_examples=200)
+    def test_every_in_extent_value_lands_in_a_half_open_bin(self, value):
+        row = _run_rows([{"v": value}])[0]
+        assert row["bin0"] is not None
+        assert row["bin0"] <= value <= row["bin1"]
+        if value < 100.0:
+            assert value < row["bin1"] or row["bin1"] == 100.0
