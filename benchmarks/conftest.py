@@ -13,11 +13,15 @@ overrides the output directory (default: current working directory).
 
 import datetime
 import json
-import math
 import os
 import subprocess
 
 import pytest
+
+# The one shared nearest-rank implementation: the metrics plane's
+# windowed histogram percentiles and the benchmark summaries must agree,
+# and do so by construction because both call these.
+from repro.metrics import latency_summary, percentile  # noqa: F401
 
 
 def scale():
@@ -26,28 +30,6 @@ def scale():
 
 def scaled(n):
     return max(int(n * scale()), 100)
-
-
-def percentile(values, q):
-    """Nearest-rank percentile: the smallest value with at least ``q``
-    percent of the sample at or below it.  0.0 on an empty sample."""
-    ordered = sorted(values)
-    if not ordered:
-        return 0.0
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[rank - 1]
-
-
-def latency_summary(latencies):
-    """p50/p95/p99/mean/max summary dict for a latency sample."""
-    return {
-        "events": len(latencies),
-        "mean_s": (sum(latencies) / len(latencies)) if latencies else 0.0,
-        "p50_s": percentile(latencies, 50),
-        "p95_s": percentile(latencies, 95),
-        "p99_s": percentile(latencies, 99),
-        "max_s": max(latencies) if latencies else 0.0,
-    }
 
 
 @pytest.fixture(scope="session")

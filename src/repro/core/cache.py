@@ -10,6 +10,7 @@ cache").
 
 from collections import OrderedDict
 
+from repro.metrics import NULL
 from repro.telemetry.tracer import NOOP
 
 
@@ -71,6 +72,8 @@ class ResultCache:
         self.evicted_bytes = 0
         #: telemetry sink; the session installs its tracer here
         self.tracer = NOOP
+        #: always-on plane; the session installs its labeled MetricsView
+        self.metrics = NULL
 
     def __len__(self):
         return len(self._entries)
@@ -84,10 +87,12 @@ class ResultCache:
         if entry is None:
             self.misses += 1
             self.tracer.count("cache.misses")
+            self.metrics.inc("cache.misses")
             return None
         self._entries.move_to_end(key)
         self.hits += 1
         self.tracer.count("cache.hits")
+        self.metrics.inc("cache.hits")
         return entry
 
     def contains(self, key):
@@ -110,6 +115,7 @@ class ResultCache:
             return
         self._bytes -= entry.wire_bytes
         self.tracer.count("cache.bytes", delta=-entry.wire_bytes)
+        self.metrics.set_gauge("cache.bytes", self._bytes)
 
     def put(self, key, entry):
         if key in self._entries:
@@ -120,9 +126,11 @@ class ResultCache:
         self._entries[key] = entry
         self._bytes += entry.wire_bytes
         # ``cache.bytes`` tracks the resident byte size as a net counter:
-        # every put adds, every eviction/clear subtracts.
+        # every put adds, every eviction/clear subtracts.  On the metrics
+        # plane the same quantity is a gauge set to the resident size.
         self.tracer.count("cache.bytes", delta=entry.wire_bytes)
         self._evict()
+        self.metrics.set_gauge("cache.bytes", self._bytes)
 
     def _evict(self):
         while len(self._entries) > self.max_entries or (
@@ -134,12 +142,14 @@ class ResultCache:
             self.evicted_bytes += evicted.wire_bytes
             self.tracer.count("cache.evictions")
             self.tracer.count("cache.bytes", delta=-evicted.wire_bytes)
+            self.metrics.inc("cache.evictions")
 
     def clear(self):
         if self._bytes:
             self.tracer.count("cache.bytes", delta=-self._bytes)
         self._entries.clear()
         self._bytes = 0
+        self.metrics.set_gauge("cache.bytes", 0)
 
     def stats(self):
         return {

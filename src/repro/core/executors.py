@@ -21,6 +21,7 @@ from repro.expr.parser import parse
 from repro.net.payload import request_bytes, wire_bytes
 from repro.core.cache import CacheEntry
 from repro.core.results import QueryLogEntry
+from repro.metrics import NULL as NULL_METRICS
 from repro.sqlgen.compose import SqlPipelineBuilder
 from repro.sqlgen.dialect import render
 from repro.sqlgen.merge import merge_query
@@ -36,7 +37,8 @@ class ServerSegmentRunner:
     """Runs the server-assigned prefix of one chain."""
 
     def __init__(self, backend, channel, signals, cache=None,
-                 merge=True, rewrite=True, tracer=None, dataset=""):
+                 merge=True, rewrite=True, tracer=None, dataset="",
+                 metrics=None):
         self.backend = backend
         self.channel = channel
         self.signals = signals
@@ -44,8 +46,12 @@ class ServerSegmentRunner:
         self.merge = merge
         self.rewrite = rewrite
         self.tracer = tracer or NOOP
+        #: always-on plane; the session passes its labeled MetricsView
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         #: sink dataset this segment computes (tags query log entries)
         self.dataset = dataset
+        #: the cut currently executing (slow-query log context)
+        self.active_cut = None
         self.queries = []
         self.server_seconds = 0.0
         self.network_seconds = 0.0
@@ -89,6 +95,7 @@ class ServerSegmentRunner:
 
     def _run_segment(self, root_table, base_columns, steps, cut,
                      final_fields=None, prefetch=False):
+        self.active_cut = cut
         builder = SqlPipelineBuilder(root_table, base_columns)
         value_results = {}
         for step in steps[:cut]:
@@ -146,11 +153,11 @@ class ServerSegmentRunner:
                     step.spec_type, params, self.signals
                 )
                 sql = self.finalize_sql(translation.select)
-                if not self.cache.contains(sql):
+                # peek, not get: a cache probe must not count as a hit
+                # (neither on the integer counters nor the metrics plane)
+                entry = self.cache.peek(sql)
+                if entry is None:
                     return False
-                entry = self.cache.get(sql)
-                # Undo the hit-counter bump: this is a peek, not a use.
-                self.cache.hits -= 1
                 value_results[step.operator.name] = self._extract_value(
                     step.spec_type, entry.as_batch()
                 )
@@ -168,6 +175,7 @@ class ServerSegmentRunner:
         temp table for the next step — the "unnecessary network round
         trips for data transfers" that node merging (§2.2 step 3) avoids.
         """
+        self.active_cut = cut
         current_table = root_table
         current_columns = list(base_columns)
         value_results = {}
@@ -216,6 +224,7 @@ class ServerSegmentRunner:
         materializing dict rows on this path.
         """
         tracer = self.tracer
+        metrics = self.metrics
         if self.cache is not None:
             entry = self.cache.get(sql)
             if entry is not None:
@@ -224,6 +233,8 @@ class ServerSegmentRunner:
                         "sql.cached", 0.0, kind=kind, rows=entry.num_rows,
                         dataset=self.dataset, sql=sql,
                     )
+                if metrics.enabled:
+                    metrics.inc("sql.queries", kind=kind, cached="true")
                 self.queries.append(
                     QueryLogEntry(sql=sql, rows=entry.num_rows,
                                   server_seconds=0.0, network_seconds=0.0,
@@ -252,6 +263,21 @@ class ServerSegmentRunner:
         if not prefetch:
             self.server_seconds += result.seconds
             self.network_seconds += network
+        if metrics.enabled:
+            metrics.inc("sql.queries",
+                        kind="prefetch" if prefetch else kind,
+                        cached="false")
+            metrics.observe("sql.server_seconds", result.seconds)
+            metrics.slowlog.maybe_record(
+                result.seconds + network, sql=sql,
+                server_seconds=result.seconds, network_seconds=network,
+                kind="prefetch" if prefetch else kind,
+                dataset=self.dataset, backend=self.backend.name,
+                cut=self.active_cut, rows=batch.num_rows,
+                response_bytes=response_bytes, cached=False,
+                session=metrics.labels.get("session", ""),
+                tenant=metrics.labels.get("tenant", ""),
+            )
         self.queries.append(
             QueryLogEntry(
                 sql=sql, rows=batch.num_rows, server_seconds=result.seconds,

@@ -19,6 +19,7 @@ the prefetcher — the full middleware stack of Figure 1.  Typical use::
     result = session.interact("maxbins", 30)
 """
 
+import itertools
 import time
 
 from repro.backends import Backend, create_backend
@@ -38,8 +39,16 @@ from repro.planner import (
     resolve_chain,
     signal_frontier,
 )
+from repro.metrics import (
+    BRIDGE_SKIP_PREFIXES,
+    NULL as NULL_METRICS,
+    resolve_metrics,
+)
 from repro.planner.plans import CostBreakdown, DatasetPlan
 from repro.telemetry.tracer import as_tracer
+
+#: process-wide source of default session ids (the ``session=`` label)
+_SESSION_IDS = itertools.count(1)
 
 
 class SessionError(Exception):
@@ -71,11 +80,33 @@ class VegaPlus:
                  prefetch_budget=3, validate=True,
                  per_operator_roundtrips=False, dynamic_replan=False,
                  trace=False, parallelism=None, columnar=True,
-                 tiles=True):
+                 tiles=True, metrics=True, tenant=None, session_id=None):
         #: telemetry: False/None = off (no-op tracer), True = record, or
         #: pass a :class:`repro.telemetry.Tracer` to share one across
         #: sessions.
         self.tracer = as_tracer(trace)
+        #: always-on metrics plane: True (default) = the process-wide
+        #: registry, False/None = off, or pass a
+        #: :class:`repro.metrics.MetricsRegistry` to isolate.  Every
+        #: metric this session emits carries ``session=`` (and, when
+        #: given, ``tenant=``) labels, so concurrent sessions on one
+        #: registry aggregate exactly.
+        registry = resolve_metrics(metrics)
+        self.session_id = session_id or "s{}".format(next(_SESSION_IDS))
+        self.tenant = tenant
+        if registry is None:
+            self.metrics = NULL_METRICS
+        else:
+            labels = {"session": self.session_id}
+            if tenant is not None:
+                labels["tenant"] = tenant
+            self.metrics = registry.view(**labels)
+        if self.tracer.enabled and self.metrics.enabled:
+            # Bridge traced-only telemetry (engine.*, data.*, ...) onto
+            # the metrics plane; directly instrumented families are
+            # skipped so they never double-count.
+            self.tracer.metrics = self.metrics
+            self.tracer.metrics_skip = BRIDGE_SKIP_PREFIXES
         #: when False, every transform runs row-at-a-time (the
         #: pre-columnar client path); the fuzz oracle differences the
         #: two modes
@@ -125,6 +156,8 @@ class VegaPlus:
         )
         if self.tracer.enabled:
             self.channel.tracer = self.tracer
+        if self.metrics.enabled:
+            self.channel.metrics = self.metrics
         if cost_params is None:
             # Candidate-plan costing reflects the engine's worker count.
             cost_params = CostParameters(server_workers=self.parallelism)
@@ -147,6 +180,8 @@ class VegaPlus:
         self.cache = ResultCache(max_entries=cache_entries)
         if self.tracer.enabled:
             self.cache.tracer = self.tracer
+        if self.metrics.enabled:
+            self.cache.metrics = self.metrics
         self.prefetcher = Prefetcher(budget=prefetch_budget)
         #: data-tile index for brush interactions: False/None = off,
         #: True = cost-model gated ("auto"), or "force" to always tile
@@ -156,7 +191,8 @@ class VegaPlus:
             from repro.tiles import TileIndexManager
 
             mode = tiles if isinstance(tiles, str) else "auto"
-            self.tiles = TileIndexManager(mode=mode, tracer=self.tracer)
+            self.tiles = TileIndexManager(mode=mode, tracer=self.tracer,
+                                          metrics=self.metrics)
         self.plan = None
         self._sink_states = {}
         self.history = []
@@ -274,8 +310,20 @@ class VegaPlus:
             span.set(total_seconds=result.breakdown.total)
         result.cache_hits = self.cache.hits - hits_before
         result.cache_misses = self.cache.misses - misses_before
+        self._record_run(label, result)
         self.history.append(result)
         return result
+
+    def _record_run(self, label, result):
+        """SLO accounting for one run: count it and observe its modeled
+        end-to-end latency, labeled by run kind (``startup``,
+        ``interact``, ``append``, ``vega-client``, ...)."""
+        if not self.metrics.enabled:
+            return
+        kind = label.split(":", 1)[0]
+        self.metrics.inc("session.runs", kind=kind)
+        self.metrics.observe("session.run_seconds", result.breakdown.total,
+                             kind=kind)
 
     def _sink_state(self, sink):
         if sink not in self._sink_states:
@@ -297,7 +345,7 @@ class VegaPlus:
             # reads different __seg_i contents), so per-op mode is uncached.
             cache=None if self.per_operator_roundtrips else self.cache,
             merge=self.merge_queries, rewrite=self.rewrite_sql,
-            tracer=self.tracer, dataset=sink,
+            tracer=self.tracer, dataset=sink, metrics=self.metrics,
         )
         base_columns = self.tables[state.root].column_names
         with sink_span:
@@ -508,6 +556,7 @@ class VegaPlus:
             span.set(total_seconds=result.breakdown.total)
         result.cache_hits = self.cache.hits - hits_before
         result.cache_misses = self.cache.misses - misses_before
+        self._record_run(label, result)
         self.history.append(result)
         return result
 
@@ -623,6 +672,7 @@ class VegaPlus:
                         cache=self.cache, merge=self.merge_queries,
                         rewrite=self.rewrite_sql,
                         tracer=self.tracer, dataset=sink,
+                        metrics=self.metrics,
                     )
                     base_columns = self.tables[state.root].column_names
                     final_fields = (
@@ -675,6 +725,15 @@ class VegaPlus:
             },
             "tiles": self.tiles.stats() if self.tiles is not None else None,
             "runs": len(self.history),
+            "session": {
+                "id": self.session_id,
+                "tenant": self.tenant,
+                "metrics": self.metrics.enabled,
+            },
+            "slow_queries": (
+                self.metrics.slowlog.stats()
+                if self.metrics.enabled else None
+            ),
         }
 
     def export_trace(self, path, format="chrome"):

@@ -512,6 +512,12 @@ class _ParallelRun:
             self.fallback_counts[reason] = (
                 self.fallback_counts.get(reason, 0) + 1
             )
+        # Always-on plane: fallbacks are a fleet-level signal (a new query
+        # shape silently losing parallelism), so they land in the process
+        # registry as a labeled counter regardless of tracing.
+        from repro.metrics import get_registry
+
+        get_registry().inc("engine.fallback", reason=reason)
 
     # -- morsel machinery --------------------------------------------------
 

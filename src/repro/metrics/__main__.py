@@ -1,0 +1,190 @@
+"""``python -m repro.metrics`` — a top-style view of the metrics plane.
+
+Three sources, one renderer::
+
+    python -m repro.metrics --demo --rows 50000   # run a demo session,
+                                                  # then render its metrics
+    python -m repro.metrics snapshot.json         # render a saved snapshot
+    python -m repro.metrics --demo --prometheus   # exposition text instead
+
+``--json`` prints the raw snapshot; ``--out`` writes the chosen format
+to a file as well (CI scrapes ``--demo --prometheus --out metrics.prom``).
+"""
+
+import argparse
+import json
+import sys
+
+from repro.metrics import (
+    MetricsRegistry,
+    get_registry,
+    render_prometheus,
+    snapshot_json,
+)
+
+
+def _label_text(labels):
+    if not labels:
+        return ""
+    return "{" + ",".join(
+        "{}={}".format(key, value) for key, value in sorted(labels.items())
+    ) + "}"
+
+
+def render_top(snapshot):
+    """The snapshot as a top-style text table."""
+    families = snapshot.get("families", {})
+    lines = []
+    window = snapshot.get("window_seconds", 0)
+    total_children = sum(
+        len(family["children"]) for family in families.values()
+    )
+    lines.append(
+        "repro metrics · {} families · {} series · {:g}s window".format(
+            len(families), total_children, window)
+    )
+
+    by_kind = {"counter": [], "gauge": [], "histogram": []}
+    for name, family in sorted(families.items()):
+        for child in family["children"]:
+            by_kind[family["kind"]].append((name, child))
+
+    if by_kind["counter"]:
+        lines.append("")
+        lines.append("{:<58} {:>12} {:>10}".format(
+            "COUNTER", "value", "rate/s"))
+        for name, child in by_kind["counter"]:
+            lines.append("{:<58} {:>12} {:>10.3f}".format(
+                name + _label_text(child["labels"]),
+                _fmt_number(child["value"]), child.get("rate", 0.0)))
+
+    if by_kind["gauge"]:
+        lines.append("")
+        lines.append("{:<58} {:>12}".format("GAUGE", "value"))
+        for name, child in by_kind["gauge"]:
+            lines.append("{:<58} {:>12}".format(
+                name + _label_text(child["labels"]),
+                _fmt_number(child["value"])))
+
+    if by_kind["histogram"]:
+        lines.append("")
+        lines.append("{:<44} {:>8} {:>9} {:>9} {:>9} {:>9}".format(
+            "HISTOGRAM (window)", "count", "p50", "p95", "p99", "max"))
+        for name, child in by_kind["histogram"]:
+            window_summary = child.get("window", {})
+            lines.append(
+                "{:<44} {:>8} {:>9} {:>9} {:>9} {:>9}".format(
+                    name + _label_text(child["labels"]),
+                    window_summary.get("events", 0),
+                    _fmt_seconds(window_summary.get("p50_s")),
+                    _fmt_seconds(window_summary.get("p95_s")),
+                    _fmt_seconds(window_summary.get("p99_s")),
+                    _fmt_seconds(window_summary.get("max_s")),
+                ))
+
+    slowlog = snapshot.get("slowlog") or {}
+    lines.append("")
+    threshold = slowlog.get("threshold_seconds")
+    lines.append(
+        "slow queries (threshold {}): {} recorded, {} resident, "
+        "{} dropped".format(
+            "{:g}s".format(threshold) if threshold is not None else "off",
+            slowlog.get("recorded", 0), slowlog.get("entries", 0),
+            slowlog.get("dropped", 0))
+    )
+    for record in (slowlog.get("recent") or [])[-8:]:
+        lines.append(
+            "  {:>8} sig={} cut={} backend={} rows={} {} {}".format(
+                _fmt_seconds(record.get("total_seconds")),
+                record.get("signature", "?"),
+                record.get("cut"), record.get("backend", "?"),
+                record.get("rows"), record.get("kind", ""),
+                record.get("dataset", ""))
+        )
+    return "\n".join(lines)
+
+
+def _fmt_number(value):
+    if isinstance(value, float) and not value.is_integer():
+        return "{:.4g}".format(value)
+    return "{:,}".format(int(value))
+
+
+def _fmt_seconds(value):
+    if value is None:
+        return "-"
+    return "{:.4g}s".format(value)
+
+
+def run_demo(rows=50_000, registry=None):
+    """Run a small traced-free demo session (startup, a slider drag, a
+    filter change) against ``registry`` and return the session."""
+    from repro.core.session import VegaPlus
+    from repro.datagen import generate_flights
+    from repro.interact import replay, slider_drag
+    from repro.spec import flights_histogram_spec
+
+    session = VegaPlus(
+        flights_histogram_spec(),
+        data={"flights": generate_flights(rows)},
+        metrics=registry if registry is not None else True,
+        tenant="demo",
+    )
+    session.startup()
+    replay(session, slider_drag("maxbins", 20, 60, step=10))
+    session.idle()
+    return session
+
+
+def main(argv=None, out=None):
+    out = out or sys.stdout
+    parser = argparse.ArgumentParser(
+        prog="repro.metrics",
+        description="Render the metrics plane (top-style, Prometheus, "
+                    "or JSON).",
+    )
+    parser.add_argument(
+        "snapshot", nargs="?", default=None,
+        help="a saved snapshot JSON file to render (default: the live "
+             "process registry)",
+    )
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="run a small demo session first so the registry has data",
+    )
+    parser.add_argument("--rows", type=int, default=50_000,
+                        help="demo dataset size (default 50000)")
+    parser.add_argument("--prometheus", action="store_true",
+                        help="print Prometheus text exposition")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw JSON snapshot")
+    parser.add_argument("--out", metavar="PATH", default=None,
+                        help="also write the rendered output to PATH")
+    args = parser.parse_args(argv)
+
+    if args.snapshot is not None:
+        with open(args.snapshot) as handle:
+            snapshot = json.load(handle)
+    else:
+        registry = get_registry()
+        if args.demo:
+            registry = MetricsRegistry()
+            run_demo(rows=args.rows, registry=registry)
+        snapshot = registry.snapshot()
+
+    if args.prometheus:
+        text = render_prometheus(snapshot)
+    elif args.json:
+        text = snapshot_json(snapshot) + "\n"
+    else:
+        text = render_top(snapshot) + "\n"
+    out.write(text)
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print("written to {}".format(args.out), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Metric exporters: Prometheus text exposition and JSON snapshots.
+
+:func:`render_prometheus` emits the text exposition format (version
+0.0.4) a Prometheus scraper ingests: ``# HELP`` / ``# TYPE`` headers,
+one sample line per labeled child, histograms as cumulative ``_bucket``
+series with ``le`` labels plus ``_sum``/``_count``.  Dotted internal
+names sanitize to underscores and counters gain the ``_total`` suffix
+convention.  The slow-query log exports as its own small families so a
+fleet monitor can alert on ``slowlog_recorded_total`` without parsing
+JSONL.
+
+:func:`write_snapshot` persists the registry's full snapshot (including
+windowed p50/p95/p99 summaries, which the exposition format has no slot
+for) as JSON; ``python -m repro.metrics`` renders either live registries
+or these files.
+"""
+
+import json
+import re
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def sanitize_metric_name(name):
+    """A legal Prometheus metric name from a dotted internal name."""
+    out = _NAME_OK.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def sanitize_label_name(name):
+    out = _LABEL_OK.sub("_", name)
+    if out and out[0].isdigit():
+        out = "_" + out
+    return out
+
+
+def escape_label_value(value):
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
+def format_value(value):
+    if value is None:
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def _label_body(labels, extra=None):
+    items = sorted(labels.items())
+    if extra:
+        items = items + list(extra)
+    if not items:
+        return ""
+    return "{" + ",".join(
+        '{}="{}"'.format(sanitize_label_name(key), escape_label_value(value))
+        for key, value in items
+    ) + "}"
+
+
+def _snapshot_of(registry_or_snapshot):
+    if hasattr(registry_or_snapshot, "snapshot"):
+        return registry_or_snapshot.snapshot()
+    return registry_or_snapshot
+
+
+def render_prometheus(registry, prefix="repro_"):
+    """The registry (or a snapshot dict) as Prometheus text exposition."""
+    snapshot = _snapshot_of(registry)
+    lines = []
+
+    for name, family in sorted(snapshot.get("families", {}).items()):
+        kind = family["kind"]
+        exposed = prefix + sanitize_metric_name(name)
+        if kind == "counter" and not exposed.endswith("_total"):
+            exposed += "_total"
+        help_text = family.get("help") or name
+        lines.append("# HELP {} {}".format(exposed, help_text))
+        lines.append("# TYPE {} {}".format(
+            exposed, "histogram" if kind == "histogram" else kind
+        ))
+        for child in family["children"]:
+            labels = child["labels"]
+            if kind in ("counter", "gauge"):
+                lines.append("{}{} {}".format(
+                    exposed, _label_body(labels), format_value(child["value"])
+                ))
+                continue
+            # Histogram: cumulative buckets, then sum and count.
+            cumulative = 0
+            for bound, count in zip(child["bounds"],
+                                    child["bucket_counts"]):
+                cumulative += count
+                lines.append("{}_bucket{} {}".format(
+                    exposed,
+                    _label_body(labels, [("le", "{:g}".format(bound))]),
+                    cumulative,
+                ))
+            cumulative += child["bucket_counts"][-1]
+            lines.append("{}_bucket{} {}".format(
+                exposed, _label_body(labels, [("le", "+Inf")]), cumulative
+            ))
+            lines.append("{}_sum{} {}".format(
+                exposed, _label_body(labels), format_value(child["sum"])
+            ))
+            lines.append("{}_count{} {}".format(
+                exposed, _label_body(labels), child["count"]
+            ))
+
+    slowlog = snapshot.get("slowlog") or {}
+    if slowlog:
+        for suffix, kind, key, help_text in (
+            ("slowlog_recorded_total", "counter", "recorded",
+             "slow queries admitted to the ring"),
+            ("slowlog_dropped_total", "counter", "dropped",
+             "slow-query records discarded oldest-first under capacity"),
+            ("slowlog_entries", "gauge", "entries",
+             "slow-query records currently resident"),
+        ):
+            exposed = prefix + suffix
+            lines.append("# HELP {} {}".format(exposed, help_text))
+            lines.append("# TYPE {} {}".format(exposed, kind))
+            lines.append("{} {}".format(
+                exposed, format_value(slowlog.get(key) or 0)
+            ))
+
+    return "\n".join(lines) + "\n"
+
+
+def snapshot_json(registry):
+    """The registry snapshot as a JSON string."""
+    return json.dumps(_snapshot_of(registry), indent=2, sort_keys=True)
+
+
+def write_snapshot(registry, path):
+    """Persist the JSON snapshot to ``path``; returns the path."""
+    with open(path, "w") as handle:
+        handle.write(snapshot_json(registry))
+        handle.write("\n")
+    return path

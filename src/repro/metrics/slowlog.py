@@ -1,0 +1,210 @@
+"""Structured slow-query log: a bounded ring of per-query diagnostics.
+
+Every executed server query whose total latency (backend seconds plus
+virtual network seconds) crosses a configurable threshold is recorded
+with the fields a cross-session plan cache will key on: the **canonical
+plan signature** (the rendered SQL with float literals rounded through
+the fuzz canonicalizer's :func:`canonical_cell`, so re-serialized noise
+like ``0.30000000000000004`` and ``0.3`` share a signature), the chosen
+cut, backend, cache verdict, rows, and bytes.
+
+The ring is modeled on ``NetworkStats.log`` (:mod:`repro.net.channel`):
+bounded, oldest-dropped-first, with an exact ``dropped`` counter so the
+aggregate story stays truthful past capacity.  Records export as JSONL.
+"""
+
+import hashlib
+import json
+import os
+import re
+import threading
+from collections import deque
+from dataclasses import asdict, dataclass, field
+
+#: environment overrides for the always-on defaults
+ENV_THRESHOLD = "REPRO_SLOW_QUERY_SECONDS"
+ENV_CAPACITY = "REPRO_SLOW_QUERY_CAPACITY"
+
+DEFAULT_THRESHOLD_SECONDS = 0.5
+DEFAULT_CAPACITY = 256
+
+_STRING_LITERAL = re.compile(r"'(?:[^']|'')*'")
+_NUMBER_LITERAL = re.compile(
+    r"(?<![\w\".])(\d+(?:\.\d+)?(?:[eE][-+]?\d+)?)(?![\w.])"
+)
+
+_canonical_cell = None
+
+
+def _round_number(match):
+    # Lazy import: repro.fuzz's package init pulls in the session facade,
+    # which must not happen while repro.metrics itself is importing.
+    global _canonical_cell
+    if _canonical_cell is None:
+        from repro.fuzz.normalize import canonical_cell
+
+        _canonical_cell = canonical_cell
+    _tag, payload = _canonical_cell(float(match.group(0)))
+    return repr(payload)
+
+
+def canonical_query(sql):
+    """Canonical text of one rendered query: whitespace collapsed,
+    string literals kept verbatim, numeric literals rounded to the fuzz
+    canonicalizer's significant digits (so float formatting noise does
+    not split signatures)."""
+    text = " ".join(sql.split())
+    return _NUMBER_LITERAL.sub(_round_number, text)
+
+
+def plan_signature(sql):
+    """Stable 16-hex-digit signature of :func:`canonical_query`."""
+    digest = hashlib.sha1(canonical_query(sql).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+@dataclass
+class SlowQueryRecord:
+    """One logged slow query."""
+
+    sequence: int
+    total_seconds: float
+    server_seconds: float
+    network_seconds: float
+    sql: str
+    signature: str
+    kind: str = "rows"
+    dataset: str = ""
+    backend: str = ""
+    cut: object = None
+    rows: int = 0
+    response_bytes: int = 0
+    cached: bool = False
+    session: str = ""
+    tenant: str = ""
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self):
+        out = asdict(self)
+        extra = out.pop("extra")
+        out.update(extra)
+        return out
+
+
+class SlowQueryLog:
+    """Bounded, thread-safe ring of :class:`SlowQueryRecord` entries."""
+
+    def __init__(self, threshold_seconds=None, capacity=None):
+        if threshold_seconds is None:
+            threshold_seconds = float(
+                os.environ.get(ENV_THRESHOLD, DEFAULT_THRESHOLD_SECONDS)
+            )
+        if capacity is None:
+            capacity = int(os.environ.get(ENV_CAPACITY, DEFAULT_CAPACITY))
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.threshold_seconds = float(threshold_seconds)
+        self.capacity = capacity
+        self._ring = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        #: records ever admitted (monotonic; also the sequence source)
+        self.recorded = 0
+        #: records the ring discarded oldest-first under capacity
+        self.dropped = 0
+
+    def maybe_record(self, total_seconds, sql="", signature=None, **fields):
+        """Record one query if it crossed the threshold; returns the
+        :class:`SlowQueryRecord` or None.  The signature is computed
+        lazily — queries under the threshold never pay for hashing."""
+        if total_seconds < self.threshold_seconds:
+            return None
+        if signature is None:
+            signature = plan_signature(sql)
+        known = {name for name in SlowQueryRecord.__dataclass_fields__
+                 if name not in ("sequence", "total_seconds", "sql",
+                                 "signature", "extra")}
+        kwargs = {key: fields.pop(key) for key in list(fields)
+                  if key in known}
+        with self._lock:
+            record = SlowQueryRecord(
+                sequence=self.recorded,
+                total_seconds=float(total_seconds),
+                server_seconds=float(kwargs.pop("server_seconds", 0.0)),
+                network_seconds=float(kwargs.pop("network_seconds", 0.0)),
+                sql=sql,
+                signature=signature,
+                extra=fields,
+                **kwargs,
+            )
+            self.recorded += 1
+            if len(self._ring) == self._ring.maxlen:
+                self.dropped += 1
+            self._ring.append(record)
+        return record
+
+    def records(self):
+        """Current ring contents, oldest first."""
+        with self._lock:
+            return list(self._ring)
+
+    def stats(self):
+        with self._lock:
+            return {
+                "threshold_seconds": self.threshold_seconds,
+                "capacity": self.capacity,
+                "entries": len(self._ring),
+                "recorded": self.recorded,
+                "dropped": self.dropped,
+            }
+
+    def snapshot(self, tail=16):
+        """Stats plus the most recent ``tail`` records as plain dicts."""
+        out = self.stats()
+        out["recent"] = [
+            record.as_dict() for record in self.records()[-tail:]
+        ]
+        return out
+
+    def write_jsonl(self, path):
+        """Write the ring as one JSON object per line; returns ``path``."""
+        with open(path, "w") as handle:
+            for record in self.records():
+                json.dump(record.as_dict(), handle, sort_keys=True)
+                handle.write("\n")
+        return path
+
+    def clear(self):
+        with self._lock:
+            self._ring.clear()
+            self.recorded = 0
+            self.dropped = 0
+
+
+class _NullSlowLog:
+    """Disabled slow-query log (the NULL metrics plane's)."""
+
+    threshold_seconds = float("inf")
+    capacity = 0
+    recorded = 0
+    dropped = 0
+
+    def maybe_record(self, total_seconds, sql="", signature=None, **fields):
+        return None
+
+    def records(self):
+        return []
+
+    def stats(self):
+        return {"threshold_seconds": None, "capacity": 0, "entries": 0,
+                "recorded": 0, "dropped": 0}
+
+    def snapshot(self, tail=16):
+        out = self.stats()
+        out["recent"] = []
+        return out
+
+    def clear(self):
+        pass
+
+
+NULL_SLOWLOG = _NullSlowLog()

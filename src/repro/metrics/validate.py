@@ -1,0 +1,223 @@
+"""Validate Prometheus text exposition from the command line.
+
+CI scrapes ``render_prometheus()`` from a real demo session and re-parses
+it here::
+
+    python -m repro.metrics.validate metrics.prom \
+        --require repro_cache_hits_total --require repro_sql_server_seconds
+
+Checks: every sample line parses (name, label syntax, float value);
+every sample belongs to a family declared with ``# TYPE``; histogram
+series carry a ``+Inf`` bucket whose value equals ``_count``, have
+cumulative non-decreasing bucket values in ``le`` order, and come with a
+``_sum``; no duplicate sample (same name + label set); every
+``--require`` family is present.  Exit status 0 when clean.
+"""
+
+import argparse
+import re
+import sys
+
+_SAMPLE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(.*)\})?"
+    r"\s+(\S+)"
+    r"(?:\s+(-?\d+))?$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _parse_value(text):
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)  # raises on garbage; NaN parses
+
+
+def _parse_labels(body, problems, line_number):
+    if body is None or body == "":
+        return ()
+    pairs = _LABEL.findall(body)
+    # Re-render and compare lengths to catch malformed label syntax the
+    # findall silently skipped (missing quotes, stray commas).
+    rendered = ",".join('{}="{}"'.format(k, v) for k, v in pairs)
+    stripped = body.rstrip(",")
+    if len(rendered) != len(stripped):
+        problems.append(
+            "line {}: malformed label body {{{}}}".format(line_number, body)
+        )
+    return tuple(sorted(pairs))
+
+
+def parse_exposition(text):
+    """Parse exposition text into (types, samples, problems).
+
+    ``types`` maps family name -> declared type; ``samples`` is a list of
+    (name, label tuple, value, line_number).
+    """
+    types = {}
+    samples = []
+    problems = []
+    for line_number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split(None, 3)
+            if len(parts) < 4 or parts[3] not in _TYPES:
+                problems.append(
+                    "line {}: malformed TYPE line".format(line_number)
+                )
+                continue
+            types[parts[2]] = parts[3]
+            continue
+        if line.startswith("# HELP "):
+            if len(line.split(None, 3)) < 4:
+                problems.append(
+                    "line {}: malformed HELP line".format(line_number)
+                )
+            continue
+        if line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            problems.append(
+                "line {}: unparseable sample: {!r}".format(line_number, line)
+            )
+            continue
+        name, label_body, value_text, _timestamp = match.groups()
+        labels = _parse_labels(label_body, problems, line_number)
+        try:
+            value = _parse_value(value_text)
+        except ValueError:
+            problems.append(
+                "line {}: bad sample value {!r}".format(
+                    line_number, value_text)
+            )
+            continue
+        samples.append((name, labels, value, line_number))
+    return types, samples, problems
+
+
+def _family_of(name, types):
+    """The declared family a sample belongs to (histograms expose
+    ``_bucket``/``_sum``/``_count`` series under the family name)."""
+    if name in types:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix) and name[: -len(suffix)] in types:
+            return name[: -len(suffix)]
+    return None
+
+
+def validate_exposition(text, require=()):
+    """All structural problems with ``text`` (empty list = valid)."""
+    types, samples, problems = parse_exposition(text)
+
+    seen = set()
+    histogram_series = {}
+    for name, labels, value, line_number in samples:
+        family = _family_of(name, types)
+        if family is None:
+            problems.append(
+                "line {}: sample {!r} has no # TYPE declaration".format(
+                    line_number, name)
+            )
+            continue
+        key = (name, labels)
+        if key in seen:
+            problems.append(
+                "line {}: duplicate sample {}{{{}}}".format(
+                    line_number, name,
+                    ",".join("=".join(pair) for pair in labels))
+            )
+        seen.add(key)
+        if types[family] == "histogram":
+            base_labels = tuple(
+                pair for pair in labels if pair[0] != "le"
+            )
+            series = histogram_series.setdefault(
+                (family, base_labels),
+                {"buckets": [], "sum": None, "count": None},
+            )
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    problems.append(
+                        "line {}: histogram bucket without le label".format(
+                            line_number)
+                    )
+                else:
+                    series["buckets"].append((_parse_value(le), value))
+            elif name.endswith("_sum"):
+                series["sum"] = value
+            elif name.endswith("_count"):
+                series["count"] = value
+
+    for (family, base_labels), series in sorted(histogram_series.items()):
+        where = "{}{{{}}}".format(
+            family, ",".join("=".join(pair) for pair in base_labels)
+        )
+        buckets = sorted(series["buckets"])
+        if not buckets or buckets[-1][0] != float("inf"):
+            problems.append("{}: missing le=\"+Inf\" bucket".format(where))
+        previous = None
+        for _le, count in buckets:
+            if previous is not None and count < previous:
+                problems.append(
+                    "{}: bucket counts not cumulative".format(where)
+                )
+                break
+            previous = count
+        if series["count"] is None:
+            problems.append("{}: missing _count".format(where))
+        elif buckets and buckets[-1][0] == float("inf") \
+                and buckets[-1][1] != series["count"]:
+            problems.append(
+                "{}: +Inf bucket ({}) != _count ({})".format(
+                    where, buckets[-1][1], series["count"])
+            )
+        if series["sum"] is None:
+            problems.append("{}: missing _sum".format(where))
+
+    for family in require:
+        if family not in types:
+            problems.append(
+                "required metric family {!r} not present".format(family)
+            )
+    return problems
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.metrics.validate",
+        description="Validate Prometheus text exposition.",
+    )
+    parser.add_argument("path", help="exposition file ('-' for stdin)")
+    parser.add_argument(
+        "--require", action="append", default=[],
+        help="require a metric family to be declared; repeatable",
+    )
+    args = parser.parse_args(argv)
+
+    if args.path == "-":
+        text = sys.stdin.read()
+    else:
+        with open(args.path) as handle:
+            text = handle.read()
+
+    problems = validate_exposition(text, require=args.require)
+    if problems:
+        for problem in problems:
+            print("INVALID: " + problem, file=sys.stderr)
+        return 1
+    types, samples, _ = parse_exposition(text)
+    print("exposition OK: {} families, {} samples".format(
+        len(types), len(samples)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

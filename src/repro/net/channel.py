@@ -11,6 +11,7 @@ latencies.
 from collections import deque
 from dataclasses import dataclass
 
+from repro.metrics import NULL
 from repro.telemetry.tracer import NOOP
 
 #: default per-transfer log capacity; aggregates stay exact past it
@@ -87,6 +88,8 @@ class NetworkChannel:
         self.stats = NetworkStats(log_capacity=log_capacity)
         #: telemetry sink; the session installs its tracer here
         self.tracer = NOOP
+        #: always-on plane; the session installs its labeled MetricsView
+        self.metrics = NULL
 
     @property
     def bytes_per_second(self):
@@ -130,6 +133,11 @@ class NetworkChannel:
             self.tracer.count("net.round_trips")
             self.tracer.count("net.bytes_received", int(response_bytes))
             self.tracer.observe("net.round_trip_seconds", seconds)
+        if self.metrics.enabled:
+            self.metrics.inc("net.round_trips")
+            self.metrics.inc("net.bytes_sent", int(request_bytes))
+            self.metrics.inc("net.bytes_received", int(response_bytes))
+            self.metrics.observe("net.round_trip_seconds", seconds)
         return seconds
 
     def reset(self):

@@ -160,6 +160,25 @@ class TickClock:
         return value
 
 
+class _NullMetricsSink:
+    """Default (disabled) target of the tracer->metrics bridge.  A local
+    stub rather than :data:`repro.metrics.NULL` so the telemetry layer
+    keeps zero imports from the metrics package."""
+
+    __slots__ = ()
+
+    enabled = False
+
+    def inc(self, name, delta=1, **labels):
+        pass
+
+    def observe(self, name, value, **labels):
+        pass
+
+
+_NULL_METRICS = _NullMetricsSink()
+
+
 class Tracer:
     """A recording tracer.
 
@@ -181,6 +200,13 @@ class Tracer:
         self._next_id = 1
         self._stack = []         # open spans (current last)
         self.metadata = {}       # free-form, included in exports
+        #: bridge to the always-on metrics plane: when a session installs
+        #: its MetricsView here, every counter/histogram update forwards
+        #: as a labeled metric — except names under ``metrics_skip``
+        #: prefixes, whose call sites are directly instrumented on the
+        #: metrics plane already (forwarding them would double-count)
+        self.metrics = _NULL_METRICS
+        self.metrics_skip = ()
         # Counters and histograms may be updated from engine worker
         # threads (morsel-driven execution); guard them so totals stay
         # exact.  Spans remain single-threaded: open/close them on the
@@ -271,6 +297,8 @@ class Tracer:
             if counter is None:
                 counter = self.counters[name] = Counter(name)
             counter.add(delta)
+        if self.metrics.enabled and not name.startswith(self.metrics_skip):
+            self.metrics.inc(name, delta)
 
     def observe(self, name, value):
         with self._metrics_lock:
@@ -278,6 +306,8 @@ class Tracer:
             if histogram is None:
                 histogram = self.histograms[name] = Histogram(name)
             histogram.record(value)
+        if self.metrics.enabled and not name.startswith(self.metrics_skip):
+            self.metrics.observe(name, value)
 
     # -- introspection ---------------------------------------------------------
 

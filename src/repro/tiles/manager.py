@@ -21,6 +21,7 @@ from repro.core.executors import ClientSuffixRunner
 from repro.data import ColumnBatch
 from repro.dataflow.transforms.aggregate import _effective_valid
 from repro.expr.evaluator import Evaluator, _boolean, _number
+from repro.metrics import NULL as NULL_METRICS
 from repro.planner.costmodel import should_use_tiles
 from repro.planner.plans import CostBreakdown
 from repro.telemetry.tracer import NOOP
@@ -57,13 +58,16 @@ class _TileState:
 class TileIndexManager:
     """Owns every tile cube of one session."""
 
-    def __init__(self, mode="auto", resolution=TILE_RESOLUTION, tracer=None):
+    def __init__(self, mode="auto", resolution=TILE_RESOLUTION, tracer=None,
+                 metrics=None):
         #: "auto" = cost-model gated, "force" = always tile when eligible
         self.mode = mode
         self.resolution = resolution
         #: the session's tracer may be a no-op, so the manager keeps its
         #: own integer counters for stats()/explain()
         self.tracer = tracer or NOOP
+        #: always-on plane; the session passes its labeled MetricsView
+        self.metrics = metrics if metrics is not None else NULL_METRICS
         self._states = {}
         self._generation = 0
         self.builds = 0
@@ -112,6 +116,7 @@ class TileIndexManager:
         if memberships is None:
             self.unaligned += 1
             self.tracer.count("tiles.unaligned")
+            self.metrics.inc("tiles.unaligned")
             return None
         batch = slice_result(
             cube, memberships, candidate.measures, candidate.groupby)
@@ -146,6 +151,8 @@ class TileIndexManager:
         entry.slices += 1
         self.tracer.count("tiles.hit")
         self.tracer.observe("tiles.slice_seconds", elapsed)
+        self.metrics.inc("tiles.hit")
+        self.metrics.observe("tiles.slice_seconds", elapsed)
         result.breakdown = result.breakdown + CostBreakdown(
             client=elapsed,
             render=len(rows) * session.cost_params.render_row_cost,
@@ -186,6 +193,7 @@ class TileIndexManager:
             entry.cache_key = None
             self.evicted_rebuilds += 1
             self.tracer.count("tiles.evicted")
+            self.metrics.inc("tiles.evicted")
         start = time.perf_counter()
         try:
             cube, runner = build_cube(
@@ -194,14 +202,18 @@ class TileIndexManager:
             entry.dead = True
             self.build_failures += 1
             self.tracer.count("tiles.build_failed")
+            self.metrics.inc("tiles.build_failed")
             return None
         entry.build_seconds = time.perf_counter() - start
         self.builds += 1
         self.tracer.count("tiles.build")
         self.tracer.observe("tiles.build_seconds", entry.build_seconds)
+        self.metrics.inc("tiles.build")
+        self.metrics.observe("tiles.build_seconds", entry.build_seconds)
         size = cube.nbytes()
         self.bytes_built += size
         self.tracer.count("tiles.bytes", delta=size)
+        self.metrics.inc("tiles.bytes_built", size)
         self._generation += 1
         entry.cache_key = "tiles:{}#{}".format(
             entry.candidate.sink, self._generation)
@@ -285,6 +297,7 @@ class TileIndexManager:
             if patched:
                 self.deltas += 1
                 self.tracer.count("tiles.delta")
+                self.metrics.inc("tiles.delta")
                 session.cache.put(entry.cache_key, CacheEntry(
                     rows=[], wire_bytes=entry.cube.nbytes(),
                     value=entry.cube,
@@ -402,6 +415,7 @@ class TileIndexManager:
         entry.decision = None  # data/signals moved; re-decide
         self.invalidations += 1
         self.tracer.count("tiles.invalidated")
+        self.metrics.inc("tiles.invalidated")
 
     def reset(self):
         """Forget everything (spec replaced)."""

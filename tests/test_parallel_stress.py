@@ -252,3 +252,72 @@ def test_tracer_metrics_exact_under_contention():
     assert histogram.count == total
     expected_sum = CLIENT_THREADS * sum(range(increments_per_thread))
     assert histogram.total == pytest.approx(float(expected_sum))
+
+
+def test_metrics_registry_exact_under_contention():
+    """Labeled counter increments and histogram observations from many
+    threads must total exactly on the shared-lock registry — the same
+    guarantee the tracer gives, but per label set."""
+    from repro.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    increments_per_thread = 2_000
+
+    def hammer(worker_index):
+        view = registry.view(session="s{}".format(worker_index))
+        for step in range(increments_per_thread):
+            view.inc("stress.ticks")
+            registry.inc("stress.shared", kind="all")
+            view.observe("stress.values", float(step))
+
+    threads = [threading.Thread(target=hammer, args=(index,))
+               for index in range(CLIENT_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total = CLIENT_THREADS * increments_per_thread
+    assert registry.counter("stress.shared", kind="all").value == total
+    per_session = registry.families()["stress.ticks"].children
+    assert len(per_session) == CLIENT_THREADS
+    for child in per_session.values():
+        assert child.value == increments_per_thread
+    expected_sum = float(sum(range(increments_per_thread)))
+    for index in range(CLIENT_THREADS):
+        histogram = registry.histogram(
+            "stress.values", session="s{}".format(index))
+        assert histogram.count == increments_per_thread
+        assert histogram.total == pytest.approx(expected_sum)
+
+
+def test_metrics_update_overhead_guard():
+    """100k labeled metric updates must stay within a fixed budget —
+    the always-on plane's analogue of the tracer's no-op span guard
+    (tests/test_telemetry.py caps 100k disabled spans at 1.0s)."""
+    import time as _time
+
+    from repro.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    view = registry.view(session="s1", tenant="acme")
+    counter = view.counter("overhead.ticks")
+    histogram = view.histogram("overhead.seconds")
+
+    start = _time.perf_counter()
+    for step in range(50_000):
+        counter.inc()
+        histogram.observe(0.001)
+    elapsed = _time.perf_counter() - start
+    # 100k updates through pre-resolved handles; generous bound (the
+    # loop is ~0.15s typical) matching the NOOP guard's slack factor.
+    assert elapsed < 2.5, "100k metric updates took {:.3f}s".format(elapsed)
+
+    # The name-resolving convenience path (lock + label merge + dict
+    # lookups per call) must stay usable on per-query paths too.
+    start = _time.perf_counter()
+    for _ in range(10_000):
+        view.inc("overhead.resolved", kind="rows")
+    elapsed = _time.perf_counter() - start
+    assert elapsed < 2.0, \
+        "10k resolved metric updates took {:.3f}s".format(elapsed)
