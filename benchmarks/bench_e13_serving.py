@@ -1,0 +1,104 @@
+"""E13 — the multi-tenant serving layer under Markov-user load.
+
+Starts the canned three-tier deployment (gold / silver / bronze tenant
+policies over the flights dashboard) in-process and slams it with
+deterministic scripted Markov users (``repro.serve.loadgen``), all over
+real HTTP through the asyncio front end — admission control, session
+pooling over one shared Database, shared result cache, the works.
+
+Records per-tenant and per-event p50/p95/p99 latency, admission
+rejections by reason, throughput, and the exact accounting identity
+(every issued request is served or explicitly rejected; nothing dropped
+on the floor) into ``BENCH_serving.json``.
+
+CI tripwires (also enforced by ``python -m repro.metrics.regress``):
+
+* ``totals.unaccounted`` and ``totals.errors`` must be exactly 0;
+* the server-side registry must agree with the client-side tallies;
+* the constrained ``bronze`` tenant must see admission rejections (the
+  harness proves rejection, not just happy-path throughput);
+* served throughput must stay above a modest absolute floor.
+"""
+
+import asyncio
+import os
+
+from conftest import print_header, print_rows, scaled, write_bench_record
+
+from repro.metrics import MetricsRegistry
+from repro.serve.loadgen import run_default
+
+ROWS = 100_000
+USERS_PER_TENANT = 12
+EVENTS_PER_USER = 15
+SEED = 1
+
+#: absolute floor on served requests/second (generous: CI runners are
+#: slow, and the reduced-scale run still clears this by a wide margin)
+MIN_THROUGHPUT_RPS = float(
+    os.environ.get("REPRO_BENCH_MIN_SERVING_RPS", "5.0"))
+
+
+def test_serving_load(capsys):
+    rows = scaled(ROWS)
+    users = max(int(USERS_PER_TENANT * (rows / ROWS) ** 0.5), 2)
+
+    payload = asyncio.run(run_default(
+        rows=rows,
+        users_per_tenant=users,
+        events_per_user=EVENTS_PER_USER,
+        seed=SEED,
+        registry=MetricsRegistry(),
+    ))
+
+    totals = payload["totals"]
+    server = payload["server"]
+
+    with capsys.disabled():
+        print_header(
+            "E13: serving layer, {} rows, 3 tenants x {} users x {} "
+            "events".format(rows, users, EVENTS_PER_USER))
+        table = []
+        for tenant, body in payload["tenants"].items():
+            latency = body["latency"]
+            table.append([
+                tenant, body["users"], body["issued"], body["served"],
+                body["rejected_total"],
+                "{:.4f}".format(latency["p50_s"]),
+                "{:.4f}".format(latency["p95_s"]),
+                "{:.4f}".format(latency["p99_s"]),
+            ])
+        print_rows(
+            ["tenant", "users", "issued", "served", "rejected",
+             "p50_s", "p95_s", "p99_s"],
+            table,
+        )
+        print("\nthroughput: {:.1f} served rps over {:.2f}s wall; "
+              "unaccounted={} errors={}".format(
+                  totals["throughput_rps"], totals["wall_seconds"],
+                  totals["unaccounted"], totals["errors"]))
+
+        payload["checks"] = {
+            "throughput_rps": totals["throughput_rps"],
+            "unaccounted": totals["unaccounted"],
+            "errors": totals["errors"],
+            "server_unaccounted": server["unaccounted"],
+            "bronze_rejections": payload["tenants"]["bronze"][
+                "rejected_total"],
+            "served": totals["served"],
+        }
+        write_bench_record("serving", payload)
+
+    # Zero dropped-on-the-floor requests, on both sides of the wire.
+    assert totals["unaccounted"] == 0
+    assert totals["errors"] == 0
+    assert server["unaccounted"] == 0
+    assert server["requests"] == totals["issued"]
+    assert server["served"] == totals["served"]
+    assert server["rejected_total"] == totals["rejected"]
+    # The constrained tenant must actually exercise admission control.
+    assert payload["tenants"]["bronze"]["rejected_total"] > 0
+    # Everyone got some service (admission is throttling, not starving).
+    for tenant in ("gold", "silver", "bronze"):
+        assert payload["tenants"][tenant]["served"] > 0
+    assert totals["throughput_rps"] >= MIN_THROUGHPUT_RPS

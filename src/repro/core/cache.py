@@ -6,8 +6,16 @@ variants get distinct entries.  Eviction is LRU by entry count with an
 optional byte budget (browser memory is the real constraint the paper's
 middleware coordinates, §2: "prefetches data ... and coordinates the
 cache").
+
+The cache is safe to share across concurrent sessions: one re-entrant
+lock guards the entry map, the byte ledger, and every counter, so a
+process-wide cache under the serving layer (``repro.serve``) keeps
+exact hit/miss/eviction/byte accounting no matter how many worker
+threads race on it.  Entry payloads are immutable once inserted, so
+readers outside the lock only ever see complete entries.
 """
 
+import threading
 from collections import OrderedDict
 
 from repro.metrics import NULL
@@ -56,13 +64,15 @@ class CacheEntry:
 
 
 class ResultCache:
-    """LRU cache of query results."""
+    """LRU cache of query results, safe for concurrent sessions."""
 
     def __init__(self, max_entries=64, max_bytes=64 * 1024 * 1024):
         if max_entries <= 0:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self.max_bytes = max_bytes
+        # Re-entrant: put() evicts while already holding the lock.
+        self._lock = threading.RLock()
         self._entries = OrderedDict()
         self._bytes = 0
         self.hits = 0
@@ -76,63 +86,72 @@ class ResultCache:
         self.metrics = NULL
 
     def __len__(self):
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def total_bytes(self):
-        return self._bytes
+        with self._lock:
+            return self._bytes
 
     def get(self, key):
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            self.tracer.count("cache.misses")
-            self.metrics.inc("cache.misses")
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        self.tracer.count("cache.hits")
-        self.metrics.inc("cache.hits")
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                self.tracer.count("cache.misses")
+                self.metrics.inc("cache.misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.tracer.count("cache.hits")
+            self.metrics.inc("cache.hits")
+            return entry
 
     def contains(self, key):
         """Peek without affecting counters or recency."""
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def peek(self, key):
         """The entry for ``key`` (refreshing its recency) without touching
         the hit/miss counters — used by owners of synthetic entries (tile
         cubes) that treat the cache purely as the eviction authority."""
-        entry = self._entries.get(key)
-        if entry is not None:
-            self._entries.move_to_end(key)
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+            return entry
 
     def discard(self, key):
         """Drop one entry (owner-initiated invalidation, not eviction)."""
-        entry = self._entries.pop(key, None)
-        if entry is None:
-            return
-        self._bytes -= entry.wire_bytes
-        self.tracer.count("cache.bytes", delta=-entry.wire_bytes)
-        self.metrics.set_gauge("cache.bytes", self._bytes)
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is None:
+                return
+            self._bytes -= entry.wire_bytes
+            self.tracer.count("cache.bytes", delta=-entry.wire_bytes)
+            self.metrics.set_gauge("cache.bytes", self._bytes)
 
     def put(self, key, entry):
-        if key in self._entries:
-            self._bytes -= self._entries[key].wire_bytes
-            self.tracer.count("cache.bytes",
-                              delta=-self._entries[key].wire_bytes)
-            del self._entries[key]
-        self._entries[key] = entry
-        self._bytes += entry.wire_bytes
-        # ``cache.bytes`` tracks the resident byte size as a net counter:
-        # every put adds, every eviction/clear subtracts.  On the metrics
-        # plane the same quantity is a gauge set to the resident size.
-        self.tracer.count("cache.bytes", delta=entry.wire_bytes)
-        self._evict()
-        self.metrics.set_gauge("cache.bytes", self._bytes)
+        with self._lock:
+            if key in self._entries:
+                self._bytes -= self._entries[key].wire_bytes
+                self.tracer.count("cache.bytes",
+                                  delta=-self._entries[key].wire_bytes)
+                del self._entries[key]
+            self._entries[key] = entry
+            self._bytes += entry.wire_bytes
+            # ``cache.bytes`` tracks the resident byte size as a net
+            # counter: every put adds, every eviction/clear subtracts.  On
+            # the metrics plane the same quantity is a gauge set to the
+            # resident size.
+            self.tracer.count("cache.bytes", delta=entry.wire_bytes)
+            self._evict()
+            self.metrics.set_gauge("cache.bytes", self._bytes)
 
     def _evict(self):
+        # Callers hold the lock (RLock re-entry from put()).
         while len(self._entries) > self.max_entries or (
             self._bytes > self.max_bytes and len(self._entries) > 1
         ):
@@ -145,18 +164,20 @@ class ResultCache:
             self.metrics.inc("cache.evictions")
 
     def clear(self):
-        if self._bytes:
-            self.tracer.count("cache.bytes", delta=-self._bytes)
-        self._entries.clear()
-        self._bytes = 0
-        self.metrics.set_gauge("cache.bytes", 0)
+        with self._lock:
+            if self._bytes:
+                self.tracer.count("cache.bytes", delta=-self._bytes)
+            self._entries.clear()
+            self._bytes = 0
+            self.metrics.set_gauge("cache.bytes", 0)
 
     def stats(self):
-        return {
-            "entries": len(self._entries),
-            "bytes": self._bytes,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-            "evicted_bytes": self.evicted_bytes,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "evicted_bytes": self.evicted_bytes,
+            }

@@ -80,7 +80,8 @@ class VegaPlus:
                  prefetch_budget=3, validate=True,
                  per_operator_roundtrips=False, dynamic_replan=False,
                  trace=False, parallelism=None, columnar=True,
-                 tiles=True, metrics=True, tenant=None, session_id=None):
+                 tiles=True, metrics=True, tenant=None, session_id=None,
+                 cache=None):
         #: telemetry: False/None = off (no-op tracer), True = record, or
         #: pass a :class:`repro.telemetry.Tracer` to share one across
         #: sessions.
@@ -177,11 +178,19 @@ class VegaPlus:
         self.table_stats = {
             name: compute_stats(table) for name, table in self.tables.items()
         }
-        self.cache = ResultCache(max_entries=cache_entries)
-        if self.tracer.enabled:
-            self.cache.tracer = self.tracer
-        if self.metrics.enabled:
-            self.cache.metrics = self.metrics
+        #: pass ``cache=`` to share one (locked) ResultCache across
+        #: sessions — the serving layer's cross-user cache.  The session
+        #: only installs its own tracer/metrics sinks on a cache it owns;
+        #: a shared cache keeps whatever sinks its owner installed so
+        #: counters are not re-labeled by the last session to attach.
+        self._owns_cache = cache is None
+        self.cache = cache if cache is not None else ResultCache(
+            max_entries=cache_entries)
+        if self._owns_cache:
+            if self.tracer.enabled:
+                self.cache.tracer = self.tracer
+            if self.metrics.enabled:
+                self.cache.metrics = self.metrics
         self.prefetcher = Prefetcher(budget=prefetch_budget)
         #: data-tile index for brush interactions: False/None = off,
         #: True = cost-model gated ("auto"), or "force" to always tile

@@ -59,6 +59,16 @@ DEFAULT_RULES = {
         Rule("*.prefetch_on.cache_hit_rate", "higher",
              ratio=0.7, floor=0.5),
     ],
+    "serving": [
+        # Zero dropped requests: everything issued is served or
+        # explicitly rejected, on both sides of the wire.
+        Rule("totals.unaccounted", "lower", ratio=None, floor=0),
+        Rule("totals.errors", "lower", ratio=None, floor=0),
+        Rule("checks.server_unaccounted", "lower", ratio=None, floor=0),
+        # The constrained tenant must actually hit admission control.
+        Rule("checks.bronze_rejections", "higher", ratio=None, floor=1),
+        Rule("totals.throughput_rps", "higher", ratio=0.5, floor=5.0),
+    ],
 }
 
 ENVELOPE_KEYS = ("benchmark", "results", "scale", "timestamp")

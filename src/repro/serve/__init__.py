@@ -1,0 +1,39 @@
+"""Multi-tenant async serving layer: sessions behind admission control.
+
+The reproduction's entry point for the ROADMAP's "millions of users"
+story: a zero-dependency asyncio HTTP front end
+(:class:`~repro.serve.app.ServingApp`) owning a pool of
+:class:`repro.VegaPlus` sessions over one shared Database per dashboard
+(:mod:`repro.serve.pool`), with per-tenant token-bucket rate limiting, a
+concurrency cap, a bounded FIFO wait queue with timeout rejection
+(:mod:`repro.serve.admission`), and latency-injection failure drills
+(:mod:`repro.serve.latency`).  The load/soak harness lives in
+:mod:`repro.serve.loadgen`.
+
+Quick start::
+
+    python -m repro.serve --rows 100000          # run a server
+    python -m repro.serve.loadgen --users 20     # slam it in-process
+"""
+
+from repro.serve.admission import (
+    AdmissionController,
+    AdmissionError,
+    TenantPolicy,
+    TokenBucket,
+)
+from repro.serve.app import ServingApp
+from repro.serve.latency import LatencyInjector
+from repro.serve.pool import DashboardConfig, PoolError, SessionPool
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionError",
+    "DashboardConfig",
+    "LatencyInjector",
+    "PoolError",
+    "ServingApp",
+    "SessionPool",
+    "TenantPolicy",
+    "TokenBucket",
+]

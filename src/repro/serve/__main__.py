@@ -1,0 +1,55 @@
+"""Run a serving process: ``python -m repro.serve``.
+
+Starts the canned three-tier flights deployment (see
+:func:`repro.serve.loadgen.default_app_and_scenario` for the tenant
+policies) and serves until interrupted.  Point a browser or ``curl`` at
+``/healthz``, ``/metrics``, ``/stats``, or POST to ``/v1/interact``.
+"""
+
+import argparse
+import asyncio
+import sys
+
+
+async def _serve(args):
+    from repro.serve.loadgen import default_app_and_scenario
+
+    app, _, _ = default_app_and_scenario(
+        rows=args.rows, parallelism=args.parallelism)
+    app.host = args.host
+    app.port = args.port
+    await app.start()
+    await app.prewarm()
+    print("serving on {} (tenants: gold/silver/bronze; "
+          "Ctrl-C to stop)".format(app.url))
+    print("  curl {}/healthz".format(app.url))
+    print("  curl {}/metrics".format(app.url))
+    print("  curl -X POST {}/v1/interact -H 'X-Tenant: gold' "
+          "-d '{{\"signal\": \"maxbins\", \"value\": 30}}'".format(app.url))
+    try:
+        await asyncio.Event().wait()
+    finally:
+        await app.stop()
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="repro.serve",
+        description="Multi-tenant VegaPlus serving process.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8123)
+    parser.add_argument("--rows", type=int, default=100_000,
+                        help="synthetic flights rows to load")
+    parser.add_argument("--parallelism", type=int, default=None,
+                        help="engine worker threads (default: serial)")
+    args = parser.parse_args(argv)
+    try:
+        asyncio.run(_serve(args))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,275 @@
+"""Per-tenant admission control for the serving layer.
+
+Three gates, applied in order, every one accounted exactly:
+
+1. **Token bucket** — sustained request rate per tenant with a burst
+   allowance.  An empty bucket rejects immediately with a computed
+   ``Retry-After`` (the time until one token refills), never queues:
+   rate violations are the client's problem, not the server's backlog.
+2. **Concurrency cap** — at most ``max_concurrency`` requests of one
+   tenant execute at once.
+3. **Bounded FIFO wait queue** — up to ``max_queue`` requests over the
+   cap wait (strictly in arrival order per tenant) for a slot; a full
+   queue rejects immediately, and a queued request that waits longer
+   than ``queue_timeout_seconds`` rejects with a timeout.
+
+Every request therefore ends in exactly one of: admitted (and later
+released), rejected ``rate``, rejected ``queue_full``, or rejected
+``timeout`` — ``serve.requests == serve.admitted + serve.rejected``
+holds as an exact counter identity, which the load harness asserts.
+
+The controller is asyncio-native (one event loop owns all state, so the
+only synchronization needed is care across ``await`` points); the token
+bucket itself is a plain object with an injectable clock so refill edges
+unit-test deterministically.
+"""
+
+import asyncio
+import math
+import time
+from dataclasses import dataclass
+
+from repro.metrics import NULL
+
+#: rejection reasons (the ``reason=`` label on ``serve.rejected``)
+REJECT_RATE = "rate"
+REJECT_QUEUE_FULL = "queue_full"
+REJECT_TIMEOUT = "timeout"
+
+
+class AdmissionError(Exception):
+    """A request was rejected by admission control (429-style)."""
+
+    def __init__(self, tenant, reason, retry_after_seconds):
+        self.tenant = tenant
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
+        super().__init__(
+            "tenant {!r} rejected ({}); retry after {:.3f}s".format(
+                tenant, reason, retry_after_seconds)
+        )
+
+    @property
+    def retry_after_header(self):
+        """``Retry-After`` as HTTP wants it: integer seconds, >= 1."""
+        return max(1, int(math.ceil(self.retry_after_seconds)))
+
+
+@dataclass(frozen=True)
+class TenantPolicy:
+    """Admission knobs for one tenant (or the default for all others)."""
+
+    #: sustained tokens (requests) per second; None disables rate limiting
+    rate: float = None
+    #: bucket capacity (burst allowance); defaults to max(rate, 1)
+    burst: float = None
+    #: concurrent in-flight requests allowed
+    max_concurrency: int = 4
+    #: requests allowed to wait for a slot beyond the cap
+    max_queue: int = 16
+    #: how long a queued request may wait before a timeout rejection
+    queue_timeout_seconds: float = 5.0
+    #: failure-drill latency injected before execution (seconds)
+    inject_latency_seconds: float = 0.0
+
+    def resolved_burst(self):
+        if self.burst is not None:
+            return float(self.burst)
+        if self.rate is None:
+            return 1.0
+        return max(float(self.rate), 1.0)
+
+
+class TokenBucket:
+    """A classic token bucket with continuous refill.
+
+    ``clock`` is injectable so the refill edges (exact exhaustion, the
+    instant a fractional token completes, burst clamping after a long
+    idle gap) are deterministic under test.
+    """
+
+    def __init__(self, rate, burst=None, clock=None):
+        if rate is not None and rate <= 0:
+            raise ValueError("rate must be positive (or None to disable)")
+        self.rate = None if rate is None else float(rate)
+        self.burst = (
+            max(float(burst), 1.0) if burst is not None
+            else (max(self.rate, 1.0) if self.rate is not None else 1.0)
+        )
+        self.clock = clock or time.monotonic
+        self.tokens = self.burst
+        self._last_refill = self.clock()
+
+    def _refill(self):
+        now = self.clock()
+        elapsed = now - self._last_refill
+        self._last_refill = now
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+
+    def try_acquire(self, cost=1.0):
+        """Take ``cost`` tokens.  Returns ``(granted, retry_after)``:
+        granted=True with retry_after 0.0, or granted=False with the
+        seconds until the deficit refills."""
+        if self.rate is None:
+            return True, 0.0
+        self._refill()
+        if self.tokens >= cost:
+            self.tokens -= cost
+            return True, 0.0
+        deficit = cost - self.tokens
+        return False, deficit / self.rate
+
+
+class _TenantState:
+    """Per-tenant runtime state (bucket, in-flight count, FIFO queue)."""
+
+    __slots__ = ("policy", "bucket", "in_flight", "queue")
+
+    def __init__(self, policy, clock):
+        self.policy = policy
+        self.bucket = TokenBucket(
+            policy.rate, policy.resolved_burst(), clock=clock
+        )
+        self.in_flight = 0
+        #: FIFO of waiter futures; each resolves True when granted a slot
+        self.queue = []
+
+
+class _Admission:
+    """An admitted request's slot; an async context manager that releases
+    (waking the next FIFO waiter) on exit."""
+
+    __slots__ = ("_controller", "_tenant", "queue_wait_seconds")
+
+    def __init__(self, controller, tenant, queue_wait_seconds):
+        self._controller = controller
+        self._tenant = tenant
+        self.queue_wait_seconds = queue_wait_seconds
+
+    async def __aenter__(self):
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb):
+        self._controller.release(self._tenant)
+        return False
+
+
+class AdmissionController:
+    """Applies per-tenant policies; the serving app holds exactly one.
+
+    ``policies`` maps tenant name -> :class:`TenantPolicy`; tenants not
+    in the map fall back to ``default_policy``.  ``metrics`` is a
+    registry or view; all counters carry ``tenant=`` labels.
+    """
+
+    def __init__(self, policies=None, default_policy=None, metrics=NULL,
+                 clock=None):
+        self.policies = dict(policies or {})
+        self.default_policy = default_policy or TenantPolicy()
+        self.metrics = metrics
+        self.clock = clock or time.monotonic
+        self._tenants = {}
+
+    def policy_for(self, tenant):
+        return self.policies.get(tenant, self.default_policy)
+
+    def _state(self, tenant):
+        state = self._tenants.get(tenant)
+        if state is None:
+            state = self._tenants[tenant] = _TenantState(
+                self.policy_for(tenant), self.clock
+            )
+        return state
+
+    def _reject(self, tenant, reason, retry_after):
+        self.metrics.inc("serve.rejected", tenant=tenant, reason=reason)
+        raise AdmissionError(tenant, reason, retry_after)
+
+    async def admit(self, tenant):
+        """Admit one request for ``tenant`` (async context manager), or
+        raise :class:`AdmissionError`.  FIFO per tenant: queued requests
+        are granted strictly in arrival order."""
+        state = self._state(tenant)
+        policy = state.policy
+        self.metrics.inc("serve.requests", tenant=tenant)
+
+        granted, retry_after = state.bucket.try_acquire()
+        if not granted:
+            self._reject(tenant, REJECT_RATE, retry_after)
+
+        if state.in_flight < policy.max_concurrency and not state.queue:
+            state.in_flight += 1
+            self._admitted(tenant, 0.0)
+            return _Admission(self, tenant, 0.0)
+
+        if len(state.queue) >= policy.max_queue:
+            self._reject(tenant, REJECT_QUEUE_FULL,
+                         policy.queue_timeout_seconds)
+
+        waiter = asyncio.get_running_loop().create_future()
+        state.queue.append(waiter)
+        self.metrics.set_gauge("serve.queued", len(state.queue),
+                               tenant=tenant)
+        wait_start = self.clock()
+        try:
+            await asyncio.wait_for(waiter, policy.queue_timeout_seconds)
+        except asyncio.TimeoutError:
+            # wait_for only raises after cancelling the (pending) waiter,
+            # so a granted waiter never lands here.  Either the cancelled
+            # waiter is still queued (remove it) or release() already
+            # popped it, saw it done, and passed the slot to the next
+            # live waiter — nothing left to clean up.
+            if waiter in state.queue:
+                state.queue.remove(waiter)
+            self.metrics.set_gauge("serve.queued", len(state.queue),
+                                   tenant=tenant)
+            self._reject(tenant, REJECT_TIMEOUT,
+                         policy.queue_timeout_seconds)
+        waited = self.clock() - wait_start
+        self.metrics.set_gauge("serve.queued", len(state.queue),
+                               tenant=tenant)
+        self._admitted(tenant, waited)
+        return _Admission(self, tenant, waited)
+
+    def _admitted(self, tenant, waited):
+        self.metrics.inc("serve.admitted", tenant=tenant)
+        self.metrics.observe("serve.queue_wait_seconds", waited,
+                             tenant=tenant)
+        state = self._tenants[tenant]
+        self.metrics.set_gauge("serve.in_flight", state.in_flight,
+                               tenant=tenant)
+
+    def _pass_slot(self, state, tenant):
+        """Hand a freed slot to the oldest live waiter, else free it."""
+        while state.queue:
+            waiter = state.queue.pop(0)
+            if not waiter.done():
+                waiter.set_result(True)
+                return
+        state.in_flight -= 1
+        self.metrics.set_gauge("serve.in_flight", state.in_flight,
+                               tenant=tenant)
+
+    def release(self, tenant):
+        """One admitted request finished: wake the next FIFO waiter (the
+        slot transfers without ever dropping below the cap) or decrement
+        the in-flight count."""
+        state = self._tenants[tenant]
+        self._pass_slot(state, tenant)
+
+    def stats(self):
+        """Plain-data snapshot per tenant (in-flight, queued, tokens)."""
+        out = {}
+        for tenant, state in sorted(self._tenants.items()):
+            out[tenant] = {
+                "in_flight": state.in_flight,
+                "queued": len(state.queue),
+                "tokens": (
+                    None if state.bucket.rate is None
+                    else round(state.bucket.tokens, 6)
+                ),
+                "max_concurrency": state.policy.max_concurrency,
+                "max_queue": state.policy.max_queue,
+            }
+        return out

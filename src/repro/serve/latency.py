@@ -1,0 +1,58 @@
+"""Latency injection for failure drills.
+
+The serving layer can slow one tenant (or everyone) down on purpose —
+the classic game-day drill: prove the admission queues fill, timeouts
+fire, p99 degrades gracefully, and the other tenants stay healthy while
+one dependency crawls.  Injection happens *after* admission (an admitted
+slot is held for the injected time, so drills exercise the concurrency
+cap exactly like a slow backend would).
+
+Deterministic: jitter comes from a seeded RNG, so a drill replays
+identically under the same seed.
+"""
+
+import asyncio
+import random
+
+from repro.metrics import NULL
+
+
+class LatencyInjector:
+    """Per-tenant injected delay: ``base_seconds`` plus uniform jitter in
+    ``[0, jitter_seconds)`` drawn from a seeded RNG."""
+
+    def __init__(self, delays=None, default_seconds=0.0,
+                 jitter_seconds=0.0, seed=0, metrics=NULL):
+        #: tenant -> injected base seconds (overrides the default)
+        self.delays = dict(delays or {})
+        self.default_seconds = float(default_seconds)
+        self.jitter_seconds = float(jitter_seconds)
+        self._rng = random.Random(seed)
+        self.metrics = metrics
+
+    def seconds_for(self, tenant):
+        base = self.delays.get(tenant, self.default_seconds)
+        if base <= 0 and self.jitter_seconds <= 0:
+            return 0.0
+        jitter = (
+            self._rng.uniform(0.0, self.jitter_seconds)
+            if self.jitter_seconds > 0 else 0.0
+        )
+        return max(base, 0.0) + jitter
+
+    def set_delay(self, tenant, seconds):
+        """Dial a drill up or down at runtime (the ``/drill`` endpoint)."""
+        if seconds and seconds > 0:
+            self.delays[tenant] = float(seconds)
+        else:
+            self.delays.pop(tenant, None)
+
+    async def apply(self, tenant):
+        """Sleep the injected delay (no-op when zero); returns seconds."""
+        seconds = self.seconds_for(tenant)
+        if seconds > 0:
+            self.metrics.inc("serve.injected_delays", tenant=tenant)
+            self.metrics.observe("serve.injected_seconds", seconds,
+                                 tenant=tenant)
+            await asyncio.sleep(seconds)
+        return seconds

@@ -291,6 +291,149 @@ def test_metrics_registry_exact_under_contention():
         assert histogram.total == pytest.approx(expected_sum)
 
 
+def test_shared_result_cache_exact_accounting_under_contention():
+    """Many threads hammering one ResultCache (the serving layer's
+    cross-user cache) must keep *exact* accounting: hit/miss totals,
+    resident bytes, and the mirrored ``cache.*`` metrics counters all
+    match the deterministic per-thread arithmetic — no lost updates."""
+    from repro.core.cache import CacheEntry, ResultCache
+    from repro.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    cache = ResultCache(max_entries=10_000, max_bytes=1 << 40)
+    cache.metrics = registry.view(session="shared")
+
+    keys_per_thread = 50
+    reads_per_key = 4
+    entry_bytes = 1_000
+
+    def client(worker_index):
+        for key_index in range(keys_per_thread):
+            key = "q{}:{}".format(worker_index, key_index)
+            assert cache.get(key) is None  # one miss per key
+            cache.put(key, CacheEntry(
+                rows=[{"v": key_index}], wire_bytes=entry_bytes))
+            for _ in range(reads_per_key):
+                assert cache.get(key) is not None
+
+    threads = [threading.Thread(target=client, args=(index,))
+               for index in range(CLIENT_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total_keys = CLIENT_THREADS * keys_per_thread
+    assert cache.misses == total_keys
+    assert cache.hits == total_keys * reads_per_key
+    assert cache.evictions == 0
+    assert len(cache) == total_keys
+    assert cache.total_bytes == total_keys * entry_bytes
+    # The mirrored metrics plane agrees exactly.
+    assert registry.counter("cache.misses",
+                            session="shared").value == total_keys
+    assert registry.counter("cache.hits",
+                            session="shared").value == \
+        total_keys * reads_per_key
+    assert registry.gauge("cache.bytes", session="shared").value == \
+        total_keys * entry_bytes
+    assert cache.stats()["bytes"] == total_keys * entry_bytes
+
+
+def test_shared_result_cache_exact_eviction_accounting():
+    """Concurrent puts past the entry budget: eviction and byte ledgers
+    stay exact (every put evicts-or-resides, nothing double-counted)."""
+    from repro.core.cache import CacheEntry, ResultCache
+
+    max_entries = 16
+    entry_bytes = 256
+    puts_per_thread = 200
+    cache = ResultCache(max_entries=max_entries, max_bytes=1 << 40)
+
+    def client(worker_index):
+        for put_index in range(puts_per_thread):
+            key = "p{}:{}".format(worker_index, put_index)  # all unique
+            cache.put(key, CacheEntry(rows=[], wire_bytes=entry_bytes))
+
+    threads = [threading.Thread(target=client, args=(index,))
+               for index in range(CLIENT_THREADS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    total_puts = CLIENT_THREADS * puts_per_thread
+    assert len(cache) == max_entries
+    assert cache.evictions == total_puts - max_entries
+    assert cache.total_bytes == max_entries * entry_bytes
+    assert cache.evicted_bytes == (total_puts - max_entries) * entry_bytes
+    stats = cache.stats()
+    assert stats["entries"] == max_entries
+    assert stats["evictions"] == total_puts - max_entries
+
+
+def test_concurrent_sessions_share_one_cache():
+    """Two threads of sessions over one shared Database *and* one shared
+    cache: every re-parameterized query computed by any session is a hit
+    for every other, and the shared counters stay exact."""
+    from repro import VegaPlus
+    from repro.backends import create_backend
+    from repro.core.cache import ResultCache
+    from repro.datagen import generate_flights
+    from repro.spec import flights_histogram_spec
+
+    table = generate_flights(2_000)
+    backend = create_backend("embedded")
+    backend.load_table("flights", table)
+    cache = ResultCache(max_entries=256)
+
+    def build_session():
+        return VegaPlus(
+            flights_histogram_spec(),
+            data={"flights": table},
+            backend=backend,
+            cache=cache,
+            latency_ms=0.0,
+            tiles=False,
+            metrics=False,
+        )
+
+    warm = build_session()
+    warm.startup()
+    maxbins_values = list(range(10, 26))
+    for value in maxbins_values:
+        warm.interact("maxbins", value)
+    hits_before = cache.hits
+    misses_before = cache.misses
+
+    failures = []
+    barrier = threading.Barrier(4)
+
+    def client(worker_index):
+        barrier.wait()
+        session = build_session()
+        session.startup()
+        for value in maxbins_values:
+            result = session.interact("maxbins", value)
+            if result.cache_misses:
+                failures.append(
+                    "worker {} missed on warmed maxbins={}".format(
+                        worker_index, value))
+
+    threads = [threading.Thread(target=client, args=(index,))
+               for index in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    assert not failures, "\n".join(failures[:5])
+    # Every query any follower session ran was served from the shared
+    # cache: the miss counter did not move.
+    assert cache.misses == misses_before
+    assert cache.hits > hits_before
+
+
 def test_metrics_update_overhead_guard():
     """100k labeled metric updates must stay within a fixed budget —
     the always-on plane's analogue of the tracer's no-op span guard
