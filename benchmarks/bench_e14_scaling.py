@@ -1,0 +1,88 @@
+"""E14 — out-of-core scale sweep: 1M/10M/100M-row log analytics.
+
+The claim this measures is the tentpole of the chunked-storage work:
+dashboard queries over a dataset that never fits in RAM as one array.
+Each scale runs in its own subprocess (``repro.perf.scale_sweep``) so
+``ru_maxrss`` is attributable per row count; the dataset is generated
+straight to disk through a SpillStore and queried with the chunk-aligned
+morsel executor.  Per scale the record carries generation and query
+rows/s, on-disk bytes, peak RSS (raw and net of the interpreter floor),
+and the chunk-consolidation counter — which must be **zero** during the
+query phase, proving no layer silently flattened a memmap column.
+
+Gates (the criteria CI enforces via ``repro.metrics.regress`` against
+``benchmarks/baselines/BENCH_scaling.json``):
+
+* ``query_consolidations == 0`` at every scale;
+* at the largest scale, net peak RSS < 50% of the on-disk dataset size
+  (the out-of-core criterion; raw RSS is also recorded).
+
+The RSS criterion is only physical once the dataset dwarfs fixed
+overhead (numpy temporaries, the message dictionary, query state), so
+the bench enforces it only when the largest swept scale is at least
+``RSS_GATE_MIN_ROWS``; the value is recorded either way and the CI
+scale is chosen to keep the gate live.
+"""
+
+from conftest import print_header, print_rows, scaled, write_bench_record
+
+from repro.perf.scale_sweep import sweep
+
+SCALES = (1_000_000, 10_000_000, 100_000_000)
+THREADS = 2
+RSS_FRACTION_LIMIT = 0.5
+#: below this row count, fixed overhead dominates disk size and the
+#: net-RSS fraction stops meaning "out of core" — record, don't assert
+RSS_GATE_MIN_ROWS = 2_000_000
+
+
+def test_e14_scaling_sweep():
+    scales = sorted({scaled(size) for size in SCALES})
+    payload = sweep(scales, threads=THREADS)
+
+    rows = []
+    for size in scales:
+        record = payload["scales"][str(size)]
+        rows.append([
+            size,
+            "{:,.0f}".format(record["generate"]["rows_per_s"]),
+            "{:,.0f}".format(
+                min(q["rows_per_s"] for q in record["queries"].values())
+            ),
+            "{:,}".format(record["disk_bytes"]),
+            "{:,}".format(record["peak_rss_bytes"]),
+            "{:.3f}".format(record["net_rss_over_disk"]),
+            record["query_consolidations"],
+        ])
+    print_header("E14 — out-of-core log-analytics scale sweep "
+                 "({} threads)".format(THREADS))
+    print_rows(
+        ["rows", "gen rows/s", "min query rows/s", "disk B", "peak RSS B",
+         "net RSS/disk", "consolidations"],
+        rows,
+    )
+
+    largest = payload["scales"][str(scales[-1])]
+    rss_gate_enforced = scales[-1] >= RSS_GATE_MIN_ROWS
+    payload["gate"] = {
+        "rows": scales[-1],
+        "net_rss_over_disk": largest["net_rss_over_disk"],
+        "rss_fraction_limit": RSS_FRACTION_LIMIT,
+        "rss_gate_enforced": rss_gate_enforced,
+        "max_query_consolidations": max(
+            payload["scales"][str(size)]["query_consolidations"]
+            for size in scales
+        ),
+    }
+    write_bench_record("scaling", payload)
+
+    for size in scales:
+        record = payload["scales"][str(size)]
+        assert record["query_consolidations"] == 0, (
+            "scale {}: a query consolidated a chunked column".format(size)
+        )
+    if rss_gate_enforced:
+        assert largest["net_rss_over_disk"] < RSS_FRACTION_LIMIT, (
+            "largest scale used {:.1%} of the dataset size in "
+            "net RSS".format(largest["net_rss_over_disk"])
+        )

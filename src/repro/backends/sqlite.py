@@ -236,9 +236,17 @@ class SQLiteBackend(Backend):
         )
         placeholders = ", ".join("?" for _ in table.columns)
         insert_sql = "INSERT INTO {} VALUES ({})".format(quoted, placeholders)
-        column_lists = [column.to_list() for column in table.columns.values()]
         if table.columns:
-            self.conn.executemany(insert_sql, list(zip(*column_lists)))
+            # Insert chunk-batch-wise so a chunked (or disk-backed) table
+            # never fully materializes: each piece decodes only its own
+            # rows, and its source pages are released once inserted.
+            for lo, hi, piece in table.iter_chunk_batches(max_rows=65536):
+                column_lists = [
+                    column.to_list() for column in piece.columns.values()
+                ]
+                self.conn.executemany(insert_sql, list(zip(*column_lists)))
+                for column in table.columns.values():
+                    column.release(lo, hi)
         self.conn.commit()
         self._schemas[name] = table.schema()
 

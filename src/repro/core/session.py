@@ -711,6 +711,27 @@ class VegaPlus:
             return 0
         return self.tiles.prewarm(self)
 
+    def tile_grid_hints(self, sink):
+        """Snap-to-grid hints for ``sink``'s brush axes (one dict per
+        axis: field, start, step, n_bins, top, and the grid object).  A
+        client that snaps its brush bounds with ``hint["grid"].snap(...)``
+        before :meth:`interact` keeps every event on the tile fast path
+        instead of falling back to a requery (``tiles.unaligned``).
+        Returns None when tiles are off or the sink has no built cube.
+        """
+        if self.tiles is None:
+            return None
+        return self.tiles.grid_hints(sink)
+
+    def snap_brush(self, sink, field, bound, op=">="):
+        """Snap one brush bound for ``field`` onto ``sink``'s tile grid;
+        the raw bound comes back unchanged when there is no grid."""
+        hints = self.tile_grid_hints(sink) or []
+        for hint in hints:
+            if hint["field"] == field:
+                return hint["grid"].snap(bound, op)
+        return bound
+
     # -- introspection -----------------------------------------------------------------
 
     def last_result(self):

@@ -14,6 +14,14 @@ from repro.data.batch import (
     concat_batches,
     concat_tables,
 )
+from repro.data.chunked import (
+    DEFAULT_CHUNK_ROWS,
+    ArrayChunk,
+    DictChunk,
+    consolidation_count,
+    resolve_chunk_rows,
+)
+from repro.data.store import ColumnWriter, MemmapBacking, SpillStore
 from repro.data.types import SQLType, infer_type, python_value_type
 
 __all__ = [
@@ -25,4 +33,12 @@ __all__ = [
     "SQLType",
     "infer_type",
     "python_value_type",
+    "DEFAULT_CHUNK_ROWS",
+    "ArrayChunk",
+    "DictChunk",
+    "consolidation_count",
+    "resolve_chunk_rows",
+    "ColumnWriter",
+    "MemmapBacking",
+    "SpillStore",
 ]

@@ -15,6 +15,12 @@ package has no import-time dependency on ``repro.engine``.
 
 import numpy as np
 
+from repro.data.chunked import (
+    ArrayChunk,
+    DictChunk,
+    note_consolidation,
+    resolve_chunk_rows,
+)
 from repro.data.types import SQLType, infer_type
 
 
@@ -31,31 +37,234 @@ def _type_mismatch_error(message):
 
 
 class Column:
-    """A typed column: a numpy ``data`` array plus a boolean ``valid`` mask.
+    """A typed column: numpy ``data`` plus a boolean ``valid`` mask.
 
     Invariants: ``len(data) == len(valid)``; positions with
     ``valid == False`` hold an arbitrary placeholder in ``data`` (0.0 for
     DOUBLE, "" for VARCHAR, False for BOOLEAN) and must never be read as
     values.
+
+    Storage is a *sequence of chunks* (:mod:`repro.data.chunked`); the
+    contiguous array is the one-chunk special case and remains the
+    default construction.  ``data``/``valid`` are properties: on a
+    multi-chunk column the first access consolidates (flattens all
+    chunks into RAM, counted via ``note_consolidation``), so every
+    flat-array consumer keeps working unchanged while chunk-aware paths
+    use :meth:`slice` / :meth:`iter_chunks` and never pay that cost.
+    A column backed by ``np.memmap`` arrays is *contiguous* storage-wise
+    (slicing it is zero-copy lazy paging) but still declares logical
+    chunk boundaries so executors align work to them; its ``backing``
+    can release page ranges after a streaming pass.
     """
 
-    __slots__ = ("type", "data", "valid")
+    __slots__ = ("type", "_data", "_valid", "_chunks", "_offsets", "backing")
 
-    def __init__(self, sql_type, data, valid=None):
+    def __init__(self, sql_type, data, valid=None, offsets=None, backing=None):
         self.type = sql_type
-        self.data = np.asarray(data, dtype=sql_type.numpy_dtype())
+        self._chunks = None
+        self.backing = backing
+        self._data = np.asarray(data, dtype=sql_type.numpy_dtype())
         if valid is None:
-            valid = np.ones(len(self.data), dtype=np.bool_)
-        self.valid = np.asarray(valid, dtype=np.bool_)
-        if len(self.valid) != len(self.data):
+            valid = np.ones(len(self._data), dtype=np.bool_)
+        self._valid = np.asarray(valid, dtype=np.bool_)
+        if len(self._valid) != len(self._data):
             raise _type_mismatch_error("data/valid length mismatch")
+        self._offsets = (
+            None if offsets is None else np.asarray(offsets, dtype=np.int64)
+        )
+
+    @classmethod
+    def from_chunks(cls, sql_type, chunks, backing=None):
+        """Build a column over a list of chunk objects (or (data, valid)
+        array pairs) without copying or materializing them."""
+        normalized = []
+        for chunk in chunks:
+            if isinstance(chunk, tuple):
+                data, valid = chunk
+                data = np.asarray(data, dtype=sql_type.numpy_dtype())
+                if valid is None:
+                    valid = np.ones(len(data), dtype=np.bool_)
+                chunk = ArrayChunk(data, np.asarray(valid, dtype=np.bool_))
+            normalized.append(chunk)
+        if len(normalized) == 1 and isinstance(normalized[0], ArrayChunk):
+            only = normalized[0]
+            return cls(sql_type, only.data, only.valid, backing=backing)
+        column = cls.__new__(cls)
+        column.type = sql_type
+        column._data = None
+        column._valid = None
+        column._chunks = normalized
+        column.backing = backing
+        offsets = np.zeros(len(normalized) + 1, dtype=np.int64)
+        np.cumsum([len(chunk) for chunk in normalized], out=offsets[1:])
+        column._offsets = offsets
+        return column
+
+    # -- storage layout ----------------------------------------------------
+
+    @property
+    def data(self):
+        if self._chunks is not None:
+            self._consolidate()
+        return self._data
+
+    @property
+    def valid(self):
+        if self._chunks is not None:
+            self._consolidate()
+        return self._valid
+
+    @property
+    def is_chunked(self):
+        """True when storage is not one contiguous (data, valid) pair."""
+        return self._chunks is not None
+
+    @property
+    def num_chunks(self):
+        if self._offsets is None:
+            return 1
+        return max(len(self._offsets) - 1, 1)
+
+    def chunk_offsets(self):
+        """Chunk boundary row indices ``[0, ..., len]``, or None when the
+        column is one undivided contiguous array."""
+        if self._offsets is None:
+            return None
+        return [int(value) for value in self._offsets]
+
+    def _consolidate(self):
+        """Flatten all chunks into one contiguous (data, valid) pair.
+
+        Counted: out-of-core paths are supposed to never reach this."""
+        chunks = self._chunks
+        if chunks is None:
+            return
+        note_consolidation(len(self))
+        parts = [chunk.materialize() for chunk in chunks]
+        if len(parts) == 1:
+            data = np.asarray(parts[0][0], dtype=self.type.numpy_dtype())
+            valid = np.asarray(parts[0][1], dtype=np.bool_)
+        else:
+            data = np.concatenate(
+                [np.asarray(part[0], dtype=self.type.numpy_dtype())
+                 for part in parts]
+            )
+            valid = np.concatenate(
+                [np.asarray(part[1], dtype=np.bool_) for part in parts]
+            )
+        # Assign both before dropping the chunk list so concurrent readers
+        # either see chunked storage or the complete flat arrays.
+        self._data = data
+        self._valid = valid
+        self._chunks = None
+
+    def storage_chunks(self):
+        """The storage as a chunk-object list (contiguous -> one chunk).
+        Shares buffers with this column; used by chunk-preserving concat."""
+        if self._chunks is not None:
+            return list(self._chunks)
+        return [ArrayChunk(self._data, self._valid)]
+
+    def slice(self, lo, hi):
+        """Rows ``[lo, hi)`` as a column.
+
+        Zero-copy for contiguous storage (including memmaps) and for
+        ranges inside one ArrayChunk; ranges covering dictionary chunks
+        decode just those rows.  Cost is always O(hi - lo), never O(n).
+        """
+        lo = max(int(lo), 0)
+        hi = min(int(hi), len(self))
+        if hi < lo:
+            hi = lo
+        if self._chunks is None:
+            return Column(self.type, self._data[lo:hi], self._valid[lo:hi])
+        offsets = self._offsets
+        first = int(np.searchsorted(offsets, lo, side="right")) - 1
+        parts = []
+        position = int(offsets[first]) if first < len(offsets) - 1 else lo
+        index = first
+        while position < hi and index < len(self._chunks):
+            chunk = self._chunks[index]
+            chunk_lo = max(lo - position, 0)
+            chunk_hi = min(hi - position, len(chunk))
+            if chunk_hi > chunk_lo:
+                data, valid = chunk.part(chunk_lo, chunk_hi).materialize()
+                parts.append((data, valid))
+            position += len(chunk)
+            index += 1
+        if not parts:
+            return Column(
+                self.type, np.empty(0, dtype=self.type.numpy_dtype()),
+                np.empty(0, dtype=np.bool_),
+            )
+        if len(parts) == 1:
+            return Column(self.type, parts[0][0], parts[0][1])
+        return Column(
+            self.type,
+            np.concatenate([
+                np.asarray(part[0], dtype=self.type.numpy_dtype())
+                for part in parts
+            ]),
+            np.concatenate([part[1] for part in parts]),
+        )
+
+    def iter_chunks(self, max_rows=None):
+        """Yield ``(lo, hi, column)`` contiguous pieces along the chunk
+        grid (optionally subdivided to at most ``max_rows`` rows) without
+        ever materializing more than one piece."""
+        total = len(self)
+        if total == 0:
+            return
+        offsets = self._offsets
+        if offsets is None:
+            bounds = [0, total]
+        else:
+            bounds = [int(value) for value in offsets]
+        for lo, hi in zip(bounds, bounds[1:]):
+            if hi <= lo:
+                continue
+            step = (hi - lo) if max_rows is None else int(max_rows)
+            for start in range(lo, hi, step):
+                stop = min(start + step, hi)
+                yield start, stop, self.slice(start, stop)
+
+    def rechunk(self, chunk_rows=None):
+        """Copy into independent fixed-size chunks (the adversarial
+        layout for equivalence testing: no shared buffers, boundaries
+        everywhere)."""
+        chunk_rows = resolve_chunk_rows(chunk_rows)
+        chunks = []
+        for lo, hi, piece in self.iter_chunks(max_rows=chunk_rows):
+            chunks.append(ArrayChunk(piece.data.copy(), piece.valid.copy()))
+        if not chunks:
+            return Column.from_chunks(
+                self.type,
+                [ArrayChunk(np.empty(0, dtype=self.type.numpy_dtype()),
+                            np.empty(0, dtype=np.bool_))],
+            )
+        if len(chunks) == 1:
+            # Preserve "this is one chunk of a chunked layout" so the
+            # boundary-alignment machinery still sees explicit offsets.
+            column = Column(self.type, chunks[0].data, chunks[0].valid,
+                            offsets=[0, len(chunks[0])])
+            return column
+        return Column.from_chunks(self.type, chunks)
+
+    def release(self, lo=None, hi=None):
+        """Hint that rows ``[lo, hi)`` (default: all) were streamed past:
+        disk-backed storage drops their resident pages.  No-op for RAM
+        columns; always safe — released pages re-fault from the file."""
+        if self.backing is not None:
+            self.backing.release(lo, hi)
 
     def __len__(self):
-        return len(self.data)
+        if self._data is not None:
+            return len(self._data)
+        return int(self._offsets[-1])
 
     def __repr__(self):
-        return "Column({}, n={}, nulls={})".format(
-            self.type.value, len(self), int((~self.valid).sum())
+        return "Column({}, n={}, nulls={}, chunks={})".format(
+            self.type.value, len(self), self.null_count(), self.num_chunks
         )
 
     @classmethod
@@ -108,20 +317,40 @@ class Column:
         return Column(self.type, self.data[indices], self.valid[indices])
 
     def mask(self, keep):
-        """Filter rows by boolean mask."""
-        return Column(self.type, self.data[keep], self.valid[keep])
+        """Filter rows by boolean mask.
+
+        On chunked storage the mask is applied chunk by chunk (the kept
+        rows of each chunk become one in-RAM chunk), so filtering a
+        disk-sized column materializes only its survivors.
+        """
+        if self._chunks is None:
+            return Column(self.type, self._data[keep], self._valid[keep])
+        keep = np.asarray(keep, dtype=np.bool_)
+        parts = []
+        for lo, hi, piece in self.iter_chunks():
+            selector = keep[lo:hi]
+            parts.append(
+                ArrayChunk(piece.data[selector], piece.valid[selector])
+            )
+        return Column.from_chunks(self.type, parts)
 
     def to_list(self):
         """Materialize as Python values with None for NULLs."""
         out = []
-        for value, ok in zip(self.data.tolist(), self.valid.tolist()):
-            out.append(value if ok else None)
+        for _lo, _hi, piece in self.iter_chunks():
+            for value, ok in zip(piece.data.tolist(), piece.valid.tolist()):
+                out.append(value if ok else None)
         return out
 
     def value_at(self, index):
-        if not self.valid[index]:
+        if self._chunks is None:
+            data, valid = self._data, self._valid
+        else:
+            piece = self.slice(index, index + 1)
+            data, valid, index = piece.data, piece.valid, 0
+        if not valid[index]:
             return None
-        value = self.data[index]
+        value = data[index]
         if self.type is SQLType.DOUBLE:
             return float(value)
         if self.type is SQLType.BOOLEAN:
@@ -129,17 +358,28 @@ class Column:
         return value
 
     def null_count(self):
-        return int((~self.valid).sum())
+        if self._chunks is None:
+            return int((~self._valid).sum())
+        total = len(self)
+        return total - sum(
+            int(np.asarray(chunk.valid, dtype=np.bool_).sum())
+            for chunk in self._chunks
+        )
 
     def nbytes(self):
         """Approximate in-memory/wire size of this column in bytes.
 
-        Used by the network simulator and the planner's transfer-size
-        estimator.  VARCHAR columns are costed by actual string lengths.
+        Used by the network simulator, the result cache's byte ledger,
+        and the planner's transfer-size estimator.  VARCHAR columns are
+        costed by actual string lengths; chunked storage sums per chunk
+        (dictionary chunks from their code/length tables) so accounting
+        a disk-backed column never materializes it.
         """
+        if self._chunks is not None:
+            return sum(chunk.nbytes(self.type) for chunk in self._chunks)
         if self.type is SQLType.VARCHAR:
             total = 0
-            for value, ok in zip(self.data, self.valid):
+            for value, ok in zip(self._data, self._valid):
                 if ok:
                     total += len(value)
             return total + len(self)  # +1 byte/row framing
@@ -252,16 +492,23 @@ class ColumnBatch:
         """Materialize as a list of dicts (None for NULL)."""
         return list(self.iter_rows())
 
+    #: rows decoded per step when streaming rows off a chunked batch
+    _ITER_ROWS_STEP = 65536
+
     def iter_rows(self):
         """Yield row dicts one at a time (None for NULL) without holding
-        the whole row list — used for incremental wire encoding."""
+        the whole row list — used for incremental wire encoding.  Chunked
+        and disk-backed batches decode one bounded piece at a time."""
         names = list(self.columns)
-        lists = [self.columns[name].to_list() for name in names]
-        for index in range(self.num_rows):
-            yield {
-                name: lists[position][index]
-                for position, name in enumerate(names)
-            }
+        for _lo, _hi, piece in self.iter_chunk_batches(
+            max_rows=self._ITER_ROWS_STEP
+        ):
+            lists = [piece.columns[name].to_list() for name in names]
+            for index in range(piece.num_rows):
+                yield {
+                    name: lists[position][index]
+                    for position, name in enumerate(names)
+                }
 
     def row(self, index):
         return {
@@ -304,13 +551,69 @@ class ColumnBatch:
         indices = np.arange(min(count, self.num_rows))
         return self.take(indices)
 
+    # -- chunked storage ----------------------------------------------------
+
+    def slice(self, lo, hi):
+        """Rows ``[lo, hi)`` as a batch (zero-copy where columns allow)."""
+        out = ColumnBatch()
+        for name, column in self.columns.items():
+            out.add_column(name, column.slice(lo, hi))
+        if not self.columns:
+            lo = max(min(int(lo), self._num_rows), 0)
+            hi = max(min(int(hi), self._num_rows), lo)
+            out._num_rows = hi - lo
+        return out
+
+    def chunk_offsets(self):
+        """The union of every column's chunk boundaries: ``[0, ..., n]``.
+        Work aligned to these offsets slices every column zero-copy."""
+        cuts = {0, self._num_rows}
+        for column in self.columns.values():
+            offsets = column.chunk_offsets()
+            if offsets is not None:
+                cuts.update(int(value) for value in offsets)
+        return sorted(cuts)
+
+    @property
+    def is_chunked(self):
+        return any(column.is_chunked for column in self.columns.values())
+
+    def iter_chunk_batches(self, max_rows=None):
+        """Yield ``(lo, hi, batch)`` contiguous pieces along the union
+        chunk grid — the streaming iteration loaders and encoders use so
+        a disk-backed table is materialized one chunk at a time."""
+        bounds = self.chunk_offsets()
+        if max_rows is not None:
+            refined = []
+            for lo, hi in zip(bounds, bounds[1:]):
+                refined.extend(range(lo, hi, int(max_rows)))
+            bounds = refined + [self._num_rows]
+        for lo, hi in zip(bounds, bounds[1:]):
+            if hi > lo:
+                yield lo, hi, self.slice(lo, hi)
+
+    def rechunk(self, chunk_rows=None):
+        """Copy every column into independent fixed-size chunks."""
+        out = ColumnBatch()
+        for name, column in self.columns.items():
+            out.add_column(name, column.rechunk(chunk_rows))
+        if not self.columns:
+            out._num_rows = self._num_rows
+        return out
+
 
 #: Historical name, still used across the engine and tests.
 Table = ColumnBatch
 
 
-def concat_batches(batches):
-    """Vertically concatenate batches with identical schemas."""
+def concat_batches(batches, chunked=False):
+    """Vertically concatenate batches with identical schemas.
+
+    With ``chunked=True`` the inputs' storage chunks are adopted as the
+    output's chunks — no bytes are copied, so appending a streaming
+    batch to a disk-sized history is O(1) in memory.  The flat default
+    preserves the historical contiguous layout.
+    """
     batches = [batch for batch in batches if batch is not None]
     if not batches:
         return ColumnBatch()
@@ -332,14 +635,22 @@ def concat_batches(batches):
             part if part.type is target else Column.nulls(target, len(part))
             for part in parts
         ]
-        out.add_column(
-            name,
-            Column(
-                target,
-                np.concatenate([part.data for part in parts]),
-                np.concatenate([part.valid for part in parts]),
-            ),
-        )
+        if chunked:
+            chunks = []
+            for part in parts:
+                chunks.extend(part.storage_chunks())
+            out.add_column(name, Column.from_chunks(target, chunks))
+        else:
+            out.add_column(
+                name,
+                Column(
+                    target,
+                    np.concatenate([part.data for part in parts]),
+                    np.concatenate([part.valid for part in parts]),
+                ),
+            )
+    if not first.column_names:
+        out._num_rows = sum(batch.num_rows for batch in batches)
     return out
 
 

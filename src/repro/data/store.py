@@ -1,0 +1,299 @@
+"""Out-of-core column storage: spill-to-disk writers, memmap-backed columns.
+
+A :class:`SpillStore` owns a directory of raw column files.  Writers
+stream values in (append-only, any piece size) and ``finish()`` hands
+back a :class:`~repro.data.Column` whose arrays are read-only
+``np.memmap`` views — the dataset never has to exist in RAM at once,
+neither while generating nor while querying:
+
+* DOUBLE / BOOLEAN columns map their value bytes directly; slicing a
+  morsel out of them is zero-copy lazy paging.
+* VARCHAR columns are dictionary-encoded: an ``int32`` code file on disk
+  plus an in-RAM decode table (and a ``.dict.json`` sidecar so the
+  on-disk byte accounting includes the strings themselves).  Rows decode
+  per chunk on access (:class:`~repro.data.chunked.DictChunk`), so a
+  100M-row message column never holds 100M string objects.
+
+Every spilled column declares logical chunk boundaries (uniform
+``chunk_rows``) that executors align morsels to, and carries a
+*backing* whose ``release(lo, hi)`` drops resident pages with
+``madvise(MADV_DONTNEED)`` after a streaming pass — that is what keeps
+peak RSS far below the dataset size even though the OS is under no
+memory pressure.  Released pages simply re-fault from the file, so a
+release hint is always safe.
+"""
+
+import json
+import mmap
+import os
+import re
+import shutil
+import tempfile
+
+import numpy as np
+
+from repro.data.batch import Column, ColumnBatch
+from repro.data.chunked import DictChunk, resolve_chunk_rows
+from repro.data.types import SQLType
+
+_SAFE_NAME = re.compile(r"[^A-Za-z0-9_.-]")
+
+
+def _uniform_offsets(total, chunk_rows):
+    offsets = list(range(0, total, chunk_rows))
+    offsets.append(total)
+    if len(offsets) < 2:
+        offsets = [0, total]
+    return offsets
+
+
+class MemmapBacking:
+    """Page-range releaser over one column's memmap arrays.
+
+    ``parts`` is a list of ``(memmap, itemsize)`` pairs sharing a common
+    row count (value bytes and validity bytes).  ``release(lo, hi)``
+    advises the kernel the row range is no longer needed; offsets are
+    page-aligned inward so adjacent unreleased rows keep their pages.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts):
+        self.parts = list(parts)
+
+    def release(self, lo=None, hi=None):
+        for array, itemsize in self.parts:
+            buffer = getattr(array, "_mmap", None)
+            if buffer is None:
+                continue
+            start = 0 if lo is None else int(lo) * itemsize
+            stop = len(array) * itemsize if hi is None else int(hi) * itemsize
+            stop = min(stop, len(array) * itemsize)
+            page = mmap.PAGESIZE
+            start = (start + page - 1) // page * page
+            stop = stop // page * page
+            if stop <= start:
+                continue
+            try:
+                buffer.madvise(mmap.MADV_DONTNEED, start, stop - start)
+            except (AttributeError, ValueError, OSError):
+                # Platform without madvise (or a torn range): purely a
+                # residency hint, correctness is unaffected.
+                return
+
+
+class ColumnWriter:
+    """Append-only writer for one spilled column.
+
+    ``append(values, valid=None)`` takes a Column, a numpy array, or a
+    list of Python values (None becomes NULL, NaN folds to NULL exactly
+    like ``Column.from_values``).  VARCHAR writers also accept
+    pre-encoded pieces via ``append_codes`` against a dictionary set
+    with ``set_dictionary`` — the fast path for generators that already
+    know their category space.
+    """
+
+    def __init__(self, store, name, sql_type):
+        self.store = store
+        self.name = name
+        self.type = sql_type
+        self.rows = 0
+        safe = _SAFE_NAME.sub("_", name)
+        self._data_path = store.path(safe + ".data")
+        self._valid_path = store.path(safe + ".valid")
+        self._dict_path = store.path(safe + ".dict.json")
+        self._data_file = open(self._data_path, "wb")
+        self._valid_file = open(self._valid_path, "wb")
+        self._codes = {} if sql_type is SQLType.VARCHAR else None
+        self._dictionary = [] if sql_type is SQLType.VARCHAR else None
+        self._finished = False
+
+    # -- encoding ----------------------------------------------------------
+
+    def set_dictionary(self, values):
+        """Install the full VARCHAR category space up front (required
+        before ``append_codes``; entry order defines the codes)."""
+        if self.type is not SQLType.VARCHAR:
+            raise ValueError("dictionary only applies to VARCHAR columns")
+        if self.rows:
+            raise ValueError("set_dictionary must precede any append")
+        self._dictionary = [str(value) for value in values]
+        self._codes = {value: index
+                       for index, value in enumerate(self._dictionary)}
+
+    def _code_of(self, value):
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self._dictionary)
+            self._codes[value] = code
+            self._dictionary.append(value)
+        return code
+
+    def append_codes(self, codes, valid=None):
+        """Write a pre-encoded VARCHAR piece: int codes into the
+        installed dictionary; invalid rows may carry any code."""
+        codes = np.asarray(codes, dtype=np.int32)
+        if valid is None:
+            valid = np.ones(len(codes), dtype=np.bool_)
+        valid = np.asarray(valid, dtype=np.bool_)
+        if len(codes) and codes[valid].max(initial=0) >= len(self._dictionary):
+            raise ValueError("code beyond the installed dictionary")
+        codes = np.where(valid, codes, np.int32(0))
+        self._write(codes, valid)
+
+    def append(self, values, valid=None):
+        if isinstance(values, Column):
+            column = values
+        elif isinstance(values, np.ndarray) and valid is not None:
+            column = Column(self.type, values, valid)
+        elif (
+            isinstance(values, np.ndarray)
+            and self.type is SQLType.DOUBLE
+            and values.dtype.kind == "f"
+        ):
+            ok = ~np.isnan(values)
+            column = Column(self.type, np.where(ok, values, 0.0), ok)
+        else:
+            column = Column.from_values(list(values), self.type)
+        if column.type is not self.type:
+            raise ValueError(
+                "writer for {} got a {} piece".format(
+                    self.type.value, column.type.value
+                )
+            )
+        if self.type is SQLType.VARCHAR:
+            data, ok = column.data, column.valid
+            codes = np.fromiter(
+                (self._code_of(value) if good else 0
+                 for value, good in zip(data, ok)),
+                dtype=np.int32,
+                count=len(data),
+            )
+            self._write(codes, ok)
+        else:
+            self._write(
+                np.ascontiguousarray(column.data), np.asarray(column.valid)
+            )
+
+    def _write(self, data, valid):
+        if self._finished:
+            raise ValueError("writer already finished")
+        self._data_file.write(data.tobytes())
+        self._valid_file.write(
+            np.ascontiguousarray(valid, dtype=np.bool_).tobytes()
+        )
+        self.rows += len(data)
+
+    # -- sealing -----------------------------------------------------------
+
+    def finish(self):
+        """Seal the files and return the memmap-backed Column."""
+        if self._finished:
+            raise ValueError("writer already finished")
+        self._finished = True
+        self._data_file.close()
+        self._valid_file.close()
+        total = self.rows
+        if self.type is SQLType.VARCHAR:
+            with open(self._dict_path, "w") as handle:
+                json.dump(self._dictionary, handle)
+        if total == 0:
+            return Column(
+                self.type,
+                np.empty(0, dtype=self.type.numpy_dtype()),
+                np.empty(0, dtype=np.bool_),
+            )
+        dtype = np.int32 if self.type is SQLType.VARCHAR \
+            else self.type.numpy_dtype()
+        data = np.memmap(self._data_path, dtype=dtype, mode="r")
+        valid = np.memmap(self._valid_path, dtype=np.bool_, mode="r")
+        backing = MemmapBacking(
+            [(data, int(np.dtype(dtype).itemsize)), (valid, 1)]
+        )
+        self.store._backings.append(backing)
+        offsets = _uniform_offsets(total, self.store.chunk_rows)
+        if self.type is not SQLType.VARCHAR:
+            return Column(
+                self.type, data, valid, offsets=offsets, backing=backing
+            )
+        dictionary = np.empty(len(self._dictionary), dtype=object)
+        dictionary[:] = self._dictionary
+        lengths = np.fromiter(
+            (len(value) for value in self._dictionary),
+            dtype=np.int64,
+            count=len(self._dictionary),
+        )
+        chunks = [
+            DictChunk(data[lo:hi], valid[lo:hi], dictionary, lengths)
+            for lo, hi in zip(offsets, offsets[1:])
+        ]
+        return Column.from_chunks(SQLType.VARCHAR, chunks, backing=backing)
+
+
+class SpillStore:
+    """A directory of spilled columns plus their live memmap backings."""
+
+    def __init__(self, directory=None, chunk_rows=None):
+        self.chunk_rows = resolve_chunk_rows(chunk_rows)
+        self._own = directory is None
+        if directory is None:
+            directory = tempfile.mkdtemp(prefix="repro-spill-")
+        os.makedirs(directory, exist_ok=True)
+        self.directory = directory
+        self._backings = []
+        self._closed = False
+
+    def path(self, filename):
+        return os.path.join(self.directory, filename)
+
+    def writer(self, name, sql_type):
+        return ColumnWriter(self, name, sql_type)
+
+    def spill_column(self, name, column):
+        """Spill an existing column chunk-by-chunk (never whole)."""
+        writer = self.writer(name, column.type)
+        for _lo, _hi, piece in column.iter_chunks(max_rows=self.chunk_rows):
+            writer.append(piece)
+        return writer.finish()
+
+    def spill_batch(self, batch):
+        """Spill every column of a batch; returns the memmap-backed batch."""
+        out = ColumnBatch()
+        for name, column in batch.columns.items():
+            out.add_column(name, self.spill_column(name, column))
+        if not batch.columns:
+            out._num_rows = batch.num_rows
+        return out
+
+    def bytes_on_disk(self):
+        """Total size of every file in the store — the honest "dataset
+        size" denominator for peak-RSS comparisons (includes validity
+        bytes and VARCHAR dictionary sidecars)."""
+        total = 0
+        for root, _dirs, files in os.walk(self.directory):
+            for filename in files:
+                try:
+                    total += os.path.getsize(os.path.join(root, filename))
+                except OSError:
+                    pass
+        return total
+
+    def release_all(self):
+        """Drop every resident page of every spilled column."""
+        for backing in self._backings:
+            backing.release()
+
+    def close(self):
+        """Delete the store's directory (only when the store created it)."""
+        if self._closed:
+            return
+        self._closed = True
+        self._backings = []
+        if self._own:
+            shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()

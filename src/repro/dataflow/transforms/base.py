@@ -6,7 +6,7 @@ transforms via :func:`create_transform`; the SQL generator looks up
 translation capability per type in :mod:`repro.sqlgen.translate`.
 """
 
-from repro.data import ColumnBatch
+from repro.data import ColumnBatch, concat_batches
 from repro.dataflow.operator import Operator
 from repro.dataflow.pulse import Pulse
 from repro.dataflow.vectorized import Unvectorizable
@@ -57,17 +57,36 @@ class Transform(Operator):
     #: class — to force row-at-a-time execution, e.g. for differential
     #: testing of the two paths)
     columnar = True
+    #: when True the transform is row-local given its params (filter,
+    #: formula, project, bin): a chunked input batch runs the vectorized
+    #: kernel per chunk and the output preserves the chunk layout, so a
+    #: disk-backed dataset streams through without consolidating
+    streaming = False
 
     def run(self, pulse, params, signals):
         if self.columnar and pulse.batch is not None:
             try:
-                batch = self.transform_batch(pulse.batch, params, signals)
+                batch = self._transform_batch_chunked(
+                    pulse.batch, params, signals
+                )
             except Unvectorizable:
                 pass
             else:
                 return Pulse(batch=batch, changed=True)
         rows = self.transform(pulse.rows, params, signals)
         return Pulse(rows=rows, changed=True)
+
+    def _transform_batch_chunked(self, batch, params, signals):
+        if not (self.streaming and batch.is_chunked):
+            return self.transform_batch(batch, params, signals)
+        pieces = []
+        for lo, hi, piece in batch.iter_chunk_batches():
+            pieces.append(self.transform_batch(piece, params, signals))
+            for column in batch.columns.values():
+                column.release(lo, hi)
+        if not pieces:
+            return self.transform_batch(batch.slice(0, 0), params, signals)
+        return concat_batches(pieces, chunked=True)
 
     def transform(self, rows, params, signals):
         raise NotImplementedError

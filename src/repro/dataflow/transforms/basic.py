@@ -26,6 +26,8 @@ def _compile(expression):
 class FilterTransform(Transform):
     """Keep rows for which ``expr`` is truthy (Vega `filter`)."""
 
+    streaming = True
+
     def transform(self, rows, params, signals):
         node = _compile(params.get("expr"))
         evaluator = Evaluator(signals=signals)
@@ -41,6 +43,8 @@ class FilterTransform(Transform):
 @register_transform("formula")
 class FormulaTransform(Transform):
     """Derive a new field ``as`` from ``expr`` (Vega `formula`)."""
+
+    streaming = True
 
     def transform(self, rows, params, signals):
         node = _compile(params.get("expr"))
@@ -70,6 +74,8 @@ class FormulaTransform(Transform):
 @register_transform("project")
 class ProjectTransform(Transform):
     """Keep/rename fields (Vega `project`)."""
+
+    streaming = True
 
     def transform(self, rows, params, signals):
         fields = params.get("fields")

@@ -90,19 +90,31 @@ class ExtentTransform(ValueTransform):
         column = batch.columns.get(field)
         if column is None or column.type is SQLType.VARCHAR:
             return [None, None]
-        values = column.data[column.valid]
-        if column.type is SQLType.BOOLEAN:
-            values = values.astype(np.float64)
-        else:
-            values = values[~np.isnan(values)]
-        if values.size == 0:
+        # min/max are associative, so a chunked (or disk-backed) column
+        # reduces chunk by chunk without ever consolidating.
+        lo = math.inf
+        hi = -math.inf
+        for start, stop, piece in column.iter_chunks():
+            values = piece.data[piece.valid]
+            if column.type is SQLType.BOOLEAN:
+                values = values.astype(np.float64)
+            else:
+                values = values[~np.isnan(values)]
+            if values.size:
+                lo = min(lo, float(values.min()))
+                hi = max(hi, float(values.max()))
+            column.release(start, stop)
+        if lo > hi:
             return [None, None]
-        return [float(values.min()), float(values.max())]
+        return [lo, hi]
 
 
 @register_transform("bin")
 class BinTransform(Transform):
     """Assign bin boundaries bin0/bin1 per row (Vega `bin`)."""
+
+    # row-local once 'extent' is a resolved parameter value
+    streaming = True
 
     def transform(self, rows, params, signals):
         field = params.get("field")

@@ -186,12 +186,36 @@ def _worker_index():
 
 
 def slice_frame(frame, lo, hi):
-    """A zero-copy view of rows ``[lo, hi)`` of ``frame``."""
+    """Rows ``[lo, hi)`` of ``frame`` — zero-copy for contiguous (and
+    memmap) columns; chunked columns materialize only the covered rows."""
     entries = [
-        (qualifier, name, Column(c.type, c.data[lo:hi], c.valid[lo:hi]))
+        (qualifier, name, c.slice(lo, hi))
         for qualifier, name, c in frame.entries
     ]
     return Frame(entries, num_rows=hi - lo)
+
+
+def frame_chunk_cuts(frame):
+    """Union of every entry column's declared chunk boundaries, or None
+    when no column declares any.  Morsels aligned to these cuts never
+    cross a chunk edge, so per-morsel slices stay zero-copy."""
+    cuts = None
+    for _qualifier, _name, column in frame.entries:
+        offsets = column.chunk_offsets()
+        if offsets is not None:
+            if cuts is None:
+                cuts = {0, frame.num_rows}
+            cuts.update(offsets)
+    if cuts is None:
+        return None
+    return sorted(cuts)
+
+
+def release_frame(frame, lo, hi):
+    """Tell every disk-backed column of ``frame`` that rows ``[lo, hi)``
+    were streamed past (safe no-op for RAM columns)."""
+    for _qualifier, _name, column in frame.entries:
+        column.release(lo, hi)
 
 
 def concat_frame_parts(parts):
@@ -524,11 +548,22 @@ class _ParallelRun:
     def _should_split(self, num_rows):
         return num_rows > self.executor.morsel_rows
 
-    def _bounds(self, num_rows):
+    def _bounds(self, num_rows, cuts=None):
+        """Morsel row ranges.  With ``cuts`` (chunk boundaries), morsels
+        subdivide each chunk but never span two — every morsel's slice of
+        a chunked column is then a single zero-copy chunk view."""
         step = self.executor.morsel_rows
-        return [
-            (lo, min(lo + step, num_rows)) for lo in range(0, num_rows, step)
-        ]
+        if cuts is None:
+            return [
+                (lo, min(lo + step, num_rows))
+                for lo in range(0, num_rows, step)
+            ]
+        bounds = []
+        for chunk_lo, chunk_hi in zip(cuts, cuts[1:]):
+            chunk_hi = min(chunk_hi, num_rows)
+            for lo in range(chunk_lo, chunk_hi, step):
+                bounds.append((lo, min(lo + step, chunk_hi)))
+        return bounds
 
     def _run_tasks(self, node, op, tasks):
         """Run ``tasks`` — a list of ``(rows_in, thunk)`` where
@@ -559,12 +594,12 @@ class _ParallelRun:
                 self.morsels.setdefault(id(node), []).append(record)
         return result
 
-    def _map_morsels(self, node, op, num_rows, task):
+    def _map_morsels(self, node, op, num_rows, task, cuts=None):
         """Run ``task(lo, hi) -> (result, rows_out)`` for every morsel on
         the shared pool; returns results in morsel order."""
         tasks = [
             (hi - lo, _task_thunk(task, lo, hi))
-            for lo, hi in self._bounds(num_rows)
+            for lo, hi in self._bounds(num_rows, cuts)
         ]
         return self._run_tasks(node, op, tasks)
 
@@ -597,7 +632,9 @@ class _ParallelRun:
             return out, out.num_rows
 
         op = "filter" if isinstance(top, Filter) else "project"
-        parts = self._map_morsels(top, op, base.num_rows, task)
+        parts = self._map_morsels(
+            top, op, base.num_rows, task, cuts=frame_chunk_cuts(base)
+        )
         return concat_frame_parts(parts)
 
     # -- aggregate ---------------------------------------------------------
@@ -649,6 +686,7 @@ class _ParallelRun:
                 key_columns, frame.num_rows
             )
             if group_count == 0:
+                release_frame(base, lo, hi)
                 return None, 0
             local_keys = [column.take(first) for column in key_columns]
             states = []
@@ -657,9 +695,16 @@ class _ParallelRun:
                 states.append(
                     _local_aggregate(kind, arg_column, group_ids, group_count)
                 )
+            # Partial states and gathered keys are copies, so the morsel's
+            # source pages can be dropped: this is what keeps a streaming
+            # aggregate over a memmap column at O(morsel) resident bytes.
+            release_frame(base, lo, hi)
             return (local_keys, states, group_count), group_count
 
-        results = self._map_morsels(plan, "aggregate", base.num_rows, task)
+        results = self._map_morsels(
+            plan, "aggregate", base.num_rows, task,
+            cuts=frame_chunk_cuts(base),
+        )
         parts = [result for result in results if result is not None]
         if not parts:
             return self._empty_aggregate(plan, key_types, kinds, result_types)
@@ -955,14 +1000,15 @@ class _ParallelRun:
         columns = [column for _, _, column in child.entries]
 
         def task(lo, hi):
-            part = [
-                Column(c.type, c.data[lo:hi], c.valid[lo:hi]) for c in columns
-            ]
+            part = [c.slice(lo, hi) for c in columns]
             _, _, first = factorize_rows_first(part, hi - lo)
             candidates = np.sort(first) + lo
             return candidates, len(candidates)
 
-        parts = self._map_morsels(plan, "distinct", child.num_rows, task)
+        parts = self._map_morsels(
+            plan, "distinct", child.num_rows, task,
+            cuts=frame_chunk_cuts(child),
+        )
         # Candidates are globally ascending (sorted per morsel, morsels in
         # order), so each value's first candidate is its globally first
         # row — re-factorizing the survivors reproduces the serial output

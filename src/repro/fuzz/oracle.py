@@ -44,7 +44,7 @@ from repro.fuzz.normalize import (
 )
 
 #: session configurations:
-#: (label, backend name, rewrite_sql, threads, columnar).
+#: (label, backend name, rewrite_sql, threads, columnar, chunk_rows).
 #: The executor axis (threads ∈ {1, 4}) runs every cut both serially and
 #: on the morsel-driven parallel executor; a tiny morsel size makes the
 #: fuzzer's small tables split into many morsels so merge paths are
@@ -53,19 +53,30 @@ from repro.fuzz.normalize import (
 #: vectorized batch kernels against the dict-row reference on every cut.
 #: ``embedded-mt4-columnar`` crosses the two axes: the parallel engine
 #: feeding the columnar client kernels, so a divergence that only shows
-#: when both fast paths compose is still caught.
+#: when both fast paths compose is still caught.  The chunked axis
+#: (``chunk_rows=7``) loads every root table as a chunked Column stack —
+#: chunk edges landing mid-group, mid-tie, mid-NULL-run — and must be
+#: byte-identical to contiguous storage on every backend and cut;
+#: ``embedded-mt4-chunk7`` aligns morsels to those chunk boundaries.
 RUN_CONFIGS = [
-    ("embedded", "embedded", True, 1, True),
-    ("embedded-rowwise", "embedded", True, 1, False),
-    ("embedded-mt4", "embedded", True, 4, False),
-    ("embedded-mt4-columnar", "embedded", True, 4, True),
-    ("embedded-norewrite", "embedded", False, 1, True),
-    ("sqlite", "sqlite", True, 1, True),
+    ("embedded", "embedded", True, 1, True, None),
+    ("embedded-rowwise", "embedded", True, 1, False, None),
+    ("embedded-mt4", "embedded", True, 4, False, None),
+    ("embedded-mt4-columnar", "embedded", True, 4, True, None),
+    ("embedded-norewrite", "embedded", False, 1, True, None),
+    ("embedded-chunk7", "embedded", True, 1, True, 7),
+    ("embedded-mt4-chunk7", "embedded", True, 4, True, 7),
+    ("sqlite", "sqlite", True, 1, True, None),
+    ("sqlite-chunk7", "sqlite", True, 1, True, 7),
 ]
 
 #: rows per morsel for the parallel fuzz configurations (fuzz tables are
 #: tens of rows; 7 forces multi-morsel execution, boundary effects included)
 FUZZ_MORSEL_ROWS = 7
+
+#: rows per storage chunk on the chunked axis (equal to the morsel size
+#: so chunk-aligned morsels and storage edges coincide — the worst case)
+FUZZ_CHUNK_ROWS = 7
 
 
 @dataclass
@@ -130,7 +141,8 @@ class CaseReport:
         return "\n".join(lines)
 
 
-def _build_session(case, backend, rewrite_sql, threads=1, columnar=True):
+def _build_session(case, backend, rewrite_sql, threads=1, columnar=True,
+                   chunk_rows=None):
     if backend == "embedded" and threads > 1:
         # Backend instance so the morsel size can be pinned small enough
         # for the fuzzer's tiny tables to split.
@@ -139,9 +151,18 @@ def _build_session(case, backend, rewrite_sql, threads=1, columnar=True):
         backend = EmbeddedBackend(
             parallelism=threads, morsel_rows=FUZZ_MORSEL_ROWS
         )
+    if chunk_rows is None:
+        data = {name: rows for name, rows in case.tables.items()}
+    else:
+        # The chunked axis: every root table enters the session as a
+        # stack of tiny storage chunks instead of one contiguous array.
+        data = {
+            name: Table.from_rows(rows).rechunk(chunk_rows)
+            for name, rows in case.tables.items()
+        }
     return VegaPlus(
         case.spec,
-        data={name: rows for name, rows in case.tables.items()},
+        data=data,
         backend=backend,
         latency_ms=0.0,
         bandwidth_mbps=100000.0,
@@ -311,12 +332,13 @@ def check_case(case, check_optimizer=True):
     report = CaseReport(case=case)
 
     sessions = []
-    for label, backend, rewrite_sql, threads, columnar in RUN_CONFIGS:
+    for label, backend, rewrite_sql, threads, columnar, chunk_rows \
+            in RUN_CONFIGS:
         try:
             sessions.append(
                 (label,
                  _build_session(case, backend, rewrite_sql, threads,
-                                columnar)))
+                                columnar, chunk_rows)))
         except Exception as exc:  # noqa: BLE001
             report.runs.append(_RunOutcome(
                 label + "/construct", "error",

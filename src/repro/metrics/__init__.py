@@ -41,6 +41,11 @@ from repro.metrics.registry import (
     latency_summary,
     percentile,
 )
+from repro.metrics.process import (
+    PEAK_RSS_GAUGE,
+    peak_rss_bytes,
+    update_process_gauges,
+)
 from repro.metrics.slowlog import (
     SlowQueryLog,
     SlowQueryRecord,
@@ -93,8 +98,11 @@ __all__ = [
     "MetricsView",
     "NULL",
     "NullMetrics",
+    "PEAK_RSS_GAUGE",
     "REGISTRY",
     "SlowQueryLog",
+    "peak_rss_bytes",
+    "update_process_gauges",
     "SlowQueryRecord",
     "canonical_query",
     "get_registry",

@@ -1,0 +1,35 @@
+"""Process-level gauges: the peak-RSS high-water mark.
+
+``ru_maxrss`` is the kernel's lifetime high-water mark for the process —
+exactly the number the out-of-core storage work has to keep below the
+dataset size (a momentary full materialization is permanent evidence).
+Linux reports it in kilobytes, macOS in bytes; :func:`peak_rss_bytes`
+normalizes to bytes.  Platforms without the ``resource`` module report 0
+rather than failing (the gauge is diagnostic, never load-bearing).
+"""
+
+import sys
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - non-POSIX
+    resource = None
+
+PEAK_RSS_GAUGE = "process.peak_rss_bytes"
+
+
+def peak_rss_bytes():
+    """The process' peak resident set size, in bytes (0 if unknown)."""
+    if resource is None:
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024
+
+
+def update_process_gauges(registry):
+    """Refresh the process gauges on ``registry``; returns peak RSS."""
+    peak = peak_rss_bytes()
+    registry.set_gauge(PEAK_RSS_GAUGE, peak)
+    return peak

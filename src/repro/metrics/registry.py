@@ -367,6 +367,11 @@ class MetricsRegistry:
     def snapshot(self):
         """One plain-data snapshot of every family, child, and the slow
         query log — the JSON exporter and the top view render this."""
+        # Pull-model process gauges: refreshed at observation time so
+        # every snapshot/scrape reports the current high-water mark.
+        from repro.metrics.process import update_process_gauges
+
+        update_process_gauges(self)
         out = {
             "window_seconds": self.window_seconds,
             "window_buckets": self.window_buckets,

@@ -121,6 +121,46 @@ class BrushGrid:
             return 0 <= index <= self.n_bins and self.edge(index) == bound
         return bound < self.start or bound >= self.top
 
+    def snap(self, bound, op=">="):
+        """The nearest bound for which :meth:`aligned` holds — the
+        snap-to-grid hint a client applies to a brush bound *before*
+        dispatching, turning a would-be unaligned fallback into a tile
+        slice.
+
+        For the closed-on-the-edge operators (``>=``/``<``) this is the
+        nearest grid edge, clamped into ``[start, top]``.  For ``>`` and
+        ``<=`` no interior edge is constant-membership, so the bound
+        snaps just outside the covered range (whichever side is closer:
+        below ``start`` it selects everything / nothing exactly as the
+        raw bound nearly did, at ``top`` nothing / everything).  NaN is
+        already aligned and returned unchanged.
+        """
+        if math.isnan(bound):
+            return bound
+        if op in (">=", "<"):
+            if bound <= self.start:
+                return self.start
+            if bound >= self.top:
+                return self.top
+            index = int(round((bound - self.start) / self.step))
+            return self.edge(max(0, min(index, self.n_bins)))
+        if bound < self.start:
+            return bound
+        if bound >= self.top:
+            return bound
+        mid = self.start + (self.top - self.start) / 2.0
+        return self.start - self.step if bound < mid else self.top
+
+    def describe(self):
+        """The grid as plain data (the hint payload a client renders a
+        snapping slider from)."""
+        return {
+            "start": self.start,
+            "step": self.step,
+            "n_bins": self.n_bins,
+            "top": self.top,
+        }
+
 
 class _Component:
     """One aggregate component array of the cube."""

@@ -73,6 +73,7 @@ class TileIndexManager:
         self.builds = 0
         self.build_failures = 0
         self.hits = 0
+        self.aligned = 0
         self.unaligned = 0
         self.invalidations = 0
         self.deltas = 0
@@ -118,6 +119,12 @@ class TileIndexManager:
             self.tracer.count("tiles.unaligned")
             self.metrics.inc("tiles.unaligned")
             return None
+        # the counterpart of tiles.unaligned: brush bounds that landed on
+        # the grid (organically or via a snap hint), so the ratio of the
+        # two counters measures how well clients exploit snapping
+        self.aligned += 1
+        self.tracer.count("tiles.aligned")
+        self.metrics.inc("tiles.aligned")
         batch = slice_result(
             cube, memberships, candidate.measures, candidate.groupby)
         if candidate.post_steps:
@@ -443,6 +450,23 @@ class TileIndexManager:
 
     # -- introspection -------------------------------------------------------
 
+    def grid_hints(self, sink):
+        """Snap-to-grid hints for a sink with a live cube: one entry per
+        brush axis with the field name, the grid layout, and the grid
+        object itself (whose :meth:`~repro.tiles.cube.BrushGrid.snap`
+        pre-aligns a brush bound).  None when the sink has no cube —
+        there is no grid to snap to until the first build.
+        """
+        entry = self._states.get(sink)
+        if entry is None or entry.cube is None or entry.candidate is None:
+            return None
+        hints = []
+        for grid, axis in zip(entry.cube.grids, entry.candidate.axes):
+            hint = {"field": axis.field, "grid": grid}
+            hint.update(grid.describe())
+            hints.append(hint)
+        return hints
+
     def stats(self):
         return {
             "mode": self.mode,
@@ -450,6 +474,7 @@ class TileIndexManager:
             "builds": self.builds,
             "build_failures": self.build_failures,
             "hits": self.hits,
+            "aligned_slices": self.aligned,
             "unaligned_fallbacks": self.unaligned,
             "invalidations": self.invalidations,
             "deltas": self.deltas,

@@ -298,6 +298,34 @@ class TestExport:
 # -- slow-query log ----------------------------------------------------------
 
 
+class TestProcessGauges:
+    def test_peak_rss_is_positive_and_monotonic(self):
+        from repro.metrics import peak_rss_bytes
+
+        first = peak_rss_bytes()
+        assert first > 0  # POSIX: ru_maxrss is always populated
+        assert peak_rss_bytes() >= first  # a high-water mark never drops
+
+    def test_snapshot_refreshes_the_gauge(self):
+        from repro.metrics import PEAK_RSS_GAUGE
+
+        registry = MetricsRegistry()
+        family = registry.snapshot()["families"][PEAK_RSS_GAUGE]
+        assert family["kind"] == "gauge"
+        assert family["children"][0]["value"] > 0
+
+    def test_prometheus_scrape_includes_peak_rss(self):
+        registry = MetricsRegistry()
+        text = render_prometheus(registry)
+        assert "repro_process_peak_rss_bytes" in text
+        for line in text.splitlines():
+            if line.startswith("repro_process_peak_rss_bytes"):
+                assert float(line.rsplit(" ", 1)[1]) > 0
+                break
+        else:
+            raise AssertionError("no sample line for the peak-RSS gauge")
+
+
 class TestSlowQueryLog:
     def test_threshold_gates_recording(self):
         log = SlowQueryLog(threshold_seconds=0.5, capacity=8)

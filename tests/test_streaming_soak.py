@@ -1,0 +1,180 @@
+"""Streaming-append soak: a live log-analytics dashboard fed by
+incremental pulses from the bursty log generator.
+
+Each pulse goes through ``session.append_data`` and the session must
+stay exactly equal to a fresh session built from all rows seen so far —
+for a brushed severity aggregate (an HTTP-status brush, the tiled
+sink), a *windowed* aggregate (``ts >= since`` over the stream clock),
+and a *top-K* source leaderboard (aggregate + window rank + filter).
+The tiled session additionally has to absorb every pulse through the
+tile-delta patch path (never a rebuild) while the result cache
+invalidates correctly underneath.
+
+The brush rides on ``status`` rather than ``ts`` deliberately: a tile
+grid covers the *measured data extent* at build time, and streaming
+timestamps run past any such extent on the first append — by design a
+delta that cannot be absorbed exactly triggers invalidate-and-rebuild,
+which is the fallback this soak must prove is never needed for an
+in-extent brush field.
+"""
+
+from repro.core.session import VegaPlus
+from repro.datagen.logs import LogStream
+from repro.fuzz.normalize import canonical_rows, rows_equivalent
+
+PULSE_ROWS = 400
+PULSES = 5
+
+#: the generator's clock starts here (see LogStream)
+T0 = 1_700_000_000.0
+
+
+def soak_spec():
+    return {
+        "signals": [
+            {"name": "lo", "value": 0.0,
+             "bind": {"input": "range", "min": 0, "max": 600}},
+            {"name": "hi", "value": 600.0,
+             "bind": {"input": "range", "min": 0, "max": 600}},
+            {"name": "since", "value": 0.0},
+        ],
+        "data": [
+            {"name": "logs", "url": "synthetic://logs"},
+            {"name": "sev_view", "source": "logs", "transform": [
+                {"type": "filter",
+                 "expr": "datum.status >= lo && datum.status < hi"},
+                {"type": "aggregate", "groupby": ["severity"],
+                 "ops": ["count", "mean"],
+                 "fields": [None, "latency_ms"],
+                 "as": ["events", "avg_ms"]},
+            ]},
+            {"name": "recent_view", "source": "logs", "transform": [
+                {"type": "filter", "expr": "datum.ts >= since"},
+                {"type": "aggregate", "groupby": ["severity"],
+                 "ops": ["count"], "fields": [None], "as": ["events"]},
+            ]},
+            {"name": "top_sources", "source": "logs", "transform": [
+                {"type": "aggregate", "groupby": ["source"],
+                 "ops": ["count"], "fields": [None], "as": ["events"]},
+                {"type": "window",
+                 "sort": {"field": "events", "order": "descending"},
+                 "ops": ["rank"], "as": ["rank"]},
+                {"type": "filter", "expr": "datum.rank <= 5"},
+            ]},
+        ],
+        "marks": [
+            {"type": "rect", "from": {"data": "sev_view"},
+             "encode": {"update": {
+                 "x": {"field": "severity"},
+                 "y": {"field": "events"},
+                 "fill": {"field": "avg_ms"},
+             }}},
+            {"type": "rect", "from": {"data": "recent_view"},
+             "encode": {"update": {
+                 "x": {"field": "severity"},
+                 "y": {"field": "events"},
+             }}},
+            {"type": "rect", "from": {"data": "top_sources"},
+             "encode": {"update": {
+                 "x": {"field": "source"},
+                 "y": {"field": "events"},
+             }}},
+        ],
+    }
+
+
+SINKS = ("sev_view", "recent_view", "top_sources")
+
+
+def make_session(rows, tiles):
+    session = VegaPlus(
+        soak_spec(), data={"logs": rows},
+        latency_ms=0.0, bandwidth_mbps=100000.0, tiles=tiles)
+    session.startup()
+    return session
+
+
+def canon(session, sink):
+    fields = session.compiled.spec.mark_fields(sink) or None
+    return canonical_rows(session._sink_state(sink).rows, fields=fields)
+
+
+def assert_matches_fresh(live, all_rows, tiles, stage):
+    fresh = make_session(list(all_rows), tiles=tiles)
+    for name, value in live.signals.items():
+        if fresh.signals.get(name) != value:
+            fresh.interact(name, value)
+    for sink in SINKS:
+        live_rows = canon(live, sink)
+        fresh_rows = canon(fresh, sink)
+        assert rows_equivalent(live_rows, fresh_rows), (
+            "{}: {} diverged after appends: live={!r} fresh={!r}".format(
+                stage, sink, live_rows[:4], fresh_rows[:4]))
+
+
+def pulses(total_pulses=PULSES, pulse_rows=PULSE_ROWS, seed=20260808):
+    stream = LogStream(seed=seed, start=T0)
+    return [stream.next_batch(pulse_rows).to_rows()
+            for _ in range(total_pulses)]
+
+
+def test_soak_untiled_appends_track_fresh_sessions():
+    batches = pulses()
+    all_rows = list(batches[0])
+    live = make_session(list(all_rows), tiles=False)
+    # a mid-stream time window: appended rows keep landing inside it
+    live.interact("since", T0 + 0.05)
+    for index, pulse in enumerate(batches[1:], start=1):
+        live.append_data("logs", pulse)
+        all_rows.extend(pulse)
+        assert_matches_fresh(live, all_rows, False, "pulse {}".format(index))
+
+
+def test_soak_tiled_appends_patch_deltas_and_track_fresh_sessions():
+    batches = pulses()
+    all_rows = list(batches[0])
+    live = make_session(list(all_rows), tiles="force")
+    # Brush once so the status cube gets built; every append afterwards
+    # must go through the delta patch path (status values live on a
+    # fixed code set, so pulses never fall outside the measured grid).
+    live.interact("lo", 200.0)
+    assert live.tiles.builds == 1
+
+    cache_present = []
+    for index, pulse in enumerate(batches[1:], start=1):
+        deltas_before = live.tiles.deltas
+        invalidations_before = live.tiles.invalidations
+        live.append_data("logs", pulse)
+        all_rows.extend(pulse)
+        # the cube absorbed the pulse in place: a delta, not a rebuild
+        assert live.tiles.deltas == deltas_before + 1
+        assert live.tiles.invalidations == invalidations_before
+        cache_present.append(live.cache.peek(
+            live.tiles._states["sev_view"].cache_key) is not None)
+        assert_matches_fresh(
+            live, all_rows, "force", "pulse {}".format(index))
+    # the patched cube was re-registered with the result cache each time
+    # (append_data clears the cache, so the re-put is load-bearing)
+    assert all(cache_present)
+    assert live.tiles.builds == 1  # never rebuilt
+
+    # a brush after all that soaking answers from the patched cube and
+    # agrees with a fresh session at the same signal values
+    hits_before = live.tiles.hits
+    live.interact("hi", live.snap_brush("sev_view", "status", 500.0, "<"))
+    assert live.tiles.hits == hits_before + 1
+    assert_matches_fresh(live, all_rows, False, "post-soak brush")
+
+
+def test_soak_appends_invalidate_stale_cache_entries():
+    batches = pulses(total_pulses=3)
+    live = make_session(list(batches[0]), tiles=False)
+    baseline_events = sum(
+        row["events"] for row in live.results("sev_view"))
+    live.append_data("logs", batches[1])
+    live.append_data("logs", batches[2])
+    # a repeat interaction at the startup signal values must NOT be
+    # served from the pre-append cache
+    result = live.interact("hi", 600.0)
+    total = sum(row["events"] for row in result.datasets["sev_view"])
+    assert total == baseline_events + 2 * PULSE_ROWS

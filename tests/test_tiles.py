@@ -148,6 +148,51 @@ def test_unaligned_bound_falls_back_and_matches():
     assert_sessions_agree(tiled, direct, "realigned")
 
 
+def test_snap_to_grid_hints_keep_tile_path():
+    tiled = make_session(tiles="force")
+    direct = make_session(tiles=False)
+    assert tiled.tile_grid_hints("view") is None  # no cube yet
+    tiled.interact("lo", 250.0)  # first brush builds the cube
+    direct.interact("lo", 250.0)
+
+    hints = tiled.tile_grid_hints("view")
+    assert hints is not None and hints[0]["field"] == "distance"
+    grid = hints[0]["grid"]
+    assert hints[0]["step"] == grid.step and hints[0]["n_bins"] == \
+        grid.n_bins
+
+    # 263 would split a slot; snapping turns it into an on-grid bound
+    raw = 263.0
+    snapped = tiled.snap_brush("view", "distance", raw)
+    assert snapped != raw and grid.aligned(snapped, ">=")
+    before = (tiled.tiles.aligned, tiled.tiles.unaligned)
+    tiled.interact("lo", snapped)
+    direct.interact("lo", snapped)
+    assert tiled.tiles.aligned == before[0] + 1
+    assert tiled.tiles.unaligned == before[1]
+    assert_sessions_agree(tiled, direct, "snapped")
+    assert tiled.tiles.stats()["aligned_slices"] == tiled.tiles.aligned
+
+    # a field with no grid passes the bound through untouched
+    assert tiled.snap_brush("view", "dep_delay", raw) == raw
+
+
+def test_snap_always_lands_aligned():
+    from math import nan
+
+    from repro.tiles.cube import BrushGrid
+
+    grid = BrushGrid(0.0, 50.0, 21)
+    for op in (">=", "<", ">", "<="):
+        for bound in (-1e9, -3.0, 0.0, 12.5, 250.0, 263.0, 999.0,
+                      1050.0, 1e9):
+            snapped = grid.snap(bound, op)
+            assert grid.aligned(snapped, op), (op, bound, snapped)
+            # idempotent: snapping an aligned bound is the identity
+            assert grid.snap(snapped, op) == snapped, (op, bound)
+    assert grid.snap(nan, ">=") != grid.snap(nan, ">=")  # NaN passthrough
+
+
 def test_gated_brush_null_selects_everything():
     expr = "lo == null || (datum.distance >= lo && datum.distance < hi)"
     tiled = make_session(spec=brush_spec(expr=expr), tiles="force")
